@@ -1,0 +1,138 @@
+//! DeepWalk, Node2Vec and CTDNE: walk corpus → SGNS embeddings.
+
+use crate::skipgram::{train_sgns, SgnsConfig};
+use crate::static_graph::StaticGraph;
+use crate::walks::{node2vec_walks, temporal_walks, uniform_walks};
+use apan_data::TemporalDataset;
+use apan_tensor::Tensor;
+use rand::rngs::StdRng;
+use std::ops::Range;
+
+/// Walk-corpus hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct WalkConfig {
+    /// Walks started per node (or total walks for CTDNE × num events).
+    pub walks_per_node: usize,
+    /// Walk length.
+    pub length: usize,
+    /// SGNS settings.
+    pub sgns: SgnsConfig,
+}
+
+impl Default for WalkConfig {
+    fn default() -> Self {
+        Self {
+            walks_per_node: 6,
+            length: 12,
+            sgns: SgnsConfig::default(),
+        }
+    }
+}
+
+/// DeepWalk: uniform walks on the static training graph.
+pub fn deepwalk_embeddings(
+    data: &TemporalDataset,
+    train: &Range<usize>,
+    cfg: &WalkConfig,
+    rng: &mut StdRng,
+) -> Tensor {
+    let sg = StaticGraph::build(data, train);
+    let walks = uniform_walks(&sg.adj_list, cfg.walks_per_node, cfg.length, rng);
+    train_sgns(data.num_nodes(), &walks, &cfg.sgns, rng)
+}
+
+/// Node2Vec: biased second-order walks with return parameter `p` and
+/// in-out parameter `q`.
+pub fn node2vec_embeddings(
+    data: &TemporalDataset,
+    train: &Range<usize>,
+    cfg: &WalkConfig,
+    p: f64,
+    q: f64,
+    rng: &mut StdRng,
+) -> Tensor {
+    let sg = StaticGraph::build(data, train);
+    let walks = node2vec_walks(&sg.adj_list, cfg.walks_per_node, cfg.length, p, q, rng);
+    train_sgns(data.num_nodes(), &walks, &cfg.sgns, rng)
+}
+
+/// CTDNE: time-respecting temporal walks over the training stream.
+pub fn ctdne_embeddings(
+    data: &TemporalDataset,
+    train: &Range<usize>,
+    cfg: &WalkConfig,
+    rng: &mut StdRng,
+) -> Tensor {
+    let num_walks = train.len().max(1) * cfg.walks_per_node / 2;
+    let walks = temporal_walks(data, train, num_walks, cfg.length, rng);
+    train_sgns(data.num_nodes(), &walks, &cfg.sgns, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::static_harness::evaluate_frozen_embeddings;
+    use apan_data::{ChronoSplit, SplitFractions};
+    use rand::SeedableRng;
+
+    fn tiny() -> (TemporalDataset, ChronoSplit) {
+        let cfg = apan_data::generators::GenConfig {
+            name: "tiny".into(),
+            num_users: 30,
+            num_items: 30,
+            num_events: 900,
+            feature_dim: 6,
+            timespan: 300.0,
+            latent_dim: 3,
+            repeat_prob: 0.85,
+            recency_window: 3,
+            zipf_user: 0.8,
+            zipf_item: 1.0,
+            target_positives: 10,
+            label_kind: apan_data::LabelKind::NodeState,
+            bipartite: true,
+            feature_noise: 0.2,
+            burstiness: 0.2,
+            fraud_burst_len: 0,
+            drift_magnitude: 2.0,
+            drift_run: 2,
+        };
+        let d = apan_data::generators::generate_seeded(&cfg, 0);
+        let s = ChronoSplit::new(&d, SplitFractions::paper_default());
+        (d, s)
+    }
+
+    #[test]
+    fn deepwalk_beats_chance() {
+        let (data, split) = tiny();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut cfg = WalkConfig::default();
+        cfg.sgns.dim = 16;
+        let z = deepwalk_embeddings(&data, &split.train, &cfg, &mut rng);
+        assert_eq!(z.shape(), (data.num_nodes(), 16));
+        let out = evaluate_frozen_embeddings(&z, &data, &split, &mut rng);
+        assert!(out.test_ap > 0.55, "DeepWalk test AP {}", out.test_ap);
+    }
+
+    #[test]
+    fn node2vec_beats_chance() {
+        let (data, split) = tiny();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut cfg = WalkConfig::default();
+        cfg.sgns.dim = 16;
+        let z = node2vec_embeddings(&data, &split.train, &cfg, 1.0, 2.0, &mut rng);
+        let out = evaluate_frozen_embeddings(&z, &data, &split, &mut rng);
+        assert!(out.test_ap > 0.55, "Node2Vec test AP {}", out.test_ap);
+    }
+
+    #[test]
+    fn ctdne_beats_chance() {
+        let (data, split) = tiny();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut cfg = WalkConfig::default();
+        cfg.sgns.dim = 16;
+        let z = ctdne_embeddings(&data, &split.train, &cfg, &mut rng);
+        let out = evaluate_frozen_embeddings(&z, &data, &split, &mut rng);
+        assert!(out.test_ap > 0.55, "CTDNE test AP {}", out.test_ap);
+    }
+}

@@ -1,0 +1,682 @@
+//! The shared training/evaluation/latency harness for all CTDG models.
+//!
+//! Every dynamic model (APAN included, via [`crate::apan_adapter`])
+//! implements [`DynamicModel`]; the harness then provides:
+//!
+//! * [`train_link_prediction`] — Table 2's protocol (chronological replay,
+//!   time-varying negatives, early stopping on validation AP);
+//! * [`train_classification`] — Table 3's protocol (decoder on replayed
+//!   embeddings, ROC AUC);
+//! * [`measure_inference`] — Figure 6's protocol: wall-clock of the
+//!   synchronous path plus the modelled graph-store latency for whatever
+//!   queries the model issued *on that path*.
+//!
+//! Batch-staleness semantics: within a batch, a model sees the graph/state
+//! as of the batch's first event (`visible`), exactly the information
+//! loss Figure 7 attributes batch-size sensitivity to.
+
+use apan_data::{ChronoSplit, NegativeSampler, TemporalDataset};
+use apan_metrics::{accuracy, average_precision, roc_auc, LatencyRecorder};
+use apan_nn::{Adam, Fwd, Optimizer, ParamStore};
+use apan_tensor::{Tensor, Var};
+use apan_tgraph::batch::BatchIter;
+use apan_tgraph::cost::{LatencyModel, QueryCost};
+use apan_tgraph::{Event, NodeId, Time};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::Range;
+use std::time::Instant;
+
+pub use apan_core::model::dedup_nodes;
+
+/// A continuous-time dynamic-graph model under the shared protocol.
+pub trait DynamicModel {
+    /// Display name (for tables).
+    fn name(&self) -> String;
+    /// Immutable access to the parameter store.
+    fn params(&self) -> &ParamStore;
+    /// Mutable access (optimizer steps).
+    fn params_mut(&mut self) -> &mut ParamStore;
+    /// Embedding dimensionality.
+    fn dim(&self) -> usize;
+    /// Clears all per-node serving state for a fresh replay of `data`.
+    fn reset(&mut self, data: &TemporalDataset);
+    /// Computes embeddings for `nodes`. `visible` is the staleness
+    /// horizon: any graph query must only see events strictly before it.
+    /// Query work goes into `cost` — the harness charges it to the
+    /// synchronous path (this is the Figure 6 distinction).
+    fn embed(
+        &self,
+        fwd: &mut Fwd<'_>,
+        data: &TemporalDataset,
+        nodes: &[NodeId],
+        visible: Time,
+        rng: &mut StdRng,
+        cost: &mut QueryCost,
+    ) -> Var;
+    /// Post-inference state update (memory write, message/mail delivery).
+    /// Query work goes into `cost` — charged to the asynchronous side.
+    fn post_step(
+        &mut self,
+        data: &TemporalDataset,
+        events: &[Event],
+        unique: &[NodeId],
+        maps: &[Vec<usize>],
+        z: &Tensor,
+        cost: &mut QueryCost,
+    );
+    /// Link score logits for embedded pairs.
+    fn score_links(&self, fwd: &mut Fwd<'_>, zi: Var, zj: Var, rng: &mut StdRng) -> Var;
+    /// Node-classification logits from embeddings plus the triggering
+    /// interaction's features (JODIE-style dynamic-state protocol).
+    fn classify_nodes(&self, fwd: &mut Fwd<'_>, z: Var, feats: &Tensor, rng: &mut StdRng)
+        -> Var;
+    /// Edge-classification logits from embeddings + edge features.
+    fn classify_edges(
+        &self,
+        fwd: &mut Fwd<'_>,
+        zi: Var,
+        feats: &Tensor,
+        zj: Var,
+        rng: &mut StdRng,
+    ) -> Var;
+}
+
+/// Training hyper-parameters (mirrors `apan_core::train::TrainConfig`).
+#[derive(Clone, Debug)]
+pub struct HarnessConfig {
+    /// Maximum epochs.
+    pub epochs: usize,
+    /// Interactions per batch.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Early-stopping patience (epochs).
+    pub patience: usize,
+    /// Global gradient-norm clip (0 disables).
+    pub grad_clip: f32,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 10,
+            batch_size: 200,
+            lr: 1e-3,
+            patience: 5,
+            grad_clip: 5.0,
+        }
+    }
+}
+
+fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Collected scores for metric computation.
+#[derive(Clone, Debug, Default)]
+pub struct ScoreLog {
+    /// Sigmoid scores.
+    pub scores: Vec<f32>,
+    /// Aligned labels.
+    pub labels: Vec<bool>,
+    /// Whether the scored pair involves a node unseen during training
+    /// (aligned with `scores`; empty when no split was provided).
+    pub inductive: Vec<bool>,
+}
+
+impl ScoreLog {
+    /// Average precision.
+    pub fn ap(&self) -> f64 {
+        average_precision(&self.scores, &self.labels)
+    }
+    /// Accuracy at 0.5.
+    pub fn accuracy(&self) -> f64 {
+        accuracy(&self.scores, &self.labels)
+    }
+    /// AP restricted to pairs that involve a training-unseen node (the
+    /// inductive subset the paper's Wikipedia column stresses). `None`
+    /// when the subset is empty or flags were not collected.
+    pub fn ap_inductive(&self) -> Option<f64> {
+        self.subset_ap(true)
+    }
+    /// AP restricted to pairs whose endpoints were all seen in training.
+    pub fn ap_transductive(&self) -> Option<f64> {
+        self.subset_ap(false)
+    }
+    fn subset_ap(&self, want_inductive: bool) -> Option<f64> {
+        if self.inductive.len() != self.scores.len() {
+            return None;
+        }
+        let mut scores = Vec::new();
+        let mut labels = Vec::new();
+        for ((&s, &l), &ind) in self
+            .scores
+            .iter()
+            .zip(&self.labels)
+            .zip(&self.inductive)
+        {
+            if ind == want_inductive {
+                scores.push(s);
+                labels.push(l);
+            }
+        }
+        if scores.is_empty() || !labels.iter().any(|&l| l) {
+            return None;
+        }
+        Some(average_precision(&scores, &labels))
+    }
+}
+
+/// Per-batch costs split by which link pays them.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SplitCost {
+    /// Queries issued on the synchronous (inference) path.
+    pub sync: QueryCost,
+    /// Queries issued post-inference (asynchronous link).
+    pub post: QueryCost,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn link_batch<M: DynamicModel + ?Sized>(
+    model: &mut M,
+    opt: Option<&mut Adam>,
+    data: &TemporalDataset,
+    range: Range<usize>,
+    sampler: &mut NegativeSampler,
+    grad_clip: f32,
+    rng: &mut StdRng,
+    log: Option<&mut ScoreLog>,
+    train_nodes: Option<&std::collections::HashSet<NodeId>>,
+    cost: &mut SplitCost,
+    latency: Option<&mut LatencyRecorder>,
+    latency_model: &LatencyModel,
+) -> f32 {
+    let events = &data.graph.events()[range];
+    if events.is_empty() {
+        return 0.0;
+    }
+    let src: Vec<NodeId> = events.iter().map(|e| e.src).collect();
+    let dst: Vec<NodeId> = events.iter().map(|e| e.dst).collect();
+    let visible = events.first().expect("non-empty").time;
+    let neg: Vec<NodeId> = sampler.sample_batch(&dst, rng);
+    let (unique, maps) = dedup_nodes(&[&src, &dst, &neg]);
+    let train = opt.is_some();
+
+    let b = events.len();
+    let mut targets = Tensor::zeros(2 * b, 1);
+    for i in 0..b {
+        targets.set(i, 0, 1.0);
+    }
+
+    let started = Instant::now();
+    let mut sync_cost = QueryCost::new();
+    let (loss_val, z_val, pos_scores, neg_scores, grads, sync_elapsed) = {
+        let mut fwd = Fwd::new(model.params(), train);
+        let z = model.embed(&mut fwd, data, &unique, visible, rng, &mut sync_cost);
+        let zi = fwd.g.gather_rows(z, &maps[0]);
+        let zj = fwd.g.gather_rows(z, &maps[1]);
+        let zn = fwd.g.gather_rows(z, &maps[2]);
+        let pos_logits = model.score_links(&mut fwd, zi, zj, rng);
+        let neg_logits = model.score_links(&mut fwd, zi, zn, rng);
+        // ---- end of the synchronous path: scores are available ----
+        let sync_elapsed = started.elapsed();
+
+        let logits = fwd.g.concat_rows(&[pos_logits, neg_logits]);
+        let loss = fwd.g.bce_with_logits_mean(logits, &targets);
+        let loss_val = fwd.g.value(loss).item();
+        let z_val = fwd.g.value(z).clone();
+        let pos_scores: Vec<f32> = fwd
+            .g
+            .value(pos_logits)
+            .data()
+            .iter()
+            .map(|&x| sigmoid(x))
+            .collect();
+        let neg_scores: Vec<f32> = fwd
+            .g
+            .value(neg_logits)
+            .data()
+            .iter()
+            .map(|&x| sigmoid(x))
+            .collect();
+        let grads = if train {
+            let mut g = fwd.finish(loss);
+            if grad_clip > 0.0 {
+                g.clip_global_norm(grad_clip);
+            }
+            Some(g)
+        } else {
+            None
+        };
+        (loss_val, z_val, pos_scores, neg_scores, grads, sync_elapsed)
+    };
+    cost.sync += sync_cost;
+    if let Some(rec) = latency {
+        rec.record(sync_elapsed + latency_model.latency(&sync_cost));
+    }
+
+    if let (Some(opt), Some(grads)) = (opt, grads.as_ref()) {
+        opt.step(model.params_mut(), grads);
+    }
+    if let Some(log) = log {
+        log.scores.extend_from_slice(&pos_scores);
+        log.labels.extend(std::iter::repeat_n(true, b));
+        log.scores.extend_from_slice(&neg_scores);
+        log.labels.extend(std::iter::repeat_n(false, b));
+        if let Some(known) = train_nodes {
+            // positives: (src, dst); negatives: (src, neg)
+            for (s, d) in src.iter().zip(&dst) {
+                log.inductive
+                    .push(!known.contains(s) || !known.contains(d));
+            }
+            for (s, n) in src.iter().zip(&neg) {
+                log.inductive
+                    .push(!known.contains(s) || !known.contains(n));
+            }
+        }
+    }
+
+    let mut post_cost = QueryCost::new();
+    model.post_step(data, events, &unique, &maps, &z_val, &mut post_cost);
+    cost.post += post_cost;
+    sampler.observe_batch(&dst);
+    loss_val
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_range<M: DynamicModel + ?Sized>(
+    model: &mut M,
+    mut opt: Option<&mut Adam>,
+    data: &TemporalDataset,
+    range: Range<usize>,
+    batch_size: usize,
+    sampler: &mut NegativeSampler,
+    grad_clip: f32,
+    rng: &mut StdRng,
+    mut log: Option<&mut ScoreLog>,
+    train_nodes: Option<&std::collections::HashSet<NodeId>>,
+    cost: &mut SplitCost,
+    mut latency: Option<&mut LatencyRecorder>,
+    latency_model: &LatencyModel,
+) -> f32 {
+    let mut total = 0.0;
+    let mut batches = 0;
+    for rel in BatchIter::new(range.len(), batch_size) {
+        let abs = range.start + rel.start..range.start + rel.end;
+        total += link_batch(
+            model,
+            opt.as_deref_mut(),
+            data,
+            abs,
+            sampler,
+            grad_clip,
+            rng,
+            log.as_deref_mut(),
+            train_nodes,
+            cost,
+            latency.as_deref_mut(),
+            latency_model,
+        );
+        batches += 1;
+    }
+    if batches > 0 {
+        total / batches as f32
+    } else {
+        0.0
+    }
+}
+
+/// Link-prediction training outcome.
+#[derive(Clone, Debug)]
+pub struct LinkOutcome {
+    /// Mean training loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Validation AP per epoch.
+    pub val_aps: Vec<f64>,
+    /// Final validation AP (best parameters).
+    pub val_ap: f64,
+    /// Final test AP.
+    pub test_ap: f64,
+    /// Final test accuracy.
+    pub test_acc: f64,
+    /// Test AP over pairs involving a training-unseen node (inductive),
+    /// when such pairs exist.
+    pub test_ap_inductive: Option<f64>,
+    /// Test AP over fully-seen pairs (transductive).
+    pub test_ap_transductive: Option<f64>,
+    /// Sync/async query cost over the final test replay.
+    pub test_cost: SplitCost,
+}
+
+/// Trains `model` for link prediction with the Table 2 protocol and
+/// returns test metrics under the best-validation parameters.
+pub fn train_link_prediction<M: DynamicModel + ?Sized>(
+    model: &mut M,
+    data: &TemporalDataset,
+    split: &ChronoSplit,
+    hc: &HarnessConfig,
+    rng: &mut StdRng,
+) -> LinkOutcome {
+    let free = LatencyModel::free();
+    let mut opt = Adam::new(hc.lr);
+    let mut epoch_losses = Vec::new();
+    let mut val_aps = Vec::new();
+    let mut best: Option<(f64, ParamStore)> = None;
+    let mut since_best = 0usize;
+
+    for _ in 0..hc.epochs {
+        model.reset(data);
+        let mut sampler = NegativeSampler::new();
+        let mut cost = SplitCost::default();
+        let loss = run_range(
+            model,
+            Some(&mut opt),
+            data,
+            split.train.clone(),
+            hc.batch_size,
+            &mut sampler,
+            hc.grad_clip,
+            rng,
+            None,
+            None,
+            &mut cost,
+            None,
+            &free,
+        );
+        epoch_losses.push(loss);
+        let mut val_log = ScoreLog::default();
+        run_range(
+            model,
+            None,
+            data,
+            split.val.clone(),
+            hc.batch_size,
+            &mut sampler,
+            0.0,
+            rng,
+            Some(&mut val_log),
+            None,
+            &mut cost,
+            None,
+            &free,
+        );
+        let val_ap = val_log.ap();
+        val_aps.push(val_ap);
+        let improved = best.as_ref().map(|(b, _)| val_ap > *b).unwrap_or(true);
+        if improved {
+            best = Some((val_ap, model.params().clone()));
+            since_best = 0;
+        } else {
+            since_best += 1;
+            if since_best >= hc.patience {
+                break;
+            }
+        }
+    }
+    let (_, best_params) = best.expect("at least one epoch");
+    model.params_mut().copy_from(&best_params);
+
+    // Final replay with best parameters.
+    model.reset(data);
+    let mut sampler = NegativeSampler::new();
+    let mut cost = SplitCost::default();
+    run_range(
+        model,
+        None,
+        data,
+        split.train.clone(),
+        hc.batch_size,
+        &mut sampler,
+        0.0,
+        rng,
+        None,
+        None,
+        &mut cost,
+        None,
+        &free,
+    );
+    let mut val_log = ScoreLog::default();
+    run_range(
+        model,
+        None,
+        data,
+        split.val.clone(),
+        hc.batch_size,
+        &mut sampler,
+        0.0,
+        rng,
+        Some(&mut val_log),
+        Some(&split.train_nodes),
+        &mut cost,
+        None,
+        &free,
+    );
+    let mut test_cost = SplitCost::default();
+    let mut test_log = ScoreLog::default();
+    run_range(
+        model,
+        None,
+        data,
+        split.test.clone(),
+        hc.batch_size,
+        &mut sampler,
+        0.0,
+        rng,
+        Some(&mut test_log),
+        Some(&split.train_nodes),
+        &mut test_cost,
+        None,
+        &free,
+    );
+    LinkOutcome {
+        epoch_losses,
+        val_aps,
+        val_ap: val_log.ap(),
+        test_ap: test_log.ap(),
+        test_acc: test_log.accuracy(),
+        test_ap_inductive: test_log.ap_inductive(),
+        test_ap_transductive: test_log.ap_transductive(),
+        test_cost,
+    }
+}
+
+/// Inference-latency measurement (Figure 6): replays `range` in eval mode
+/// and returns `(AP, mean sync ms, recorder, sync cost)`. The recorded
+/// time per batch is wall-clock of the synchronous path plus
+/// `latency_model` applied to the queries that path issued.
+pub fn measure_inference<M: DynamicModel + ?Sized>(
+    model: &mut M,
+    data: &TemporalDataset,
+    split: &ChronoSplit,
+    batch_size: usize,
+    latency_model: &LatencyModel,
+    rng: &mut StdRng,
+) -> (f64, LatencyRecorder, SplitCost) {
+    let free = LatencyModel::free();
+    model.reset(data);
+    let mut sampler = NegativeSampler::new();
+    let mut cost = SplitCost::default();
+    // roll state through train+val without timing
+    for r in [split.train.clone(), split.val.clone()] {
+        run_range(
+            model, None, data, r, batch_size, &mut sampler, 0.0, rng, None, None, &mut cost, None,
+            &free,
+        );
+    }
+    let mut log = ScoreLog::default();
+    let mut rec = LatencyRecorder::new();
+    let mut test_cost = SplitCost::default();
+    run_range(
+        model,
+        None,
+        data,
+        split.test.clone(),
+        batch_size,
+        &mut sampler,
+        0.0,
+        rng,
+        Some(&mut log),
+        Some(&split.train_nodes),
+        &mut test_cost,
+        Some(&mut rec),
+        latency_model,
+    );
+    (log.ap(), rec, test_cost)
+}
+
+/// Classification outcome (Table 3).
+#[derive(Clone, Debug)]
+pub struct ClassOutcome {
+    /// Validation ROC AUC.
+    pub val_auc: f64,
+    /// Test ROC AUC.
+    pub test_auc: f64,
+}
+
+/// Trains the model's task decoder on replayed embeddings and reports
+/// val/test ROC AUC (assumes link-prediction training already ran).
+pub fn train_classification<M: DynamicModel + ?Sized>(
+    model: &mut M,
+    data: &TemporalDataset,
+    split: &ChronoSplit,
+    hc: &HarnessConfig,
+    decoder_steps: usize,
+    rng: &mut StdRng,
+) -> ClassOutcome {
+    let d = model.dim();
+    let edge_task = data.label_kind == apan_data::LabelKind::Edge;
+    let width = if edge_task { 3 * d } else { 2 * d };
+    let n = data.num_events();
+    let mut inputs = Tensor::zeros(n, width);
+
+    // Replay, recording decoder inputs per event.
+    model.reset(data);
+    let free = LatencyModel::free();
+    let _ = free;
+    let mut cost = SplitCost::default();
+    for rel in BatchIter::new(n, hc.batch_size) {
+        let events = &data.graph.events()[rel.clone()];
+        let src: Vec<NodeId> = events.iter().map(|e| e.src).collect();
+        let dst: Vec<NodeId> = events.iter().map(|e| e.dst).collect();
+        let visible = events.first().expect("non-empty").time;
+        let (unique, maps) = dedup_nodes(&[&src, &dst]);
+        let z_val = {
+            let mut fwd = Fwd::new(model.params(), false);
+            let z = model.embed(&mut fwd, data, &unique, visible, rng, &mut cost.sync);
+            fwd.g.value(z).clone()
+        };
+        for (bi, e) in events.iter().enumerate() {
+            let row = inputs.row_slice_mut(e.eid as usize);
+            let zs = z_val.row_slice(maps[0][bi]);
+            if edge_task {
+                row[..d].copy_from_slice(zs);
+                row[d..2 * d].copy_from_slice(data.feature(e.eid));
+                row[2 * d..].copy_from_slice(z_val.row_slice(maps[1][bi]));
+            } else {
+                row[..d].copy_from_slice(zs);
+                row[d..].copy_from_slice(data.feature(e.eid));
+            }
+        }
+        model.post_step(data, events, &unique, &maps, &z_val, &mut cost.post);
+    }
+
+    let collect = |r: &Range<usize>| -> (Vec<usize>, Vec<bool>) {
+        let mut idx = Vec::new();
+        let mut lab = Vec::new();
+        for eid in r.clone() {
+            if let Some(l) = data.labels[eid] {
+                idx.push(eid);
+                lab.push(l);
+            }
+        }
+        (idx, lab)
+    };
+    let (train_idx, train_lab) = collect(&split.train);
+    let (val_idx, val_lab) = collect(&split.val);
+    let (test_idx, test_lab) = collect(&split.test);
+    let pos: Vec<usize> = train_idx
+        .iter()
+        .zip(&train_lab)
+        .filter_map(|(&i, &l)| l.then_some(i))
+        .collect();
+    let negs: Vec<usize> = train_idx
+        .iter()
+        .zip(&train_lab)
+        .filter_map(|(&i, &l)| (!l).then_some(i))
+        .collect();
+
+    let mut opt = Adam::new(hc.lr);
+    if !pos.is_empty() && !negs.is_empty() {
+        let half = 64usize;
+        for _ in 0..decoder_steps {
+            let mut rows = Vec::with_capacity(2 * half);
+            let mut targets = Tensor::zeros(2 * half, 1);
+            for i in 0..half {
+                rows.push(pos[rng.gen_range(0..pos.len())]);
+                targets.set(i, 0, 1.0);
+            }
+            for _ in 0..half {
+                rows.push(negs[rng.gen_range(0..negs.len())]);
+            }
+            let x = inputs.gather_rows(&rows);
+            let grads = {
+                let mut fwd = Fwd::new(model.params(), true);
+                let xv = fwd.g.constant(x);
+                let logits = if edge_task {
+                    let zi = fwd.g.slice_cols(xv, 0, d);
+                    let ef = fwd.g.slice_cols(xv, d, d);
+                    let zj = fwd.g.slice_cols(xv, 2 * d, d);
+                    let ef_t = fwd.g.value(ef).clone();
+                    model.classify_edges(&mut fwd, zi, &ef_t, zj, rng)
+                } else {
+                    let zi = fwd.g.slice_cols(xv, 0, d);
+                    let ef = fwd.g.slice_cols(xv, d, d);
+                    let ef_t = fwd.g.value(ef).clone();
+                    model.classify_nodes(&mut fwd, zi, &ef_t, rng)
+                };
+                let loss = fwd.g.bce_with_logits_mean(logits, &targets);
+                fwd.finish(loss)
+            };
+            opt.step(model.params_mut(), &grads);
+        }
+    }
+
+    let mut score = |idx: &[usize]| -> Vec<f32> {
+        if idx.is_empty() {
+            return Vec::new();
+        }
+        let x = inputs.gather_rows(idx);
+        let mut fwd = Fwd::new(model.params(), false);
+        let xv = fwd.g.constant(x);
+        let logits = if edge_task {
+            let zi = fwd.g.slice_cols(xv, 0, d);
+            let ef = fwd.g.slice_cols(xv, d, d);
+            let zj = fwd.g.slice_cols(xv, 2 * d, d);
+            let ef_t = fwd.g.value(ef).clone();
+            model.classify_edges(&mut fwd, zi, &ef_t, zj, rng)
+        } else {
+            let zi = fwd.g.slice_cols(xv, 0, d);
+            let ef = fwd.g.slice_cols(xv, d, d);
+            let ef_t = fwd.g.value(ef).clone();
+            model.classify_nodes(&mut fwd, zi, &ef_t, rng)
+        };
+        fwd.g
+            .value(logits)
+            .data()
+            .iter()
+            .map(|&x| sigmoid(x))
+            .collect()
+    };
+    let val_scores = score(&val_idx);
+    let test_scores = score(&test_idx);
+    ClassOutcome {
+        val_auc: roc_auc(&val_scores, &val_lab),
+        test_auc: roc_auc(&test_scores, &test_lab),
+    }
+}

@@ -1,0 +1,53 @@
+//! The shared bundle of task decoders every baseline carries.
+
+use apan_core::decoder::{EdgeClassifier, LinkDecoder, NodeClassifier};
+use apan_nn::{Fwd, ParamStore};
+use apan_tensor::{Tensor, Var};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Link / node / edge decoders with the paper's two-layer-MLP shape.
+pub struct TaskHeads {
+    link: LinkDecoder,
+    node: NodeClassifier,
+    edge: EdgeClassifier,
+}
+
+impl TaskHeads {
+    /// Registers all three decoders for embeddings of width `dim`.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        dim: usize,
+        hidden: usize,
+        dropout: f32,
+        rng: &mut R,
+    ) -> Self {
+        Self {
+            link: LinkDecoder::new(store, dim, hidden, dropout, rng),
+            node: NodeClassifier::new(store, dim, hidden, dropout, rng),
+            edge: EdgeClassifier::new(store, dim, hidden, dropout, rng),
+        }
+    }
+
+    /// Link logits for pairs.
+    pub fn link(&self, fwd: &mut Fwd<'_>, zi: Var, zj: Var, rng: &mut StdRng) -> Var {
+        self.link.forward(fwd, zi, zj, rng)
+    }
+
+    /// Node-classification logits from `(z ‖ e)`.
+    pub fn node(&self, fwd: &mut Fwd<'_>, z: Var, feats: &Tensor, rng: &mut StdRng) -> Var {
+        self.node.forward(fwd, z, feats, rng)
+    }
+
+    /// Edge-classification logits.
+    pub fn edge(
+        &self,
+        fwd: &mut Fwd<'_>,
+        zi: Var,
+        feats: &Tensor,
+        zj: Var,
+        rng: &mut StdRng,
+    ) -> Var {
+        self.edge.forward(fwd, zi, feats, zj, rng)
+    }
+}

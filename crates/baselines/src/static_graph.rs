@@ -1,0 +1,207 @@
+//! Static projection of the training stream, for the static baselines.
+//!
+//! DeepWalk/Node2Vec/GCN/GAT/SAGE/GAE/VGAE ignore time: they see the
+//! training interactions collapsed into one static graph (Fig. 1b of the
+//! paper — including its time-invalid paths, which is exactly why these
+//! baselines trail the CTDG models in Table 2). Node input features are
+//! the mean of incident training-edge features, since the datasets carry
+//! no native node features.
+
+use apan_data::TemporalDataset;
+use apan_tensor::Tensor;
+use std::collections::HashSet;
+use std::ops::Range;
+
+/// Dense static view of the training graph. Dense `N×N` operators keep
+/// the implementations simple and exact; they are intended for the
+/// bench-scale datasets (thousands of nodes), not paper-scale Alipay.
+pub struct StaticGraph {
+    /// Node count (covers the whole dataset, so val/test nodes index
+    /// safely — unseen nodes are isolated).
+    pub num_nodes: usize,
+    /// Symmetrically normalized adjacency with self-loops:
+    /// `D^{-1/2}(A+I)D^{-1/2}` (GCN operator).
+    pub adj_norm: Tensor,
+    /// Row-normalized adjacency *without* self-loops (mean-aggregator
+    /// operator for SAGE; zero rows for isolated nodes).
+    pub adj_rownorm: Tensor,
+    /// Binary adjacency with self-loops (attention mask for GAT).
+    pub adj_mask: Tensor,
+    /// Mean incident edge features per node, `[N × d]`.
+    pub features: Tensor,
+    /// Unique undirected training edges.
+    pub edges: Vec<(u32, u32)>,
+    /// Adjacency lists (for random walks).
+    pub adj_list: Vec<Vec<u32>>,
+}
+
+impl StaticGraph {
+    /// Collapses the events of `train` into a static graph.
+    pub fn build(data: &TemporalDataset, train: &Range<usize>) -> Self {
+        let n = data.num_nodes();
+        assert!(
+            n <= 20_000,
+            "dense static baselines are meant for bench-scale graphs (N={n})"
+        );
+        let d = data.feature_dim();
+        let mut seen: HashSet<(u32, u32)> = HashSet::new();
+        let mut edges = Vec::new();
+        let mut adj_list: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut feat_sum = Tensor::zeros(n, d);
+        let mut feat_cnt = vec![0usize; n];
+
+        for e in &data.graph.events()[train.clone()] {
+            let (a, b) = (e.src.min(e.dst), e.src.max(e.dst));
+            if seen.insert((a, b)) {
+                edges.push((a, b));
+                adj_list[a as usize].push(b);
+                if a != b {
+                    adj_list[b as usize].push(a);
+                }
+            }
+            let f = data.feature(e.eid);
+            for node in [e.src, e.dst] {
+                let row = feat_sum.row_slice_mut(node as usize);
+                for (r, &v) in row.iter_mut().zip(f) {
+                    *r += v;
+                }
+                feat_cnt[node as usize] += 1;
+            }
+        }
+        #[allow(clippy::needless_range_loop)] // parallel arrays
+        for i in 0..n {
+            if feat_cnt[i] > 0 {
+                let inv = 1.0 / feat_cnt[i] as f32;
+                for v in feat_sum.row_slice_mut(i) {
+                    *v *= inv;
+                }
+            }
+        }
+
+        // degree including self-loop
+        let mut deg = vec![1.0f32; n];
+        for &(a, b) in &edges {
+            deg[a as usize] += 1.0;
+            if a != b {
+                deg[b as usize] += 1.0;
+            }
+        }
+        let mut adj_norm = Tensor::zeros(n, n);
+        let mut adj_rownorm = Tensor::zeros(n, n);
+        let mut adj_mask = Tensor::zeros(n, n);
+        #[allow(clippy::needless_range_loop)] // parallel arrays
+        for i in 0..n {
+            let dii = deg[i];
+            adj_norm.set(i, i, 1.0 / dii);
+            adj_mask.set(i, i, 1.0);
+        }
+        for &(a, b) in &edges {
+            let (a, b) = (a as usize, b as usize);
+            let w = 1.0 / (deg[a] * deg[b]).sqrt();
+            adj_norm.set(a, b, w);
+            adj_norm.set(b, a, w);
+            adj_mask.set(a, b, 1.0);
+            adj_mask.set(b, a, 1.0);
+        }
+        #[allow(clippy::needless_range_loop)] // parallel arrays
+        for i in 0..n {
+            let k = adj_list[i].len();
+            if k > 0 {
+                let w = 1.0 / k as f32;
+                for &j in &adj_list[i] {
+                    adj_rownorm.set(i, j as usize, w);
+                }
+            }
+        }
+
+        Self {
+            num_nodes: n,
+            adj_norm,
+            adj_rownorm,
+            adj_mask,
+            features: feat_sum,
+            edges,
+            adj_list,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apan_data::{ChronoSplit, SplitFractions};
+
+    fn tiny() -> (TemporalDataset, ChronoSplit) {
+        let cfg = apan_data::generators::GenConfig {
+            name: "tiny".into(),
+            num_users: 15,
+            num_items: 10,
+            num_events: 200,
+            feature_dim: 4,
+            timespan: 100.0,
+            latent_dim: 3,
+            repeat_prob: 0.5,
+            recency_window: 3,
+            zipf_user: 0.8,
+            zipf_item: 1.0,
+            target_positives: 5,
+            label_kind: apan_data::LabelKind::NodeState,
+            bipartite: true,
+            feature_noise: 0.3,
+            burstiness: 0.2,
+            fraud_burst_len: 0,
+            drift_magnitude: 2.0,
+            drift_run: 2,
+        };
+        let d = apan_data::generators::generate_seeded(&cfg, 0);
+        let s = ChronoSplit::new(&d, SplitFractions::paper_default());
+        (d, s)
+    }
+
+    #[test]
+    fn build_is_consistent() {
+        let (data, split) = tiny();
+        let sg = StaticGraph::build(&data, &split.train);
+        assert_eq!(sg.num_nodes, data.num_nodes());
+        assert!(!sg.edges.is_empty());
+        // adjacency symmetric
+        for &(a, b) in &sg.edges {
+            assert!(sg.adj_mask.get(a as usize, b as usize) == 1.0);
+            assert!(sg.adj_mask.get(b as usize, a as usize) == 1.0);
+            assert!(sg.adj_norm.get(a as usize, b as usize) > 0.0);
+        }
+        // self loops on mask and normalized operator diagonal
+        assert_eq!(sg.adj_mask.get(0, 0), 1.0);
+        // row-normalized rows sum to 1 (or 0 for isolated)
+        for i in 0..sg.num_nodes {
+            let s: f32 = sg.adj_rownorm.row_slice(i).iter().sum();
+            assert!(s.abs() < 1e-5 || (s - 1.0).abs() < 1e-5, "row {i} sums {s}");
+        }
+    }
+
+    #[test]
+    fn only_train_edges_included() {
+        let (data, split) = tiny();
+        let sg = StaticGraph::build(&data, &split.train);
+        let train_pairs: HashSet<(u32, u32)> = data.graph.events()[split.train.clone()]
+            .iter()
+            .map(|e| (e.src.min(e.dst), e.src.max(e.dst)))
+            .collect();
+        for &(a, b) in &sg.edges {
+            assert!(train_pairs.contains(&(a, b)));
+        }
+    }
+
+    #[test]
+    fn features_are_incident_means() {
+        let (data, split) = tiny();
+        let sg = StaticGraph::build(&data, &split.train);
+        // a node touched by train edges has nonzero features
+        let e0 = &data.graph.events()[0];
+        assert!(sg
+            .features
+            .row_slice(e0.src as usize)
+            .iter()
+            .any(|&v| v != 0.0));
+    }
+}

@@ -1,0 +1,55 @@
+//! Mailbox-store microbenches: deliver, batched read, FIFO vs overwrite.
+//! These are the node-local operations on APAN's synchronous path.
+
+use apan_core::config::MailboxUpdate;
+use apan_core::mailbox::{MailOrigin, MailboxStore};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_deliver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mailbox_deliver");
+    for &mode in &[MailboxUpdate::Fifo, MailboxUpdate::Overwrite] {
+        let label = format!("{mode:?}");
+        group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |bencher, &m| {
+            let mut store = MailboxStore::new(10_000, 10, 48, m);
+            let mail = vec![0.5f32; 48];
+            let mut t = 0.0;
+            let mut node = 0u32;
+            bencher.iter(|| {
+                t += 1.0;
+                node = (node + 7919) % 10_000;
+                store.deliver(black_box(node), &mail, t, MailOrigin::default());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_read_batch(c: &mut Criterion) {
+    let mut store = MailboxStore::new(10_000, 10, 48, MailboxUpdate::Fifo);
+    let mail = vec![0.5f32; 48];
+    for i in 0..50_000u32 {
+        store.deliver(i % 10_000, &mail, i as f64, MailOrigin::default());
+    }
+    let nodes: Vec<u32> = (0..200).map(|i| (i * 37) % 10_000).collect();
+    c.bench_function("mailbox_read_batch_200_nodes", |bencher| {
+        bencher.iter(|| black_box(store.read_batch(&nodes, 1e6)));
+    });
+}
+
+fn bench_embedding_round_trip(c: &mut Criterion) {
+    let mut store = MailboxStore::new(10_000, 10, 48, MailboxUpdate::Fifo);
+    let nodes: Vec<u32> = (0..200).collect();
+    let z = apan_tensor::Tensor::ones(200, 48);
+    c.bench_function("mailbox_embedding_set_get_200", |bencher| {
+        let mut t = 0.0;
+        bencher.iter(|| {
+            t += 1.0;
+            store.set_embeddings(&nodes, &z, t);
+            black_box(store.embedding_batch(&nodes))
+        });
+    });
+}
+
+criterion_group!(benches, bench_deliver, bench_read_batch, bench_embedding_round_trip);
+criterion_main!(benches);

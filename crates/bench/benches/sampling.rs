@@ -1,0 +1,71 @@
+//! Temporal-sampling microbenches: the cost profile of the k-hop queries
+//! that synchronous CTDG models pay at inference time (Figure 6's root
+//! cause). 1-hop vs 2-hop cost should differ by roughly the fan-out.
+
+use apan_bench::{wiki_like, BenchEnv};
+use apan_tgraph::cost::QueryCost;
+use apan_tgraph::sampling::{sample_khop, sample_neighbors, Strategy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_env() -> BenchEnv {
+    BenchEnv {
+        scale: 0.01,
+        feat_dim: 8,
+        seeds: 1,
+        epochs: 1,
+        lr: 1e-3,
+        batch: 100,
+        neighbors: 10,
+        out_dir: std::env::temp_dir(),
+    }
+}
+
+fn bench_single_query(c: &mut Criterion) {
+    let data = wiki_like(&bench_env(), 0);
+    let t = data.graph.max_time();
+    c.bench_function("most_recent_10_neighbors", |bencher| {
+        let mut cost = QueryCost::new();
+        let mut node = 0u32;
+        bencher.iter(|| {
+            node = (node + 13) % data.num_nodes() as u32;
+            black_box(sample_neighbors(
+                &data.graph,
+                node,
+                t,
+                10,
+                Strategy::MostRecent,
+                None,
+                &mut cost,
+            ))
+        });
+    });
+}
+
+fn bench_khop(c: &mut Criterion) {
+    let data = wiki_like(&bench_env(), 0);
+    let t = data.graph.max_time();
+    let seeds: Vec<u32> = (0..200).map(|i| (i * 29) % data.num_nodes() as u32).collect();
+    let mut group = c.benchmark_group("khop_batch200_n10");
+    for &hops in &[1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(hops), &hops, |bencher, &h| {
+            bencher.iter(|| {
+                let mut cost = QueryCost::new();
+                black_box(sample_khop(
+                    &data.graph,
+                    &seeds,
+                    t,
+                    10,
+                    h,
+                    Strategy::MostRecent,
+                    None,
+                    &mut cost,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_query, bench_khop);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Substrate microbenches: matmul, softmax, attention kernels, autodiff
+//! overhead. Sanity checks that the numerical core is not the bottleneck
+//! story of Figure 6.
+
+use apan_tensor::{Graph, Tensor};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    let mut rng = StdRng::seed_from_u64(0);
+    for &n in &[32usize, 128, 256] {
+        let a = Tensor::randn(n, n, 1.0, &mut rng);
+        let b = Tensor::randn(n, n, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
+            bencher.iter(|| black_box(a.matmul(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let t = Tensor::randn(200, 64, 1.0, &mut rng);
+    c.bench_function("softmax_rows_200x64", |bencher| {
+        bencher.iter(|| black_box(t.softmax_rows()));
+    });
+}
+
+fn bench_attention_kernels(c: &mut Criterion) {
+    // APAN-shaped: B=200 queries, m=10 mailbox slots, d=48
+    let mut rng = StdRng::seed_from_u64(2);
+    let q = Tensor::randn(200, 48, 1.0, &mut rng);
+    let k = Tensor::randn(2000, 48, 1.0, &mut rng);
+    let v = Tensor::randn(2000, 48, 1.0, &mut rng);
+    c.bench_function("fused_attention_B200_m10_d48", |bencher| {
+        bencher.iter(|| {
+            let mut g = Graph::new();
+            let qv = g.constant(q.clone());
+            let kv = g.constant(k.clone());
+            let vv = g.constant(v.clone());
+            let s = g.attn_scores(qv, kv, 10);
+            let a = g.softmax_rows(s);
+            let o = g.attn_mix(a, vv, 10);
+            black_box(g.value(o).sum())
+        });
+    });
+}
+
+fn bench_autodiff_overhead(c: &mut Criterion) {
+    // forward+backward of a 2-layer MLP batch vs forward only
+    let mut rng = StdRng::seed_from_u64(3);
+    let x = Tensor::randn(200, 48, 1.0, &mut rng);
+    let w1 = Tensor::randn(48, 80, 0.2, &mut rng);
+    let w2 = Tensor::randn(80, 48, 0.2, &mut rng);
+    c.bench_function("mlp_forward_backward_200x48", |bencher| {
+        bencher.iter(|| {
+            let mut g = Graph::new();
+            let xv = g.constant(x.clone());
+            let w1v = g.leaf(w1.clone(), true);
+            let w2v = g.leaf(w2.clone(), true);
+            let h = g.matmul(xv, w1v);
+            let h = g.relu(h);
+            let y = g.matmul(h, w2v);
+            let loss = g.mean_all(y);
+            g.backward(loss);
+            black_box(g.grad(w1v).map(|t| t.sum()))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_softmax,
+    bench_attention_kernels,
+    bench_autodiff_overhead
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Environment-variable configuration shared by all experiment binaries.
+
+use std::path::PathBuf;
+
+/// Knobs controlling experiment scale (see the crate docs for the list).
+#[derive(Clone, Debug)]
+pub struct BenchEnv {
+    /// Dataset scale factor (1.0 ≈ paper row counts).
+    pub scale: f64,
+    /// Edge feature width used by the synthetic generators.
+    pub feat_dim: usize,
+    /// Random seeds per experiment cell.
+    pub seeds: u64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Batch size.
+    pub batch: usize,
+    /// Sampled neighbours / mailbox slots.
+    pub neighbors: usize,
+    /// Where JSON results are written.
+    pub out_dir: PathBuf,
+}
+
+fn parse<T: std::str::FromStr>(key: &str, default: T) -> T {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+impl Default for BenchEnv {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl BenchEnv {
+    /// Reads the `APAN_*` variables, falling back to laptop-scale
+    /// defaults.
+    pub fn from_env() -> Self {
+        Self {
+            scale: parse("APAN_SCALE", 0.01),
+            feat_dim: parse("APAN_FEAT_DIM", 48),
+            seeds: parse("APAN_SEEDS", 2),
+            epochs: parse("APAN_EPOCHS", 8),
+            lr: parse("APAN_LR", 3e-3),
+            batch: parse("APAN_BATCH", 100),
+            neighbors: parse("APAN_NEIGHBORS", 5),
+            out_dir: PathBuf::from(
+                std::env::var("APAN_OUT").unwrap_or_else(|_| "bench-results".into()),
+            ),
+        }
+    }
+
+    /// Pretty one-line description for experiment headers.
+    pub fn describe(&self) -> String {
+        format!(
+            "scale={} feat_dim={} seeds={} epochs={} lr={} batch={} neighbors={}",
+            self.scale, self.feat_dim, self.seeds, self.epochs, self.lr, self.batch, self.neighbors
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_laptop_scale() {
+        // don't rely on ambient env for the keys we don't set in CI
+        let e = BenchEnv::from_env();
+        assert!(e.scale > 0.0);
+        assert!(e.feat_dim > 0);
+        assert!(!e.describe().is_empty());
+    }
+}

@@ -1,0 +1,433 @@
+//! The per-node mailbox store — APAN's node-local serving state.
+//!
+//! Each node owns: a FIFO ring of `m` mail slots (each a `d`-vector plus a
+//! timestamp and an origin tag), its last updated embedding `z(t−)`, and
+//! its last-update time. The synchronous inference link reads *only* this
+//! state — never the graph — which is the whole point of the architecture.
+
+use crate::config::MailboxUpdate;
+use apan_tensor::Tensor;
+use apan_tgraph::{EventId, NodeId, Time};
+
+/// Which interaction generated a mail — kept for interpretability (§3.6).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MailOrigin {
+    /// Source node of the originating interaction.
+    pub src: NodeId,
+    /// Destination node of the originating interaction.
+    pub dst: NodeId,
+    /// Originating event id.
+    pub eid: EventId,
+}
+
+/// A batched, attention-ready view of a set of mailboxes.
+pub struct MailboxView {
+    /// `[B·m × d]` mail matrix, grouped per node, oldest slot first,
+    /// zero-padded past each node's length.
+    pub mails: Tensor,
+    /// Valid slot count per node (`≤ m`).
+    pub lens: Vec<usize>,
+    /// Age (`now − mail time`) per slot, `[B·m]`, zero for padding.
+    pub ages: Vec<f32>,
+}
+
+/// Mailboxes, last embeddings, and last-update times for every node.
+pub struct MailboxStore {
+    dim: usize,
+    slots: usize,
+    update: MailboxUpdate,
+    mails: Vec<f32>,       // [nodes × slots × dim]
+    mail_times: Vec<Time>, // [nodes × slots]
+    origins: Vec<MailOrigin>,
+    lens: Vec<u8>,
+    heads: Vec<u8>, // ring index of the oldest slot
+    embeddings: Vec<f32>, // [nodes × dim]
+    last_update: Vec<Time>,
+}
+
+impl MailboxStore {
+    /// Creates a store for `num_nodes` nodes with `slots` mail slots of
+    /// width `dim` each.
+    pub fn new(num_nodes: usize, slots: usize, dim: usize, update: MailboxUpdate) -> Self {
+        assert!(slots > 0 && slots <= u8::MAX as usize, "1 ≤ slots ≤ 255");
+        assert!(dim > 0, "dim must be positive");
+        Self {
+            dim,
+            slots,
+            update,
+            mails: vec![0.0; num_nodes * slots * dim],
+            mail_times: vec![0.0; num_nodes * slots],
+            origins: vec![MailOrigin::default(); num_nodes * slots],
+            lens: vec![0; num_nodes],
+            heads: vec![0; num_nodes],
+            embeddings: vec![0.0; num_nodes * dim],
+            last_update: vec![0.0; num_nodes],
+        }
+    }
+
+    /// Number of nodes covered.
+    pub fn num_nodes(&self) -> usize {
+        self.lens.len()
+    }
+
+    /// Mail dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Slots per mailbox.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Grows the store to cover node ids up to `id`.
+    pub fn ensure_node(&mut self, id: NodeId) {
+        let need = id as usize + 1;
+        if self.lens.len() < need {
+            self.mails.resize(need * self.slots * self.dim, 0.0);
+            self.mail_times.resize(need * self.slots, 0.0);
+            self.origins.resize(need * self.slots, MailOrigin::default());
+            self.lens.resize(need, 0);
+            self.heads.resize(need, 0);
+            self.embeddings.resize(need * self.dim, 0.0);
+            self.last_update.resize(need, 0.0);
+        }
+    }
+
+    /// Number of valid mails in `node`'s mailbox.
+    pub fn len(&self, node: NodeId) -> usize {
+        self.lens[node as usize] as usize
+    }
+
+    /// Whether `node`'s mailbox holds no mail.
+    pub fn is_empty(&self, node: NodeId) -> bool {
+        self.len(node) == 0
+    }
+
+    /// Delivers one (already reduced) mail to `node`'s mailbox at time `t`
+    /// (ψ in Eq. 6: FIFO enqueue with eviction, or overwrite).
+    ///
+    /// # Panics
+    /// Panics if `mail.len() != dim`.
+    pub fn deliver(&mut self, node: NodeId, mail: &[f32], t: Time, origin: MailOrigin) {
+        assert_eq!(mail.len(), self.dim, "mail width mismatch");
+        self.ensure_node(node);
+        let n = node as usize;
+        let slot = match self.update {
+            MailboxUpdate::Overwrite => {
+                self.lens[n] = 1;
+                self.heads[n] = 0;
+                0
+            }
+            MailboxUpdate::Fifo => {
+                if (self.lens[n] as usize) < self.slots {
+                    let s = (self.heads[n] as usize + self.lens[n] as usize) % self.slots;
+                    self.lens[n] += 1;
+                    s
+                } else {
+                    // full: overwrite the oldest and advance the head
+                    let s = self.heads[n] as usize;
+                    self.heads[n] = ((s + 1) % self.slots) as u8;
+                    s
+                }
+            }
+            MailboxUpdate::ContentAddressed => {
+                if (self.lens[n] as usize) < self.slots {
+                    let s = self.lens[n] as usize; // head stays 0 in this mode
+                    self.lens[n] += 1;
+                    s
+                } else {
+                    // full: overwrite the most similar stored mail, keeping
+                    // the mailbox a diverse summary of the history
+                    self.most_similar_slot(n, mail)
+                }
+            }
+        };
+        let base = (n * self.slots + slot) * self.dim;
+        self.mails[base..base + self.dim].copy_from_slice(mail);
+        self.mail_times[n * self.slots + slot] = t;
+        self.origins[n * self.slots + slot] = origin;
+    }
+
+    /// The ring slot of node `n` whose payload has the highest cosine
+    /// similarity to `mail` (ties and degenerate norms resolve to the
+    /// lowest slot index).
+    fn most_similar_slot(&self, n: usize, mail: &[f32]) -> usize {
+        let mut best = 0usize;
+        let mut best_sim = f32::NEG_INFINITY;
+        let mail_norm = mail.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-12);
+        for s in 0..self.slots {
+            let base = (n * self.slots + s) * self.dim;
+            let stored = &self.mails[base..base + self.dim];
+            let dot: f32 = stored.iter().zip(mail).map(|(a, b)| a * b).sum();
+            let norm = stored.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-12);
+            let sim = dot / (norm * mail_norm);
+            if sim > best_sim {
+                best_sim = sim;
+                best = s;
+            }
+        }
+        best
+    }
+
+    /// The mails of `node`, oldest first, as `(payload, time, origin)`.
+    pub fn mails_of(&self, node: NodeId) -> Vec<(&[f32], Time, MailOrigin)> {
+        let n = node as usize;
+        let len = self.lens[n] as usize;
+        let mut out = Vec::with_capacity(len);
+        for i in 0..len {
+            let slot = (self.heads[n] as usize + i) % self.slots;
+            let base = (n * self.slots + slot) * self.dim;
+            out.push((
+                &self.mails[base..base + self.dim],
+                self.mail_times[n * self.slots + slot],
+                self.origins[n * self.slots + slot],
+            ));
+        }
+        out
+    }
+
+    /// Builds the batched attention view for `nodes` as of time `now`.
+    pub fn read_batch(&self, nodes: &[NodeId], now: Time) -> MailboxView {
+        let b = nodes.len();
+        let mut mails = Tensor::zeros(b * self.slots, self.dim);
+        let mut lens = Vec::with_capacity(b);
+        let mut ages = vec![0.0f32; b * self.slots];
+        for (bi, &node) in nodes.iter().enumerate() {
+            let n = node as usize;
+            let len = if n < self.lens.len() {
+                self.lens[n] as usize
+            } else {
+                0
+            };
+            lens.push(len);
+            for i in 0..len {
+                let slot = (self.heads[n] as usize + i) % self.slots;
+                let src = (n * self.slots + slot) * self.dim;
+                let row = bi * self.slots + i;
+                mails
+                    .row_slice_mut(row)
+                    .copy_from_slice(&self.mails[src..src + self.dim]);
+                ages[row] = (now - self.mail_times[n * self.slots + slot]).max(0.0) as f32;
+            }
+        }
+        MailboxView { mails, lens, ages }
+    }
+
+    /// The last updated embedding `z(t−)` of `node` (zeros if never set).
+    pub fn embedding(&self, node: NodeId) -> &[f32] {
+        let n = node as usize;
+        &self.embeddings[n * self.dim..(n + 1) * self.dim]
+    }
+
+    /// Gathers `z(t−)` for a batch into a `[B × d]` matrix.
+    pub fn embedding_batch(&self, nodes: &[NodeId]) -> Tensor {
+        let mut out = Tensor::zeros(nodes.len(), self.dim);
+        for (bi, &node) in nodes.iter().enumerate() {
+            let n = node as usize;
+            if n < self.lens.len() {
+                out.row_slice_mut(bi)
+                    .copy_from_slice(&self.embeddings[n * self.dim..(n + 1) * self.dim]);
+            }
+        }
+        out
+    }
+
+    /// Stores new embeddings for `nodes` (rows of `z`) at time `t`.
+    pub fn set_embeddings(&mut self, nodes: &[NodeId], z: &Tensor, t: Time) {
+        assert_eq!(z.rows(), nodes.len(), "row count mismatch");
+        assert_eq!(z.cols(), self.dim, "embedding width mismatch");
+        for (bi, &node) in nodes.iter().enumerate() {
+            self.ensure_node(node);
+            let n = node as usize;
+            self.embeddings[n * self.dim..(n + 1) * self.dim].copy_from_slice(z.row_slice(bi));
+            self.last_update[n] = t;
+        }
+    }
+
+    /// When `node` last received a new embedding.
+    pub fn last_update(&self, node: NodeId) -> Time {
+        self.last_update[node as usize]
+    }
+
+    /// Clears all state, keeping the allocation (used between training
+    /// epochs — each epoch replays the stream from scratch).
+    pub fn reset(&mut self) {
+        self.mails.fill(0.0);
+        self.mail_times.fill(0.0);
+        self.origins.fill(MailOrigin::default());
+        self.lens.fill(0);
+        self.heads.fill(0);
+        self.embeddings.fill(0.0);
+        self.last_update.fill(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(slots: usize) -> MailboxStore {
+        MailboxStore::new(4, slots, 3, MailboxUpdate::Fifo)
+    }
+
+    fn mail(v: f32) -> Vec<f32> {
+        vec![v; 3]
+    }
+
+    #[test]
+    fn fifo_keeps_newest_evicts_oldest() {
+        let mut s = store(2);
+        for (i, t) in [(1.0, 1.0), (2.0, 2.0), (3.0, 3.0)] {
+            s.deliver(0, &mail(i), t, MailOrigin::default());
+        }
+        assert_eq!(s.len(0), 2);
+        let mails = s.mails_of(0);
+        assert_eq!(mails[0].0, &[2.0, 2.0, 2.0]); // oldest surviving
+        assert_eq!(mails[1].0, &[3.0, 3.0, 3.0]); // newest
+        assert_eq!(mails[0].1, 2.0);
+    }
+
+    #[test]
+    fn mail_times_monotone_in_fifo_order() {
+        let mut s = store(3);
+        for t in 1..=7 {
+            s.deliver(1, &mail(t as f32), t as f64, MailOrigin::default());
+        }
+        let mails = s.mails_of(1);
+        assert!(mails.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn overwrite_mode_keeps_one() {
+        let mut s = MailboxStore::new(2, 4, 3, MailboxUpdate::Overwrite);
+        s.deliver(0, &mail(1.0), 1.0, MailOrigin::default());
+        s.deliver(0, &mail(2.0), 2.0, MailOrigin::default());
+        assert_eq!(s.len(0), 1);
+        assert_eq!(s.mails_of(0)[0].0, &[2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn read_batch_layout_and_padding() {
+        let mut s = store(3);
+        s.deliver(0, &mail(1.0), 1.0, MailOrigin::default());
+        s.deliver(2, &mail(5.0), 2.0, MailOrigin::default());
+        s.deliver(2, &mail(6.0), 3.0, MailOrigin::default());
+        let view = s.read_batch(&[0, 1, 2], 10.0);
+        assert_eq!(view.mails.shape(), (9, 3));
+        assert_eq!(view.lens, vec![1, 0, 2]);
+        // node 0 slot 0
+        assert_eq!(view.mails.row_slice(0), &[1.0, 1.0, 1.0]);
+        // padding is zeros
+        assert_eq!(view.mails.row_slice(1), &[0.0, 0.0, 0.0]);
+        assert_eq!(view.mails.row_slice(3), &[0.0, 0.0, 0.0]);
+        // node 2 slots 0,1
+        assert_eq!(view.mails.row_slice(6), &[5.0, 5.0, 5.0]);
+        assert_eq!(view.mails.row_slice(7), &[6.0, 6.0, 6.0]);
+        // ages
+        assert!((view.ages[0] - 9.0).abs() < 1e-6);
+        assert!((view.ages[6] - 8.0).abs() < 1e-6);
+        assert_eq!(view.ages[1], 0.0);
+    }
+
+    #[test]
+    fn embeddings_round_trip() {
+        let mut s = store(2);
+        let z = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        s.set_embeddings(&[1, 3], &z, 5.0);
+        assert_eq!(s.embedding(1), &[1.0, 2.0, 3.0]);
+        assert_eq!(s.embedding(3), &[4.0, 5.0, 6.0]);
+        assert_eq!(s.last_update(3), 5.0);
+        let batch = s.embedding_batch(&[3, 0, 1]);
+        assert_eq!(batch.row_slice(0), &[4.0, 5.0, 6.0]);
+        assert_eq!(batch.row_slice(1), &[0.0, 0.0, 0.0]);
+        assert_eq!(batch.row_slice(2), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn grows_on_demand() {
+        let mut s = store(2);
+        s.deliver(100, &mail(1.0), 1.0, MailOrigin::default());
+        assert!(s.num_nodes() >= 101);
+        assert_eq!(s.len(100), 1);
+        // read_batch past current size is safe
+        let v = s.read_batch(&[500], 2.0);
+        assert_eq!(v.lens, vec![0]);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut s = store(2);
+        s.deliver(0, &mail(1.0), 1.0, MailOrigin::default());
+        let z = Tensor::from_rows(&[&[1.0, 1.0, 1.0]]);
+        s.set_embeddings(&[0], &z, 1.0);
+        s.reset();
+        assert_eq!(s.len(0), 0);
+        assert_eq!(s.embedding(0), &[0.0, 0.0, 0.0]);
+        assert_eq!(s.last_update(0), 0.0);
+    }
+
+    #[test]
+    fn origins_tracked() {
+        let mut s = store(2);
+        let o = MailOrigin {
+            src: 7,
+            dst: 9,
+            eid: 42,
+        };
+        s.deliver(0, &mail(1.0), 1.0, o);
+        assert_eq!(s.mails_of(0)[0].2, o);
+    }
+
+    #[test]
+    fn content_addressed_appends_until_full() {
+        let mut s = MailboxStore::new(1, 3, 3, MailboxUpdate::ContentAddressed);
+        for (i, t) in [(1.0f32, 1.0f64), (2.0, 2.0), (3.0, 3.0)] {
+            s.deliver(0, &[i, 0.0, 0.0], t, MailOrigin::default());
+        }
+        assert_eq!(s.len(0), 3);
+        let payloads: Vec<f32> = s.mails_of(0).iter().map(|(p, _, _)| p[0]).collect();
+        assert_eq!(payloads, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn content_addressed_replaces_most_similar() {
+        let mut s = MailboxStore::new(1, 3, 3, MailboxUpdate::ContentAddressed);
+        // three near-orthogonal mails
+        s.deliver(0, &[1.0, 0.0, 0.0], 1.0, MailOrigin::default());
+        s.deliver(0, &[0.0, 1.0, 0.0], 2.0, MailOrigin::default());
+        s.deliver(0, &[0.0, 0.0, 1.0], 3.0, MailOrigin::default());
+        // a fourth mail similar to slot 1 must evict slot 1, not slot 0
+        s.deliver(0, &[0.1, 2.0, 0.0], 4.0, MailOrigin { src: 9, dst: 9, eid: 9 });
+        let mails = s.mails_of(0);
+        assert_eq!(mails.len(), 3);
+        assert_eq!(mails[0].0, &[1.0, 0.0, 0.0]);
+        assert_eq!(mails[1].0, &[0.1, 2.0, 0.0]);
+        assert_eq!(mails[1].2.eid, 9);
+        assert_eq!(mails[2].0, &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn content_addressed_keeps_diversity_under_repeats() {
+        // hammering with near-identical mails must not evict the distinct one
+        let mut s = MailboxStore::new(1, 2, 2, MailboxUpdate::ContentAddressed);
+        s.deliver(0, &[0.0, 5.0], 1.0, MailOrigin::default());
+        for t in 2..20 {
+            s.deliver(0, &[1.0, 0.01 * t as f32], t as f64, MailOrigin::default());
+        }
+        let mails = s.mails_of(0);
+        assert_eq!(mails.len(), 2);
+        // the orthogonal [0,5] mail survived all the similar arrivals
+        assert!(mails.iter().any(|(p, _, _)| p == &[0.0, 5.0]));
+    }
+
+    #[test]
+    fn invariant_len_never_exceeds_slots() {
+        let mut s = store(3);
+        for t in 0..50 {
+            s.deliver(0, &mail(t as f32), t as f64, MailOrigin::default());
+            assert!(s.len(0) <= 3);
+        }
+        assert_eq!(s.len(0), 3);
+    }
+}

@@ -1,0 +1,438 @@
+//! The real-time serving pipeline (Fig. 2b).
+//!
+//! This is the deployment architecture the paper builds APAN for:
+//!
+//! * the **synchronous path** ([`ServingPipeline::infer_batch`]) takes a
+//!   batch of arriving interactions, reads only mailbox state, runs the
+//!   encoder + decoder, stores the fresh embeddings, and returns scores —
+//!   its wall-clock time is what Figure 6 reports as "inference speed";
+//! * the **asynchronous link** is a background worker thread fed through a
+//!   bounded channel; it inserts the events into the temporal graph and
+//!   runs the k-hop mail propagation, off the user-facing path. Payloads
+//!   cross the channel in a serialized wire format ([`wire`]) as they
+//!   would on a production message bus.
+//!
+//! Backpressure is real: if propagation falls behind, the bounded channel
+//! blocks the producer, surfacing exactly the overload scenario the paper
+//! discusses (Black-Friday bursts), instead of letting the mailbox lag
+//! grow without bound.
+
+use crate::mail::make_mails_with;
+use crate::mailbox::MailboxStore;
+use crate::model::{dedup_nodes, Apan};
+use crate::propagator::{Interaction, Propagator};
+use apan_metrics::LatencyRecorder;
+use apan_nn::Fwd;
+use apan_tensor::Tensor;
+use apan_tgraph::cost::QueryCost;
+use apan_tgraph::{NodeId, TemporalGraph};
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Wire (de)serialization of mail payloads, as on a message bus.
+pub mod wire {
+    use apan_tensor::Tensor;
+    use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+    /// Serializes a tensor as `rows:u32, cols:u32, data:[f32 LE]`.
+    pub fn encode_tensor(t: &Tensor) -> Bytes {
+        let mut buf = BytesMut::with_capacity(8 + t.len() * 4);
+        buf.put_u32_le(t.rows() as u32);
+        buf.put_u32_le(t.cols() as u32);
+        for &v in t.data() {
+            buf.put_f32_le(v);
+        }
+        buf.freeze()
+    }
+
+    /// Deserializes a tensor encoded by [`encode_tensor`].
+    ///
+    /// # Panics
+    /// Panics if the buffer is truncated.
+    pub fn decode_tensor(mut b: Bytes) -> Tensor {
+        let rows = b.get_u32_le() as usize;
+        let cols = b.get_u32_le() as usize;
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            data.push(b.get_f32_le());
+        }
+        Tensor::from_vec(rows, cols, data)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn round_trip() {
+            let t = Tensor::from_rows(&[&[1.5, -2.25], &[0.0, 1e-7]]);
+            let decoded = decode_tensor(encode_tensor(&t));
+            assert!(decoded.allclose(&t, 0.0));
+        }
+
+        #[test]
+        fn empty_rows() {
+            let t = Tensor::zeros(3, 2);
+            assert!(decode_tensor(encode_tensor(&t)).allclose(&t, 0.0));
+        }
+    }
+}
+
+struct PropagateJob {
+    interactions: Vec<Interaction>,
+    src_rows: Vec<usize>,
+    dst_rows: Vec<usize>,
+    z_wire: bytes::Bytes,
+    feats_wire: bytes::Bytes,
+}
+
+enum Job {
+    Propagate(Box<PropagateJob>),
+    Shutdown,
+}
+
+/// Statistics accumulated by the propagation worker.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PropStats {
+    /// Propagation jobs processed.
+    pub jobs: usize,
+    /// Total mailbox deliveries performed.
+    pub deliveries: usize,
+    /// Total graph-query cost paid on the asynchronous link.
+    pub cost: QueryCost,
+}
+
+/// Result of one synchronous inference call.
+pub struct InferResult {
+    /// Link score (sigmoid) per interaction.
+    pub scores: Vec<f32>,
+    /// Fresh embeddings, one row per entry of `nodes`.
+    pub embeddings: Tensor,
+    /// The unique nodes that were (re-)embedded.
+    pub nodes: Vec<NodeId>,
+    /// Wall-clock time of the synchronous path only.
+    pub sync_time: Duration,
+}
+
+/// A deployed APAN model: synchronous inference plus a background
+/// propagation worker.
+pub struct ServingPipeline {
+    model: Arc<Apan>,
+    store: Arc<RwLock<MailboxStore>>,
+    graph: Arc<RwLock<TemporalGraph>>,
+    tx: Sender<Job>,
+    worker: Option<JoinHandle<PropStats>>,
+    pending: Arc<AtomicUsize>,
+    rng: StdRng,
+    /// Latencies of every synchronous inference call.
+    pub sync_latency: LatencyRecorder,
+}
+
+impl ServingPipeline {
+    /// Deploys `model` with serving state for `num_nodes` nodes and a
+    /// propagation queue of `capacity` jobs.
+    pub fn new(model: Apan, num_nodes: usize, capacity: usize) -> Self {
+        let store = Arc::new(RwLock::new(model.new_store(num_nodes)));
+        let graph = Arc::new(RwLock::new(TemporalGraph::with_capacity(num_nodes, 1024)));
+        let (tx, rx) = bounded::<Job>(capacity.max(1));
+        let pending = Arc::new(AtomicUsize::new(0));
+
+        let propagator: Propagator = model.propagator;
+        let mail_content = model.cfg.mail_content;
+        let w_store = Arc::clone(&store);
+        let w_graph = Arc::clone(&graph);
+        let w_pending = Arc::clone(&pending);
+        let worker = std::thread::spawn(move || {
+            let mut stats = PropStats::default();
+            while let Ok(job) = rx.recv() {
+                match job {
+                    Job::Shutdown => break,
+                    Job::Propagate(job) => {
+                        let z = wire::decode_tensor(job.z_wire);
+                        let feats = wire::decode_tensor(job.feats_wire);
+                        {
+                            let mut g = w_graph.write();
+                            for i in &job.interactions {
+                                g.insert(i.src, i.dst, i.time);
+                            }
+                        }
+                        let z_src = z.gather_rows(&job.src_rows);
+                        let z_dst = z.gather_rows(&job.dst_rows);
+                        let mails = make_mails_with(&z_src, &z_dst, &feats, mail_content);
+                        {
+                            let g = w_graph.read();
+                            let mut s = w_store.write();
+                            stats.deliveries += propagator.propagate_batch(
+                                &g,
+                                &mut s,
+                                &job.interactions,
+                                &mails,
+                                &mut stats.cost,
+                            );
+                        }
+                        stats.jobs += 1;
+                        w_pending.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+            }
+            stats
+        });
+
+        Self {
+            model: Arc::new(model),
+            store,
+            graph,
+            tx,
+            worker: Some(worker),
+            pending,
+            rng: StdRng::seed_from_u64(0),
+            sync_latency: LatencyRecorder::new(),
+        }
+    }
+
+    /// The synchronous inference path: encodes the batch's unique nodes
+    /// from mailbox state, scores each interaction with the link decoder,
+    /// stores the new embeddings, and hands mail propagation to the
+    /// background worker. Only the part before the hand-off is timed.
+    pub fn infer_batch(&mut self, interactions: &[Interaction], feats: &Tensor) -> InferResult {
+        assert_eq!(feats.rows(), interactions.len(), "one feature row per interaction");
+        let start = Instant::now();
+
+        let src: Vec<NodeId> = interactions.iter().map(|i| i.src).collect();
+        let dst: Vec<NodeId> = interactions.iter().map(|i| i.dst).collect();
+        let now = interactions.last().map(|i| i.time).unwrap_or(0.0);
+        let (unique, maps) = dedup_nodes(&[&src, &dst]);
+
+        let (z_val, scores) = {
+            let store = self.store.read();
+            let mut fwd = Fwd::new(&self.model.params, false);
+            let enc = self.model.encode(&mut fwd, &store, &unique, now, &mut self.rng);
+            let zi = fwd.g.gather_rows(enc.z, &maps[0]);
+            let zj = fwd.g.gather_rows(enc.z, &maps[1]);
+            let logits = self
+                .model
+                .link_decoder
+                .forward(&mut fwd, zi, zj, &mut self.rng);
+            let scores: Vec<f32> = fwd
+                .g
+                .value(logits)
+                .data()
+                .iter()
+                .map(|&x| crate::train::sigmoid(x))
+                .collect();
+            (fwd.g.value(enc.z).clone(), scores)
+        };
+        self.store.write().set_embeddings(&unique, &z_val, now);
+        let sync_time = start.elapsed();
+        self.sync_latency.record(sync_time);
+
+        // Asynchronous hand-off (not timed: the user already has scores).
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        let job = PropagateJob {
+            interactions: interactions.to_vec(),
+            src_rows: maps[0].clone(),
+            dst_rows: maps[1].clone(),
+            z_wire: wire::encode_tensor(&z_val),
+            feats_wire: wire::encode_tensor(feats),
+        };
+        self.tx
+            .send(Job::Propagate(Box::new(job)))
+            .expect("propagation worker alive");
+
+        InferResult {
+            scores,
+            embeddings: z_val,
+            nodes: unique,
+            sync_time,
+        }
+    }
+
+    /// Jobs queued or in flight on the asynchronous link.
+    pub fn pending_jobs(&self) -> usize {
+        self.pending.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until the asynchronous link has drained.
+    pub fn flush(&self) {
+        while self.pending_jobs() > 0 {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Shared handle to the serving state (for inspection/tests).
+    pub fn store(&self) -> Arc<RwLock<MailboxStore>> {
+        Arc::clone(&self.store)
+    }
+
+    /// Shared handle to the growing temporal graph.
+    pub fn graph(&self) -> Arc<RwLock<TemporalGraph>> {
+        Arc::clone(&self.graph)
+    }
+
+    /// Stops the worker and returns its statistics.
+    pub fn shutdown(mut self) -> PropStats {
+        self.flush();
+        let _ = self.tx.send(Job::Shutdown);
+        self.worker
+            .take()
+            .expect("worker present")
+            .join()
+            .expect("worker did not panic")
+    }
+}
+
+impl Drop for ServingPipeline {
+    fn drop(&mut self) {
+        if let Some(worker) = self.worker.take() {
+            let _ = self.tx.send(Job::Shutdown);
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ApanConfig;
+    use apan_tgraph::cost::QueryCost;
+
+    fn model() -> Apan {
+        let mut cfg = ApanConfig::new(8);
+        cfg.mailbox_slots = 4;
+        cfg.mlp_hidden = 16;
+        cfg.dropout = 0.0;
+        let mut rng = StdRng::seed_from_u64(0);
+        Apan::new(&cfg, &mut rng)
+    }
+
+    fn batch(k: u64) -> (Vec<Interaction>, Tensor) {
+        let interactions = vec![
+            Interaction {
+                src: 0,
+                dst: 1,
+                time: k as f64 * 10.0 + 1.0,
+                eid: (2 * k) as u32,
+            },
+            Interaction {
+                src: 2,
+                dst: 3,
+                time: k as f64 * 10.0 + 2.0,
+                eid: (2 * k + 1) as u32,
+            },
+        ];
+        let feats = Tensor::full(2, 8, 0.5);
+        (interactions, feats)
+    }
+
+    #[test]
+    fn scores_and_shapes() {
+        let mut p = ServingPipeline::new(model(), 8, 16);
+        let (b, f) = batch(0);
+        let r = p.infer_batch(&b, &f);
+        assert_eq!(r.scores.len(), 2);
+        assert!(r.scores.iter().all(|s| (0.0..=1.0).contains(s)));
+        assert_eq!(r.embeddings.cols(), 8);
+        assert!(r.sync_time > Duration::ZERO);
+        p.flush();
+        let stats = p.shutdown();
+        assert_eq!(stats.jobs, 1);
+        assert!(stats.deliveries >= 4);
+    }
+
+    #[test]
+    fn async_link_fills_mailboxes() {
+        let mut p = ServingPipeline::new(model(), 8, 16);
+        for k in 0..5 {
+            let (b, f) = batch(k);
+            p.infer_batch(&b, &f);
+        }
+        p.flush();
+        {
+            let s = p.store.read();
+            assert!(!s.is_empty(0));
+            assert!(!s.is_empty(1));
+        }
+        {
+            let g = p.graph.read();
+            assert_eq!(g.num_events(), 10);
+        }
+        let stats = p.shutdown();
+        assert_eq!(stats.jobs, 5);
+        assert!(stats.cost.queries > 0);
+    }
+
+    #[test]
+    fn matches_offline_replay_when_flushed() {
+        // with a flush between batches, the pipeline must produce exactly
+        // the embeddings of a sequential offline replay
+        let m_pipe = model();
+        let m_ref = model(); // identical seed ⇒ identical weights
+        let mut p = ServingPipeline::new(m_pipe, 8, 16);
+
+        let mut ref_store = m_ref.new_store(8);
+        let mut ref_graph = TemporalGraph::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut cost = QueryCost::new();
+
+        for k in 0..4 {
+            let (b, f) = batch(k);
+            let r = p.infer_batch(&b, &f);
+            p.flush();
+
+            // offline reference
+            let src: Vec<NodeId> = b.iter().map(|i| i.src).collect();
+            let dst: Vec<NodeId> = b.iter().map(|i| i.dst).collect();
+            let (unique, maps) = dedup_nodes(&[&src, &dst]);
+            let now = b.last().unwrap().time;
+            let z = {
+                let mut fwd = Fwd::new(&m_ref.params, false);
+                let enc = m_ref.encode(&mut fwd, &ref_store, &unique, now, &mut rng);
+                fwd.g.value(enc.z).clone()
+            };
+            for i in &b {
+                ref_graph.insert(i.src, i.dst, i.time);
+            }
+            m_ref.post_step(
+                &mut ref_store,
+                &ref_graph,
+                &b,
+                &unique,
+                &z,
+                &maps[0],
+                &maps[1],
+                &f,
+                &mut cost,
+            );
+            assert!(
+                r.embeddings.allclose(&z, 1e-6),
+                "pipeline diverged from offline replay at batch {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn pending_counter_drains() {
+        let mut p = ServingPipeline::new(model(), 8, 64);
+        for k in 0..8 {
+            let (b, f) = batch(k);
+            p.infer_batch(&b, &f);
+        }
+        p.flush();
+        assert_eq!(p.pending_jobs(), 0);
+        assert_eq!(p.sync_latency.len(), 8);
+    }
+
+    #[test]
+    fn drop_without_shutdown_is_clean() {
+        let mut p = ServingPipeline::new(model(), 8, 16);
+        let (b, f) = batch(0);
+        p.infer_batch(&b, &f);
+        drop(p); // must not hang or panic
+    }
+}

@@ -1,0 +1,313 @@
+//! The asynchronous mail propagator (§3.5, Fig. 5).
+//!
+//! After the synchronous link produces embeddings for a batch of
+//! interactions, the propagator (1) generates one mail per interaction
+//! (φ), (2) finds each interaction's delivery set — the endpoints plus
+//! their k-hop most-recent temporal neighbours, (3) reduces the mails
+//! arriving at each node to one (ρ), and (4) updates the mailboxes (ψ).
+//!
+//! All of this runs off the critical path: inline after the optimizer step
+//! during training, and on a background worker in the serving
+//! [`crate::pipeline`].
+
+use crate::config::{ApanConfig, MailReduce};
+use crate::mail::reduce_mails;
+use crate::mailbox::{MailboxStore, MailOrigin};
+use apan_tensor::Tensor;
+use apan_tgraph::cost::QueryCost;
+use apan_tgraph::sampling::{sample_khop, Strategy};
+use apan_tgraph::{EventId, NodeId, TemporalGraph, Time};
+use std::collections::HashMap;
+
+/// One interaction to propagate, with its already-computed mail row.
+#[derive(Clone, Copy, Debug)]
+pub struct Interaction {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Interaction time.
+    pub time: Time,
+    /// Event id (for mail origins / interpretability).
+    pub eid: EventId,
+}
+
+/// Configuration slice of the propagator.
+#[derive(Clone, Copy, Debug)]
+pub struct Propagator {
+    /// Neighbours sampled per hop.
+    pub sampled_neighbors: usize,
+    /// Propagation depth in hops.
+    pub hops: usize,
+    /// Whether the endpoints receive their own mail.
+    pub deliver_to_self: bool,
+    /// Reduction operator for multiple mails to one node.
+    pub reduce: MailReduce,
+    /// Sampling strategy along temporal edges.
+    pub strategy: Strategy,
+}
+
+impl Propagator {
+    /// Builds a propagator from an [`ApanConfig`].
+    pub fn from_config(cfg: &ApanConfig) -> Self {
+        Self {
+            sampled_neighbors: cfg.sampled_neighbors,
+            hops: cfg.hops,
+            deliver_to_self: cfg.deliver_to_self,
+            reduce: cfg.mail_reduce,
+            strategy: Strategy::MostRecent,
+        }
+    }
+
+    /// Propagates one batch of interactions. `mails` holds one row per
+    /// interaction (built by [`crate::mail::make_mails`]); `graph` is the
+    /// temporal graph used for k-hop delivery (time-respecting queries see
+    /// only edges strictly before each interaction's time). Query work is
+    /// accumulated into `cost`.
+    ///
+    /// Returns the number of mailbox deliveries performed.
+    pub fn propagate_batch(
+        &self,
+        graph: &TemporalGraph,
+        store: &mut MailboxStore,
+        batch: &[Interaction],
+        mails: &Tensor,
+        cost: &mut QueryCost,
+    ) -> usize {
+        assert_eq!(mails.rows(), batch.len(), "one mail row per interaction");
+
+        // destination node -> mail row indices (in batch = time order)
+        let mut inbox: HashMap<NodeId, Vec<usize>> = HashMap::new();
+        // remember a representative (latest) interaction per destination
+        let mut meta: HashMap<NodeId, (Time, MailOrigin)> = HashMap::new();
+
+        for (row, inter) in batch.iter().enumerate() {
+            let origin = MailOrigin {
+                src: inter.src,
+                dst: inter.dst,
+                eid: inter.eid,
+            };
+            let mut push = |node: NodeId| {
+                inbox.entry(node).or_default().push(row);
+                meta.insert(node, (inter.time, origin));
+            };
+            if self.deliver_to_self {
+                push(inter.src);
+                push(inter.dst);
+            }
+            let layers = sample_khop(
+                graph,
+                &[inter.src, inter.dst],
+                inter.time,
+                self.sampled_neighbors,
+                self.hops,
+                self.strategy,
+                None,
+                cost,
+            );
+            for layer in layers {
+                for edge in layer {
+                    push(edge.entry.neighbor);
+                }
+            }
+        }
+
+        // Deterministic delivery order (HashMap iteration is not).
+        let mut targets: Vec<NodeId> = inbox.keys().copied().collect();
+        targets.sort_unstable();
+        let mut deliveries = 0;
+        for node in targets {
+            let mut rows = inbox.remove(&node).expect("key present");
+            rows.sort_unstable();
+            rows.dedup();
+            let payload = reduce_mails(mails, &rows, self.reduce);
+            let (t, origin) = meta[&node];
+            store.deliver(node, &payload, t, origin);
+            deliveries += 1;
+        }
+        deliveries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MailboxUpdate;
+
+    fn graph() -> TemporalGraph {
+        // 0-1 @1, 1-2 @2, 2-3 @3
+        let mut g = TemporalGraph::new();
+        g.insert(0, 1, 1.0);
+        g.insert(1, 2, 2.0);
+        g.insert(2, 3, 3.0);
+        g
+    }
+
+    fn propagator() -> Propagator {
+        Propagator {
+            sampled_neighbors: 5,
+            hops: 2,
+            deliver_to_self: true,
+            reduce: MailReduce::Mean,
+            strategy: Strategy::MostRecent,
+        }
+    }
+
+    #[test]
+    fn delivers_to_self_and_khop() {
+        let g = graph();
+        let mut store = MailboxStore::new(4, 3, 2, MailboxUpdate::Fifo);
+        let mut cost = QueryCost::new();
+        // interaction 0-1 at t=4: 1-hop of {0,1} before t=4 → {1,0,2};
+        // 2-hop adds {0,1,3}… so everyone hears about it
+        let batch = [Interaction {
+            src: 0,
+            dst: 1,
+            time: 4.0,
+            eid: 99,
+        }];
+        let mails = Tensor::from_rows(&[&[1.0, 2.0]]);
+        let n = propagator().propagate_batch(&g, &mut store, &batch, &mails, &mut cost);
+        assert!(n >= 3, "deliveries {n}");
+        assert_eq!(store.len(0), 1);
+        assert_eq!(store.len(1), 1);
+        assert_eq!(store.len(2), 1); // 2 is a 1-hop neighbour of 1
+        assert_eq!(store.mails_of(0)[0].0, &[1.0, 2.0]);
+        assert_eq!(store.mails_of(0)[0].2.eid, 99);
+        assert!(cost.queries > 0 && cost.hops > 0);
+    }
+
+    #[test]
+    fn no_self_delivery_when_disabled() {
+        let mut g = TemporalGraph::new();
+        g.insert(0, 1, 1.0); // no earlier history ⇒ no k-hop targets
+        let mut store = MailboxStore::new(2, 3, 2, MailboxUpdate::Fifo);
+        let mut cost = QueryCost::new();
+        let mut p = propagator();
+        p.deliver_to_self = false;
+        let batch = [Interaction {
+            src: 0,
+            dst: 1,
+            time: 1.0,
+            eid: 0,
+        }];
+        let mails = Tensor::from_rows(&[&[1.0, 1.0]]);
+        let n = p.propagate_batch(&g, &mut store, &batch, &mails, &mut cost);
+        assert_eq!(n, 0);
+        assert!(store.is_empty(0) && store.is_empty(1));
+    }
+
+    #[test]
+    fn multiple_mails_mean_reduced() {
+        let g = TemporalGraph::new();
+        let mut store = MailboxStore::new(3, 3, 2, MailboxUpdate::Fifo);
+        let mut cost = QueryCost::new();
+        // two interactions both touching node 1 in one batch
+        let batch = [
+            Interaction {
+                src: 0,
+                dst: 1,
+                time: 1.0,
+                eid: 0,
+            },
+            Interaction {
+                src: 2,
+                dst: 1,
+                time: 1.0,
+                eid: 1,
+            },
+        ];
+        let mails = Tensor::from_rows(&[&[2.0, 0.0], &[4.0, 2.0]]);
+        propagator().propagate_batch(&g, &mut store, &batch, &mails, &mut cost);
+        // node 1 got exactly ONE mail: the mean of the two
+        assert_eq!(store.len(1), 1);
+        assert_eq!(store.mails_of(1)[0].0, &[3.0, 1.0]);
+        // nodes 0 and 2 each got their own single mail
+        assert_eq!(store.mails_of(0)[0].0, &[2.0, 0.0]);
+        assert_eq!(store.mails_of(2)[0].0, &[4.0, 2.0]);
+    }
+
+    #[test]
+    fn last_reduce_keeps_newest() {
+        let g = TemporalGraph::new();
+        let mut store = MailboxStore::new(2, 3, 1, MailboxUpdate::Fifo);
+        let mut cost = QueryCost::new();
+        let mut p = propagator();
+        p.reduce = MailReduce::Last;
+        let batch = [
+            Interaction {
+                src: 0,
+                dst: 1,
+                time: 1.0,
+                eid: 0,
+            },
+            Interaction {
+                src: 0,
+                dst: 1,
+                time: 2.0,
+                eid: 1,
+            },
+        ];
+        let mails = Tensor::from_rows(&[&[10.0], &[20.0]]);
+        p.propagate_batch(&g, &mut store, &batch, &mails, &mut cost);
+        assert_eq!(store.mails_of(1)[0].0, &[20.0]);
+        assert_eq!(store.mails_of(1)[0].2.eid, 1);
+    }
+
+    #[test]
+    fn hop_count_controls_reach() {
+        // chain 0-1 @1, 1-2 @2, 2-3 @3; new interaction at 0 at t=10
+        let g = graph();
+        let batch = [Interaction {
+            src: 0,
+            dst: 1,
+            time: 10.0,
+            eid: 9,
+        }];
+        let mails = Tensor::from_rows(&[&[1.0, 1.0]]);
+
+        let mut p1 = propagator();
+        p1.hops = 1;
+        let mut s1 = MailboxStore::new(4, 3, 2, MailboxUpdate::Fifo);
+        let mut c = QueryCost::new();
+        p1.propagate_batch(&g, &mut s1, &batch, &mails, &mut c);
+        // 1 hop from {0,1}: reaches 0,1,2 but NOT 3
+        assert!(s1.is_empty(3));
+
+        let mut p2 = propagator();
+        p2.hops = 3;
+        let mut s3 = MailboxStore::new(4, 3, 2, MailboxUpdate::Fifo);
+        p2.propagate_batch(&g, &mut s3, &batch, &mails, &mut c);
+        // 3 hops reach node 3 via 1→2→3
+        assert_eq!(s3.len(3), 1);
+    }
+
+    #[test]
+    fn deterministic_given_same_inputs() {
+        let g = graph();
+        let batch = [
+            Interaction {
+                src: 0,
+                dst: 1,
+                time: 5.0,
+                eid: 0,
+            },
+            Interaction {
+                src: 2,
+                dst: 3,
+                time: 6.0,
+                eid: 1,
+            },
+        ];
+        let mails = Tensor::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let run = || {
+            let mut s = MailboxStore::new(4, 3, 2, MailboxUpdate::Fifo);
+            let mut c = QueryCost::new();
+            propagator().propagate_batch(&g, &mut s, &batch, &mails, &mut c);
+            (0..4u32)
+                .map(|n| s.mails_of(n).iter().map(|(p, _, _)| p.to_vec()).collect::<Vec<_>>())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

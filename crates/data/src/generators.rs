@@ -1,0 +1,618 @@
+//! Synthetic temporal-interaction generators.
+//!
+//! One configurable engine ([`generate`]) plus three presets calibrated to
+//! Table 1 of the paper: [`wikipedia`], [`reddit`] (bipartite user–item
+//! graphs with rare node-state-change labels) and [`alipay`] (a unipartite
+//! payment network with fraud-burst edge labels).
+//!
+//! ## Generative model
+//!
+//! * **Activity** — users and items get Zipf-distributed popularity, so
+//!   a few nodes dominate the stream (as in the real datasets, where "top
+//!   popular items and most active users" were selected).
+//! * **Recency** — with probability `repeat_prob` a user's next partner is
+//!   drawn from its `recency_window` most recent partners; otherwise by
+//!   popularity. This is the signal that recency-aware models (mailboxes,
+//!   memories) exploit for link prediction.
+//! * **Features** — event features are fixed random projections of the
+//!   endpoint latent vectors plus Gaussian noise, so embeddings can carry
+//!   affinity information.
+//! * **Labels** — a small set of "bad" users drift their behaviour (a
+//!   feature-space offset) for a few interactions before a positive label
+//!   fires (the ban / fraud flag), then return to normal. Label positives
+//!   are therefore rare *and* predictable from recent history — the same
+//!   shape as the paper's dynamic-label tasks.
+//! * **Bursts** — inter-arrival gaps are exponential with log-normal
+//!   multipliers (`burstiness`); fraud bursts additionally compress the
+//!   gaps of consecutive fraud transactions.
+
+use crate::dataset::{LabelKind, TemporalDataset};
+use apan_tensor::Tensor;
+use apan_tgraph::TemporalGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Full configuration of the synthetic generator.
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// Dataset name to record on the output.
+    pub name: String,
+    /// Number of user (source-side) nodes.
+    pub num_users: usize,
+    /// Number of item (destination-side) nodes; ignored when
+    /// `bipartite == false` (destinations then come from the user set).
+    pub num_items: usize,
+    /// Number of interactions to generate.
+    pub num_events: usize,
+    /// Edge feature dimensionality.
+    pub feature_dim: usize,
+    /// Total simulated time span (seconds).
+    pub timespan: f64,
+    /// Latent affinity dimensionality behind the features.
+    pub latent_dim: usize,
+    /// Probability of repeating a recent partner.
+    pub repeat_prob: f64,
+    /// How many recent partners are candidates for repeats.
+    pub recency_window: usize,
+    /// Zipf exponent for user activity.
+    pub zipf_user: f64,
+    /// Zipf exponent for item popularity.
+    pub zipf_item: f64,
+    /// Target number of positively labeled interactions.
+    pub target_positives: usize,
+    /// Node-state labels (bans) or edge labels (fraud).
+    pub label_kind: LabelKind,
+    /// Whether the graph is bipartite.
+    pub bipartite: bool,
+    /// Standard deviation of feature noise.
+    pub feature_noise: f32,
+    /// Log-normal sigma of gap multipliers (0 = pure Poisson arrivals).
+    pub burstiness: f64,
+    /// Length of a fraud burst (only for [`LabelKind::Edge`]).
+    pub fraud_burst_len: usize,
+    /// Magnitude of the behavioural drift preceding a positive label.
+    pub drift_magnitude: f32,
+    /// Misbehaving interactions before the label fires
+    /// (only for [`LabelKind::NodeState`]).
+    pub drift_run: usize,
+}
+
+impl GenConfig {
+    fn validate(&self) {
+        assert!(self.num_users > 1, "need at least 2 users");
+        assert!(!self.bipartite || self.num_items > 1, "need at least 2 items");
+        assert!(self.num_events > 0, "need at least 1 event");
+        assert!(self.feature_dim > 0 && self.latent_dim > 0);
+        assert!((0.0..=1.0).contains(&self.repeat_prob));
+        assert!(self.timespan > 0.0);
+    }
+}
+
+/// Cumulative-weight sampler for Zipf-like popularity, with ids shuffled so
+/// popularity is not correlated with id order.
+struct ZipfSampler {
+    cumulative: Vec<f64>,
+    perm: Vec<u32>,
+}
+
+impl ZipfSampler {
+    fn new(n: usize, exponent: f64, rng: &mut StdRng) -> Self {
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(exponent);
+            cumulative.push(acc);
+        }
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        // Fisher–Yates
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        Self { cumulative, perm }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> u32 {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x = rng.gen_range(0.0..total);
+        let idx = self.cumulative.partition_point(|&c| c < x);
+        self.perm[idx.min(self.perm.len() - 1)]
+    }
+}
+
+/// Per-user drift state for the dynamic-label machinery.
+#[derive(Clone, Copy, PartialEq)]
+enum DriftState {
+    /// Behaving normally; may be triggered (again — users can re-offend,
+    /// which lets the positive-label target exceed the user count and
+    /// keeps positives spread over the whole stream).
+    Normal,
+    /// Misbehaving: this many more interactions until the label fires.
+    Drifting(usize),
+}
+
+/// Runs the generator. Deterministic for a fixed config (the seed lives in
+/// the config via [`generate_seeded`]'s argument).
+pub fn generate_seeded(cfg: &GenConfig, seed: u64) -> TemporalDataset {
+    cfg.validate();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let h = cfg.latent_dim;
+    let d = cfg.feature_dim;
+    let num_users = cfg.num_users;
+    let num_items = if cfg.bipartite { cfg.num_items } else { 0 };
+    let num_nodes = num_users + num_items;
+
+    // Latent affinity vectors and fixed projections into feature space.
+    let user_lat = Tensor::randn(num_users, h, 1.0, &mut rng);
+    let dst_lat = if cfg.bipartite {
+        Tensor::randn(num_items, h, 1.0, &mut rng)
+    } else {
+        user_lat.clone()
+    };
+    let scale = 1.0 / (h as f32).sqrt();
+    let proj_u = Tensor::randn(h, d, scale, &mut rng);
+    let proj_v = Tensor::randn(h, d, scale, &mut rng);
+    // one fixed drift direction per dataset
+    let drift = {
+        let raw = Tensor::randn(1, d, 1.0, &mut rng);
+        let n = raw.norm().max(1e-6);
+        raw.scale(cfg.drift_magnitude / n)
+    };
+
+    let user_zipf = ZipfSampler::new(num_users, cfg.zipf_user, &mut rng);
+    let item_zipf = ZipfSampler::new(
+        if cfg.bipartite { num_items } else { num_users },
+        cfg.zipf_item,
+        &mut rng,
+    );
+
+    // Dynamic-label machinery: instead of pre-electing bad actors (whose
+    // Zipf-tail members may never re-appear), drift is *triggered during
+    // generation* with an adaptive rate aimed at `target_positives`.
+    let mut drift_state: Vec<DriftState> = vec![DriftState::Normal; num_users];
+    let mut positives_fired = 0usize;
+    let mut positives_in_flight = 0usize;
+    let per_trigger = match cfg.label_kind {
+        LabelKind::NodeState => 1,
+        LabelKind::Edge => cfg.fraud_burst_len.max(1),
+    };
+
+    // Inter-arrival gaps: exponential × log-normal multiplier, then
+    // normalized so the last event lands exactly at `timespan`.
+    let mut gaps = Vec::with_capacity(cfg.num_events);
+    let mut fraud_queue: VecDeque<u32> = VecDeque::new();
+    let mut total_gap = 0.0f64;
+    for _ in 0..cfg.num_events {
+        let e: f64 = -(1.0 - rng.gen::<f64>()).ln();
+        let mult = if cfg.burstiness > 0.0 {
+            let z: f64 = {
+                // Box–Muller
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen::<f64>();
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+            };
+            (cfg.burstiness * z).exp()
+        } else {
+            1.0
+        };
+        let gap = e * mult;
+        total_gap += gap;
+        gaps.push(gap);
+    }
+    let time_scale = cfg.timespan / total_gap;
+
+    let mut graph = TemporalGraph::with_capacity(num_nodes, cfg.num_events);
+    let mut features = vec![0.0f32; cfg.num_events * d];
+    let mut labels: Vec<Option<bool>> = Vec::with_capacity(cfg.num_events);
+    let mut recent: Vec<VecDeque<u32>> = (0..num_users).map(|_| VecDeque::new()).collect();
+
+    let mut t = 0.0f64;
+    for (k, gap) in gaps.iter().enumerate() {
+        // fraud bursts compress time: 1% of the normal gap
+        let burst_active = !fraud_queue.is_empty();
+        t += gap * time_scale * if burst_active { 0.01 } else { 1.0 };
+
+        // --- choose endpoints -----------------------------------------
+        let (src, in_fraud_burst) = if let Some(u) = fraud_queue.pop_front() {
+            (u, true)
+        } else {
+            (user_zipf.sample(&mut rng), false)
+        };
+        let src_idx = src as usize;
+
+        // `dst` is the global node id; `dst_side_idx` indexes `dst_lat`.
+        let (dst, dst_side_idx): (u32, usize) = if !in_fraud_burst
+            && rng.gen::<f64>() < cfg.repeat_prob
+            && !recent[src_idx].is_empty()
+        {
+            let w = &recent[src_idx];
+            let partner = w[rng.gen_range(0..w.len())]; // already global
+            let side = if cfg.bipartite {
+                partner as usize - num_users
+            } else {
+                partner as usize
+            };
+            (partner, side)
+        } else {
+            let mut cand = item_zipf.sample(&mut rng);
+            if !cfg.bipartite {
+                // avoid self loops in the payment network
+                let mut guard = 0;
+                while cand == src && guard < 8 {
+                    cand = item_zipf.sample(&mut rng);
+                    guard += 1;
+                }
+                if cand == src {
+                    cand = (src + 1) % num_users as u32;
+                }
+            }
+            if cfg.bipartite {
+                (num_users as u32 + cand, cand as usize)
+            } else {
+                (cand, cand as usize)
+            }
+        };
+
+        // --- label / drift state machine ------------------------------
+        // Adaptive trigger: aim the expected number of remaining triggers
+        // at the remaining target, with headroom for drift runs that never
+        // complete (the user may not interact again).
+        let mut label = Some(false);
+        let mut drifted_now = in_fraud_burst;
+        if !in_fraud_burst {
+            match drift_state[src_idx] {
+                DriftState::Drifting(left) => {
+                    drifted_now = true;
+                    if left <= 1 {
+                        label = Some(true);
+                        positives_fired += 1;
+                        positives_in_flight = positives_in_flight.saturating_sub(1);
+                        drift_state[src_idx] = DriftState::Normal;
+                    } else {
+                        drift_state[src_idx] = DriftState::Drifting(left - 1);
+                    }
+                }
+                DriftState::Normal => {
+                    let fired_or_pending = positives_fired + positives_in_flight;
+                    // Only users with prior history can start misbehaving:
+                    // they are the ones likely to reappear and complete the
+                    // drift run, which keeps positives spread over the whole
+                    // stream instead of being eaten by never-returning
+                    // Zipf-tail users.
+                    let active = !recent[src_idx].is_empty() || cfg.drift_run <= 1;
+                    if active && fired_or_pending < cfg.target_positives {
+                        let remaining_events = (cfg.num_events - k).max(1) as f64;
+                        let needed =
+                            (cfg.target_positives - fired_or_pending) as f64 / per_trigger as f64;
+                        let p_trigger = (needed * 1.1 / remaining_events).min(0.5);
+                        if rng.gen::<f64>() < p_trigger {
+                            drifted_now = true;
+                            match cfg.label_kind {
+                                LabelKind::NodeState => {
+                                    if cfg.drift_run <= 1 {
+                                        label = Some(true);
+                                        positives_fired += 1;
+                                    } else {
+                                        positives_in_flight += 1;
+                                        drift_state[src_idx] =
+                                            DriftState::Drifting(cfg.drift_run - 1);
+                                    }
+                                }
+                                LabelKind::Edge => {
+                                    // fraud burst: this event plus the next
+                                    // burst_len-1 events of this user
+                                    label = Some(true);
+                                    positives_fired += 1;
+                                    for _ in 1..cfg.fraud_burst_len {
+                                        fraud_queue.push_back(src);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if in_fraud_burst {
+            label = Some(true);
+            positives_fired += 1;
+        }
+
+        // --- features --------------------------------------------------
+        let u_l = user_lat.row_slice(src_idx);
+        let v_l = dst_lat.row_slice(dst_side_idx % dst_lat.rows());
+        let out = &mut features[k * d..(k + 1) * d];
+        #[allow(clippy::needless_range_loop)] // indexes three parallel arrays
+        for j in 0..d {
+            let mut acc = 0.0f32;
+            for (hi, (&ul, &vl)) in u_l.iter().zip(v_l).enumerate() {
+                acc += ul * proj_u.get(hi, j) + vl * proj_v.get(hi, j);
+            }
+            // cheap Gaussian-ish noise: sum of 2 uniforms, centred
+            let noise: f32 = (rng.gen::<f32>() + rng.gen::<f32>() - 1.0) * cfg.feature_noise;
+            out[j] = acc + noise;
+            if drifted_now {
+                out[j] += drift.data()[j];
+            }
+        }
+
+        // --- record ----------------------------------------------------
+        graph.insert(src, dst, t);
+        labels.push(label);
+        let w = &mut recent[src_idx];
+        w.push_back(dst);
+        if w.len() > cfg.recency_window {
+            w.pop_front();
+        }
+    }
+    graph.ensure_node(num_nodes.saturating_sub(1) as u32);
+
+    let ds = TemporalDataset {
+        name: cfg.name.clone(),
+        graph,
+        edge_features: Tensor::from_vec(cfg.num_events, d, features),
+        labels,
+        num_users,
+        bipartite: cfg.bipartite,
+        label_kind: cfg.label_kind,
+    };
+    debug_assert!(ds.validate().is_ok());
+    ds
+}
+
+/// [`generate_seeded`] with seed 0.
+pub fn generate(cfg: &GenConfig) -> TemporalDataset {
+    generate_seeded(cfg, 0)
+}
+
+fn scaled(n: usize, scale: f64, min: usize) -> usize {
+    ((n as f64 * scale).round() as usize).max(min)
+}
+
+/// Wikipedia-analogue config (Table 1 column 1): bipartite user–page edit
+/// graph, 172-d features, 30-day span, posting-ban node labels. At
+/// `scale = 1.0`: ~9.2k nodes / ~157k edges / 217 positive labels.
+pub fn wikipedia(scale: f64, seed: u64) -> TemporalDataset {
+    let cfg = GenConfig {
+        name: format!("wikipedia-synthetic(x{scale})"),
+        num_users: scaled(8227, scale, 40),
+        num_items: scaled(1000, scale, 15),
+        num_events: scaled(157_474, scale, 400),
+        feature_dim: 172,
+        timespan: 30.0 * 86_400.0,
+        latent_dim: 8,
+        repeat_prob: 0.55,
+        recency_window: 5,
+        zipf_user: 0.9,
+        zipf_item: 1.1,
+        target_positives: scaled(217, scale, 8),
+        label_kind: LabelKind::NodeState,
+        bipartite: true,
+        feature_noise: 0.6,
+        burstiness: 0.5,
+        fraud_burst_len: 0,
+        drift_magnitude: 2.0,
+        drift_run: 4,
+    };
+    generate_seeded(&cfg, seed)
+}
+
+/// Reddit-analogue config (Table 1 column 2): bipartite user–subreddit
+/// posting graph with heavier repeat behaviour, 172-d features, 30-day
+/// span, editing-ban node labels. At `scale = 1.0`: ~11k nodes / ~672k
+/// edges / 366 positive labels.
+pub fn reddit(scale: f64, seed: u64) -> TemporalDataset {
+    let cfg = GenConfig {
+        name: format!("reddit-synthetic(x{scale})"),
+        num_users: scaled(10_000, scale, 40),
+        num_items: scaled(984, scale, 15),
+        num_events: scaled(672_447, scale, 400),
+        feature_dim: 172,
+        timespan: 30.0 * 86_400.0,
+        latent_dim: 8,
+        repeat_prob: 0.7,
+        recency_window: 8,
+        zipf_user: 1.0,
+        zipf_item: 1.2,
+        target_positives: scaled(366, scale, 8),
+        label_kind: LabelKind::NodeState,
+        bipartite: true,
+        feature_noise: 0.6,
+        burstiness: 0.6,
+        fraud_burst_len: 0,
+        drift_magnitude: 2.0,
+        drift_run: 4,
+    };
+    generate_seeded(&cfg, seed)
+}
+
+/// Alipay-analogue config (Table 1 column 3): unipartite account-to-account
+/// payment network, 101-d features, 14-day span, fraud-burst edge labels.
+/// At `scale = 1.0`: ~762k nodes / ~2.78M edges / ~11.6k fraud edges.
+pub fn alipay(scale: f64, seed: u64) -> TemporalDataset {
+    let cfg = GenConfig {
+        name: format!("alipay-synthetic(x{scale})"),
+        num_users: scaled(761_750, scale, 60),
+        num_items: 0,
+        num_events: scaled(2_776_009, scale, 500),
+        feature_dim: 101,
+        timespan: 14.0 * 86_400.0,
+        latent_dim: 8,
+        repeat_prob: 0.35,
+        recency_window: 4,
+        zipf_user: 0.8,
+        zipf_item: 0.8,
+        target_positives: scaled(11_632, scale, 20),
+        label_kind: LabelKind::Edge,
+        bipartite: false,
+        feature_noise: 0.6,
+        burstiness: 0.8,
+        fraud_burst_len: 5,
+        drift_magnitude: 2.5,
+        drift_run: 1,
+    };
+    generate_seeded(&cfg, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wikipedia_small_scale_valid() {
+        let d = wikipedia(0.01, 0);
+        d.validate().unwrap();
+        assert_eq!(d.feature_dim(), 172);
+        assert!(d.bipartite);
+        assert!(d.num_events() >= 1500, "events {}", d.num_events());
+        assert!(d.num_positive() > 0);
+    }
+
+    #[test]
+    fn reddit_small_scale_valid() {
+        let d = reddit(0.005, 1);
+        d.validate().unwrap();
+        assert_eq!(d.label_kind, LabelKind::NodeState);
+    }
+
+    #[test]
+    fn alipay_small_scale_valid() {
+        let d = alipay(0.002, 2);
+        d.validate().unwrap();
+        assert!(!d.bipartite);
+        assert_eq!(d.feature_dim(), 101);
+        assert_eq!(d.label_kind, LabelKind::Edge);
+        assert!(d.num_positive() > 0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = wikipedia(0.005, 7);
+        let b = wikipedia(0.005, 7);
+        assert_eq!(a.num_events(), b.num_events());
+        assert_eq!(a.graph.events(), b.graph.events());
+        assert!(a.edge_features.allclose(&b.edge_features, 0.0));
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = wikipedia(0.005, 1);
+        let b = wikipedia(0.005, 2);
+        assert!(!a.edge_features.allclose(&b.edge_features, 1e-6));
+    }
+
+    #[test]
+    fn positive_labels_near_target() {
+        let d = wikipedia(0.05, 0);
+        let target = (217.0f64 * 0.05).round() as usize;
+        let got = d.num_positive();
+        // bad actors with too little activity may never fire; allow slack
+        assert!(
+            got >= target / 3 && got <= target * 2,
+            "positives {got}, target {target}"
+        );
+    }
+
+    #[test]
+    fn fraud_bursts_are_positive_runs() {
+        let d = alipay(0.003, 0);
+        // every positive fraud edge belongs to a burst of ≥2 within the
+        // stream for its user — check at least one run of consecutive
+        // positives from the same src exists
+        let events = d.graph.events();
+        let mut found_run = false;
+        for w in events.windows(2) {
+            let l0 = d.labels[w[0].eid as usize] == Some(true);
+            let l1 = d.labels[w[1].eid as usize] == Some(true);
+            if l0 && l1 && w[0].src == w[1].src {
+                found_run = true;
+                break;
+            }
+        }
+        assert!(found_run, "expected at least one fraud burst run");
+    }
+
+    #[test]
+    fn drift_separates_positive_features() {
+        // features of positive-labelled events should be offset along the
+        // drift direction ⇒ mean feature norm difference is detectable
+        let d = wikipedia(0.02, 3);
+        let (mut pos_mean, mut neg_mean) = (vec![0.0f64; 172], vec![0.0f64; 172]);
+        let (mut np, mut nn) = (0usize, 0usize);
+        for (eid, l) in d.labels.iter().enumerate() {
+            let row = d.edge_features.row_slice(eid);
+            match l {
+                Some(true) => {
+                    for (a, &b) in pos_mean.iter_mut().zip(row) {
+                        *a += b as f64;
+                    }
+                    np += 1;
+                }
+                _ => {
+                    for (a, &b) in neg_mean.iter_mut().zip(row) {
+                        *a += b as f64;
+                    }
+                    nn += 1;
+                }
+            }
+        }
+        assert!(np > 0 && nn > 0);
+        let diff: f64 = pos_mean
+            .iter()
+            .zip(&neg_mean)
+            .map(|(p, n)| (p / np as f64 - n / nn as f64).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        assert!(diff > 0.5, "drift signal too weak: {diff}");
+    }
+
+    #[test]
+    fn zipf_sampler_skews() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let z = ZipfSampler::new(100, 1.2, &mut rng);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let mut sorted = counts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        // top node much more popular than median node
+        assert!(sorted[0] > sorted[50] * 5);
+        // everything reachable-ish
+        assert!(counts.iter().filter(|&&c| c > 0).count() > 60);
+    }
+
+    #[test]
+    fn times_span_the_configured_range() {
+        let d = wikipedia(0.01, 0);
+        let events = d.graph.events();
+        let last = events.last().unwrap().time;
+        assert!((last - 30.0 * 86_400.0).abs() < 1.0, "last time {last}");
+    }
+
+    #[test]
+    fn repeat_behaviour_present() {
+        // with repeat_prob 0.55, many consecutive user interactions repeat
+        // a recent partner
+        let d = wikipedia(0.02, 0);
+        let events = d.graph.events();
+        let mut repeats = 0usize;
+        let mut total = 0usize;
+        use std::collections::HashMap;
+        let mut last_partners: HashMap<u32, Vec<u32>> = HashMap::new();
+        for e in events {
+            let hist = last_partners.entry(e.src).or_default();
+            if !hist.is_empty() {
+                total += 1;
+                if hist.iter().rev().take(5).any(|&p| p == e.dst) {
+                    repeats += 1;
+                }
+            }
+            hist.push(e.dst);
+        }
+        let rate = repeats as f64 / total.max(1) as f64;
+        assert!(rate > 0.4, "repeat rate {rate}");
+    }
+}

@@ -1,0 +1,139 @@
+//! Time-varying negative sampling for link prediction (Eq. 7, §4.2).
+//!
+//! The paper stresses that "the negative sample pool of dynamic graphs is
+//! also constantly changing": nodes that have never interacted cannot be
+//! sampled. This sampler therefore maintains the pool of *destinations
+//! seen so far* and draws negatives from it, advancing with the stream.
+
+use apan_tgraph::NodeId;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Draws negative destinations from the set of destination nodes observed
+/// up to the current point of the stream.
+#[derive(Clone, Debug, Default)]
+pub struct NegativeSampler {
+    pool: Vec<NodeId>,
+    seen: HashSet<NodeId>,
+}
+
+impl NegativeSampler {
+    /// An empty sampler (pool grows via [`NegativeSampler::observe`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a destination node as "has interacted".
+    pub fn observe(&mut self, dst: NodeId) {
+        if self.seen.insert(dst) {
+            self.pool.push(dst);
+        }
+    }
+
+    /// Registers every destination of an event batch.
+    pub fn observe_batch(&mut self, dsts: &[NodeId]) {
+        for &d in dsts {
+            self.observe(d);
+        }
+    }
+
+    /// Current pool size.
+    pub fn pool_size(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Samples a negative destination, avoiding `exclude` (the true
+    /// destination) when the pool allows it. Returns `None` when the pool
+    /// is empty.
+    pub fn sample(&self, exclude: NodeId, rng: &mut StdRng) -> Option<NodeId> {
+        if self.pool.is_empty() {
+            return None;
+        }
+        if self.pool.len() == 1 {
+            return Some(self.pool[0]);
+        }
+        for _ in 0..16 {
+            let cand = self.pool[rng.gen_range(0..self.pool.len())];
+            if cand != exclude {
+                return Some(cand);
+            }
+        }
+        // extremely unlikely fallback
+        Some(self.pool[0])
+    }
+
+    /// Samples one negative per positive destination (for a batch).
+    /// Positions whose pool was empty fall back to the positive itself
+    /// (callers typically skip the first few events of a stream anyway).
+    pub fn sample_batch(&self, positives: &[NodeId], rng: &mut StdRng) -> Vec<NodeId> {
+        positives
+            .iter()
+            .map(|&p| self.sample(p, rng).unwrap_or(p))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empty_pool_returns_none() {
+        let s = NegativeSampler::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(s.sample(3, &mut rng).is_none());
+    }
+
+    #[test]
+    fn only_samples_observed_nodes() {
+        let mut s = NegativeSampler::new();
+        s.observe_batch(&[10, 20, 30]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let n = s.sample(0, &mut rng).unwrap();
+            assert!([10, 20, 30].contains(&n));
+        }
+    }
+
+    #[test]
+    fn avoids_the_positive() {
+        let mut s = NegativeSampler::new();
+        s.observe_batch(&[1, 2]);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            assert_eq!(s.sample(1, &mut rng), Some(2));
+        }
+    }
+
+    #[test]
+    fn observe_deduplicates() {
+        let mut s = NegativeSampler::new();
+        for _ in 0..10 {
+            s.observe(5);
+        }
+        assert_eq!(s.pool_size(), 1);
+    }
+
+    #[test]
+    fn pool_grows_with_stream() {
+        let mut s = NegativeSampler::new();
+        s.observe(1);
+        assert_eq!(s.pool_size(), 1);
+        s.observe_batch(&[2, 3, 4]);
+        assert_eq!(s.pool_size(), 4);
+    }
+
+    #[test]
+    fn batch_sampling_shape() {
+        let mut s = NegativeSampler::new();
+        s.observe_batch(&[1, 2, 3, 4, 5]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let negs = s.sample_batch(&[1, 2, 3], &mut rng);
+        assert_eq!(negs.len(), 3);
+        for (p, n) in [1, 2, 3].iter().zip(&negs) {
+            assert_ne!(p, n);
+        }
+    }
+}

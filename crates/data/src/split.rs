@@ -1,0 +1,174 @@
+//! Chronological train/validation/test splitting.
+//!
+//! The paper splits Wikipedia/Reddit 70%–15%–15% by interaction timestamp
+//! and Alipay 10d–2d–2d (§4.1). Because the event log is time-ordered,
+//! a timestamp split is a pair of cut indices; this module also computes
+//! the "old vs unseen node" partition Table 1 reports, which drives the
+//! inductive evaluation.
+
+use crate::dataset::TemporalDataset;
+use apan_tgraph::NodeId;
+use std::collections::HashSet;
+use std::ops::Range;
+
+/// Split fractions by time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SplitFractions {
+    /// Fraction of the time span used for training.
+    pub train: f64,
+    /// Fraction used for validation.
+    pub val: f64,
+}
+
+impl SplitFractions {
+    /// The paper's default: 70% / 15% / 15%.
+    pub fn paper_default() -> Self {
+        Self {
+            train: 0.70,
+            val: 0.15,
+        }
+    }
+
+    /// Alipay's 10d / 2d / 2d expressed as fractions of the 14-day span.
+    pub fn alipay() -> Self {
+        Self {
+            train: 10.0 / 14.0,
+            val: 2.0 / 14.0,
+        }
+    }
+}
+
+/// Event-index ranges of a chronological split plus node visibility sets.
+#[derive(Clone, Debug)]
+pub struct ChronoSplit {
+    /// Training events.
+    pub train: Range<usize>,
+    /// Validation events.
+    pub val: Range<usize>,
+    /// Test events.
+    pub test: Range<usize>,
+    /// Nodes that interact during training.
+    pub train_nodes: HashSet<NodeId>,
+    /// Val/test nodes already seen in training ("old nodes", Table 1).
+    pub old_nodes: HashSet<NodeId>,
+    /// Val/test nodes never seen in training ("unseen nodes", Table 1) —
+    /// the inductive subset.
+    pub unseen_nodes: HashSet<NodeId>,
+}
+
+impl ChronoSplit {
+    /// Splits `ds` at `fractions` of its total time span.
+    pub fn new(ds: &TemporalDataset, fractions: SplitFractions) -> Self {
+        let events = ds.graph.events();
+        let n = events.len();
+        assert!(n > 0, "cannot split an empty dataset");
+        let t0 = events[0].time;
+        let t_end = events[n - 1].time;
+        let span = (t_end - t0).max(f64::MIN_POSITIVE);
+        let t_train = t0 + span * fractions.train;
+        let t_val = t0 + span * (fractions.train + fractions.val);
+
+        let train_end = events.partition_point(|e| e.time <= t_train);
+        let val_end = events.partition_point(|e| e.time <= t_val);
+
+        let mut train_nodes = HashSet::new();
+        for e in &events[..train_end] {
+            train_nodes.insert(e.src);
+            train_nodes.insert(e.dst);
+        }
+        let mut old_nodes = HashSet::new();
+        let mut unseen_nodes = HashSet::new();
+        for e in &events[train_end..] {
+            for node in [e.src, e.dst] {
+                if train_nodes.contains(&node) {
+                    old_nodes.insert(node);
+                } else {
+                    unseen_nodes.insert(node);
+                }
+            }
+        }
+
+        Self {
+            train: 0..train_end,
+            val: train_end..val_end,
+            test: val_end..n,
+            train_nodes,
+            old_nodes,
+            unseen_nodes,
+        }
+    }
+
+    /// Whether every endpoint of val/test event `eid`'s interaction was
+    /// seen during training (transductive) — used to report "old nodes
+    /// only" vs inductive metrics separately.
+    pub fn is_transductive_event(&self, src: NodeId, dst: NodeId) -> bool {
+        self.train_nodes.contains(&src) && self.train_nodes.contains(&dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::wikipedia;
+
+    #[test]
+    fn ranges_partition_the_log() {
+        let ds = wikipedia(0.01, 0);
+        let s = ChronoSplit::new(&ds, SplitFractions::paper_default());
+        assert_eq!(s.train.start, 0);
+        assert_eq!(s.train.end, s.val.start);
+        assert_eq!(s.val.end, s.test.start);
+        assert_eq!(s.test.end, ds.num_events());
+        assert!(!s.train.is_empty());
+        assert!(!s.val.is_empty());
+        assert!(!s.test.is_empty());
+    }
+
+    #[test]
+    fn split_respects_time_order() {
+        let ds = wikipedia(0.01, 1);
+        let s = ChronoSplit::new(&ds, SplitFractions::paper_default());
+        let events = ds.graph.events();
+        let last_train = events[s.train.end - 1].time;
+        let first_val = events[s.val.start].time;
+        assert!(last_train <= first_val);
+    }
+
+    #[test]
+    fn fractions_roughly_hold() {
+        let ds = wikipedia(0.02, 2);
+        let s = ChronoSplit::new(&ds, SplitFractions::paper_default());
+        let frac = s.train.len() as f64 / ds.num_events() as f64;
+        // arrivals are bursty, allow slack
+        assert!((frac - 0.70).abs() < 0.1, "train fraction {frac}");
+    }
+
+    #[test]
+    fn old_and_unseen_disjoint() {
+        let ds = wikipedia(0.02, 3);
+        let s = ChronoSplit::new(&ds, SplitFractions::paper_default());
+        assert!(s.old_nodes.is_disjoint(&s.unseen_nodes));
+        assert!(s.old_nodes.iter().all(|n| s.train_nodes.contains(n)));
+        assert!(s.unseen_nodes.iter().all(|n| !s.train_nodes.contains(n)));
+        // wikipedia-like data has a real inductive population
+        assert!(!s.unseen_nodes.is_empty());
+    }
+
+    #[test]
+    fn transductive_flag() {
+        let ds = wikipedia(0.01, 4);
+        let s = ChronoSplit::new(&ds, SplitFractions::paper_default());
+        let any_train = *s.train_nodes.iter().next().unwrap();
+        if let Some(unseen) = s.unseen_nodes.iter().next() {
+            assert!(!s.is_transductive_event(any_train, *unseen));
+        }
+        assert!(s.is_transductive_event(any_train, any_train));
+    }
+
+    #[test]
+    fn alipay_fractions() {
+        let f = SplitFractions::alipay();
+        assert!((f.train - 10.0 / 14.0).abs() < 1e-12);
+        assert!((f.val - 2.0 / 14.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,195 @@
+//! Binary classification metrics: accuracy, average precision, ROC AUC.
+
+/// Classification accuracy at a 0.5 threshold over probability scores (or
+/// at 0 over logits if `threshold` is 0).
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn accuracy_at(scores: &[f32], labels: &[bool], threshold: f32) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "length mismatch");
+    if scores.is_empty() {
+        return 0.0;
+    }
+    let correct = scores
+        .iter()
+        .zip(labels)
+        .filter(|(&s, &l)| (s > threshold) == l)
+        .count();
+    correct as f64 / scores.len() as f64
+}
+
+/// Accuracy with the conventional probability threshold of `0.5`.
+pub fn accuracy(scores: &[f32], labels: &[bool]) -> f64 {
+    accuracy_at(scores, labels, 0.5)
+}
+
+/// Sorts indices by descending score with a deterministic tie-break.
+fn ranked_indices(scores: &[f32]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx
+}
+
+/// Average precision (area under the precision–recall curve, computed as
+/// the mean of precision at each positive hit in the descending-score
+/// ranking). Matches `sklearn.metrics.average_precision_score` up to tie
+/// handling.
+///
+/// Returns 0 when there are no positive labels.
+pub fn average_precision(scores: &[f32], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "length mismatch");
+    let total_pos = labels.iter().filter(|&&l| l).count();
+    if total_pos == 0 {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let mut sum_precision = 0.0f64;
+    for (rank, &i) in ranked_indices(scores).iter().enumerate() {
+        if labels[i] {
+            hits += 1;
+            sum_precision += hits as f64 / (rank + 1) as f64;
+        }
+    }
+    sum_precision / total_pos as f64
+}
+
+/// Area under the ROC curve via the Mann–Whitney U statistic, with proper
+/// handling of tied scores (ties contribute ½).
+///
+/// Returns 0.5 when either class is absent (the uninformative value).
+pub fn roc_auc(scores: &[f32], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "length mismatch");
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    // rank-sum with average ranks for ties
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        // average rank for the tie group [i, j], ranks are 1-based
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            if labels[k] {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        let scores = [0.9, 0.1, 0.8, 0.3];
+        let labels = [true, false, false, true];
+        assert!((accuracy(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_empty() {
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn ap_perfect_ranking() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        assert!((average_precision(&scores, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_worst_ranking() {
+        // positives ranked last: precision at hits = 1/3, 2/4 → AP = (1/3 + 1/2)/2
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [false, false, true, true];
+        let expected = (1.0 / 3.0 + 2.0 / 4.0) / 2.0;
+        assert!((average_precision(&scores, &labels) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_hand_computed_mixed() {
+        // ranking: pos, neg, pos → precision at hits: 1/1, 2/3
+        let scores = [0.9, 0.5, 0.4];
+        let labels = [true, false, true];
+        let expected = (1.0 + 2.0 / 3.0) / 2.0;
+        assert!((average_precision(&scores, &labels) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_no_positives() {
+        assert_eq!(average_precision(&[0.5, 0.4], &[false, false]), 0.0);
+    }
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        assert!((roc_auc(&scores, &labels) - 1.0).abs() < 1e-12);
+        let inverted = [false, false, true, true];
+        assert!((roc_auc(&scores, &inverted) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_random_is_half() {
+        let scores = [0.6, 0.6, 0.6, 0.6];
+        let labels = [true, false, true, false];
+        assert!((roc_auc(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_hand_computed() {
+        // pairs: (pos 0.8 vs neg 0.3)=1, (pos 0.8 vs neg 0.9)=0,
+        //        (pos 0.5 vs neg 0.3)=1, (pos 0.5 vs neg 0.9)=0 → 0.5
+        let scores = [0.8, 0.5, 0.3, 0.9];
+        let labels = [true, true, false, false];
+        assert!((roc_auc(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_degenerate_single_class() {
+        assert_eq!(roc_auc(&[0.5, 0.2], &[true, true]), 0.5);
+        assert_eq!(roc_auc(&[0.5, 0.2], &[false, false]), 0.5);
+    }
+
+    #[test]
+    fn auc_ties_counted_half() {
+        // one pos and one neg with identical scores → AUC 0.5
+        let scores = [0.7, 0.7];
+        let labels = [true, false];
+        assert!((roc_auc(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_invariant_to_monotone_rescale() {
+        let scores = [0.9f32, 0.4, 0.7, 0.1, 0.5];
+        let labels = [true, false, true, false, false];
+        let scaled: Vec<f32> = scores.iter().map(|s| s * 10.0 + 3.0).collect();
+        assert!((roc_auc(&scores, &labels) - roc_auc(&scaled, &labels)).abs() < 1e-12);
+        assert!(
+            (average_precision(&scores, &labels) - average_precision(&scaled, &labels)).abs()
+                < 1e-12
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Latency sample collection and percentile reporting.
+
+use std::time::Duration;
+
+/// Collects latency samples (e.g. one per inference batch) and reports
+/// mean / percentiles, as needed for the Figure 6 reproduction.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyRecorder {
+    samples_ns: Vec<u64>,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, d: Duration) {
+        self.samples_ns.push(d.as_nanos() as u64);
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples_ns.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_ns.is_empty()
+    }
+
+    /// Mean latency (zero if empty).
+    pub fn mean(&self) -> Duration {
+        if self.samples_ns.is_empty() {
+            return Duration::ZERO;
+        }
+        let sum: u128 = self.samples_ns.iter().map(|&n| n as u128).sum();
+        Duration::from_nanos((sum / self.samples_ns.len() as u128) as u64)
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by nearest-rank; zero if empty.
+    pub fn quantile(&self, q: f64) -> Duration {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.samples_ns.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_unstable();
+        let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+        Duration::from_nanos(sorted[rank])
+    }
+
+    /// Median latency.
+    pub fn p50(&self) -> Duration {
+        self.quantile(0.5)
+    }
+
+    /// 95th-percentile latency.
+    pub fn p95(&self) -> Duration {
+        self.quantile(0.95)
+    }
+
+    /// Mean latency in fractional milliseconds (the unit of Figure 6).
+    pub fn mean_ms(&self) -> f64 {
+        self.mean().as_secs_f64() * 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_quantiles() {
+        let mut r = LatencyRecorder::new();
+        for ms in [1u64, 2, 3, 4, 100] {
+            r.record(Duration::from_millis(ms));
+        }
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.mean(), Duration::from_millis(22));
+        assert_eq!(r.p50(), Duration::from_millis(3));
+        assert_eq!(r.p95(), Duration::from_millis(100));
+        assert!((r.mean_ms() - 22.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_recorder_is_zero() {
+        let r = LatencyRecorder::new();
+        assert!(r.is_empty());
+        assert_eq!(r.mean(), Duration::ZERO);
+        assert_eq!(r.p50(), Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn quantile_range_checked() {
+        let mut r = LatencyRecorder::new();
+        r.record(Duration::from_millis(1));
+        let _ = r.quantile(1.5);
+    }
+}

@@ -1,0 +1,19 @@
+//! # apan-metrics
+//!
+//! Evaluation metrics and latency statistics for the APAN reproduction.
+//!
+//! The paper reports: accuracy and average precision (AP) for link
+//! prediction (Table 2, §4.2), ROC AUC for the label-skewed node/edge
+//! classification tasks (Table 3), and per-batch inference latency
+//! (Figure 6). This crate implements all of them plus the summary
+//! statistics (mean / stddev over seeds) used in every table.
+
+pub mod classification;
+pub mod latency;
+pub mod summary;
+pub mod threshold;
+
+pub use classification::{accuracy, average_precision, roc_auc};
+pub use latency::LatencyRecorder;
+pub use summary::MeanStd;
+pub use threshold::{precision_at_k, Confusion};

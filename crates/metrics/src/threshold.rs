@@ -1,0 +1,145 @@
+//! Thresholded binary-classification metrics: confusion matrix,
+//! precision/recall/F1, and the precision@k used to size fraud-review
+//! queues.
+
+/// Counts of a binary confusion matrix.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// Positives scored above the threshold.
+    pub tp: usize,
+    /// Negatives scored above the threshold.
+    pub fp: usize,
+    /// Negatives scored at or below the threshold.
+    pub tn: usize,
+    /// Positives scored at or below the threshold.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Builds the confusion matrix of `scores` vs `labels` at `threshold`
+    /// (score > threshold ⇒ predicted positive).
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length.
+    pub fn at_threshold(scores: &[f32], labels: &[bool], threshold: f32) -> Self {
+        assert_eq!(scores.len(), labels.len(), "length mismatch");
+        let mut c = Confusion::default();
+        for (&s, &l) in scores.iter().zip(labels) {
+            match (s > threshold, l) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// `tp / (tp + fp)`; 0 when nothing was predicted positive.
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// `tp / (tp + fn)`; 0 when there are no positives.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall; 0 when either is 0.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Total number of scored examples.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+}
+
+/// Precision among the `k` highest-scored examples — "if the fraud team
+/// can review k transactions, how many are actual fraud?". Deterministic
+/// tie-break by index. Returns 0 for `k == 0`.
+pub fn precision_at_k(scores: &[f32], labels: &[bool], k: usize) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "length mismatch");
+    if k == 0 || scores.is_empty() {
+        return 0.0;
+    }
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let k = k.min(idx.len());
+    let hits = idx[..k].iter().filter(|&&i| labels[i]).count();
+    hits as f64 / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_counts() {
+        let scores = [0.9, 0.8, 0.3, 0.1];
+        let labels = [true, false, true, false];
+        let c = Confusion::at_threshold(&scores, &labels, 0.5);
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 1,
+                fp: 1,
+                tn: 1,
+                fn_: 1
+            }
+        );
+        assert!((c.precision() - 0.5).abs() < 1e-12);
+        assert!((c.recall() - 0.5).abs() < 1e-12);
+        assert!((c.f1() - 0.5).abs() < 1e-12);
+        assert_eq!(c.total(), 4);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let c = Confusion::at_threshold(&[0.1, 0.2], &[false, false], 0.5);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    fn perfect_classifier() {
+        let scores = [0.9, 0.8, 0.1, 0.2];
+        let labels = [true, true, false, false];
+        let c = Confusion::at_threshold(&scores, &labels, 0.5);
+        assert_eq!(c.f1(), 1.0);
+    }
+
+    #[test]
+    fn precision_at_k_ranks() {
+        let scores = [0.9, 0.7, 0.6, 0.2];
+        let labels = [true, false, true, true];
+        assert!((precision_at_k(&scores, &labels, 1) - 1.0).abs() < 1e-12);
+        assert!((precision_at_k(&scores, &labels, 2) - 0.5).abs() < 1e-12);
+        assert!((precision_at_k(&scores, &labels, 3) - 2.0 / 3.0).abs() < 1e-12);
+        // k beyond len clamps
+        assert!((precision_at_k(&scores, &labels, 10) - 0.75).abs() < 1e-12);
+        assert_eq!(precision_at_k(&scores, &labels, 0), 0.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests for the evaluation metrics.
+
+use apan_metrics::{accuracy, average_precision, roc_auc};
+use proptest::prelude::*;
+
+fn scored_labels() -> impl Strategy<Value = (Vec<f32>, Vec<bool>)> {
+    proptest::collection::vec((0.0f32..1.0, any::<bool>()), 2..60)
+        .prop_map(|v| v.into_iter().unzip())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn metrics_are_in_unit_interval((scores, labels) in scored_labels()) {
+        let ap = average_precision(&scores, &labels);
+        let auc = roc_auc(&scores, &labels);
+        let acc = accuracy(&scores, &labels);
+        prop_assert!((0.0..=1.0).contains(&ap));
+        prop_assert!((0.0..=1.0).contains(&auc));
+        prop_assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn auc_invariant_to_monotone_transform((scores, labels) in scored_labels()) {
+        let transformed: Vec<f32> = scores.iter().map(|s| s * 7.0 + 2.0).collect();
+        let a = roc_auc(&scores, &labels);
+        let b = roc_auc(&transformed, &labels);
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ap_invariant_to_monotone_transform((scores, labels) in scored_labels()) {
+        let transformed: Vec<f32> = scores.iter().map(|s| s * 3.0 + 1.0).collect();
+        let a = average_precision(&scores, &labels);
+        let b = average_precision(&transformed, &labels);
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auc_flips_under_label_inversion((scores, labels) in scored_labels()) {
+        let n_pos = labels.iter().filter(|&&l| l).count();
+        prop_assume!(n_pos > 0 && n_pos < labels.len());
+        // distinct scores so ties don't interfere with the exact identity
+        let distinct: Vec<f32> = scores.iter().enumerate()
+            .map(|(i, s)| s + i as f32 * 10.0).collect();
+        let inverted: Vec<bool> = labels.iter().map(|l| !l).collect();
+        let a = roc_auc(&distinct, &labels);
+        let b = roc_auc(&distinct, &inverted);
+        prop_assert!((a + b - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfect_separation_yields_one(n_pos in 1usize..20, n_neg in 1usize..20) {
+        let mut scores = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n_pos {
+            scores.push(10.0 + i as f32);
+            labels.push(true);
+        }
+        for i in 0..n_neg {
+            scores.push(-10.0 - i as f32);
+            labels.push(false);
+        }
+        prop_assert!((roc_auc(&scores, &labels) - 1.0).abs() < 1e-12);
+        prop_assert!((average_precision(&scores, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_at_least_prevalence((scores, labels) in scored_labels()) {
+        // AP of any ranking is ≥ prevalence/len heuristically only for
+        // random rankings on average; but AP is always ≥ p/n when the
+        // *worst* item is positive. Test the weaker guaranteed bound:
+        // AP ≥ (number of positives) / (n * n) — loose but always true
+        // since the last positive contributes ≥ (1/n) * (1/total_pos).
+        let n_pos = labels.iter().filter(|&&l| l).count();
+        prop_assume!(n_pos > 0);
+        let ap = average_precision(&scores, &labels);
+        prop_assert!(ap >= 1.0 / (labels.len() * labels.len()) as f64);
+    }
+}

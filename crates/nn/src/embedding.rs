@@ -1,0 +1,93 @@
+//! Learnable embedding lookup table.
+
+use crate::init::normal;
+use crate::param::{Fwd, ParamId, ParamStore};
+use apan_tensor::Var;
+use rand::Rng;
+
+/// An `n × d` embedding table with gather-based lookup; gradients
+/// scatter-add, so repeated indices accumulate correctly.
+///
+/// APAN uses an embedding table over mailbox slot positions as its
+/// positional encoding (§3.3): slot index → dense vector.
+#[derive(Clone, Copy, Debug)]
+pub struct Embedding {
+    table: ParamId,
+    n: usize,
+    dim: usize,
+}
+
+impl Embedding {
+    /// Registers an embedding table with `n` entries of width `dim`,
+    /// initialized from `N(0, 0.02²)`.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        n: usize,
+        dim: usize,
+        rng: &mut R,
+    ) -> Self {
+        let table = store.add(format!("{name}.table"), normal(n, dim, 0.02, rng));
+        Self { table, n, dim }
+    }
+
+    /// Looks up rows for `idx`; output is `[len(idx) × dim]`.
+    pub fn forward(&self, fwd: &mut Fwd<'_>, idx: &[usize]) -> Var {
+        let t = fwd.p(self.table);
+        fwd.g.gather_rows(t, idx)
+    }
+
+    /// Number of table entries.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Embedding width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The underlying parameter handle.
+    pub fn param(&self) -> ParamId {
+        self.table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lookup_shape_and_consistency() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let emb = Embedding::new(&mut store, "pos", 10, 4, &mut rng);
+        let mut fwd = Fwd::new(&store, false);
+        let out = emb.forward(&mut fwd, &[3, 3, 7]);
+        let t = fwd.g.value(out);
+        assert_eq!(t.shape(), (3, 4));
+        assert_eq!(t.row_slice(0), t.row_slice(1));
+        assert_ne!(t.row_slice(0), t.row_slice(2));
+    }
+
+    #[test]
+    fn repeated_index_gradient_accumulates() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let emb = Embedding::new(&mut store, "pos", 4, 2, &mut rng);
+        let mut fwd = Fwd::new(&store, true);
+        let out = emb.forward(&mut fwd, &[1, 1]);
+        let loss = fwd.g.sum_all(out);
+        let grads = fwd.finish(loss);
+        let (_, g) = &grads.grads[0];
+        assert_eq!(g.row_slice(1), &[2.0, 2.0]);
+        assert_eq!(g.row_slice(0), &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,184 @@
+//! Gated recurrent unit cell, used by the TGN and JODIE baselines as their
+//! node-memory updater.
+
+use crate::init::xavier_uniform;
+use crate::param::{Fwd, ParamId, ParamStore};
+use apan_tensor::{Tensor, Var};
+use rand::Rng;
+
+/// A standard GRU cell:
+///
+/// ```text
+/// z = σ(x·Wz + h·Uz + bz)
+/// r = σ(x·Wr + h·Ur + br)
+/// h̃ = tanh(x·Wh + (r ⊙ h)·Uh + bh)
+/// h' = (1 − z) ⊙ h + z ⊙ h̃
+/// ```
+#[derive(Clone, Debug)]
+pub struct GruCell {
+    wz: ParamId,
+    uz: ParamId,
+    bz: ParamId,
+    wr: ParamId,
+    ur: ParamId,
+    br: ParamId,
+    wh: ParamId,
+    uh: ParamId,
+    bh: ParamId,
+    in_dim: usize,
+    hidden_dim: usize,
+}
+
+impl GruCell {
+    /// Registers a GRU cell mapping inputs of width `in_dim` and hidden
+    /// state of width `hidden_dim`.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        hidden_dim: usize,
+        rng: &mut R,
+    ) -> Self {
+        let mut w = |n: &str, r_dim: usize| {
+            store.add(format!("{name}.{n}"), xavier_uniform(r_dim, hidden_dim, rng))
+        };
+        let wz = w("wz", in_dim);
+        let uz = w("uz", hidden_dim);
+        let wr = w("wr", in_dim);
+        let ur = w("ur", hidden_dim);
+        let wh = w("wh", in_dim);
+        let uh = w("uh", hidden_dim);
+        let bz = store.add(format!("{name}.bz"), Tensor::zeros(1, hidden_dim));
+        let br = store.add(format!("{name}.br"), Tensor::zeros(1, hidden_dim));
+        let bh = store.add(format!("{name}.bh"), Tensor::zeros(1, hidden_dim));
+        Self {
+            wz,
+            uz,
+            bz,
+            wr,
+            ur,
+            br,
+            wh,
+            uh,
+            bh,
+            in_dim,
+            hidden_dim,
+        }
+    }
+
+    /// One step: `x` is `[B × in_dim]`, `h` is `[B × hidden_dim]`; returns
+    /// the next hidden state `[B × hidden_dim]`.
+    pub fn forward(&self, fwd: &mut Fwd<'_>, x: Var, h: Var) -> Var {
+        let b = fwd.g.value(x).rows();
+        debug_assert_eq!(fwd.g.value(x).cols(), self.in_dim);
+        debug_assert_eq!(fwd.g.value(h).shape(), (b, self.hidden_dim));
+
+        let gate = |fwd: &mut Fwd<'_>, w: ParamId, u: ParamId, bias: ParamId, x: Var, h: Var| {
+            let wp = fwd.p(w);
+            let up = fwd.p(u);
+            let bp = fwd.p(bias);
+            let xw = fwd.g.matmul(x, wp);
+            let hu = fwd.g.matmul(h, up);
+            let s = fwd.g.add(xw, hu);
+            fwd.g.add(s, bp)
+        };
+
+        let z_pre = gate(fwd, self.wz, self.uz, self.bz, x, h);
+        let z = fwd.g.sigmoid(z_pre);
+        let r_pre = gate(fwd, self.wr, self.ur, self.br, x, h);
+        let r = fwd.g.sigmoid(r_pre);
+
+        let rh = fwd.g.mul(r, h);
+        let wh = fwd.p(self.wh);
+        let uh = fwd.p(self.uh);
+        let bh = fwd.p(self.bh);
+        let xwh = fwd.g.matmul(x, wh);
+        let rhu = fwd.g.matmul(rh, uh);
+        let cand_pre = fwd.g.add(xwh, rhu);
+        let cand_pre = fwd.g.add(cand_pre, bh);
+        let h_tilde = fwd.g.tanh(cand_pre);
+
+        let ones = fwd.g.constant(Tensor::ones(b, self.hidden_dim));
+        let one_minus_z = fwd.g.sub(ones, z);
+        let keep = fwd.g.mul(one_minus_z, h);
+        let update = fwd.g.mul(z, h_tilde);
+        fwd.g.add(keep, update)
+    }
+
+    /// Hidden state width.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::{Adam, Optimizer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shape_and_boundedness() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let gru = GruCell::new(&mut store, "g", 4, 6, &mut rng);
+        let mut fwd = Fwd::new(&store, false);
+        let x = fwd.g.constant(Tensor::randn(3, 4, 5.0, &mut rng));
+        let h = fwd.g.constant(Tensor::zeros(3, 6));
+        let h2 = gru.forward(&mut fwd, x, h);
+        let t = fwd.g.value(h2);
+        assert_eq!(t.shape(), (3, 6));
+        // convex mix of h ∈ [-1,1]-ish and tanh candidate ⇒ bounded
+        assert!(t.data().iter().all(|v| v.abs() <= 1.0 + 1e-6));
+    }
+
+    #[test]
+    fn zero_update_gate_keeps_state() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let gru = GruCell::new(&mut store, "g", 2, 2, &mut rng);
+        // force z ≈ 0 by setting bz very negative and Wz/Uz to zero
+        for (id, name, t) in store.clone().iter() {
+            if name.ends_with("wz") || name.ends_with("uz") {
+                *store.get_mut(id) = Tensor::zeros(t.rows(), t.cols());
+            }
+            if name.ends_with("bz") {
+                *store.get_mut(id) = Tensor::full(1, 2, -50.0);
+            }
+        }
+        let mut fwd = Fwd::new(&store, false);
+        let x = fwd.g.constant(Tensor::randn(1, 2, 1.0, &mut rng));
+        let h0 = Tensor::from_rows(&[&[0.3, -0.7]]);
+        let h = fwd.g.constant(h0.clone());
+        let h2 = gru.forward(&mut fwd, x, h);
+        assert!(fwd.g.value(h2).allclose(&h0, 1e-4));
+    }
+
+    #[test]
+    fn learns_to_remember_input() {
+        // train the GRU to copy x into h after one step from h = 0
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let gru = GruCell::new(&mut store, "g", 3, 3, &mut rng);
+        let mut adam = Adam::new(0.02);
+        let mut last = f32::INFINITY;
+        for _ in 0..300 {
+            let x_data = Tensor::uniform(8, 3, -0.8, 0.8, &mut rng);
+            let mut fwd = Fwd::new(&store, true);
+            let x = fwd.g.constant(x_data.clone());
+            let h = fwd.g.constant(Tensor::zeros(8, 3));
+            let h2 = gru.forward(&mut fwd, x, h);
+            let loss = fwd.g.mse_mean(h2, &x_data);
+            last = fwd.g.value(loss).item();
+            let grads = fwd.finish(loss);
+            adam.step(&mut store, &grads);
+        }
+        assert!(last < 0.05, "copy loss {last}");
+    }
+}

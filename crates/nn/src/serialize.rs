@@ -1,0 +1,225 @@
+//! Binary checkpointing for [`ParamStore`].
+//!
+//! A deliberately simple, versioned little-endian format (no external
+//! serialization dependency for multi-megabyte float payloads):
+//!
+//! ```text
+//! magic "APANCKPT" | version u32 | param count u32
+//! per parameter: name_len u32 | name utf-8 | rows u32 | cols u32 | f32 LE…
+//! ```
+//!
+//! Loading verifies names and shapes against the receiving store, so a
+//! checkpoint can only be restored into a model with the identical
+//! architecture — mismatches fail loudly instead of silently corrupting.
+
+use crate::param::ParamStore;
+use apan_tensor::Tensor;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"APANCKPT";
+const VERSION: u32 = 1;
+
+/// Serialization/deserialization errors.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not an APAN checkpoint / wrong version.
+    BadHeader(String),
+    /// Checkpoint does not match the receiving store's architecture.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "io error: {e}"),
+            CheckpointError::BadHeader(m) => write!(f, "bad checkpoint header: {m}"),
+            CheckpointError::Mismatch(m) => write!(f, "architecture mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Writes every parameter of `store` to `w`.
+pub fn save_params<W: Write>(store: &ParamStore, mut w: W) -> Result<(), CheckpointError> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(store.len() as u32).to_le_bytes())?;
+    for (_, name, tensor) in store.iter() {
+        let bytes = name.as_bytes();
+        w.write_all(&(bytes.len() as u32).to_le_bytes())?;
+        w.write_all(bytes)?;
+        w.write_all(&(tensor.rows() as u32).to_le_bytes())?;
+        w.write_all(&(tensor.cols() as u32).to_le_bytes())?;
+        for &v in tensor.data() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, CheckpointError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+/// Restores parameter values from `r` into `store`, verifying that names
+/// and shapes match exactly (same registration order).
+pub fn load_params<R: Read>(store: &mut ParamStore, mut r: R) -> Result<(), CheckpointError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadHeader("wrong magic".into()));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(CheckpointError::BadHeader(format!(
+            "version {version}, expected {VERSION}"
+        )));
+    }
+    let count = read_u32(&mut r)? as usize;
+    if count != store.len() {
+        return Err(CheckpointError::Mismatch(format!(
+            "checkpoint has {count} parameters, model has {}",
+            store.len()
+        )));
+    }
+    let ids: Vec<_> = store.iter().map(|(id, _, _)| id).collect();
+    for id in ids {
+        let name_len = read_u32(&mut r)? as usize;
+        if name_len > 4096 {
+            return Err(CheckpointError::BadHeader(format!(
+                "implausible name length {name_len}"
+            )));
+        }
+        let mut name_buf = vec![0u8; name_len];
+        r.read_exact(&mut name_buf)?;
+        let name = String::from_utf8(name_buf)
+            .map_err(|e| CheckpointError::BadHeader(format!("non-utf8 name: {e}")))?;
+        if name != store.name(id) {
+            return Err(CheckpointError::Mismatch(format!(
+                "parameter '{}' expected, checkpoint has '{name}'",
+                store.name(id)
+            )));
+        }
+        let rows = read_u32(&mut r)? as usize;
+        let cols = read_u32(&mut r)? as usize;
+        let current = store.get(id);
+        if (rows, cols) != current.shape() {
+            return Err(CheckpointError::Mismatch(format!(
+                "parameter '{name}': checkpoint {rows}x{cols}, model {}x{}",
+                current.rows(),
+                current.cols()
+            )));
+        }
+        let mut data = vec![0.0f32; rows * cols];
+        let mut buf = [0u8; 4];
+        for v in &mut data {
+            r.read_exact(&mut buf)?;
+            *v = f32::from_le_bytes(buf);
+        }
+        *store.get_mut(id) = Tensor::from_vec(rows, cols, data);
+    }
+    Ok(())
+}
+
+/// Saves `store` to a file (atomically via a temp file + rename).
+pub fn save_params_file(store: &ParamStore, path: &Path) -> Result<(), CheckpointError> {
+    let tmp = path.with_extension("tmp");
+    {
+        let file = std::fs::File::create(&tmp)?;
+        save_params(store, io::BufWriter::new(file))?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Restores `store` from a file.
+pub fn load_params_file(store: &mut ParamStore, path: &Path) -> Result<(), CheckpointError> {
+    let file = std::fs::File::open(path)?;
+    load_params(store, io::BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::Linear;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn demo_store(seed: u64) -> ParamStore {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let _ = Linear::new(&mut store, "a", 4, 3, &mut rng);
+        let _ = Linear::new(&mut store, "b", 3, 2, &mut rng);
+        store
+    }
+
+    #[test]
+    fn round_trip_preserves_values() {
+        let store = demo_store(0);
+        let mut buf = Vec::new();
+        save_params(&store, &mut buf).unwrap();
+        let mut other = demo_store(1); // same shape, different values
+        load_params(&mut other, buf.as_slice()).unwrap();
+        for ((_, _, a), (_, _, b)) in store.iter().zip(other.iter()) {
+            assert!(a.allclose(b, 0.0));
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let mut store = demo_store(0);
+        let err = load_params(&mut store, &b"NOTAFILE........"[..]).unwrap_err();
+        assert!(matches!(err, CheckpointError::BadHeader(_)));
+    }
+
+    #[test]
+    fn rejects_architecture_mismatch() {
+        let store = demo_store(0);
+        let mut buf = Vec::new();
+        save_params(&store, &mut buf).unwrap();
+        // a different architecture: one layer only
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut other = ParamStore::new();
+        let _ = Linear::new(&mut other, "a", 4, 3, &mut rng);
+        let err = load_params(&mut other, buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch(_)));
+    }
+
+    #[test]
+    fn rejects_truncated_payload() {
+        let store = demo_store(0);
+        let mut buf = Vec::new();
+        save_params(&store, &mut buf).unwrap();
+        buf.truncate(buf.len() - 10);
+        let mut other = demo_store(1);
+        let err = load_params(&mut other, buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let store = demo_store(0);
+        let dir = std::env::temp_dir().join("apan-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.ckpt");
+        save_params_file(&store, &path).unwrap();
+        let mut other = demo_store(1);
+        load_params_file(&mut other, &path).unwrap();
+        for ((_, _, a), (_, _, b)) in store.iter().zip(other.iter()) {
+            assert!(a.allclose(b, 0.0));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

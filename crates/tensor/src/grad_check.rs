@@ -1,0 +1,150 @@
+//! Finite-difference gradient checking.
+//!
+//! Used throughout the test suites of this workspace to validate every
+//! backward implementation against a central-difference approximation of
+//! the true derivative.
+
+use crate::graph::{Graph, Var};
+use crate::tensor::Tensor;
+
+/// Default perturbation size. `f32` arithmetic limits how small this can be
+/// before cancellation noise dominates.
+pub const DEFAULT_EPS: f32 = 1e-2;
+
+/// Default mixed absolute/relative tolerance.
+pub const DEFAULT_TOL: f32 = 2e-2;
+
+/// Checks analytic gradients of `f` against central finite differences.
+///
+/// `f` receives a fresh [`Graph`] and one leaf [`Var`] per input tensor
+/// (all created with `requires_grad = true`) and must return a scalar loss
+/// node. The check rebuilds the graph `2·N + 1` times for `N` total input
+/// elements, so keep inputs small.
+///
+/// Returns `Err` with a human-readable description of the first mismatch.
+pub fn check_gradients_with(
+    inputs: &[Tensor],
+    f: impl Fn(&mut Graph, &[Var]) -> Var,
+    eps: f32,
+    tol: f32,
+) -> Result<(), String> {
+    let eval = |tensors: &[Tensor]| -> (f32, Vec<Option<Tensor>>) {
+        let mut g = Graph::new();
+        let vars: Vec<Var> = tensors
+            .iter()
+            .map(|t| g.leaf(t.clone(), true))
+            .collect();
+        let loss = f(&mut g, &vars);
+        assert!(
+            g.value(loss).shape2().is_scalar(),
+            "gradient check requires a scalar loss"
+        );
+        let loss_val = g.value(loss).item();
+        g.backward(loss);
+        let grads = vars.iter().map(|&v| g.grad(v).cloned()).collect();
+        (loss_val, grads)
+    };
+
+    let (_, analytic) = eval(inputs);
+
+    let mut work: Vec<Tensor> = inputs.to_vec();
+    for (ti, input) in inputs.iter().enumerate() {
+        let analytic_t = analytic[ti]
+            .as_ref()
+            .ok_or_else(|| format!("input {ti} received no gradient"))?;
+        for idx in 0..input.len() {
+            let original = input.data()[idx];
+
+            work[ti].data_mut()[idx] = original + eps;
+            let (plus, _) = eval_loss_only(&work, &f);
+            work[ti].data_mut()[idx] = original - eps;
+            let (minus, _) = eval_loss_only(&work, &f);
+            work[ti].data_mut()[idx] = original;
+
+            let numeric = (plus - minus) / (2.0 * eps);
+            let a = analytic_t.data()[idx];
+            if (a - numeric).abs() > tol * (1.0 + numeric.abs().max(a.abs())) {
+                return Err(format!(
+                    "gradient mismatch at input {ti}, element {idx}: analytic {a}, numeric {numeric} (loss+ {plus}, loss- {minus})"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn eval_loss_only(
+    tensors: &[Tensor],
+    f: &impl Fn(&mut Graph, &[Var]) -> Var,
+) -> (f32, ()) {
+    let mut g = Graph::new();
+    // constants: no backward bookkeeping needed for the perturbed passes
+    let vars: Vec<Var> = tensors.iter().map(|t| g.leaf(t.clone(), true)).collect();
+    let loss = f(&mut g, &vars);
+    (g.value(loss).item(), ())
+}
+
+/// [`check_gradients_with`] using the default `eps`/`tol`.
+pub fn check_gradients(
+    inputs: &[Tensor],
+    f: impl Fn(&mut Graph, &[Var]) -> Var,
+) -> Result<(), String> {
+    check_gradients_with(inputs, f, DEFAULT_EPS, DEFAULT_TOL)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn passes_on_correct_gradient() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = Tensor::randn(2, 2, 1.0, &mut rng);
+        check_gradients(&[x], |g, vars| {
+            let y = g.mul(vars[0], vars[0]);
+            g.sum_all(y)
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn fails_on_wrong_gradient() {
+        // sum(x) has gradient 1 everywhere; scale the loss by 3 but compare
+        // against a function claiming gradient 1 by constructing a mismatch:
+        // we check sum(2x) forward with backward of sum(x) is impossible to
+        // fake through the public API, so instead verify the checker flags a
+        // genuinely non-differentiable spot: |x| at 0 has kinked numeric
+        // gradient that cannot match a one-sided analytic value.
+        let x = Tensor::from_rows(&[&[0.0]]);
+        let res = check_gradients_with(
+            &[x],
+            |g, vars| {
+                let y = g.relu(vars[0]); // analytic grad at exactly 0 is 0
+                let two = g.scale(y, 2.0);
+                g.sum_all(two)
+            },
+            1e-2,
+            1e-3,
+        );
+        assert!(res.is_err(), "expected mismatch at the ReLU kink");
+    }
+
+    #[test]
+    fn proptest_like_random_compositions() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for seed in 0..5 {
+            let _ = seed;
+            let a = Tensor::randn(2, 3, 0.5, &mut rng);
+            let b = Tensor::randn(3, 2, 0.5, &mut rng);
+            check_gradients(&[a, b], |g, vars| {
+                let m = g.matmul(vars[0], vars[1]);
+                let t = g.tanh(m);
+                let s = g.sigmoid(t);
+                g.mean_all(s)
+            })
+            .unwrap();
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! The append-only autodiff tape.
+//!
+//! A [`Graph`] records every differentiable operation as a node holding the
+//! operation's output [`Tensor`] plus a one-shot backward closure that maps
+//! the output's gradient to gradient contributions for the operation's
+//! inputs. Because nodes are appended in execution order, the tape index
+//! order *is* a topological order, and [`Graph::backward`] is a single
+//! reverse sweep.
+//!
+//! Graphs are intended to be short-lived: build one per forward pass, call
+//! `backward`, read gradients, drop it. Model parameters live outside the
+//! graph (see `apan-nn`) and are re-leased in as leaves on every pass.
+
+use crate::tensor::Tensor;
+
+/// A handle to a node on the tape. Cheap to copy; only valid for the
+/// [`Graph`] that produced it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    #[inline]
+    pub(crate) fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A backward closure: given the gradient flowing into this node's output,
+/// produce `(input, gradient-contribution)` pairs.
+pub(crate) type BackwardOp = Box<dyn FnOnce(&Tensor) -> Vec<(Var, Tensor)>>;
+
+struct Node {
+    value: Tensor,
+    grad: Option<Tensor>,
+    needs_grad: bool,
+    backward: Option<BackwardOp>,
+}
+
+/// The autodiff tape. See the [module documentation](self).
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    ran_backward: bool,
+}
+
+impl Graph {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self {
+            nodes: Vec::with_capacity(256),
+            ran_backward: false,
+        }
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds a leaf tensor. If `requires_grad` is true, a gradient will be
+    /// available for this node after [`Graph::backward`].
+    pub fn leaf(&mut self, value: Tensor, requires_grad: bool) -> Var {
+        self.push(value, requires_grad, None)
+    }
+
+    /// Adds a constant leaf (no gradient is tracked through it).
+    pub fn constant(&mut self, value: Tensor) -> Var {
+        self.push(value, false, None)
+    }
+
+    /// Adds a scalar constant.
+    pub fn scalar(&mut self, v: f32) -> Var {
+        self.constant(Tensor::scalar(v))
+    }
+
+    pub(crate) fn push(
+        &mut self,
+        value: Tensor,
+        needs_grad: bool,
+        backward: Option<BackwardOp>,
+    ) -> Var {
+        assert!(
+            self.nodes.len() < u32::MAX as usize,
+            "tape exceeded u32::MAX nodes"
+        );
+        let var = Var(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            needs_grad,
+            backward,
+        });
+        var
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.idx()].value
+    }
+
+    /// Whether gradients flow into this node.
+    pub fn needs_grad(&self, v: Var) -> bool {
+        self.nodes[v.idx()].needs_grad
+    }
+
+    /// The gradient of a node, if `backward` has been run and the node
+    /// participates in differentiation.
+    pub fn grad(&self, v: Var) -> Option<&Tensor> {
+        self.nodes[v.idx()].grad.as_ref()
+    }
+
+    /// Removes and returns the gradient of a node (avoids a clone when the
+    /// caller owns the next use, e.g. an optimizer step).
+    pub fn take_grad(&mut self, v: Var) -> Option<Tensor> {
+        self.nodes[v.idx()].grad.take()
+    }
+
+    pub(crate) fn accumulate(&mut self, v: Var, contribution: Tensor) {
+        let node = &mut self.nodes[v.idx()];
+        if !node.needs_grad {
+            return;
+        }
+        debug_assert_eq!(
+            node.value.shape(),
+            contribution.shape(),
+            "gradient shape mismatch at node {v:?}"
+        );
+        match &mut node.grad {
+            Some(g) => g.add_assign(&contribution),
+            slot @ None => *slot = Some(contribution),
+        }
+    }
+
+    /// Runs reverse-mode differentiation from `loss`, which must be a `1×1`
+    /// scalar node. After this call, [`Graph::grad`] returns gradients for
+    /// every node reachable from `loss` that needs a gradient.
+    ///
+    /// # Panics
+    /// Panics if `loss` is not scalar-shaped, or if `backward` has already
+    /// been run on this tape.
+    pub fn backward(&mut self, loss: Var) {
+        assert!(
+            !self.ran_backward,
+            "backward() may only be called once per tape"
+        );
+        self.ran_backward = true;
+        assert!(
+            self.nodes[loss.idx()].value.shape2().is_scalar(),
+            "backward() requires a scalar loss, got {}",
+            self.nodes[loss.idx()].value.shape2()
+        );
+        self.nodes[loss.idx()].grad = Some(Tensor::scalar(1.0));
+        for idx in (0..=loss.idx()).rev() {
+            if self.nodes[idx].grad.is_none() || !self.nodes[idx].needs_grad {
+                continue;
+            }
+            let Some(op) = self.nodes[idx].backward.take() else {
+                continue;
+            };
+            // Take the gradient out to appease the borrow checker, then
+            // put it back after dispatching contributions to parents.
+            let grad = self.nodes[idx].grad.take().expect("grad present");
+            let contributions = op(&grad);
+            self.nodes[idx].grad = Some(grad);
+            for (parent, contribution) in contributions {
+                debug_assert!(
+                    parent.idx() < idx,
+                    "backward op produced a non-causal edge {} -> {}",
+                    idx,
+                    parent.idx()
+                );
+                self.accumulate(parent, contribution);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_round_trip() {
+        let mut g = Graph::new();
+        let t = Tensor::from_rows(&[&[1.0, 2.0]]);
+        let v = g.leaf(t.clone(), true);
+        assert_eq!(g.value(v).data(), t.data());
+        assert!(g.needs_grad(v));
+        assert!(g.grad(v).is_none());
+    }
+
+    #[test]
+    fn constant_tracks_no_grad() {
+        let mut g = Graph::new();
+        let c = g.constant(Tensor::scalar(3.0));
+        assert!(!g.needs_grad(c));
+    }
+
+    #[test]
+    fn backward_on_bare_leaf() {
+        let mut g = Graph::new();
+        let v = g.leaf(Tensor::scalar(2.0), true);
+        g.backward(v);
+        assert_eq!(g.grad(v).unwrap().item(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar loss")]
+    fn backward_rejects_non_scalar() {
+        let mut g = Graph::new();
+        let v = g.leaf(Tensor::from_rows(&[&[1.0, 2.0]]), true);
+        g.backward(v);
+    }
+
+    #[test]
+    #[should_panic(expected = "only be called once")]
+    fn backward_rejects_double_call() {
+        let mut g = Graph::new();
+        let v = g.leaf(Tensor::scalar(2.0), true);
+        g.backward(v);
+        g.backward(v);
+    }
+
+    #[test]
+    fn take_grad_consumes() {
+        let mut g = Graph::new();
+        let v = g.leaf(Tensor::scalar(2.0), true);
+        g.backward(v);
+        assert!(g.take_grad(v).is_some());
+        assert!(g.grad(v).is_none());
+    }
+}

@@ -1,0 +1,45 @@
+//! # apan-tensor
+//!
+//! A small, dependency-light dense-tensor library with tape-based
+//! reverse-mode automatic differentiation. It is the numerical substrate for
+//! the APAN reproduction: the paper's model is built from linear layers,
+//! scaled dot-product attention, layer normalization and MLPs, all of which
+//! are expressible with the 2-D operations provided here (plus two fused
+//! batched-attention kernels that avoid the need for general 3-D tensors).
+//!
+//! ## Layout
+//!
+//! * [`Tensor`] — an owned, row-major `f32` matrix with plain (non-recorded)
+//!   numerical operations. Vectors are `1×c` or `r×1` matrices.
+//! * [`Graph`] — an append-only autodiff tape. Differentiable operations are
+//!   methods on `Graph` that take and return [`Var`] handles; calling
+//!   [`Graph::backward`] populates gradients for every leaf created with
+//!   `requires_grad = true`.
+//! * [`grad_check`] — finite-difference gradient checking used heavily by the
+//!   test suite.
+//!
+//! ## Example
+//!
+//! ```
+//! use apan_tensor::{Graph, Tensor};
+//!
+//! let mut g = Graph::new();
+//! let w = g.leaf(Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]), true);
+//! let x = g.constant(Tensor::from_rows(&[&[1.0], &[1.0]]));
+//! let y = g.matmul(w, x); // [2x1]
+//! let loss = g.sum_all(y);
+//! g.backward(loss);
+//! let grad = g.grad(w).unwrap();
+//! assert_eq!(grad.shape(), (2, 2));
+//! assert!(grad.data().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+//! ```
+
+pub mod grad_check;
+pub mod graph;
+pub mod ops;
+pub mod shape;
+pub mod tensor;
+
+pub use graph::{Graph, Var};
+pub use shape::Shape;
+pub use tensor::Tensor;

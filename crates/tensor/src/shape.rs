@@ -1,0 +1,145 @@
+//! Two-dimensional shapes and broadcasting rules.
+
+use std::fmt;
+
+/// The shape of a 2-D tensor: `rows × cols`.
+///
+/// All tensors in this crate are matrices; vectors are represented as
+/// `1×c` (row vector) or `r×1` (column vector) matrices, and scalars as
+/// `1×1`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+}
+
+impl Shape {
+    /// Creates a shape.
+    pub const fn new(rows: usize, cols: usize) -> Self {
+        Self { rows, cols }
+    }
+
+    /// Total number of elements.
+    pub const fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Whether the shape contains no elements.
+    pub const fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether this shape is a `1×1` scalar.
+    pub const fn is_scalar(&self) -> bool {
+        self.rows == 1 && self.cols == 1
+    }
+
+    /// NumPy-style broadcasting of two shapes: each dimension must be
+    /// equal, or one of them must be `1`. Returns the broadcast shape,
+    /// or `None` if the shapes are incompatible.
+    pub fn broadcast(self, other: Shape) -> Option<Shape> {
+        let rows = broadcast_dim(self.rows, other.rows)?;
+        let cols = broadcast_dim(self.cols, other.cols)?;
+        Some(Shape { rows, cols })
+    }
+
+    /// The flat index of element `(r, c)` in row-major order.
+    #[inline]
+    pub fn index(&self, r: usize, c: usize) -> usize {
+        debug_assert!(r < self.rows && c < self.cols);
+        r * self.cols + c
+    }
+}
+
+fn broadcast_dim(a: usize, b: usize) -> Option<usize> {
+    if a == b {
+        Some(a)
+    } else if a == 1 {
+        Some(b)
+    } else if b == 1 {
+        Some(a)
+    } else {
+        None
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}x{}]", self.rows, self.cols)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.rows, self.cols)
+    }
+}
+
+impl From<(usize, usize)> for Shape {
+    fn from((rows, cols): (usize, usize)) -> Self {
+        Shape { rows, cols }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_equal_shapes() {
+        let s = Shape::new(3, 4);
+        assert_eq!(s.broadcast(Shape::new(3, 4)), Some(Shape::new(3, 4)));
+    }
+
+    #[test]
+    fn broadcast_row_vector() {
+        let s = Shape::new(3, 4);
+        assert_eq!(s.broadcast(Shape::new(1, 4)), Some(Shape::new(3, 4)));
+    }
+
+    #[test]
+    fn broadcast_col_vector() {
+        let s = Shape::new(3, 4);
+        assert_eq!(s.broadcast(Shape::new(3, 1)), Some(Shape::new(3, 4)));
+    }
+
+    #[test]
+    fn broadcast_scalar() {
+        let s = Shape::new(3, 4);
+        assert_eq!(s.broadcast(Shape::new(1, 1)), Some(Shape::new(3, 4)));
+    }
+
+    #[test]
+    fn broadcast_outer_product_shape() {
+        // [r,1] with [1,c] -> [r,c]
+        assert_eq!(
+            Shape::new(5, 1).broadcast(Shape::new(1, 7)),
+            Some(Shape::new(5, 7))
+        );
+    }
+
+    #[test]
+    fn broadcast_incompatible() {
+        assert_eq!(Shape::new(3, 4).broadcast(Shape::new(2, 4)), None);
+        assert_eq!(Shape::new(3, 4).broadcast(Shape::new(3, 5)), None);
+    }
+
+    #[test]
+    fn index_is_row_major() {
+        let s = Shape::new(2, 3);
+        assert_eq!(s.index(0, 0), 0);
+        assert_eq!(s.index(0, 2), 2);
+        assert_eq!(s.index(1, 0), 3);
+        assert_eq!(s.index(1, 2), 5);
+    }
+
+    #[test]
+    fn scalar_and_len() {
+        assert!(Shape::new(1, 1).is_scalar());
+        assert!(!Shape::new(1, 2).is_scalar());
+        assert_eq!(Shape::new(4, 5).len(), 20);
+        assert!(Shape::new(0, 5).is_empty());
+    }
+}

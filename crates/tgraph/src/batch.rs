@@ -1,0 +1,162 @@
+//! Batching of the time-ordered event stream.
+//!
+//! CTDG models consume interactions in fixed-size batches (the paper uses
+//! batch size 200; Figure 7 sweeps it). A [`BatchIter`] yields contiguous
+//! index ranges over an event log, preserving time order.
+
+use crate::event::Event;
+use std::ops::Range;
+
+/// Iterator over contiguous `Range<usize>` batches of an event slice.
+#[derive(Clone, Debug)]
+pub struct BatchIter {
+    len: usize,
+    batch_size: usize,
+    pos: usize,
+}
+
+impl BatchIter {
+    /// Batches `len` events into chunks of `batch_size` (last chunk may be
+    /// smaller).
+    ///
+    /// # Panics
+    /// Panics if `batch_size` is zero.
+    pub fn new(len: usize, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        Self {
+            len,
+            batch_size,
+            pos: 0,
+        }
+    }
+
+    /// Number of batches this iterator will yield in total.
+    pub fn num_batches(&self) -> usize {
+        self.len.div_ceil(self.batch_size)
+    }
+}
+
+impl Iterator for BatchIter {
+    type Item = Range<usize>;
+
+    fn next(&mut self) -> Option<Range<usize>> {
+        if self.pos >= self.len {
+            return None;
+        }
+        let start = self.pos;
+        let end = (start + self.batch_size).min(self.len);
+        self.pos = end;
+        Some(start..end)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.len - self.pos).div_ceil(self.batch_size);
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for BatchIter {}
+
+/// A convenience view of one batch of events, split into the parallel
+/// arrays model code consumes.
+#[derive(Clone, Debug, Default)]
+pub struct EventBatch {
+    /// Source node per interaction.
+    pub src: Vec<u32>,
+    /// Destination node per interaction.
+    pub dst: Vec<u32>,
+    /// Timestamp per interaction.
+    pub time: Vec<f64>,
+    /// Event id per interaction (keys external edge features).
+    pub eid: Vec<u32>,
+}
+
+impl EventBatch {
+    /// Splits an event slice into parallel arrays.
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut b = EventBatch {
+            src: Vec::with_capacity(events.len()),
+            dst: Vec::with_capacity(events.len()),
+            time: Vec::with_capacity(events.len()),
+            eid: Vec::with_capacity(events.len()),
+        };
+        for e in events {
+            b.src.push(e.src);
+            b.dst.push(e.dst);
+            b.time.push(e.time);
+            b.eid.push(e.eid);
+        }
+        b
+    }
+
+    /// Number of interactions in the batch.
+    pub fn len(&self) -> usize {
+        self.src.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.src.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_everything_once() {
+        let batches: Vec<_> = BatchIter::new(10, 3).collect();
+        assert_eq!(batches, vec![0..3, 3..6, 6..9, 9..10]);
+    }
+
+    #[test]
+    fn exact_division() {
+        let it = BatchIter::new(9, 3);
+        assert_eq!(it.num_batches(), 3);
+        assert_eq!(it.count(), 3);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(BatchIter::new(0, 5).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_batch_size_rejected() {
+        let _ = BatchIter::new(10, 0);
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let mut it = BatchIter::new(10, 4);
+        assert_eq!(it.len(), 3);
+        it.next();
+        assert_eq!(it.len(), 2);
+    }
+
+    #[test]
+    fn event_batch_parallel_arrays() {
+        let events = vec![
+            Event {
+                src: 1,
+                dst: 2,
+                time: 0.5,
+                eid: 0,
+            },
+            Event {
+                src: 3,
+                dst: 4,
+                time: 0.7,
+                eid: 1,
+            },
+        ];
+        let b = EventBatch::from_events(&events);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.src, vec![1, 3]);
+        assert_eq!(b.dst, vec![2, 4]);
+        assert_eq!(b.time, vec![0.5, 0.7]);
+        assert_eq!(b.eid, vec![0, 1]);
+    }
+}

@@ -1,0 +1,84 @@
+//! Fraud detection on a payment network — the Alipay use case that
+//! motivates the paper: score every incoming transaction in real time,
+//! with the graph machinery running after the answer is returned.
+//!
+//! ```sh
+//! cargo run --release --example fraud_detection
+//! ```
+
+use apan_repro::core::config::ApanConfig;
+use apan_repro::core::model::Apan;
+use apan_repro::core::train::{train_classification, train_link_prediction, TrainConfig};
+use apan_repro::data::generators::GenConfig;
+use apan_repro::data::{ChronoSplit, LabelKind, SplitFractions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // A small unipartite payment network with fraud bursts: fraudster
+    // accounts fire several rapid, anomalous transactions in a row.
+    let gen = GenConfig {
+        name: "payments".into(),
+        num_users: 400,
+        num_items: 0,
+        num_events: 6000,
+        feature_dim: 32,
+        timespan: 14.0 * 86_400.0,
+        latent_dim: 8,
+        repeat_prob: 0.35,
+        recency_window: 4,
+        zipf_user: 0.8,
+        zipf_item: 0.8,
+        target_positives: 120,
+        label_kind: LabelKind::Edge,
+        bipartite: false,
+        feature_noise: 0.5,
+        burstiness: 0.8,
+        fraud_burst_len: 5,
+        drift_magnitude: 1.5,
+        drift_run: 1,
+    };
+    let data = apan_repro::data::generators::generate_seeded(&gen, 0);
+    // Alipay-style time split: 10 days train / 2 val / 2 test.
+    let split = ChronoSplit::new(&data, SplitFractions::alipay());
+    println!(
+        "payment stream: {} transactions, {} accounts, {} fraud labels ({:.3}% prevalence)",
+        data.num_events(),
+        data.num_nodes(),
+        data.num_positive(),
+        100.0 * data.num_positive() as f64 / data.num_events() as f64
+    );
+
+    let cfg = ApanConfig::for_dataset(&data);
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut model = Apan::new(&cfg, &mut rng);
+
+    // Stage 1: self-supervised embedding training on the stream itself.
+    let tc = TrainConfig {
+        epochs: 6,
+        batch_size: 100,
+        lr: 3e-3,
+        patience: 6,
+        grad_clip: 5.0,
+    };
+    let link = train_link_prediction(&mut model, &data, &split, &tc, &mut rng);
+    println!("embedding pre-training: test AP {:.4}", link.test_ap);
+
+    // Stage 2: fraud classifier on (z_i ‖ e_ij ‖ z_j) — the paper's edge
+    // decoder — trained on the (heavily skewed) labeled transactions.
+    let class = train_classification(&mut model, &data, &split, &tc, 400, &mut rng);
+    println!(
+        "fraud detection: validation AUC {:.4}, test AUC {:.4} (chance = 0.5)",
+        class.val_auc, class.test_auc
+    );
+    assert!(
+        class.test_auc > 0.5,
+        "the fraud classifier should beat chance"
+    );
+    println!(
+        "review-queue sizing: with a budget of 50 reviews on the test window, \
+         precision@50 tells the fraud team what fraction would be actual fraud \
+         (see apan_metrics::precision_at_k — used in the integration tests)."
+    );
+    println!("\nevery score above was produced without a single graph query on the serving path.");
+}

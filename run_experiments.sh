@@ -1,0 +1,16 @@
+#!/bin/bash
+# Regenerates every table/figure at the recorded settings (see EXPERIMENTS.md).
+# Headline experiments (table2/3, fig6) run at scale 0.05; the APAN-only
+# sweeps (fig7/8, ablations) at 0.02 to keep single-core wall time sane.
+set -e
+export APAN_FEAT_DIM=48 APAN_SEEDS=1 APAN_LR=0.003 APAN_NEIGHBORS=5 APAN_OUT=bench-results
+mkdir -p logs "$APAN_OUT"
+run() { echo "=== $1 ($(date +%H:%M:%S)) ==="; ./target/release/$1 2>&1 | tee logs/$1.log; }
+APAN_SCALE=0.05                          run table1
+APAN_SCALE=0.05 APAN_EPOCHS=6 APAN_BATCH=50  run table2
+APAN_SCALE=0.05 APAN_EPOCHS=6 APAN_BATCH=50  run fig6
+APAN_SCALE=0.05 APAN_EPOCHS=5 APAN_BATCH=50  run table3
+APAN_SCALE=0.02 APAN_EPOCHS=4 APAN_BATCH=100 run fig7
+APAN_SCALE=0.02 APAN_EPOCHS=5 APAN_BATCH=50  run fig8
+APAN_SCALE=0.02 APAN_EPOCHS=5 APAN_BATCH=50  run ablations
+echo "=== all experiments done ($(date +%H:%M:%S)) ==="

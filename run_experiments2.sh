@@ -1,0 +1,9 @@
+#!/bin/bash
+set -e
+export APAN_FEAT_DIM=48 APAN_LR=0.002 APAN_NEIGHBORS=5 APAN_OUT=bench-results
+run() { echo "=== $1 ($(date +%H:%M:%S)) ==="; ./target/release/$1 2>&1 | tee logs/$1.log; }
+APAN_SCALE=0.05 APAN_EPOCHS=5  APAN_BATCH=50 APAN_SEEDS=1 run table3
+APAN_SCALE=0.02 APAN_EPOCHS=10 APAN_BATCH=50 APAN_SEEDS=2 run fig8
+APAN_SCALE=0.02 APAN_EPOCHS=10 APAN_BATCH=50 APAN_SEEDS=2 run ablations
+APAN_SCALE=0.02 APAN_EPOCHS=8  APAN_BATCH=100 APAN_SEEDS=1 run fig7
+echo "=== suite2 done ($(date +%H:%M:%S)) ==="

@@ -1,0 +1,8 @@
+#!/bin/bash
+set -e
+export APAN_FEAT_DIM=48 APAN_SEEDS=1 APAN_LR=0.003 APAN_NEIGHBORS=5 APAN_OUT=bench-results
+run() { echo "=== $1 ($(date +%H:%M:%S)) ==="; ./target/release/$1 2>&1 | tee logs/$1.log; }
+APAN_SCALE=0.05 APAN_EPOCHS=6 APAN_BATCH=50 run table2
+APAN_SCALE=0.05 APAN_EPOCHS=6 APAN_BATCH=50 run fig6
+APAN_SCALE=0.02 APAN_EPOCHS=8 APAN_BATCH=50 APAN_LR=0.002 run inductive
+echo "=== suite3 done ($(date +%H:%M:%S)) ==="
