@@ -54,7 +54,9 @@ impl GatLayer {
         let bias = fwd.g.constant(mask_bias.clone());
         let masked = fwd.g.add(lrelu, bias);
         let attn = fwd.g.softmax_rows(masked);
-        let agg = fwd.g.matmul(attn, wh);
+        // Non-neighbour entries underflow to exact zero after the masked
+        // softmax, so the aggregation can skip them.
+        let agg = fwd.g.matmul_masked(attn, wh);
         let _ = self.out_dim;
         agg
     }

@@ -47,10 +47,10 @@ impl StaticEmbedder for Gcn {
     fn embed_all(&self, fwd: &mut Fwd<'_>, sg: &StaticGraph, _rng: &mut StdRng) -> Var {
         let a = fwd.g.constant(sg.adj_norm.clone());
         let x = fwd.g.constant(sg.features.clone());
-        let ax = fwd.g.matmul(a, x);
+        let ax = fwd.g.matmul_masked(a, x);
         let h = self.l1.forward(fwd, ax);
         let h = fwd.g.relu(h);
-        let ah = fwd.g.matmul(a, h);
+        let ah = fwd.g.matmul_masked(a, h);
         self.l2.forward(fwd, ah)
     }
 }
@@ -93,10 +93,10 @@ impl Gae {
     fn encode_stats(&self, fwd: &mut Fwd<'_>, sg: &StaticGraph) -> (Var, Var) {
         let a = fwd.g.constant(sg.adj_norm.clone());
         let x = fwd.g.constant(sg.features.clone());
-        let ax = fwd.g.matmul(a, x);
+        let ax = fwd.g.matmul_masked(a, x);
         let h = self.l1.forward(fwd, ax);
         let h = fwd.g.relu(h);
-        let ah = fwd.g.matmul(a, h);
+        let ah = fwd.g.matmul_masked(a, h);
         let mu = self.mu.forward(fwd, ah);
         let logvar = self.logvar.forward(fwd, ah);
         (mu, logvar)

@@ -32,7 +32,7 @@ impl Sage {
     }
 
     fn layer(fwd: &mut Fwd<'_>, layer: &Linear, h: Var, adj_rownorm: Var) -> Var {
-        let mean_neigh = fwd.g.matmul(adj_rownorm, h);
+        let mean_neigh = fwd.g.matmul_masked(adj_rownorm, h);
         let cat = fwd.g.concat_cols(&[h, mean_neigh]);
         layer.forward(fwd, cat)
     }

@@ -27,10 +27,9 @@ use apan_tensor::Tensor;
 use apan_tgraph::cost::QueryCost;
 use apan_tgraph::{NodeId, TemporalGraph};
 use crossbeam::channel::{bounded, Sender};
-use parking_lot::RwLock;
+use parking_lot::{Condvar, Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -108,6 +107,45 @@ pub struct PropStats {
     pub cost: QueryCost,
 }
 
+/// Jobs queued or in flight on the asynchronous link, with a condvar so
+/// waiters can sleep until it drains instead of spinning.
+struct PendingJobs {
+    count: Mutex<usize>,
+    drained: Condvar,
+}
+
+impl PendingJobs {
+    fn new() -> Self {
+        Self {
+            count: Mutex::new(0),
+            drained: Condvar::new(),
+        }
+    }
+
+    fn increment(&self) {
+        *self.count.lock() += 1;
+    }
+
+    fn decrement(&self) {
+        let mut count = self.count.lock();
+        *count -= 1;
+        if *count == 0 {
+            self.drained.notify_all();
+        }
+    }
+
+    fn current(&self) -> usize {
+        *self.count.lock()
+    }
+
+    fn wait_drained(&self) {
+        let mut count = self.count.lock();
+        while *count > 0 {
+            self.drained.wait(&mut count);
+        }
+    }
+}
+
 /// Result of one synchronous inference call.
 pub struct InferResult {
     /// Link score (sigmoid) per interaction.
@@ -128,7 +166,7 @@ pub struct ServingPipeline {
     graph: Arc<RwLock<TemporalGraph>>,
     tx: Sender<Job>,
     worker: Option<JoinHandle<PropStats>>,
-    pending: Arc<AtomicUsize>,
+    pending: Arc<PendingJobs>,
     rng: StdRng,
     /// Latencies of every synchronous inference call.
     pub sync_latency: LatencyRecorder,
@@ -141,7 +179,7 @@ impl ServingPipeline {
         let store = Arc::new(RwLock::new(model.new_store(num_nodes)));
         let graph = Arc::new(RwLock::new(TemporalGraph::with_capacity(num_nodes, 1024)));
         let (tx, rx) = bounded::<Job>(capacity.max(1));
-        let pending = Arc::new(AtomicUsize::new(0));
+        let pending = Arc::new(PendingJobs::new());
 
         let propagator: Propagator = model.propagator;
         let mail_content = model.cfg.mail_content;
@@ -177,7 +215,7 @@ impl ServingPipeline {
                             );
                         }
                         stats.jobs += 1;
-                        w_pending.fetch_sub(1, Ordering::SeqCst);
+                        w_pending.decrement();
                     }
                 }
             }
@@ -233,7 +271,7 @@ impl ServingPipeline {
         self.sync_latency.record(sync_time);
 
         // Asynchronous hand-off (not timed: the user already has scores).
-        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.pending.increment();
         let job = PropagateJob {
             interactions: interactions.to_vec(),
             src_rows: maps[0].clone(),
@@ -255,14 +293,15 @@ impl ServingPipeline {
 
     /// Jobs queued or in flight on the asynchronous link.
     pub fn pending_jobs(&self) -> usize {
-        self.pending.load(Ordering::SeqCst)
+        self.pending.current()
     }
 
-    /// Blocks until the asynchronous link has drained.
+    /// Blocks until the asynchronous link has drained. Sleeps on a
+    /// condvar signalled by the worker, so a draining pipeline costs no
+    /// CPU — the old implementation spun on `yield_now`, stealing cycles
+    /// from the propagation worker it was waiting for.
     pub fn flush(&self) {
-        while self.pending_jobs() > 0 {
-            std::thread::yield_now();
-        }
+        self.pending.wait_drained();
     }
 
     /// Shared handle to the serving state (for inspection/tests).

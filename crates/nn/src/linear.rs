@@ -45,8 +45,7 @@ impl Linear {
         );
         let w = fwd.p(self.w);
         let b = fwd.p(self.b);
-        let xw = fwd.g.matmul(x, w);
-        fwd.g.add(xw, b)
+        fwd.g.affine(x, w, b)
     }
 
     /// Input width.

@@ -1,0 +1,647 @@
+//! The compute backend: blocked, cache-tiled, row-parallel kernels.
+//!
+//! Everything dense and hot in the crate — GEMM in four orientations, the
+//! fused attention ops — funnels through here. Two properties are
+//! load-bearing and every kernel in this module preserves them:
+//!
+//! 1. **Bit-identical results, always.** Each output element is produced
+//!    by one scalar multiply-add chain that walks the contraction index in
+//!    ascending order, rounding after every step — exactly the chain the
+//!    original naive `i-k-j` kernel produced. Blocking and B-panel packing
+//!    only reorder *which* elements are computed when, never the chain
+//!    inside an element; Rust never contracts `a*b + c` into an FMA on its
+//!    own, and we never split the contraction dimension. See the
+//!    determinism entry in `DESIGN.md` §5.
+//! 2. **Parallelism partitions output rows only.** Threads own disjoint
+//!    row ranges of the output (via [`pool::parallel_rows`]), so the
+//!    arithmetic per row is independent of the thread count and results
+//!    are bit-identical to a serial run for any `APAN_THREADS`.
+//!
+//! The one observable difference from the old kernel: the per-element
+//! `a == 0.0` skip is gone from the dense paths (it cost a branch per
+//! element and blocked vectorization). Adding `0.0 * b` to a partial sum
+//! is exact for finite `b` — an accumulator that starts at `+0.0` can
+//! never become `-0.0` under IEEE-754 round-to-nearest addition, so the
+//! skipped add was always a no-op. Callers that genuinely have sparse
+//! left-hand sides (graph adjacency, masked attention) use the dedicated
+//! `*_masked` kernels, which keep the skip.
+
+pub mod pool;
+
+use pool::parallel_rows;
+
+/// Microkernel row-block height (rows of A per register tile).
+const MR: usize = 4;
+
+/// Packed B strip width (columns of C per register tile). `MR × NR` f32
+/// accumulators fit the 16 SIMD registers of the x86-64 baseline.
+const NR: usize = 8;
+
+/// Below this many multiply-adds a GEMM runs the plain serial loop:
+/// packing B would cost more than it saves.
+const SMALL_GEMM: usize = 16 * 1024;
+
+/// Minimum multiply-adds worth of rows per parallel chunk. Chunks below
+/// this lose more to channel dispatch than they gain from a second core.
+const PAR_CHUNK: usize = 64 * 1024;
+
+/// A raw output pointer that may cross threads. Sound because every
+/// kernel hands each worker a *disjoint* row range of the buffer and
+/// [`parallel_rows`] joins all workers before the call returns.
+#[derive(Clone, Copy)]
+struct SendPtr(*mut f32);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    /// The rows `[r0, r1)` of a row-major matrix with `stride` columns.
+    ///
+    /// # Safety
+    /// The range must lie inside the allocation and no other thread may
+    /// touch these rows while the slice lives.
+    unsafe fn rows(self, r0: usize, r1: usize, stride: usize) -> &'static mut [f32] {
+        std::slice::from_raw_parts_mut(self.0.add(r0 * stride), (r1 - r0) * stride)
+    }
+}
+
+/// Rows per chunk so that one chunk carries at least [`PAR_CHUNK`]
+/// multiply-adds (`per_row` = mul-adds needed for one output row).
+fn min_rows_for(per_row: usize) -> usize {
+    (PAR_CHUNK / per_row.max(1)).max(MR)
+}
+
+// ----------------------------------------------------------------------
+// GEMM: C = A · B (+ bias)
+// ----------------------------------------------------------------------
+
+/// `out[m×n] = a[m×k] · b[k×n]`, plus `bias[n]` broadcast over rows when
+/// given. The bias is added *after* the full contraction of an element,
+/// so the result is bit-identical to a matmul followed by a broadcast
+/// add.
+pub fn gemm(a: &[f32], b: &[f32], bias: Option<&[f32]>, m: usize, k: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    if let Some(bias) = bias {
+        debug_assert_eq!(bias.len(), n);
+    }
+    if m * k * n <= SMALL_GEMM {
+        gemm_naive(a, b, bias, 0, m, k, n, out);
+        return;
+    }
+
+    // Pack B once into NR-wide column strips so the microkernel streams
+    // it contiguously; zero-padded tail columns are computed and dropped.
+    let strips = n.div_ceil(NR);
+    let mut packed = vec![0.0f32; strips * k * NR];
+    for s in 0..strips {
+        let j0 = s * NR;
+        let w = NR.min(n - j0);
+        let strip = &mut packed[s * k * NR..(s + 1) * k * NR];
+        for kk in 0..k {
+            strip[kk * NR..kk * NR + w].copy_from_slice(&b[kk * n + j0..kk * n + j0 + w]);
+        }
+    }
+
+    let ptr = SendPtr(out.as_mut_ptr());
+    parallel_rows(m, min_rows_for(k * n), &|r0, r1| {
+        let rows = unsafe { ptr.rows(r0, r1, n) };
+        gemm_blocked(a, &packed, bias, r0, r1, k, n, rows);
+    });
+}
+
+/// The serial fallback: the original cache-friendly `i-k-j` loop, minus
+/// the zero-skip branch. Writes rows `[r0, r1)` of C into `out` (which
+/// holds exactly those rows) and must see them zero-initialised.
+fn gemm_naive(a: &[f32], b: &[f32], bias: Option<&[f32]>, r0: usize, r1: usize, k: usize, n: usize, out: &mut [f32]) {
+    for i in r0..r1 {
+        let a_row = &a[i * k..(i + 1) * k];
+        let o_row = &mut out[(i - r0) * n..(i - r0 + 1) * n];
+        for (kk, &av) in a_row.iter().enumerate() {
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+        if let Some(bias) = bias {
+            for (o, &bv) in o_row.iter_mut().zip(bias) {
+                *o += bv;
+            }
+        }
+    }
+}
+
+/// Blocked kernel over rows `[r0, r1)`: MR-row blocks against NR-wide
+/// packed strips of B, accumulating each `MR×NR` tile in registers over
+/// the full contraction before touching memory.
+fn gemm_blocked(a: &[f32], packed: &[f32], bias: Option<&[f32]>, r0: usize, r1: usize, k: usize, n: usize, out: &mut [f32]) {
+    let strips = n.div_ceil(NR);
+    let mut i0 = r0;
+    while i0 < r1 {
+        let mr = MR.min(r1 - i0);
+        for s in 0..strips {
+            let j0 = s * NR;
+            let nr = NR.min(n - j0);
+            let strip = &packed[s * k * NR..(s + 1) * k * NR];
+            if mr == MR {
+                micro_kernel(a, strip, bias, i0, j0, nr, k, n, r0, out);
+            } else {
+                edge_kernel(a, strip, bias, i0, mr, j0, nr, k, n, r0, out);
+            }
+        }
+        i0 += MR;
+    }
+}
+
+/// Full `MR×NR` register tile. The accumulator walks `kk` in ascending
+/// order, one rounded add per step — the same chain as the naive loop.
+/// Iterator zips (instead of indexing) keep bounds checks out of the
+/// inner loop so it vectorizes.
+#[inline(always)]
+fn micro_kernel(a: &[f32], strip: &[f32], bias: Option<&[f32]>, i0: usize, j0: usize, nr: usize, k: usize, n: usize, r0: usize, out: &mut [f32]) {
+    let a0 = &a[i0 * k..i0 * k + k];
+    let a1 = &a[(i0 + 1) * k..(i0 + 1) * k + k];
+    let a2 = &a[(i0 + 2) * k..(i0 + 2) * k + k];
+    let a3 = &a[(i0 + 3) * k..(i0 + 3) * k + k];
+    let mut acc = [[0.0f32; NR]; MR];
+    let [acc0, acc1, acc2, acc3] = &mut acc; // MR == 4
+    for ((((&av0, &av1), (&av2, &av3)), b_row)) in a0
+        .iter()
+        .zip(a1)
+        .zip(a2.iter().zip(a3))
+        .zip(strip.chunks_exact(NR))
+    {
+        for (jj, &bv) in b_row.iter().enumerate() {
+            acc0[jj] += av0 * bv;
+            acc1[jj] += av1 * bv;
+            acc2[jj] += av2 * bv;
+            acc3[jj] += av3 * bv;
+        }
+    }
+    for (mi, acc_row) in acc.iter().enumerate() {
+        let o_row = &mut out[(i0 + mi - r0) * n + j0..(i0 + mi - r0) * n + j0 + nr];
+        match bias {
+            Some(bias) => {
+                for ((o, &c), &bv) in o_row.iter_mut().zip(acc_row).zip(&bias[j0..j0 + nr]) {
+                    *o = c + bv;
+                }
+            }
+            None => o_row.copy_from_slice(&acc_row[..nr]),
+        }
+    }
+}
+
+/// Ragged tail tile (fewer than MR rows). Same per-element chain.
+#[inline(never)]
+fn edge_kernel(a: &[f32], strip: &[f32], bias: Option<&[f32]>, i0: usize, mr: usize, j0: usize, nr: usize, k: usize, n: usize, r0: usize, out: &mut [f32]) {
+    for mi in 0..mr {
+        let a_row = &a[(i0 + mi) * k..(i0 + mi + 1) * k];
+        let mut acc = [0.0f32; NR];
+        for (kk, &av) in a_row.iter().enumerate() {
+            let b_row = &strip[kk * NR..kk * NR + NR];
+            for (c, &bv) in acc.iter_mut().zip(b_row) {
+                *c += av * bv;
+            }
+        }
+        let o_row = &mut out[(i0 + mi - r0) * n + j0..(i0 + mi - r0) * n + j0 + nr];
+        match bias {
+            Some(bias) => {
+                for ((o, &c), &bv) in o_row.iter_mut().zip(&acc).zip(&bias[j0..j0 + nr]) {
+                    *o = c + bv;
+                }
+            }
+            None => o_row.copy_from_slice(&acc[..nr]),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// GEMM variants for the backward pass
+// ----------------------------------------------------------------------
+
+/// `out[m×n] = a[m×k] · b[n×k]ᵀ` — no transpose of B is ever allocated
+/// at the tensor layer. Bit-identical to `a.matmul(&b.transpose())`: the
+/// contraction still runs over `kk` ascending.
+///
+/// Large problems transpose-pack B's rows straight into the same NR-wide
+/// strips [`gemm`] uses and run the shared microkernel, fusing what used
+/// to be a materialised transpose plus a matmul into one pass. Small
+/// problems run plain per-element dot products (both operands are
+/// already `k`-contiguous).
+pub fn gemm_bt(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+    if m * k * n <= SMALL_GEMM {
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let o_row = &mut out[i * n..(i + 1) * n];
+            for (o, b_row) in o_row.iter_mut().zip(b.chunks_exact(k)) {
+                let mut c = 0.0f32;
+                for (&av, &bv) in a_row.iter().zip(b_row) {
+                    c += av * bv;
+                }
+                *o = c;
+            }
+        }
+        return;
+    }
+
+    // Transpose-pack: strip lane jj at depth kk holds b[(j0+jj)·k + kk],
+    // i.e. element (kk, j0+jj) of the *untransposed* Bᵀ panel.
+    let strips = n.div_ceil(NR);
+    let mut packed = vec![0.0f32; strips * k * NR];
+    for s in 0..strips {
+        let j0 = s * NR;
+        let w = NR.min(n - j0);
+        let strip = &mut packed[s * k * NR..(s + 1) * k * NR];
+        for jj in 0..w {
+            let b_row = &b[(j0 + jj) * k..(j0 + jj + 1) * k];
+            for (kk, &bv) in b_row.iter().enumerate() {
+                strip[kk * NR + jj] = bv;
+            }
+        }
+    }
+
+    let ptr = SendPtr(out.as_mut_ptr());
+    parallel_rows(m, min_rows_for(k * n), &|r0, r1| {
+        let rows = unsafe { ptr.rows(r0, r1, n) };
+        gemm_blocked(a, &packed, None, r0, r1, k, n, rows);
+    });
+}
+
+/// `out[k×n] = a[m×k]ᵀ · b[m×n]` — A read column-wise in place.
+/// Bit-identical to `a.transpose().matmul(b)`: element `(p, j)` sums
+/// `a[i,p]·b[i,j]` over `i` ascending, as the naive kernel did.
+pub fn gemm_tn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), m * n);
+    debug_assert_eq!(out.len(), k * n);
+    let ptr = SendPtr(out.as_mut_ptr());
+    parallel_rows(k, min_rows_for(m * n), &|r0, r1| {
+        let rows = unsafe { ptr.rows(r0, r1, n) };
+        rows.fill(0.0);
+        for p in r0..r1 {
+            let o_row = &mut rows[(p - r0) * n..(p - r0 + 1) * n];
+            for i in 0..m {
+                let av = a[i * k + p];
+                let b_row = &b[i * n..(i + 1) * n];
+                for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+    });
+}
+
+/// `out[k×n] = a[m×k]ᵀ · b[m×n]`, skipping zero entries of A. The
+/// sparse-aware backward companion of [`gemm_masked`]: `dB = Aᵀ·G`
+/// touches only the rows of G that A's nonzeros select.
+pub fn gemm_tn_masked(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), m * n);
+    debug_assert_eq!(out.len(), k * n);
+    let ptr = SendPtr(out.as_mut_ptr());
+    parallel_rows(k, min_rows_for(m * n), &|r0, r1| {
+        let rows = unsafe { ptr.rows(r0, r1, n) };
+        rows.fill(0.0);
+        for p in r0..r1 {
+            let o_row = &mut rows[(p - r0) * n..(p - r0 + 1) * n];
+            for i in 0..m {
+                let av = a[i * k + p];
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = &b[i * n..(i + 1) * n];
+                for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+    });
+}
+
+/// `out[m×n] = a[m×k] · b[k×n]` with the zero-skip retained: the old
+/// `i-k-j` kernel, row-parallel. For genuinely sparse left-hand sides
+/// (normalised adjacency, masked attention weights) the skip prunes the
+/// contraction down to the nonzero pattern.
+pub fn gemm_masked(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    let ptr = SendPtr(out.as_mut_ptr());
+    parallel_rows(m, min_rows_for(k * n), &|r0, r1| {
+        let rows = unsafe { ptr.rows(r0, r1, n) };
+        rows.fill(0.0);
+        for i in r0..r1 {
+            let a_row = &a[i * k..(i + 1) * k];
+            let o_row = &mut rows[(i - r0) * n..(i - r0 + 1) * n];
+            for (kk, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = &b[kk * n..(kk + 1) * n];
+                for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+    });
+}
+
+// ----------------------------------------------------------------------
+// Fused attention kernels (batched, grouped-key layout)
+// ----------------------------------------------------------------------
+
+/// Scores forward: `out[b_i, i] = ⟨q[b_i], k[b_i·m + i]⟩ · scale` for
+/// `q[b×dh]`, `k[b·m×dh]`. Parallel over batch rows.
+pub fn attn_scores_fwd(q: &[f32], k: &[f32], b: usize, m: usize, dh: usize, scale: f32, out: &mut [f32]) {
+    debug_assert_eq!(q.len(), b * dh);
+    debug_assert_eq!(k.len(), b * m * dh);
+    debug_assert_eq!(out.len(), b * m);
+    let ptr = SendPtr(out.as_mut_ptr());
+    parallel_rows(b, min_rows_for(m * dh), &|r0, r1| {
+        let rows = unsafe { ptr.rows(r0, r1, m) };
+        for bi in r0..r1 {
+            let q_row = &q[bi * dh..(bi + 1) * dh];
+            for i in 0..m {
+                let k_row = &k[(bi * m + i) * dh..(bi * m + i + 1) * dh];
+                let mut s = 0.0f32;
+                for (&qx, &kx) in q_row.iter().zip(k_row) {
+                    s += qx * kx;
+                }
+                rows[(bi - r0) * m + i] = s * scale;
+            }
+        }
+    });
+}
+
+/// Scores backward: `dq[b_i] += Σ_i g·k_row`, `dk[b_i·m+i] = g·q_row`
+/// with `g = grad[b_i, i]·scale`. Batch row `b_i` owns `dq` row `b_i`
+/// and `dk` rows `b_i·m..(b_i+1)·m`, so the batch split writes disjoint
+/// rows of both outputs.
+pub fn attn_scores_bwd(
+    grad: &[f32],
+    q: &[f32],
+    k: &[f32],
+    b: usize,
+    m: usize,
+    dh: usize,
+    scale: f32,
+    dq: &mut [f32],
+    dk: &mut [f32],
+) {
+    debug_assert_eq!(grad.len(), b * m);
+    debug_assert_eq!(dq.len(), b * dh);
+    debug_assert_eq!(dk.len(), b * m * dh);
+    let dq_ptr = SendPtr(dq.as_mut_ptr());
+    let dk_ptr = SendPtr(dk.as_mut_ptr());
+    parallel_rows(b, min_rows_for(2 * m * dh), &|r0, r1| {
+        let dq_rows = unsafe { dq_ptr.rows(r0, r1, dh) };
+        let dk_rows = unsafe { dk_ptr.rows(r0 * m, r1 * m, dh) };
+        dq_rows.fill(0.0);
+        for bi in r0..r1 {
+            let q_row = &q[bi * dh..(bi + 1) * dh];
+            let dq_row = &mut dq_rows[(bi - r0) * dh..(bi - r0 + 1) * dh];
+            for i in 0..m {
+                let g = grad[bi * m + i] * scale;
+                let k_row = &k[(bi * m + i) * dh..(bi * m + i + 1) * dh];
+                for (d, &kx) in dq_row.iter_mut().zip(k_row) {
+                    *d += g * kx;
+                }
+                let dk_row = &mut dk_rows[(bi * m + i - r0 * m) * dh..(bi * m + i - r0 * m + 1) * dh];
+                for (d, &qx) in dk_row.iter_mut().zip(q_row) {
+                    *d = g * qx;
+                }
+            }
+        }
+    });
+}
+
+/// Mix forward: `out[b_i] = Σ_i attn[b_i, i] · v[b_i·m + i]` for
+/// `attn[b×m]`, `v[b·m×dh]`. Parallel over batch rows.
+pub fn attn_mix_fwd(attn: &[f32], v: &[f32], b: usize, m: usize, dh: usize, out: &mut [f32]) {
+    debug_assert_eq!(attn.len(), b * m);
+    debug_assert_eq!(v.len(), b * m * dh);
+    debug_assert_eq!(out.len(), b * dh);
+    let ptr = SendPtr(out.as_mut_ptr());
+    parallel_rows(b, min_rows_for(m * dh), &|r0, r1| {
+        let rows = unsafe { ptr.rows(r0, r1, dh) };
+        rows.fill(0.0);
+        for bi in r0..r1 {
+            let o_row = &mut rows[(bi - r0) * dh..(bi - r0 + 1) * dh];
+            for i in 0..m {
+                let w = attn[bi * m + i];
+                let v_row = &v[(bi * m + i) * dh..(bi * m + i + 1) * dh];
+                for (o, &vx) in o_row.iter_mut().zip(v_row) {
+                    *o += w * vx;
+                }
+            }
+        }
+    });
+}
+
+/// Mix backward: `da[b_i, i] = ⟨grad[b_i], v_row⟩`,
+/// `dv[b_i·m+i] = attn[b_i, i]·grad[b_i]`. Same disjoint-row argument as
+/// [`attn_scores_bwd`].
+pub fn attn_mix_bwd(
+    grad: &[f32],
+    attn: &[f32],
+    v: &[f32],
+    b: usize,
+    m: usize,
+    dh: usize,
+    da: &mut [f32],
+    dv: &mut [f32],
+) {
+    debug_assert_eq!(grad.len(), b * dh);
+    debug_assert_eq!(da.len(), b * m);
+    debug_assert_eq!(dv.len(), b * m * dh);
+    let da_ptr = SendPtr(da.as_mut_ptr());
+    let dv_ptr = SendPtr(dv.as_mut_ptr());
+    parallel_rows(b, min_rows_for(2 * m * dh), &|r0, r1| {
+        let da_rows = unsafe { da_ptr.rows(r0, r1, m) };
+        let dv_rows = unsafe { dv_ptr.rows(r0 * m, r1 * m, dh) };
+        for bi in r0..r1 {
+            let g_row = &grad[bi * dh..(bi + 1) * dh];
+            for i in 0..m {
+                let v_row = &v[(bi * m + i) * dh..(bi * m + i + 1) * dh];
+                let mut s = 0.0f32;
+                for (&gx, &vx) in g_row.iter().zip(v_row) {
+                    s += gx * vx;
+                }
+                da_rows[(bi - r0) * m + i] = s;
+                let w = attn[bi * m + i];
+                let dv_row = &mut dv_rows[(bi * m + i - r0 * m) * dh..(bi * m + i - r0 * m + 1) * dh];
+                for (d, &gx) in dv_row.iter_mut().zip(g_row) {
+                    *d = w * gx;
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The pre-backend kernel, zero-skip and all: the reference every
+    /// dense kernel must match bit-for-bit.
+    fn reference_matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for (kk, &av) in a[i * k..(i + 1) * k].iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out[i * n + j] += av * b[kk * n + j];
+                }
+            }
+        }
+        out
+    }
+
+    fn arange(len: usize, seed: f32) -> Vec<f32> {
+        // A deterministic, sign-varying, non-trivial fill.
+        (0..len)
+            .map(|i| ((i as f32 * 0.37 + seed).sin() * 3.0) - 1.0)
+            .collect()
+    }
+
+    #[test]
+    fn gemm_matches_reference_bitwise() {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (1, 7, 1),
+            (3, 5, 2),
+            (4, 8, 8),
+            (5, 9, 11),
+            (17, 33, 9),
+            (64, 64, 64),
+        ] {
+            let a = arange(m * k, 0.1);
+            let b = arange(k * n, 0.7);
+            let want = reference_matmul(&a, &b, m, k, n);
+            let mut got = vec![0.0f32; m * n];
+            gemm(&a, &b, None, m, k, n, &mut got);
+            assert_eq!(
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "gemm mismatch at {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_bias_equals_matmul_then_add() {
+        let (m, k, n) = (7, 13, 10);
+        let a = arange(m * k, 0.3);
+        let b = arange(k * n, 0.9);
+        let bias = arange(n, 2.0);
+        let mut plain = vec![0.0f32; m * n];
+        gemm(&a, &b, None, m, k, n, &mut plain);
+        for i in 0..m {
+            for j in 0..n {
+                plain[i * n + j] += bias[j];
+            }
+        }
+        let mut fused = vec![0.0f32; m * n];
+        gemm(&a, &b, Some(&bias), m, k, n, &mut fused);
+        assert_eq!(
+            plain.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            fused.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gemm_bt_matches_explicit_transpose() {
+        let (m, k, n) = (6, 11, 7);
+        let a = arange(m * k, 0.2);
+        let bt = arange(n * k, 0.8); // B stored [n×k]
+        // Materialise B = btᵀ, run the reference.
+        let mut b = vec![0.0f32; k * n];
+        for j in 0..n {
+            for kk in 0..k {
+                b[kk * n + j] = bt[j * k + kk];
+            }
+        }
+        let want = reference_matmul(&a, &b, m, k, n);
+        let mut got = vec![0.0f32; m * n];
+        gemm_bt(&a, &bt, m, k, n, &mut got);
+        assert_eq!(
+            want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            got.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gemm_tn_matches_explicit_transpose() {
+        let (m, k, n) = (9, 5, 6); // a is [m×k], out is [k×n]
+        let a = arange(m * k, 0.4);
+        let b = arange(m * n, 0.6);
+        let mut at = vec![0.0f32; k * m];
+        for i in 0..m {
+            for p in 0..k {
+                at[p * m + i] = a[i * k + p];
+            }
+        }
+        let want = reference_matmul(&at, &b, k, m, n);
+        let mut got = vec![0.0f32; k * n];
+        gemm_tn(&a, &b, m, k, n, &mut got);
+        assert_eq!(
+            want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            got.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        let mut masked = vec![0.0f32; k * n];
+        gemm_tn_masked(&a, &b, m, k, n, &mut masked);
+        assert_eq!(
+            want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            masked.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn masked_gemm_skips_zeros_but_matches_values() {
+        let (m, k, n) = (8, 12, 5);
+        let mut a = arange(m * k, 0.5);
+        // Sparsify: ~2/3 exact zeros, like a normalised adjacency.
+        for (i, v) in a.iter_mut().enumerate() {
+            if i % 3 != 0 {
+                *v = 0.0;
+            }
+        }
+        let b = arange(k * n, 0.1);
+        let want = reference_matmul(&a, &b, m, k, n);
+        let mut dense = vec![0.0f32; m * n];
+        gemm(&a, &b, None, m, k, n, &mut dense);
+        let mut masked = vec![0.0f32; m * n];
+        gemm_masked(&a, &b, m, k, n, &mut masked);
+        for (w, (d, s)) in want.iter().zip(dense.iter().zip(&masked)) {
+            assert_eq!(w.to_bits(), d.to_bits());
+            assert_eq!(w.to_bits(), s.to_bits());
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_bits() {
+        // Big enough that min_rows_for(k·n) allows several chunks.
+        let (m, k, n) = (200, 64, 40);
+        let a = arange(m * k, 1.1);
+        let b = arange(k * n, 1.7);
+        let mut serial = vec![0.0f32; m * n];
+        pool::set_num_threads(1);
+        gemm(&a, &b, None, m, k, n, &mut serial);
+        for threads in [2, 8] {
+            pool::set_num_threads(threads);
+            let mut par = vec![0.0f32; m * n];
+            gemm(&a, &b, None, m, k, n, &mut par);
+            assert_eq!(
+                serial.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                par.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{threads} threads changed gemm bits"
+            );
+        }
+        pool::set_num_threads(1);
+    }
+}

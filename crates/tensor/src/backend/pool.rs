@@ -1,0 +1,203 @@
+//! A small persistent worker pool for data-parallel kernels.
+//!
+//! The pool exists to parallelise compute kernels **over output rows**:
+//! every task is a contiguous `[start, end)` row range, and distinct
+//! ranges write disjoint regions of the output buffer. Because the split
+//! only decides *who* computes a row — never *how* it is computed — the
+//! result is bit-identical to a serial run for any thread count (see the
+//! determinism argument in `DESIGN.md` §5).
+//!
+//! Threads are spawned lazily on first parallel dispatch and live for the
+//! rest of the process; dispatch costs one channel send + receive per
+//! chunk, cheap enough for per-batch inference kernels. The pool is built
+//! on `crossbeam` channels only — no extra dependencies.
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Hard cap on worker threads, a guard against absurd `APAN_THREADS`.
+const MAX_THREADS: usize = 64;
+
+/// Requested degree of parallelism. 0 = not yet initialised.
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// The number of threads kernels may use (including the calling thread).
+///
+/// Initialised on first use from the `APAN_THREADS` environment variable,
+/// falling back to `std::thread::available_parallelism()`. Override at
+/// runtime with [`set_num_threads`].
+pub fn num_threads() -> usize {
+    let n = THREADS.load(Ordering::Relaxed);
+    if n != 0 {
+        return n;
+    }
+    let n = std::env::var("APAN_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&v| v >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
+        .min(MAX_THREADS);
+    THREADS.store(n, Ordering::Relaxed);
+    n
+}
+
+/// Sets the degree of parallelism for all subsequent kernel calls.
+///
+/// Values are clamped to `[1, 64]`. Thread count never affects numerical
+/// results — only how output rows are partitioned — so this is a pure
+/// performance knob.
+pub fn set_num_threads(n: usize) {
+    THREADS.store(n.clamp(1, MAX_THREADS), Ordering::Relaxed);
+}
+
+/// A row-range task borrowed from a [`parallel_rows`] call site.
+///
+/// The raw closure pointer is only dereferenced before the completion
+/// signal is sent, and `parallel_rows` blocks on all signals before
+/// returning, so the borrow never outlives its scope.
+struct Task {
+    f: *const (dyn Fn(usize, usize) + Sync),
+    start: usize,
+    end: usize,
+    done: Sender<bool>,
+}
+
+// SAFETY: the closure is `Sync` (shared by reference across workers) and
+// `parallel_rows` joins every task before the borrow expires.
+unsafe impl Send for Task {}
+
+struct Pool {
+    tx: Sender<Task>,
+    rx: Receiver<Task>,
+    spawned: Mutex<usize>,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let (tx, rx) = unbounded::<Task>();
+        Pool {
+            tx,
+            rx,
+            spawned: Mutex::new(0),
+        }
+    })
+}
+
+fn ensure_workers(pool: &'static Pool, wanted: usize) {
+    let mut spawned = pool.spawned.lock().expect("pool lock poisoned");
+    while *spawned < wanted {
+        let rx = pool.rx.clone();
+        std::thread::Builder::new()
+            .name(format!("apan-worker-{}", *spawned))
+            .spawn(move || worker_loop(rx))
+            .expect("spawn pool worker");
+        *spawned += 1;
+    }
+}
+
+fn worker_loop(rx: Receiver<Task>) {
+    while let Ok(task) = rx.recv() {
+        let ok = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let f = unsafe { &*task.f };
+            f(task.start, task.end);
+        }))
+        .is_ok();
+        let _ = task.done.send(ok);
+    }
+}
+
+/// Runs `f(start, end)` over a partition of `0..rows` using up to
+/// [`num_threads`] threads (the calling thread works too).
+///
+/// `min_rows` is the smallest chunk worth dispatching: the row range is
+/// split into at most `rows / min_rows` chunks, so small problems fall
+/// back to a single inline call with zero synchronisation cost.
+///
+/// `f` must be safe to call concurrently on disjoint row ranges; kernels
+/// guarantee this by writing only rows in `[start, end)` of the output.
+pub fn parallel_rows(rows: usize, min_rows: usize, f: &(dyn Fn(usize, usize) + Sync)) {
+    if rows == 0 {
+        return;
+    }
+    let threads = num_threads();
+    let chunks = threads.min(rows.div_ceil(min_rows.max(1))).max(1);
+    if chunks == 1 {
+        f(0, rows);
+        return;
+    }
+
+    let pool = pool();
+    ensure_workers(pool, chunks - 1);
+    let (done_tx, done_rx) = bounded::<bool>(chunks - 1);
+
+    let base = rows / chunks;
+    let rem = rows % chunks;
+    // Chunk c covers base rows, plus one extra for the first `rem` chunks.
+    let bounds = |c: usize| c * base + c.min(rem);
+    // SAFETY: erasing the borrow's lifetime is sound because every task is
+    // joined below, before this call returns and the borrow of `f` ends.
+    let f_erased: *const (dyn Fn(usize, usize) + Sync + 'static) =
+        unsafe { std::mem::transmute(f as *const (dyn Fn(usize, usize) + Sync + '_)) };
+    for c in 1..chunks {
+        let task = Task {
+            f: f_erased,
+            start: bounds(c),
+            end: bounds(c + 1),
+            done: done_tx.clone(),
+        };
+        pool.tx.send(task).expect("pool workers alive");
+    }
+    // The calling thread takes the first chunk instead of idling.
+    f(0, bounds(1));
+
+    let mut all_ok = true;
+    for _ in 1..chunks {
+        all_ok &= done_rx.recv().expect("worker signals completion");
+    }
+    assert!(all_ok, "a parallel kernel task panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn covers_all_rows_exactly_once() {
+        set_num_threads(4);
+        let hits: Vec<AtomicU64> = (0..1037).map(|_| AtomicU64::new(0)).collect();
+        parallel_rows(hits.len(), 1, &|start, end| {
+            for r in start..end {
+                hits[r].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        set_num_threads(1);
+    }
+
+    #[test]
+    fn small_problems_run_inline() {
+        set_num_threads(8);
+        // 3 rows with min_rows=8 → single inline chunk; record the thread.
+        let tid = std::sync::Mutex::new(None);
+        parallel_rows(3, 8, &|start, end| {
+            *tid.lock().unwrap() = Some((std::thread::current().id(), start, end));
+        });
+        let (id, s, e) = tid.lock().unwrap().expect("ran");
+        assert_eq!(id, std::thread::current().id());
+        assert_eq!((s, e), (0, 3));
+        set_num_threads(1);
+    }
+
+    #[test]
+    fn zero_rows_is_a_no_op() {
+        parallel_rows(0, 1, &|_, _| panic!("must not be called"));
+    }
+}

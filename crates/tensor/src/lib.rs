@@ -34,6 +34,7 @@
 //! assert!(grad.data().iter().all(|&v| (v - 1.0).abs() < 1e-6));
 //! ```
 
+pub mod backend;
 pub mod grad_check;
 pub mod graph;
 pub mod ops;

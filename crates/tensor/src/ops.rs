@@ -103,14 +103,77 @@ impl Graph {
         let av = self.value(a).clone();
         let bv = self.value(b).clone();
         let out = av.matmul(&bv);
-        let needs = self.needs_grad(a) || self.needs_grad(b);
+        let na = self.needs_grad(a);
+        let nb = self.needs_grad(b);
+        let needs = na || nb;
         let backward = needs.then(|| {
             Box::new(move |grad: &Tensor| {
-                // dA = G · Bᵀ ; dB = Aᵀ · G
-                vec![
-                    (a, grad.matmul(&bv.transpose())),
-                    (b, av.transpose().matmul(grad)),
-                ]
+                // dA = G · Bᵀ ; dB = Aᵀ · G — via the transpose-free
+                // kernels, and only for the operands that need them.
+                let mut grads = Vec::with_capacity(2);
+                if na {
+                    grads.push((a, grad.matmul_bt(&bv)));
+                }
+                if nb {
+                    grads.push((b, av.matmul_tn(grad)));
+                }
+                grads
+            }) as _
+        });
+        self.push(out, needs, backward)
+    }
+
+    /// Fused affine map `x · w + bias`, with `bias` a `1×n` row broadcast
+    /// over output rows — one graph node and one memory pass instead of a
+    /// matmul followed by an add, numerically identical to that pair.
+    pub fn affine(&mut self, x: Var, w: Var, bias: Var) -> Var {
+        let xv = self.value(x).clone();
+        let wv = self.value(w).clone();
+        let out = xv.matmul_bias(&wv, self.value(bias));
+        let bshape = self.value(bias).shape2();
+        let nx = self.needs_grad(x);
+        let nw = self.needs_grad(w);
+        let nb = self.needs_grad(bias);
+        let needs = nx || nw || nb;
+        let backward = needs.then(|| {
+            Box::new(move |grad: &Tensor| {
+                let mut grads = Vec::with_capacity(3);
+                if nx {
+                    grads.push((x, grad.matmul_bt(&wv)));
+                }
+                if nw {
+                    grads.push((w, xv.matmul_tn(grad)));
+                }
+                if nb {
+                    grads.push((bias, grad.reduce_to_shape(bshape)));
+                }
+                grads
+            }) as _
+        });
+        self.push(out, needs, backward)
+    }
+
+    /// Matrix product `a · b` for a **sparse** left operand (exact zeros
+    /// are structural — normalised adjacency, masked attention weights):
+    /// forward and the `dB = Aᵀ·G` backward skip `a`'s zeros. Values are
+    /// identical to [`Graph::matmul`]; only the work is pruned.
+    pub fn matmul_masked(&mut self, a: Var, b: Var) -> Var {
+        let av = self.value(a).clone();
+        let bv = self.value(b).clone();
+        let out = av.matmul_masked(&bv);
+        let na = self.needs_grad(a);
+        let nb = self.needs_grad(b);
+        let needs = na || nb;
+        let backward = needs.then(|| {
+            Box::new(move |grad: &Tensor| {
+                let mut grads = Vec::with_capacity(2);
+                if na {
+                    grads.push((a, grad.matmul_bt(&bv)));
+                }
+                if nb {
+                    grads.push((b, av.matmul_tn_masked(grad)));
+                }
+                grads
             }) as _
         });
         self.push(out, needs, backward)
@@ -563,35 +626,23 @@ impl Graph {
         );
         let scale = 1.0 / (dh as f32).sqrt();
         let mut out = Tensor::zeros(b, m);
-        for bi in 0..b {
-            let qr = qv.row_slice(bi);
-            for i in 0..m {
-                let kr = kv.row_slice(bi * m + i);
-                let s: f32 = qr.iter().zip(kr).map(|(x, y)| x * y).sum();
-                out.set(bi, i, s * scale);
-            }
-        }
+        crate::backend::attn_scores_fwd(qv.data(), kv.data(), b, m, dh, scale, out.data_mut());
         let needs = self.needs_grad(q) || self.needs_grad(k);
         let backward = needs.then(|| {
             Box::new(move |grad: &Tensor| {
                 let mut dq = Tensor::zeros(b, dh);
                 let mut dk = Tensor::zeros(b * m, dh);
-                for bi in 0..b {
-                    for i in 0..m {
-                        let g = grad.get(bi, i) * scale;
-                        if g == 0.0 {
-                            continue;
-                        }
-                        let kr = kv.row_slice(bi * m + i);
-                        let qr = qv.row_slice(bi);
-                        for (d, &kx) in dq.row_slice_mut(bi).iter_mut().zip(kr) {
-                            *d += g * kx;
-                        }
-                        for (d, &qx) in dk.row_slice_mut(bi * m + i).iter_mut().zip(qr) {
-                            *d += g * qx;
-                        }
-                    }
-                }
+                crate::backend::attn_scores_bwd(
+                    grad.data(),
+                    qv.data(),
+                    kv.data(),
+                    b,
+                    m,
+                    dh,
+                    scale,
+                    dq.data_mut(),
+                    dk.data_mut(),
+                );
                 vec![(q, dq), (k, dk)]
             }) as _
         });
@@ -615,35 +666,22 @@ impl Graph {
             vv.rows()
         );
         let mut out = Tensor::zeros(b, dh);
-        for bi in 0..b {
-            for i in 0..m {
-                let w = av.get(bi, i);
-                if w == 0.0 {
-                    continue;
-                }
-                let vr = vv.row_slice(bi * m + i);
-                for (o, &x) in out.row_slice_mut(bi).iter_mut().zip(vr) {
-                    *o += w * x;
-                }
-            }
-        }
+        crate::backend::attn_mix_fwd(av.data(), vv.data(), b, m, dh, out.data_mut());
         let needs = self.needs_grad(attn) || self.needs_grad(v);
         let backward = needs.then(|| {
             Box::new(move |grad: &Tensor| {
                 let mut da = Tensor::zeros(b, m);
                 let mut dv = Tensor::zeros(b * m, dh);
-                for bi in 0..b {
-                    let gr = grad.row_slice(bi);
-                    for i in 0..m {
-                        let vr = vv.row_slice(bi * m + i);
-                        let s: f32 = gr.iter().zip(vr).map(|(x, y)| x * y).sum();
-                        da.set(bi, i, s);
-                        let w = av.get(bi, i);
-                        for (d, &g) in dv.row_slice_mut(bi * m + i).iter_mut().zip(gr) {
-                            *d += w * g;
-                        }
-                    }
-                }
+                crate::backend::attn_mix_bwd(
+                    grad.data(),
+                    av.data(),
+                    vv.data(),
+                    b,
+                    m,
+                    dh,
+                    da.data_mut(),
+                    dv.data_mut(),
+                );
                 vec![(attn, da), (v, dv)]
             }) as _
         });
@@ -816,6 +854,70 @@ mod tests {
             g.sum_all(p)
         })
         .unwrap();
+    }
+
+    #[test]
+    fn affine_grad() {
+        let mut r = rng();
+        let x = Tensor::randn(3, 4, 0.5, &mut r);
+        let w = Tensor::randn(4, 2, 0.5, &mut r);
+        let b = Tensor::randn(1, 2, 0.5, &mut r);
+        check_gradients(&[x, w, b], |g, vars| {
+            let y = g.affine(vars[0], vars[1], vars[2]);
+            let sq = g.mul(y, y);
+            g.sum_all(sq)
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn affine_matches_matmul_then_add_bitwise() {
+        let mut r = rng();
+        let x = Tensor::randn(5, 7, 1.0, &mut r);
+        let w = Tensor::randn(7, 3, 1.0, &mut r);
+        let b = Tensor::randn(1, 3, 1.0, &mut r);
+        let mut g = Graph::new();
+        let (xv, wv, bv) = (
+            g.constant(x.clone()),
+            g.constant(w.clone()),
+            g.constant(b.clone()),
+        );
+        let fused = g.affine(xv, wv, bv);
+        let mm = g.matmul(xv, wv);
+        let unfused = g.add(mm, bv);
+        assert_eq!(g.value(fused).data(), g.value(unfused).data());
+    }
+
+    #[test]
+    fn matmul_masked_grad() {
+        let mut r = rng();
+        let mut a = Tensor::randn(3, 5, 0.5, &mut r);
+        // Structural zeros in the sparse operand; dA stays dense, so both
+        // gradients survive the finite-difference probe.
+        for (i, v) in a.data_mut().iter_mut().enumerate() {
+            if i % 2 == 0 {
+                *v = 0.0;
+            }
+        }
+        let b = Tensor::randn(5, 2, 0.5, &mut r);
+        check_gradients(&[a, b], |g, vars| {
+            let p = g.matmul_masked(vars[0], vars[1]);
+            g.sum_all(p)
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn matmul_masked_matches_dense() {
+        let mut r = rng();
+        let mut a = Tensor::randn(4, 6, 1.0, &mut r);
+        for (i, v) in a.data_mut().iter_mut().enumerate() {
+            if i % 3 != 0 {
+                *v = 0.0;
+            }
+        }
+        let b = Tensor::randn(6, 3, 1.0, &mut r);
+        assert_eq!(a.matmul_masked(&b).data(), a.matmul(&b).data());
     }
 
     #[test]

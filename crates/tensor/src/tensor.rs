@@ -327,9 +327,10 @@ impl Tensor {
 
     /// Matrix product `self · other`.
     ///
-    /// Uses the cache-friendly `i-k-j` loop order so the inner loop is a
-    /// contiguous fused multiply-add over rows of `other`, which LLVM
-    /// auto-vectorizes.
+    /// Runs on the blocked, row-parallel kernel in [`crate::backend`];
+    /// results are bit-identical for every thread count (each output
+    /// element is one ascending-`k` multiply-add chain, and threads only
+    /// split output rows).
     ///
     /// # Panics
     /// Panics if the inner dimensions disagree.
@@ -342,19 +343,106 @@ impl Tensor {
             self.shape, other.shape
         );
         let mut out = Tensor::zeros(m, n);
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let o_row = &mut out.data[i * n..(i + 1) * n];
-            for (kk, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[kk * n..(kk + 1) * n];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        crate::backend::gemm(&self.data, &other.data, None, m, k, n, &mut out.data);
+        out
+    }
+
+    /// Fused `self · other + bias`, with `bias` a `1×n` row broadcast
+    /// over output rows. Bit-identical to `matmul` followed by a
+    /// broadcast add (the bias joins each element after its full
+    /// contraction), one memory pass cheaper.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension or bias-shape mismatch.
+    pub fn matmul_bias(&self, other: &Tensor, bias: &Tensor) -> Tensor {
+        let (m, k) = self.shape();
+        let (k2, n) = other.shape();
+        assert_eq!(
+            k, k2,
+            "matmul_bias inner dimension mismatch: {} vs {}",
+            self.shape, other.shape
+        );
+        assert_eq!(bias.shape(), (1, n), "matmul_bias expects a 1x{n} bias");
+        let mut out = Tensor::zeros(m, n);
+        crate::backend::gemm(&self.data, &other.data, Some(&bias.data), m, k, n, &mut out.data);
+        out
+    }
+
+    /// `self · otherᵀ` without materialising the transpose: `other` is
+    /// `[n×k]` and both operands stream row-major over `k`. Bit-identical
+    /// to `self.matmul(&other.transpose())`.
+    ///
+    /// # Panics
+    /// Panics if the contraction widths disagree.
+    pub fn matmul_bt(&self, other: &Tensor) -> Tensor {
+        let (m, k) = self.shape();
+        let (n, k2) = other.shape();
+        assert_eq!(
+            k, k2,
+            "matmul_bt contraction mismatch: {} vs {}",
+            self.shape, other.shape
+        );
+        let mut out = Tensor::zeros(m, n);
+        crate::backend::gemm_bt(&self.data, &other.data, m, k, n, &mut out.data);
+        out
+    }
+
+    /// `selfᵀ · other` without materialising the transpose: `self` is
+    /// `[m×k]`, `other` `[m×n]`, output `[k×n]`. Bit-identical to
+    /// `self.transpose().matmul(other)`.
+    ///
+    /// # Panics
+    /// Panics if the row counts disagree.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        let (m, k) = self.shape();
+        let (m2, n) = other.shape();
+        assert_eq!(
+            m, m2,
+            "matmul_tn row mismatch: {} vs {}",
+            self.shape, other.shape
+        );
+        let mut out = Tensor::zeros(k, n);
+        crate::backend::gemm_tn(&self.data, &other.data, m, k, n, &mut out.data);
+        out
+    }
+
+    /// Matrix product for a **sparse** left operand: skips `self`'s exact
+    /// zeros, pruning the contraction to the nonzero pattern. Values are
+    /// bit-identical to [`Tensor::matmul`] for finite inputs; use this
+    /// only where zeros are structural (normalised adjacency, masked
+    /// attention weights) — on dense data the branch just costs.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul_masked(&self, other: &Tensor) -> Tensor {
+        let (m, k) = self.shape();
+        let (k2, n) = other.shape();
+        assert_eq!(
+            k, k2,
+            "matmul_masked inner dimension mismatch: {} vs {}",
+            self.shape, other.shape
+        );
+        let mut out = Tensor::zeros(m, n);
+        crate::backend::gemm_masked(&self.data, &other.data, m, k, n, &mut out.data);
+        out
+    }
+
+    /// `selfᵀ · other` skipping `self`'s exact zeros — the backward
+    /// companion of [`Tensor::matmul_masked`] (`dB = Aᵀ·G` touches only
+    /// the rows of `G` selected by `A`'s nonzeros).
+    ///
+    /// # Panics
+    /// Panics if the row counts disagree.
+    pub fn matmul_tn_masked(&self, other: &Tensor) -> Tensor {
+        let (m, k) = self.shape();
+        let (m2, n) = other.shape();
+        assert_eq!(
+            m, m2,
+            "matmul_tn_masked row mismatch: {} vs {}",
+            self.shape, other.shape
+        );
+        let mut out = Tensor::zeros(k, n);
+        crate::backend::gemm_tn_masked(&self.data, &other.data, m, k, n, &mut out.data);
         out
     }
 

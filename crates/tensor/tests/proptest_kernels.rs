@@ -1,0 +1,220 @@
+//! Property tests for the compute backend: every blocked / transposed /
+//! parallel kernel must be **bit-identical** to a plain scalar reference
+//! (the pre-backend naive loop), across ragged shapes and thread counts.
+//!
+//! These are equality assertions on `f32::to_bits`, not `allclose`: the
+//! backend's determinism contract (DESIGN.md §5) is exact, because each
+//! output element is a single ascending-`k` multiply-add chain no matter
+//! how the work is blocked or split across threads.
+
+use apan_tensor::backend::pool::set_num_threads;
+use apan_tensor::Tensor;
+use proptest::prelude::*;
+
+/// The original naive `i-k-j` kernel, zero-skip included — the bitwise
+/// ground truth the backend replaced.
+fn reference_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.shape();
+    let (k2, n) = b.shape();
+    assert_eq!(k, k2);
+    let mut out = Tensor::zeros(m, n);
+    for i in 0..m {
+        for kk in 0..k {
+            let av = a.get(i, kk);
+            if av == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                let cur = out.get(i, j);
+                out.set(i, j, cur + av * b.get(kk, j));
+            }
+        }
+    }
+    out
+}
+
+fn reference_attn_scores(q: &Tensor, k: &Tensor, m: usize) -> Tensor {
+    let (b, dh) = q.shape();
+    let scale = 1.0 / (dh as f32).sqrt();
+    let mut out = Tensor::zeros(b, m);
+    for bi in 0..b {
+        for i in 0..m {
+            let mut s = 0.0f32;
+            for d in 0..dh {
+                s += q.get(bi, d) * k.get(bi * m + i, d);
+            }
+            out.set(bi, i, s * scale);
+        }
+    }
+    out
+}
+
+fn reference_attn_mix(attn: &Tensor, v: &Tensor, m: usize) -> Tensor {
+    let (b, _) = attn.shape();
+    let dh = v.cols();
+    let mut out = Tensor::zeros(b, dh);
+    for bi in 0..b {
+        for i in 0..m {
+            let w = attn.get(bi, i);
+            for d in 0..dh {
+                let cur = out.get(bi, d);
+                out.set(bi, d, cur + w * v.get(bi * m + i, d));
+            }
+        }
+    }
+    out
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+fn filled(r: usize, c: usize, vals: Vec<f32>) -> Tensor {
+    Tensor::from_vec(r, c, vals)
+}
+
+/// GEMM shapes that stress every kernel path: scalars, vectors,
+/// tall-skinny, and sizes straddling the MR=4 / NR=8 block boundaries,
+/// plus random sizes past the serial-fallback threshold.
+fn gemm_dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    prop_oneof![
+        Just((1, 1, 1)),
+        Just((1, 17, 1)),
+        Just((1, 9, 31)),
+        Just((64, 3, 2)),   // tall-skinny
+        Just((5, 40, 9)),   // row tail (5 = MR+1) and column tail (9 = NR+1)
+        Just((4, 33, 8)),   // exact single tile
+        Just((7, 8, 15)),   // both tails
+        Just((40, 40, 17)), // past SMALL_GEMM → blocked path
+        (1usize..=12, 1usize..=12, 1usize..=12),
+        (30usize..=50, 20usize..=40, 10usize..=30),
+    ]
+}
+
+fn gemm_inputs() -> impl Strategy<Value = (Tensor, Tensor)> {
+    gemm_dims().prop_flat_map(|(m, k, n)| {
+        (
+            proptest::collection::vec(-3.0f32..3.0, m * k),
+            proptest::collection::vec(-3.0f32..3.0, k * n),
+        )
+            .prop_map(move |(a, b)| (filled(m, k, a), filled(k, n, b)))
+    })
+}
+
+/// Attention inputs `(q [b×dh], k/v [b·m×dh], m)` over ragged sizes.
+fn attn_inputs() -> impl Strategy<Value = (Tensor, Tensor, usize)> {
+    (1usize..=12, 1usize..=10, 1usize..=12).prop_flat_map(|(b, m, dh)| {
+        (
+            proptest::collection::vec(-2.0f32..2.0, b * dh),
+            proptest::collection::vec(-2.0f32..2.0, b * m * dh),
+        )
+            .prop_map(move |(q, k)| (filled(b, dh, q), filled(b * m, dh, k), m))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gemm_bitwise_matches_reference_for_all_thread_counts((a, b) in gemm_inputs()) {
+        let want = bits(&reference_matmul(&a, &b));
+        for threads in [1usize, 2, 8] {
+            set_num_threads(threads);
+            prop_assert_eq!(&bits(&a.matmul(&b)), &want, "matmul, {} threads", threads);
+        }
+        set_num_threads(1);
+    }
+
+    #[test]
+    fn gemm_bt_bitwise_matches_transposed_reference((a, bt) in gemm_inputs()) {
+        // Store the second operand transposed ([n×k]); matmul_bt reads it
+        // as Bᵀ, so the reference un-transposes it back to [k×n].
+        let (a, bt) = (a, bt.transpose());
+        let want = bits(&reference_matmul(&a, &bt.transpose()));
+        for threads in [1usize, 2, 8] {
+            set_num_threads(threads);
+            prop_assert_eq!(&bits(&a.matmul_bt(&bt)), &want, "matmul_bt, {} threads", threads);
+        }
+        set_num_threads(1);
+    }
+
+    #[test]
+    fn gemm_tn_bitwise_matches_transposed_reference((at, b) in gemm_inputs()) {
+        // Store the first operand pre-transposed ([k×m]); matmul_tn reads
+        // it as Aᵀ = [m×k], so the reference un-transposes it first.
+        let at = at.transpose();
+        let want = bits(&reference_matmul(&at.transpose(), &b));
+        for threads in [1usize, 2, 8] {
+            set_num_threads(threads);
+            prop_assert_eq!(&bits(&at.matmul_tn(&b)), &want, "matmul_tn, {} threads", threads);
+        }
+        set_num_threads(1);
+    }
+
+    #[test]
+    fn masked_gemm_bitwise_matches_dense_and_reference((a, b) in gemm_inputs(), mask_mod in 2usize..5) {
+        let mut a = a;
+        for (i, v) in a.data_mut().iter_mut().enumerate() {
+            if i % mask_mod != 0 {
+                *v = 0.0;
+            }
+        }
+        let want = bits(&reference_matmul(&a, &b));
+        for threads in [1usize, 2, 8] {
+            set_num_threads(threads);
+            prop_assert_eq!(&bits(&a.matmul_masked(&b)), &want, "matmul_masked, {} threads", threads);
+            prop_assert_eq!(&bits(&a.matmul(&b)), &want, "dense on sparse data, {} threads", threads);
+        }
+        set_num_threads(1);
+    }
+
+    #[test]
+    fn fused_bias_bitwise_matches_matmul_then_add((a, b) in gemm_inputs(), bias_seed in -2.0f32..2.0) {
+        let n = b.cols();
+        let bias = Tensor::row(&(0..n).map(|j| bias_seed + j as f32 * 0.25).collect::<Vec<_>>());
+        let mut unfused = reference_matmul(&a, &b);
+        for i in 0..unfused.rows() {
+            for j in 0..n {
+                let cur = unfused.get(i, j);
+                unfused.set(i, j, cur + bias.get(0, j));
+            }
+        }
+        let want = bits(&unfused);
+        for threads in [1usize, 2, 8] {
+            set_num_threads(threads);
+            prop_assert_eq!(&bits(&a.matmul_bias(&b, &bias)), &want, "matmul_bias, {} threads", threads);
+        }
+        set_num_threads(1);
+    }
+
+    #[test]
+    fn attn_kernels_bitwise_match_reference((q, k, m) in attn_inputs()) {
+        use apan_tensor::Graph;
+        let b = q.rows();
+        let want_scores = reference_attn_scores(&q, &k, m);
+        // Reuse the scores as mixing weights so the mix test sees
+        // realistic (and occasionally zero) values.
+        let want_mix = reference_attn_mix(&want_scores, &k, m);
+        let mut grads_at_1 = None;
+        for threads in [1usize, 2, 8] {
+            set_num_threads(threads);
+            let mut g = Graph::new();
+            let qv = g.leaf(q.clone(), true);
+            let kv = g.leaf(k.clone(), true);
+            let s = g.attn_scores(qv, kv, m);
+            prop_assert_eq!(&bits(g.value(s)), &bits(&want_scores), "attn_scores, {} threads", threads);
+            let mixed = g.attn_mix(s, kv, m);
+            prop_assert_eq!(&bits(g.value(mixed)), &bits(&want_mix), "attn_mix, {} threads", threads);
+            prop_assert_eq!(g.value(s).shape(), (b, m));
+            // The parallel backward kernels must be thread-invariant too.
+            let loss = g.sum_all(mixed);
+            g.backward(loss);
+            let got = (bits(g.grad(qv).unwrap()), bits(g.grad(kv).unwrap()));
+            match &grads_at_1 {
+                None => grads_at_1 = Some(got),
+                Some(want) => prop_assert_eq!(&got, want, "attn grads, {} threads", threads),
+            }
+        }
+        set_num_threads(1);
+    }
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Smoke-runs every criterion bench target in --test mode: each benchmark
+# executes exactly once, with no timing or analysis. Catches kernels that
+# panic or mis-shape without paying for a full benchmark run.
+#
+# The tensor_ops target additionally has `test = true` in
+# crates/bench/Cargo.toml, so plain `cargo test` (tier-1) already smokes
+# the kernel benches; this script extends that to all bench targets.
+#
+# Usage: scripts/bench_smoke.sh [extra cargo-test args]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Keep the one-shot pass cheap and deterministic.
+export APAN_SCALE="${APAN_SCALE:-0.002}"
+export APAN_SEEDS="${APAN_SEEDS:-1}"
+export APAN_EPOCHS="${APAN_EPOCHS:-1}"
+
+exec cargo test -p apan-bench --benches --release "$@"
