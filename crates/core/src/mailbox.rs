@@ -8,6 +8,7 @@
 use crate::config::MailboxUpdate;
 use apan_tensor::Tensor;
 use apan_tgraph::{EventId, NodeId, Time};
+use std::io::{self, Read, Write};
 
 /// Which interaction generated a mail — kept for interpretability (§3.6).
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -32,6 +33,7 @@ pub struct MailboxView {
 }
 
 /// Mailboxes, last embeddings, and last-update times for every node.
+#[derive(Clone)]
 pub struct MailboxStore {
     dim: usize,
     slots: usize,
@@ -250,6 +252,141 @@ impl MailboxStore {
         self.last_update[node as usize]
     }
 
+    /// Writes the complete store state in a versioned little-endian
+    /// binary layout — the mailbox section of a serving snapshot:
+    ///
+    /// ```text
+    /// magic "MBOXSNAP" | version u32 | update u8 | slots u32 | dim u32 |
+    /// nodes u32 | mails [f32] | mail_times [f64] |
+    /// origins [(src u32, dst u32, eid u32)] | lens [u8] | heads [u8] |
+    /// embeddings [f32] | last_update [f64]
+    /// ```
+    pub fn write_snapshot<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(b"MBOXSNAP")?;
+        w.write_all(&1u32.to_le_bytes())?;
+        let update = match self.update {
+            MailboxUpdate::Fifo => 0u8,
+            MailboxUpdate::Overwrite => 1,
+            MailboxUpdate::ContentAddressed => 2,
+        };
+        w.write_all(&[update])?;
+        w.write_all(&(self.slots as u32).to_le_bytes())?;
+        w.write_all(&(self.dim as u32).to_le_bytes())?;
+        w.write_all(&(self.lens.len() as u32).to_le_bytes())?;
+        for &v in &self.mails {
+            w.write_all(&v.to_le_bytes())?;
+        }
+        for &t in &self.mail_times {
+            w.write_all(&t.to_le_bytes())?;
+        }
+        for o in &self.origins {
+            w.write_all(&o.src.to_le_bytes())?;
+            w.write_all(&o.dst.to_le_bytes())?;
+            w.write_all(&o.eid.to_le_bytes())?;
+        }
+        w.write_all(&self.lens)?;
+        w.write_all(&self.heads)?;
+        for &v in &self.embeddings {
+            w.write_all(&v.to_le_bytes())?;
+        }
+        for &t in &self.last_update {
+            w.write_all(&t.to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Restores a store written by [`MailboxStore::write_snapshot`].
+    /// Truncated or corrupt input fails with `InvalidData` — it never
+    /// panics or returns a half-restored store.
+    pub fn read_snapshot<R: Read>(r: &mut R) -> io::Result<MailboxStore> {
+        fn bad(msg: impl Into<String>) -> io::Error {
+            io::Error::new(io::ErrorKind::InvalidData, msg.into())
+        }
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != b"MBOXSNAP" {
+            return Err(bad("not a mailbox snapshot"));
+        }
+        let mut u32_buf = [0u8; 4];
+        let mut read_u32 = |r: &mut R| -> io::Result<u32> {
+            r.read_exact(&mut u32_buf)?;
+            Ok(u32::from_le_bytes(u32_buf))
+        };
+        let version = read_u32(r)?;
+        if version != 1 {
+            return Err(bad(format!("unsupported mailbox snapshot version {version}")));
+        }
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte)?;
+        let update = match byte[0] {
+            0 => MailboxUpdate::Fifo,
+            1 => MailboxUpdate::Overwrite,
+            2 => MailboxUpdate::ContentAddressed,
+            u => return Err(bad(format!("unknown mailbox update mode {u}"))),
+        };
+        let slots = read_u32(r)? as usize;
+        let dim = read_u32(r)? as usize;
+        let nodes = read_u32(r)? as usize;
+        if slots == 0 || slots > u8::MAX as usize || dim == 0 {
+            return Err(bad(format!("implausible geometry: {slots} slots × {dim} dim")));
+        }
+        // 1 GiB ceiling on the dominant payload: a corrupt header cannot
+        // drive an unbounded allocation.
+        if nodes.saturating_mul(slots).saturating_mul(dim) > (1usize << 28) {
+            return Err(bad(format!("implausible store size: {nodes} nodes")));
+        }
+        let f32s = |r: &mut R, n: usize| -> io::Result<Vec<f32>> {
+            let mut out = vec![0.0f32; n];
+            let mut buf = [0u8; 4];
+            for v in &mut out {
+                r.read_exact(&mut buf)?;
+                *v = f32::from_le_bytes(buf);
+            }
+            Ok(out)
+        };
+        let f64s = |r: &mut R, n: usize| -> io::Result<Vec<f64>> {
+            let mut out = vec![0.0f64; n];
+            let mut buf = [0u8; 8];
+            for v in &mut out {
+                r.read_exact(&mut buf)?;
+                *v = f64::from_le_bytes(buf);
+            }
+            Ok(out)
+        };
+        let mails = f32s(r, nodes * slots * dim)?;
+        let mail_times = f64s(r, nodes * slots)?;
+        let mut origins = vec![MailOrigin::default(); nodes * slots];
+        let mut buf = [0u8; 4];
+        for o in &mut origins {
+            for field in [&mut o.src, &mut o.dst, &mut o.eid] {
+                r.read_exact(&mut buf)?;
+                *field = u32::from_le_bytes(buf);
+            }
+        }
+        let mut lens = vec![0u8; nodes];
+        r.read_exact(&mut lens)?;
+        let mut heads = vec![0u8; nodes];
+        r.read_exact(&mut heads)?;
+        if lens.iter().any(|&l| l as usize > slots) || heads.iter().any(|&h| (h as usize) >= slots)
+        {
+            return Err(bad("mailbox ring indices out of range"));
+        }
+        let embeddings = f32s(r, nodes * dim)?;
+        let last_update = f64s(r, nodes)?;
+        Ok(MailboxStore {
+            dim,
+            slots,
+            update,
+            mails,
+            mail_times,
+            origins,
+            lens,
+            heads,
+            embeddings,
+            last_update,
+        })
+    }
+
     /// Clears all state, keeping the allocation (used between training
     /// epochs — each epoch replays the stream from scratch).
     pub fn reset(&mut self) {
@@ -419,6 +556,55 @@ mod tests {
         assert_eq!(mails.len(), 2);
         // the orthogonal [0,5] mail survived all the similar arrivals
         assert!(mails.iter().any(|(p, _, _)| p == &[0.0, 5.0]));
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_exact() {
+        let mut s = store(3);
+        for t in 1..=5 {
+            s.deliver(
+                t % 3,
+                &mail(t as f32),
+                t as f64,
+                MailOrigin {
+                    src: t,
+                    dst: t + 1,
+                    eid: t,
+                },
+            );
+        }
+        let z = Tensor::from_rows(&[&[1.0, -2.0, 3.5]]);
+        s.set_embeddings(&[2], &z, 9.0);
+
+        let mut buf = Vec::new();
+        s.write_snapshot(&mut buf).unwrap();
+        let mut cursor = buf.as_slice();
+        let restored = MailboxStore::read_snapshot(&mut cursor).unwrap();
+
+        assert_eq!(restored.num_nodes(), s.num_nodes());
+        assert_eq!(restored.dim(), s.dim());
+        assert_eq!(restored.slots(), s.slots());
+        for n in 0..s.num_nodes() as NodeId {
+            assert_eq!(restored.mails_of(n), s.mails_of(n), "node {n}");
+            assert_eq!(restored.embedding(n), s.embedding(n));
+            assert_eq!(restored.last_update(n), s.last_update(n));
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_truncation_and_garbage() {
+        let mut s = store(2);
+        s.deliver(0, &mail(1.0), 1.0, MailOrigin::default());
+        let mut buf = Vec::new();
+        s.write_snapshot(&mut buf).unwrap();
+        for cut in [0, 4, 12, buf.len() - 1] {
+            let mut cursor = &buf[..cut];
+            assert!(MailboxStore::read_snapshot(&mut cursor).is_err(), "cut {cut}");
+        }
+        let mut garbage = buf.clone();
+        garbage[..8].copy_from_slice(b"NOTMAILS");
+        let mut cursor = garbage.as_slice();
+        assert!(MailboxStore::read_snapshot(&mut cursor).is_err());
     }
 
     #[test]

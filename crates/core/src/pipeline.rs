@@ -35,9 +35,51 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Wire (de)serialization of mail payloads, as on a message bus.
+///
+/// Decoding is total: malformed bytes come back as a [`wire::WireError`],
+/// never a panic — network input must not be able to abort a daemon
+/// built on this module.
 pub mod wire {
     use apan_tensor::Tensor;
     use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+    /// Upper bound on decoded tensor elements (256 Mi f32 = 1 GiB); a
+    /// corrupt or hostile header cannot make us allocate unboundedly.
+    pub const MAX_ELEMS: usize = 1 << 28;
+
+    /// Why a buffer failed to decode.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum WireError {
+        /// The buffer ended before the declared payload did.
+        Truncated {
+            /// Bytes the header promised.
+            needed: usize,
+            /// Bytes actually available.
+            got: usize,
+        },
+        /// The header declares more than [`MAX_ELEMS`] elements.
+        Oversized {
+            /// Declared row count.
+            rows: usize,
+            /// Declared column count.
+            cols: usize,
+        },
+    }
+
+    impl std::fmt::Display for WireError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                WireError::Truncated { needed, got } => {
+                    write!(f, "truncated tensor: need {needed} bytes, have {got}")
+                }
+                WireError::Oversized { rows, cols } => {
+                    write!(f, "implausible tensor header: {rows}x{cols}")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for WireError {}
 
     /// Serializes a tensor as `rows:u32, cols:u32, data:[f32 LE]`.
     pub fn encode_tensor(t: &Tensor) -> Bytes {
@@ -50,18 +92,38 @@ pub mod wire {
         buf.freeze()
     }
 
-    /// Deserializes a tensor encoded by [`encode_tensor`].
-    ///
-    /// # Panics
-    /// Panics if the buffer is truncated.
-    pub fn decode_tensor(mut b: Bytes) -> Tensor {
+    /// Deserializes a tensor encoded by [`encode_tensor`]. Trailing bytes
+    /// are ignored; see [`decode_tensor_from`] to consume from a stream.
+    pub fn decode_tensor(mut b: Bytes) -> Result<Tensor, WireError> {
+        decode_tensor_from(&mut b)
+    }
+
+    /// Decodes one tensor from the front of `b`, advancing it past the
+    /// consumed bytes so several tensors can be unpacked from one frame.
+    pub fn decode_tensor_from(b: &mut Bytes) -> Result<Tensor, WireError> {
+        if b.remaining() < 8 {
+            return Err(WireError::Truncated {
+                needed: 8,
+                got: b.remaining(),
+            });
+        }
         let rows = b.get_u32_le() as usize;
         let cols = b.get_u32_le() as usize;
-        let mut data = Vec::with_capacity(rows * cols);
-        for _ in 0..rows * cols {
+        let elems = rows
+            .checked_mul(cols)
+            .filter(|&n| n <= MAX_ELEMS)
+            .ok_or(WireError::Oversized { rows, cols })?;
+        if b.remaining() < elems * 4 {
+            return Err(WireError::Truncated {
+                needed: 8 + elems * 4,
+                got: 8 + b.remaining(),
+            });
+        }
+        let mut data = Vec::with_capacity(elems);
+        for _ in 0..elems {
             data.push(b.get_f32_le());
         }
-        Tensor::from_vec(rows, cols, data)
+        Ok(Tensor::from_vec(rows, cols, data))
     }
 
     #[cfg(test)]
@@ -71,14 +133,47 @@ pub mod wire {
         #[test]
         fn round_trip() {
             let t = Tensor::from_rows(&[&[1.5, -2.25], &[0.0, 1e-7]]);
-            let decoded = decode_tensor(encode_tensor(&t));
+            let decoded = decode_tensor(encode_tensor(&t)).unwrap();
             assert!(decoded.allclose(&t, 0.0));
         }
 
         #[test]
         fn empty_rows() {
             let t = Tensor::zeros(3, 2);
-            assert!(decode_tensor(encode_tensor(&t)).allclose(&t, 0.0));
+            assert!(decode_tensor(encode_tensor(&t)).unwrap().allclose(&t, 0.0));
+        }
+
+        #[test]
+        fn truncated_input_is_an_error_not_a_panic() {
+            let full = encode_tensor(&Tensor::full(4, 4, 1.0));
+            for cut in 0..full.len() {
+                let err = decode_tensor(full.slice(0..cut)).unwrap_err();
+                assert!(matches!(err, WireError::Truncated { .. }), "cut at {cut}");
+            }
+        }
+
+        #[test]
+        fn oversized_header_rejected_without_allocating() {
+            let mut buf = BytesMut::new();
+            buf.put_u32_le(u32::MAX);
+            buf.put_u32_le(u32::MAX);
+            let err = decode_tensor(buf.freeze()).unwrap_err();
+            assert!(matches!(err, WireError::Oversized { .. }));
+        }
+
+        #[test]
+        fn streaming_decode_consumes_exactly_one_tensor() {
+            let a = Tensor::from_rows(&[&[1.0, 2.0]]);
+            let b = Tensor::from_rows(&[&[3.0], &[4.0]]);
+            let mut buf = BytesMut::new();
+            buf.extend_from_slice(&encode_tensor(&a));
+            buf.extend_from_slice(&encode_tensor(&b));
+            let mut bytes = buf.freeze();
+            let da = decode_tensor_from(&mut bytes).unwrap();
+            let db = decode_tensor_from(&mut bytes).unwrap();
+            assert!(da.allclose(&a, 0.0));
+            assert!(db.allclose(&b, 0.0));
+            assert_eq!(bytes.remaining(), 0);
         }
     }
 }
@@ -103,6 +198,10 @@ pub struct PropStats {
     pub jobs: usize,
     /// Total mailbox deliveries performed.
     pub deliveries: usize,
+    /// Jobs dropped because their wire payload failed to decode. Always
+    /// zero in-process; nonzero only if the channel ever carries bytes
+    /// that crossed a real network.
+    pub decode_errors: usize,
     /// Total graph-query cost paid on the asynchronous link.
     pub cost: QueryCost,
 }
@@ -176,8 +275,30 @@ impl ServingPipeline {
     /// Deploys `model` with serving state for `num_nodes` nodes and a
     /// propagation queue of `capacity` jobs.
     pub fn new(model: Apan, num_nodes: usize, capacity: usize) -> Self {
-        let store = Arc::new(RwLock::new(model.new_store(num_nodes)));
-        let graph = Arc::new(RwLock::new(TemporalGraph::with_capacity(num_nodes, 1024)));
+        let store = model.new_store(num_nodes);
+        let graph = TemporalGraph::with_capacity(num_nodes, 1024);
+        Self::with_state(model, store, graph, capacity)
+    }
+
+    /// Deploys `model` resuming from existing serving state — the
+    /// warm-restart path: a snapshotted mailbox store and temporal graph
+    /// go back in and serving continues exactly where it left off.
+    ///
+    /// # Panics
+    /// Panics if `store`'s mail width differs from the model dimension.
+    pub fn with_state(
+        model: Apan,
+        store: MailboxStore,
+        graph: TemporalGraph,
+        capacity: usize,
+    ) -> Self {
+        assert_eq!(
+            store.dim(),
+            model.cfg.dim,
+            "mailbox store width does not match model dimension"
+        );
+        let store = Arc::new(RwLock::new(store));
+        let graph = Arc::new(RwLock::new(graph));
         let (tx, rx) = bounded::<Job>(capacity.max(1));
         let pending = Arc::new(PendingJobs::new());
 
@@ -192,8 +313,17 @@ impl ServingPipeline {
                 match job {
                     Job::Shutdown => break,
                     Job::Propagate(job) => {
-                        let z = wire::decode_tensor(job.z_wire);
-                        let feats = wire::decode_tensor(job.feats_wire);
+                        // Malformed payloads must not abort the worker: the
+                        // job is dropped and counted, the link stays up.
+                        let (z, feats) =
+                            match (wire::decode_tensor(job.z_wire), wire::decode_tensor(job.feats_wire)) {
+                                (Ok(z), Ok(feats)) => (z, feats),
+                                _ => {
+                                    stats.decode_errors += 1;
+                                    w_pending.decrement();
+                                    continue;
+                                }
+                            };
                         {
                             let mut g = w_graph.write();
                             for i in &job.interactions {
@@ -302,6 +432,22 @@ impl ServingPipeline {
     /// from the propagation worker it was waiting for.
     pub fn flush(&self) {
         self.pending.wait_drained();
+    }
+
+    /// The deployed model (parameters, config, decoders).
+    pub fn model(&self) -> &Apan {
+        &self.model
+    }
+
+    /// Flushes the asynchronous link and hands back consistent clones of
+    /// the serving state — the export half of snapshot/warm-restart. The
+    /// single flush is what makes the pair consistent: no mail is in
+    /// flight between the store and the graph when they are read.
+    pub fn export_state(&self) -> (MailboxStore, TemporalGraph) {
+        self.flush();
+        let store = self.store.read().clone();
+        let graph = self.graph.read().clone();
+        (store, graph)
     }
 
     /// Shared handle to the serving state (for inspection/tests).

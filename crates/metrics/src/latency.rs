@@ -1,5 +1,6 @@
 //! Latency sample collection and percentile reporting.
 
+use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// Collects latency samples (e.g. one per inference batch) and reports
@@ -61,9 +62,72 @@ impl LatencyRecorder {
         self.quantile(0.95)
     }
 
+    /// 99th-percentile latency — the tail a serving SLO is written
+    /// against.
+    pub fn p99(&self) -> Duration {
+        self.quantile(0.99)
+    }
+
+    /// Worst sample seen (zero if empty).
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.samples_ns.iter().copied().max().unwrap_or(0))
+    }
+
     /// Mean latency in fractional milliseconds (the unit of Figure 6).
     pub fn mean_ms(&self) -> f64 {
         self.mean().as_secs_f64() * 1e3
+    }
+
+    /// One-shot percentile summary: sorts once instead of once per
+    /// quantile, so it is safe to call on hot stats endpoints.
+    pub fn summary(&self) -> LatencySummary {
+        if self.samples_ns.is_empty() {
+            return LatencySummary::default();
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_unstable();
+        let q = |q: f64| -> f64 {
+            let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+            sorted[rank] as f64 / 1e6
+        };
+        LatencySummary {
+            count: sorted.len(),
+            mean_ms: self.mean_ms(),
+            p50_ms: q(0.5),
+            p95_ms: q(0.95),
+            p99_ms: q(0.99),
+            max_ms: *sorted.last().unwrap() as f64 / 1e6,
+        }
+    }
+}
+
+/// Point-in-time percentile summary of a [`LatencyRecorder`], in
+/// fractional milliseconds. Serde-serializable for bench reports; the
+/// serving daemon's `STATS` verb ships it via [`LatencySummary::to_json`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of samples summarized.
+    pub count: usize,
+    /// Mean latency.
+    pub mean_ms: f64,
+    /// Median latency.
+    pub p50_ms: f64,
+    /// 95th-percentile latency.
+    pub p95_ms: f64,
+    /// 99th-percentile latency.
+    pub p99_ms: f64,
+    /// Worst sample.
+    pub max_ms: f64,
+}
+
+impl LatencySummary {
+    /// Renders the summary as a JSON object. Hand-rolled (field order is
+    /// part of the wire contract) so it needs no serializer at runtime.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"mean_ms\":{:.6},\"p50_ms\":{:.6},\"p95_ms\":{:.6},\"p99_ms\":{:.6},\"max_ms\":{:.6}}}",
+            self.count, self.mean_ms, self.p50_ms, self.p95_ms, self.p99_ms, self.max_ms
+        )
     }
 }
 
@@ -98,5 +162,48 @@ mod tests {
         let mut r = LatencyRecorder::new();
         r.record(Duration::from_millis(1));
         let _ = r.quantile(1.5);
+    }
+
+    #[test]
+    fn tail_percentiles_and_max() {
+        let mut r = LatencyRecorder::new();
+        for ms in 1..=100u64 {
+            r.record(Duration::from_millis(ms));
+        }
+        assert_eq!(r.p99(), Duration::from_millis(99));
+        assert_eq!(r.max(), Duration::from_millis(100));
+        assert_eq!(LatencyRecorder::new().max(), Duration::ZERO);
+    }
+
+    #[test]
+    fn summary_matches_individual_accessors() {
+        let mut r = LatencyRecorder::new();
+        for ms in [1u64, 2, 3, 4, 100] {
+            r.record(Duration::from_millis(ms));
+        }
+        let s = r.summary();
+        assert_eq!(s.count, 5);
+        assert!((s.mean_ms - r.mean_ms()).abs() < 1e-9);
+        assert!((s.p50_ms - 3.0).abs() < 1e-9);
+        assert!((s.p95_ms - 100.0).abs() < 1e-9);
+        assert!((s.p99_ms - 100.0).abs() < 1e-9);
+        assert!((s.max_ms - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_summary_is_all_zero() {
+        let s = LatencyRecorder::new().summary();
+        assert_eq!(s, LatencySummary::default());
+    }
+
+    #[test]
+    fn summary_json_has_wire_fields() {
+        let mut r = LatencyRecorder::new();
+        r.record(Duration::from_millis(2));
+        let json = r.summary().to_json();
+        for key in ["count", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "max_ms"] {
+            assert!(json.contains(&format!("\"{key}\":")), "missing {key} in {json}");
+        }
+        assert!(json.starts_with('{') && json.ends_with('}'));
     }
 }

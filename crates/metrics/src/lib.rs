@@ -14,6 +14,6 @@ pub mod summary;
 pub mod threshold;
 
 pub use classification::{accuracy, average_precision, roc_auc};
-pub use latency::LatencyRecorder;
+pub use latency::{LatencyRecorder, LatencySummary};
 pub use summary::MeanStd;
 pub use threshold::{precision_at_k, Confusion};

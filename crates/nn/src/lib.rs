@@ -52,5 +52,7 @@ pub use mlp::Mlp;
 pub use norm::LayerNorm;
 pub use optim::{Adam, Optimizer, Sgd};
 pub use param::{Fwd, GradSet, ParamId, ParamStore};
-pub use serialize::{load_params_file, save_params_file, CheckpointError};
+pub use serialize::{
+    load_params, load_params_file, save_params, save_params_file, save_params_vec, CheckpointError,
+};
 pub use time_encoding::TimeEncoding;

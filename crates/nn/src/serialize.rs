@@ -133,6 +133,15 @@ pub fn load_params<R: Read>(store: &mut ParamStore, mut r: R) -> Result<(), Chec
     Ok(())
 }
 
+/// Serializes every parameter of `store` into an owned byte buffer —
+/// the in-memory variant used when a checkpoint is one section of a
+/// larger artifact (e.g. a serving snapshot).
+pub fn save_params_vec(store: &ParamStore) -> Vec<u8> {
+    let mut buf = Vec::new();
+    save_params(store, &mut buf).expect("writing to a Vec cannot fail");
+    buf
+}
+
 /// Saves `store` to a file (atomically via a temp file + rename).
 pub fn save_params_file(store: &ParamStore, path: &Path) -> Result<(), CheckpointError> {
     let tmp = path.with_extension("tmp");

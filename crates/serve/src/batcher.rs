@@ -1,0 +1,463 @@
+//! Request ingress and adaptive micro-batching.
+//!
+//! Connection reader threads push work into a single bounded
+//! [`IngressQueue`]; one batcher thread drains it into inference
+//! batches. Two mechanisms keep the tail latency honest:
+//!
+//! * **admission control** — once the queue holds `high_water` pending
+//!   inference requests, further requests are shed with an explicit
+//!   `OVERLOADED` reply instead of queueing into unbounded latency;
+//! * **adaptive batch closing** — a batch closes as soon as either
+//!   `max_batch` interactions are gathered or `batch_deadline` elapses
+//!   after the first request was picked up. A lone request therefore
+//!   waits at most one deadline (zero by default), while a burst
+//!   arriving inside the window amortizes the encoder GEMMs across one
+//!   forward pass.
+//!
+//! The queue also owns the event-time watermark: serving state is a
+//! time-ordered CTDG, so admitted interactions are clamped to be
+//! monotone (and requests may leave `time` negative to have arrival
+//! order assign it). Clamps are counted — a stream that needs them is
+//! running with lagging client clocks.
+
+use apan_core::propagator::Interaction;
+use apan_tensor::Tensor;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Outcome of one inference request, delivered to its responder.
+pub enum InferOutcome {
+    /// Per-interaction scores, in request order.
+    Scores(Vec<f32>),
+    /// The daemon rejected or failed the request.
+    Failed(String),
+}
+
+/// Completion callback carried with each queued request.
+pub type Responder = Box<dyn FnOnce(InferOutcome) + Send>;
+
+/// One admitted inference request.
+pub struct InferItem {
+    /// Interactions to score (times already admitted/clamped).
+    pub interactions: Vec<Interaction>,
+    /// One feature row per interaction.
+    pub feats: Tensor,
+    /// When the request was admitted (service latency starts here).
+    pub enqueued: Instant,
+    /// Where the outcome goes.
+    pub respond: Responder,
+}
+
+/// Control work interleaved with inference in arrival order.
+pub enum Control {
+    /// Write a snapshot now; `done(None)` on success, message on failure.
+    Snapshot(Box<dyn FnOnce(Option<String>) + Send>),
+    /// Wait until all propagation queued before this point has landed,
+    /// then acknowledge.
+    Flush(Box<dyn FnOnce() + Send>),
+    /// Snapshot (if configured) and stop the batcher.
+    Shutdown(Box<dyn FnOnce() + Send>),
+}
+
+enum Work {
+    Infer(InferItem),
+    Control(Control),
+}
+
+/// What one drain of the queue produced.
+pub enum Drained {
+    /// A closed inference batch (never empty).
+    Batch(Vec<InferItem>),
+    /// A control item (always drained alone, in FIFO position).
+    Control(Control),
+}
+
+/// Why a request was not admitted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmitError {
+    /// Queue depth reached the high-water mark.
+    Overloaded,
+    /// The queue has shut down.
+    Closed,
+}
+
+/// Batch-closing policy.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchPolicy {
+    /// Close a batch once it holds this many interactions.
+    pub max_batch: usize,
+    /// Close a batch this long after its first request was picked up,
+    /// even if `max_batch` was not reached. Zero = greedy (drain only
+    /// what is already queued).
+    pub batch_deadline: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        Self {
+            max_batch: 64,
+            batch_deadline: Duration::ZERO,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    queue: VecDeque<Work>,
+    infer_depth: usize,
+    watermark: f64,
+    shed: u64,
+    clamped: u64,
+    closed: bool,
+}
+
+/// Point-in-time ingress counters (for the `STATS` document).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QueueStats {
+    /// Inference requests currently queued.
+    pub depth: usize,
+    /// Requests shed by admission control since start.
+    pub shed: u64,
+    /// Interaction timestamps clamped forward to keep the stream
+    /// monotone.
+    pub clamped: u64,
+    /// Current event-time watermark.
+    pub watermark: f64,
+}
+
+/// The shared bounded ingress queue.
+pub struct IngressQueue {
+    inner: Mutex<Inner>,
+    nonempty: Condvar,
+    high_water: usize,
+}
+
+impl IngressQueue {
+    /// Creates a queue that sheds once `high_water` inference requests
+    /// are pending.
+    pub fn new(high_water: usize) -> Self {
+        assert!(high_water > 0, "high_water must be positive");
+        Self {
+            inner: Mutex::new(Inner::default()),
+            nonempty: Condvar::new(),
+            high_water,
+        }
+    }
+
+    /// Admits one inference request, clamping its interaction times to
+    /// the monotone event-time watermark (negative/NaN times are
+    /// assigned from arrival order). Sheds with [`AdmitError::Overloaded`]
+    /// past the high-water mark; the caller owes the peer an explicit
+    /// `OVERLOADED` reply.
+    pub fn submit_infer(
+        &self,
+        mut interactions: Vec<Interaction>,
+        feats: Tensor,
+        respond: Responder,
+    ) -> Result<(), (AdmitError, Responder)> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err((AdmitError::Closed, respond));
+        }
+        if inner.infer_depth >= self.high_water {
+            inner.shed += 1;
+            return Err((AdmitError::Overloaded, respond));
+        }
+        for i in &mut interactions {
+            if !(i.time >= 0.0) {
+                // unset (negative or NaN): arrival order assigns time
+                i.time = inner.watermark + 1.0;
+            } else if i.time < inner.watermark {
+                i.time = inner.watermark;
+                inner.clamped += 1;
+            }
+            inner.watermark = i.time;
+        }
+        inner.infer_depth += 1;
+        inner.queue.push_back(Work::Infer(InferItem {
+            interactions,
+            feats,
+            enqueued: Instant::now(),
+            respond,
+        }));
+        drop(inner);
+        self.nonempty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues control work. Control bypasses admission (it must get
+    /// through precisely when the queue is saturated) but keeps FIFO
+    /// order relative to inference requests.
+    pub fn submit_control(&self, c: Control) -> Result<(), Control> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err(c);
+        }
+        inner.queue.push_back(Work::Control(c));
+        drop(inner);
+        self.nonempty.notify_one();
+        Ok(())
+    }
+
+    /// Closes the queue: further submissions fail, and any drain after
+    /// the backlog empties returns `None`.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.nonempty.notify_all();
+    }
+
+    /// Ingress counters for the stats surface.
+    pub fn stats(&self) -> QueueStats {
+        let inner = self.inner.lock().unwrap();
+        QueueStats {
+            depth: inner.infer_depth,
+            shed: inner.shed,
+            clamped: inner.clamped,
+            watermark: inner.watermark,
+        }
+    }
+
+    /// Blocks for the next unit of work and closes a batch around it per
+    /// `policy`. Returns `None` only once the queue is closed and empty.
+    pub fn drain(&self, policy: BatchPolicy) -> Option<Drained> {
+        let mut inner = self.inner.lock().unwrap();
+        // wait for the first item
+        loop {
+            if let Some(work) = inner.queue.pop_front() {
+                match work {
+                    Work::Control(c) => return Some(Drained::Control(c)),
+                    Work::Infer(item) => {
+                        inner.infer_depth -= 1;
+                        let mut batch = vec![item];
+                        let mut total: usize = batch[0].interactions.len();
+                        let deadline = Instant::now() + policy.batch_deadline;
+                        // greedily absorb queued requests; optionally wait
+                        // out the deadline for stragglers
+                        loop {
+                            while total < policy.max_batch {
+                                match inner.queue.front() {
+                                    Some(Work::Infer(_)) => {
+                                        if let Some(Work::Infer(next)) = inner.queue.pop_front() {
+                                            inner.infer_depth -= 1;
+                                            total += next.interactions.len();
+                                            batch.push(next);
+                                        }
+                                    }
+                                    // a control item closes the batch: it
+                                    // must observe state as of its queue
+                                    // position
+                                    Some(Work::Control(_)) | None => break,
+                                }
+                            }
+                            if total >= policy.max_batch
+                                || matches!(inner.queue.front(), Some(Work::Control(_)))
+                                || inner.closed
+                            {
+                                break;
+                            }
+                            let now = Instant::now();
+                            if now >= deadline {
+                                break;
+                            }
+                            let (guard, timeout) = self
+                                .nonempty
+                                .wait_timeout(inner, deadline - now)
+                                .unwrap();
+                            inner = guard;
+                            if timeout.timed_out() && inner.queue.is_empty() {
+                                break;
+                            }
+                        }
+                        return Some(Drained::Batch(batch));
+                    }
+                }
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.nonempty.wait(inner).unwrap();
+        }
+    }
+}
+
+/// Concatenates a drained batch into one inference call's inputs. The
+/// queue admitted requests in watermark order, so the concatenation is
+/// time-ordered by construction.
+pub fn assemble(batch: &[InferItem]) -> (Vec<Interaction>, Tensor) {
+    let interactions: Vec<Interaction> = batch
+        .iter()
+        .flat_map(|item| item.interactions.iter().copied())
+        .collect();
+    let feat_refs: Vec<&Tensor> = batch.iter().map(|item| &item.feats).collect();
+    (interactions, Tensor::vcat(&feat_refs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use std::sync::Arc;
+
+    fn item(time: f64) -> (Vec<Interaction>, Tensor, Responder, mpsc::Receiver<InferOutcome>) {
+        let (tx, rx) = mpsc::channel();
+        let respond: Responder = Box::new(move |o| {
+            let _ = tx.send(o);
+        });
+        (
+            vec![Interaction {
+                src: 0,
+                dst: 1,
+                time,
+                eid: 0,
+            }],
+            Tensor::full(1, 4, 0.5),
+            respond,
+            rx,
+        )
+    }
+
+    fn submit(q: &IngressQueue, time: f64) -> Result<(), AdmitError> {
+        let (i, f, r, _rx) = item(time);
+        q.submit_infer(i, f, r).map_err(|(e, _)| e)
+    }
+
+    #[test]
+    fn sheds_past_high_water() {
+        let q = IngressQueue::new(2);
+        assert!(submit(&q, 1.0).is_ok());
+        assert!(submit(&q, 2.0).is_ok());
+        assert_eq!(submit(&q, 3.0).unwrap_err(), AdmitError::Overloaded);
+        assert_eq!(q.stats().shed, 1);
+        assert_eq!(q.stats().depth, 2);
+    }
+
+    #[test]
+    fn draining_frees_admission() {
+        let q = IngressQueue::new(1);
+        assert!(submit(&q, 1.0).is_ok());
+        assert_eq!(submit(&q, 2.0).unwrap_err(), AdmitError::Overloaded);
+        match q.drain(BatchPolicy::default()) {
+            Some(Drained::Batch(b)) => assert_eq!(b.len(), 1),
+            _ => panic!("expected batch"),
+        }
+        assert!(submit(&q, 3.0).is_ok());
+    }
+
+    #[test]
+    fn times_clamped_monotone_and_assigned() {
+        let q = IngressQueue::new(8);
+        assert!(submit(&q, 5.0).is_ok());
+        assert!(submit(&q, 3.0).is_ok()); // behind the watermark: clamp
+        assert!(submit(&q, -1.0).is_ok()); // unset: arrival order assigns
+        let stats = q.stats();
+        assert_eq!(stats.clamped, 1);
+        assert!((stats.watermark - 6.0).abs() < 1e-9);
+        match q.drain(BatchPolicy::default()) {
+            Some(Drained::Batch(b)) => {
+                let (inter, feats) = assemble(&b);
+                assert_eq!(feats.rows(), 3);
+                let times: Vec<f64> = inter.iter().map(|i| i.time).collect();
+                assert_eq!(times, vec![5.0, 5.0, 6.0]);
+            }
+            _ => panic!("expected batch"),
+        }
+    }
+
+    #[test]
+    fn greedy_drain_coalesces_backlog_up_to_max_batch() {
+        let q = IngressQueue::new(16);
+        for t in 0..5 {
+            assert!(submit(&q, t as f64).is_ok());
+        }
+        let policy = BatchPolicy {
+            max_batch: 3,
+            batch_deadline: Duration::ZERO,
+        };
+        match q.drain(policy) {
+            Some(Drained::Batch(b)) => assert_eq!(b.len(), 3),
+            _ => panic!("expected batch"),
+        }
+        match q.drain(policy) {
+            Some(Drained::Batch(b)) => assert_eq!(b.len(), 2),
+            _ => panic!("expected batch"),
+        }
+    }
+
+    #[test]
+    fn deadline_waits_for_stragglers() {
+        let q = Arc::new(IngressQueue::new(16));
+        let q2 = Arc::clone(&q);
+        assert!(submit(&q, 1.0).is_ok());
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            let _ = submit(&q2, 2.0);
+        });
+        let policy = BatchPolicy {
+            max_batch: 8,
+            batch_deadline: Duration::from_millis(300),
+        };
+        match q.drain(policy) {
+            Some(Drained::Batch(b)) => {
+                assert_eq!(b.len(), 2, "straggler arriving inside the deadline joins");
+            }
+            _ => panic!("expected batch"),
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn control_keeps_fifo_position_and_bypasses_admission() {
+        let q = IngressQueue::new(1);
+        assert!(submit(&q, 1.0).is_ok());
+        // queue full for inference, but control still gets through
+        assert!(q
+            .submit_control(Control::Snapshot(Box::new(|_| {})))
+            .is_ok());
+        assert!(submit(&q, 2.0).is_err());
+        // first drain: the infer item, batch closed by the control item
+        match q.drain(BatchPolicy {
+            max_batch: 8,
+            batch_deadline: Duration::from_secs(5),
+        }) {
+            Some(Drained::Batch(b)) => assert_eq!(b.len(), 1),
+            _ => panic!("expected batch first"),
+        }
+        match q.drain(BatchPolicy::default()) {
+            Some(Drained::Control(Control::Snapshot(_))) => {}
+            _ => panic!("expected control second"),
+        }
+    }
+
+    #[test]
+    fn close_unblocks_and_drains_to_none() {
+        let q = Arc::new(IngressQueue::new(4));
+        assert!(submit(&q, 1.0).is_ok());
+        q.close();
+        assert_eq!(submit(&q, 2.0).unwrap_err(), AdmitError::Closed);
+        assert!(matches!(
+            q.drain(BatchPolicy::default()),
+            Some(Drained::Batch(_))
+        ));
+        assert!(q.drain(BatchPolicy::default()).is_none());
+    }
+
+    #[test]
+    fn responder_receives_outcome() {
+        let q = IngressQueue::new(4);
+        let (i, f, r, rx) = item(1.0);
+        assert!(q.submit_infer(i, f, r).is_ok());
+        match q.drain(BatchPolicy::default()) {
+            Some(Drained::Batch(batch)) => {
+                for it in batch {
+                    (it.respond)(InferOutcome::Scores(vec![0.5]));
+                }
+            }
+            _ => panic!("expected batch"),
+        }
+        match rx.recv().unwrap() {
+            InferOutcome::Scores(s) => assert_eq!(s, vec![0.5]),
+            InferOutcome::Failed(m) => panic!("failed: {m}"),
+        }
+    }
+}

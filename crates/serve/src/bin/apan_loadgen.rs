@@ -1,0 +1,226 @@
+//! `apan-loadgen` — concurrent load generator for `apand`.
+//!
+//! Opens `--conns` connections, each issuing lockstep `INFER` requests
+//! with daemon-assigned event times for `--duration-s` seconds, then
+//! prints client-observed latency, per-outcome counts, and the daemon's
+//! own `STATS` document — so the daemon's claimed p99 can be checked
+//! against what clients actually saw.
+//!
+//! ```text
+//! apan-loadgen --addr 127.0.0.1:7878 --conns 4 --duration-s 2 --batch 8
+//! ```
+
+use apan_core::propagator::Interaction;
+use apan_metrics::LatencyRecorder;
+use apan_serve::client::{json_u64_field, Client, ClientError};
+use apan_tensor::Tensor;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+struct Args {
+    addr: String,
+    conns: usize,
+    duration_s: u64,
+    batch: usize,
+    universe: u32,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".into(),
+            conns: 4,
+            duration_s: 2,
+            batch: 8,
+            universe: 10_000,
+        }
+    }
+}
+
+const USAGE: &str =
+    "usage: apan-loadgen [--addr HOST:PORT] [--conns N] [--duration-s N] [--batch N] [--universe N]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            println!("{USAGE}");
+            std::process::exit(0);
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))?;
+        match flag.as_str() {
+            "--addr" => args.addr = value,
+            "--conns" => args.conns = value.parse().map_err(|_| "bad --conns".to_string())?,
+            "--duration-s" => {
+                args.duration_s = value.parse().map_err(|_| "bad --duration-s".to_string())?
+            }
+            "--batch" => args.batch = value.parse().map_err(|_| "bad --batch".to_string())?,
+            "--universe" => {
+                args.universe = value.parse().map_err(|_| "bad --universe".to_string())?
+            }
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+#[derive(Default)]
+struct Totals {
+    ok: AtomicU64,
+    overloaded: AtomicU64,
+    errors: AtomicU64,
+    interactions: AtomicU64,
+}
+
+/// Deterministic per-thread pseudo-random stream (splitmix64) — enough
+/// variety to exercise the daemon without an RNG dependency here.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+}
+
+fn worker(
+    args: &Args,
+    dim: usize,
+    seed: u64,
+    stop: &AtomicBool,
+    totals: &Totals,
+    latency: &Mutex<LatencyRecorder>,
+) {
+    let mut client = match Client::connect(&args.addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("apan-loadgen: connect failed: {e}");
+            totals.errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    };
+    let mut mix = Mix(seed);
+    while !stop.load(Ordering::Relaxed) {
+        let interactions: Vec<Interaction> = (0..args.batch)
+            .map(|_| Interaction {
+                src: (mix.next() % args.universe as u64) as u32,
+                dst: (mix.next() % args.universe as u64) as u32,
+                time: -1.0, // daemon assigns event time from arrival order
+                eid: 0,
+            })
+            .collect();
+        let data: Vec<f32> = (0..args.batch * dim)
+            .map(|_| (mix.next() % 1000) as f32 / 1000.0 - 0.5)
+            .collect();
+        let feats = Tensor::from_vec(args.batch, dim, data);
+        let start = Instant::now();
+        match client.infer(&interactions, &feats) {
+            Ok(scores) => {
+                totals.ok.fetch_add(1, Ordering::Relaxed);
+                totals
+                    .interactions
+                    .fetch_add(scores.len() as u64, Ordering::Relaxed);
+                latency.lock().unwrap().record(start.elapsed());
+            }
+            Err(ClientError::Overloaded) => {
+                totals.overloaded.fetch_add(1, Ordering::Relaxed);
+                // polite backoff before re-offering load
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => {
+                totals.errors.fetch_add(1, Ordering::Relaxed);
+                eprintln!("apan-loadgen: infer failed: {e}");
+                return;
+            }
+        }
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("apan-loadgen: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    // One probe connection learns the daemon geometry.
+    let mut probe = match Client::connect(&args.addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("apan-loadgen: cannot reach {}: {e}", args.addr);
+            std::process::exit(1);
+        }
+    };
+    let info = probe.info().unwrap_or_else(|e| {
+        eprintln!("apan-loadgen: INFO failed: {e}");
+        std::process::exit(1);
+    });
+    let dim = json_u64_field(&info, "dim").unwrap_or(0) as usize;
+    let max_node = json_u64_field(&info, "max_node").unwrap_or(u64::from(u32::MAX)) as u32;
+    if dim == 0 {
+        eprintln!("apan-loadgen: daemon reported dim 0 ({info})");
+        std::process::exit(1);
+    }
+    let args = Args {
+        universe: args.universe.min(max_node),
+        ..args
+    };
+    println!("apan-loadgen: daemon info {info}");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let totals = Arc::new(Totals::default());
+    let latency = Arc::new(Mutex::new(LatencyRecorder::new()));
+    let args = Arc::new(args);
+
+    let started = Instant::now();
+    let workers: Vec<_> = (0..args.conns)
+        .map(|k| {
+            let (args, stop, totals, latency) = (
+                Arc::clone(&args),
+                Arc::clone(&stop),
+                Arc::clone(&totals),
+                Arc::clone(&latency),
+            );
+            std::thread::spawn(move || {
+                worker(&args, dim, 0x5eed + k as u64, &stop, &totals, &latency)
+            })
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_secs(args.duration_s));
+    stop.store(true, Ordering::Relaxed);
+    for w in workers {
+        let _ = w.join();
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let ok = totals.ok.load(Ordering::Relaxed);
+    let interactions = totals.interactions.load(Ordering::Relaxed);
+    let summary = latency.lock().unwrap().summary();
+    println!(
+        "apan-loadgen: {} requests ok ({} overloaded, {} errors), {} interactions in {:.2}s ({:.0} inter/s)",
+        ok,
+        totals.overloaded.load(Ordering::Relaxed),
+        totals.errors.load(Ordering::Relaxed),
+        interactions,
+        elapsed,
+        interactions as f64 / elapsed,
+    );
+    println!("apan-loadgen: client latency {}", summary.to_json());
+    match probe.stats() {
+        Ok(stats) => println!("apan-loadgen: daemon stats {stats}"),
+        Err(e) => {
+            eprintln!("apan-loadgen: STATS failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

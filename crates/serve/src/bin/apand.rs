@@ -1,0 +1,175 @@
+//! `apand` — the APAN serving daemon.
+//!
+//! Boots a seeded model (or warm-restarts from `--snapshot` if the file
+//! exists), binds the TCP protocol, and serves until a client sends
+//! `SHUTDOWN` or the process receives SIGTERM/SIGINT — both paths write
+//! a final snapshot when one is configured.
+//!
+//! ```text
+//! apand --port 7878 --dim 32 --snapshot /var/lib/apan/serve.snap \
+//!       --snapshot-every-s 30 --max-batch 64 --deadline-us 500
+//! ```
+
+use apan_core::config::ApanConfig;
+use apan_core::model::Apan;
+use apan_serve::batcher::BatchPolicy;
+use apan_serve::server::ServeConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Set from the signal handler; polled by the main thread.
+static STOP: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    // No libc crate in this workspace; std already links libc on unix,
+    // so declare the one symbol needed. The handler only stores to an
+    // AtomicBool — async-signal-safe by construction.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_signal(_signum: i32) {
+        STOP.store(true, Ordering::SeqCst);
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+struct Args {
+    port: u16,
+    dim: usize,
+    slots: usize,
+    nodes: usize,
+    max_node: u32,
+    capacity: usize,
+    max_batch: usize,
+    deadline_us: u64,
+    high_water: usize,
+    snapshot: Option<PathBuf>,
+    snapshot_every_s: Option<u64>,
+    seed: u64,
+    infer_delay_us: u64,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            port: 7878,
+            dim: 32,
+            slots: 10,
+            nodes: 1024,
+            max_node: 1 << 20,
+            capacity: 256,
+            max_batch: 64,
+            deadline_us: 0,
+            high_water: 1024,
+            snapshot: None,
+            snapshot_every_s: None,
+            seed: 42,
+            infer_delay_us: 0,
+        }
+    }
+}
+
+const USAGE: &str = "usage: apand [--port N] [--dim N] [--slots N] [--nodes N] [--max-node N]
+             [--capacity N] [--max-batch N] [--deadline-us N] [--high-water N]
+             [--snapshot PATH] [--snapshot-every-s N] [--seed N] [--infer-delay-us N]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            println!("{USAGE}");
+            std::process::exit(0);
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))?;
+        let num = |v: &str| -> Result<u64, String> {
+            v.parse().map_err(|_| format!("{flag}: bad number {v:?}"))
+        };
+        match flag.as_str() {
+            "--port" => args.port = num(&value)? as u16,
+            "--dim" => args.dim = num(&value)? as usize,
+            "--slots" => args.slots = num(&value)? as usize,
+            "--nodes" => args.nodes = num(&value)? as usize,
+            "--max-node" => args.max_node = num(&value)? as u32,
+            "--capacity" => args.capacity = num(&value)? as usize,
+            "--max-batch" => args.max_batch = num(&value)? as usize,
+            "--deadline-us" => args.deadline_us = num(&value)?,
+            "--high-water" => args.high_water = num(&value)? as usize,
+            "--snapshot" => args.snapshot = Some(PathBuf::from(value)),
+            "--snapshot-every-s" => args.snapshot_every_s = Some(num(&value)?),
+            "--seed" => args.seed = num(&value)?,
+            "--infer-delay-us" => args.infer_delay_us = num(&value)?,
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("apand: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut cfg = ApanConfig::new(args.dim);
+    cfg.mailbox_slots = args.slots;
+    cfg.dropout = 0.0; // serving is eval-mode only
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let model = Apan::new(&cfg, &mut rng);
+
+    let serve_cfg = ServeConfig {
+        addr: format!("0.0.0.0:{}", args.port),
+        num_nodes: args.nodes,
+        max_node: args.max_node,
+        capacity: args.capacity,
+        policy: BatchPolicy {
+            max_batch: args.max_batch,
+            batch_deadline: Duration::from_micros(args.deadline_us),
+        },
+        high_water: args.high_water,
+        snapshot_path: args.snapshot,
+        snapshot_every: args.snapshot_every_s.map(Duration::from_secs),
+        infer_delay: Duration::from_micros(args.infer_delay_us),
+    };
+
+    install_signal_handlers();
+
+    let handle = match apan_serve::start(model, serve_cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("apand: failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    // stdout line is the contract scripts wait on to learn the port
+    println!("apand listening on {}", handle.addr());
+
+    // Serve until a client SHUTDOWN flips is_running, or a signal lands.
+    while handle.is_running() && !STOP.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    if STOP.load(Ordering::SeqCst) {
+        eprintln!("apand: signal received, shutting down");
+        handle.shutdown();
+    } else {
+        handle.join();
+    }
+    println!("apand stopped");
+}

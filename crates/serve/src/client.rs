@@ -1,0 +1,193 @@
+//! Blocking client for the `apan-serve` protocol.
+//!
+//! One [`Client`] wraps one TCP connection and issues one request at a
+//! time (request/reply lockstep). The daemon supports pipelining via
+//! `req_id`, but the lockstep client is what every caller in this repo
+//! needs — the load generator gets concurrency by opening many
+//! connections instead.
+
+use crate::proto::{self, reply, verb, Frame, ProtoError};
+use apan_core::propagator::Interaction;
+use apan_tensor::Tensor;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (includes the daemon closing mid-reply).
+    Io(io::Error),
+    /// The daemon shed this request under load; retry with backoff.
+    Overloaded,
+    /// The daemon replied `ERROR`; payload is its message.
+    Server(String),
+    /// The reply violated the protocol.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Overloaded => write!(f, "daemon overloaded"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        match e {
+            ProtoError::Io(e) => ClientError::Io(e),
+            other => ClientError::Protocol(other.to_string()),
+        }
+    }
+}
+
+/// A connection to an `apan-serve` daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let write_half = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer: BufWriter::new(write_half),
+            next_id: 1,
+        })
+    }
+
+    /// Caps how long one call may block on the daemon's reply.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    fn roundtrip(&mut self, v: u8, payload: &[u8]) -> Result<Frame, ClientError> {
+        let req_id = self.next_id;
+        self.next_id += 1;
+        proto::write_frame(&mut self.writer, v, req_id, payload)?;
+        self.writer.flush()?;
+        let frame = proto::read_frame(&mut self.reader)?
+            .ok_or_else(|| ClientError::Protocol("daemon closed the connection".into()))?;
+        if frame.req_id != req_id {
+            return Err(ClientError::Protocol(format!(
+                "reply for request {} while awaiting {}",
+                frame.req_id, req_id
+            )));
+        }
+        match frame.verb {
+            reply::OVERLOADED => Err(ClientError::Overloaded),
+            reply::ERROR => Err(ClientError::Server(
+                String::from_utf8_lossy(&frame.payload).into_owned(),
+            )),
+            _ => Ok(frame),
+        }
+    }
+
+    /// Scores a group of interactions (one feature row each). Pass a
+    /// negative `time` to let the daemon assign event time from arrival
+    /// order — the natural choice for clients without a shared clock.
+    pub fn infer(
+        &mut self,
+        interactions: &[Interaction],
+        feats: &Tensor,
+    ) -> Result<Vec<f32>, ClientError> {
+        let frame = self.roundtrip(verb::INFER, &proto::encode_infer(interactions, feats))?;
+        if frame.verb != reply::SCORES {
+            return Err(ClientError::Protocol(format!(
+                "unexpected reply verb {:#04x} to INFER",
+                frame.verb
+            )));
+        }
+        Ok(proto::decode_scores(frame.payload)?)
+    }
+
+    fn json(&mut self, v: u8) -> Result<String, ClientError> {
+        let frame = self.roundtrip(v, b"")?;
+        if frame.verb != reply::JSON {
+            return Err(ClientError::Protocol(format!(
+                "unexpected reply verb {:#04x}",
+                frame.verb
+            )));
+        }
+        String::from_utf8(frame.payload.to_vec())
+            .map_err(|_| ClientError::Protocol("non-UTF-8 JSON reply".into()))
+    }
+
+    /// Fetches the serving statistics JSON document.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        self.json(verb::STATS)
+    }
+
+    /// Fetches the daemon geometry JSON (`dim`, `mailbox_slots`, limits).
+    pub fn info(&mut self) -> Result<String, ClientError> {
+        self.json(verb::INFO)
+    }
+
+    /// Blocks until all propagation handed off before this call has
+    /// landed in the daemon's mailbox store. Makes a subsequent `infer`
+    /// deterministic with respect to everything already submitted.
+    pub fn flush(&mut self) -> Result<(), ClientError> {
+        self.roundtrip(verb::FLUSH, b"").map(|_| ())
+    }
+
+    /// Asks the daemon to write a snapshot now.
+    pub fn snapshot(&mut self) -> Result<(), ClientError> {
+        self.roundtrip(verb::SNAPSHOT, b"").map(|_| ())
+    }
+
+    /// Asks the daemon to snapshot (if configured) and stop.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        self.roundtrip(verb::SHUTDOWN, b"").map(|_| ())
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.roundtrip(verb::PING, b"").map(|_| ())
+    }
+}
+
+/// Pulls an integer field out of one of the daemon's flat JSON
+/// documents. This repo has no JSON parser dependency, and the daemon's
+/// stats/info documents are flat enough that a field scan is exact.
+pub fn json_u64_field(doc: &str, field: &str) -> Option<u64> {
+    let needle = format!("\"{field}\":");
+    let start = doc.find(&needle)? + needle.len();
+    let rest = &doc[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_field_scan_finds_flat_fields() {
+        let doc = r#"{"dim":16,"mailbox_slots":10,"shed":0,"batch_hist":[1,2,3]}"#;
+        assert_eq!(json_u64_field(doc, "dim"), Some(16));
+        assert_eq!(json_u64_field(doc, "shed"), Some(0));
+        assert_eq!(json_u64_field(doc, "mailbox_slots"), Some(10));
+        assert_eq!(json_u64_field(doc, "missing"), None);
+    }
+}

@@ -1,0 +1,330 @@
+//! The `apan-serve` wire protocol: length-prefixed binary frames over
+//! TCP, reusing [`apan_core::pipeline::wire`] for tensor payloads.
+//!
+//! ```text
+//! frame    := len:u32 LE | body            (len = body length in bytes)
+//! body     := verb:u8 | req_id:u64 LE | payload
+//! INFER    := n:u32 | n × (src:u32, dst:u32, time:f64, eid:u32) | tensor
+//! tensor   := rows:u32 | cols:u32 | [f32 LE]      (pipeline::wire format)
+//! SCORES   := n:u32 | [f32 LE]
+//! ```
+//!
+//! `req_id` is chosen by the client and echoed verbatim in the reply, so
+//! a client may pipeline requests and match replies out of order.
+//! Decoding is total: malformed bytes produce a [`ProtoError`], never a
+//! panic — a daemon must survive any byte stream a socket can deliver.
+
+use apan_core::pipeline::wire::{self, WireError};
+use apan_core::propagator::Interaction;
+use apan_tensor::Tensor;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{self, Read, Write};
+
+/// Hard ceiling on one frame's body (64 MiB): a corrupt length prefix
+/// cannot drive an unbounded allocation.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Request verbs (client → daemon).
+pub mod verb {
+    /// Score a group of interactions.
+    pub const INFER: u8 = 0x01;
+    /// Fetch the serving statistics JSON document.
+    pub const STATS: u8 = 0x02;
+    /// Force a snapshot to disk now.
+    pub const SNAPSHOT: u8 = 0x03;
+    /// Snapshot (if configured) and stop the daemon.
+    pub const SHUTDOWN: u8 = 0x04;
+    /// Liveness probe.
+    pub const PING: u8 = 0x05;
+    /// Fetch the model/daemon geometry JSON (dim, slots, limits).
+    pub const INFO: u8 = 0x06;
+    /// Block until all asynchronous propagation handed off before this
+    /// verb's queue position has landed in the mailbox store. Serving
+    /// never needs this; deterministic tests and consistent reads do.
+    pub const FLUSH: u8 = 0x07;
+}
+
+/// Reply verbs (daemon → client).
+pub mod reply {
+    /// Per-interaction link scores.
+    pub const SCORES: u8 = 0x81;
+    /// Admission control shed this request; retry with backoff.
+    pub const OVERLOADED: u8 = 0x82;
+    /// UTF-8 JSON document (`STATS` / `INFO` replies).
+    pub const JSON: u8 = 0x83;
+    /// Verb acknowledged (`SNAPSHOT` / `SHUTDOWN` / `PING`).
+    pub const OK: u8 = 0x84;
+    /// Request failed; payload is a UTF-8 message.
+    pub const ERROR: u8 = 0x7F;
+}
+
+/// Protocol-level failures.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// A tensor payload failed to decode.
+    Wire(WireError),
+    /// Structurally invalid frame or payload.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "io error: {e}"),
+            ProtoError::Wire(e) => write!(f, "wire error: {e}"),
+            ProtoError::Malformed(m) => write!(f, "malformed frame: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+impl From<WireError> for ProtoError {
+    fn from(e: WireError) -> Self {
+        ProtoError::Wire(e)
+    }
+}
+
+/// One decoded frame: verb, correlation id, and the raw payload.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    /// Request or reply verb.
+    pub verb: u8,
+    /// Client-chosen correlation id, echoed in replies.
+    pub req_id: u64,
+    /// Verb-specific payload bytes.
+    pub payload: Bytes,
+}
+
+/// Writes one frame. The caller is responsible for flushing if `w` is
+/// buffered.
+pub fn write_frame<W: Write>(w: &mut W, verb: u8, req_id: u64, payload: &[u8]) -> io::Result<()> {
+    let body_len = 1 + 8 + payload.len();
+    debug_assert!(body_len <= MAX_FRAME, "oversized outgoing frame");
+    let mut head = [0u8; 13];
+    head[..4].copy_from_slice(&(body_len as u32).to_le_bytes());
+    head[4] = verb;
+    head[5..13].copy_from_slice(&req_id.to_le_bytes());
+    w.write_all(&head)?;
+    w.write_all(payload)
+}
+
+/// Reads one frame. Returns `Ok(None)` on a clean EOF at a frame
+/// boundary (the peer closed its connection); any mid-frame EOF or a
+/// length prefix beyond [`MAX_FRAME`] is an error.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Frame>, ProtoError> {
+    let mut len_buf = [0u8; 4];
+    // Read the first byte alone: zero bytes before it is a clean close,
+    // while EOF anywhere after it means the peer tore a frame.
+    loop {
+        match r.read(&mut len_buf[..1]) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    r.read_exact(&mut len_buf[1..])?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if !(9..=MAX_FRAME).contains(&len) {
+        return Err(ProtoError::Malformed(format!("frame length {len}")));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    let verb = body[0];
+    let req_id = u64::from_le_bytes(body[1..9].try_into().expect("8 bytes"));
+    Ok(Some(Frame {
+        verb,
+        req_id,
+        payload: Bytes::from(body).slice(9..len),
+    }))
+}
+
+/// Encodes an `INFER` payload: interactions plus one feature row each.
+///
+/// # Panics
+/// Panics if `feats.rows() != interactions.len()` — that is a caller
+/// bug, not a network condition.
+pub fn encode_infer(interactions: &[Interaction], feats: &Tensor) -> Vec<u8> {
+    assert_eq!(
+        feats.rows(),
+        interactions.len(),
+        "one feature row per interaction"
+    );
+    let mut buf = BytesMut::with_capacity(4 + interactions.len() * 20 + 8 + feats.len() * 4);
+    buf.put_u32_le(interactions.len() as u32);
+    for i in interactions {
+        buf.put_u32_le(i.src);
+        buf.put_u32_le(i.dst);
+        buf.put_u64_le(i.time.to_bits());
+        buf.put_u32_le(i.eid);
+    }
+    buf.extend_from_slice(&wire::encode_tensor(feats));
+    buf.freeze().to_vec()
+}
+
+/// Decodes an `INFER` payload into interactions and the feature matrix.
+pub fn decode_infer(payload: Bytes) -> Result<(Vec<Interaction>, Tensor), ProtoError> {
+    let mut b = payload;
+    if b.remaining() < 4 {
+        return Err(ProtoError::Malformed("infer payload shorter than count".into()));
+    }
+    let n = b.get_u32_le() as usize;
+    if n > 1 << 20 {
+        return Err(ProtoError::Malformed(format!("implausible batch of {n}")));
+    }
+    if b.remaining() < n * 20 {
+        return Err(ProtoError::Malformed(format!(
+            "infer payload truncated: {} interactions promised, {} bytes left",
+            n,
+            b.remaining()
+        )));
+    }
+    let mut interactions = Vec::with_capacity(n);
+    for _ in 0..n {
+        let src = b.get_u32_le();
+        let dst = b.get_u32_le();
+        let time = f64::from_bits(b.get_u64_le());
+        let eid = b.get_u32_le();
+        interactions.push(Interaction { src, dst, time, eid });
+    }
+    let feats = wire::decode_tensor_from(&mut b)?;
+    if feats.rows() != n {
+        return Err(ProtoError::Malformed(format!(
+            "{} interactions but {} feature rows",
+            n,
+            feats.rows()
+        )));
+    }
+    Ok((interactions, feats))
+}
+
+/// Encodes a `SCORES` reply payload.
+pub fn encode_scores(scores: &[f32]) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(4 + scores.len() * 4);
+    buf.put_u32_le(scores.len() as u32);
+    for &s in scores {
+        buf.put_f32_le(s);
+    }
+    buf.freeze().to_vec()
+}
+
+/// Decodes a `SCORES` reply payload.
+pub fn decode_scores(payload: Bytes) -> Result<Vec<f32>, ProtoError> {
+    let mut b = payload;
+    if b.remaining() < 4 {
+        return Err(ProtoError::Malformed("scores payload shorter than count".into()));
+    }
+    let n = b.get_u32_le() as usize;
+    if b.remaining() < n * 4 {
+        return Err(ProtoError::Malformed(format!(
+            "scores payload truncated: {n} promised"
+        )));
+    }
+    Ok((0..n).map(|_| b.get_f32_le()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inter(k: u32) -> Interaction {
+        Interaction {
+            src: k,
+            dst: k + 1,
+            time: k as f64 * 1.5,
+            eid: k,
+        }
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, verb::INFER, 42, b"hello").unwrap();
+        let frame = read_frame(&mut buf.as_slice()).unwrap().unwrap();
+        assert_eq!(frame.verb, verb::INFER);
+        assert_eq!(frame.req_id, 42);
+        assert_eq!(&frame.payload[..], b"hello");
+    }
+
+    #[test]
+    fn eof_at_boundary_is_none_mid_frame_is_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, verb::PING, 1, b"").unwrap();
+        assert!(read_frame(&mut &buf[..0]).unwrap().is_none());
+        for cut in 1..buf.len() {
+            assert!(read_frame(&mut &buf[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn hostile_length_prefix_rejected() {
+        let mut buf = (u32::MAX).to_le_bytes().to_vec();
+        buf.extend_from_slice(&[0u8; 64]);
+        assert!(read_frame(&mut buf.as_slice()).is_err());
+        // below the 9-byte body minimum
+        let buf = 4u32.to_le_bytes().to_vec();
+        assert!(read_frame(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn infer_round_trip_is_bitwise() {
+        let interactions: Vec<Interaction> = (0..3).map(inter).collect();
+        let feats = Tensor::from_rows(&[&[1.0, -2.0], &[0.5, 1e-8], &[3.0, 4.0]]);
+        let payload = encode_infer(&interactions, &feats);
+        let (di, df) = decode_infer(Bytes::from(payload)).unwrap();
+        assert_eq!(di.len(), 3);
+        for (a, b) in di.iter().zip(&interactions) {
+            assert_eq!(a.src, b.src);
+            assert_eq!(a.dst, b.dst);
+            assert_eq!(a.time.to_bits(), b.time.to_bits());
+            assert_eq!(a.eid, b.eid);
+        }
+        assert!(df.allclose(&feats, 0.0));
+    }
+
+    #[test]
+    fn infer_decode_survives_any_truncation() {
+        let interactions: Vec<Interaction> = (0..2).map(inter).collect();
+        let feats = Tensor::full(2, 3, 0.5);
+        let payload = encode_infer(&interactions, &feats);
+        for cut in 0..payload.len() {
+            let b = Bytes::copy_from_slice(&payload[..cut]);
+            assert!(decode_infer(b).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn infer_decode_rejects_row_count_mismatch() {
+        let interactions: Vec<Interaction> = (0..2).map(inter).collect();
+        let feats = Tensor::full(3, 3, 0.5); // 3 rows for 2 interactions
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(2);
+        for i in &interactions {
+            buf.put_u32_le(i.src);
+            buf.put_u32_le(i.dst);
+            buf.put_u64_le(i.time.to_bits());
+            buf.put_u32_le(i.eid);
+        }
+        buf.extend_from_slice(&wire::encode_tensor(&feats));
+        assert!(decode_infer(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn scores_round_trip() {
+        let scores = vec![0.25f32, 0.75, 1.0e-9];
+        let decoded = decode_scores(Bytes::from(encode_scores(&scores))).unwrap();
+        assert_eq!(
+            decoded.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+            scores.iter().map(|s| s.to_bits()).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,590 @@
+//! The serving daemon: TCP ingress, micro-batched inference, stats, and
+//! snapshot lifecycle, wired around one [`ServingPipeline`].
+//!
+//! Thread layout:
+//!
+//! * one **accept** thread hands each connection to a dedicated
+//!   **reader** thread;
+//! * readers decode frames, answer cheap verbs (`STATS`, `INFO`, `PING`)
+//!   inline, and push `INFER`/`SNAPSHOT`/`SHUTDOWN` work into the shared
+//!   [`IngressQueue`] (admission control sheds here, with an explicit
+//!   `OVERLOADED` reply — overload degrades throughput, never latency
+//!   honesty);
+//! * one **batcher** thread owns the pipeline, drains the queue into
+//!   micro-batches, runs the synchronous path once per batch, and writes
+//!   each requester its slice of the scores;
+//! * an optional **tick** thread enqueues periodic snapshot work.
+//!
+//! Replies go through a per-connection writer mutex, so the batcher and
+//! the connection's reader never interleave bytes of two frames.
+
+use crate::batcher::{
+    assemble, AdmitError, BatchPolicy, Control, Drained, InferOutcome, IngressQueue,
+};
+use crate::proto::{self, reply, verb, Frame, ProtoError};
+use crate::snapshot;
+use apan_core::model::Apan;
+use apan_core::pipeline::ServingPipeline;
+use apan_metrics::LatencyRecorder;
+use std::io::BufReader;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Batch-size histogram buckets: 1, 2, ≤4, ≤8, …, ≤64, >64.
+pub const BATCH_BUCKETS: usize = 8;
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Initial mailbox-store sizing (grows on demand up to `max_node`).
+    pub num_nodes: usize,
+    /// Largest admissible node id — the cap that stops a hostile request
+    /// from growing serving state without bound.
+    pub max_node: u32,
+    /// Propagation-channel capacity (backpressure on the async link).
+    pub capacity: usize,
+    /// Micro-batch closing policy.
+    pub policy: BatchPolicy,
+    /// Admission-control high-water mark (pending inference requests).
+    pub high_water: usize,
+    /// Where snapshots go; `None` disables the snapshot subsystem.
+    pub snapshot_path: Option<PathBuf>,
+    /// Periodic snapshot interval; `None` means only explicit `SNAPSHOT`
+    /// verbs and shutdown write one.
+    pub snapshot_every: Option<Duration>,
+    /// Artificial per-batch service delay — a chaos/test knob that makes
+    /// overload reproducible on fast machines. Zero in production.
+    pub infer_delay: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            num_nodes: 1024,
+            max_node: 1 << 20,
+            capacity: 256,
+            policy: BatchPolicy::default(),
+            high_water: 1024,
+            snapshot_path: None,
+            snapshot_every: None,
+            infer_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// Counters behind the `STATS` verb.
+#[derive(Default)]
+pub struct ServeStats {
+    /// Service latency (admission → reply) per request.
+    pub latency: Mutex<LatencyRecorder>,
+    /// Inference batches run.
+    pub batches: AtomicU64,
+    /// Requests served (excluding shed).
+    pub requests: AtomicU64,
+    /// Interactions scored.
+    pub interactions: AtomicU64,
+    /// Batch-size histogram (powers of two).
+    pub batch_hist: Mutex<[u64; BATCH_BUCKETS]>,
+    /// Largest batch seen.
+    pub batch_max: AtomicU64,
+    /// Snapshots written.
+    pub snapshots: AtomicU64,
+    /// Snapshot attempts that failed.
+    pub snapshot_failures: AtomicU64,
+}
+
+impl ServeStats {
+    fn record_batch(&self, requests: usize, interactions: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.requests.fetch_add(requests as u64, Ordering::Relaxed);
+        self.interactions
+            .fetch_add(interactions as u64, Ordering::Relaxed);
+        self.batch_max.fetch_max(interactions as u64, Ordering::Relaxed);
+        let mut idx = 0usize;
+        let mut cap = 1usize;
+        while interactions > cap && idx < BATCH_BUCKETS - 1 {
+            cap *= 2;
+            idx += 1;
+        }
+        self.batch_hist.lock().unwrap()[idx] += 1;
+    }
+}
+
+struct Conn {
+    /// Serialized reply channel (batcher + this connection's reader).
+    writer: Mutex<TcpStream>,
+    /// Unlocked handle used only to force-close the socket on shutdown.
+    raw: TcpStream,
+}
+
+impl Conn {
+    fn send(&self, verb: u8, req_id: u64, payload: &[u8]) {
+        let mut w = self.writer.lock().unwrap();
+        // a dead peer is their problem, not the daemon's
+        let _ = proto::write_frame(&mut *w, verb, req_id, payload);
+    }
+}
+
+struct Shared {
+    queue: IngressQueue,
+    stats: ServeStats,
+    running: AtomicBool,
+    conns: Mutex<Vec<Arc<Conn>>>,
+    readers: Mutex<Vec<JoinHandle<()>>>,
+    cfg: ServeConfig,
+    dim: usize,
+    mailbox_slots: usize,
+}
+
+impl Shared {
+    fn stats_json(&self) -> String {
+        let q = self.queue.stats();
+        let latency = self.stats.latency.lock().unwrap().summary();
+        let hist = *self.stats.batch_hist.lock().unwrap();
+        let hist_json: Vec<String> = hist.iter().map(|c| c.to_string()).collect();
+        format!(
+            "{{\"latency\":{},\"queue_depth\":{},\"shed\":{},\"clamped\":{},\"watermark\":{:.6},\
+             \"batches\":{},\"requests\":{},\"interactions\":{},\"batch_hist\":[{}],\
+             \"batch_max\":{},\"snapshots\":{},\"snapshot_failures\":{}}}",
+            latency.to_json(),
+            q.depth,
+            q.shed,
+            q.clamped,
+            q.watermark,
+            self.stats.batches.load(Ordering::Relaxed),
+            self.stats.requests.load(Ordering::Relaxed),
+            self.stats.interactions.load(Ordering::Relaxed),
+            hist_json.join(","),
+            self.stats.batch_max.load(Ordering::Relaxed),
+            self.stats.snapshots.load(Ordering::Relaxed),
+            self.stats.snapshot_failures.load(Ordering::Relaxed),
+        )
+    }
+
+    fn info_json(&self) -> String {
+        format!(
+            "{{\"dim\":{},\"mailbox_slots\":{},\"max_batch\":{},\"high_water\":{},\"max_node\":{}}}",
+            self.dim, self.mailbox_slots, self.cfg.policy.max_batch, self.cfg.high_water,
+            self.cfg.max_node
+        )
+    }
+}
+
+/// A started daemon. Stop it with [`ServerHandle::shutdown`] (initiates
+/// a graceful stop) or [`ServerHandle::join`] (waits for a client's
+/// `SHUTDOWN` verb or a signal-driven stop).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The daemon's bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether the daemon is still accepting work.
+    pub fn is_running(&self) -> bool {
+        self.shared.running.load(Ordering::SeqCst)
+    }
+
+    /// Initiates a graceful stop — equivalent to a client `SHUTDOWN`
+    /// verb: pending work completes, a final snapshot is written if
+    /// configured — and waits for every thread to exit.
+    pub fn shutdown(self) {
+        let _ = self
+            .shared
+            .queue
+            .submit_control(Control::Shutdown(Box::new(|| {})));
+        self.join();
+    }
+
+    /// Waits for the daemon to stop (via `SHUTDOWN` verb or
+    /// [`ServerHandle::shutdown`] from another handle's thread).
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+        let readers: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.shared.readers.lock().unwrap());
+        for t in readers {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Boots the daemon: restores a snapshot if one exists at the configured
+/// path, binds the listener, and spawns the serving threads.
+pub fn start(mut model: Apan, cfg: ServeConfig) -> Result<ServerHandle, StartError> {
+    // Warm restart: an existing snapshot wins over the passed-in weights.
+    let pipeline = match &cfg.snapshot_path {
+        Some(path) if path.exists() => {
+            let (store, graph) = snapshot::read_snapshot(path, &mut model)?;
+            eprintln!(
+                "apan-serve: warm restart from {} ({} nodes, {} events)",
+                path.display(),
+                store.num_nodes(),
+                graph.num_events()
+            );
+            ServingPipeline::with_state(model, store, graph, cfg.capacity)
+        }
+        _ => ServingPipeline::new(model, cfg.num_nodes, cfg.capacity),
+    };
+
+    let listener = TcpListener::bind(&cfg.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let shared = Arc::new(Shared {
+        queue: IngressQueue::new(cfg.high_water),
+        stats: ServeStats::default(),
+        running: AtomicBool::new(true),
+        conns: Mutex::new(Vec::new()),
+        readers: Mutex::new(Vec::new()),
+        dim: pipeline.model().cfg.dim,
+        mailbox_slots: pipeline.model().cfg.mailbox_slots,
+        cfg,
+    });
+
+    let mut threads = Vec::new();
+    {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("apan-batcher".into())
+                .spawn(move || batcher_loop(pipeline, &shared))
+                .expect("spawn batcher"),
+        );
+    }
+    {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("apan-accept".into())
+                .spawn(move || accept_loop(listener, &shared))
+                .expect("spawn accept"),
+        );
+    }
+    if let (Some(_), Some(every)) = (&shared.cfg.snapshot_path, shared.cfg.snapshot_every) {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("apan-snapshot-tick".into())
+                .spawn(move || tick_loop(every, &shared))
+                .expect("spawn tick"),
+        );
+    }
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        threads,
+    })
+}
+
+/// Why the daemon failed to boot.
+#[derive(Debug)]
+pub enum StartError {
+    /// Could not bind / configure the listener.
+    Io(std::io::Error),
+    /// A snapshot exists but cannot be restored.
+    Snapshot(snapshot::SnapshotError),
+}
+
+impl std::fmt::Display for StartError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StartError::Io(e) => write!(f, "bind: {e}"),
+            StartError::Snapshot(e) => write!(f, "restore: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StartError {}
+
+impl From<std::io::Error> for StartError {
+    fn from(e: std::io::Error) -> Self {
+        StartError::Io(e)
+    }
+}
+
+impl From<snapshot::SnapshotError> for StartError {
+    fn from(e: snapshot::SnapshotError) -> Self {
+        StartError::Snapshot(e)
+    }
+}
+
+fn write_snapshot_now(pipeline: &ServingPipeline, shared: &Shared) -> Result<(), String> {
+    let Some(path) = &shared.cfg.snapshot_path else {
+        return Err("no snapshot path configured".into());
+    };
+    // The single flush inside export_state is what makes the snapshot a
+    // consistent cut: no mail is in flight when state is read.
+    let (store, graph) = pipeline.export_state();
+    match snapshot::write_snapshot(path, pipeline.model(), &store, &graph) {
+        Ok(()) => {
+            shared.stats.snapshots.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        }
+        Err(e) => {
+            shared.stats.snapshot_failures.fetch_add(1, Ordering::Relaxed);
+            Err(e.to_string())
+        }
+    }
+}
+
+fn batcher_loop(mut pipeline: ServingPipeline, shared: &Shared) {
+    while let Some(drained) = shared.queue.drain(shared.cfg.policy) {
+        match drained {
+            Drained::Batch(batch) => {
+                let (interactions, feats) = assemble(&batch);
+                if !shared.cfg.infer_delay.is_zero() {
+                    std::thread::sleep(shared.cfg.infer_delay);
+                }
+                let result = pipeline.infer_batch(&interactions, &feats);
+                shared.stats.record_batch(batch.len(), interactions.len());
+                let mut offset = 0usize;
+                let mut latency = Vec::with_capacity(batch.len());
+                for item in batch {
+                    let n = item.interactions.len();
+                    let scores = result.scores[offset..offset + n].to_vec();
+                    offset += n;
+                    latency.push(item.enqueued.elapsed());
+                    (item.respond)(InferOutcome::Scores(scores));
+                }
+                let mut rec = shared.stats.latency.lock().unwrap();
+                for d in latency {
+                    rec.record(d);
+                }
+            }
+            Drained::Control(Control::Snapshot(done)) => {
+                done(write_snapshot_now(&pipeline, shared).err());
+            }
+            Drained::Control(Control::Flush(ack)) => {
+                pipeline.flush();
+                ack();
+            }
+            Drained::Control(Control::Shutdown(ack)) => {
+                if shared.cfg.snapshot_path.is_some() {
+                    let _ = write_snapshot_now(&pipeline, shared);
+                }
+                ack();
+                shared.running.store(false, Ordering::SeqCst);
+                shared.queue.close();
+                break;
+            }
+        }
+    }
+    // Reject whatever was admitted behind the shutdown marker.
+    while let Some(drained) = shared.queue.drain(BatchPolicy {
+        max_batch: usize::MAX,
+        batch_deadline: Duration::ZERO,
+    }) {
+        match drained {
+            Drained::Batch(batch) => {
+                for item in batch {
+                    (item.respond)(InferOutcome::Failed("daemon shutting down".into()));
+                }
+            }
+            Drained::Control(Control::Snapshot(done)) => {
+                done(Some("daemon shutting down".into()));
+            }
+            Drained::Control(Control::Flush(ack)) => ack(),
+            Drained::Control(Control::Shutdown(ack)) => ack(),
+        }
+    }
+    shared.running.store(false, Ordering::SeqCst);
+    let stats = pipeline.shutdown();
+    eprintln!(
+        "apan-serve: propagation worker retired ({} jobs, {} deliveries)",
+        stats.jobs, stats.deliveries
+    );
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    while shared.running.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nodelay(true);
+                // a peer that stops reading must not wedge the batcher
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+                let Ok(write_half) = stream.try_clone() else {
+                    continue;
+                };
+                let Ok(raw) = stream.try_clone() else {
+                    continue;
+                };
+                let conn = Arc::new(Conn {
+                    writer: Mutex::new(write_half),
+                    raw,
+                });
+                shared.conns.lock().unwrap().push(Arc::clone(&conn));
+                let shared2 = Arc::clone(shared);
+                let handle = std::thread::Builder::new()
+                    .name("apan-conn".into())
+                    .spawn(move || reader_loop(stream, conn, &shared2))
+                    .expect("spawn reader");
+                shared.readers.lock().unwrap().push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+    // Wake blocked readers so their threads exit.
+    for conn in shared.conns.lock().unwrap().iter() {
+        let _ = conn.raw.shutdown(Shutdown::Both);
+    }
+}
+
+fn tick_loop(every: Duration, shared: &Arc<Shared>) {
+    let mut last = Instant::now();
+    while shared.running.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(25).min(every));
+        if last.elapsed() >= every {
+            last = Instant::now();
+            let _ = shared.queue.submit_control(Control::Snapshot(Box::new(|err| {
+                if let Some(msg) = err {
+                    eprintln!("apan-serve: periodic snapshot failed: {msg}");
+                }
+            })));
+        }
+    }
+}
+
+fn reader_loop(stream: TcpStream, conn: Arc<Conn>, shared: &Arc<Shared>) {
+    let mut reader = BufReader::new(stream);
+    loop {
+        let frame = match proto::read_frame(&mut reader) {
+            Ok(Some(frame)) => frame,
+            // clean EOF, dead socket, or lost framing: drop the
+            // connection; the daemon itself never goes down with it
+            Ok(None) | Err(ProtoError::Io(_)) => break,
+            Err(e) => {
+                conn.send(reply::ERROR, 0, e.to_string().as_bytes());
+                break;
+            }
+        };
+        handle_frame(frame, &conn, shared);
+        if !shared.running.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+}
+
+fn handle_frame(frame: Frame, conn: &Arc<Conn>, shared: &Arc<Shared>) {
+    let req_id = frame.req_id;
+    match frame.verb {
+        verb::INFER => {
+            let (interactions, feats) = match proto::decode_infer(frame.payload) {
+                Ok(x) => x,
+                Err(e) => {
+                    conn.send(reply::ERROR, req_id, e.to_string().as_bytes());
+                    return;
+                }
+            };
+            if interactions.is_empty() {
+                conn.send(reply::SCORES, req_id, &proto::encode_scores(&[]));
+                return;
+            }
+            if feats.cols() != shared.dim {
+                conn.send(
+                    reply::ERROR,
+                    req_id,
+                    format!("feature width {} != model dim {}", feats.cols(), shared.dim)
+                        .as_bytes(),
+                );
+                return;
+            }
+            if let Some(i) = interactions
+                .iter()
+                .find(|i| i.src > shared.cfg.max_node || i.dst > shared.cfg.max_node)
+            {
+                conn.send(
+                    reply::ERROR,
+                    req_id,
+                    format!(
+                        "node id {} exceeds max_node {}",
+                        i.src.max(i.dst),
+                        shared.cfg.max_node
+                    )
+                    .as_bytes(),
+                );
+                return;
+            }
+            let respond_conn = Arc::clone(conn);
+            let responder = Box::new(move |outcome: InferOutcome| match outcome {
+                InferOutcome::Scores(scores) => {
+                    respond_conn.send(reply::SCORES, req_id, &proto::encode_scores(&scores));
+                }
+                InferOutcome::Failed(msg) => {
+                    respond_conn.send(reply::ERROR, req_id, msg.as_bytes());
+                }
+            });
+            match shared.queue.submit_infer(interactions, feats, responder) {
+                Ok(()) => {}
+                Err((AdmitError::Overloaded, _)) => {
+                    conn.send(reply::OVERLOADED, req_id, b"");
+                }
+                Err((AdmitError::Closed, _)) => {
+                    conn.send(reply::ERROR, req_id, b"daemon shutting down");
+                }
+            }
+        }
+        verb::STATS => {
+            conn.send(reply::JSON, req_id, shared.stats_json().as_bytes());
+        }
+        verb::INFO => {
+            conn.send(reply::JSON, req_id, shared.info_json().as_bytes());
+        }
+        verb::PING => {
+            conn.send(reply::OK, req_id, b"");
+        }
+        verb::FLUSH => {
+            let respond_conn = Arc::clone(conn);
+            let ack = Box::new(move || {
+                respond_conn.send(reply::OK, req_id, b"");
+            });
+            if let Err(Control::Flush(ack)) = shared.queue.submit_control(Control::Flush(ack)) {
+                ack();
+            }
+        }
+        verb::SNAPSHOT => {
+            let respond_conn = Arc::clone(conn);
+            let done = Box::new(move |err: Option<String>| match err {
+                None => respond_conn.send(reply::OK, req_id, b""),
+                Some(msg) => respond_conn.send(reply::ERROR, req_id, msg.as_bytes()),
+            });
+            if let Err(Control::Snapshot(done)) =
+                shared.queue.submit_control(Control::Snapshot(done))
+            {
+                done(Some("daemon shutting down".into()));
+            }
+        }
+        verb::SHUTDOWN => {
+            let respond_conn = Arc::clone(conn);
+            let ack = Box::new(move || {
+                respond_conn.send(reply::OK, req_id, b"");
+            });
+            if let Err(Control::Shutdown(ack)) =
+                shared.queue.submit_control(Control::Shutdown(ack))
+            {
+                // already shutting down — still acknowledge
+                ack();
+            }
+        }
+        v => {
+            conn.send(reply::ERROR, req_id, format!("unknown verb {v:#04x}").as_bytes());
+        }
+    }
+}

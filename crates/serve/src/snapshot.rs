@@ -1,0 +1,320 @@
+//! Warm-restart snapshots: everything a restarted daemon needs to keep
+//! serving without replaying history, in one file.
+//!
+//! ```text
+//! magic "APANSNAP" | version u32 |
+//! params_len u64  | params   (apan_nn checkpoint format)
+//! mailbox_len u64 | mailbox  (MailboxStore::write_snapshot format)
+//! events u64      | events × (src u32, dst u32, time f64)
+//! ```
+//!
+//! The mailbox store carries the embeddings and mails the synchronous
+//! link reads; the event log rebuilds the temporal graph the
+//! asynchronous link propagates over (event ids regenerate identically
+//! because insertion order is the id). Inference draws no randomness in
+//! eval mode, so these three sections are sufficient for a restart to be
+//! **bitwise identical** to a run that never stopped — the e2e test
+//! asserts exactly that.
+//!
+//! Files are written atomically (temp + rename): a crash mid-snapshot
+//! leaves the previous snapshot intact, never a torn file.
+
+use apan_core::model::Apan;
+use apan_core::MailboxStore;
+use apan_nn::serialize::{load_params, save_params_vec, CheckpointError};
+use apan_tgraph::TemporalGraph;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"APANSNAP";
+const VERSION: u32 = 1;
+
+/// Why a snapshot failed to write or restore.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Filesystem-level failure.
+    Io(io::Error),
+    /// The file is not an APAN snapshot / wrong version / corrupt.
+    Corrupt(String),
+    /// The parameter section does not match the restoring model.
+    Params(CheckpointError),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot io error: {e}"),
+            SnapshotError::Corrupt(m) => write!(f, "corrupt snapshot: {m}"),
+            SnapshotError::Params(e) => write!(f, "snapshot params: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+impl From<CheckpointError> for SnapshotError {
+    fn from(e: CheckpointError) -> Self {
+        SnapshotError::Params(e)
+    }
+}
+
+fn corrupt(msg: impl Into<String>) -> SnapshotError {
+    SnapshotError::Corrupt(msg.into())
+}
+
+/// Serializes model parameters plus serving state to `w`.
+pub fn write_snapshot_to<W: Write>(
+    w: &mut W,
+    model: &Apan,
+    store: &MailboxStore,
+    graph: &TemporalGraph,
+) -> Result<(), SnapshotError> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+
+    let params = save_params_vec(&model.params);
+    w.write_all(&(params.len() as u64).to_le_bytes())?;
+    w.write_all(&params)?;
+
+    let mut mailbox = Vec::new();
+    store
+        .write_snapshot(&mut mailbox)
+        .expect("writing to a Vec cannot fail");
+    w.write_all(&(mailbox.len() as u64).to_le_bytes())?;
+    w.write_all(&mailbox)?;
+
+    let events = graph.events();
+    w.write_all(&(events.len() as u64).to_le_bytes())?;
+    for e in events {
+        w.write_all(&e.src.to_le_bytes())?;
+        w.write_all(&e.dst.to_le_bytes())?;
+        w.write_all(&e.time.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Restores a snapshot from `r`: loads the parameter section into
+/// `model` (failing loudly on any architecture mismatch) and returns the
+/// reconstructed serving state.
+pub fn read_snapshot_from<R: Read>(
+    r: &mut R,
+    model: &mut Apan,
+) -> Result<(MailboxStore, TemporalGraph), SnapshotError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(corrupt("wrong magic"));
+    }
+    let mut u32_buf = [0u8; 4];
+    r.read_exact(&mut u32_buf)?;
+    let version = u32::from_le_bytes(u32_buf);
+    if version != VERSION {
+        return Err(corrupt(format!("version {version}, expected {VERSION}")));
+    }
+
+    let mut u64_buf = [0u8; 8];
+    r.read_exact(&mut u64_buf)?;
+    let params_len = u64::from_le_bytes(u64_buf) as usize;
+    if params_len > 1 << 32 {
+        return Err(corrupt(format!("implausible params section: {params_len}")));
+    }
+    let mut params = vec![0u8; params_len];
+    r.read_exact(&mut params)?;
+    load_params(&mut model.params, params.as_slice())?;
+
+    r.read_exact(&mut u64_buf)?;
+    let mailbox_len = u64::from_le_bytes(u64_buf) as usize;
+    if mailbox_len > 1 << 32 {
+        return Err(corrupt(format!("implausible mailbox section: {mailbox_len}")));
+    }
+    let mut mailbox = vec![0u8; mailbox_len];
+    r.read_exact(&mut mailbox)?;
+    let store = MailboxStore::read_snapshot(&mut mailbox.as_slice())
+        .map_err(|e| corrupt(format!("mailbox section: {e}")))?;
+    if store.dim() != model.cfg.dim {
+        return Err(corrupt(format!(
+            "mailbox dim {} does not match model dim {}",
+            store.dim(),
+            model.cfg.dim
+        )));
+    }
+
+    r.read_exact(&mut u64_buf)?;
+    let num_events = u64::from_le_bytes(u64_buf) as usize;
+    if num_events > 1 << 32 {
+        return Err(corrupt(format!("implausible event count: {num_events}")));
+    }
+    let mut graph = TemporalGraph::with_capacity(store.num_nodes(), num_events);
+    let mut last_time = f64::NEG_INFINITY;
+    for k in 0..num_events {
+        let mut src_buf = [0u8; 4];
+        let mut dst_buf = [0u8; 4];
+        let mut t_buf = [0u8; 8];
+        r.read_exact(&mut src_buf)?;
+        r.read_exact(&mut dst_buf)?;
+        r.read_exact(&mut t_buf)?;
+        let time = f64::from_le_bytes(t_buf);
+        // negative times would trip TemporalGraph's fresh-graph invariant
+        // (max_time starts at 0) — reject rather than panic on corruption
+        if !time.is_finite() || time < 0.0 || time < last_time {
+            return Err(corrupt(format!("event {k} breaks time order")));
+        }
+        last_time = time;
+        graph.insert(
+            u32::from_le_bytes(src_buf),
+            u32::from_le_bytes(dst_buf),
+            time,
+        );
+    }
+    Ok((store, graph))
+}
+
+/// Writes a snapshot file atomically (temp + rename).
+pub fn write_snapshot(
+    path: &Path,
+    model: &Apan,
+    store: &MailboxStore,
+    graph: &TemporalGraph,
+) -> Result<(), SnapshotError> {
+    let tmp = path.with_extension("tmp");
+    {
+        let file = File::create(&tmp)?;
+        let mut w = BufWriter::new(file);
+        write_snapshot_to(&mut w, model, store, graph)?;
+        w.flush()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Restores a snapshot file written by [`write_snapshot`].
+pub fn read_snapshot(
+    path: &Path,
+    model: &mut Apan,
+) -> Result<(MailboxStore, TemporalGraph), SnapshotError> {
+    let file = File::open(path)?;
+    read_snapshot_from(&mut BufReader::new(file), model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apan_core::config::ApanConfig;
+    use apan_core::mailbox::MailOrigin;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model(seed: u64) -> Apan {
+        let mut cfg = ApanConfig::new(8);
+        cfg.mailbox_slots = 4;
+        cfg.mlp_hidden = 16;
+        cfg.dropout = 0.0;
+        let mut rng = StdRng::seed_from_u64(seed);
+        Apan::new(&cfg, &mut rng)
+    }
+
+    fn state(m: &Apan) -> (MailboxStore, TemporalGraph) {
+        let mut store = m.new_store(6);
+        for t in 1..=5u32 {
+            store.deliver(
+                t % 3,
+                &vec![t as f32; 8],
+                t as f64,
+                MailOrigin {
+                    src: t,
+                    dst: t + 1,
+                    eid: t,
+                },
+            );
+        }
+        let mut graph = TemporalGraph::new();
+        graph.insert(0, 1, 1.0);
+        graph.insert(1, 2, 2.5);
+        graph.insert(2, 3, 2.5);
+        (store, graph)
+    }
+
+    #[test]
+    fn round_trip_restores_params_state_and_graph() {
+        let m = model(0);
+        let (store, graph) = state(&m);
+        let mut buf = Vec::new();
+        write_snapshot_to(&mut buf, &m, &store, &graph).unwrap();
+
+        let mut restored_model = model(1); // same arch, different weights
+        let (rstore, rgraph) =
+            read_snapshot_from(&mut buf.as_slice(), &mut restored_model).unwrap();
+
+        for ((_, _, a), (_, _, b)) in m.params.iter().zip(restored_model.params.iter()) {
+            assert!(a.allclose(b, 0.0), "params must restore bitwise");
+        }
+        for n in 0..store.num_nodes() as u32 {
+            assert_eq!(rstore.mails_of(n), store.mails_of(n));
+            assert_eq!(rstore.embedding(n), store.embedding(n));
+        }
+        assert_eq!(rgraph.num_events(), graph.num_events());
+        for (a, b) in rgraph.events().iter().zip(graph.events()) {
+            assert_eq!((a.src, a.dst, a.eid), (b.src, b.dst, b.eid));
+            assert_eq!(a.time.to_bits(), b.time.to_bits());
+        }
+    }
+
+    #[test]
+    fn file_round_trip_is_atomic() {
+        let dir = std::env::temp_dir().join("apan-serve-snap-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("serve.snap");
+        let m = model(0);
+        let (store, graph) = state(&m);
+        write_snapshot(&path, &m, &store, &graph).unwrap();
+        assert!(!path.with_extension("tmp").exists(), "temp file renamed away");
+        let mut m2 = model(2);
+        let (rstore, rgraph) = read_snapshot(&path, &mut m2).unwrap();
+        assert_eq!(rstore.num_nodes(), store.num_nodes());
+        assert_eq!(rgraph.num_events(), graph.num_events());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncation_and_garbage_fail_loudly() {
+        let m = model(0);
+        let (store, graph) = state(&m);
+        let mut buf = Vec::new();
+        write_snapshot_to(&mut buf, &m, &store, &graph).unwrap();
+        for cut in [0usize, 7, 11, 20, buf.len() - 1] {
+            let mut m2 = model(0);
+            assert!(
+                read_snapshot_from(&mut &buf[..cut], &mut m2).is_err(),
+                "cut {cut}"
+            );
+        }
+        let mut garbage = buf.clone();
+        garbage[0] = b'X';
+        let mut m2 = model(0);
+        assert!(read_snapshot_from(&mut garbage.as_slice(), &mut m2).is_err());
+    }
+
+    #[test]
+    fn architecture_mismatch_rejected() {
+        let m = model(0);
+        let (store, graph) = state(&m);
+        let mut buf = Vec::new();
+        write_snapshot_to(&mut buf, &m, &store, &graph).unwrap();
+        let mut cfg = ApanConfig::new(16); // different width
+        cfg.mlp_hidden = 16;
+        cfg.dropout = 0.0;
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut other = Apan::new(&cfg, &mut rng);
+        assert!(matches!(
+            read_snapshot_from(&mut buf.as_slice(), &mut other),
+            Err(SnapshotError::Params(_))
+        ));
+    }
+}

@@ -1,0 +1,282 @@
+//! End-to-end daemon tests over real sockets:
+//!
+//! * **kill + warm restart is bitwise identical** — a daemon stopped
+//!   mid-stream and restarted from its snapshot must produce scores
+//!   whose `f32` bit patterns match a run that never stopped;
+//! * **overload sheds, never hangs** — a burst past the high-water mark
+//!   gets explicit `OVERLOADED` replies for the excess, score replies
+//!   for the rest, and the `STATS` document reports the shed count and
+//!   a p99 consistent with the configured service time;
+//! * **concurrent clients are all served** while the daemon keeps its
+//!   event-time watermark monotone.
+
+use apan_core::config::ApanConfig;
+use apan_core::model::Apan;
+use apan_core::propagator::Interaction;
+use apan_serve::batcher::BatchPolicy;
+use apan_serve::client::{json_u64_field, Client, ClientError};
+use apan_serve::proto::{self, reply, verb};
+use apan_serve::server::ServeConfig;
+use apan_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn model(seed: u64) -> Apan {
+    let mut cfg = ApanConfig::new(8);
+    cfg.mailbox_slots = 4;
+    cfg.mlp_hidden = 16;
+    cfg.dropout = 0.0;
+    let mut rng = StdRng::seed_from_u64(seed);
+    Apan::new(&cfg, &mut rng)
+}
+
+/// Deterministic request stream: request `k` scores two interactions at
+/// explicit, strictly increasing times with fixed features.
+fn request(k: usize) -> (Vec<Interaction>, Tensor) {
+    let base = |j: usize| ((k * 7 + j * 3) % 23) as u32;
+    let interactions = vec![
+        Interaction {
+            src: base(0),
+            dst: base(1) + 1,
+            time: (2 * k + 1) as f64,
+            eid: (2 * k) as u32,
+        },
+        Interaction {
+            src: base(2),
+            dst: base(3) + 2,
+            time: (2 * k + 2) as f64,
+            eid: (2 * k + 1) as u32,
+        },
+    ];
+    let data: Vec<f32> = (0..2 * 8)
+        .map(|i| ((k * 31 + i * 13) % 17) as f32 / 17.0 - 0.5)
+        .collect();
+    (interactions, Tensor::from_vec(2, 8, data))
+}
+
+/// Runs requests `range` against a fresh client, flushing after each so
+/// asynchronous propagation is serialized (determinism harness — plain
+/// serving never needs this).
+fn run_range(
+    addr: std::net::SocketAddr,
+    range: std::ops::Range<usize>,
+) -> Vec<u32> {
+    let mut client = Client::connect(addr).expect("connect");
+    let mut bits = Vec::new();
+    for k in range {
+        let (interactions, feats) = request(k);
+        let scores = client.infer(&interactions, &feats).expect("infer");
+        assert_eq!(scores.len(), 2);
+        bits.extend(scores.iter().map(|s| s.to_bits()));
+        client.flush().expect("flush");
+    }
+    bits
+}
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("apan-serve-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn kill_and_warm_restart_is_bitwise_identical() {
+    const TOTAL: usize = 40;
+    const CUT: usize = 17;
+
+    // Reference: one daemon serves the full stream uninterrupted.
+    let reference = {
+        let handle = apan_serve::start(model(42), ServeConfig::default()).expect("start");
+        let addr = handle.addr();
+        let bits = run_range(addr, 0..TOTAL);
+        handle.shutdown();
+        bits
+    };
+
+    // Interrupted: serve the first CUT requests, stop (which writes the
+    // snapshot), then restart from the snapshot and serve the rest.
+    let snap = temp_path("restart.snap");
+    let _ = std::fs::remove_file(&snap);
+    let cfg = ServeConfig {
+        snapshot_path: Some(snap.clone()),
+        ..ServeConfig::default()
+    };
+
+    let first = {
+        let handle = apan_serve::start(model(42), cfg.clone()).expect("start");
+        let addr = handle.addr();
+        let bits = run_range(addr, 0..CUT);
+        let mut client = Client::connect(addr).expect("connect");
+        client.shutdown_server().expect("shutdown verb");
+        handle.join();
+        bits
+    };
+    assert!(snap.exists(), "shutdown must leave a snapshot behind");
+
+    let second = {
+        // A different weight seed proves the snapshot's parameters win
+        // on warm restart (same architecture, different init).
+        let handle = apan_serve::start(model(43), cfg).expect("warm restart");
+        let addr = handle.addr();
+        let bits = run_range(addr, CUT..TOTAL);
+        handle.shutdown();
+        bits
+    };
+
+    assert_eq!(first, reference[..2 * CUT].to_vec(), "pre-kill scores diverged");
+    assert_eq!(
+        second,
+        reference[2 * CUT..].to_vec(),
+        "post-restart scores are not bitwise identical to the uninterrupted run"
+    );
+    let _ = std::fs::remove_file(&snap);
+}
+
+fn json_f64_field(doc: &str, field: &str) -> Option<f64> {
+    let needle = format!("\"{field}\":");
+    let start = doc.find(&needle)? + needle.len();
+    let rest = &doc[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[test]
+fn burst_sheds_with_explicit_replies_and_accurate_stats() {
+    const BURST: usize = 12;
+    let cfg = ServeConfig {
+        high_water: 2,
+        policy: BatchPolicy {
+            max_batch: 2,
+            batch_deadline: Duration::ZERO,
+        },
+        // slow the service path so the burst reliably outruns it
+        infer_delay: Duration::from_millis(15),
+        ..ServeConfig::default()
+    };
+    let handle = apan_serve::start(model(7), cfg).expect("start");
+    let addr = handle.addr();
+
+    // Burst BURST frames down one socket without reading replies, then
+    // collect: every frame must get exactly one reply — scores or an
+    // explicit OVERLOADED — and the daemon must not hang.
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    for k in 0..BURST {
+        let (interactions, feats) = request(k);
+        let payload = proto::encode_infer(&interactions, &feats);
+        proto::write_frame(&mut writer, verb::INFER, k as u64, &payload).unwrap();
+    }
+    writer.flush().unwrap();
+
+    let mut scored = 0u64;
+    let mut shed = 0u64;
+    for _ in 0..BURST {
+        let frame = proto::read_frame(&mut reader)
+            .expect("read reply")
+            .expect("daemon closed mid-burst");
+        match frame.verb {
+            reply::SCORES => scored += 1,
+            reply::OVERLOADED => shed += 1,
+            v => panic!("unexpected reply verb {v:#04x}"),
+        }
+    }
+    assert_eq!(scored + shed, BURST as u64);
+    assert!(shed > 0, "burst past high_water=2 must shed");
+    assert!(scored > 0, "admission control must not shed everything");
+
+    let mut client = Client::connect(addr).expect("connect");
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        json_u64_field(&stats, "shed"),
+        Some(shed),
+        "STATS shed count disagrees with OVERLOADED replies: {stats}"
+    );
+    assert_eq!(json_u64_field(&stats, "requests"), Some(scored));
+    // Every served request waited at least one infer_delay inside the
+    // batcher, so an honest p99 cannot be below it.
+    let p99 = json_f64_field(&stats, "p99_ms").expect("p99_ms in STATS");
+    assert!(p99 >= 10.0, "p99 {p99}ms is below the configured service floor");
+
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_clients_are_all_served() {
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 25;
+    let handle = apan_serve::start(model(3), ServeConfig::default()).expect("start");
+    let addr = handle.addr();
+
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut ok = 0usize;
+                for k in 0..PER_CLIENT {
+                    let interactions = vec![Interaction {
+                        src: (c * PER_CLIENT + k) as u32 % 50,
+                        dst: (c + k) as u32 % 50 + 1,
+                        time: -1.0, // daemon assigns event time
+                        eid: 0,
+                    }];
+                    let feats = Tensor::full(1, 8, 0.25);
+                    match client.infer(&interactions, &feats) {
+                        Ok(scores) => {
+                            assert_eq!(scores.len(), 1);
+                            assert!(scores[0].is_finite());
+                            ok += 1;
+                        }
+                        Err(ClientError::Overloaded) => {}
+                        Err(e) => panic!("client {c}: {e}"),
+                    }
+                }
+                ok
+            })
+        })
+        .collect();
+    let served: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
+    assert!(served > 0);
+
+    let mut client = Client::connect(addr).expect("connect");
+    client.ping().expect("ping");
+    let stats = client.stats().expect("stats");
+    assert_eq!(json_u64_field(&stats, "requests"), Some(served as u64));
+    // interleaved negative-time requests exercise watermark assignment
+    let wm = json_f64_field(&stats, "watermark").expect("watermark");
+    assert!(wm >= served as f64, "watermark must advance per interaction: {stats}");
+    handle.shutdown();
+}
+
+#[test]
+fn daemon_survives_malformed_and_oversized_frames() {
+    let handle = apan_serve::start(model(1), ServeConfig::default()).expect("start");
+    let addr = handle.addr();
+
+    // A hostile length prefix kills that connection, nothing else.
+    let mut evil = TcpStream::connect(addr).expect("connect");
+    evil.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    evil.write_all(&[0u8; 32]).unwrap();
+
+    // A structurally broken INFER payload gets an ERROR reply.
+    let mut client = Client::connect(addr).expect("connect");
+    let garbage = vec![0xFFu8; 64];
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut w = stream.try_clone().unwrap();
+    let mut r = BufReader::new(stream);
+    proto::write_frame(&mut w, verb::INFER, 9, &garbage).unwrap();
+    let frame = proto::read_frame(&mut r).expect("reply").expect("open");
+    assert_eq!(frame.verb, reply::ERROR);
+
+    // The daemon is still healthy for well-formed traffic.
+    let (interactions, feats) = request(0);
+    let scores = client.infer(&interactions, &feats).expect("infer after abuse");
+    assert_eq!(scores.len(), 2);
+    handle.shutdown();
+}

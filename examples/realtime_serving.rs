@@ -1,6 +1,7 @@
-//! Real-time serving: deploy APAN behind the two-link pipeline of
-//! Fig. 2(b) — synchronous inference, asynchronous mail propagation on a
-//! background worker — and measure what the user actually waits for.
+//! Real-time serving: deploy a trained APAN behind the `apan-serve`
+//! daemon — synchronous inference behind a TCP protocol, asynchronous
+//! mail propagation on the daemon's background worker — and drive it
+//! through the client API, including a snapshot + warm restart.
 //!
 //! ```sh
 //! cargo run --release --example realtime_serving
@@ -8,11 +9,12 @@
 
 use apan_repro::core::config::ApanConfig;
 use apan_repro::core::model::Apan;
-use apan_repro::core::pipeline::ServingPipeline;
 use apan_repro::core::propagator::Interaction;
 use apan_repro::core::train::{train_link_prediction, TrainConfig};
 use apan_repro::data::generators::GenConfig;
 use apan_repro::data::{ChronoSplit, LabelKind, SplitFractions};
+use apan_repro::serve::client::json_u64_field;
+use apan_repro::serve::{Client, ServeConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -55,46 +57,66 @@ fn main() {
     let report = train_link_prediction(&mut model, &data, &split, &tc, &mut rng);
     println!("trained: test AP {:.4}\n", report.test_ap);
 
-    // Online: deploy and stream the test range through the pipeline.
-    let mut pipeline = ServingPipeline::new(model, data.num_nodes(), 64);
-    let test_events = &data.graph.events()[split.test.clone()];
-    let batch_size = 200;
-    let mut served = 0usize;
-    for chunk in test_events.chunks(batch_size) {
-        let interactions: Vec<Interaction> = chunk
-            .iter()
-            .map(|e| Interaction {
-                src: e.src,
-                dst: e.dst,
-                time: e.time,
-                eid: e.eid,
-            })
-            .collect();
-        let eids: Vec<u32> = chunk.iter().map(|e| e.eid).collect();
-        let feats = data.feature_batch(&eids);
-        let result = pipeline.infer_batch(&interactions, &feats);
-        served += result.scores.len();
-        if served <= batch_size {
-            println!(
-                "first batch: {} scores in {:?} (sync path only); {} propagation jobs pending",
-                result.scores.len(),
-                result.sync_time,
-                pipeline.pending_jobs()
-            );
-        }
-    }
-    println!("\nserved {served} interactions");
-    println!(
-        "sync-path latency: mean {:?}, p50 {:?}, p95 {:?}",
-        pipeline.sync_latency.mean(),
-        pipeline.sync_latency.p50(),
-        pipeline.sync_latency.p95()
-    );
+    // Online: boot the daemon on an ephemeral port with a snapshot
+    // configured, and stream the test range through the wire protocol.
+    let snap = std::env::temp_dir().join("realtime_serving_demo.snap");
+    let _ = std::fs::remove_file(&snap);
+    let serve_cfg = ServeConfig {
+        num_nodes: data.num_nodes(),
+        snapshot_path: Some(snap.clone()),
+        ..ServeConfig::default()
+    };
+    let handle = apan_repro::serve::start(model, serve_cfg.clone()).expect("start daemon");
+    println!("daemon listening on {}", handle.addr());
+    let mut client = Client::connect(handle.addr()).expect("connect");
 
-    // Drain the asynchronous link and report what it did in background.
-    let stats = pipeline.shutdown();
+    let test_events = &data.graph.events()[split.test.clone()];
+    let cut = test_events.len() / 2;
+    let serve_chunks = |client: &mut Client, events: &[apan_repro::tgraph::Event]| -> usize {
+        let mut served = 0usize;
+        for chunk in events.chunks(200) {
+            let interactions: Vec<Interaction> = chunk
+                .iter()
+                .map(|e| Interaction {
+                    src: e.src,
+                    dst: e.dst,
+                    time: e.time,
+                    eid: e.eid,
+                })
+                .collect();
+            let eids: Vec<u32> = chunk.iter().map(|e| e.eid).collect();
+            let feats = data.feature_batch(&eids);
+            served += client.infer(&interactions, &feats).expect("infer").len();
+        }
+        served
+    };
+
+    let first_half = serve_chunks(&mut client, &test_events[..cut]);
+    println!("served {first_half} interactions over TCP");
+    let stats = client.stats().expect("stats");
+    println!("daemon stats: {stats}");
+
+    // Stop mid-stream: shutdown writes the snapshot configured above.
+    client.shutdown_server().expect("shutdown");
+    handle.join();
+    println!("\ndaemon stopped; snapshot at {}", snap.display());
+
+    // Warm restart: a freshly seeded model goes in, but the snapshot's
+    // parameters and serving state win — the stream just continues.
+    let mut rng2 = StdRng::seed_from_u64(999);
+    let blank = Apan::new(&ApanConfig::for_dataset(&data), &mut rng2);
+    let handle = apan_repro::serve::start(blank, serve_cfg).expect("warm restart");
+    let mut client = Client::connect(handle.addr()).expect("reconnect");
+    let second_half = serve_chunks(&mut client, &test_events[cut..]);
+    println!("warm-restarted daemon served the remaining {second_half} interactions");
+
+    let stats = client.stats().expect("stats");
     println!(
-        "async link: {} jobs, {} mailbox deliveries, {} graph queries ({} rows) — none of it on the serving path",
-        stats.jobs, stats.deliveries, stats.cost.queries, stats.cost.rows_touched
+        "post-restart stats: {} requests, {} interactions",
+        json_u64_field(&stats, "requests").unwrap_or(0),
+        json_u64_field(&stats, "interactions").unwrap_or(0),
     );
+    handle.shutdown();
+    let _ = std::fs::remove_file(&snap);
+    println!("done");
 }

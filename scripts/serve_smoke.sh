@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Smoke-tests the serving daemon end to end: builds release binaries,
+# boots `apand` on an ephemeral port, drives it with `apan-loadgen` for
+# ~2 s at a load it can absorb, and asserts the STATS surface is sane
+# (parses, zero shed, zero errors, nonzero served work).
+#
+# Usage: scripts/serve_smoke.sh [duration_s]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DURATION="${1:-2}"
+LOG="$(mktemp /tmp/apand_smoke.XXXXXX.log)"
+SNAP="$(mktemp -u /tmp/apand_smoke.XXXXXX.snap)"
+APID=""
+
+cleanup() {
+  [ -n "$APID" ] && kill -TERM "$APID" 2>/dev/null && wait "$APID" 2>/dev/null
+  rm -f "$LOG" "$SNAP"
+}
+trap cleanup EXIT
+
+cargo build --release --bin apand --bin apan-loadgen
+
+# --port 0: the kernel picks a free port; apand prints the bound address.
+./target/release/apand --port 0 --dim 16 --snapshot "$SNAP" \
+  --snapshot-every-s 1 >"$LOG" 2>&1 &
+APID=$!
+
+for _ in $(seq 50); do
+  grep -q "listening on" "$LOG" 2>/dev/null && break
+  sleep 0.1
+done
+PORT="$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' "$LOG" | head -1)"
+if [ -z "$PORT" ]; then
+  echo "serve_smoke: apand did not come up" >&2
+  cat "$LOG" >&2
+  exit 1
+fi
+echo "serve_smoke: apand on port $PORT"
+
+OUT="$(./target/release/apan-loadgen --addr "127.0.0.1:$PORT" \
+  --conns 4 --duration-s "$DURATION" --batch 8)"
+echo "$OUT"
+
+# The daemon's own stats line is the contract under test.
+STATS="$(echo "$OUT" | sed -n 's/^apan-loadgen: daemon stats //p')"
+if [ -z "$STATS" ]; then
+  echo "serve_smoke: STATS did not parse out of loadgen output" >&2
+  exit 1
+fi
+
+field() { echo "$STATS" | sed -n "s/.*\"$1\":\([0-9]*\).*/\1/p"; }
+
+SHED="$(field shed)"
+REQS="$(field requests)"
+FAILS="$(field snapshot_failures)"
+if [ -z "$SHED" ] || [ -z "$REQS" ]; then
+  echo "serve_smoke: STATS document malformed: $STATS" >&2
+  exit 1
+fi
+if [ "$SHED" != "0" ]; then
+  echo "serve_smoke: daemon shed $SHED requests at smoke-test load" >&2
+  exit 1
+fi
+if [ "$REQS" = "0" ]; then
+  echo "serve_smoke: daemon served nothing" >&2
+  exit 1
+fi
+if [ "${FAILS:-0}" != "0" ]; then
+  echo "serve_smoke: $FAILS snapshot failures" >&2
+  exit 1
+fi
+if echo "$OUT" | grep -q "errors" && ! echo "$OUT" | grep -q "0 errors"; then
+  echo "serve_smoke: loadgen saw request errors" >&2
+  exit 1
+fi
+
+# SIGTERM must stop the daemon cleanly and leave a snapshot behind.
+kill -TERM "$APID"
+wait "$APID"
+APID=""
+if [ ! -s "$SNAP" ]; then
+  echo "serve_smoke: shutdown left no snapshot" >&2
+  exit 1
+fi
+
+echo "serve_smoke: OK ($REQS requests, 0 shed, snapshot $(stat -c%s "$SNAP") bytes)"

@@ -12,6 +12,7 @@
 //! * [`core`] — APAN itself (mailbox, propagator, encoder, pipeline)
 //! * [`baselines`] — JODIE, DyRep, TGAT, TGN + static baselines
 //! * [`metrics`] — AP, AUC, accuracy, latency statistics
+//! * [`serve`] — networked serving daemon (`apand`), protocol, client
 //!
 //! See `examples/quickstart.rs` for the five-minute tour and DESIGN.md /
 //! EXPERIMENTS.md for the paper-reproduction map.
@@ -21,5 +22,6 @@ pub use apan_core as core;
 pub use apan_data as data;
 pub use apan_metrics as metrics;
 pub use apan_nn as nn;
+pub use apan_serve as serve;
 pub use apan_tensor as tensor;
 pub use apan_tgraph as tgraph;
