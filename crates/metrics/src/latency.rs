@@ -5,33 +5,70 @@ use std::time::Duration;
 
 /// Collects latency samples (e.g. one per inference batch) and reports
 /// mean / percentiles, as needed for the Figure 6 reproduction.
+///
+/// A recorder made with [`LatencyRecorder::new`] keeps every sample —
+/// right for bounded bench runs that want exact lifetime percentiles. A
+/// recorder made with [`LatencyRecorder::bounded`] retains only the most
+/// recent `cap` samples in a ring, so a long-running serving daemon's
+/// stats memory and percentile-sort cost stay constant no matter how
+/// many requests it has served; percentiles then describe the retained
+/// window while [`LatencyRecorder::len`] still counts everything seen.
 #[derive(Clone, Debug, Default)]
 pub struct LatencyRecorder {
     samples_ns: Vec<u64>,
+    /// Ring capacity; 0 keeps every sample.
+    cap: usize,
+    /// Ring write cursor (bounded mode only).
+    next: usize,
+    /// Total samples ever recorded (≥ retained count in bounded mode).
+    seen: u64,
 }
 
 impl LatencyRecorder {
-    /// Creates an empty recorder.
+    /// Creates an empty recorder that keeps every sample.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Records one sample.
-    pub fn record(&mut self, d: Duration) {
-        self.samples_ns.push(d.as_nanos() as u64);
+    /// Creates a recorder that retains only the last `cap` samples.
+    ///
+    /// # Panics
+    /// Panics if `cap` is zero.
+    pub fn bounded(cap: usize) -> Self {
+        assert!(cap > 0, "bounded recorder needs a positive capacity");
+        Self {
+            samples_ns: Vec::new(),
+            cap,
+            next: 0,
+            seen: 0,
+        }
     }
 
-    /// Number of samples recorded.
+    /// Records one sample, evicting the oldest retained sample once a
+    /// bounded recorder is full.
+    pub fn record(&mut self, d: Duration) {
+        let ns = d.as_nanos() as u64;
+        self.seen += 1;
+        if self.cap > 0 && self.samples_ns.len() == self.cap {
+            self.samples_ns[self.next] = ns;
+            self.next = (self.next + 1) % self.cap;
+        } else {
+            self.samples_ns.push(ns);
+        }
+    }
+
+    /// Total number of samples recorded (a bounded recorder may retain
+    /// fewer than this for its percentiles).
     pub fn len(&self) -> usize {
-        self.samples_ns.len()
+        self.seen as usize
     }
 
     /// Whether no samples have been recorded.
     pub fn is_empty(&self) -> bool {
-        self.samples_ns.is_empty()
+        self.seen == 0
     }
 
-    /// Mean latency (zero if empty).
+    /// Mean latency over the retained samples (zero if empty).
     pub fn mean(&self) -> Duration {
         if self.samples_ns.is_empty() {
             return Duration::ZERO;
@@ -40,7 +77,8 @@ impl LatencyRecorder {
         Duration::from_nanos((sum / self.samples_ns.len() as u128) as u64)
     }
 
-    /// The `q`-quantile (0 ≤ q ≤ 1) by nearest-rank; zero if empty.
+    /// The `q`-quantile (0 ≤ q ≤ 1) by nearest-rank over the retained
+    /// samples; zero if empty.
     pub fn quantile(&self, q: f64) -> Duration {
         assert!((0.0..=1.0).contains(&q), "quantile out of range");
         if self.samples_ns.is_empty() {
@@ -91,7 +129,7 @@ impl LatencyRecorder {
             sorted[rank] as f64 / 1e6
         };
         LatencySummary {
-            count: sorted.len(),
+            count: self.seen as usize,
             mean_ms: self.mean_ms(),
             p50_ms: q(0.5),
             p95_ms: q(0.95),
@@ -106,7 +144,8 @@ impl LatencyRecorder {
 /// serving daemon's `STATS` verb ships it via [`LatencySummary::to_json`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct LatencySummary {
-    /// Number of samples summarized.
+    /// Total samples recorded (a bounded recorder's percentiles describe
+    /// only its retained window).
     pub count: usize,
     /// Mean latency.
     pub mean_ms: f64,
@@ -188,6 +227,39 @@ mod tests {
         assert!((s.p95_ms - 100.0).abs() < 1e-9);
         assert!((s.p99_ms - 100.0).abs() < 1e-9);
         assert!((s.max_ms - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounded_recorder_retains_a_sliding_window() {
+        let mut r = LatencyRecorder::bounded(4);
+        for ms in 1..=10u64 {
+            r.record(Duration::from_millis(ms));
+        }
+        // counts report everything seen, percentiles the last 4 samples
+        assert_eq!(r.len(), 10);
+        assert_eq!(r.quantile(0.0), Duration::from_millis(7));
+        assert_eq!(r.p50(), Duration::from_millis(9));
+        assert_eq!(r.max(), Duration::from_millis(10));
+        assert_eq!(r.mean(), Duration::from_micros(8500));
+        let s = r.summary();
+        assert_eq!(s.count, 10);
+        assert!((s.max_ms - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounded_recorder_memory_is_constant() {
+        let mut r = LatencyRecorder::bounded(16);
+        for _ in 0..100_000 {
+            r.record(Duration::from_millis(1));
+        }
+        assert_eq!(r.len(), 100_000);
+        assert_eq!(r.samples_ns.len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive capacity")]
+    fn bounded_zero_capacity_rejected() {
+        let _ = LatencyRecorder::bounded(0);
     }
 
     #[test]

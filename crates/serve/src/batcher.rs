@@ -137,17 +137,34 @@ impl IngressQueue {
     /// Creates a queue that sheds once `high_water` inference requests
     /// are pending.
     pub fn new(high_water: usize) -> Self {
+        Self::with_watermark(high_water, 0.0)
+    }
+
+    /// Creates a queue whose event-time watermark starts at `watermark`
+    /// instead of zero — the warm-restart path. A daemon resuming from a
+    /// snapshot must seed admission with the restored graph's newest
+    /// event time: otherwise a request with an unset or stale time would
+    /// be admitted behind the restored stream and trip the temporal
+    /// graph's time-order invariant on the propagation path.
+    pub fn with_watermark(high_water: usize, watermark: f64) -> Self {
         assert!(high_water > 0, "high_water must be positive");
+        assert!(
+            watermark.is_finite() && watermark >= 0.0,
+            "watermark must be a finite non-negative time"
+        );
         Self {
-            inner: Mutex::new(Inner::default()),
+            inner: Mutex::new(Inner {
+                watermark,
+                ..Inner::default()
+            }),
             nonempty: Condvar::new(),
             high_water,
         }
     }
 
     /// Admits one inference request, clamping its interaction times to
-    /// the monotone event-time watermark (negative/NaN times are
-    /// assigned from arrival order). Sheds with [`AdmitError::Overloaded`]
+    /// the monotone event-time watermark (negative or non-finite times
+    /// are assigned from arrival order). Sheds with [`AdmitError::Overloaded`]
     /// past the high-water mark; the caller owes the peer an explicit
     /// `OVERLOADED` reply.
     pub fn submit_infer(
@@ -165,8 +182,10 @@ impl IngressQueue {
             return Err((AdmitError::Overloaded, respond));
         }
         for i in &mut interactions {
-            if !(i.time >= 0.0) {
-                // unset (negative or NaN): arrival order assigns time
+            if !i.time.is_finite() || i.time < 0.0 {
+                // unset (negative) or nonsense (NaN/±inf): arrival order
+                // assigns time. Admitting +inf would poison the watermark
+                // permanently and write a snapshot that can never restore.
                 i.time = inner.watermark + 1.0;
             } else if i.time < inner.watermark {
                 i.time = inner.watermark;
@@ -362,6 +381,55 @@ mod tests {
             }
             _ => panic!("expected batch"),
         }
+    }
+
+    #[test]
+    fn nonfinite_times_are_assigned_not_admitted() {
+        let q = IngressQueue::new(8);
+        assert!(submit(&q, 2.0).is_ok());
+        // +inf must not poison the watermark: it is treated as unset
+        assert!(submit(&q, f64::INFINITY).is_ok());
+        assert!(submit(&q, f64::NAN).is_ok());
+        assert!(submit(&q, f64::NEG_INFINITY).is_ok());
+        let stats = q.stats();
+        assert!(stats.watermark.is_finite());
+        assert!((stats.watermark - 5.0).abs() < 1e-9);
+        match q.drain(BatchPolicy::default()) {
+            Some(Drained::Batch(b)) => {
+                let (inter, _) = assemble(&b);
+                assert!(inter.iter().all(|i| i.time.is_finite()));
+                let times: Vec<f64> = inter.iter().map(|i| i.time).collect();
+                assert_eq!(times, vec![2.0, 3.0, 4.0, 5.0]);
+            }
+            _ => panic!("expected batch"),
+        }
+    }
+
+    #[test]
+    fn warm_restart_watermark_seeds_admission() {
+        // A queue restored behind a snapshot whose newest event is t=34
+        // must clamp stale times and assign unset times above it — never
+        // admit anything the restored temporal graph would reject.
+        let q = IngressQueue::with_watermark(8, 34.0);
+        assert!((q.stats().watermark - 34.0).abs() < 1e-9);
+        assert!(submit(&q, 5.0).is_ok()); // stale explicit time: clamp
+        assert!(submit(&q, -1.0).is_ok()); // unset: assigned above restore point
+        let stats = q.stats();
+        assert_eq!(stats.clamped, 1);
+        match q.drain(BatchPolicy::default()) {
+            Some(Drained::Batch(b)) => {
+                let (inter, _) = assemble(&b);
+                let times: Vec<f64> = inter.iter().map(|i| i.time).collect();
+                assert_eq!(times, vec![34.0, 35.0]);
+            }
+            _ => panic!("expected batch"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn with_watermark_rejects_nonfinite_seed() {
+        let _ = IngressQueue::with_watermark(8, f64::INFINITY);
     }
 
     #[test]

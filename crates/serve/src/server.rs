@@ -3,20 +3,25 @@
 //!
 //! Thread layout:
 //!
-//! * one **accept** thread hands each connection to a dedicated
-//!   **reader** thread;
+//! * one **accept** thread hands each connection a dedicated **reader**
+//!   thread and a dedicated **writer** thread;
 //! * readers decode frames, answer cheap verbs (`STATS`, `INFO`, `PING`)
 //!   inline, and push `INFER`/`SNAPSHOT`/`SHUTDOWN` work into the shared
 //!   [`IngressQueue`] (admission control sheds here, with an explicit
 //!   `OVERLOADED` reply — overload degrades throughput, never latency
 //!   honesty);
 //! * one **batcher** thread owns the pipeline, drains the queue into
-//!   micro-batches, runs the synchronous path once per batch, and writes
+//!   micro-batches, runs the synchronous path once per batch, and hands
 //!   each requester its slice of the scores;
 //! * an optional **tick** thread enqueues periodic snapshot work.
 //!
-//! Replies go through a per-connection writer mutex, so the batcher and
-//! the connection's reader never interleave bytes of two frames.
+//! Replies go through a bounded per-connection queue drained by that
+//! connection's writer thread: frames never interleave, and a peer that
+//! stops reading fills only its own queue (and is then disconnected)
+//! instead of head-of-line blocking the batcher for everyone else.
+//! Connection state is reclaimed as peers disconnect, so a long-running
+//! daemon serving many short-lived connections holds no more sockets or
+//! threads than it has live peers.
 
 use crate::batcher::{
     assemble, AdmitError, BatchPolicy, Control, Drained, InferOutcome, IngressQueue,
@@ -26,16 +31,27 @@ use crate::snapshot;
 use apan_core::model::Apan;
 use apan_core::pipeline::ServingPipeline;
 use apan_metrics::LatencyRecorder;
-use std::io::BufReader;
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Batch-size histogram buckets: 1, 2, ≤4, ≤8, …, ≤64, >64.
 pub const BATCH_BUCKETS: usize = 8;
+
+/// Service-latency samples retained for `STATS` percentiles: enough for
+/// stable tails, small enough that a long-running daemon's stats memory
+/// and per-`STATS` sort cost stay constant.
+pub const LATENCY_WINDOW: usize = 8192;
+
+/// Per-connection reply-queue depth. A peer that stops reading fills its
+/// own queue and is disconnected, never stalling the batcher.
+const REPLY_QUEUE: usize = 1024;
 
 /// Daemon configuration.
 #[derive(Clone, Debug)]
@@ -80,9 +96,9 @@ impl Default for ServeConfig {
 }
 
 /// Counters behind the `STATS` verb.
-#[derive(Default)]
 pub struct ServeStats {
-    /// Service latency (admission → reply) per request.
+    /// Service latency (admission → reply) per request, over a bounded
+    /// sliding window of [`LATENCY_WINDOW`] samples.
     pub latency: Mutex<LatencyRecorder>,
     /// Inference batches run.
     pub batches: AtomicU64,
@@ -98,6 +114,21 @@ pub struct ServeStats {
     pub snapshots: AtomicU64,
     /// Snapshot attempts that failed.
     pub snapshot_failures: AtomicU64,
+}
+
+impl Default for ServeStats {
+    fn default() -> Self {
+        Self {
+            latency: Mutex::new(LatencyRecorder::bounded(LATENCY_WINDOW)),
+            batches: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            interactions: AtomicU64::new(0),
+            batch_hist: Mutex::new([0; BATCH_BUCKETS]),
+            batch_max: AtomicU64::new(0),
+            snapshots: AtomicU64::new(0),
+            snapshot_failures: AtomicU64::new(0),
+        }
+    }
 }
 
 impl ServeStats {
@@ -118,17 +149,26 @@ impl ServeStats {
 }
 
 struct Conn {
-    /// Serialized reply channel (batcher + this connection's reader).
-    writer: Mutex<TcpStream>,
-    /// Unlocked handle used only to force-close the socket on shutdown.
+    /// Bounded reply queue drained by this connection's writer thread.
+    /// Frames never interleave (single drainer), and the batcher never
+    /// blocks on a peer's socket.
+    tx: SyncSender<(u8, u64, Vec<u8>)>,
+    /// Handle used to force-close the socket (shutdown, slow consumer).
     raw: TcpStream,
 }
 
 impl Conn {
     fn send(&self, verb: u8, req_id: u64, payload: &[u8]) {
-        let mut w = self.writer.lock().unwrap();
-        // a dead peer is their problem, not the daemon's
-        let _ = proto::write_frame(&mut *w, verb, req_id, payload);
+        match self.tx.try_send((verb, req_id, payload.to_vec())) {
+            Ok(()) => {}
+            // A full queue means the peer stopped reading: disconnect it
+            // rather than let it head-of-line block everyone's replies.
+            Err(TrySendError::Full(_)) => {
+                let _ = self.raw.shutdown(Shutdown::Both);
+            }
+            // writer already gone — a dead peer is their problem
+            Err(TrySendError::Disconnected(_)) => {}
+        }
     }
 }
 
@@ -136,8 +176,12 @@ struct Shared {
     queue: IngressQueue,
     stats: ServeStats,
     running: AtomicBool,
-    conns: Mutex<Vec<Arc<Conn>>>,
-    readers: Mutex<Vec<JoinHandle<()>>>,
+    /// Live connections only: each entry is removed when its reader
+    /// exits, so the daemon never accumulates dead peers' sockets.
+    conns: Mutex<HashMap<u64, Arc<Conn>>>,
+    /// Reader/writer threads; finished handles are reaped on accept.
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    next_conn: AtomicU64,
     cfg: ServeConfig,
     dim: usize,
     mailbox_slots: usize,
@@ -197,6 +241,12 @@ impl ServerHandle {
         self.shared.running.load(Ordering::SeqCst)
     }
 
+    /// Number of currently-connected peers (dead connections are pruned
+    /// as their readers exit).
+    pub fn active_connections(&self) -> usize {
+        self.shared.conns.lock().unwrap().len()
+    }
+
     /// Initiates a graceful stop — equivalent to a client `SHUTDOWN`
     /// verb: pending work completes, a final snapshot is written if
     /// configured — and waits for every thread to exit.
@@ -214,9 +264,9 @@ impl ServerHandle {
         for t in self.threads {
             let _ = t.join();
         }
-        let readers: Vec<JoinHandle<()>> =
-            std::mem::take(&mut *self.shared.readers.lock().unwrap());
-        for t in readers {
+        let workers: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.shared.workers.lock().unwrap());
+        for t in workers {
             let _ = t.join();
         }
     }
@@ -244,12 +294,19 @@ pub fn start(mut model: Apan, cfg: ServeConfig) -> Result<ServerHandle, StartErr
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
 
+    // Seed admission with the restored stream position: after a warm
+    // restart the watermark must start at the snapshot's newest event
+    // time, or unset/stale request times would be admitted behind the
+    // restored graph and panic the propagation worker's insert.
+    let watermark = pipeline.graph().read().max_time();
+
     let shared = Arc::new(Shared {
-        queue: IngressQueue::new(cfg.high_water),
+        queue: IngressQueue::with_watermark(cfg.high_water, watermark),
         stats: ServeStats::default(),
         running: AtomicBool::new(true),
-        conns: Mutex::new(Vec::new()),
-        readers: Mutex::new(Vec::new()),
+        conns: Mutex::new(HashMap::new()),
+        workers: Mutex::new(Vec::new()),
+        next_conn: AtomicU64::new(0),
         dim: pipeline.model().cfg.dim,
         mailbox_slots: pipeline.model().cfg.mailbox_slots,
         cfg,
@@ -414,8 +471,9 @@ fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
     while shared.running.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
+                reap_workers(shared);
                 let _ = stream.set_nodelay(true);
-                // a peer that stops reading must not wedge the batcher
+                // bounds how long a dead peer's writer thread lingers
                 let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
                 let Ok(write_half) = stream.try_clone() else {
                     continue;
@@ -423,17 +481,28 @@ fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
                 let Ok(raw) = stream.try_clone() else {
                     continue;
                 };
-                let conn = Arc::new(Conn {
-                    writer: Mutex::new(write_half),
-                    raw,
-                });
-                shared.conns.lock().unwrap().push(Arc::clone(&conn));
+                let (tx, rx) = mpsc::sync_channel(REPLY_QUEUE);
+                let conn = Arc::new(Conn { tx, raw });
+                let id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+                shared.conns.lock().unwrap().insert(id, Arc::clone(&conn));
+                let writer = std::thread::Builder::new()
+                    .name("apan-conn-writer".into())
+                    .spawn(move || writer_loop(write_half, rx))
+                    .expect("spawn writer");
                 let shared2 = Arc::clone(shared);
-                let handle = std::thread::Builder::new()
+                let reader = std::thread::Builder::new()
                     .name("apan-conn".into())
-                    .spawn(move || reader_loop(stream, conn, &shared2))
+                    .spawn(move || {
+                        reader_loop(stream, &conn, &shared2);
+                        // Peer gone: free the connection slot. Dropping
+                        // the map's Conn lets the writer exit once every
+                        // in-flight responder has delivered its reply.
+                        shared2.conns.lock().unwrap().remove(&id);
+                    })
                     .expect("spawn reader");
-                shared.readers.lock().unwrap().push(handle);
+                let mut workers = shared.workers.lock().unwrap();
+                workers.push(writer);
+                workers.push(reader);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(2));
@@ -441,9 +510,47 @@ fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
             Err(_) => break,
         }
     }
-    // Wake blocked readers so their threads exit.
-    for conn in shared.conns.lock().unwrap().iter() {
-        let _ = conn.raw.shutdown(Shutdown::Both);
+    // Wake blocked readers so their threads exit. Only the read half is
+    // shut down: writers still drain queued replies (e.g. the SHUTDOWN
+    // ack) before exiting.
+    for conn in shared.conns.lock().unwrap().values() {
+        let _ = conn.raw.shutdown(Shutdown::Read);
+    }
+}
+
+/// Joins reader/writer threads whose connections have ended, so a
+/// long-running daemon taking many short-lived connections does not
+/// accumulate thread handles without bound.
+fn reap_workers(shared: &Shared) {
+    let mut finished = Vec::new();
+    {
+        let mut workers = shared.workers.lock().unwrap();
+        let mut alive = Vec::with_capacity(workers.len());
+        for h in workers.drain(..) {
+            if h.is_finished() {
+                finished.push(h);
+            } else {
+                alive.push(h);
+            }
+        }
+        *workers = alive;
+    }
+    for h in finished {
+        let _ = h.join();
+    }
+}
+
+/// Drains one connection's reply queue onto its socket. Exits when the
+/// peer dies (write failure) or every sender — the conns-map entry plus
+/// all in-flight responders — has dropped.
+fn writer_loop(stream: TcpStream, rx: Receiver<(u8, u64, Vec<u8>)>) {
+    use std::io::Write;
+    let mut w = BufWriter::new(stream);
+    while let Ok((verb, req_id, payload)) = rx.recv() {
+        // a dead peer is their problem, not the daemon's
+        if proto::write_frame(&mut w, verb, req_id, &payload).is_err() || w.flush().is_err() {
+            break;
+        }
     }
 }
 
@@ -462,7 +569,7 @@ fn tick_loop(every: Duration, shared: &Arc<Shared>) {
     }
 }
 
-fn reader_loop(stream: TcpStream, conn: Arc<Conn>, shared: &Arc<Shared>) {
+fn reader_loop(stream: TcpStream, conn: &Arc<Conn>, shared: &Arc<Shared>) {
     let mut reader = BufReader::new(stream);
     loop {
         let frame = match proto::read_frame(&mut reader) {
@@ -475,7 +582,7 @@ fn reader_loop(stream: TcpStream, conn: Arc<Conn>, shared: &Arc<Shared>) {
                 break;
             }
         };
-        handle_frame(frame, &conn, shared);
+        handle_frame(frame, conn, shared);
         if !shared.running.load(Ordering::SeqCst) {
             break;
         }

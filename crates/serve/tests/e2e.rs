@@ -135,6 +135,78 @@ fn kill_and_warm_restart_is_bitwise_identical() {
     let _ = std::fs::remove_file(&snap);
 }
 
+#[test]
+fn warm_restart_accepts_stale_and_unset_times() {
+    // Regression: a restarted daemon must seed its admission watermark
+    // from the snapshot's newest event time. Before the fix, an INFER
+    // with an unset time (or an explicit time behind the snapshot) was
+    // admitted behind the restored stream and panicked the propagation
+    // worker, killing the batcher and with it the whole daemon.
+    let snap = temp_path("restart_watermark.snap");
+    let _ = std::fs::remove_file(&snap);
+    let cfg = ServeConfig {
+        snapshot_path: Some(snap.clone()),
+        ..ServeConfig::default()
+    };
+    {
+        let handle = apan_serve::start(model(11), cfg.clone()).expect("start");
+        let _ = run_range(handle.addr(), 0..5); // newest event time = 10
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        client.shutdown_server().expect("shutdown verb");
+        handle.join();
+    }
+
+    let handle = apan_serve::start(model(11), cfg).expect("warm restart");
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).expect("connect");
+    let feats = Tensor::full(1, 8, 0.25);
+
+    // unset time: must be assigned above the restored stream position
+    let unset = vec![Interaction { src: 1, dst: 2, time: -1.0, eid: 0 }];
+    client.infer(&unset, &feats).expect("unset time after restart");
+
+    // explicit time behind the snapshot: must clamp, not panic
+    let stale = vec![Interaction { src: 2, dst: 3, time: 1.0, eid: 0 }];
+    client.infer(&stale, &feats).expect("stale time after restart");
+    client.flush().expect("flush");
+
+    let stats = client.stats().expect("stats");
+    let wm = json_f64_field(&stats, "watermark").expect("watermark");
+    assert!(wm > 10.0, "watermark must resume above the snapshot: {stats}");
+    assert_eq!(json_u64_field(&stats, "clamped"), Some(1), "{stats}");
+
+    // the daemon must still be fully healthy after both
+    let (interactions, feats) = request(50);
+    let scores = client.infer(&interactions, &feats).expect("daemon still serving");
+    assert_eq!(scores.len(), 2);
+    handle.shutdown();
+    let _ = std::fs::remove_file(&snap);
+}
+
+#[test]
+fn disconnected_peers_are_pruned() {
+    let handle = apan_serve::start(model(5), ServeConfig::default()).expect("start");
+    let addr = handle.addr();
+    for _ in 0..8 {
+        let mut c = Client::connect(addr).expect("connect");
+        c.ping().expect("ping");
+        // client drops here — the daemon must reclaim its slot
+    }
+    let mut probe = Client::connect(addr).expect("connect");
+    probe.ping().expect("ping");
+    // readers notice the hangups asynchronously; poll briefly
+    let mut live = usize::MAX;
+    for _ in 0..200 {
+        live = handle.active_connections();
+        if live <= 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(live, 1, "dead connections must be pruned ({live} still held)");
+    handle.shutdown();
+}
+
 fn json_f64_field(doc: &str, field: &str) -> Option<f64> {
     let needle = format!("\"{field}\":");
     let start = doc.find(&needle)? + needle.len();
