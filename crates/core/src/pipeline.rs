@@ -21,7 +21,7 @@ use crate::mail::make_mails_with;
 use crate::mailbox::MailboxStore;
 use crate::model::{dedup_nodes, Apan};
 use crate::propagator::{Interaction, Propagator};
-use apan_metrics::LatencyRecorder;
+use apan_metrics::{Clock, LatencyRecorder};
 use apan_nn::Fwd;
 use apan_tensor::Tensor;
 use apan_tgraph::cost::QueryCost;
@@ -32,7 +32,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Wire (de)serialization of mail payloads, as on a message bus.
 ///
@@ -267,6 +267,9 @@ pub struct ServingPipeline {
     worker: Option<JoinHandle<PropStats>>,
     pending: Arc<PendingJobs>,
     rng: StdRng,
+    /// Time source for `sync_time` stamps; real unless a test harness
+    /// injects a virtual clock via [`ServingPipeline::set_clock`].
+    clock: Clock,
     /// Latencies of every synchronous inference call.
     pub sync_latency: LatencyRecorder,
 }
@@ -360,8 +363,17 @@ impl ServingPipeline {
             worker: Some(worker),
             pending,
             rng: StdRng::seed_from_u64(0),
+            clock: Clock::real(),
             sync_latency: LatencyRecorder::new(),
         }
+    }
+
+    /// Replaces the time source behind `sync_time` stamps. The
+    /// deterministic simulation harness injects the scenario's virtual
+    /// clock here so the pipeline's latency numbers move on simulated
+    /// time along with the rest of the serving stack.
+    pub fn set_clock(&mut self, clock: Clock) {
+        self.clock = clock;
     }
 
     /// The synchronous inference path: encodes the batch's unique nodes
@@ -370,7 +382,7 @@ impl ServingPipeline {
     /// background worker. Only the part before the hand-off is timed.
     pub fn infer_batch(&mut self, interactions: &[Interaction], feats: &Tensor) -> InferResult {
         assert_eq!(feats.rows(), interactions.len(), "one feature row per interaction");
-        let start = Instant::now();
+        let start = self.clock.now();
 
         let src: Vec<NodeId> = interactions.iter().map(|i| i.src).collect();
         let dst: Vec<NodeId> = interactions.iter().map(|i| i.dst).collect();
@@ -397,7 +409,7 @@ impl ServingPipeline {
             (fwd.g.value(enc.z).clone(), scores)
         };
         self.store.write().set_embeddings(&unique, &z_val, now);
-        let sync_time = start.elapsed();
+        let sync_time = self.clock.now().saturating_sub(start);
         self.sync_latency.record(sync_time);
 
         // Asynchronous hand-off (not timed: the user already has scores).

@@ -1,0 +1,282 @@
+//! Injectable time source for the serving stack.
+//!
+//! Every latency stamp, batch deadline, and snapshot tick in the serving
+//! path goes through a [`Clock`] instead of touching `Instant::now` /
+//! `thread::sleep` directly. Production code runs on [`Clock::real`]
+//! (monotonic wall clock); the deterministic simulation harness
+//! (`apan-simtest`) runs the same code on [`Clock::virtual_clock`],
+//! where time only moves when the scenario driver calls
+//! [`VirtualClock::advance`] — so a test can put three requests inside
+//! one batch deadline, or fire a snapshot tick, without sleeping a
+//! single real millisecond.
+//!
+//! Time is represented as a [`Duration`] since the clock's epoch (the
+//! moment a real clock was created; zero for a fresh virtual clock).
+//! Durations subtract and compare exactly, which is all the serving
+//! stack needs — it never wants calendar time.
+//!
+//! The subtle part is waiting. The batcher blocks on a condvar with a
+//! deadline ("more work, or the batch window closed"); under virtual
+//! time that wait must wake when *either* happens, and the notifier for
+//! "the window closed" is the scenario driver advancing the clock. A
+//! virtual clock therefore keeps a registry of condvars
+//! ([`Clock::register_waker`]) and notifies all of them on every
+//! `advance`, while [`Clock::wait_timeout`] rechecks the virtual
+//! deadline instead of arming a kernel timer. Callers must treat a
+//! `false` timeout result as "recheck your predicate", exactly as they
+//! already must for spurious condvar wakeups.
+
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Real-time backstop slice for virtual waits: bounds how long a missed
+/// advance notification can delay a waiter. Virtual-time outcomes never
+/// depend on it.
+const VIRTUAL_POLL: Duration = Duration::from_millis(2);
+
+/// A monotonic time source: real, or simulated and driver-advanced.
+///
+/// Cloning is cheap and clones share the underlying source — clone the
+/// daemon's clock into every thread that stamps or waits.
+#[derive(Clone, Debug)]
+pub enum Clock {
+    /// The process monotonic clock, with the epoch fixed at creation.
+    Real(Instant),
+    /// A shared simulated clock; see [`VirtualClock`].
+    Virtual(Arc<VirtualClock>),
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock::real()
+    }
+}
+
+impl Clock {
+    /// A real monotonic clock whose epoch is now.
+    pub fn real() -> Self {
+        Clock::Real(Instant::now())
+    }
+
+    /// A fresh virtual clock at time zero. Time moves only via
+    /// [`VirtualClock::advance`] on the handle returned by
+    /// [`Clock::virtual_handle`].
+    pub fn virtual_clock() -> Self {
+        Clock::Virtual(Arc::new(VirtualClock::new()))
+    }
+
+    /// The shared simulated source, if this is a virtual clock.
+    pub fn virtual_handle(&self) -> Option<Arc<VirtualClock>> {
+        match self {
+            Clock::Real(_) => None,
+            Clock::Virtual(v) => Some(Arc::clone(v)),
+        }
+    }
+
+    /// Time elapsed since the clock's epoch.
+    pub fn now(&self) -> Duration {
+        match self {
+            Clock::Real(epoch) => epoch.elapsed(),
+            Clock::Virtual(v) => v.now(),
+        }
+    }
+
+    /// Blocks until at least `d` has passed on this clock. On a virtual
+    /// clock this parks the thread until the driver advances time far
+    /// enough — it never burns CPU and never returns early.
+    pub fn sleep(&self, d: Duration) {
+        match self {
+            Clock::Real(_) => std::thread::sleep(d),
+            Clock::Virtual(v) => v.sleep_until(v.now() + d),
+        }
+    }
+
+    /// Registers a condvar to be notified whenever virtual time
+    /// advances. A no-op on a real clock (kernel timeouts already wake
+    /// real waiters). Any code path that calls [`Clock::wait_timeout`]
+    /// on a condvar must register that condvar once, up front.
+    pub fn register_waker(&self, cv: Arc<Condvar>) {
+        if let Clock::Virtual(v) = self {
+            v.wakers.lock().unwrap().push(cv);
+        }
+    }
+
+    /// Waits on `cv` until notified or until `dur` passes on this
+    /// clock, returning the reacquired guard and whether the clock
+    /// deadline had passed when the wait ended.
+    ///
+    /// Mirrors `Condvar::wait_timeout` semantics: a `false` second
+    /// element only means "woken before the deadline" — the caller must
+    /// recheck its predicate and loop. Under a virtual clock the wake
+    /// comes from either a real notifier or the driver advancing time
+    /// (which is why the condvar must be registered as a waker).
+    pub fn wait_timeout<'a, T>(
+        &self,
+        cv: &Condvar,
+        guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        match self {
+            Clock::Real(_) => {
+                let (guard, res) = cv.wait_timeout(guard, dur).unwrap();
+                (guard, res.timed_out())
+            }
+            Clock::Virtual(v) => {
+                let deadline = v.now() + dur;
+                if v.now() >= deadline {
+                    return (guard, true);
+                }
+                // Registered wakers make this wake promptly on advance;
+                // the short real slice is a liveness backstop against the
+                // unavoidable notify-before-park race (advance cannot
+                // hold the caller's mutex). Correctness never depends on
+                // the slice: the returned flag is pure virtual time.
+                let (guard, _) = cv.wait_timeout(guard, VIRTUAL_POLL).unwrap();
+                (guard, v.now() >= deadline)
+            }
+        }
+    }
+}
+
+/// The shared state behind [`Clock::virtual_clock`]: a nanosecond
+/// counter that only the scenario driver moves.
+pub struct VirtualClock {
+    now_ns: Mutex<u64>,
+    /// Signalled on every advance, for [`Clock::sleep`] waiters.
+    tick: Condvar,
+    /// Condvars to notify on every advance, for [`Clock::wait_timeout`]
+    /// waiters parked on their own mutexes.
+    wakers: Mutex<Vec<Arc<Condvar>>>,
+}
+
+impl std::fmt::Debug for VirtualClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VirtualClock").field("now", &self.now()).finish()
+    }
+}
+
+impl VirtualClock {
+    fn new() -> Self {
+        Self {
+            now_ns: Mutex::new(0),
+            tick: Condvar::new(),
+            wakers: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Current simulated time since epoch.
+    pub fn now(&self) -> Duration {
+        Duration::from_nanos(*self.now_ns.lock().unwrap())
+    }
+
+    /// Moves simulated time forward by `d` and wakes every sleeper and
+    /// registered waker. Time never moves backwards; `advance` is the
+    /// only mutator.
+    pub fn advance(&self, d: Duration) {
+        {
+            let mut now = self.now_ns.lock().unwrap();
+            *now = now.saturating_add(d.as_nanos() as u64);
+        }
+        self.tick.notify_all();
+        for cv in self.wakers.lock().unwrap().iter() {
+            cv.notify_all();
+        }
+    }
+
+    fn sleep_until(&self, target: Duration) {
+        let target_ns = target.as_nanos() as u64;
+        let mut now = self.now_ns.lock().unwrap();
+        while *now < target_ns {
+            now = self.tick.wait(now).unwrap();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_clock_advances_on_its_own() {
+        let c = Clock::real();
+        let a = c.now();
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(c.now() > a);
+    }
+
+    #[test]
+    fn virtual_clock_is_frozen_until_advanced() {
+        let c = Clock::virtual_clock();
+        assert_eq!(c.now(), Duration::ZERO);
+        let v = c.virtual_handle().unwrap();
+        v.advance(Duration::from_millis(250));
+        assert_eq!(c.now(), Duration::from_millis(250));
+        // clones share the source
+        let c2 = c.clone();
+        v.advance(Duration::from_millis(250));
+        assert_eq!(c2.now(), Duration::from_millis(500));
+    }
+
+    #[test]
+    fn virtual_sleep_parks_until_the_driver_advances() {
+        let c = Clock::virtual_clock();
+        let v = c.virtual_handle().unwrap();
+        let c2 = c.clone();
+        let t = std::thread::spawn(move || {
+            c2.sleep(Duration::from_secs(3600)); // an hour, instantly
+            c2.now()
+        });
+        // two half-steps: the sleeper must stay parked through the first
+        v.advance(Duration::from_secs(1800));
+        v.advance(Duration::from_secs(1800));
+        assert_eq!(t.join().unwrap(), Duration::from_secs(3600));
+    }
+
+    #[test]
+    fn virtual_wait_timeout_reports_pure_virtual_time() {
+        let c = Clock::virtual_clock();
+        let v = c.virtual_handle().unwrap();
+        let cv = Arc::new(Condvar::new());
+        let m = Mutex::new(());
+        c.register_waker(Arc::clone(&cv));
+
+        // With no advance, waits never time out no matter how much real
+        // time the poll backstop burns.
+        let mut guard = m.lock().unwrap();
+        for _ in 0..3 {
+            let (g, timed_out) = c.wait_timeout(&cv, guard, Duration::from_secs(10));
+            guard = g;
+            assert!(!timed_out, "virtual time is frozen; nothing may time out");
+        }
+        drop(guard);
+
+        // After the driver advances past the deadline, the wait loop
+        // observes the timeout promptly and deterministically.
+        let waiter = {
+            let c = c.clone();
+            std::thread::spawn(move || {
+                let m = Mutex::new(());
+                let cv = Arc::new(Condvar::new());
+                c.register_waker(Arc::clone(&cv));
+                let deadline = Duration::from_millis(5);
+                let mut guard = m.lock().unwrap();
+                // caller pattern: fixed deadline, shrinking remainder
+                loop {
+                    let now = c.now();
+                    if now >= deadline {
+                        return now;
+                    }
+                    let (g, _) = c.wait_timeout(&cv, guard, deadline - now);
+                    guard = g;
+                }
+            })
+        };
+        v.advance(Duration::from_millis(5));
+        assert!(waiter.join().unwrap() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn default_is_real() {
+        assert!(matches!(Clock::default(), Clock::Real(_)));
+    }
+}

@@ -7,13 +7,19 @@
 //! classification tasks (Table 3), and per-batch inference latency
 //! (Figure 6). This crate implements all of them plus the summary
 //! statistics (mean / stddev over seeds) used in every table.
+//!
+//! It also hosts [`clock::Clock`], the injectable time source every
+//! latency stamp and deadline in the serving stack runs on — real in
+//! production, simulated under the deterministic test harness.
 
 pub mod classification;
+pub mod clock;
 pub mod latency;
 pub mod summary;
 pub mod threshold;
 
 pub use classification::{accuracy, average_precision, roc_auc};
+pub use clock::{Clock, VirtualClock};
 pub use latency::{LatencyRecorder, LatencySummary};
 pub use summary::MeanStd;
 pub use threshold::{precision_at_k, Confusion};

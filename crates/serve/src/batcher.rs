@@ -21,10 +21,11 @@
 //! running with lagging client clocks.
 
 use apan_core::propagator::Interaction;
+use apan_metrics::Clock;
 use apan_tensor::Tensor;
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 /// Outcome of one inference request, delivered to its responder.
 pub enum InferOutcome {
@@ -43,8 +44,11 @@ pub struct InferItem {
     pub interactions: Vec<Interaction>,
     /// One feature row per interaction.
     pub feats: Tensor,
-    /// When the request was admitted (service latency starts here).
-    pub enqueued: Instant,
+    /// Queue-clock time at admission (service latency starts here).
+    /// Stamped by the queue's [`Clock`], so under a virtual clock the
+    /// latency a request accrues is exactly the simulated time between
+    /// admission and reply.
+    pub enqueued: Duration,
     /// Where the outcome goes.
     pub respond: Responder,
 }
@@ -129,8 +133,34 @@ pub struct QueueStats {
 /// The shared bounded ingress queue.
 pub struct IngressQueue {
     inner: Mutex<Inner>,
-    nonempty: Condvar,
+    nonempty: Arc<Condvar>,
     high_water: usize,
+    clock: Clock,
+}
+
+/// Clamps `interactions` to the monotone event-time watermark, advancing
+/// the watermark past them; returns how many explicit times had to be
+/// clamped forward. Negative or non-finite times are treated as unset
+/// and assigned from arrival order (watermark + 1).
+///
+/// This is the *entire* admission-time semantics of the serving stream,
+/// factored out so the deterministic simulation oracle can replay it
+/// bit-for-bit against a reference pipeline.
+pub fn admit_times(watermark: &mut f64, interactions: &mut [Interaction]) -> u64 {
+    let mut clamped = 0u64;
+    for i in interactions {
+        if !i.time.is_finite() || i.time < 0.0 {
+            // unset (negative) or nonsense (NaN/±inf): arrival order
+            // assigns time. Admitting +inf would poison the watermark
+            // permanently and write a snapshot that can never restore.
+            i.time = *watermark + 1.0;
+        } else if i.time < *watermark {
+            i.time = *watermark;
+            clamped += 1;
+        }
+        *watermark = i.time;
+    }
+    clamped
 }
 
 impl IngressQueue {
@@ -147,19 +177,37 @@ impl IngressQueue {
     /// be admitted behind the restored stream and trip the temporal
     /// graph's time-order invariant on the propagation path.
     pub fn with_watermark(high_water: usize, watermark: f64) -> Self {
+        Self::with_clock(high_water, watermark, Clock::real())
+    }
+
+    /// Creates a queue whose deadlines and latency stamps run on
+    /// `clock`. With a virtual clock, batch deadlines elapse only when
+    /// the simulation driver advances time — the deterministic test
+    /// harness path.
+    pub fn with_clock(high_water: usize, watermark: f64, clock: Clock) -> Self {
         assert!(high_water > 0, "high_water must be positive");
         assert!(
             watermark.is_finite() && watermark >= 0.0,
             "watermark must be a finite non-negative time"
         );
+        let nonempty = Arc::new(Condvar::new());
+        // a virtual clock must wake the drain loop when time advances,
+        // or a batch deadline could never be observed to expire
+        clock.register_waker(Arc::clone(&nonempty));
         Self {
             inner: Mutex::new(Inner {
                 watermark,
                 ..Inner::default()
             }),
-            nonempty: Condvar::new(),
+            nonempty,
             high_water,
+            clock,
         }
+    }
+
+    /// The clock this queue stamps and waits on.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
     }
 
     /// Admits one inference request, clamping its interaction times to
@@ -181,23 +229,13 @@ impl IngressQueue {
             inner.shed += 1;
             return Err((AdmitError::Overloaded, respond));
         }
-        for i in &mut interactions {
-            if !i.time.is_finite() || i.time < 0.0 {
-                // unset (negative) or nonsense (NaN/±inf): arrival order
-                // assigns time. Admitting +inf would poison the watermark
-                // permanently and write a snapshot that can never restore.
-                i.time = inner.watermark + 1.0;
-            } else if i.time < inner.watermark {
-                i.time = inner.watermark;
-                inner.clamped += 1;
-            }
-            inner.watermark = i.time;
-        }
+        let clamped = admit_times(&mut inner.watermark, &mut interactions);
+        inner.clamped += clamped;
         inner.infer_depth += 1;
         inner.queue.push_back(Work::Infer(InferItem {
             interactions,
             feats,
-            enqueued: Instant::now(),
+            enqueued: self.clock.now(),
             respond,
         }));
         drop(inner);
@@ -250,7 +288,7 @@ impl IngressQueue {
                         inner.infer_depth -= 1;
                         let mut batch = vec![item];
                         let mut total: usize = batch[0].interactions.len();
-                        let deadline = Instant::now() + policy.batch_deadline;
+                        let deadline = self.clock.now() + policy.batch_deadline;
                         // greedily absorb queued requests; optionally wait
                         // out the deadline for stragglers
                         loop {
@@ -275,16 +313,15 @@ impl IngressQueue {
                             {
                                 break;
                             }
-                            let now = Instant::now();
+                            let now = self.clock.now();
                             if now >= deadline {
                                 break;
                             }
-                            let (guard, timeout) = self
-                                .nonempty
-                                .wait_timeout(inner, deadline - now)
-                                .unwrap();
+                            let (guard, timed_out) =
+                                self.clock
+                                    .wait_timeout(&self.nonempty, inner, deadline - now);
                             inner = guard;
-                            if timeout.timed_out() && inner.queue.is_empty() {
+                            if timed_out && inner.queue.is_empty() {
                                 break;
                             }
                         }
@@ -454,12 +491,24 @@ mod tests {
 
     #[test]
     fn deadline_waits_for_stragglers() {
-        let q = Arc::new(IngressQueue::new(16));
-        let q2 = Arc::clone(&q);
+        // Virtual clock: the batch window cannot close until the test
+        // advances time, so the straggler joins no matter how the OS
+        // schedules the two threads — no sleeps, no flakes.
+        let clock = Clock::virtual_clock();
+        let vt = clock.virtual_handle().unwrap();
+        let q = Arc::new(IngressQueue::with_clock(16, 0.0, clock.clone()));
         assert!(submit(&q, 1.0).is_ok());
+        let q2 = Arc::clone(&q);
         let t = std::thread::spawn(move || {
-            std::thread::sleep(Duration::from_millis(20));
-            let _ = submit(&q2, 2.0);
+            let _ = submit(&q2, 2.0); // straggler, inside the frozen window
+            // Advance only after the drain has absorbed both requests
+            // (depth 0), so the deadline is armed at virtual t=0 before
+            // the window closes — otherwise this advance could land
+            // first and push the deadline past the only advance we make.
+            while q2.stats().depth > 0 {
+                std::thread::yield_now();
+            }
+            vt.advance(Duration::from_millis(300)); // now the window closes
         });
         let policy = BatchPolicy {
             max_batch: 8,
@@ -468,6 +517,12 @@ mod tests {
         match q.drain(policy) {
             Some(Drained::Batch(b)) => {
                 assert_eq!(b.len(), 2, "straggler arriving inside the deadline joins");
+                // latency stamps are simulated time: both admissions
+                // happened at t=0, the window closed at t=300ms
+                for item in &b {
+                    assert_eq!(item.enqueued, Duration::ZERO);
+                }
+                assert_eq!(clock.now(), Duration::from_millis(300));
             }
             _ => panic!("expected batch"),
         }

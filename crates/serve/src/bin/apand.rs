@@ -147,6 +147,7 @@ fn main() {
         snapshot_path: args.snapshot,
         snapshot_every: args.snapshot_every_s.map(Duration::from_secs),
         infer_delay: Duration::from_micros(args.infer_delay_us),
+        ..ServeConfig::default()
     };
 
     install_signal_handlers();

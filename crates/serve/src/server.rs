@@ -30,16 +30,16 @@ use crate::proto::{self, reply, verb, Frame, ProtoError};
 use crate::snapshot;
 use apan_core::model::Apan;
 use apan_core::pipeline::ServingPipeline;
-use apan_metrics::LatencyRecorder;
+use apan_metrics::{Clock, LatencyRecorder};
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Batch-size histogram buckets: 1, 2, ≤4, ≤8, …, ≤64, >64.
 pub const BATCH_BUCKETS: usize = 8;
@@ -77,6 +77,16 @@ pub struct ServeConfig {
     /// Artificial per-batch service delay — a chaos/test knob that makes
     /// overload reproducible on fast machines. Zero in production.
     pub infer_delay: Duration,
+    /// The time source batch deadlines, latency stamps, snapshot ticks,
+    /// and the service delay run on. [`Clock::real`] in production; the
+    /// deterministic simulation harness injects [`Clock::virtual_clock`]
+    /// so all of those move only when the scenario driver advances time.
+    pub clock: Clock,
+    /// Fault-injection knob: while set, every snapshot write is torn
+    /// after this many bytes — the temp file is abandoned mid-write and
+    /// the write reported failed, as if the process died there. Models a
+    /// crash during snapshotting; `None` (production) writes normally.
+    pub snapshot_tear_after: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -91,6 +101,8 @@ impl Default for ServeConfig {
             snapshot_path: None,
             snapshot_every: None,
             infer_delay: Duration::ZERO,
+            clock: Clock::real(),
+            snapshot_tear_after: None,
         }
     }
 }
@@ -176,12 +188,19 @@ struct Shared {
     queue: IngressQueue,
     stats: ServeStats,
     running: AtomicBool,
+    /// Set by [`ServerHandle::crash`]: stop *without* the final
+    /// snapshot, modelling a hard kill for the fault-injection harness.
+    crashed: AtomicBool,
     /// Live connections only: each entry is removed when its reader
     /// exits, so the daemon never accumulates dead peers' sockets.
     conns: Mutex<HashMap<u64, Arc<Conn>>>,
     /// Reader/writer threads; finished handles are reaped on accept.
     workers: Mutex<Vec<JoinHandle<()>>>,
     next_conn: AtomicU64,
+    /// Parks the snapshot tick thread between ticks; notified on
+    /// shutdown (and by virtual-clock advances via the waker registry).
+    tick_mutex: Mutex<()>,
+    tick_cv: Arc<Condvar>,
     cfg: ServeConfig,
     dim: usize,
     mailbox_slots: usize,
@@ -258,6 +277,22 @@ impl ServerHandle {
         self.join();
     }
 
+    /// Stops the daemon as if it were killed: **no final snapshot** is
+    /// written, so everything since the last snapshot on disk is lost —
+    /// exactly the state a `kill -9` leaves behind. Work already queued
+    /// may still be answered on the way down (a real crash can also
+    /// have replies in flight). The fault-injection harness uses this
+    /// for its crash + warm-restart kill points; production code wants
+    /// [`ServerHandle::shutdown`].
+    pub fn crash(self) {
+        self.shared.crashed.store(true, Ordering::SeqCst);
+        let _ = self
+            .shared
+            .queue
+            .submit_control(Control::Shutdown(Box::new(|| {})));
+        self.join();
+    }
+
     /// Waits for the daemon to stop (via `SHUTDOWN` verb or
     /// [`ServerHandle::shutdown`] from another handle's thread).
     pub fn join(self) {
@@ -276,7 +311,7 @@ impl ServerHandle {
 /// path, binds the listener, and spawns the serving threads.
 pub fn start(mut model: Apan, cfg: ServeConfig) -> Result<ServerHandle, StartError> {
     // Warm restart: an existing snapshot wins over the passed-in weights.
-    let pipeline = match &cfg.snapshot_path {
+    let mut pipeline = match &cfg.snapshot_path {
         Some(path) if path.exists() => {
             let (store, graph) = snapshot::read_snapshot(path, &mut model)?;
             eprintln!(
@@ -289,6 +324,8 @@ pub fn start(mut model: Apan, cfg: ServeConfig) -> Result<ServerHandle, StartErr
         }
         _ => ServingPipeline::new(model, cfg.num_nodes, cfg.capacity),
     };
+    // sync-path latency stamps run on the daemon clock too
+    pipeline.set_clock(cfg.clock.clone());
 
     let listener = TcpListener::bind(&cfg.addr)?;
     listener.set_nonblocking(true)?;
@@ -300,13 +337,19 @@ pub fn start(mut model: Apan, cfg: ServeConfig) -> Result<ServerHandle, StartErr
     // restored graph and panic the propagation worker's insert.
     let watermark = pipeline.graph().read().max_time();
 
+    let tick_cv = Arc::new(Condvar::new());
+    // a virtual clock must wake the tick thread when time advances
+    cfg.clock.register_waker(Arc::clone(&tick_cv));
     let shared = Arc::new(Shared {
-        queue: IngressQueue::with_watermark(cfg.high_water, watermark),
+        queue: IngressQueue::with_clock(cfg.high_water, watermark, cfg.clock.clone()),
         stats: ServeStats::default(),
         running: AtomicBool::new(true),
+        crashed: AtomicBool::new(false),
         conns: Mutex::new(HashMap::new()),
         workers: Mutex::new(Vec::new()),
         next_conn: AtomicU64::new(0),
+        tick_mutex: Mutex::new(()),
+        tick_cv,
         dim: pipeline.model().cfg.dim,
         mailbox_slots: pipeline.model().cfg.mailbox_slots,
         cfg,
@@ -387,7 +430,13 @@ fn write_snapshot_now(pipeline: &ServingPipeline, shared: &Shared) -> Result<(),
     // The single flush inside export_state is what makes the snapshot a
     // consistent cut: no mail is in flight when state is read.
     let (store, graph) = pipeline.export_state();
-    match snapshot::write_snapshot(path, pipeline.model(), &store, &graph) {
+    match snapshot::write_snapshot_opts(
+        path,
+        pipeline.model(),
+        &store,
+        &graph,
+        shared.cfg.snapshot_tear_after,
+    ) {
         Ok(()) => {
             shared.stats.snapshots.fetch_add(1, Ordering::Relaxed);
             Ok(())
@@ -405,17 +454,18 @@ fn batcher_loop(mut pipeline: ServingPipeline, shared: &Shared) {
             Drained::Batch(batch) => {
                 let (interactions, feats) = assemble(&batch);
                 if !shared.cfg.infer_delay.is_zero() {
-                    std::thread::sleep(shared.cfg.infer_delay);
+                    shared.cfg.clock.sleep(shared.cfg.infer_delay);
                 }
                 let result = pipeline.infer_batch(&interactions, &feats);
                 shared.stats.record_batch(batch.len(), interactions.len());
+                let now = shared.cfg.clock.now();
                 let mut offset = 0usize;
                 let mut latency = Vec::with_capacity(batch.len());
                 for item in batch {
                     let n = item.interactions.len();
                     let scores = result.scores[offset..offset + n].to_vec();
                     offset += n;
-                    latency.push(item.enqueued.elapsed());
+                    latency.push(now.saturating_sub(item.enqueued));
                     (item.respond)(InferOutcome::Scores(scores));
                 }
                 let mut rec = shared.stats.latency.lock().unwrap();
@@ -431,12 +481,15 @@ fn batcher_loop(mut pipeline: ServingPipeline, shared: &Shared) {
                 ack();
             }
             Drained::Control(Control::Shutdown(ack)) => {
-                if shared.cfg.snapshot_path.is_some() {
+                // a crash (hard kill) dies without the final snapshot:
+                // everything since the last snapshot on disk is lost
+                if shared.cfg.snapshot_path.is_some() && !shared.crashed.load(Ordering::SeqCst) {
                     let _ = write_snapshot_now(&pipeline, shared);
                 }
                 ack();
                 shared.running.store(false, Ordering::SeqCst);
                 shared.queue.close();
+                shared.tick_cv.notify_all();
                 break;
             }
         }
@@ -554,18 +607,30 @@ fn writer_loop(stream: TcpStream, rx: Receiver<(u8, u64, Vec<u8>)>) {
     }
 }
 
+/// Enqueues periodic snapshot work on the daemon clock. Parks on a
+/// condvar between ticks (no polling): a real clock arms a kernel
+/// timeout, a virtual clock wakes this thread whenever the simulation
+/// driver advances time, and shutdown notifies it to exit promptly.
 fn tick_loop(every: Duration, shared: &Arc<Shared>) {
-    let mut last = Instant::now();
+    let clock = &shared.cfg.clock;
+    let mut next = clock.now() + every;
+    let mut guard = shared.tick_mutex.lock().unwrap();
     while shared.running.load(Ordering::SeqCst) {
-        std::thread::sleep(Duration::from_millis(25).min(every));
-        if last.elapsed() >= every {
-            last = Instant::now();
+        let now = clock.now();
+        if now >= next {
+            // skip missed intervals rather than bursting snapshots
+            while next <= now {
+                next += every;
+            }
             let _ = shared.queue.submit_control(Control::Snapshot(Box::new(|err| {
                 if let Some(msg) = err {
                     eprintln!("apan-serve: periodic snapshot failed: {msg}");
                 }
             })));
+            continue;
         }
+        let (g, _) = clock.wait_timeout(&shared.tick_cv, guard, next - now);
+        guard = g;
     }
 }
 

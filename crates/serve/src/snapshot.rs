@@ -6,6 +6,7 @@
 //! params_len u64  | params   (apan_nn checkpoint format)
 //! mailbox_len u64 | mailbox  (MailboxStore::write_snapshot format)
 //! events u64      | events × (src u32, dst u32, time f64)
+//! checksum u64    (FNV-1a over everything after the version field)
 //! ```
 //!
 //! The mailbox store carries the embeddings and mails the synchronous
@@ -17,7 +18,11 @@
 //! asserts exactly that.
 //!
 //! Files are written atomically (temp + rename): a crash mid-snapshot
-//! leaves the previous snapshot intact, never a torn file.
+//! leaves the previous snapshot intact, never a torn file. The trailing
+//! checksum makes restore refuse bit-rotted or truncated files with a
+//! clean [`SnapshotError`] — and restore mutates the model only after
+//! the whole file has validated, so a rejected snapshot never leaves
+//! partially-applied parameters behind.
 
 use apan_core::model::Apan;
 use apan_core::MailboxStore;
@@ -28,7 +33,54 @@ use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"APANSNAP";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+
+/// FNV-1a 64-bit, accumulated over every body byte (everything between
+/// the version field and the trailing digest). Not cryptographic — it
+/// guards against torn writes and bit rot, not adversaries.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
+    let mut h = hash;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Forwards writes while folding every byte into an FNV-1a digest.
+struct HashingWriter<W> {
+    inner: W,
+    hash: u64,
+}
+
+impl<W: Write> Write for HashingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.hash = fnv1a(self.hash, &buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Forwards reads while folding every byte into an FNV-1a digest.
+struct HashingReader<R> {
+    inner: R,
+    hash: u64,
+}
+
+impl<R: Read> Read for HashingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.hash = fnv1a(self.hash, &buf[..n]);
+        Ok(n)
+    }
+}
 
 /// Why a snapshot failed to write or restore.
 #[derive(Debug)]
@@ -79,24 +131,32 @@ pub fn write_snapshot_to<W: Write>(
     w.write_all(MAGIC)?;
     w.write_all(&VERSION.to_le_bytes())?;
 
+    let mut hw = HashingWriter {
+        inner: &mut *w,
+        hash: FNV_OFFSET,
+    };
     let params = save_params_vec(&model.params);
-    w.write_all(&(params.len() as u64).to_le_bytes())?;
-    w.write_all(&params)?;
+    hw.write_all(&(params.len() as u64).to_le_bytes())?;
+    hw.write_all(&params)?;
 
     let mut mailbox = Vec::new();
     store
         .write_snapshot(&mut mailbox)
         .expect("writing to a Vec cannot fail");
-    w.write_all(&(mailbox.len() as u64).to_le_bytes())?;
-    w.write_all(&mailbox)?;
+    hw.write_all(&(mailbox.len() as u64).to_le_bytes())?;
+    hw.write_all(&mailbox)?;
 
     let events = graph.events();
-    w.write_all(&(events.len() as u64).to_le_bytes())?;
+    hw.write_all(&(events.len() as u64).to_le_bytes())?;
     for e in events {
-        w.write_all(&e.src.to_le_bytes())?;
-        w.write_all(&e.dst.to_le_bytes())?;
-        w.write_all(&e.time.to_le_bytes())?;
+        hw.write_all(&e.src.to_le_bytes())?;
+        hw.write_all(&e.dst.to_le_bytes())?;
+        hw.write_all(&e.time.to_le_bytes())?;
     }
+    let digest = hw.hash;
+    // trailing digest: any bit flip or truncation inside the body is
+    // detected on restore instead of resurrecting corrupted state
+    w.write_all(&digest.to_le_bytes())?;
     Ok(())
 }
 
@@ -119,23 +179,26 @@ pub fn read_snapshot_from<R: Read>(
         return Err(corrupt(format!("version {version}, expected {VERSION}")));
     }
 
+    let mut hr = HashingReader {
+        inner: &mut *r,
+        hash: FNV_OFFSET,
+    };
     let mut u64_buf = [0u8; 8];
-    r.read_exact(&mut u64_buf)?;
+    hr.read_exact(&mut u64_buf)?;
     let params_len = u64::from_le_bytes(u64_buf) as usize;
     if params_len > 1 << 32 {
         return Err(corrupt(format!("implausible params section: {params_len}")));
     }
     let mut params = vec![0u8; params_len];
-    r.read_exact(&mut params)?;
-    load_params(&mut model.params, params.as_slice())?;
+    hr.read_exact(&mut params)?;
 
-    r.read_exact(&mut u64_buf)?;
+    hr.read_exact(&mut u64_buf)?;
     let mailbox_len = u64::from_le_bytes(u64_buf) as usize;
     if mailbox_len > 1 << 32 {
         return Err(corrupt(format!("implausible mailbox section: {mailbox_len}")));
     }
     let mut mailbox = vec![0u8; mailbox_len];
-    r.read_exact(&mut mailbox)?;
+    hr.read_exact(&mut mailbox)?;
     let store = MailboxStore::read_snapshot(&mut mailbox.as_slice())
         .map_err(|e| corrupt(format!("mailbox section: {e}")))?;
     if store.dim() != model.cfg.dim {
@@ -146,7 +209,7 @@ pub fn read_snapshot_from<R: Read>(
         )));
     }
 
-    r.read_exact(&mut u64_buf)?;
+    hr.read_exact(&mut u64_buf)?;
     let num_events = u64::from_le_bytes(u64_buf) as usize;
     if num_events > 1 << 32 {
         return Err(corrupt(format!("implausible event count: {num_events}")));
@@ -157,9 +220,9 @@ pub fn read_snapshot_from<R: Read>(
         let mut src_buf = [0u8; 4];
         let mut dst_buf = [0u8; 4];
         let mut t_buf = [0u8; 8];
-        r.read_exact(&mut src_buf)?;
-        r.read_exact(&mut dst_buf)?;
-        r.read_exact(&mut t_buf)?;
+        hr.read_exact(&mut src_buf)?;
+        hr.read_exact(&mut dst_buf)?;
+        hr.read_exact(&mut t_buf)?;
         let time = f64::from_le_bytes(t_buf);
         // negative times would trip TemporalGraph's fresh-graph invariant
         // (max_time starts at 0) — reject rather than panic on corruption
@@ -173,7 +236,43 @@ pub fn read_snapshot_from<R: Read>(
             time,
         );
     }
+
+    // Verify the body digest, then — and only then — touch the model.
+    // Ordering matters: a corrupt file must not leave partially-applied
+    // parameters behind its clean error.
+    let digest = hr.hash;
+    r.read_exact(&mut u64_buf)?;
+    if u64::from_le_bytes(u64_buf) != digest {
+        return Err(corrupt("checksum mismatch"));
+    }
+    load_params(&mut model.params, params.as_slice())?;
     Ok((store, graph))
+}
+
+/// An `io::Write` that fails permanently after passing through `limit`
+/// bytes — the fault-injection harness's model of a process dying
+/// mid-write. Everything up to the limit reaches the inner writer, so
+/// the temp file on disk is a genuine prefix of the snapshot, exactly
+/// what a crash leaves behind.
+struct TearWriter<W> {
+    inner: W,
+    remaining: u64,
+}
+
+impl<W: Write> Write for TearWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.remaining == 0 {
+            return Err(io::Error::other("injected torn write"));
+        }
+        let n = buf.len().min(self.remaining as usize);
+        let written = self.inner.write(&buf[..n])?;
+        self.remaining -= written as u64;
+        Ok(written)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
 }
 
 /// Writes a snapshot file atomically (temp + rename).
@@ -183,15 +282,53 @@ pub fn write_snapshot(
     store: &MailboxStore,
     graph: &TemporalGraph,
 ) -> Result<(), SnapshotError> {
+    write_snapshot_opts(path, model, store, graph, None)
+}
+
+/// [`write_snapshot`] with a fault-injection knob: `tear_after` tears
+/// the write after that many bytes, as if the process died there. The
+/// temp file is abandoned un-renamed, so whatever snapshot the path
+/// already held stays authoritative — the property the atomic
+/// temp+rename protocol exists to provide, now testable on demand.
+pub fn write_snapshot_opts(
+    path: &Path,
+    model: &Apan,
+    store: &MailboxStore,
+    graph: &TemporalGraph,
+    tear_after: Option<u64>,
+) -> Result<(), SnapshotError> {
     let tmp = path.with_extension("tmp");
-    {
+    let write = || -> Result<(), SnapshotError> {
         let file = File::create(&tmp)?;
-        let mut w = BufWriter::new(file);
-        write_snapshot_to(&mut w, model, store, graph)?;
-        w.flush()?;
+        match tear_after {
+            None => {
+                let mut w = BufWriter::new(file);
+                write_snapshot_to(&mut w, model, store, graph)?;
+                w.flush()?;
+            }
+            Some(limit) => {
+                // Unbuffered on purpose: the tear must land at the exact
+                // scripted byte offset, and partial bytes must hit disk.
+                let mut w = TearWriter {
+                    inner: file,
+                    remaining: limit,
+                };
+                write_snapshot_to(&mut w, model, store, graph)?;
+                w.flush()?;
+            }
+        }
+        Ok(())
+    };
+    match write() {
+        Ok(()) => {
+            std::fs::rename(&tmp, path)?;
+            Ok(())
+        }
+        // Torn / failed mid-write: the temp file never replaces the
+        // previous snapshot. It is left on disk like a real crash would
+        // leave it; the next successful write recreates and renames it.
+        Err(e) => Err(e),
     }
-    std::fs::rename(&tmp, path)?;
-    Ok(())
 }
 
 /// Restores a snapshot file written by [`write_snapshot`].
@@ -302,13 +439,121 @@ mod tests {
     }
 
     #[test]
+    fn every_truncation_point_is_a_clean_error() {
+        let m = model(0);
+        let (store, graph) = state(&m);
+        let mut buf = Vec::new();
+        write_snapshot_to(&mut buf, &m, &store, &graph).unwrap();
+        // every prefix of the file must fail to restore — no cut point
+        // may parse as a shorter-but-valid snapshot
+        for cut in 0..buf.len() {
+            let mut m2 = model(0);
+            assert!(
+                read_snapshot_from(&mut &buf[..cut], &mut m2).is_err(),
+                "prefix of {cut} bytes restored successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_anywhere_are_detected() {
+        let m = model(0);
+        let (store, graph) = state(&m);
+        let mut buf = Vec::new();
+        write_snapshot_to(&mut buf, &m, &store, &graph).unwrap();
+        // Flip one low bit at a sweep of offsets covering every section
+        // (header, params, mailbox, events, checksum). The checksum must
+        // catch even flips inside f32 payload bytes, which would
+        // otherwise decode as slightly different state.
+        for pos in (0..buf.len()).step_by(3) {
+            let mut bad = buf.clone();
+            bad[pos] ^= 0x01;
+            let mut m2 = model(0);
+            assert!(
+                read_snapshot_from(&mut bad.as_slice(), &mut m2).is_err(),
+                "bit flip at byte {pos} restored successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_restore_leaves_model_params_untouched() {
+        let m = model(0);
+        let (store, graph) = state(&m);
+        let mut buf = Vec::new();
+        write_snapshot_to(&mut buf, &m, &store, &graph).unwrap();
+        // corrupt a byte well inside the params section
+        buf[32] ^= 0x01;
+        let mut victim = model(1);
+        let before: Vec<Vec<f32>> = victim
+            .params
+            .iter()
+            .map(|(_, _, t)| t.data().to_vec())
+            .collect();
+        assert!(read_snapshot_from(&mut buf.as_slice(), &mut victim).is_err());
+        for ((_, _, t), b) in victim.params.iter().zip(&before) {
+            assert_eq!(t.data(), &b[..], "failed restore mutated parameters");
+        }
+    }
+
+    #[test]
+    fn torn_write_preserves_previous_snapshot() {
+        let dir = std::env::temp_dir().join("apan-serve-tear-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("serve.snap");
+        let m = model(0);
+        let (store, graph) = state(&m);
+        write_snapshot(&path, &m, &store, &graph).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        // a torn write at any offset must fail without replacing the file
+        let mut graph2 = graph.clone();
+        graph2.insert(3, 4, 9.0);
+        for tear in [0u64, 8, 100] {
+            assert!(
+                write_snapshot_opts(&path, &m, &store, &graph2, Some(tear)).is_err(),
+                "tear at {tear} reported success"
+            );
+            assert_eq!(
+                std::fs::read(&path).unwrap(),
+                good,
+                "tear at {tear} clobbered the previous snapshot"
+            );
+            let mut m2 = model(2);
+            assert!(read_snapshot(&path, &mut m2).is_ok());
+        }
+        // and a subsequent healthy write goes through normally
+        write_snapshot(&path, &m, &store, &graph2).unwrap();
+        let mut m2 = model(2);
+        let (_, rgraph) = read_snapshot(&path, &mut m2).unwrap();
+        assert_eq!(rgraph.num_events(), graph2.num_events());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn architecture_mismatch_rejected() {
         let m = model(0);
         let (store, graph) = state(&m);
         let mut buf = Vec::new();
         write_snapshot_to(&mut buf, &m, &store, &graph).unwrap();
-        let mut cfg = ApanConfig::new(16); // different width
+
+        // Different model width: caught by the mailbox-dim consistency
+        // check before any state is applied.
+        let mut cfg = ApanConfig::new(16);
         cfg.mlp_hidden = 16;
+        cfg.dropout = 0.0;
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut other = Apan::new(&cfg, &mut rng);
+        assert!(matches!(
+            read_snapshot_from(&mut buf.as_slice(), &mut other),
+            Err(SnapshotError::Corrupt(_))
+        ));
+
+        // Same width, different decoder shape: survives the dim check
+        // and checksum, then fails cleanly in parameter loading.
+        let mut cfg = ApanConfig::new(8);
+        cfg.mailbox_slots = 4;
+        cfg.mlp_hidden = 32; // writer used 16
         cfg.dropout = 0.0;
         let mut rng = StdRng::seed_from_u64(0);
         let mut other = Apan::new(&cfg, &mut rng);

@@ -1,0 +1,141 @@
+//! Property tests for the wire protocol: hostile bytes must never
+//! panic the decoder, and declared counts beyond the protocol ceilings
+//! must be rejected before any allocation happens.
+
+use apan_core::propagator::Interaction;
+use apan_serve::proto::{
+    self, decode_infer, decode_scores, encode_infer, encode_scores, read_frame, write_frame,
+    MAX_FRAME,
+};
+use apan_tensor::Tensor;
+use bytes::Bytes;
+use proptest::prelude::*;
+use std::io::Cursor;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes into the frame reader: every outcome is a value,
+    /// never a panic, and a frame is only ever produced from a buffer
+    /// long enough to contain it.
+    #[test]
+    fn read_frame_total_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(0u8..=255u8, 0..128),
+    ) {
+        let mut cursor = Cursor::new(bytes.clone());
+        match read_frame(&mut cursor) {
+            Ok(Some(frame)) => {
+                prop_assert!(bytes.len() >= 13 + frame.payload.len());
+            }
+            Ok(None) => prop_assert!(bytes.is_empty()),
+            Err(_) => {}
+        }
+    }
+
+    /// A length prefix beyond `MAX_FRAME` is rejected without the
+    /// decoder attempting the allocation the prefix asks for.
+    #[test]
+    fn read_frame_rejects_oversized_length(excess in 1u64..1 << 30) {
+        let len = (MAX_FRAME as u64 + excess).min(u32::MAX as u64) as u32;
+        let mut bytes = len.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0u8; 16]);
+        let mut cursor = Cursor::new(bytes);
+        prop_assert!(read_frame(&mut cursor).is_err());
+    }
+
+    /// Arbitrary bytes into the INFER payload decoder: total, no panic.
+    #[test]
+    fn decode_infer_total_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(0u8..=255u8, 0..256),
+    ) {
+        let _ = decode_infer(Bytes::from(bytes));
+    }
+
+    /// A declared interaction count far beyond what the payload can
+    /// hold must be an error, not an attempted allocation.
+    #[test]
+    fn decode_infer_rejects_oversized_count(count in 1u32 << 20..u32::MAX) {
+        let mut payload = count.to_le_bytes().to_vec();
+        payload.extend_from_slice(&[0u8; 64]);
+        prop_assert!(decode_infer(Bytes::from(payload)).is_err());
+    }
+
+    /// Arbitrary bytes into the SCORES decoder: total, no panic.
+    #[test]
+    fn decode_scores_total_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(0u8..=255u8, 0..256),
+    ) {
+        let _ = decode_scores(Bytes::from(bytes));
+    }
+
+    /// A SCORES count that promises more floats than the payload holds
+    /// is rejected.
+    #[test]
+    fn decode_scores_rejects_overlong_count(count in 64u32..u32::MAX) {
+        let mut payload = count.to_le_bytes().to_vec();
+        payload.extend_from_slice(&[0u8; 32]); // 8 floats, far fewer than count
+        prop_assert!(decode_scores(Bytes::from(payload)).is_err());
+    }
+
+    /// Well-formed INFER payloads survive an encode → decode roundtrip
+    /// bitwise (times and features included).
+    #[test]
+    fn infer_roundtrips(
+        rows in proptest::collection::vec(
+            (0u32..1000, 0u32..1000, 0.0f64..1e6, 0u32..u32::MAX, -10.0f32..10.0),
+            1..16,
+        ),
+        dim in 1usize..8,
+    ) {
+        let interactions: Vec<Interaction> = rows
+            .iter()
+            .map(|&(src, dst, time, eid, _)| Interaction { src, dst, time, eid })
+            .collect();
+        let data: Vec<f32> = rows
+            .iter()
+            .flat_map(|&(_, _, _, _, f)| std::iter::repeat(f).take(dim))
+            .collect();
+        let feats = Tensor::from_vec(interactions.len(), dim, data);
+        let (got_i, got_f) = decode_infer(Bytes::from(encode_infer(&interactions, &feats)))
+            .expect("roundtrip must decode");
+        prop_assert_eq!(got_i.len(), interactions.len());
+        for (a, b) in interactions.iter().zip(&got_i) {
+            prop_assert_eq!((a.src, a.dst, a.eid), (b.src, b.dst, b.eid));
+            prop_assert_eq!(a.time.to_bits(), b.time.to_bits());
+        }
+        prop_assert!(feats.allclose(&got_f, 0.0));
+    }
+
+    /// Frames survive a write → read roundtrip, and the reader leaves
+    /// the stream positioned at the next frame.
+    #[test]
+    fn frame_roundtrips(
+        verb in 0u8..=255u8,
+        req_id in 0u64..u64::MAX,
+        payload in proptest::collection::vec(0u8..=255u8, 0..64),
+    ) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, verb, req_id, &payload).unwrap();
+        write_frame(&mut wire, proto::verb::PING, req_id + 1, b"").unwrap();
+        let mut cursor = Cursor::new(wire);
+        let frame = read_frame(&mut cursor).unwrap().expect("first frame");
+        prop_assert_eq!(frame.verb, verb);
+        prop_assert_eq!(frame.req_id, req_id);
+        prop_assert_eq!(&frame.payload[..], &payload[..]);
+        let next = read_frame(&mut cursor).unwrap().expect("second frame");
+        prop_assert_eq!(next.verb, proto::verb::PING);
+        prop_assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF after");
+    }
+}
+
+/// Scores roundtrip at full f32 bit fidelity (encode_scores is the
+/// reply path the chaos oracle compares bitwise).
+#[test]
+fn scores_roundtrip_bitwise() {
+    let scores = vec![0.0f32, -0.0, 1.5e-30, f32::MIN_POSITIVE, 7.25, -3.5e30];
+    let got = decode_scores(Bytes::from(encode_scores(&scores))).unwrap();
+    assert_eq!(
+        scores.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+        got.iter().map(|s| s.to_bits()).collect::<Vec<_>>()
+    );
+}

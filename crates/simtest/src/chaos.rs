@@ -1,0 +1,222 @@
+//! Fault-injecting transport: the real wire protocol over a real
+//! socket, with scripted frame-level faults.
+//!
+//! The client stays in **lockstep** with the daemon: one request
+//! outstanding, reply awaited, then a `FLUSH` so asynchronous
+//! propagation lands before the next delivery. Lockstep is what makes
+//! chaos runs deterministic — the daemon's batcher sees exactly one
+//! request per batch, in exactly the schedule's arrival order, so the
+//! only degrees of freedom left are the ones the schedule scripts.
+//! (Plain serving never runs lockstep; this is a harness discipline,
+//! the same one the e2e restart-identity test already uses.)
+
+use crate::{effective_stream, request, Action, Trace};
+use apan_serve::client::json_u64_field;
+use apan_serve::proto::{self, reply, verb, Frame, ProtoError};
+use std::io::{BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+
+/// Raw framed connection with fault hooks. Reconnects transparently
+/// after a scripted mid-frame tear (the daemon drops that connection,
+/// as it must; the harness then opens a fresh one).
+pub struct ChaosClient {
+    addr: SocketAddr,
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+    next_req: u64,
+}
+
+/// A harness-level failure (all of these fail the scenario).
+#[derive(Debug)]
+pub enum ChaosError {
+    /// Socket/protocol failure outside a scripted fault.
+    Proto(ProtoError),
+    /// The daemon answered with an unexpected verb or payload.
+    Unexpected(String),
+}
+
+impl std::fmt::Display for ChaosError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChaosError::Proto(e) => write!(f, "chaos transport: {e}"),
+            ChaosError::Unexpected(m) => write!(f, "unexpected daemon behaviour: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ChaosError {}
+
+impl From<ProtoError> for ChaosError {
+    fn from(e: ProtoError) -> Self {
+        ChaosError::Proto(e)
+    }
+}
+
+impl From<std::io::Error> for ChaosError {
+    fn from(e: std::io::Error) -> Self {
+        ChaosError::Proto(ProtoError::Io(e))
+    }
+}
+
+/// Builds the raw bytes of one frame as they would appear on the wire
+/// — the unit the fault injector cuts and duplicates.
+pub fn raw_frame(verb: u8, req_id: u64, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(13 + payload.len());
+    proto::write_frame(&mut buf, verb, req_id, payload).expect("writing to a Vec cannot fail");
+    buf
+}
+
+impl ChaosClient {
+    /// Connects to a running daemon.
+    pub fn connect(addr: SocketAddr) -> Result<Self, ChaosError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self {
+            addr,
+            stream,
+            reader,
+            next_req: 1,
+        })
+    }
+
+    fn roundtrip(&mut self, verb: u8, payload: &[u8]) -> Result<Frame, ChaosError> {
+        let req_id = self.next_req;
+        self.next_req += 1;
+        self.stream.write_all(&raw_frame(verb, req_id, payload))?;
+        let frame = proto::read_frame(&mut self.reader)?
+            .ok_or_else(|| ChaosError::Unexpected("daemon closed connection".into()))?;
+        if frame.req_id != req_id && frame.req_id != 0 {
+            return Err(ChaosError::Unexpected(format!(
+                "reply for request {} while awaiting {}",
+                frame.req_id, req_id
+            )));
+        }
+        Ok(frame)
+    }
+
+    /// Delivers workload request `k` and returns its score bits, after
+    /// a `FLUSH` has landed the propagation. Lockstep building block.
+    pub fn deliver(&mut self, seed: u64, k: usize) -> Result<Vec<u32>, ChaosError> {
+        let (interactions, feats) = request(seed, k);
+        let frame = self.roundtrip(verb::INFER, &proto::encode_infer(&interactions, &feats))?;
+        if frame.verb != reply::SCORES {
+            return Err(ChaosError::Unexpected(format!(
+                "verb {:#04x} to INFER {k}",
+                frame.verb
+            )));
+        }
+        let scores = proto::decode_scores(frame.payload)?;
+        self.flush()?;
+        Ok(scores.iter().map(|s| s.to_bits()).collect())
+    }
+
+    /// Sends only the first `cut` bytes of request `k`'s frame, then
+    /// kills the connection mid-frame and reconnects. The daemon must
+    /// survive with no state change from the torn frame.
+    pub fn truncate(&mut self, seed: u64, k: usize, cut: usize) -> Result<(), ChaosError> {
+        let (interactions, feats) = request(seed, k);
+        let bytes = raw_frame(verb::INFER, 0, &proto::encode_infer(&interactions, &feats));
+        let cut = cut.min(bytes.len().saturating_sub(1)).max(1);
+        self.stream.write_all(&bytes[..cut])?;
+        let _ = self.stream.shutdown(Shutdown::Both);
+        // fresh connection for whatever the schedule does next
+        let fresh = Self::connect(self.addr)?;
+        self.stream = fresh.stream;
+        self.reader = fresh.reader;
+        Ok(())
+    }
+
+    /// Blocks until all propagation queued before this point has landed.
+    pub fn flush(&mut self) -> Result<(), ChaosError> {
+        let frame = self.roundtrip(verb::FLUSH, b"")?;
+        if frame.verb != reply::OK {
+            return Err(ChaosError::Unexpected(format!(
+                "verb {:#04x} to FLUSH",
+                frame.verb
+            )));
+        }
+        Ok(())
+    }
+
+    /// Asks the daemon to snapshot now; `Ok(true)` on success,
+    /// `Ok(false)` if the daemon reported a (possibly injected) write
+    /// failure — the scenario decides which one it scripted.
+    pub fn snapshot(&mut self) -> Result<bool, ChaosError> {
+        let frame = self.roundtrip(verb::SNAPSHOT, b"")?;
+        match frame.verb {
+            reply::OK => Ok(true),
+            reply::ERROR => Ok(false),
+            v => Err(ChaosError::Unexpected(format!("verb {v:#04x} to SNAPSHOT"))),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ChaosError> {
+        let frame = self.roundtrip(verb::PING, b"")?;
+        if frame.verb != reply::OK {
+            return Err(ChaosError::Unexpected(format!(
+                "verb {:#04x} to PING",
+                frame.verb
+            )));
+        }
+        Ok(())
+    }
+
+    /// The daemon's STATS JSON document.
+    pub fn stats(&mut self) -> Result<String, ChaosError> {
+        let frame = self.roundtrip(verb::STATS, b"")?;
+        if frame.verb != reply::JSON {
+            return Err(ChaosError::Unexpected(format!(
+                "verb {:#04x} to STATS",
+                frame.verb
+            )));
+        }
+        String::from_utf8(frame.payload.to_vec())
+            .map_err(|_| ChaosError::Unexpected("non-UTF-8 STATS".into()))
+    }
+
+    /// One named `u64` field of the STATS document.
+    pub fn stat_u64(&mut self, field: &str) -> Result<u64, ChaosError> {
+        let doc = self.stats()?;
+        json_u64_field(&doc, field)
+            .ok_or_else(|| ChaosError::Unexpected(format!("no {field} in {doc}")))
+    }
+}
+
+/// Executes a schedule against a running daemon in lockstep, recording
+/// every action and every score into `trace`. Returns the score bits of
+/// each delivery, in arrival order — index-aligned with
+/// [`effective_stream`] of the same schedule.
+pub fn run_schedule(
+    client: &mut ChaosClient,
+    seed: u64,
+    schedule: &[Action],
+    trace: &mut Trace,
+) -> Result<Vec<Vec<u32>>, ChaosError> {
+    let mut bits = Vec::with_capacity(effective_stream(schedule).len());
+    for action in schedule {
+        match *action {
+            Action::Deliver(k) => {
+                let b = client.deliver(seed, k)?;
+                trace.push(format!("deliver {k} -> {b:08x?}"));
+                bits.push(b);
+            }
+            Action::Drop(k) => {
+                trace.push(format!("drop {k}"));
+            }
+            Action::Duplicate(k) => {
+                let b1 = client.deliver(seed, k)?;
+                let b2 = client.deliver(seed, k)?;
+                trace.push(format!("duplicate {k} -> {b1:08x?} / {b2:08x?}"));
+                bits.push(b1);
+                bits.push(b2);
+            }
+            Action::Truncate(k, cut) => {
+                client.truncate(seed, k, cut)?;
+                trace.push(format!("truncate {k} at byte {cut}"));
+            }
+        }
+    }
+    Ok(bits)
+}

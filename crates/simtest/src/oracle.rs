@@ -1,0 +1,102 @@
+//! The differential oracle: a single-threaded reference replay of the
+//! effective delivered stream.
+//!
+//! The serving daemon is a pile of threads — readers, a batcher, a
+//! propagation worker, snapshot ticks — but its *observable contract*
+//! is sequential: under a lockstep schedule, served scores must equal
+//! what one `ServingPipeline` produces replaying the same admitted
+//! requests in the same order. This module computes that reference.
+//!
+//! Admission semantics are not re-implemented here: the oracle calls
+//! the daemon's own [`apan_serve::batcher::admit_times`] on the same
+//! starting watermark, so the event-time clamping that the queue
+//! applies is shared code, not a lookalike.
+//!
+//! Crash + warm-restart reduces to the same oracle: a daemon that
+//! crashed after delivery `c` with its last snapshot taken after
+//! delivery `s` restarts in exactly the state of the reference after
+//! `s` deliveries (snapshot restore is bitwise, proven by the PR 2 e2e
+//! test), so its post-restart stream concatenates onto the first `s`
+//! entries. Scenarios express that with [`reference_bits`] over
+//! `effective[..s] ++ post_restart_effective`.
+
+use crate::{request, DIM};
+use apan_core::config::ApanConfig;
+use apan_core::model::Apan;
+use apan_core::pipeline::ServingPipeline;
+use apan_serve::batcher::admit_times;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The harness model: same tiny architecture the serve e2e tests use,
+/// weights seeded by `weight_seed`.
+pub fn model(weight_seed: u64) -> Apan {
+    let mut cfg = ApanConfig::new(DIM);
+    cfg.mailbox_slots = 4;
+    cfg.mlp_hidden = 16;
+    cfg.dropout = 0.0;
+    let mut rng = StdRng::seed_from_u64(weight_seed);
+    Apan::new(&cfg, &mut rng)
+}
+
+/// Replays `effective` (workload request indices, in arrival order,
+/// duplicates included) through a fresh single-threaded pipeline and
+/// returns each delivery's score bits.
+///
+/// This is the ground truth the chaos runs are compared against: one
+/// request per batch, flushed before the next, admission clamping via
+/// the daemon's own `admit_times`.
+pub fn reference_bits(
+    weight_seed: u64,
+    workload_seed: u64,
+    effective: &[usize],
+) -> Vec<Vec<u32>> {
+    let mut pipeline = ServingPipeline::new(model(weight_seed), NODES_CAPACITY, 64);
+    let mut watermark = 0.0f64;
+    let mut out = Vec::with_capacity(effective.len());
+    for &k in effective {
+        let (mut interactions, feats) = request(workload_seed, k);
+        admit_times(&mut watermark, &mut interactions);
+        let result = pipeline.infer_batch(&interactions, &feats);
+        pipeline.flush();
+        out.push(result.scores.iter().map(|s| s.to_bits()).collect());
+    }
+    out
+}
+
+/// Initial mailbox-store sizing for the reference pipeline (grows on
+/// demand; must only be ≥ 1).
+const NODES_CAPACITY: usize = 32;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_is_deterministic() {
+        let eff = vec![0, 1, 1, 3, 2];
+        let a = reference_bits(42, 7, &eff);
+        let b = reference_bits(42, 7, &eff);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        assert!(a.iter().all(|bits| bits.len() == 2));
+    }
+
+    #[test]
+    fn reference_prefix_property_holds() {
+        // the first n entries of a longer replay equal a replay of just
+        // those n — the property crash-restart comparisons lean on
+        let eff: Vec<usize> = (0..12).collect();
+        let full = reference_bits(1, 2, &eff);
+        let prefix = reference_bits(1, 2, &eff[..5]);
+        assert_eq!(&full[..5], &prefix[..]);
+    }
+
+    #[test]
+    fn weights_and_workload_both_matter() {
+        let eff = vec![0, 1, 2];
+        let base = reference_bits(1, 1, &eff);
+        assert_ne!(base, reference_bits(2, 1, &eff), "weight seed must matter");
+        assert_ne!(base, reference_bits(1, 9, &eff), "workload seed must matter");
+    }
+}

@@ -1,0 +1,474 @@
+//! Seeded chaos scenarios for the serving stack.
+//!
+//! Every scenario is deterministic from its seed: the schedule is an
+//! explicit expansion of the seed ([`apan_simtest::build_schedule`]),
+//! the transport runs in lockstep, and served scores are compared
+//! **bitwise** against the single-threaded differential oracle
+//! ([`apan_simtest::oracle::reference_bits`]). To replay a scenario,
+//! re-run its test — same seed, same trace, down to the score bits
+//! (`same_seed_replays_an_identical_trace` pins that property).
+
+use apan_metrics::Clock;
+use apan_serve::client::Client;
+use apan_serve::server::{ServeConfig, ServerHandle};
+use apan_simtest::chaos::{run_schedule, ChaosClient};
+use apan_simtest::oracle::{model, reference_bits};
+use apan_simtest::{build_schedule, effective_stream, request, Action, FaultProfile, Trace};
+use apan_serve::batcher::admit_times;
+use std::time::Duration;
+
+const WEIGHTS: u64 = 42;
+
+fn base_cfg() -> ServeConfig {
+    ServeConfig {
+        num_nodes: 32,
+        ..ServeConfig::default()
+    }
+}
+
+fn start(weight_seed: u64, cfg: ServeConfig) -> ServerHandle {
+    apan_serve::start(model(weight_seed), cfg).expect("start daemon")
+}
+
+fn temp_snap(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("apan-simtest");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// Bounded condition poll (never a bare sleep-then-assert): true once
+/// `cond` holds, false if the deadline passes first.
+fn wait_until(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let start = std::time::Instant::now();
+    while !cond() {
+        if start.elapsed() >= deadline {
+            return cond();
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    true
+}
+
+/// Asserts served bits == oracle bits, with the trace in the failure
+/// message so a divergence is replayable from the test output alone.
+fn assert_oracle(served: &[Vec<u32>], expected: &[Vec<u32>], trace: &Trace, what: &str) {
+    assert_eq!(
+        served,
+        expected,
+        "{what}: served scores diverged from the reference pipeline\ntrace:\n{}",
+        trace.render()
+    );
+}
+
+#[test]
+fn fault_free_schedule_matches_reference_bitwise() {
+    let seed = 101;
+    let schedule = build_schedule(seed, 25, FaultProfile::default());
+    assert!(schedule.iter().all(|a| matches!(a, Action::Deliver(_))));
+
+    let handle = start(WEIGHTS, base_cfg());
+    let mut client = ChaosClient::connect(handle.addr()).expect("connect");
+    let mut trace = Trace::new();
+    let served = run_schedule(&mut client, seed, &schedule, &mut trace).expect("run");
+    handle.shutdown();
+
+    let eff = effective_stream(&schedule);
+    assert_eq!(eff.len(), 25);
+    let expected = reference_bits(WEIGHTS, seed, &eff);
+    assert_oracle(&served, &expected, &trace, "fault-free");
+}
+
+#[test]
+fn dropped_frames_leave_no_trace_in_serving_state() {
+    let seed = 202;
+    let profile = FaultProfile {
+        drop: 30,
+        ..FaultProfile::default()
+    };
+    let schedule = build_schedule(seed, 30, profile);
+    let eff = effective_stream(&schedule);
+    let drops = schedule.len() - eff.len();
+    assert!(drops > 0, "seed must produce at least one drop");
+
+    let handle = start(WEIGHTS, base_cfg());
+    let mut client = ChaosClient::connect(handle.addr()).expect("connect");
+    let mut trace = Trace::new();
+    let served = run_schedule(&mut client, seed, &schedule, &mut trace).expect("run");
+
+    // the daemon must have seen exactly the delivered requests
+    assert_eq!(client.stat_u64("requests").unwrap(), eff.len() as u64);
+    handle.shutdown();
+
+    let expected = reference_bits(WEIGHTS, seed, &eff);
+    assert_oracle(&served, &expected, &trace, "drops");
+}
+
+#[test]
+fn duplicated_frames_score_like_network_duplicates() {
+    let seed = 303;
+    let profile = FaultProfile {
+        duplicate: 25,
+        ..FaultProfile::default()
+    };
+    let schedule = build_schedule(seed, 30, profile);
+    let eff = effective_stream(&schedule);
+    assert!(eff.len() > 30, "seed must produce at least one duplicate");
+
+    let handle = start(WEIGHTS, base_cfg());
+    let mut client = ChaosClient::connect(handle.addr()).expect("connect");
+    let mut trace = Trace::new();
+    let served = run_schedule(&mut client, seed, &schedule, &mut trace).expect("run");
+    assert_eq!(client.stat_u64("requests").unwrap(), eff.len() as u64);
+    handle.shutdown();
+
+    // the oracle replays the duplicate too: its second copy arrives
+    // behind the watermark its first copy advanced, and is clamped by
+    // the very same admit_times the daemon uses
+    let expected = reference_bits(WEIGHTS, seed, &eff);
+    assert_oracle(&served, &expected, &trace, "duplicates");
+}
+
+#[test]
+fn truncated_frames_kill_only_their_connection() {
+    let seed = 404;
+    let profile = FaultProfile {
+        truncate: 25,
+        ..FaultProfile::default()
+    };
+    let schedule = build_schedule(seed, 30, profile);
+    let eff = effective_stream(&schedule);
+    assert!(eff.len() < 30, "seed must produce at least one truncation");
+
+    let handle = start(WEIGHTS, base_cfg());
+    // a bystander connected for the whole run: scripted tears on the
+    // chaos connection must never reach it
+    let mut bystander = Client::connect(handle.addr()).expect("bystander connect");
+    bystander.ping().expect("bystander ping");
+
+    let mut client = ChaosClient::connect(handle.addr()).expect("connect");
+    let mut trace = Trace::new();
+    let served = run_schedule(&mut client, seed, &schedule, &mut trace).expect("run");
+
+    bystander.ping().expect("bystander survived every torn frame");
+    client.ping().expect("daemon serving after tears");
+    assert_eq!(client.stat_u64("requests").unwrap(), eff.len() as u64);
+    handle.shutdown();
+
+    let expected = reference_bits(WEIGHTS, seed, &eff);
+    assert_oracle(&served, &expected, &trace, "truncations");
+}
+
+#[test]
+fn delayed_frames_replay_in_arrival_order_with_clamping() {
+    let seed = 505;
+    let profile = FaultProfile {
+        delay: 35,
+        ..FaultProfile::default()
+    };
+    let schedule = build_schedule(seed, 30, profile);
+    let eff = effective_stream(&schedule);
+    assert_eq!(eff.len(), 30, "delays reorder, they never lose");
+    assert!(
+        eff.windows(2).any(|w| w[0] > w[1]),
+        "seed must produce at least one reordering"
+    );
+
+    // expected clamp count: replay admission over the arrival order
+    // with the daemon's own watermark function
+    let mut watermark = 0.0f64;
+    let mut expected_clamped = 0u64;
+    for &k in &eff {
+        let (mut interactions, _) = request(seed, k);
+        expected_clamped += admit_times(&mut watermark, &mut interactions);
+    }
+    assert!(expected_clamped > 0, "reordering must force clamps");
+
+    let handle = start(WEIGHTS, base_cfg());
+    let mut client = ChaosClient::connect(handle.addr()).expect("connect");
+    let mut trace = Trace::new();
+    let served = run_schedule(&mut client, seed, &schedule, &mut trace).expect("run");
+    assert_eq!(client.stat_u64("clamped").unwrap(), expected_clamped);
+    handle.shutdown();
+
+    let expected = reference_bits(WEIGHTS, seed, &eff);
+    assert_oracle(&served, &expected, &trace, "delays/reorders");
+}
+
+#[test]
+fn crash_and_warm_restart_at_seeded_kill_points() {
+    // Crash the daemon at three different scripted kill points; after
+    // each warm restart the stream continues from the last snapshot,
+    // and every phase must stay bitwise on the reference.
+    let seed = 606;
+    const TOTAL: usize = 24;
+    for (snap_at, crash_at) in [(6usize, 9usize), (10, 10), (4, 15)] {
+        let snap = temp_snap(&format!("kill_{snap_at}_{crash_at}.snap"));
+        let cfg = ServeConfig {
+            snapshot_path: Some(snap.clone()),
+            ..base_cfg()
+        };
+        let mut trace = Trace::new();
+
+        // phase 1: deliver [0, crash_at), snapshotting after snap_at
+        let handle = start(WEIGHTS, cfg.clone());
+        let mut client = ChaosClient::connect(handle.addr()).expect("connect");
+        let mut pre = Vec::new();
+        for k in 0..crash_at {
+            pre.push(client.deliver(seed, k).expect("deliver"));
+            trace.push(format!("deliver {k}"));
+            if k + 1 == snap_at {
+                assert!(client.snapshot().expect("snapshot verb"), "snapshot failed");
+                trace.push(format!("snapshot after {snap_at}"));
+            }
+        }
+        handle.crash();
+        trace.push(format!("crash after {crash_at}"));
+
+        // phase 2: warm restart (different weight seed proves snapshot
+        // parameters win), deliver the rest
+        let handle = start(WEIGHTS + 1, cfg);
+        let mut client = ChaosClient::connect(handle.addr()).expect("reconnect");
+        let mut post = Vec::new();
+        for k in crash_at..TOTAL {
+            post.push(client.deliver(seed, k).expect("deliver after restart"));
+            trace.push(format!("deliver {k} (after restart)"));
+        }
+        handle.shutdown();
+
+        // oracle: pre-crash scores are a plain prefix; post-restart
+        // scores continue from the snapshot cut, with [snap_at,
+        // crash_at) genuinely lost
+        let pre_eff: Vec<usize> = (0..crash_at).collect();
+        let expected_pre = reference_bits(WEIGHTS, seed, &pre_eff);
+        assert_oracle(&pre, &expected_pre, &trace, "pre-crash");
+
+        let mut replay_eff: Vec<usize> = (0..snap_at).collect();
+        replay_eff.extend(crash_at..TOTAL);
+        let expected_all = reference_bits(WEIGHTS, seed, &replay_eff);
+        assert_oracle(
+            &post,
+            &expected_all[snap_at..],
+            &trace,
+            &format!("post-restart (snap {snap_at}, crash {crash_at})"),
+        );
+        let _ = std::fs::remove_file(&snap);
+    }
+}
+
+#[test]
+fn torn_snapshot_leaves_previous_snapshot_authoritative() {
+    let seed = 707;
+    let snap = temp_snap("torn.snap");
+    let cfg = ServeConfig {
+        snapshot_path: Some(snap.clone()),
+        ..base_cfg()
+    };
+    let mut trace = Trace::new();
+
+    // phase A: 5 deliveries, a good snapshot, 2 more (to be lost)
+    let handle = start(WEIGHTS, cfg.clone());
+    let mut client = ChaosClient::connect(handle.addr()).expect("connect");
+    for k in 0..5 {
+        client.deliver(seed, k).expect("deliver");
+        trace.push(format!("deliver {k}"));
+    }
+    assert!(client.snapshot().expect("snapshot verb"));
+    trace.push("snapshot after 5");
+    for k in 5..7 {
+        client.deliver(seed, k).expect("deliver");
+        trace.push(format!("deliver {k} (will be lost)"));
+    }
+    handle.crash();
+    let good_bytes = std::fs::read(&snap).expect("snapshot on disk");
+
+    // phase B: restart with snapshot writes torn at byte 100 — every
+    // snapshot attempt fails, the good file must survive untouched
+    let torn_cfg = ServeConfig {
+        snapshot_tear_after: Some(100),
+        ..cfg.clone()
+    };
+    let handle = start(WEIGHTS + 1, torn_cfg);
+    let mut client = ChaosClient::connect(handle.addr()).expect("reconnect");
+    let mut phase_b = Vec::new();
+    for k in 7..10 {
+        phase_b.push(client.deliver(seed, k).expect("deliver"));
+        trace.push(format!("deliver {k} (torn-snapshot phase)"));
+    }
+    assert!(
+        !client.snapshot().expect("snapshot verb"),
+        "torn snapshot write must report failure"
+    );
+    trace.push("snapshot torn");
+    assert_eq!(client.stat_u64("snapshot_failures").unwrap(), 1);
+    assert_eq!(
+        std::fs::read(&snap).unwrap(),
+        good_bytes,
+        "torn write clobbered the previous snapshot"
+    );
+    client.deliver(seed, 10).expect("deliver");
+    trace.push("deliver 10 (will be lost)");
+    handle.crash();
+
+    // phase C: restart plain — must come up from the phase-A snapshot
+    let handle = start(WEIGHTS + 2, cfg);
+    let mut client = ChaosClient::connect(handle.addr()).expect("reconnect");
+    let mut phase_c = Vec::new();
+    for k in 11..13 {
+        phase_c.push(client.deliver(seed, k).expect("deliver"));
+        trace.push(format!("deliver {k} (after torn-phase crash)"));
+    }
+    handle.shutdown();
+
+    // both restarted phases continue from the state after 5 deliveries
+    let mut eff_b: Vec<usize> = (0..5).collect();
+    eff_b.extend(7..10);
+    let expected_b = reference_bits(WEIGHTS, seed, &eff_b);
+    assert_oracle(&phase_b, &expected_b[5..], &trace, "torn phase B");
+
+    let mut eff_c: Vec<usize> = (0..5).collect();
+    eff_c.extend(11..13);
+    let expected_c = reference_bits(WEIGHTS, seed, &eff_c);
+    assert_oracle(&phase_c, &expected_c[5..], &trace, "torn phase C");
+    let _ = std::fs::remove_file(&snap);
+}
+
+#[test]
+fn virtual_time_snapshot_tick_fires_without_wall_clock() {
+    let seed = 808;
+    let snap = temp_snap("vtick.snap");
+    let clock = Clock::virtual_clock();
+    let vt = clock.virtual_handle().unwrap();
+    let cfg = ServeConfig {
+        snapshot_path: Some(snap.clone()),
+        snapshot_every: Some(Duration::from_secs(3600)),
+        clock: clock.clone(),
+        ..base_cfg()
+    };
+    let mut trace = Trace::new();
+
+    let handle = start(WEIGHTS, cfg.clone());
+    let mut client = ChaosClient::connect(handle.addr()).expect("connect");
+    let mut pre = Vec::new();
+    for k in 0..6 {
+        pre.push(client.deliver(seed, k).expect("deliver"));
+        trace.push(format!("deliver {k}"));
+    }
+    // no wall-clock hour passes: the periodic snapshot fires the moment
+    // the scenario driver advances simulated time past the interval
+    assert_eq!(client.stat_u64("snapshots").unwrap(), 0);
+    vt.advance(Duration::from_secs(3601));
+    trace.push("advance 3601s");
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            let mut c = ChaosClient::connect(handle.addr()).expect("probe");
+            c.stat_u64("snapshots").unwrap_or(0) >= 1
+        }),
+        "periodic snapshot did not fire after the virtual interval"
+    );
+    trace.push("tick snapshot observed");
+
+    // latency stamps ran on simulated time: nothing advanced while any
+    // request was in flight, so every recorded latency is exactly zero
+    let stats = client.stats().expect("stats");
+    assert!(
+        stats.contains("\"max_ms\":0.000000"),
+        "virtual-clock latencies must be exactly zero: {stats}"
+    );
+
+    for k in 6..9 {
+        pre.push(client.deliver(seed, k).expect("deliver"));
+        trace.push(format!("deliver {k} (lost after tick snapshot)"));
+    }
+    handle.crash();
+    trace.push("crash");
+
+    // warm restart on a fresh virtual clock, resuming from the ticked
+    // snapshot (state after 6 deliveries)
+    let restart_cfg = ServeConfig {
+        clock: Clock::virtual_clock(),
+        ..cfg
+    };
+    let handle = start(WEIGHTS + 1, restart_cfg);
+    let mut client = ChaosClient::connect(handle.addr()).expect("reconnect");
+    let mut post = Vec::new();
+    for k in 9..12 {
+        post.push(client.deliver(seed, k).expect("deliver after restart"));
+        trace.push(format!("deliver {k} (after restart)"));
+    }
+    handle.shutdown();
+
+    let pre_eff: Vec<usize> = (0..9).collect();
+    let expected_pre = reference_bits(WEIGHTS, seed, &pre_eff);
+    assert_oracle(&pre, &expected_pre, &trace, "virtual-tick pre-crash");
+
+    let mut replay_eff: Vec<usize> = (0..6).collect();
+    replay_eff.extend(9..12);
+    let expected_post = reference_bits(WEIGHTS, seed, &replay_eff);
+    assert_oracle(&post, &expected_post[6..], &trace, "virtual-tick post-restart");
+    let _ = std::fs::remove_file(&snap);
+}
+
+/// The full chaos soup — all fault types plus a mid-stream crash and
+/// warm restart — as one seeded, replayable run.
+fn chaos_soup(seed: u64) -> (Trace, Vec<Vec<u32>>, Vec<Vec<u32>>) {
+    let profile = FaultProfile {
+        drop: 10,
+        duplicate: 10,
+        truncate: 10,
+        delay: 15,
+    };
+    let schedule = build_schedule(seed, 30, profile);
+    let split = schedule.len() / 2;
+    let snap = temp_snap(&format!("soup_{seed}.snap"));
+    let cfg = ServeConfig {
+        snapshot_path: Some(snap.clone()),
+        ..base_cfg()
+    };
+    let mut trace = Trace::new();
+
+    let handle = start(WEIGHTS, cfg.clone());
+    let mut client = ChaosClient::connect(handle.addr()).expect("connect");
+    let pre = run_schedule(&mut client, seed, &schedule[..split], &mut trace).expect("run pre");
+    assert!(client.snapshot().expect("snapshot"), "snapshot failed");
+    trace.push(format!("snapshot at action {split}"));
+    handle.crash();
+    trace.push("crash");
+
+    let handle = start(WEIGHTS + 1, cfg);
+    let mut client = ChaosClient::connect(handle.addr()).expect("reconnect");
+    let post = run_schedule(&mut client, seed, &schedule[split..], &mut trace).expect("run post");
+    handle.shutdown();
+    let _ = std::fs::remove_file(&snap);
+
+    // differential oracle: snapshot was taken right before the crash,
+    // so nothing was lost — post continues exactly after pre
+    let pre_eff = effective_stream(&schedule[..split]);
+    let all_eff = effective_stream(&schedule);
+    let expected = reference_bits(WEIGHTS, seed, &all_eff);
+    assert_oracle(&pre, &expected[..pre_eff.len()], &trace, "soup pre-crash");
+    assert_oracle(&post, &expected[pre_eff.len()..], &trace, "soup post-restart");
+    (trace, pre, post)
+}
+
+#[test]
+fn seeded_chaos_soup_passes_the_differential_oracle() {
+    chaos_soup(909);
+}
+
+#[test]
+fn same_seed_replays_an_identical_trace() {
+    let (t1, pre1, post1) = chaos_soup(1234);
+    let (t2, pre2, post2) = chaos_soup(1234);
+    assert_eq!(
+        t1.render(),
+        t2.render(),
+        "same seed must replay the same trace"
+    );
+    assert_eq!((pre1, post1), (pre2, post2));
+
+    // and a different seed explores a genuinely different schedule
+    let (t3, _, _) = chaos_soup(5678);
+    assert_ne!(t1.render(), t3.render());
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Runs one seeded chaos scenario end to end: the full "chaos soup"
+# (drops, duplicates, mid-frame truncations, reordering delays, a hard
+# crash, a warm restart) with the differential oracle checking that
+# served scores are bitwise identical to the single-threaded reference
+# pipeline, and that the same seed replays the same trace.
+#
+# Usage: scripts/chaos_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCENARIO="same_seed_replays_an_identical_trace"
+
+echo "chaos_smoke: running scenario $SCENARIO"
+cargo test --release -p apan-simtest --test scenarios "$SCENARIO" -- --exact
+
+echo "chaos_smoke: OK"

@@ -202,7 +202,7 @@ fn fraud_review_queue_precision_beats_prevalence() {
     let mut rng2 = StdRng::seed_from_u64(1);
     let noisy_scores: Vec<f32> = test_labels
         .iter()
-        .map(|&l| if l { 0.8 } else { 0.2 } + rng2.gen_range(-0.1..0.1))
+        .map(|&l| if l { 0.8 } else { 0.2 } + rng2.gen_range(-0.1f32..0.1f32))
         .collect();
     let k = 25.min(test_labels.len());
     let p_at_k = precision_at_k(&noisy_scores, &test_labels, k);
@@ -270,6 +270,7 @@ fn mailbox_state_survives_serialization_boundary() {
     let mut rng = StdRng::seed_from_u64(3);
     for _ in 0..10 {
         let t = Tensor::randn(17, 5, 3.0, &mut rng);
-        assert!(wire::decode_tensor(wire::encode_tensor(&t)).allclose(&t, 0.0));
+        let decoded = wire::decode_tensor(wire::encode_tensor(&t)).expect("roundtrip decodes");
+        assert!(decoded.allclose(&t, 0.0));
     }
 }
