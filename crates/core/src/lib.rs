@@ -52,6 +52,7 @@ pub mod mailbox;
 pub mod model;
 pub mod pipeline;
 pub mod propagator;
+pub mod shard;
 pub mod train;
 
 pub use config::ApanConfig;

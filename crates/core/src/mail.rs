@@ -51,24 +51,42 @@ pub fn make_mails(z_src: &Tensor, z_dst: &Tensor, edge_feats: &Tensor) -> Tensor
 /// # Panics
 /// Panics if `rows` is empty.
 pub fn reduce_mails(mails: &Tensor, rows: &[usize], mode: MailReduce) -> Vec<f32> {
+    let mut out = Vec::new();
+    reduce_mails_into(mails, rows, mode, &mut out);
+    out
+}
+
+/// ρ into a caller-owned buffer: clears `out` and writes the reduced
+/// mail, so hot loops reuse one allocation across destination nodes.
+/// Same contract as [`reduce_mails`].
+///
+/// # Panics
+/// Panics if `rows` is empty.
+pub fn reduce_mails_into(mails: &Tensor, rows: &[usize], mode: MailReduce, out: &mut Vec<f32>) {
+    out.clear();
+    out.resize(mails.cols(), 0.0);
+    reduce_mails_slice(mails, rows, mode, out);
+}
+
+/// ρ into a zeroed `dim`-wide slice — the innermost reduction shared by
+/// the Vec paths above and the propagator's flat delivery-plan payload.
+pub(crate) fn reduce_mails_slice(mails: &Tensor, rows: &[usize], mode: MailReduce, out: &mut [f32]) {
     assert!(!rows.is_empty(), "cannot reduce zero mails");
-    let d = mails.cols();
+    debug_assert_eq!(out.len(), mails.cols());
     match mode {
-        MailReduce::Last => mails.row_slice(rows[rows.len() - 1]).to_vec(),
+        MailReduce::Last => out.copy_from_slice(mails.row_slice(rows[rows.len() - 1])),
         MailReduce::Sum | MailReduce::Mean => {
-            let mut acc = vec![0.0f32; d];
             for &r in rows {
-                for (a, &v) in acc.iter_mut().zip(mails.row_slice(r)) {
+                for (a, &v) in out.iter_mut().zip(mails.row_slice(r)) {
                     *a += v;
                 }
             }
             if mode == MailReduce::Mean {
                 let inv = 1.0 / rows.len() as f32;
-                for a in &mut acc {
+                for a in out.iter_mut() {
                     *a *= inv;
                 }
             }
-            acc
         }
     }
 }
@@ -108,6 +126,16 @@ mod tests {
         let mails = Tensor::from_rows(&[&[7.0, -2.0]]);
         for mode in [MailReduce::Mean, MailReduce::Sum, MailReduce::Last] {
             assert_eq!(reduce_mails(&mails, &[0], mode), vec![7.0, -2.0]);
+        }
+    }
+
+    #[test]
+    fn reduce_into_reuses_buffer_and_matches() {
+        let mails = Tensor::from_rows(&[&[1.0, 1.0], &[3.0, 5.0], &[5.0, 0.0]]);
+        let mut buf = vec![99.0; 7]; // stale, wrong-sized contents
+        for mode in [MailReduce::Mean, MailReduce::Sum, MailReduce::Last] {
+            reduce_mails_into(&mails, &[0, 2], mode, &mut buf);
+            assert_eq!(buf, reduce_mails(&mails, &[0, 2], mode));
         }
     }
 

@@ -32,6 +32,19 @@ pub struct MailboxView {
     pub ages: Vec<f32>,
 }
 
+/// The read surface the encoder needs from a mailbox store.
+///
+/// Implemented by the flat [`MailboxStore`] (training, replay) and the
+/// sharded serving store ([`crate::shard::ShardedMailboxStore`]); both
+/// produce bitwise-identical views for the same logical state, so
+/// `Apan::encode` is generic over this trait.
+pub trait MailboxRead {
+    /// Builds the batched attention view for `nodes` as of time `now`.
+    fn read_batch(&self, nodes: &[NodeId], now: Time) -> MailboxView;
+    /// Gathers `z(t−)` for a batch into a `[B × d]` matrix.
+    fn embedding_batch(&self, nodes: &[NodeId]) -> Tensor;
+}
+
 /// Mailboxes, last embeddings, and last-update times for every node.
 #[derive(Clone)]
 pub struct MailboxStore {
@@ -196,24 +209,38 @@ impl MailboxStore {
         let mut lens = Vec::with_capacity(b);
         let mut ages = vec![0.0f32; b * self.slots];
         for (bi, &node) in nodes.iter().enumerate() {
-            let n = node as usize;
-            let len = if n < self.lens.len() {
-                self.lens[n] as usize
-            } else {
-                0
-            };
-            lens.push(len);
-            for i in 0..len {
-                let slot = (self.heads[n] as usize + i) % self.slots;
-                let src = (n * self.slots + slot) * self.dim;
-                let row = bi * self.slots + i;
-                mails
-                    .row_slice_mut(row)
-                    .copy_from_slice(&self.mails[src..src + self.dim]);
-                ages[row] = (now - self.mail_times[n * self.slots + slot]).max(0.0) as f32;
-            }
+            lens.push(self.read_mailbox_into(node, now, bi, &mut mails, &mut ages));
         }
         MailboxView { mails, lens, ages }
+    }
+
+    /// Copies `node`'s mails and ages into batch position `bi` of a view
+    /// under construction, returning the mail count. Shared by the flat
+    /// and sharded `read_batch` so both produce identical views.
+    pub(crate) fn read_mailbox_into(
+        &self,
+        node: NodeId,
+        now: Time,
+        bi: usize,
+        mails: &mut Tensor,
+        ages: &mut [f32],
+    ) -> usize {
+        let n = node as usize;
+        let len = if n < self.lens.len() {
+            self.lens[n] as usize
+        } else {
+            0
+        };
+        for i in 0..len {
+            let slot = (self.heads[n] as usize + i) % self.slots;
+            let src = (n * self.slots + slot) * self.dim;
+            let row = bi * self.slots + i;
+            mails
+                .row_slice_mut(row)
+                .copy_from_slice(&self.mails[src..src + self.dim]);
+            ages[row] = (now - self.mail_times[n * self.slots + slot]).max(0.0) as f32;
+        }
+        len
     }
 
     /// The last updated embedding `z(t−)` of `node` (zeros if never set).
@@ -240,11 +267,45 @@ impl MailboxStore {
         assert_eq!(z.rows(), nodes.len(), "row count mismatch");
         assert_eq!(z.cols(), self.dim, "embedding width mismatch");
         for (bi, &node) in nodes.iter().enumerate() {
-            self.ensure_node(node);
-            let n = node as usize;
-            self.embeddings[n * self.dim..(n + 1) * self.dim].copy_from_slice(z.row_slice(bi));
-            self.last_update[n] = t;
+            self.set_embedding(node, z.row_slice(bi), t);
         }
+    }
+
+    /// Stores one node's embedding row at time `t`, growing on demand.
+    pub(crate) fn set_embedding(&mut self, node: NodeId, row: &[f32], t: Time) {
+        debug_assert_eq!(row.len(), self.dim);
+        self.ensure_node(node);
+        let n = node as usize;
+        self.embeddings[n * self.dim..(n + 1) * self.dim].copy_from_slice(row);
+        self.last_update[n] = t;
+    }
+
+    /// The configured update policy (ψ mode) of this store.
+    pub(crate) fn update_mode(&self) -> MailboxUpdate {
+        self.update
+    }
+
+    /// Copies the complete per-node state (mails, times, origins, ring
+    /// indices, embedding, last-update) of `src_node` in `src` into
+    /// `dst_node` of `self`. Both stores must share slots/dim geometry.
+    /// Used by the sharded store to scatter/gather nodes without going
+    /// through the snapshot codec.
+    pub(crate) fn copy_node_from(&mut self, dst_node: usize, src: &MailboxStore, src_node: usize) {
+        debug_assert_eq!(self.slots, src.slots);
+        debug_assert_eq!(self.dim, src.dim);
+        debug_assert!(dst_node < self.lens.len() && src_node < src.lens.len());
+        let (sd, ss) = (self.dim, self.slots);
+        self.mails[dst_node * ss * sd..(dst_node + 1) * ss * sd]
+            .copy_from_slice(&src.mails[src_node * ss * sd..(src_node + 1) * ss * sd]);
+        self.mail_times[dst_node * ss..(dst_node + 1) * ss]
+            .copy_from_slice(&src.mail_times[src_node * ss..(src_node + 1) * ss]);
+        self.origins[dst_node * ss..(dst_node + 1) * ss]
+            .copy_from_slice(&src.origins[src_node * ss..(src_node + 1) * ss]);
+        self.lens[dst_node] = src.lens[src_node];
+        self.heads[dst_node] = src.heads[src_node];
+        self.embeddings[dst_node * sd..(dst_node + 1) * sd]
+            .copy_from_slice(&src.embeddings[src_node * sd..(src_node + 1) * sd]);
+        self.last_update[dst_node] = src.last_update[src_node];
     }
 
     /// When `node` last received a new embedding.
@@ -397,6 +458,16 @@ impl MailboxStore {
         self.heads.fill(0);
         self.embeddings.fill(0.0);
         self.last_update.fill(0.0);
+    }
+}
+
+impl MailboxRead for MailboxStore {
+    fn read_batch(&self, nodes: &[NodeId], now: Time) -> MailboxView {
+        MailboxStore::read_batch(self, nodes, now)
+    }
+
+    fn embedding_batch(&self, nodes: &[NodeId]) -> Tensor {
+        MailboxStore::embedding_batch(self, nodes)
     }
 }
 

@@ -4,7 +4,7 @@ use crate::config::ApanConfig;
 use crate::decoder::{EdgeClassifier, LinkDecoder, NodeClassifier};
 use crate::encoder::{ApanEncoder, EncoderOutput};
 use crate::mail::make_mails_with;
-use crate::mailbox::MailboxStore;
+use crate::mailbox::{MailboxRead, MailboxStore};
 use crate::propagator::{Interaction, Propagator};
 use apan_nn::{Fwd, ParamStore};
 use apan_tensor::Tensor;
@@ -69,11 +69,13 @@ impl Apan {
 
     /// Encodes `nodes` from their mailbox state as of `now`. This is the
     /// entire synchronous inference path up to the decoder — note the
-    /// absence of any graph argument.
-    pub fn encode(
+    /// absence of any graph argument. Generic over the store's read
+    /// surface so training (flat [`MailboxStore`]) and serving (sharded
+    /// store) share one code path.
+    pub fn encode<S: MailboxRead + ?Sized>(
         &self,
         fwd: &mut Fwd<'_>,
-        store: &MailboxStore,
+        store: &S,
         nodes: &[NodeId],
         now: Time,
         rng: &mut StdRng,

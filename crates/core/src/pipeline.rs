@@ -6,27 +6,32 @@
 //!   batch of arriving interactions, reads only mailbox state, runs the
 //!   encoder + decoder, stores the fresh embeddings, and returns scores —
 //!   its wall-clock time is what Figure 6 reports as "inference speed";
-//! * the **asynchronous link** is a background worker thread fed through a
-//!   bounded channel; it inserts the events into the temporal graph and
-//!   runs the k-hop mail propagation, off the user-facing path. Payloads
+//! * the **asynchronous link** is a pool of background workers fed through
+//!   a bounded channel; they insert the events into the temporal graph and
+//!   run the k-hop mail propagation, off the user-facing path. Payloads
 //!   cross the channel in a serialized wire format ([`wire`]) as they
-//!   would on a production message bus.
+//!   would on a production message bus. Sequence tickets ([`SeqGates`])
+//!   keep graph inserts and mailbox commits in submission order, so the
+//!   pool is bitwise identical to a single worker at any width
+//!   (`APAN_PROP_THREADS`).
 //!
 //! Backpressure is real: if propagation falls behind, the bounded channel
 //! blocks the producer, surfacing exactly the overload scenario the paper
 //! discusses (Black-Friday bursts), instead of letting the mailbox lag
 //! grow without bound.
 
+use crate::config::MailContent;
 use crate::mail::make_mails_with;
 use crate::mailbox::MailboxStore;
 use crate::model::{dedup_nodes, Apan};
-use crate::propagator::{Interaction, Propagator};
+use crate::propagator::{DeliveryPlan, Interaction, PropScratch, Propagator};
+use crate::shard::{shards_from_env, ShardedMailboxStore};
 use apan_metrics::{Clock, LatencyRecorder};
 use apan_nn::Fwd;
 use apan_tensor::Tensor;
 use apan_tgraph::cost::QueryCost;
 use apan_tgraph::{NodeId, TemporalGraph};
-use crossbeam::channel::{bounded, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -119,10 +124,15 @@ pub mod wire {
                 got: 8 + b.remaining(),
             });
         }
+        // bulk decode: one pre-sized vec filled from 4-byte chunks beats
+        // per-element cursor reads by a wide margin on large payloads
         let mut data = Vec::with_capacity(elems);
-        for _ in 0..elems {
-            data.push(b.get_f32_le());
-        }
+        data.extend(
+            b[..elems * 4]
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+        );
+        b.advance(elems * 4);
         Ok(Tensor::from_vec(rows, cols, data))
     }
 
@@ -179,9 +189,17 @@ pub mod wire {
 }
 
 struct PropagateJob {
+    /// Commit ticket: deliveries land in `seq` order no matter which
+    /// worker runs the job, so N-threaded serving is bitwise identical
+    /// to the single-worker pipeline.
+    seq: u64,
     interactions: Vec<Interaction>,
+    /// Row of `z_wire` holding each interaction's source embedding.
     src_rows: Vec<usize>,
     dst_rows: Vec<usize>,
+    /// Only the embedding rows the mails actually reference (the batch's
+    /// endpoint rows, deduplicated) — empty when the mail content ignores
+    /// embeddings entirely.
     z_wire: bytes::Bytes,
     feats_wire: bytes::Bytes,
 }
@@ -245,6 +263,115 @@ impl PendingJobs {
     }
 }
 
+/// Sequence tickets ordering the propagation pool.
+///
+/// Sampling runs concurrently across workers; graph inserts and mailbox
+/// commits each advance in strict job order. A job may insert its events
+/// while earlier jobs are still sampling **only** when its earliest event
+/// time is at or past every inserted event so far — temporal queries are
+/// strictly-before-`t`, so such an early insert is invisible to any
+/// in-flight sampler and the pipelined schedule stays bitwise identical
+/// to the serial one. Otherwise the job waits for all earlier commits.
+struct SeqGates {
+    state: Mutex<GateState>,
+    turned: Condvar,
+}
+
+struct GateState {
+    insert_turn: u64,
+    commit_turn: u64,
+    /// Max event time inserted so far (the fast-path watermark).
+    max_time: f64,
+}
+
+impl SeqGates {
+    fn new(max_time: f64) -> Self {
+        Self {
+            state: Mutex::new(GateState {
+                insert_turn: 0,
+                commit_turn: 0,
+                max_time,
+            }),
+            turned: Condvar::new(),
+        }
+    }
+
+    /// Blocks until job `seq` may insert its events (earliest at
+    /// `min_time`) into the temporal graph.
+    fn wait_insert(&self, seq: u64, min_time: f64) {
+        let mut st = self.state.lock();
+        while st.insert_turn != seq {
+            self.turned.wait(&mut st);
+        }
+        // Once it is our insert turn the watermark is frozen (later jobs
+        // cannot insert before us), so this check is race-free.
+        if min_time < st.max_time {
+            while st.commit_turn != seq {
+                self.turned.wait(&mut st);
+            }
+        }
+    }
+
+    fn insert_done(&self, seq: u64, batch_max: f64) {
+        let mut st = self.state.lock();
+        if batch_max > st.max_time {
+            st.max_time = batch_max;
+        }
+        st.insert_turn = seq + 1;
+        self.turned.notify_all();
+    }
+
+    fn wait_commit(&self, seq: u64) {
+        let mut st = self.state.lock();
+        while st.commit_turn != seq {
+            self.turned.wait(&mut st);
+        }
+    }
+
+    fn commit_done(&self, seq: u64) {
+        let mut st = self.state.lock();
+        st.commit_turn = seq + 1;
+        self.turned.notify_all();
+    }
+
+    /// Releases both tickets of a job that will do no work (its payload
+    /// failed to decode), keeping the sequence gapless.
+    fn skip(&self, seq: u64) {
+        let mut st = self.state.lock();
+        while st.insert_turn != seq {
+            self.turned.wait(&mut st);
+        }
+        st.insert_turn = seq + 1;
+        self.turned.notify_all();
+        while st.commit_turn != seq {
+            self.turned.wait(&mut st);
+        }
+        st.commit_turn = seq + 1;
+        self.turned.notify_all();
+    }
+}
+
+/// Live handles onto the propagation link's health counters. Cheap to
+/// clone and usable after the pipeline itself has been moved into a
+/// serving loop — this is what a stats endpoint holds.
+#[derive(Clone)]
+pub struct PropLink {
+    stats: Arc<Mutex<PropStats>>,
+    pending: Arc<PendingJobs>,
+}
+
+impl PropLink {
+    /// Snapshot of the pool's accumulated statistics.
+    pub fn stats(&self) -> PropStats {
+        *self.stats.lock()
+    }
+
+    /// Jobs queued or in flight right now.
+    pub fn pending(&self) -> usize {
+        self.pending.current()
+    }
+}
+
 /// Result of one synchronous inference call.
 pub struct InferResult {
     /// Link score (sigmoid) per interaction.
@@ -257,15 +384,123 @@ pub struct InferResult {
     pub sync_time: Duration,
 }
 
-/// A deployed APAN model: synchronous inference plus a background
-/// propagation worker.
+/// Resolves the propagation pool width: `APAN_PROP_THREADS`, default 1
+/// (the pre-pool single-worker behaviour).
+fn prop_threads_from_env() -> usize {
+    std::env::var("APAN_PROP_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+        .min(64)
+}
+
+/// One propagation-pool worker: decode → insert (ticketed) → sample
+/// (concurrent) → commit (ticketed). Scratch buffers live for the whole
+/// thread, so steady-state jobs allocate almost nothing.
+#[allow(clippy::too_many_arguments)]
+fn propagation_worker(
+    rx: Receiver<Job>,
+    store: Arc<ShardedMailboxStore>,
+    graph: Arc<RwLock<TemporalGraph>>,
+    pending: Arc<PendingJobs>,
+    stats: Arc<Mutex<PropStats>>,
+    gates: Arc<SeqGates>,
+    propagator: Propagator,
+    mail_content: MailContent,
+) {
+    let mut scratch = PropScratch::default();
+    let mut plan = DeliveryPlan::default();
+    while let Ok(job) = rx.recv() {
+        let job = match job {
+            Job::Shutdown => break,
+            Job::Propagate(job) => job,
+        };
+        let seq = job.seq;
+        // Malformed payloads must not abort the worker: the job is
+        // dropped and counted, its tickets are released, the link stays
+        // up.
+        let mails = match decode_job_mails(&job, mail_content) {
+            Some(mails) => mails,
+            None => {
+                gates.skip(seq);
+                stats.lock().decode_errors += 1;
+                pending.decrement();
+                continue;
+            }
+        };
+        let (min_t, max_t) = job
+            .interactions
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), i| {
+                (lo.min(i.time), hi.max(i.time))
+            });
+        gates.wait_insert(seq, min_t);
+        {
+            let mut g = graph.write();
+            for i in &job.interactions {
+                g.insert(i.src, i.dst, i.time);
+            }
+        }
+        gates.insert_done(seq, max_t);
+        // Sampling — the expensive part — runs outside both gates.
+        let mut cost = QueryCost::new();
+        {
+            let g = graph.read();
+            propagator.plan_batch(&g, &job.interactions, &mails, &mut cost, &mut scratch, &mut plan);
+        }
+        gates.wait_commit(seq);
+        let deliveries = plan.apply_sharded(&store);
+        gates.commit_done(seq);
+        {
+            let mut st = stats.lock();
+            st.jobs += 1;
+            st.deliveries += deliveries;
+            st.cost += cost;
+        }
+        pending.decrement();
+    }
+}
+
+/// Rebuilds the mail tensor from a job's wire payloads. `None` on any
+/// decode failure or shape mismatch — corrupt bytes drop the job, they
+/// never panic a worker.
+fn decode_job_mails(job: &PropagateJob, mail_content: MailContent) -> Option<Tensor> {
+    let feats = wire::decode_tensor(job.feats_wire.clone()).ok()?;
+    let b = job.interactions.len();
+    if feats.rows() != b || job.src_rows.len() != b || job.dst_rows.len() != b {
+        return None;
+    }
+    if matches!(mail_content, MailContent::FeatureOnly) {
+        // φ ignores the embeddings; the producer shipped no z at all
+        return Some(feats);
+    }
+    let z = wire::decode_tensor(job.z_wire.clone()).ok()?;
+    if z.cols() != feats.cols()
+        || job
+            .src_rows
+            .iter()
+            .chain(&job.dst_rows)
+            .any(|&r| r >= z.rows())
+    {
+        return None;
+    }
+    let z_src = z.gather_rows(&job.src_rows);
+    let z_dst = z.gather_rows(&job.dst_rows);
+    Some(make_mails_with(&z_src, &z_dst, &feats, mail_content))
+}
+
+/// A deployed APAN model: synchronous inference plus a pool of
+/// propagation workers ordered by sequence tickets.
 pub struct ServingPipeline {
     model: Arc<Apan>,
-    store: Arc<RwLock<MailboxStore>>,
+    store: Arc<ShardedMailboxStore>,
     graph: Arc<RwLock<TemporalGraph>>,
     tx: Sender<Job>,
-    worker: Option<JoinHandle<PropStats>>,
+    workers: Vec<JoinHandle<()>>,
     pending: Arc<PendingJobs>,
+    stats: Arc<Mutex<PropStats>>,
+    next_seq: u64,
     rng: StdRng,
     /// Time source for `sync_time` stamps; real unless a test harness
     /// injects a virtual clock via [`ServingPipeline::set_clock`].
@@ -276,7 +511,8 @@ pub struct ServingPipeline {
 
 impl ServingPipeline {
     /// Deploys `model` with serving state for `num_nodes` nodes and a
-    /// propagation queue of `capacity` jobs.
+    /// propagation queue of `capacity` jobs. Pool width comes from
+    /// `APAN_PROP_THREADS` (default 1).
     pub fn new(model: Apan, num_nodes: usize, capacity: usize) -> Self {
         let store = model.new_store(num_nodes);
         let graph = TemporalGraph::with_capacity(num_nodes, 1024);
@@ -295,73 +531,70 @@ impl ServingPipeline {
         graph: TemporalGraph,
         capacity: usize,
     ) -> Self {
+        Self::with_options(model, store, graph, capacity, 0)
+    }
+
+    /// [`ServingPipeline::with_state`] with an explicit propagation pool
+    /// width. `prop_threads == 0` defers to `APAN_PROP_THREADS`; any
+    /// width produces bit-identical serving state — parallelism changes
+    /// throughput, never results.
+    pub fn with_options(
+        model: Apan,
+        store: MailboxStore,
+        graph: TemporalGraph,
+        capacity: usize,
+        prop_threads: usize,
+    ) -> Self {
         assert_eq!(
             store.dim(),
             model.cfg.dim,
             "mailbox store width does not match model dimension"
         );
-        let store = Arc::new(RwLock::new(store));
+        let threads = match prop_threads {
+            0 => prop_threads_from_env(),
+            n => n.min(64),
+        };
+        let store = Arc::new(ShardedMailboxStore::from_flat(&store, shards_from_env()));
+        let gates = Arc::new(SeqGates::new(graph.max_time()));
         let graph = Arc::new(RwLock::new(graph));
         let (tx, rx) = bounded::<Job>(capacity.max(1));
         let pending = Arc::new(PendingJobs::new());
+        let stats = Arc::new(Mutex::new(PropStats::default()));
 
         let propagator: Propagator = model.propagator;
         let mail_content = model.cfg.mail_content;
-        let w_store = Arc::clone(&store);
-        let w_graph = Arc::clone(&graph);
-        let w_pending = Arc::clone(&pending);
-        let worker = std::thread::spawn(move || {
-            let mut stats = PropStats::default();
-            while let Ok(job) = rx.recv() {
-                match job {
-                    Job::Shutdown => break,
-                    Job::Propagate(job) => {
-                        // Malformed payloads must not abort the worker: the
-                        // job is dropped and counted, the link stays up.
-                        let (z, feats) =
-                            match (wire::decode_tensor(job.z_wire), wire::decode_tensor(job.feats_wire)) {
-                                (Ok(z), Ok(feats)) => (z, feats),
-                                _ => {
-                                    stats.decode_errors += 1;
-                                    w_pending.decrement();
-                                    continue;
-                                }
-                            };
-                        {
-                            let mut g = w_graph.write();
-                            for i in &job.interactions {
-                                g.insert(i.src, i.dst, i.time);
-                            }
-                        }
-                        let z_src = z.gather_rows(&job.src_rows);
-                        let z_dst = z.gather_rows(&job.dst_rows);
-                        let mails = make_mails_with(&z_src, &z_dst, &feats, mail_content);
-                        {
-                            let g = w_graph.read();
-                            let mut s = w_store.write();
-                            stats.deliveries += propagator.propagate_batch(
-                                &g,
-                                &mut s,
-                                &job.interactions,
-                                &mails,
-                                &mut stats.cost,
-                            );
-                        }
-                        stats.jobs += 1;
-                        w_pending.decrement();
-                    }
-                }
-            }
-            stats
-        });
+        let workers = (0..threads)
+            .map(|_| {
+                let rx = rx.clone();
+                let store = Arc::clone(&store);
+                let graph = Arc::clone(&graph);
+                let pending = Arc::clone(&pending);
+                let stats = Arc::clone(&stats);
+                let gates = Arc::clone(&gates);
+                std::thread::spawn(move || {
+                    propagation_worker(
+                        rx,
+                        store,
+                        graph,
+                        pending,
+                        stats,
+                        gates,
+                        propagator,
+                        mail_content,
+                    )
+                })
+            })
+            .collect();
 
         Self {
             model: Arc::new(model),
             store,
             graph,
             tx,
-            worker: Some(worker),
+            workers,
             pending,
+            stats,
+            next_seq: 0,
             rng: StdRng::seed_from_u64(0),
             clock: Clock::real(),
             sync_latency: LatencyRecorder::new(),
@@ -389,10 +622,10 @@ impl ServingPipeline {
         let now = interactions.last().map(|i| i.time).unwrap_or(0.0);
         let (unique, maps) = dedup_nodes(&[&src, &dst]);
 
+        let view = self.store.sync_view();
         let (z_val, scores) = {
-            let store = self.store.read();
             let mut fwd = Fwd::new(&self.model.params, false);
-            let enc = self.model.encode(&mut fwd, &store, &unique, now, &mut self.rng);
+            let enc = self.model.encode(&mut fwd, &view, &unique, now, &mut self.rng);
             let zi = fwd.g.gather_rows(enc.z, &maps[0]);
             let zj = fwd.g.gather_rows(enc.z, &maps[1]);
             let logits = self
@@ -408,19 +641,37 @@ impl ServingPipeline {
                 .collect();
             (fwd.g.value(enc.z).clone(), scores)
         };
-        self.store.write().set_embeddings(&unique, &z_val, now);
+        view.set_embeddings(&unique, &z_val, now);
+        drop(view);
         let sync_time = self.clock.now().saturating_sub(start);
         self.sync_latency.record(sync_time);
 
         // Asynchronous hand-off (not timed: the user already has scores).
+        // Only the embedding rows the mails reference cross the wire — the
+        // batch's endpoint rows, deduplicated and remapped — and none at
+        // all when the mail content ignores embeddings.
+        let mut used: Vec<usize> = maps[0].iter().chain(maps[1].iter()).copied().collect();
+        used.sort_unstable();
+        used.dedup();
+        let mut inv = vec![0usize; z_val.rows()];
+        for (i, &r) in used.iter().enumerate() {
+            inv[r] = i;
+        }
+        let z_wire = if matches!(self.model.cfg.mail_content, MailContent::FeatureOnly) {
+            bytes::Bytes::new()
+        } else {
+            wire::encode_tensor(&z_val.gather_rows(&used))
+        };
         self.pending.increment();
         let job = PropagateJob {
+            seq: self.next_seq,
             interactions: interactions.to_vec(),
-            src_rows: maps[0].clone(),
-            dst_rows: maps[1].clone(),
-            z_wire: wire::encode_tensor(&z_val),
+            src_rows: maps[0].iter().map(|&r| inv[r]).collect(),
+            dst_rows: maps[1].iter().map(|&r| inv[r]).collect(),
+            z_wire,
             feats_wire: wire::encode_tensor(feats),
         };
+        self.next_seq += 1;
         self.tx
             .send(Job::Propagate(Box::new(job)))
             .expect("propagation worker alive");
@@ -451,19 +702,21 @@ impl ServingPipeline {
         &self.model
     }
 
-    /// Flushes the asynchronous link and hands back consistent clones of
-    /// the serving state — the export half of snapshot/warm-restart. The
-    /// single flush is what makes the pair consistent: no mail is in
-    /// flight between the store and the graph when they are read.
+    /// Flushes the asynchronous link and hands back consistent flat
+    /// copies of the serving state — the export half of
+    /// snapshot/warm-restart. The single flush is what makes the pair
+    /// consistent: no mail is in flight between the store and the graph
+    /// when they are read. The flat store's snapshot bytes are identical
+    /// for every shard count.
     pub fn export_state(&self) -> (MailboxStore, TemporalGraph) {
         self.flush();
-        let store = self.store.read().clone();
+        let store = self.store.to_flat();
         let graph = self.graph.read().clone();
         (store, graph)
     }
 
-    /// Shared handle to the serving state (for inspection/tests).
-    pub fn store(&self) -> Arc<RwLock<MailboxStore>> {
+    /// Shared handle to the sharded serving state (for inspection/tests).
+    pub fn store(&self) -> Arc<ShardedMailboxStore> {
         Arc::clone(&self.store)
     }
 
@@ -472,22 +725,40 @@ impl ServingPipeline {
         Arc::clone(&self.graph)
     }
 
-    /// Stops the worker and returns its statistics.
+    /// Live counters for the propagation link (pool stats + queue depth),
+    /// detached from the pipeline's lifetime.
+    pub fn prop_link(&self) -> PropLink {
+        PropLink {
+            stats: Arc::clone(&self.stats),
+            pending: Arc::clone(&self.pending),
+        }
+    }
+
+    /// Width of the propagation pool.
+    pub fn prop_threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Stops the pool and returns its accumulated statistics.
     pub fn shutdown(mut self) -> PropStats {
         self.flush();
-        let _ = self.tx.send(Job::Shutdown);
-        self.worker
-            .take()
-            .expect("worker present")
-            .join()
-            .expect("worker did not panic")
+        for _ in 0..self.workers.len() {
+            let _ = self.tx.send(Job::Shutdown);
+        }
+        for worker in std::mem::take(&mut self.workers) {
+            let _ = worker.join();
+        }
+        *self.stats.lock()
     }
 }
 
 impl Drop for ServingPipeline {
     fn drop(&mut self) {
-        if let Some(worker) = self.worker.take() {
+        let workers = std::mem::take(&mut self.workers);
+        for _ in 0..workers.len() {
             let _ = self.tx.send(Job::Shutdown);
+        }
+        for worker in workers {
             let _ = worker.join();
         }
     }
@@ -631,5 +902,73 @@ mod tests {
         let (b, f) = batch(0);
         p.infer_batch(&b, &f);
         drop(p); // must not hang or panic
+    }
+
+    #[test]
+    fn pool_width_does_not_change_bits_when_flushed() {
+        // with a flush between batches the whole serving loop is
+        // deterministic; any pool width must reproduce it exactly
+        let run = |threads: usize| {
+            let m = model();
+            let store = m.new_store(8);
+            let graph = TemporalGraph::with_capacity(8, 1024);
+            let mut p = ServingPipeline::with_options(m, store, graph, 16, threads);
+            let mut bits = Vec::new();
+            for k in 0..6 {
+                let (b, f) = batch(k);
+                let r = p.infer_batch(&b, &f);
+                p.flush();
+                bits.push(r.scores.iter().map(|s| s.to_bits()).collect::<Vec<u32>>());
+            }
+            let (store, graph) = p.export_state();
+            let mut snap = Vec::new();
+            store.write_snapshot(&mut snap).unwrap();
+            (bits, snap, graph.num_events())
+        };
+        let base = run(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(run(threads), base, "pool width {threads} changed bits");
+        }
+    }
+
+    #[test]
+    fn pipelined_commits_are_deterministic_without_flush() {
+        // FeatureOnly mails depend only on the event stream, not on the
+        // (timing-sensitive) synchronous embeddings — so with jobs freely
+        // in flight, the final mailbox contents must still be identical
+        // for every pool width. This exercises the ticketed fast path.
+        let run = |threads: usize| {
+            let mut cfg = ApanConfig::new(8);
+            cfg.mailbox_slots = 4;
+            cfg.mlp_hidden = 16;
+            cfg.dropout = 0.0;
+            cfg.mail_content = MailContent::FeatureOnly;
+            let mut rng = StdRng::seed_from_u64(0);
+            let m = Apan::new(&cfg, &mut rng);
+            let store = m.new_store(8);
+            let graph = TemporalGraph::with_capacity(8, 1024);
+            let mut p = ServingPipeline::with_options(m, store, graph, 4, threads);
+            for k in 0..30 {
+                let (b, f) = batch(k);
+                p.infer_batch(&b, &f);
+            }
+            let stats_link = p.prop_link();
+            let (store, graph) = p.export_state();
+            let mails: Vec<_> = (0..store.num_nodes() as NodeId)
+                .map(|n| {
+                    store
+                        .mails_of(n)
+                        .into_iter()
+                        .map(|(m, t, o)| (m.iter().map(|v| v.to_bits()).collect::<Vec<u32>>(), t.to_bits(), o))
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            assert_eq!(stats_link.stats().jobs, 30);
+            (mails, graph.num_events())
+        };
+        let base = run(1);
+        for threads in [2, 8] {
+            assert_eq!(run(threads), base, "pool width {threads} changed mailbox bits");
+        }
     }
 }

@@ -11,13 +11,14 @@
 //! [`crate::pipeline`].
 
 use crate::config::{ApanConfig, MailReduce};
-use crate::mail::reduce_mails;
-use crate::mailbox::{MailboxStore, MailOrigin};
+use crate::mail::reduce_mails_slice;
+use crate::mailbox::{MailOrigin, MailboxStore};
+use crate::shard::ShardedMailboxStore;
+use apan_tensor::backend::pool::parallel_rows;
 use apan_tensor::Tensor;
 use apan_tgraph::cost::QueryCost;
-use apan_tgraph::sampling::{sample_khop, Strategy};
+use apan_tgraph::sampling::{sample_khop, sample_khop_targets, Strategy};
 use apan_tgraph::{EventId, NodeId, TemporalGraph, Time};
-use std::collections::HashMap;
 
 /// One interaction to propagate, with its already-computed mail row.
 #[derive(Clone, Copy, Debug)]
@@ -65,6 +66,10 @@ impl Propagator {
     /// only edges strictly before each interaction's time). Query work is
     /// accumulated into `cost`.
     ///
+    /// Equivalent to [`Propagator::plan_batch`] + [`DeliveryPlan::apply`];
+    /// callers on a hot loop should hold their own scratch/plan and call
+    /// those directly to reuse the buffers.
+    ///
     /// Returns the number of mailbox deliveries performed.
     pub fn propagate_batch(
         &self,
@@ -74,58 +79,296 @@ impl Propagator {
         mails: &Tensor,
         cost: &mut QueryCost,
     ) -> usize {
+        let mut scratch = PropScratch::default();
+        let mut plan = DeliveryPlan::default();
+        self.plan_batch(graph, batch, mails, cost, &mut scratch, &mut plan);
+        plan.apply(store)
+    }
+
+    /// Computes the full delivery set for a batch — every destination
+    /// node, its reduced payload, and its delivery time/origin — without
+    /// touching any mailbox. The graph is only *read*, so planning for
+    /// job `k+1` may overlap applying job `k` (the serving pipeline's
+    /// pipelining), and the per-interaction `sample_khop` fan-out runs on
+    /// the shared worker pool.
+    ///
+    /// ## Determinism
+    /// Bitwise identical to the historical serial path for any thread
+    /// count: (1) per-interaction sampling is an independent pure read,
+    /// collected into per-interaction slots and concatenated in batch
+    /// order; (2) per-interaction [`QueryCost`] is merged in batch order
+    /// (u64 sums — order-free anyway); (3) the `(node, row)` pair sort
+    /// reproduces exactly the sorted/deduped ascending row list the old
+    /// `HashMap` inbox produced per node, so every reduction consumes
+    /// the same rows in the same order; (4) each payload row is reduced
+    /// independently into a disjoint output row.
+    pub fn plan_batch(
+        &self,
+        graph: &TemporalGraph,
+        batch: &[Interaction],
+        mails: &Tensor,
+        cost: &mut QueryCost,
+        scratch: &mut PropScratch,
+        plan: &mut DeliveryPlan,
+    ) {
         assert_eq!(mails.rows(), batch.len(), "one mail row per interaction");
+        let b = batch.len();
 
-        // destination node -> mail row indices (in batch = time order)
-        let mut inbox: HashMap<NodeId, Vec<usize>> = HashMap::new();
-        // remember a representative (latest) interaction per destination
-        let mut meta: HashMap<NodeId, (Time, MailOrigin)> = HashMap::new();
+        // Phase 1: fan per-interaction target collection across the pool.
+        // Slot r of the scratch receives interaction r's targets in push
+        // order (src, dst if deliver_to_self, then k-hop level by level).
+        if scratch.per_inter_targets.len() < b {
+            scratch.per_inter_targets.resize_with(b, Vec::new);
+            scratch.per_inter_cost.resize(b, QueryCost::default());
+        }
+        for r in 0..b {
+            scratch.per_inter_targets[r].clear();
+            scratch.per_inter_cost[r] = QueryCost::default();
+        }
+        {
+            let targets_ptr = SendSlot(scratch.per_inter_targets.as_mut_ptr());
+            let cost_ptr = SendSlot(scratch.per_inter_cost.as_mut_ptr());
+            let me = *self;
+            parallel_rows(b, 1, &|start, end| {
+                for r in start..end {
+                    // SAFETY: row ranges from parallel_rows are disjoint,
+                    // so each slot index r is written by exactly one task.
+                    let targets = unsafe { targets_ptr.at(r) };
+                    let c = unsafe { cost_ptr.at(r) };
+                    me.collect_targets(graph, &batch[r], c, targets);
+                }
+            });
+        }
+        for c in &scratch.per_inter_cost[..b] {
+            *cost += *c;
+        }
 
-        for (row, inter) in batch.iter().enumerate() {
-            let origin = MailOrigin {
+        // Phase 2: sorted (node, row) pairs replace the HashMap inbox.
+        // After sort+dedup, each node's group is its ascending distinct
+        // row list — exactly what sort_unstable+dedup per node produced.
+        scratch.pairs.clear();
+        for (r, targets) in scratch.per_inter_targets[..b].iter().enumerate() {
+            for &node in targets {
+                scratch.pairs.push((node, r as u32));
+            }
+        }
+        scratch.pairs.sort_unstable();
+        scratch.pairs.dedup();
+
+        plan.nodes.clear();
+        plan.times.clear();
+        plan.origins.clear();
+        scratch.rows.clear();
+        scratch.groups.clear();
+        let mut i = 0;
+        while i < scratch.pairs.len() {
+            let node = scratch.pairs[i].0;
+            let start = scratch.rows.len();
+            while i < scratch.pairs.len() && scratch.pairs[i].0 == node {
+                scratch.rows.push(scratch.pairs[i].1 as usize);
+                i += 1;
+            }
+            scratch.groups.push((start as u32, scratch.rows.len() as u32));
+            plan.nodes.push(node);
+            // the delivery time/origin of the *latest* batch row that
+            // targeted this node — the old `meta` overwrite semantics
+            let inter = &batch[scratch.rows[scratch.rows.len() - 1]];
+            plan.times.push(inter.time);
+            plan.origins.push(MailOrigin {
                 src: inter.src,
                 dst: inter.dst,
                 eid: inter.eid,
-            };
-            let mut push = |node: NodeId| {
-                inbox.entry(node).or_default().push(row);
-                meta.insert(node, (inter.time, origin));
-            };
-            if self.deliver_to_self {
-                push(inter.src);
-                push(inter.dst);
-            }
-            let layers = sample_khop(
+            });
+        }
+
+        // Phase 3: reduce each node's rows into its disjoint payload row.
+        let d = mails.cols();
+        plan.dim = d;
+        plan.payload.clear();
+        plan.payload.resize(plan.nodes.len() * d, 0.0);
+        {
+            let payload_ptr = SendSlot(plan.payload.as_mut_ptr());
+            let groups = &scratch.groups;
+            let rows_flat = &scratch.rows;
+            let reduce = self.reduce;
+            parallel_rows(plan.nodes.len(), 8, &|start, end| {
+                for gi in start..end {
+                    let (gs, ge) = groups[gi];
+                    let rows = &rows_flat[gs as usize..ge as usize];
+                    // SAFETY: payload row gi is written by exactly one task.
+                    let out = unsafe { payload_ptr.slice(gi * d, d) };
+                    reduce_mails_slice(mails, rows, reduce, out);
+                }
+            });
+        }
+    }
+
+    /// Appends interaction `inter`'s delivery targets (push order: src,
+    /// dst if configured, then every k-hop sampled neighbour level by
+    /// level) and accounts its query cost.
+    fn collect_targets(
+        &self,
+        graph: &TemporalGraph,
+        inter: &Interaction,
+        cost: &mut QueryCost,
+        out: &mut Vec<NodeId>,
+    ) {
+        if self.deliver_to_self {
+            out.push(inter.src);
+            out.push(inter.dst);
+        }
+        let seeds = [inter.src, inter.dst];
+        match self.strategy {
+            Strategy::MostRecent => sample_khop_targets(
                 graph,
-                &[inter.src, inter.dst],
+                &seeds,
                 inter.time,
                 self.sampled_neighbors,
                 self.hops,
-                self.strategy,
-                None,
                 cost,
-            );
-            for layer in layers {
-                for edge in layer {
-                    push(edge.entry.neighbor);
+                out,
+            ),
+            // Uniform keeps the historical (rng-less) sample_khop path.
+            Strategy::Uniform => {
+                let layers = sample_khop(
+                    graph,
+                    &seeds,
+                    inter.time,
+                    self.sampled_neighbors,
+                    self.hops,
+                    self.strategy,
+                    None,
+                    cost,
+                );
+                for layer in layers {
+                    for edge in layer {
+                        out.push(edge.entry.neighbor);
+                    }
                 }
             }
         }
+    }
+}
 
-        // Deterministic delivery order (HashMap iteration is not).
-        let mut targets: Vec<NodeId> = inbox.keys().copied().collect();
-        targets.sort_unstable();
-        let mut deliveries = 0;
-        for node in targets {
-            let mut rows = inbox.remove(&node).expect("key present");
-            rows.sort_unstable();
-            rows.dedup();
-            let payload = reduce_mails(mails, &rows, self.reduce);
-            let (t, origin) = meta[&node];
-            store.deliver(node, &payload, t, origin);
-            deliveries += 1;
+/// Reusable buffers for [`Propagator::plan_batch`] — hold one per worker
+/// thread so repeated planning performs no steady-state allocation.
+#[derive(Default)]
+pub struct PropScratch {
+    /// Per-interaction target slots (slot r = interaction r's targets).
+    per_inter_targets: Vec<Vec<NodeId>>,
+    /// Per-interaction query-cost cells, merged in batch order.
+    per_inter_cost: Vec<QueryCost>,
+    /// Sorted, deduped `(destination, mail row)` pairs.
+    pairs: Vec<(NodeId, u32)>,
+    /// Row indices grouped per destination node (ascending within group).
+    rows: Vec<usize>,
+    /// `[start, end)` ranges into `rows`, one per destination.
+    groups: Vec<(u32, u32)>,
+}
+
+/// A computed delivery set: destinations (ascending), one reduced payload
+/// row each, and the delivery time/origin. Applying it is the only part
+/// of propagation that mutates the mailbox store.
+#[derive(Default)]
+pub struct DeliveryPlan {
+    dim: usize,
+    nodes: Vec<NodeId>,
+    payload: Vec<f32>, // [nodes.len() × dim]
+    times: Vec<Time>,
+    origins: Vec<MailOrigin>,
+}
+
+impl DeliveryPlan {
+    /// Number of deliveries the plan holds.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the plan delivers nothing.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Applies the plan to a flat store, destinations ascending — the
+    /// exact delivery sequence of the historical serial path.
+    pub fn apply(&self, store: &mut MailboxStore) -> usize {
+        for i in 0..self.nodes.len() {
+            store.deliver(
+                self.nodes[i],
+                &self.payload[i * self.dim..(i + 1) * self.dim],
+                self.times[i],
+                self.origins[i],
+            );
         }
-        deliveries
+        self.nodes.len()
+    }
+
+    /// Applies the plan to a sharded store, shards in parallel. Within a
+    /// shard destinations stay ascending; across shards the order is
+    /// free because per-node mailbox state is independent — the final
+    /// store state is identical to [`DeliveryPlan::apply`] on the
+    /// equivalent flat store.
+    pub fn apply_sharded(&self, store: &ShardedMailboxStore) -> usize {
+        // exclusive outer gate: no synchronous encode observes a
+        // half-applied commit (matching the old global write lock)
+        let _gate = store.commit_gate();
+        let s = store.num_shards();
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); s];
+        for (i, &node) in self.nodes.iter().enumerate() {
+            buckets[store.shard_of(node)].push(i);
+        }
+        parallel_rows(s, 1, &|start, end| {
+            for (shard, bucket) in buckets.iter().enumerate().take(end).skip(start) {
+                if bucket.is_empty() {
+                    continue;
+                }
+                let mut guard = store.lock_shard(shard);
+                for &i in bucket {
+                    guard.deliver(
+                        self.nodes[i],
+                        &self.payload[i * self.dim..(i + 1) * self.dim],
+                        self.times[i],
+                        self.origins[i],
+                    );
+                }
+            }
+        });
+        self.nodes.len()
+    }
+}
+
+/// A raw pointer to disjointly-indexed slots, passable to pool tasks.
+/// Methods take `self` so closures capture the whole (Sync) wrapper, not
+/// the bare pointer field.
+struct SendSlot<T>(*mut T);
+unsafe impl<T> Send for SendSlot<T> {}
+unsafe impl<T> Sync for SendSlot<T> {}
+
+// manual (derive would demand `T: Copy`; the pointee is never copied)
+impl<T> Clone for SendSlot<T> {
+    fn clone(&self) -> Self {
+        Self(self.0)
+    }
+}
+impl<T> Copy for SendSlot<T> {}
+
+impl<T> SendSlot<T> {
+    /// Slot `i`.
+    ///
+    /// # Safety
+    /// `i` must be in bounds and no other thread may touch slot `i`
+    /// while the reference lives.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn at(self, i: usize) -> &'static mut T {
+        &mut *self.0.add(i)
+    }
+
+    /// The contiguous slots `[start, start + len)`.
+    ///
+    /// # Safety
+    /// As [`SendSlot::at`], for the whole range.
+    unsafe fn slice(self, start: usize, len: usize) -> &'static mut [T] {
+        std::slice::from_raw_parts_mut(self.0.add(start), len)
     }
 }
 

@@ -1,0 +1,460 @@
+//! Sharded mailbox store for the parallel propagation link.
+//!
+//! [`ShardedMailboxStore`] splits node state across `S` independently
+//! locked [`MailboxStore`] shards by `node_id % S`, so concurrent
+//! deliveries to different shards never contend and the synchronous
+//! encoder read path only touches the shards its batch actually hits.
+//!
+//! The sharding is a pure layout transform: `to_flat` reconstructs a
+//! flat store byte-identical (snapshot format v2 included) to what the
+//! serial path would have produced, because per-node state is
+//! independent and shard-local growth mirrors `ensure_node` exactly —
+//! the reconstructed node count is `max(initial_n, max_touched_id + 1)`
+//! in both layouts.
+//!
+//! Lock discipline: multi-shard operations acquire shard mutexes in
+//! ascending shard order only, which rules out lock-order inversions
+//! between concurrent readers, the sync path's embedding writes, and
+//! the propagation pool's shard-parallel deliveries.
+
+use crate::mailbox::{MailOrigin, MailboxRead, MailboxStore, MailboxView};
+use apan_tensor::Tensor;
+use apan_tgraph::{NodeId, Time};
+use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Default shard count when `APAN_MAILBOX_SHARDS` is unset.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// Resolves the shard count: `APAN_MAILBOX_SHARDS` if set (clamped to
+/// ≥ 1), else [`DEFAULT_SHARDS`].
+pub fn shards_from_env() -> usize {
+    std::env::var("APAN_MAILBOX_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&s| s >= 1)
+        .unwrap_or(DEFAULT_SHARDS)
+}
+
+/// A mailbox store split into independently locked shards by
+/// `node_id % num_shards`; node `g` lives at local index `g / S` of
+/// shard `g % S`.
+///
+/// Besides the per-shard mutexes there is an outer `sync_gate`: the
+/// synchronous inference path holds it *shared* for the span of one
+/// encode ([`Self::sync_view`]) while propagation commits hold it
+/// *exclusive* — so an encode's `read_batch` + `embedding_batch` pair
+/// observes a single consistent store state, exactly as the old global
+/// `RwLock<MailboxStore>` guaranteed, without serializing concurrent
+/// encodes against each other.
+pub struct ShardedMailboxStore {
+    sync_gate: RwLock<()>,
+    shards: Vec<Mutex<MailboxStore>>,
+    dim: usize,
+    slots: usize,
+}
+
+impl ShardedMailboxStore {
+    /// Scatters a flat store into `num_shards` shards. The flat store's
+    /// state is preserved exactly ([`Self::to_flat`] round-trips it).
+    pub fn from_flat(flat: &MailboxStore, num_shards: usize) -> Self {
+        assert!(num_shards >= 1, "need at least one shard");
+        let (slots, dim, update) = (flat.slots(), flat.dim(), flat.update_mode());
+        let n = flat.num_nodes();
+        let shards = (0..num_shards)
+            .map(|s| {
+                // nodes g with g % S == s and g < n
+                let local_n = (n + num_shards - 1 - s) / num_shards;
+                let mut sub = MailboxStore::new(local_n, slots, dim, update);
+                for local in 0..local_n {
+                    sub.copy_node_from(local, flat, local * num_shards + s);
+                }
+                Mutex::new(sub)
+            })
+            .collect();
+        Self {
+            sync_gate: RwLock::new(()),
+            shards,
+            dim,
+            slots,
+        }
+    }
+
+    /// Opens a consistent view for one synchronous inference: holds the
+    /// outer gate shared, excluding propagation commits (which hold it
+    /// exclusive) but not other concurrent inferences.
+    pub fn sync_view(&self) -> SyncGuard<'_> {
+        SyncGuard {
+            _gate: self.sync_gate.read(),
+            store: self,
+        }
+    }
+
+    /// Takes the outer gate exclusively for a propagation commit.
+    pub(crate) fn commit_gate(&self) -> RwLockWriteGuard<'_, ()> {
+        self.sync_gate.write()
+    }
+
+    /// Gathers the shards back into one flat store, byte-identical to
+    /// what the serial (unsharded) path would hold: the node count is
+    /// the maximum id any shard grew to cover, plus the initial sizing.
+    pub fn to_flat(&self) -> MailboxStore {
+        let _gate = self.sync_gate.read();
+        let guards = self.lock_all();
+        let s = self.shards.len();
+        let n = guards
+            .iter()
+            .enumerate()
+            .map(|(i, g)| match g.num_nodes() {
+                0 => 0,
+                l => (l - 1) * s + i + 1,
+            })
+            .max()
+            .unwrap_or(0);
+        let update = guards[0].update_mode();
+        let mut flat = MailboxStore::new(n, self.slots, self.dim, update);
+        for (i, g) in guards.iter().enumerate() {
+            for local in 0..g.num_nodes() {
+                flat.copy_node_from(local * s + i, g, local);
+            }
+        }
+        flat
+    }
+
+    /// Mail dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Slots per mailbox.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard holding `node`.
+    #[inline]
+    pub fn shard_of(&self, node: NodeId) -> usize {
+        node as usize % self.shards.len()
+    }
+
+    /// Locks shard `s` for delivery. The guard translates global node
+    /// ids, so callers never handle shard-local indices.
+    pub fn lock_shard(&self, s: usize) -> ShardGuard<'_> {
+        ShardGuard {
+            guard: self.shards[s].lock(),
+            shard: s,
+            num_shards: self.shards.len(),
+        }
+    }
+
+    fn lock_all(&self) -> Vec<MutexGuard<'_, MailboxStore>> {
+        // ascending shard order — the global lock discipline
+        self.shards.iter().map(|m| m.lock()).collect()
+    }
+
+    /// Locks every shard (ascending) for a consistent multi-node read —
+    /// the inspection/debug path, not the hot path. Also holds the
+    /// outer gate shared so no commit is mid-flight.
+    pub fn read(&self) -> StoreReadGuard<'_> {
+        StoreReadGuard {
+            _gate: self.sync_gate.read(),
+            guards: self.lock_all(),
+        }
+    }
+
+    /// Builds the batched attention view for `nodes` as of `now`,
+    /// acquiring only the shards the batch touches, in ascending shard
+    /// order, one at a time. Bitwise identical to the flat
+    /// [`MailboxStore::read_batch`] on equal logical state.
+    pub fn read_batch(&self, nodes: &[NodeId], now: Time) -> MailboxView {
+        let b = nodes.len();
+        let s = self.shards.len();
+        let mut mails = Tensor::zeros(b * self.slots, self.dim);
+        let mut lens = vec![0usize; b];
+        let mut ages = vec![0.0f32; b * self.slots];
+        let mut todo: Vec<bool> = vec![false; s];
+        for &node in nodes {
+            todo[node as usize % s] = true;
+        }
+        for (shard, _) in todo.iter().enumerate().filter(|(_, &t)| t) {
+            let sub = self.shards[shard].lock();
+            for (bi, &node) in nodes.iter().enumerate() {
+                if node as usize % s == shard {
+                    let local = node / s as NodeId;
+                    lens[bi] = sub.read_mailbox_into(local, now, bi, &mut mails, &mut ages);
+                }
+            }
+        }
+        MailboxView { mails, lens, ages }
+    }
+
+    /// Gathers `z(t−)` for a batch into a `[B × d]` matrix (zeros for
+    /// nodes a shard has not grown to yet), matching the flat store.
+    pub fn embedding_batch(&self, nodes: &[NodeId]) -> Tensor {
+        let s = self.shards.len();
+        let mut out = Tensor::zeros(nodes.len(), self.dim);
+        let mut todo: Vec<bool> = vec![false; s];
+        for &node in nodes {
+            todo[node as usize % s] = true;
+        }
+        for (shard, _) in todo.iter().enumerate().filter(|(_, &t)| t) {
+            let sub = self.shards[shard].lock();
+            for (bi, &node) in nodes.iter().enumerate() {
+                if node as usize % s == shard {
+                    let local = (node as usize / s) as NodeId;
+                    if (local as usize) < sub.num_nodes() {
+                        out.row_slice_mut(bi).copy_from_slice(sub.embedding(local));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Stores new embeddings for `nodes` (rows of `z`) at time `t`,
+    /// locking each touched shard once, in ascending order.
+    pub fn set_embeddings(&self, nodes: &[NodeId], z: &Tensor, t: Time) {
+        assert_eq!(z.rows(), nodes.len(), "row count mismatch");
+        assert_eq!(z.cols(), self.dim, "embedding width mismatch");
+        let s = self.shards.len();
+        let mut todo: Vec<bool> = vec![false; s];
+        for &node in nodes {
+            todo[node as usize % s] = true;
+        }
+        for (shard, _) in todo.iter().enumerate().filter(|(_, &t)| t) {
+            let mut sub = self.shards[shard].lock();
+            for (bi, &node) in nodes.iter().enumerate() {
+                if node as usize % s == shard {
+                    sub.set_embedding(node / s as NodeId, z.row_slice(bi), t);
+                }
+            }
+        }
+    }
+}
+
+impl MailboxRead for ShardedMailboxStore {
+    fn read_batch(&self, nodes: &[NodeId], now: Time) -> MailboxView {
+        ShardedMailboxStore::read_batch(self, nodes, now)
+    }
+
+    fn embedding_batch(&self, nodes: &[NodeId]) -> Tensor {
+        ShardedMailboxStore::embedding_batch(self, nodes)
+    }
+}
+
+/// A consistent view for one synchronous inference: reads and the
+/// embedding write-back all observe the same store state with respect
+/// to propagation commits.
+pub struct SyncGuard<'a> {
+    _gate: RwLockReadGuard<'a, ()>,
+    store: &'a ShardedMailboxStore,
+}
+
+impl SyncGuard<'_> {
+    /// See [`ShardedMailboxStore::read_batch`].
+    pub fn read_batch(&self, nodes: &[NodeId], now: Time) -> MailboxView {
+        self.store.read_batch(nodes, now)
+    }
+
+    /// See [`ShardedMailboxStore::embedding_batch`].
+    pub fn embedding_batch(&self, nodes: &[NodeId]) -> Tensor {
+        self.store.embedding_batch(nodes)
+    }
+
+    /// See [`ShardedMailboxStore::set_embeddings`]. Safe under the
+    /// shared gate: per-shard mutexes order concurrent writers.
+    pub fn set_embeddings(&self, nodes: &[NodeId], z: &Tensor, t: Time) {
+        self.store.set_embeddings(nodes, z, t);
+    }
+}
+
+impl MailboxRead for SyncGuard<'_> {
+    fn read_batch(&self, nodes: &[NodeId], now: Time) -> MailboxView {
+        SyncGuard::read_batch(self, nodes, now)
+    }
+
+    fn embedding_batch(&self, nodes: &[NodeId]) -> Tensor {
+        SyncGuard::embedding_batch(self, nodes)
+    }
+}
+
+/// One locked shard, addressed by global node id.
+pub struct ShardGuard<'a> {
+    guard: MutexGuard<'a, MailboxStore>,
+    shard: usize,
+    num_shards: usize,
+}
+
+impl ShardGuard<'_> {
+    /// Delivers one reduced mail to `node` (which must map to this
+    /// shard) — same semantics as [`MailboxStore::deliver`].
+    pub fn deliver(&mut self, node: NodeId, mail: &[f32], t: Time, origin: MailOrigin) {
+        debug_assert_eq!(node as usize % self.num_shards, self.shard);
+        self.guard
+            .deliver(node / self.num_shards as NodeId, mail, t, origin);
+    }
+}
+
+/// All shards locked for a consistent read, addressed by global ids.
+pub struct StoreReadGuard<'a> {
+    _gate: RwLockReadGuard<'a, ()>,
+    guards: Vec<MutexGuard<'a, MailboxStore>>,
+}
+
+impl StoreReadGuard<'_> {
+    fn locate(&self, node: NodeId) -> (usize, NodeId) {
+        let s = self.guards.len();
+        (node as usize % s, node / s as NodeId)
+    }
+
+    /// Number of valid mails in `node`'s mailbox (0 if never grown).
+    pub fn len(&self, node: NodeId) -> usize {
+        let (shard, local) = self.locate(node);
+        let g = &self.guards[shard];
+        if (local as usize) < g.num_nodes() {
+            g.len(local)
+        } else {
+            0
+        }
+    }
+
+    /// Whether `node`'s mailbox holds no mail.
+    pub fn is_empty(&self, node: NodeId) -> bool {
+        self.len(node) == 0
+    }
+
+    /// The mails of `node`, oldest first.
+    pub fn mails_of(&self, node: NodeId) -> Vec<(&[f32], Time, MailOrigin)> {
+        let (shard, local) = self.locate(node);
+        let g = &self.guards[shard];
+        if (local as usize) < g.num_nodes() {
+            g.mails_of(local)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Node count the equivalent flat store would report.
+    pub fn num_nodes(&self) -> usize {
+        let s = self.guards.len();
+        self.guards
+            .iter()
+            .enumerate()
+            .map(|(i, g)| match g.num_nodes() {
+                0 => 0,
+                l => (l - 1) * s + i + 1,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// When `node` last received a new embedding (0 if never grown).
+    pub fn last_update(&self, node: NodeId) -> Time {
+        let (shard, local) = self.locate(node);
+        let g = &self.guards[shard];
+        if (local as usize) < g.num_nodes() {
+            g.last_update(local)
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MailboxUpdate;
+
+    fn seeded_flat(nodes: usize) -> MailboxStore {
+        let mut s = MailboxStore::new(nodes, 3, 4, MailboxUpdate::Fifo);
+        for t in 0..40u32 {
+            let node = (t * 7 + 3) % 23; // touches ids past `nodes` → growth
+            s.deliver(
+                node,
+                &[t as f32, -1.0, 0.5 * t as f32, 2.0],
+                t as f64,
+                MailOrigin {
+                    src: node,
+                    dst: node + 1,
+                    eid: t,
+                },
+            );
+        }
+        let z = Tensor::from_rows(&[&[9.0, 8.0, 7.0, 6.0]]);
+        s.set_embeddings(&[11], &z, 40.0);
+        s
+    }
+
+    fn snapshot_bytes(s: &MailboxStore) -> Vec<u8> {
+        let mut buf = Vec::new();
+        s.write_snapshot(&mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn flat_round_trip_is_bitwise_for_every_shard_count() {
+        let flat = seeded_flat(8);
+        let want = snapshot_bytes(&flat);
+        for shards in [1, 2, 3, 7, 16, 64] {
+            let sharded = ShardedMailboxStore::from_flat(&flat, shards);
+            let back = sharded.to_flat();
+            assert_eq!(snapshot_bytes(&back), want, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn sharded_growth_matches_flat_growth() {
+        // deliveries through shards must reconstruct the same node count
+        // the flat store would have grown to
+        let mut flat = MailboxStore::new(4, 2, 2, MailboxUpdate::Fifo);
+        let sharded = ShardedMailboxStore::from_flat(&flat, 5);
+        for (node, t) in [(2u32, 1.0f64), (17, 2.0), (9, 3.0), (30, 4.0)] {
+            let mail = [t as f32, 0.0];
+            flat.deliver(node, &mail, t, MailOrigin::default());
+            sharded
+                .lock_shard(sharded.shard_of(node))
+                .deliver(node, &mail, t, MailOrigin::default());
+        }
+        assert_eq!(snapshot_bytes(&sharded.to_flat()), snapshot_bytes(&flat));
+        assert_eq!(sharded.read().num_nodes(), flat.num_nodes());
+    }
+
+    #[test]
+    fn read_paths_match_flat() {
+        let flat = seeded_flat(8);
+        let sharded = ShardedMailboxStore::from_flat(&flat, 4);
+        let nodes: Vec<NodeId> = vec![3, 100, 11, 0, 22, 3];
+        let a = flat.read_batch(&nodes, 50.0);
+        let b = ShardedMailboxStore::read_batch(&sharded, &nodes, 50.0);
+        assert_eq!(a.lens, b.lens);
+        assert_eq!(a.mails.data(), b.mails.data());
+        assert_eq!(a.ages, b.ages);
+        let za = flat.embedding_batch(&nodes);
+        let zb = ShardedMailboxStore::embedding_batch(&sharded, &nodes);
+        assert_eq!(za.data(), zb.data());
+        let guard = sharded.read();
+        for &n in &nodes {
+            assert_eq!(guard.len(n), flat.read_batch(&[n], 0.0).lens[0]);
+        }
+    }
+
+    #[test]
+    fn set_embeddings_matches_flat() {
+        let mut flat = seeded_flat(8);
+        let sharded = ShardedMailboxStore::from_flat(&flat, 3);
+        let nodes: Vec<NodeId> = vec![1, 40, 7];
+        let z = Tensor::from_rows(&[&[1.0, 2.0, 3.0, 4.0], &[5.0; 4], &[-1.0; 4]]);
+        flat.set_embeddings(&nodes, &z, 99.0);
+        sharded.set_embeddings(&nodes, &z, 99.0);
+        assert_eq!(snapshot_bytes(&sharded.to_flat()), snapshot_bytes(&flat));
+    }
+
+    #[test]
+    fn env_shard_resolution_clamps() {
+        assert!(shards_from_env() >= 1);
+    }
+}

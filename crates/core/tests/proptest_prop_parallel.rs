@@ -1,0 +1,179 @@
+//! Property-based equivalence of the parallel sharded propagation link.
+//!
+//! The reference model is the historical serial `propagate_batch` —
+//! HashMap inbox, per-node sort+dedup, ascending delivery — frozen here
+//! verbatim. For arbitrary graphs, batches, reducers, update modes,
+//! shard counts, and worker-pool widths, the rewritten planner plus both
+//! apply paths (flat serial, sharded parallel) must produce **bitwise
+//! identical** mailbox snapshots and identical query-cost accounting.
+
+use apan_core::config::{MailReduce, MailboxUpdate};
+use apan_core::mail::reduce_mails;
+use apan_core::mailbox::{MailOrigin, MailboxStore};
+use apan_core::propagator::{DeliveryPlan, Interaction, PropScratch, Propagator};
+use apan_core::shard::ShardedMailboxStore;
+use apan_tensor::backend::pool::set_num_threads;
+use apan_tensor::Tensor;
+use apan_tgraph::cost::QueryCost;
+use apan_tgraph::sampling::{sample_khop, Strategy as SampleStrategy};
+use apan_tgraph::{NodeId, TemporalGraph, Time};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// The pre-parallel serial propagator, kept as the differential oracle.
+fn reference_propagate(
+    p: &Propagator,
+    graph: &TemporalGraph,
+    store: &mut MailboxStore,
+    batch: &[Interaction],
+    mails: &Tensor,
+    cost: &mut QueryCost,
+) -> usize {
+    assert_eq!(mails.rows(), batch.len());
+    let mut inbox: HashMap<NodeId, Vec<usize>> = HashMap::new();
+    let mut meta: HashMap<NodeId, (Time, MailOrigin)> = HashMap::new();
+    for (row, inter) in batch.iter().enumerate() {
+        let origin = MailOrigin {
+            src: inter.src,
+            dst: inter.dst,
+            eid: inter.eid,
+        };
+        let mut push = |node: NodeId| {
+            inbox.entry(node).or_default().push(row);
+            meta.insert(node, (inter.time, origin));
+        };
+        if p.deliver_to_self {
+            push(inter.src);
+            push(inter.dst);
+        }
+        let layers = sample_khop(
+            graph,
+            &[inter.src, inter.dst],
+            inter.time,
+            p.sampled_neighbors,
+            p.hops,
+            p.strategy,
+            None,
+            cost,
+        );
+        for layer in layers {
+            for edge in layer {
+                push(edge.entry.neighbor);
+            }
+        }
+    }
+    let mut targets: Vec<NodeId> = inbox.keys().copied().collect();
+    targets.sort_unstable();
+    let mut deliveries = 0;
+    for node in targets {
+        let mut rows = inbox.remove(&node).expect("key present");
+        rows.sort_unstable();
+        rows.dedup();
+        let payload = reduce_mails(mails, &rows, p.reduce);
+        let (t, origin) = meta[&node];
+        store.deliver(node, &payload, t, origin);
+        deliveries += 1;
+    }
+    deliveries
+}
+
+fn snapshot_bytes(store: &MailboxStore) -> Vec<u8> {
+    let mut out = Vec::new();
+    store.write_snapshot(&mut out).expect("snapshot to memory");
+    out
+}
+
+const NODES: u32 = 10;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sharded_parallel_propagation_is_bitwise_serial(
+        history in proptest::collection::vec((0u32..NODES, 0u32..NODES, 0.0f64..1.0), 0..24),
+        raw_batch in proptest::collection::vec((0u32..NODES, 0u32..NODES, 0.0f64..1.0), 0..6),
+        mail_vals in proptest::collection::vec(-8.0f32..8.0, 24usize..25),
+        dim in 1usize..4,
+        slots in 1usize..4,
+        sampled in 0usize..4,
+        hops in 0usize..3,
+        self_flag in 0u8..2,
+        reduce_sel in 0u8..3,
+        update_sel in 0u8..3,
+        threads in 1usize..5,
+    ) {
+        // worker-pool width under test; the pool is process-global, and
+        // every case (and both apply paths within it) must agree bitwise
+        set_num_threads(threads);
+
+        // time-monotone event history, then the batch strictly after it
+        let mut graph = TemporalGraph::new();
+        let mut t = 0.0f64;
+        for (src, dst, dt) in &history {
+            t += dt + 1e-3;
+            graph.insert(*src, *dst, t);
+        }
+        let batch: Vec<Interaction> = raw_batch
+            .iter()
+            .enumerate()
+            .map(|(i, (src, dst, dt))| {
+                t += dt + 1e-3;
+                Interaction { src: *src, dst: *dst, time: t, eid: i as u32 }
+            })
+            .collect();
+        let mails = Tensor::from_vec(
+            batch.len(),
+            dim,
+            (0..batch.len() * dim).map(|i| mail_vals[i % mail_vals.len()]).collect(),
+        );
+
+        let prop = Propagator {
+            sampled_neighbors: sampled,
+            hops,
+            deliver_to_self: self_flag == 1,
+            reduce: match reduce_sel { 0 => MailReduce::Last, 1 => MailReduce::Sum, _ => MailReduce::Mean },
+            strategy: SampleStrategy::MostRecent,
+        };
+        let update = match update_sel {
+            0 => MailboxUpdate::Fifo,
+            1 => MailboxUpdate::Overwrite,
+            _ => MailboxUpdate::ContentAddressed,
+        };
+
+        // 1. frozen serial reference
+        let mut ref_store = MailboxStore::new(NODES as usize, slots, dim, update);
+        let mut ref_cost = QueryCost::new();
+        let ref_deliveries =
+            reference_propagate(&prop, &graph, &mut ref_store, &batch, &mails, &mut ref_cost);
+        let ref_snap = snapshot_bytes(&ref_store);
+
+        // 2. rewritten planner + flat serial apply
+        let mut flat_store = MailboxStore::new(NODES as usize, slots, dim, update);
+        let mut flat_cost = QueryCost::new();
+        let flat_deliveries =
+            prop.propagate_batch(&graph, &mut flat_store, &batch, &mails, &mut flat_cost);
+        prop_assert_eq!(flat_deliveries, ref_deliveries);
+        prop_assert_eq!(flat_cost, ref_cost);
+        prop_assert_eq!(snapshot_bytes(&flat_store), ref_snap.clone());
+
+        // 3. sharded parallel apply, at several shard counts
+        for shards in [1usize, 2, 4, 8] {
+            let empty = MailboxStore::new(NODES as usize, slots, dim, update);
+            let sharded = ShardedMailboxStore::from_flat(&empty, shards);
+            let mut cost = QueryCost::new();
+            let mut scratch = PropScratch::default();
+            let mut plan = DeliveryPlan::default();
+            prop.plan_batch(&graph, &batch, &mails, &mut cost, &mut scratch, &mut plan);
+            let deliveries = plan.apply_sharded(&sharded);
+            prop_assert_eq!(deliveries, ref_deliveries);
+            prop_assert_eq!(cost, ref_cost);
+            prop_assert_eq!(
+                snapshot_bytes(&sharded.to_flat()),
+                ref_snap.clone(),
+                "shards={} threads={}",
+                shards,
+                threads
+            );
+        }
+    }
+}

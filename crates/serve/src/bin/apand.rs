@@ -59,6 +59,7 @@ struct Args {
     snapshot_every_s: Option<u64>,
     seed: u64,
     infer_delay_us: u64,
+    prop_threads: usize,
 }
 
 impl Default for Args {
@@ -77,13 +78,15 @@ impl Default for Args {
             snapshot_every_s: None,
             seed: 42,
             infer_delay_us: 0,
+            prop_threads: 0,
         }
     }
 }
 
 const USAGE: &str = "usage: apand [--port N] [--dim N] [--slots N] [--nodes N] [--max-node N]
              [--capacity N] [--max-batch N] [--deadline-us N] [--high-water N]
-             [--snapshot PATH] [--snapshot-every-s N] [--seed N] [--infer-delay-us N]";
+             [--snapshot PATH] [--snapshot-every-s N] [--seed N] [--infer-delay-us N]
+             [--prop-threads N]   (0 = APAN_PROP_THREADS, default 1)";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
@@ -113,6 +116,7 @@ fn parse_args() -> Result<Args, String> {
             "--snapshot-every-s" => args.snapshot_every_s = Some(num(&value)?),
             "--seed" => args.seed = num(&value)?,
             "--infer-delay-us" => args.infer_delay_us = num(&value)?,
+            "--prop-threads" => args.prop_threads = num(&value)? as usize,
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
     }
@@ -147,6 +151,7 @@ fn main() {
         snapshot_path: args.snapshot,
         snapshot_every: args.snapshot_every_s.map(Duration::from_secs),
         infer_delay: Duration::from_micros(args.infer_delay_us),
+        prop_threads: args.prop_threads,
         ..ServeConfig::default()
     };
 

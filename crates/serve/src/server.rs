@@ -29,8 +29,9 @@ use crate::batcher::{
 use crate::proto::{self, reply, verb, Frame, ProtoError};
 use crate::snapshot;
 use apan_core::model::Apan;
-use apan_core::pipeline::ServingPipeline;
+use apan_core::pipeline::{PropLink, ServingPipeline};
 use apan_metrics::{Clock, LatencyRecorder};
+use apan_tgraph::TemporalGraph;
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -65,6 +66,10 @@ pub struct ServeConfig {
     pub max_node: u32,
     /// Propagation-channel capacity (backpressure on the async link).
     pub capacity: usize,
+    /// Propagation pool width; `0` defers to `APAN_PROP_THREADS`
+    /// (default 1). Any width serves bit-identical state — the pool
+    /// changes throughput, never results.
+    pub prop_threads: usize,
     /// Micro-batch closing policy.
     pub policy: BatchPolicy,
     /// Admission-control high-water mark (pending inference requests).
@@ -96,6 +101,7 @@ impl Default for ServeConfig {
             num_nodes: 1024,
             max_node: 1 << 20,
             capacity: 256,
+            prop_threads: 0,
             policy: BatchPolicy::default(),
             high_water: 1024,
             snapshot_path: None,
@@ -204,6 +210,11 @@ struct Shared {
     cfg: ServeConfig,
     dim: usize,
     mailbox_slots: usize,
+    /// Live counters of the propagation pool, valid after the pipeline
+    /// moves into the batcher thread.
+    prop: PropLink,
+    /// Daemon boot instant on the daemon clock (for deliveries/sec).
+    started: Duration,
 }
 
 impl Shared {
@@ -212,10 +223,21 @@ impl Shared {
         let latency = self.stats.latency.lock().unwrap().summary();
         let hist = *self.stats.batch_hist.lock().unwrap();
         let hist_json: Vec<String> = hist.iter().map(|c| c.to_string()).collect();
+        let prop = self.prop.stats();
+        // guard against a zero (or virtual, non-advancing) clock: the
+        // rate must be a finite JSON number, never inf/NaN
+        let elapsed = self.cfg.clock.now().saturating_sub(self.started).as_secs_f64();
+        let rate = if elapsed > 0.0 {
+            prop.deliveries as f64 / elapsed
+        } else {
+            0.0
+        };
         format!(
             "{{\"latency\":{},\"queue_depth\":{},\"shed\":{},\"clamped\":{},\"watermark\":{:.6},\
              \"batches\":{},\"requests\":{},\"interactions\":{},\"batch_hist\":[{}],\
-             \"batch_max\":{},\"snapshots\":{},\"snapshot_failures\":{}}}",
+             \"batch_max\":{},\"snapshots\":{},\"snapshot_failures\":{},\
+             \"prop_pending\":{},\"prop_jobs\":{},\"prop_deliveries\":{},\
+             \"prop_deliveries_per_sec\":{:.6},\"prop_decode_errors\":{}}}",
             latency.to_json(),
             q.depth,
             q.shed,
@@ -228,6 +250,11 @@ impl Shared {
             self.stats.batch_max.load(Ordering::Relaxed),
             self.stats.snapshots.load(Ordering::Relaxed),
             self.stats.snapshot_failures.load(Ordering::Relaxed),
+            self.prop.pending(),
+            prop.jobs,
+            prop.deliveries,
+            rate,
+            prop.decode_errors,
         )
     }
 
@@ -320,9 +347,13 @@ pub fn start(mut model: Apan, cfg: ServeConfig) -> Result<ServerHandle, StartErr
                 store.num_nodes(),
                 graph.num_events()
             );
-            ServingPipeline::with_state(model, store, graph, cfg.capacity)
+            ServingPipeline::with_options(model, store, graph, cfg.capacity, cfg.prop_threads)
         }
-        _ => ServingPipeline::new(model, cfg.num_nodes, cfg.capacity),
+        _ => {
+            let store = model.new_store(cfg.num_nodes);
+            let graph = TemporalGraph::with_capacity(cfg.num_nodes, 1024);
+            ServingPipeline::with_options(model, store, graph, cfg.capacity, cfg.prop_threads)
+        }
     };
     // sync-path latency stamps run on the daemon clock too
     pipeline.set_clock(cfg.clock.clone());
@@ -340,6 +371,8 @@ pub fn start(mut model: Apan, cfg: ServeConfig) -> Result<ServerHandle, StartErr
     let tick_cv = Arc::new(Condvar::new());
     // a virtual clock must wake the tick thread when time advances
     cfg.clock.register_waker(Arc::clone(&tick_cv));
+    let prop = pipeline.prop_link();
+    let started = cfg.clock.now();
     let shared = Arc::new(Shared {
         queue: IngressQueue::with_clock(cfg.high_water, watermark, cfg.clock.clone()),
         stats: ServeStats::default(),
@@ -352,6 +385,8 @@ pub fn start(mut model: Apan, cfg: ServeConfig) -> Result<ServerHandle, StartErr
         tick_cv,
         dim: pipeline.model().cfg.dim,
         mailbox_slots: pipeline.model().cfg.mailbox_slots,
+        prop,
+        started,
         cfg,
     });
 
@@ -515,7 +550,7 @@ fn batcher_loop(mut pipeline: ServingPipeline, shared: &Shared) {
     shared.running.store(false, Ordering::SeqCst);
     let stats = pipeline.shutdown();
     eprintln!(
-        "apan-serve: propagation worker retired ({} jobs, {} deliveries)",
+        "apan-serve: propagation pool retired ({} jobs, {} deliveries)",
         stats.jobs, stats.deliveries
     );
 }

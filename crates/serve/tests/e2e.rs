@@ -339,6 +339,42 @@ fn concurrent_clients_are_all_served() {
 }
 
 #[test]
+fn stats_expose_propagation_link_health() {
+    const REQS: usize = 10;
+    let handle = apan_serve::start(model(9), ServeConfig::default()).expect("start");
+    let addr = handle.addr();
+
+    let mut client = Client::connect(addr).expect("connect");
+    for k in 0..REQS {
+        let (interactions, feats) = request(k);
+        client.infer(&interactions, &feats).expect("infer");
+    }
+    // FLUSH drains the propagation link, so pending must read zero after.
+    client.flush().expect("flush");
+
+    let stats = client.stats().expect("stats");
+    let jobs = json_u64_field(&stats, "prop_jobs").expect("prop_jobs in STATS");
+    assert_eq!(jobs, REQS as u64, "one propagation job per batch: {stats}");
+    let deliveries =
+        json_u64_field(&stats, "prop_deliveries").expect("prop_deliveries in STATS");
+    assert!(deliveries > 0, "deliveries must accumulate: {stats}");
+    assert_eq!(
+        json_u64_field(&stats, "prop_pending"),
+        Some(0),
+        "FLUSH must leave no pending jobs: {stats}"
+    );
+    assert_eq!(
+        json_u64_field(&stats, "prop_decode_errors"),
+        Some(0),
+        "well-formed traffic must not count decode errors: {stats}"
+    );
+    let rate = json_f64_field(&stats, "prop_deliveries_per_sec")
+        .expect("prop_deliveries_per_sec in STATS");
+    assert!(rate.is_finite() && rate >= 0.0, "rate must be a finite gauge: {stats}");
+    handle.shutdown();
+}
+
+#[test]
 fn daemon_survives_malformed_and_oversized_frames() {
     let handle = apan_serve::start(model(1), ServeConfig::default()).expect("start");
     let addr = handle.addr();

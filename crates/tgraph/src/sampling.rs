@@ -137,6 +137,57 @@ pub fn sample_khop(
     layers
 }
 
+/// Allocation-light k-hop expansion for mail *delivery*: appends every
+/// sampled neighbour id (all hop levels, duplicates included, in the
+/// same order [`sample_khop`] flattens to) onto `out`, using `out`
+/// itself as the frontier between hops — no per-hop or per-query
+/// allocation.
+///
+/// Restricted to [`Strategy::MostRecent`] (APAN's delivery strategy),
+/// which needs no rng, so the call is reentrant: the propagation pool
+/// fans these out across threads against a read-locked graph.
+/// `QueryCost` accounting is identical to `sample_khop`, so per-call
+/// costs merged across a batch sum to exactly the serial totals.
+pub fn sample_khop_targets(
+    graph: &TemporalGraph,
+    seeds: &[NodeId],
+    t: Time,
+    n_per_hop: usize,
+    hops: usize,
+    cost: &mut QueryCost,
+    out: &mut Vec<NodeId>,
+) {
+    let mut prev_start = out.len();
+    for hop in 0..hops {
+        cost.record_hop();
+        let prev_end = out.len();
+        let frontier_len = if hop == 0 {
+            seeds.len()
+        } else {
+            prev_end - prev_start
+        };
+        for f in 0..frontier_len {
+            let node = if hop == 0 { seeds[f] } else { out[prev_start + f] };
+            let end = graph.history_end(node, t);
+            let probe = (end.max(1)).ilog2() as u64 + 1;
+            let start = end.saturating_sub(n_per_hop);
+            for entry in &graph.neighbors(node)[start..end] {
+                out.push(entry.neighbor);
+            }
+            cost.record_query(probe + (end - start) as u64);
+        }
+        if out.len() == prev_end {
+            // frontier went empty: account the remaining hop levels,
+            // mirroring sample_khop's trailing empty layers
+            for _ in hop + 1..hops {
+                cost.record_hop();
+            }
+            break;
+        }
+        prev_start = prev_end;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,6 +275,31 @@ mod tests {
         sample_khop(&g, &[0, 1, 2], 10.0, 2, 2, Strategy::MostRecent, None, &mut c2);
         assert!(c2.rows_touched > c1.rows_touched);
         assert!(c2.queries > c1.queries);
+    }
+
+    #[test]
+    fn khop_targets_match_khop_flatten_and_cost() {
+        let g = chain_graph();
+        for (seeds, hops, n) in [
+            (vec![0u32], 2usize, 2usize),
+            (vec![0, 1], 3, 1),
+            (vec![9, 0], 2, 10), // 9 has no history
+            (vec![], 2, 2),
+            (vec![3], 1, 0),
+        ] {
+            let mut c_ref = QueryCost::new();
+            let layers = sample_khop(&g, &seeds, 10.0, n, hops, Strategy::MostRecent, None, &mut c_ref);
+            let flat: Vec<NodeId> = layers
+                .iter()
+                .flat_map(|l| l.iter().map(|e| e.entry.neighbor))
+                .collect();
+            let mut c_new = QueryCost::new();
+            let mut out = vec![7u32]; // pre-existing content must survive
+            sample_khop_targets(&g, &seeds, 10.0, n, hops, &mut c_new, &mut out);
+            assert_eq!(&out[..1], &[7]);
+            assert_eq!(&out[1..], &flat[..], "seeds {seeds:?}");
+            assert_eq!(c_new, c_ref, "seeds {seeds:?}");
+        }
     }
 
     #[test]
