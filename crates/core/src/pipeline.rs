@@ -26,7 +26,7 @@ use crate::mailbox::MailboxStore;
 use crate::model::{dedup_nodes, Apan};
 use crate::propagator::{DeliveryPlan, Interaction, PropScratch, Propagator};
 use crate::shard::{shards_from_env, ShardedMailboxStore};
-use apan_metrics::{Clock, LatencyRecorder};
+use apan_metrics::{Clock, LatencyRecorder, ObsHub, Stage};
 use apan_nn::Fwd;
 use apan_tensor::Tensor;
 use apan_tgraph::cost::QueryCost;
@@ -136,6 +136,41 @@ pub mod wire {
         Ok(Tensor::from_vec(rows, cols, data))
     }
 
+    /// Marker byte introducing an optional trailing trace tag. Chosen
+    /// outside the value range a truncated little-endian tensor header
+    /// would start with in practice, but nothing depends on that: the
+    /// tag is only looked for *after* a complete payload has been
+    /// consumed, where old-format producers left zero bytes.
+    pub const TRACE_TAG: u8 = 0x54;
+
+    /// Encodes a trace-id tag: `TRACE_TAG | trace_id:u64 LE`. Appended
+    /// to `INFER` payloads by tracing-aware clients; old decoders
+    /// ignore trailing bytes, so tagged frames stay backward-compatible.
+    pub fn encode_trace_tag(trace_id: u64) -> [u8; 9] {
+        let mut out = [0u8; 9];
+        out[0] = TRACE_TAG;
+        out[1..].copy_from_slice(&trace_id.to_le_bytes());
+        out
+    }
+
+    /// Decodes an optional trace tag from the front of `b`. `Ok(None)`
+    /// when `b` is empty or starts with anything else (an old-format
+    /// producer); an error only when the tag byte is present but its id
+    /// is cut short — a torn tag must not pass silently.
+    pub fn decode_trace_tag(b: &mut Bytes) -> Result<Option<u64>, WireError> {
+        if b.remaining() == 0 || b[0] != TRACE_TAG {
+            return Ok(None);
+        }
+        if b.remaining() < 9 {
+            return Err(WireError::Truncated {
+                needed: 9,
+                got: b.remaining(),
+            });
+        }
+        b.advance(1);
+        Ok(Some(b.get_u64_le()))
+    }
+
     #[cfg(test)]
     mod tests {
         use super::*;
@@ -172,6 +207,34 @@ pub mod wire {
         }
 
         #[test]
+        fn trace_tag_round_trips_and_tolerates_absence() {
+            let mut tagged = Bytes::copy_from_slice(&encode_trace_tag(0xDEAD_BEEF_0BAD_CAFE));
+            assert_eq!(
+                decode_trace_tag(&mut tagged).unwrap(),
+                Some(0xDEAD_BEEF_0BAD_CAFE)
+            );
+            assert_eq!(tagged.remaining(), 0);
+            // absent tag: empty trailer and non-tag bytes both read as None
+            let mut empty = Bytes::new();
+            assert_eq!(decode_trace_tag(&mut empty).unwrap(), None);
+            let mut other = Bytes::copy_from_slice(&[0x00, 1, 2]);
+            assert_eq!(decode_trace_tag(&mut other).unwrap(), None);
+            assert_eq!(other.remaining(), 3, "non-tag trailer left untouched");
+        }
+
+        #[test]
+        fn torn_trace_tag_is_an_error() {
+            let full = encode_trace_tag(42);
+            for cut in 1..full.len() {
+                let mut b = Bytes::copy_from_slice(&full[..cut]);
+                assert!(
+                    matches!(decode_trace_tag(&mut b), Err(WireError::Truncated { .. })),
+                    "cut at {cut}"
+                );
+            }
+        }
+
+        #[test]
         fn streaming_decode_consumes_exactly_one_tensor() {
             let a = Tensor::from_rows(&[&[1.0, 2.0]]);
             let b = Tensor::from_rows(&[&[3.0], &[4.0]]);
@@ -202,6 +265,12 @@ struct PropagateJob {
     /// embeddings entirely.
     z_wire: bytes::Bytes,
     feats_wire: bytes::Bytes,
+    /// Trace correlation id for the worker's stage spans.
+    trace_id: u64,
+    /// When the triggering request was admitted (hub-clock time); the
+    /// `prop_lag` histogram measures mail age from here to mailbox
+    /// commit.
+    admitted: Duration,
 }
 
 enum Job {
@@ -408,6 +477,7 @@ fn propagation_worker(
     gates: Arc<SeqGates>,
     propagator: Propagator,
     mail_content: MailContent,
+    obs: ObsHub,
 ) {
     let mut scratch = PropScratch::default();
     let mut plan = DeliveryPlan::default();
@@ -435,6 +505,9 @@ fn propagation_worker(
             .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), i| {
                 (lo.min(i.time), hi.max(i.time))
             });
+        // `commit` span: the ordered temporal-graph event commit,
+        // including any wait for the insert ticket.
+        let t_commit0 = obs.stamp();
         gates.wait_insert(seq, min_t);
         {
             let mut g = graph.write();
@@ -443,15 +516,27 @@ fn propagation_worker(
             }
         }
         gates.insert_done(seq, max_t);
+        let t_commit1 = obs.stamp();
+        obs.stage_record(Stage::Commit, job.trace_id, t_commit0, t_commit1);
         // Sampling — the expensive part — runs outside both gates.
         let mut cost = QueryCost::new();
         {
             let g = graph.read();
             propagator.plan_batch(&g, &job.interactions, &mails, &mut cost, &mut scratch, &mut plan);
         }
+        let t_plan1 = obs.stamp();
+        obs.stage_record(Stage::Plan, job.trace_id, t_commit1, t_plan1);
         gates.wait_commit(seq);
+        // `deliver` span: applying the plan to the sharded mailbox (the
+        // commit-ticket wait before it is queueing, not delivery work).
+        let t_deliver0 = obs.stamp();
         let deliveries = plan.apply_sharded(&store);
+        let t_deliver1 = obs.stamp();
         gates.commit_done(seq);
+        obs.stage_record(Stage::Deliver, job.trace_id, t_deliver0, t_deliver1);
+        // Every mail in this plan committed at the same instant; its age
+        // is the time since the triggering request was admitted.
+        obs.prop_lag_record(t_deliver1.saturating_sub(job.admitted), deliveries);
         {
             let mut st = stats.lock();
             st.jobs += 1;
@@ -502,9 +587,10 @@ pub struct ServingPipeline {
     stats: Arc<Mutex<PropStats>>,
     next_seq: u64,
     rng: StdRng,
-    /// Time source for `sync_time` stamps; real unless a test harness
-    /// injects a virtual clock via [`ServingPipeline::set_clock`].
-    clock: Clock,
+    /// Observability hub shared with every propagation worker: the
+    /// injectable clock behind `sync_time` stamps, the per-stage
+    /// histograms, and the optional trace sink.
+    obs: ObsHub,
     /// Latencies of every synchronous inference call.
     pub sync_latency: LatencyRecorder,
 }
@@ -563,6 +649,7 @@ impl ServingPipeline {
 
         let propagator: Propagator = model.propagator;
         let mail_content = model.cfg.mail_content;
+        let obs = ObsHub::new();
         let workers = (0..threads)
             .map(|_| {
                 let rx = rx.clone();
@@ -571,6 +658,7 @@ impl ServingPipeline {
                 let pending = Arc::clone(&pending);
                 let stats = Arc::clone(&stats);
                 let gates = Arc::clone(&gates);
+                let obs = obs.clone();
                 std::thread::spawn(move || {
                     propagation_worker(
                         rx,
@@ -581,6 +669,7 @@ impl ServingPipeline {
                         gates,
                         propagator,
                         mail_content,
+                        obs,
                     )
                 })
             })
@@ -596,17 +685,26 @@ impl ServingPipeline {
             stats,
             next_seq: 0,
             rng: StdRng::seed_from_u64(0),
-            clock: Clock::real(),
+            obs,
             sync_latency: LatencyRecorder::new(),
         }
     }
 
-    /// Replaces the time source behind `sync_time` stamps. The
-    /// deterministic simulation harness injects the scenario's virtual
-    /// clock here so the pipeline's latency numbers move on simulated
-    /// time along with the rest of the serving stack.
+    /// Replaces the time source behind `sync_time` stamps and every
+    /// stage span — including the propagation workers', which share the
+    /// hub. The deterministic simulation harness injects the scenario's
+    /// virtual clock here so the pipeline's latency numbers move on
+    /// simulated time along with the rest of the serving stack.
     pub fn set_clock(&mut self, clock: Clock) {
-        self.clock = clock;
+        self.obs.set_clock(clock);
+    }
+
+    /// The pipeline's observability hub: stage histograms, `prop_lag`,
+    /// the injectable clock, and the optional trace sink. Clones share
+    /// state with the pipeline and its workers, so a serving daemon can
+    /// render METRICS from its own handle.
+    pub fn obs(&self) -> ObsHub {
+        self.obs.clone()
     }
 
     /// The synchronous inference path: encodes the batch's unique nodes
@@ -614,8 +712,23 @@ impl ServingPipeline {
     /// stores the new embeddings, and hands mail propagation to the
     /// background worker. Only the part before the hand-off is timed.
     pub fn infer_batch(&mut self, interactions: &[Interaction], feats: &Tensor) -> InferResult {
+        self.infer_batch_traced(interactions, feats, 0, None)
+    }
+
+    /// [`ServingPipeline::infer_batch`] with trace context: `trace_id`
+    /// tags the batch's `encode`/`decode_score` spans (and the
+    /// propagation worker's spans downstream), and `admitted` anchors
+    /// the `prop_lag` age measurement at the request's admission stamp
+    /// instead of at the start of the synchronous path.
+    pub fn infer_batch_traced(
+        &mut self,
+        interactions: &[Interaction],
+        feats: &Tensor,
+        trace_id: u64,
+        admitted: Option<Duration>,
+    ) -> InferResult {
         assert_eq!(feats.rows(), interactions.len(), "one feature row per interaction");
-        let start = self.clock.now();
+        let start = self.obs.now();
 
         let src: Vec<NodeId> = interactions.iter().map(|i| i.src).collect();
         let dst: Vec<NodeId> = interactions.iter().map(|i| i.dst).collect();
@@ -623,9 +736,11 @@ impl ServingPipeline {
         let (unique, maps) = dedup_nodes(&[&src, &dst]);
 
         let view = self.store.sync_view();
-        let (z_val, scores) = {
+        let t_encode0 = self.obs.stamp();
+        let (z_val, scores, t_encode1) = {
             let mut fwd = Fwd::new(&self.model.params, false);
             let enc = self.model.encode(&mut fwd, &view, &unique, now, &mut self.rng);
+            let t_encode1 = self.obs.stamp();
             let zi = fwd.g.gather_rows(enc.z, &maps[0]);
             let zj = fwd.g.gather_rows(enc.z, &maps[1]);
             let logits = self
@@ -639,11 +754,15 @@ impl ServingPipeline {
                 .iter()
                 .map(|&x| crate::train::sigmoid(x))
                 .collect();
-            (fwd.g.value(enc.z).clone(), scores)
+            (fwd.g.value(enc.z).clone(), scores, t_encode1)
         };
+        let t_decode1 = self.obs.stamp();
+        self.obs.stage_record(Stage::Encode, trace_id, t_encode0, t_encode1);
+        self.obs
+            .stage_record(Stage::DecodeScore, trace_id, t_encode1, t_decode1);
         view.set_embeddings(&unique, &z_val, now);
         drop(view);
-        let sync_time = self.clock.now().saturating_sub(start);
+        let sync_time = self.obs.now().saturating_sub(start);
         self.sync_latency.record(sync_time);
 
         // Asynchronous hand-off (not timed: the user already has scores).
@@ -670,6 +789,8 @@ impl ServingPipeline {
             dst_rows: maps[1].iter().map(|&r| inv[r]).collect(),
             z_wire,
             feats_wire: wire::encode_tensor(feats),
+            trace_id,
+            admitted: admitted.unwrap_or(start),
         };
         self.next_seq += 1;
         self.tx
@@ -894,6 +1015,56 @@ mod tests {
         p.flush();
         assert_eq!(p.pending_jobs(), 0);
         assert_eq!(p.sync_latency.len(), 8);
+    }
+
+    #[cfg(not(feature = "trace-off"))]
+    #[test]
+    fn stage_histograms_and_trace_events_flow_through_the_pool() {
+        use apan_metrics::TraceSink;
+        let mut p = ServingPipeline::new(model(), 8, 16);
+        let obs = p.obs();
+        obs.install_sink(TraceSink::with_shards(256, 2));
+        for k in 0..3u64 {
+            let (b, f) = batch(k);
+            p.infer_batch_traced(&b, &f, 100 + k, None);
+            p.flush();
+        }
+        // every stage histogram saw one record per batch
+        for stage in [Stage::Encode, Stage::DecodeScore, Stage::Commit, Stage::Plan, Stage::Deliver]
+        {
+            assert_eq!(obs.stage_snapshot(stage).count(), 3, "{}", stage.name());
+        }
+        assert!(obs.prop_lag_snapshot().count() >= 3 * 4, "one lag per mail");
+        // trace events correlate by id and cover both links
+        let events = obs.drain_events();
+        for k in 0..3u64 {
+            let stages: Vec<Stage> = events
+                .iter()
+                .filter(|e| e.trace_id == 100 + k)
+                .map(|e| e.stage)
+                .collect();
+            for stage in
+                [Stage::Encode, Stage::DecodeScore, Stage::Commit, Stage::Plan, Stage::Deliver]
+            {
+                assert!(stages.contains(&stage), "batch {k} missing {}", stage.name());
+            }
+        }
+        assert!(obs.drain_events().is_empty(), "drain empties the sink");
+    }
+
+    #[cfg(not(feature = "trace-off"))]
+    #[test]
+    fn untraced_callers_pay_no_trace_events() {
+        let mut p = ServingPipeline::new(model(), 8, 16);
+        let (b, f) = batch(0);
+        p.infer_batch(&b, &f);
+        p.flush();
+        let obs = p.obs();
+        // histograms still record (METRICS is always live)…
+        assert_eq!(obs.stage_snapshot(Stage::Encode).count(), 1);
+        // …but with no sink installed nothing is buffered anywhere
+        assert!(obs.sink().is_none());
+        assert!(obs.drain_events().is_empty());
     }
 
     #[test]

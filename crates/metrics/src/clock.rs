@@ -26,6 +26,7 @@
 //! `false` timeout result as "recheck your predicate", exactly as they
 //! already must for spurious condvar wakeups.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -147,6 +148,11 @@ pub struct VirtualClock {
     /// Condvars to notify on every advance, for [`Clock::wait_timeout`]
     /// waiters parked on their own mutexes.
     wakers: Mutex<Vec<Arc<Condvar>>>,
+    /// Threads currently parked in [`Clock::sleep`] awaiting an
+    /// advance. A scenario driver polls this to know a sleeper has
+    /// committed to its wake-up target before advancing time — the only
+    /// race-free way to step a thread through `clock.sleep(d)`.
+    sleepers: AtomicUsize,
 }
 
 impl std::fmt::Debug for VirtualClock {
@@ -161,6 +167,7 @@ impl VirtualClock {
             now_ns: Mutex::new(0),
             tick: Condvar::new(),
             wakers: Mutex::new(Vec::new()),
+            sleepers: AtomicUsize::new(0),
         }
     }
 
@@ -183,12 +190,24 @@ impl VirtualClock {
         }
     }
 
+    /// Number of threads currently parked in a virtual sleep. Once a
+    /// driver observes the count it expects, every parked sleeper has
+    /// already fixed its wake-up target, so advancing is race-free.
+    pub fn sleepers(&self) -> usize {
+        self.sleepers.load(Ordering::SeqCst)
+    }
+
     fn sleep_until(&self, target: Duration) {
         let target_ns = target.as_nanos() as u64;
         let mut now = self.now_ns.lock().unwrap();
+        if *now >= target_ns {
+            return;
+        }
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
         while *now < target_ns {
             now = self.tick.wait(now).unwrap();
         }
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -226,10 +245,16 @@ mod tests {
             c2.sleep(Duration::from_secs(3600)); // an hour, instantly
             c2.now()
         });
+        // the driver can wait for the sleeper to park before advancing
+        while v.sleepers() == 0 {
+            std::thread::yield_now();
+        }
         // two half-steps: the sleeper must stay parked through the first
         v.advance(Duration::from_secs(1800));
+        assert_eq!(v.sleepers(), 1);
         v.advance(Duration::from_secs(1800));
         assert_eq!(t.join().unwrap(), Duration::from_secs(3600));
+        assert_eq!(v.sleepers(), 0);
     }
 
     #[test]

@@ -10,16 +10,28 @@
 //!
 //! It also hosts [`clock::Clock`], the injectable time source every
 //! latency stamp and deadline in the serving stack runs on — real in
-//! production, simulated under the deterministic test harness.
+//! production, simulated under the deterministic test harness — and the
+//! observability layer built on it: [`trace`] (lock-free log₂
+//! histograms, stage spans, bounded trace rings) and [`registry`] (the
+//! Prometheus-style exposition surface behind the daemon's `METRICS`
+//! verb). Building with the `trace-off` feature compiles the span and
+//! histogram recording paths down to nothing; the `trace_overhead`
+//! bench uses that build as its baseline.
 
 pub mod classification;
 pub mod clock;
 pub mod latency;
+pub mod registry;
 pub mod summary;
 pub mod threshold;
+pub mod trace;
 
 pub use classification::{accuracy, average_precision, roc_auc};
 pub use clock::{Clock, VirtualClock};
 pub use latency::{LatencyRecorder, LatencySummary};
+pub use registry::{Counter, Registry};
 pub use summary::MeanStd;
 pub use threshold::{precision_at_k, Confusion};
+pub use trace::{
+    Histogram, HistogramSnapshot, ObsHub, Span, Stage, TraceBuffer, TraceEvent, TraceSink, STAGES,
+};

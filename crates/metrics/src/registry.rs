@@ -1,0 +1,270 @@
+//! A minimal Prometheus-style metric registry.
+//!
+//! The serving daemon registers every counter, gauge, and histogram it
+//! exposes here, and the `METRICS` verb renders the whole registry as
+//! text exposition (`# HELP` / `# TYPE` plus `_bucket{le=…}/_sum/_count`
+//! series for histograms). The `STATS` JSON surface reads the *same*
+//! handles, so the two surfaces can never disagree about a count.
+//!
+//! Counters are shared [`AtomicU64`] handles ([`Counter`]); gauges and
+//! histograms are registered as closures so state that lives elsewhere
+//! (an ingress queue depth, an [`crate::trace::ObsHub`] stage
+//! histogram) is read fresh at scrape time instead of being mirrored.
+
+use crate::trace::{Histogram, HistogramSnapshot, HIST_BUCKETS};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A shared monotonically-increasing counter. Cloning shares the
+/// underlying atomic; reads and writes are relaxed (counters tolerate
+/// torn cross-counter snapshots, as Prometheus scrapes always have).
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh counter at zero (unregistered — prefer
+    /// [`Registry::counter`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+enum Kind {
+    Counter(Counter),
+    CounterFn(Box<dyn Fn() -> u64 + Send + Sync>),
+    GaugeFn(Box<dyn Fn() -> f64 + Send + Sync>),
+    HistogramFn {
+        snap: Box<dyn Fn() -> HistogramSnapshot + Send + Sync>,
+        /// Multiplier applied to raw values for exposition — `1e-9`
+        /// turns nanosecond histograms into Prometheus-idiomatic
+        /// seconds; `1.0` leaves unitless ones (batch sizes) alone.
+        scale: f64,
+    },
+}
+
+struct Entry {
+    name: String,
+    help: String,
+    kind: Kind,
+}
+
+/// An ordered collection of named metrics, rendered on demand.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+fn assert_name(name: &str) {
+    debug_assert!(
+        !name.is_empty()
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+            && !name.starts_with(|c: char| c.is_ascii_digit()),
+        "invalid metric name {name:?}"
+    );
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&self, name: &str, help: &str, kind: Kind) {
+        assert_name(name);
+        let mut entries = self.entries.lock().unwrap();
+        debug_assert!(
+            entries.iter().all(|e| e.name != name),
+            "duplicate metric {name:?}"
+        );
+        entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind,
+        });
+    }
+
+    /// Registers and returns a new counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        let c = Counter::new();
+        self.push(name, help, Kind::Counter(c.clone()));
+        c
+    }
+
+    /// Registers a counter whose value is read from a closure at scrape
+    /// time (for counts owned by another subsystem).
+    pub fn counter_fn(&self, name: &str, help: &str, f: impl Fn() -> u64 + Send + Sync + 'static) {
+        self.push(name, help, Kind::CounterFn(Box::new(f)));
+    }
+
+    /// Registers a gauge read from a closure at scrape time.
+    pub fn gauge_fn(&self, name: &str, help: &str, f: impl Fn() -> f64 + Send + Sync + 'static) {
+        self.push(name, help, Kind::GaugeFn(Box::new(f)));
+    }
+
+    /// Registers a histogram snapshotted from a closure at scrape time.
+    /// `scale` converts raw recorded values into exposition units (use
+    /// `1e-9` for nanosecond histograms rendered as seconds).
+    pub fn histogram_fn(
+        &self,
+        name: &str,
+        help: &str,
+        scale: f64,
+        f: impl Fn() -> HistogramSnapshot + Send + Sync + 'static,
+    ) {
+        self.push(name, help, Kind::HistogramFn { snap: Box::new(f), scale });
+    }
+
+    /// Registers a histogram by shared handle.
+    pub fn histogram(&self, name: &str, help: &str, scale: f64, h: Arc<Histogram>) {
+        self.histogram_fn(name, help, scale, move || h.snapshot());
+    }
+
+    /// Renders every metric as Prometheus text exposition, in
+    /// registration order. Deterministic for a fixed set of recorded
+    /// values.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        for e in self.entries.lock().unwrap().iter() {
+            match &e.kind {
+                Kind::Counter(c) => {
+                    render_header(&mut out, &e.name, &e.help, "counter");
+                    out.push_str(&format!("{} {}\n", e.name, c.get()));
+                }
+                Kind::CounterFn(f) => {
+                    render_header(&mut out, &e.name, &e.help, "counter");
+                    out.push_str(&format!("{} {}\n", e.name, f()));
+                }
+                Kind::GaugeFn(f) => {
+                    render_header(&mut out, &e.name, &e.help, "gauge");
+                    out.push_str(&format!("{} {}\n", e.name, fmt_f64(f())));
+                }
+                Kind::HistogramFn { snap, scale } => {
+                    render_histogram(&mut out, &e.name, &e.help, &snap(), *scale);
+                }
+            }
+        }
+        out
+    }
+}
+
+fn render_header(out: &mut String, name: &str, help: &str, kind: &str) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+}
+
+/// Formats an f64 the way Prometheus text exposition expects: plain
+/// decimal (Rust's `Display` never emits exponents), `NaN`/`+Inf`
+/// spelled out.
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf".to_string() } else { "-Inf".to_string() }
+    } else {
+        format!("{v}")
+    }
+}
+
+fn render_histogram(out: &mut String, name: &str, help: &str, snap: &HistogramSnapshot, scale: f64) {
+    render_header(out, name, help, "histogram");
+    let count = snap.count();
+    // Trailing empty buckets carry no information; render up to the last
+    // populated one, then the mandatory +Inf bucket. (The last log₂
+    // bucket is an overflow bucket, so it always renders as +Inf.)
+    let last = snap
+        .buckets
+        .iter()
+        .rposition(|&n| n > 0)
+        .map(|i| i.min(HIST_BUCKETS - 2))
+        .unwrap_or(0);
+    let mut cum = 0u64;
+    for (i, &n) in snap.buckets.iter().enumerate().take(last + 1) {
+        cum += n;
+        let le = (1u64 << i) as f64 * scale;
+        out.push_str(&format!("{name}_bucket{{le=\"{}\"}} {cum}\n", fmt_f64(le)));
+    }
+    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {count}\n"));
+    out.push_str(&format!("{name}_sum {}\n", fmt_f64(snap.sum as f64 * scale)));
+    out.push_str(&format!("{name}_count {count}\n"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_render() {
+        let reg = Registry::new();
+        let c = reg.counter("apan_requests_total", "Requests served");
+        reg.gauge_fn("apan_queue_depth", "Ingress depth", || 3.0);
+        c.add(7);
+        let text = reg.render();
+        assert!(text.contains("# TYPE apan_requests_total counter\n"));
+        assert!(text.contains("apan_requests_total 7\n"));
+        assert!(text.contains("# TYPE apan_queue_depth gauge\n"));
+        assert!(text.contains("apan_queue_depth 3\n"));
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets() {
+        let reg = Registry::new();
+        let h = Arc::new(Histogram::new());
+        reg.histogram("apan_batch_size", "Batch sizes", 1.0, Arc::clone(&h));
+        h.record(1);
+        h.record(2);
+        h.record(5); // bucket 3, le=8
+        let text = reg.render();
+        assert!(text.contains("# TYPE apan_batch_size histogram\n"));
+        assert!(text.contains("apan_batch_size_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("apan_batch_size_bucket{le=\"2\"} 2\n"));
+        assert!(text.contains("apan_batch_size_bucket{le=\"4\"} 2\n"));
+        assert!(text.contains("apan_batch_size_bucket{le=\"8\"} 3\n"));
+        assert!(text.contains("apan_batch_size_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("apan_batch_size_sum 8\n"));
+        assert!(text.contains("apan_batch_size_count 3\n"));
+        // buckets past the last populated one are elided
+        assert!(!text.contains("le=\"16\""));
+    }
+
+    #[test]
+    fn empty_histogram_still_has_inf_bucket() {
+        let reg = Registry::new();
+        reg.histogram_fn("apan_empty_seconds", "Nothing yet", 1e-9, || {
+            Histogram::new().snapshot()
+        });
+        let text = reg.render();
+        assert!(text.contains("apan_empty_seconds_bucket{le=\"+Inf\"} 0\n"));
+        assert!(text.contains("apan_empty_seconds_sum 0\n"));
+        assert!(text.contains("apan_empty_seconds_count 0\n"));
+    }
+
+    #[test]
+    fn nanosecond_scale_renders_seconds() {
+        let reg = Registry::new();
+        let h = Arc::new(Histogram::new());
+        reg.histogram("apan_stage_seconds", "Stage time", 1e-9, Arc::clone(&h));
+        h.record(1 << 30); // ~1.07 s
+        let text = reg.render();
+        assert!(text.contains("apan_stage_seconds_bucket{le=\"1.073741824\"} 1\n"));
+        assert!(text.contains("apan_stage_seconds_count 1\n"));
+    }
+}

@@ -49,6 +49,10 @@ pub struct InferItem {
     /// latency a request accrues is exactly the simulated time between
     /// admission and reply.
     pub enqueued: Duration,
+    /// Correlation id for this request's stage spans (client-chosen via
+    /// the wire trace tag, or derived by the server from the connection
+    /// and request ids).
+    pub trace_id: u64,
     /// Where the outcome goes.
     pub respond: Responder,
 }
@@ -219,6 +223,7 @@ impl IngressQueue {
         &self,
         mut interactions: Vec<Interaction>,
         feats: Tensor,
+        trace_id: u64,
         respond: Responder,
     ) -> Result<(), (AdmitError, Responder)> {
         let mut inner = self.inner.lock().unwrap();
@@ -236,6 +241,7 @@ impl IngressQueue {
             interactions,
             feats,
             enqueued: self.clock.now(),
+            trace_id,
             respond,
         }));
         drop(inner);
@@ -375,7 +381,7 @@ mod tests {
 
     fn submit(q: &IngressQueue, time: f64) -> Result<(), AdmitError> {
         let (i, f, r, _rx) = item(time);
-        q.submit_infer(i, f, r).map_err(|(e, _)| e)
+        q.submit_infer(i, f, 0, r).map_err(|(e, _)| e)
     }
 
     #[test]
@@ -569,7 +575,7 @@ mod tests {
     fn responder_receives_outcome() {
         let q = IngressQueue::new(4);
         let (i, f, r, rx) = item(1.0);
-        assert!(q.submit_infer(i, f, r).is_ok());
+        assert!(q.submit_infer(i, f, 0, r).is_ok());
         match q.drain(BatchPolicy::default()) {
             Some(Drained::Batch(batch)) => {
                 for it in batch {

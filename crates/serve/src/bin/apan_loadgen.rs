@@ -24,6 +24,10 @@ struct Args {
     duration_s: u64,
     batch: usize,
     universe: u32,
+    /// Poll the daemon's `METRICS` exposition every this many ms while
+    /// the run is live, and dump the full final exposition at the end.
+    /// `0` disables polling.
+    metrics_every_ms: u64,
 }
 
 impl Default for Args {
@@ -34,12 +38,13 @@ impl Default for Args {
             duration_s: 2,
             batch: 8,
             universe: 10_000,
+            metrics_every_ms: 0,
         }
     }
 }
 
-const USAGE: &str =
-    "usage: apan-loadgen [--addr HOST:PORT] [--conns N] [--duration-s N] [--batch N] [--universe N]";
+const USAGE: &str = "usage: apan-loadgen [--addr HOST:PORT] [--conns N] [--duration-s N] [--batch N] [--universe N]
+                    [--metrics-every-ms N]   (poll METRICS while running; 0 = off)";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
@@ -62,6 +67,11 @@ fn parse_args() -> Result<Args, String> {
             "--universe" => {
                 args.universe = value.parse().map_err(|_| "bad --universe".to_string())?
             }
+            "--metrics-every-ms" => {
+                args.metrics_every_ms = value
+                    .parse()
+                    .map_err(|_| "bad --metrics-every-ms".to_string())?
+            }
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
     }
@@ -74,6 +84,17 @@ struct Totals {
     overloaded: AtomicU64,
     errors: AtomicU64,
     interactions: AtomicU64,
+}
+
+/// Pulls one sample's value out of a Prometheus text exposition: the
+/// first non-comment line whose metric name matches exactly.
+fn prom_value(text: &str, name: &str) -> Option<f64> {
+    text.lines()
+        .filter(|l| !l.starts_with('#'))
+        .find_map(|l| match l.split_once(' ') {
+            Some((n, v)) if n == name => v.trim().parse().ok(),
+            _ => None,
+        })
 }
 
 /// Deterministic per-thread pseudo-random stream (splitmix64) — enough
@@ -196,10 +217,49 @@ fn main() {
         })
         .collect();
 
+    // Optional metrics poller: its own connection, so scrapes contend
+    // with inference exactly the way a real Prometheus scraper would.
+    let poller = (args.metrics_every_ms > 0).then(|| {
+        let addr = args.addr.clone();
+        let stop = Arc::clone(&stop);
+        let every = Duration::from_millis(args.metrics_every_ms);
+        std::thread::spawn(move || {
+            let mut client = match Client::connect(&addr) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("apan-loadgen: metrics poller connect failed: {e}");
+                    return;
+                }
+            };
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(every);
+                match client.metrics() {
+                    Ok(text) => {
+                        let get = |n: &str| prom_value(&text, n).unwrap_or(f64::NAN);
+                        println!(
+                            "apan-loadgen: metrics requests={} queue_depth={} prop_pending={} shed={}",
+                            get("apan_requests_total"),
+                            get("apan_queue_depth"),
+                            get("apan_prop_pending"),
+                            get("apan_shed_total"),
+                        );
+                    }
+                    Err(e) => {
+                        eprintln!("apan-loadgen: METRICS poll failed: {e}");
+                        return;
+                    }
+                }
+            }
+        })
+    });
+
     std::thread::sleep(Duration::from_secs(args.duration_s));
     stop.store(true, Ordering::Relaxed);
     for w in workers {
         let _ = w.join();
+    }
+    if let Some(p) = poller {
+        let _ = p.join();
     }
     let elapsed = started.elapsed().as_secs_f64();
 
@@ -221,6 +281,19 @@ fn main() {
         Err(e) => {
             eprintln!("apan-loadgen: STATS failed: {e}");
             std::process::exit(1);
+        }
+    }
+    if args.metrics_every_ms > 0 {
+        match probe.metrics() {
+            Ok(text) => {
+                println!("apan-loadgen: final metrics begin");
+                print!("{text}");
+                println!("apan-loadgen: final metrics end");
+            }
+            Err(e) => {
+                eprintln!("apan-loadgen: METRICS failed: {e}");
+                std::process::exit(1);
+            }
         }
     }
 }

@@ -60,6 +60,7 @@ struct Args {
     seed: u64,
     infer_delay_us: u64,
     prop_threads: usize,
+    trace_buffer: usize,
 }
 
 impl Default for Args {
@@ -79,6 +80,7 @@ impl Default for Args {
             seed: 42,
             infer_delay_us: 0,
             prop_threads: 0,
+            trace_buffer: 8192,
         }
     }
 }
@@ -86,7 +88,8 @@ impl Default for Args {
 const USAGE: &str = "usage: apand [--port N] [--dim N] [--slots N] [--nodes N] [--max-node N]
              [--capacity N] [--max-batch N] [--deadline-us N] [--high-water N]
              [--snapshot PATH] [--snapshot-every-s N] [--seed N] [--infer-delay-us N]
-             [--prop-threads N]   (0 = APAN_PROP_THREADS, default 1)";
+             [--prop-threads N]   (0 = APAN_PROP_THREADS, default 1)
+             [--trace-buffer N]   (TRACE ring capacity in events; 0 disables spans)";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
@@ -117,6 +120,7 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => args.seed = num(&value)?,
             "--infer-delay-us" => args.infer_delay_us = num(&value)?,
             "--prop-threads" => args.prop_threads = num(&value)? as usize,
+            "--trace-buffer" => args.trace_buffer = num(&value)? as usize,
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
     }
@@ -152,6 +156,7 @@ fn main() {
         snapshot_every: args.snapshot_every_s.map(Duration::from_secs),
         infer_delay: Duration::from_micros(args.infer_delay_us),
         prop_threads: args.prop_threads,
+        trace_buffer: args.trace_buffer,
         ..ServeConfig::default()
     };
 

@@ -110,7 +110,24 @@ impl Client {
         interactions: &[Interaction],
         feats: &Tensor,
     ) -> Result<Vec<f32>, ClientError> {
-        let frame = self.roundtrip(verb::INFER, &proto::encode_infer(interactions, feats))?;
+        self.infer_traced(interactions, feats, None)
+    }
+
+    /// [`Client::infer`] with an explicit trace id: the daemon tags
+    /// every stage span this request flows through (admit, batch wait,
+    /// encode, …, deliver) with it, so a later `TRACE` drain can be
+    /// correlated back to this call. `None` lets the daemon derive an
+    /// id from the connection and request ids.
+    pub fn infer_traced(
+        &mut self,
+        interactions: &[Interaction],
+        feats: &Tensor,
+        trace_id: Option<u64>,
+    ) -> Result<Vec<f32>, ClientError> {
+        let frame = self.roundtrip(
+            verb::INFER,
+            &proto::encode_infer_traced(interactions, feats, trace_id),
+        )?;
         if frame.verb != reply::SCORES {
             return Err(ClientError::Protocol(format!(
                 "unexpected reply verb {:#04x} to INFER",
@@ -140,6 +157,29 @@ impl Client {
     /// Fetches the daemon geometry JSON (`dim`, `mailbox_slots`, limits).
     pub fn info(&mut self) -> Result<String, ClientError> {
         self.json(verb::INFO)
+    }
+
+    fn text(&mut self, v: u8) -> Result<String, ClientError> {
+        let frame = self.roundtrip(v, b"")?;
+        if frame.verb != reply::TEXT {
+            return Err(ClientError::Protocol(format!(
+                "unexpected reply verb {:#04x}",
+                frame.verb
+            )));
+        }
+        String::from_utf8(frame.payload.to_vec())
+            .map_err(|_| ClientError::Protocol("non-UTF-8 text reply".into()))
+    }
+
+    /// Fetches the metric registry as Prometheus text exposition.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        self.text(verb::METRICS)
+    }
+
+    /// Drains the daemon's trace ring buffer: one JSON line per
+    /// completed stage span. Destructive — each span is returned once.
+    pub fn trace_dump(&mut self) -> Result<String, ClientError> {
+        self.text(verb::TRACE)
     }
 
     /// Blocks until all propagation handed off before this call has

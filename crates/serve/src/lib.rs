@@ -20,7 +20,13 @@
 //!   ([`snapshot`]);
 //! * **an honest stats surface** — p50/p95/p99/max service latency,
 //!   queue depth, shed counts, and a batch-size histogram over the
-//!   `STATS` verb ([`server`]).
+//!   `STATS` verb ([`server`]);
+//! * **first-class observability** — a `METRICS` verb rendering every
+//!   counter, gauge, and per-stage latency histogram as Prometheus text
+//!   exposition, and a `TRACE` verb draining per-request stage spans
+//!   (admit → batch_wait → encode → decode_score → commit → plan →
+//!   deliver) as JSON lines, correlated by trace id across the
+//!   synchronous and asynchronous links.
 //!
 //! [`client::Client`] is the matching blocking client; `apan-loadgen`
 //! drives a daemon with concurrent connections and prints what the

@@ -42,6 +42,12 @@ pub mod verb {
     /// verb's queue position has landed in the mailbox store. Serving
     /// never needs this; deterministic tests and consistent reads do.
     pub const FLUSH: u8 = 0x07;
+    /// Fetch the metric registry as Prometheus text exposition.
+    pub const METRICS: u8 = 0x08;
+    /// Drain the daemon's trace ring buffer as JSON lines (one
+    /// completed stage span per line). Draining is destructive: each
+    /// span is reported exactly once across all `TRACE` calls.
+    pub const TRACE: u8 = 0x09;
 }
 
 /// Reply verbs (daemon → client).
@@ -54,6 +60,9 @@ pub mod reply {
     pub const JSON: u8 = 0x83;
     /// Verb acknowledged (`SNAPSHOT` / `SHUTDOWN` / `PING`).
     pub const OK: u8 = 0x84;
+    /// UTF-8 plain text document (`METRICS` exposition, `TRACE` JSON
+    /// lines).
+    pub const TEXT: u8 = 0x85;
     /// Request failed; payload is a UTF-8 message.
     pub const ERROR: u8 = 0x7F;
 }
@@ -154,12 +163,24 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Frame>, ProtoError> {
 /// Panics if `feats.rows() != interactions.len()` — that is a caller
 /// bug, not a network condition.
 pub fn encode_infer(interactions: &[Interaction], feats: &Tensor) -> Vec<u8> {
+    encode_infer_traced(interactions, feats, None)
+}
+
+/// [`encode_infer`] with an optional client-chosen trace id appended as
+/// a [`wire::encode_trace_tag`] trailer. Daemons predating the tag
+/// decode such payloads unchanged (they ignore trailing bytes), so a
+/// tracing client can talk to an old daemon and merely lose the tag.
+pub fn encode_infer_traced(
+    interactions: &[Interaction],
+    feats: &Tensor,
+    trace_id: Option<u64>,
+) -> Vec<u8> {
     assert_eq!(
         feats.rows(),
         interactions.len(),
         "one feature row per interaction"
     );
-    let mut buf = BytesMut::with_capacity(4 + interactions.len() * 20 + 8 + feats.len() * 4);
+    let mut buf = BytesMut::with_capacity(4 + interactions.len() * 20 + 8 + feats.len() * 4 + 9);
     buf.put_u32_le(interactions.len() as u32);
     for i in interactions {
         buf.put_u32_le(i.src);
@@ -168,11 +189,24 @@ pub fn encode_infer(interactions: &[Interaction], feats: &Tensor) -> Vec<u8> {
         buf.put_u32_le(i.eid);
     }
     buf.extend_from_slice(&wire::encode_tensor(feats));
+    if let Some(id) = trace_id {
+        buf.extend_from_slice(&wire::encode_trace_tag(id));
+    }
     buf.freeze().to_vec()
 }
 
-/// Decodes an `INFER` payload into interactions and the feature matrix.
+/// Decodes an `INFER` payload into interactions and the feature matrix,
+/// tolerating (and discarding) a well-formed trace-tag trailer.
 pub fn decode_infer(payload: Bytes) -> Result<(Vec<Interaction>, Tensor), ProtoError> {
+    decode_infer_traced(payload).map(|(i, f, _)| (i, f))
+}
+
+/// Decodes an `INFER` payload plus its optional trace-tag trailer.
+/// Payloads from pre-tracing clients (no trailer) yield `None`; a
+/// trailer that starts with the tag byte but is torn short is an error.
+pub fn decode_infer_traced(
+    payload: Bytes,
+) -> Result<(Vec<Interaction>, Tensor, Option<u64>), ProtoError> {
     let mut b = payload;
     if b.remaining() < 4 {
         return Err(ProtoError::Malformed("infer payload shorter than count".into()));
@@ -204,7 +238,8 @@ pub fn decode_infer(payload: Bytes) -> Result<(Vec<Interaction>, Tensor), ProtoE
             feats.rows()
         )));
     }
-    Ok((interactions, feats))
+    let trace_id = wire::decode_trace_tag(&mut b)?;
+    Ok((interactions, feats, trace_id))
 }
 
 /// Encodes a `SCORES` reply payload.
@@ -289,6 +324,49 @@ mod tests {
             assert_eq!(a.eid, b.eid);
         }
         assert!(df.allclose(&feats, 0.0));
+    }
+
+    #[test]
+    fn traced_infer_round_trips_and_old_payloads_decode() {
+        let interactions: Vec<Interaction> = (0..3).map(inter).collect();
+        let feats = Tensor::full(3, 2, 0.25);
+        // tagged payload: the id survives the round trip
+        let tagged = encode_infer_traced(&interactions, &feats, Some(0xFEED_BEEF));
+        let (di, df, id) = decode_infer_traced(Bytes::from(tagged.clone())).unwrap();
+        assert_eq!(di.len(), 3);
+        assert!(df.allclose(&feats, 0.0));
+        assert_eq!(id, Some(0xFEED_BEEF));
+        // the untagged decoder tolerates the tag (old daemon, new client)
+        let (di, _) = decode_infer(Bytes::from(tagged)).unwrap();
+        assert_eq!(di.len(), 3);
+        // an untagged payload is byte-identical to the legacy encoding
+        // and decodes with no trace id (new daemon, old client)
+        let untagged = encode_infer_traced(&interactions, &feats, None);
+        assert_eq!(untagged, encode_infer(&interactions, &feats));
+        let (_, _, id) = decode_infer_traced(Bytes::from(untagged)).unwrap();
+        assert_eq!(id, None);
+    }
+
+    #[test]
+    fn traced_infer_decode_is_total_under_truncation() {
+        let interactions: Vec<Interaction> = (0..2).map(inter).collect();
+        let feats = Tensor::full(2, 3, 0.5);
+        let tagged = encode_infer_traced(&interactions, &feats, Some(7));
+        let untagged_len = tagged.len() - 9;
+        for cut in 0..=tagged.len() {
+            let b = Bytes::copy_from_slice(&tagged[..cut]);
+            let got = decode_infer_traced(b);
+            if cut < untagged_len {
+                assert!(got.is_err(), "cut {cut}: truncated body must error");
+            } else if cut == untagged_len {
+                // the whole tag is gone: a valid legacy payload remains
+                assert_eq!(got.unwrap().2, None, "cut {cut}");
+            } else if cut < tagged.len() {
+                assert!(got.is_err(), "cut {cut}: torn trace tag must error");
+            } else {
+                assert_eq!(got.unwrap().2, Some(7));
+            }
+        }
     }
 
     #[test]

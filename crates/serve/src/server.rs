@@ -30,7 +30,9 @@ use crate::proto::{self, reply, verb, Frame, ProtoError};
 use crate::snapshot;
 use apan_core::model::Apan;
 use apan_core::pipeline::{PropLink, ServingPipeline};
-use apan_metrics::{Clock, LatencyRecorder};
+use apan_metrics::{
+    Clock, Counter, Histogram, LatencyRecorder, ObsHub, Registry, Stage, TraceSink, STAGES,
+};
 use apan_tgraph::TemporalGraph;
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter};
@@ -92,6 +94,11 @@ pub struct ServeConfig {
     /// the write reported failed, as if the process died there. Models a
     /// crash during snapshotting; `None` (production) writes normally.
     pub snapshot_tear_after: Option<u64>,
+    /// Total capacity of the trace ring buffer behind the `TRACE` verb
+    /// (events, spread across per-thread rings; oldest are evicted when
+    /// full). `0` installs no sink: stage histograms still fill, but no
+    /// per-request spans are retained.
+    pub trace_buffer: usize,
 }
 
 impl Default for ServeConfig {
@@ -109,64 +116,185 @@ impl Default for ServeConfig {
             infer_delay: Duration::ZERO,
             clock: Clock::real(),
             snapshot_tear_after: None,
+            trace_buffer: 8192,
         }
     }
 }
 
-/// Counters behind the `STATS` verb.
+/// Counters behind the `STATS` verb. Every counter and histogram here
+/// is also registered in the daemon's metric [`Registry`], so the JSON
+/// `STATS` document and the Prometheus `METRICS` exposition read the
+/// same underlying state and can never disagree.
 pub struct ServeStats {
     /// Service latency (admission → reply) per request, over a bounded
     /// sliding window of [`LATENCY_WINDOW`] samples.
     pub latency: Mutex<LatencyRecorder>,
     /// Inference batches run.
-    pub batches: AtomicU64,
+    pub batches: Counter,
     /// Requests served (excluding shed).
-    pub requests: AtomicU64,
+    pub requests: Counter,
     /// Interactions scored.
-    pub interactions: AtomicU64,
-    /// Batch-size histogram (powers of two).
-    pub batch_hist: Mutex<[u64; BATCH_BUCKETS]>,
+    pub interactions: Counter,
+    /// Batch-size histogram. The `STATS` document renders its first
+    /// [`BATCH_BUCKETS`] log₂ buckets (overflow folded into the last),
+    /// which is bit-identical to the legacy fixed-width histogram.
+    pub batch_hist: Arc<Histogram>,
+    /// Unwindowed service-latency histogram (nanoseconds), for the
+    /// `METRICS` exposition.
+    pub service_hist: Arc<Histogram>,
     /// Largest batch seen.
-    pub batch_max: AtomicU64,
+    pub batch_max: Arc<AtomicU64>,
     /// Snapshots written.
-    pub snapshots: AtomicU64,
+    pub snapshots: Counter,
     /// Snapshot attempts that failed.
-    pub snapshot_failures: AtomicU64,
+    pub snapshot_failures: Counter,
 }
 
 impl Default for ServeStats {
     fn default() -> Self {
-        Self {
-            latency: Mutex::new(LatencyRecorder::bounded(LATENCY_WINDOW)),
-            batches: AtomicU64::new(0),
-            requests: AtomicU64::new(0),
-            interactions: AtomicU64::new(0),
-            batch_hist: Mutex::new([0; BATCH_BUCKETS]),
-            batch_max: AtomicU64::new(0),
-            snapshots: AtomicU64::new(0),
-            snapshot_failures: AtomicU64::new(0),
-        }
+        Self::new(&Registry::new())
     }
 }
 
 impl ServeStats {
+    /// Fresh stats with every counter and histogram registered in `reg`.
+    pub fn new(reg: &Registry) -> Self {
+        let batch_hist = Arc::new(Histogram::new());
+        let service_hist = Arc::new(Histogram::new());
+        let stats = Self {
+            latency: Mutex::new(LatencyRecorder::bounded(LATENCY_WINDOW)),
+            requests: reg.counter("apan_requests_total", "Requests served (excluding shed)"),
+            batches: reg.counter("apan_batches_total", "Inference batches run"),
+            interactions: reg.counter("apan_interactions_total", "Interactions scored"),
+            snapshots: reg.counter("apan_snapshots_total", "Snapshots written"),
+            snapshot_failures: reg.counter(
+                "apan_snapshot_failures_total",
+                "Snapshot attempts that failed",
+            ),
+            batch_max: Arc::new(AtomicU64::new(0)),
+            batch_hist: Arc::clone(&batch_hist),
+            service_hist: Arc::clone(&service_hist),
+        };
+        let bm = Arc::clone(&stats.batch_max);
+        reg.gauge_fn("apan_batch_max", "Largest batch seen", move || {
+            bm.load(Ordering::Relaxed) as f64
+        });
+        reg.histogram(
+            "apan_batch_size",
+            "Interactions per inference batch",
+            1.0,
+            batch_hist,
+        );
+        reg.histogram(
+            "apan_service_seconds",
+            "Service latency, admission to reply",
+            1e-9,
+            service_hist,
+        );
+        stats
+    }
+
     fn record_batch(&self, requests: usize, interactions: usize) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        self.requests.fetch_add(requests as u64, Ordering::Relaxed);
-        self.interactions
-            .fetch_add(interactions as u64, Ordering::Relaxed);
+        self.batches.inc();
+        self.requests.add(requests as u64);
+        self.interactions.add(interactions as u64);
         self.batch_max.fetch_max(interactions as u64, Ordering::Relaxed);
-        let mut idx = 0usize;
-        let mut cap = 1usize;
-        while interactions > cap && idx < BATCH_BUCKETS - 1 {
-            cap *= 2;
-            idx += 1;
-        }
-        self.batch_hist.lock().unwrap()[idx] += 1;
+        self.batch_hist.record(interactions as u64);
     }
 }
 
+/// Registers scrape-time views over state owned by other subsystems —
+/// the ingress queue, the propagation link, and the observability hub —
+/// so `METRICS` reads them fresh instead of mirroring them.
+fn register_scrape_views(
+    reg: &Registry,
+    queue: &Arc<IngressQueue>,
+    prop: &PropLink,
+    obs: &ObsHub,
+    clock: Clock,
+    started: Duration,
+) {
+    let q = Arc::clone(queue);
+    reg.counter_fn("apan_shed_total", "Requests shed by admission control", move || {
+        q.stats().shed
+    });
+    let q = Arc::clone(queue);
+    reg.counter_fn(
+        "apan_clamped_total",
+        "Interaction timestamps clamped forward to the monotone watermark",
+        move || q.stats().clamped,
+    );
+    let q = Arc::clone(queue);
+    reg.gauge_fn("apan_queue_depth", "Inference requests currently queued", move || {
+        q.stats().depth as f64
+    });
+    let q = Arc::clone(queue);
+    reg.gauge_fn("apan_watermark", "Current event-time watermark", move || {
+        q.stats().watermark
+    });
+    let p = prop.clone();
+    reg.counter_fn("apan_prop_jobs_total", "Propagation jobs executed", move || {
+        p.stats().jobs as u64
+    });
+    let p = prop.clone();
+    reg.counter_fn(
+        "apan_prop_deliveries_total",
+        "Mails delivered to mailbox slots",
+        move || p.stats().deliveries as u64,
+    );
+    let p = prop.clone();
+    reg.counter_fn(
+        "apan_prop_decode_errors_total",
+        "Propagation payloads that failed to decode",
+        move || p.stats().decode_errors as u64,
+    );
+    let p = prop.clone();
+    reg.gauge_fn(
+        "apan_prop_pending",
+        "Propagation jobs queued or in flight",
+        move || p.pending() as f64,
+    );
+    let p = prop.clone();
+    reg.gauge_fn(
+        "apan_prop_deliveries_per_sec",
+        "Mail delivery rate since daemon start",
+        move || {
+            let elapsed = clock.now().saturating_sub(started).as_secs_f64();
+            if elapsed > 0.0 {
+                p.stats().deliveries as f64 / elapsed
+            } else {
+                0.0
+            }
+        },
+    );
+    let o = obs.clone();
+    reg.counter_fn(
+        "apan_trace_dropped_total",
+        "Trace events evicted from the ring buffer before a TRACE drain",
+        move || o.dropped_events(),
+    );
+    for stage in STAGES {
+        let o = obs.clone();
+        reg.histogram_fn(
+            &format!("apan_stage_{}_seconds", stage.name()),
+            &format!("Time spent in the {} stage", stage.name()),
+            1e-9,
+            move || o.stage_snapshot(stage),
+        );
+    }
+    let o = obs.clone();
+    reg.histogram_fn(
+        "apan_prop_lag_seconds",
+        "Mail age (admission to mailbox commit) on the asynchronous link",
+        1e-9,
+        move || o.prop_lag_snapshot(),
+    );
+}
+
 struct Conn {
+    /// Connection id, mixed into derived trace ids so spans from
+    /// different peers reusing the same `req_id` stay distinguishable.
+    id: u64,
     /// Bounded reply queue drained by this connection's writer thread.
     /// Frames never interleave (single drainer), and the batcher never
     /// blocks on a peer's socket.
@@ -191,8 +319,13 @@ impl Conn {
 }
 
 struct Shared {
-    queue: IngressQueue,
+    queue: Arc<IngressQueue>,
     stats: ServeStats,
+    /// Every metric the daemon exposes, rendered by the `METRICS` verb.
+    registry: Registry,
+    /// The pipeline's observability hub: stage histograms, `prop_lag`,
+    /// and the trace sink drained by the `TRACE` verb.
+    obs: ObsHub,
     running: AtomicBool,
     /// Set by [`ServerHandle::crash`]: stop *without* the final
     /// snapshot, modelling a hard kill for the fault-injection harness.
@@ -221,7 +354,7 @@ impl Shared {
     fn stats_json(&self) -> String {
         let q = self.queue.stats();
         let latency = self.stats.latency.lock().unwrap().summary();
-        let hist = *self.stats.batch_hist.lock().unwrap();
+        let hist = self.stats.batch_hist.counts_clamped(BATCH_BUCKETS);
         let hist_json: Vec<String> = hist.iter().map(|c| c.to_string()).collect();
         let prop = self.prop.stats();
         // guard against a zero (or virtual, non-advancing) clock: the
@@ -243,13 +376,13 @@ impl Shared {
             q.shed,
             q.clamped,
             q.watermark,
-            self.stats.batches.load(Ordering::Relaxed),
-            self.stats.requests.load(Ordering::Relaxed),
-            self.stats.interactions.load(Ordering::Relaxed),
+            self.stats.batches.get(),
+            self.stats.requests.get(),
+            self.stats.interactions.get(),
             hist_json.join(","),
             self.stats.batch_max.load(Ordering::Relaxed),
-            self.stats.snapshots.load(Ordering::Relaxed),
-            self.stats.snapshot_failures.load(Ordering::Relaxed),
+            self.stats.snapshots.get(),
+            self.stats.snapshot_failures.get(),
             self.prop.pending(),
             prop.jobs,
             prop.deliveries,
@@ -355,8 +488,12 @@ pub fn start(mut model: Apan, cfg: ServeConfig) -> Result<ServerHandle, StartErr
             ServingPipeline::with_options(model, store, graph, cfg.capacity, cfg.prop_threads)
         }
     };
-    // sync-path latency stamps run on the daemon clock too
+    // sync-path latency stamps and stage spans run on the daemon clock
     pipeline.set_clock(cfg.clock.clone());
+    let obs = pipeline.obs();
+    if cfg.trace_buffer > 0 {
+        obs.install_sink(TraceSink::new(cfg.trace_buffer));
+    }
 
     let listener = TcpListener::bind(&cfg.addr)?;
     listener.set_nonblocking(true)?;
@@ -373,9 +510,19 @@ pub fn start(mut model: Apan, cfg: ServeConfig) -> Result<ServerHandle, StartErr
     cfg.clock.register_waker(Arc::clone(&tick_cv));
     let prop = pipeline.prop_link();
     let started = cfg.clock.now();
+    let queue = Arc::new(IngressQueue::with_clock(
+        cfg.high_water,
+        watermark,
+        cfg.clock.clone(),
+    ));
+    let registry = Registry::new();
+    let stats = ServeStats::new(&registry);
+    register_scrape_views(&registry, &queue, &prop, &obs, cfg.clock.clone(), started);
     let shared = Arc::new(Shared {
-        queue: IngressQueue::with_clock(cfg.high_water, watermark, cfg.clock.clone()),
-        stats: ServeStats::default(),
+        queue,
+        stats,
+        registry,
+        obs,
         running: AtomicBool::new(true),
         crashed: AtomicBool::new(false),
         conns: Mutex::new(HashMap::new()),
@@ -473,11 +620,11 @@ fn write_snapshot_now(pipeline: &ServingPipeline, shared: &Shared) -> Result<(),
         shared.cfg.snapshot_tear_after,
     ) {
         Ok(()) => {
-            shared.stats.snapshots.fetch_add(1, Ordering::Relaxed);
+            shared.stats.snapshots.inc();
             Ok(())
         }
         Err(e) => {
-            shared.stats.snapshot_failures.fetch_add(1, Ordering::Relaxed);
+            shared.stats.snapshot_failures.inc();
             Err(e.to_string())
         }
     }
@@ -487,11 +634,28 @@ fn batcher_loop(mut pipeline: ServingPipeline, shared: &Shared) {
     while let Some(drained) = shared.queue.drain(shared.cfg.policy) {
         match drained {
             Drained::Batch(batch) => {
+                // The batch-wait span closes the moment the batch does —
+                // before any injected service delay, so the histogram
+                // reports pure queueing time.
+                let t_closed = shared.obs.stamp();
+                for item in &batch {
+                    shared
+                        .obs
+                        .stage_record(Stage::BatchWait, item.trace_id, item.enqueued, t_closed);
+                }
                 let (interactions, feats) = assemble(&batch);
                 if !shared.cfg.infer_delay.is_zero() {
                     shared.cfg.clock.sleep(shared.cfg.infer_delay);
                 }
-                let result = pipeline.infer_batch(&interactions, &feats);
+                // The encode/decode spans and downstream propagation
+                // spans carry the batch's lead trace id; prop_lag ages
+                // mails from the oldest (first-admitted) request.
+                let result = pipeline.infer_batch_traced(
+                    &interactions,
+                    &feats,
+                    batch[0].trace_id,
+                    Some(batch[0].enqueued),
+                );
                 shared.stats.record_batch(batch.len(), interactions.len());
                 let now = shared.cfg.clock.now();
                 let mut offset = 0usize;
@@ -506,6 +670,7 @@ fn batcher_loop(mut pipeline: ServingPipeline, shared: &Shared) {
                 let mut rec = shared.stats.latency.lock().unwrap();
                 for d in latency {
                     rec.record(d);
+                    shared.stats.service_hist.record(d.as_nanos() as u64);
                 }
             }
             Drained::Control(Control::Snapshot(done)) => {
@@ -570,8 +735,8 @@ fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
                     continue;
                 };
                 let (tx, rx) = mpsc::sync_channel(REPLY_QUEUE);
-                let conn = Arc::new(Conn { tx, raw });
                 let id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+                let conn = Arc::new(Conn { id, tx, raw });
                 shared.conns.lock().unwrap().insert(id, Arc::clone(&conn));
                 let writer = std::thread::Builder::new()
                     .name("apan-conn-writer".into())
@@ -693,13 +858,17 @@ fn handle_frame(frame: Frame, conn: &Arc<Conn>, shared: &Arc<Shared>) {
     let req_id = frame.req_id;
     match frame.verb {
         verb::INFER => {
-            let (interactions, feats) = match proto::decode_infer(frame.payload) {
+            let t_admit = shared.obs.stamp();
+            let (interactions, feats, tag) = match proto::decode_infer_traced(frame.payload) {
                 Ok(x) => x,
                 Err(e) => {
                     conn.send(reply::ERROR, req_id, e.to_string().as_bytes());
                     return;
                 }
             };
+            // client-chosen trace id, or one derived from (conn, req):
+            // unique per request, recoverable from the client's req_id
+            let trace_id = tag.unwrap_or((conn.id << 32) ^ req_id);
             if interactions.is_empty() {
                 conn.send(reply::SCORES, req_id, &proto::encode_scores(&[]));
                 return;
@@ -738,8 +907,14 @@ fn handle_frame(frame: Frame, conn: &Arc<Conn>, shared: &Arc<Shared>) {
                     respond_conn.send(reply::ERROR, req_id, msg.as_bytes());
                 }
             });
-            match shared.queue.submit_infer(interactions, feats, responder) {
-                Ok(()) => {}
+            match shared.queue.submit_infer(interactions, feats, trace_id, responder) {
+                Ok(()) => {
+                    // decode + validation + admission, on the reader thread
+                    let t_admitted = shared.obs.stamp();
+                    shared
+                        .obs
+                        .stage_record(Stage::Admit, trace_id, t_admit, t_admitted);
+                }
                 Err((AdmitError::Overloaded, _)) => {
                     conn.send(reply::OVERLOADED, req_id, b"");
                 }
@@ -750,6 +925,18 @@ fn handle_frame(frame: Frame, conn: &Arc<Conn>, shared: &Arc<Shared>) {
         }
         verb::STATS => {
             conn.send(reply::JSON, req_id, shared.stats_json().as_bytes());
+        }
+        verb::METRICS => {
+            conn.send(reply::TEXT, req_id, shared.registry.render().as_bytes());
+        }
+        verb::TRACE => {
+            let events = shared.obs.drain_events();
+            let mut out = String::with_capacity(events.len() * 72);
+            for ev in &events {
+                out.push_str(&ev.to_json_line());
+                out.push('\n');
+            }
+            conn.send(reply::TEXT, req_id, out.as_bytes());
         }
         verb::INFO => {
             conn.send(reply::JSON, req_id, shared.info_json().as_bytes());
@@ -794,4 +981,31 @@ fn handle_frame(frame: Frame, conn: &Arc<Conn>, shared: &Arc<Shared>) {
             conn.send(reply::ERROR, req_id, format!("unknown verb {v:#04x}").as_bytes());
         }
     }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The shared log₂ [`Histogram`], clamped to [`BATCH_BUCKETS`]
+    /// buckets, reproduces the legacy bespoke batch-size histogram
+    /// exactly: same boundaries (≤1, ≤2, ≤4, …, ≤64, >64), same counts.
+    #[test]
+    fn batch_histogram_matches_the_legacy_bucket_boundaries() {
+        let hist = Histogram::new();
+        let mut legacy = vec![0u64; BATCH_BUCKETS];
+        for interactions in 1..=2000usize {
+            hist.record(interactions as u64);
+            // the replaced algorithm, verbatim
+            let mut idx = 0usize;
+            let mut cap = 1usize;
+            while interactions > cap && idx < BATCH_BUCKETS - 1 {
+                cap *= 2;
+                idx += 1;
+            }
+            legacy[idx] += 1;
+        }
+        assert_eq!(hist.counts_clamped(BATCH_BUCKETS), legacy);
+    }
+
 }

@@ -400,3 +400,254 @@ fn daemon_survives_malformed_and_oversized_frames() {
     assert_eq!(scores.len(), 2);
     handle.shutdown();
 }
+
+/// First sample value for an exactly-matching series name in a
+/// Prometheus text exposition.
+fn prom_sample(text: &str, name: &str) -> Option<f64> {
+    text.lines().filter(|l| !l.starts_with('#')).find_map(|l| {
+        let (n, v) = l.split_once(' ')?;
+        if n == name {
+            v.trim().parse().ok()
+        } else {
+            None
+        }
+    })
+}
+
+/// Structural validation of every histogram in an exposition: bucket
+/// bounds strictly increase, cumulative counts never decrease, and the
+/// `+Inf` bucket equals `_count`.
+fn validate_histograms(text: &str) {
+    let names: Vec<&str> = text
+        .lines()
+        .filter_map(|l| l.strip_prefix("# TYPE "))
+        .filter_map(|l| l.strip_suffix(" histogram"))
+        .collect();
+    assert!(!names.is_empty(), "exposition has no histograms:\n{text}");
+    for name in names {
+        let prefix = format!("{name}_bucket{{le=\"");
+        let mut last_le = f64::NEG_INFINITY;
+        let mut last_cum = 0u64;
+        let mut inf_value = None;
+        for line in text.lines().filter(|l| l.starts_with(&prefix)) {
+            let rest = &line[prefix.len()..];
+            let (le_str, rest) = rest.split_once("\"} ").expect("bucket line shape");
+            let cum: u64 = rest.trim().parse().expect("bucket count");
+            assert!(cum >= last_cum, "{name}: cumulative count decreased:\n{text}");
+            last_cum = cum;
+            if le_str == "+Inf" {
+                inf_value = Some(cum);
+            } else {
+                let le: f64 = le_str.parse().expect("le bound");
+                assert!(le > last_le, "{name}: bucket bounds must increase");
+                last_le = le;
+            }
+        }
+        let count = prom_sample(text, &format!("{name}_count")).expect("_count series");
+        assert_eq!(
+            inf_value.expect("+Inf bucket"),
+            count as u64,
+            "{name}: +Inf bucket must equal _count"
+        );
+    }
+}
+
+#[test]
+fn metrics_exposition_is_valid_and_agrees_with_stats() {
+    const REQS: usize = 6;
+    let handle = apan_serve::start(model(21), ServeConfig::default()).expect("start");
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).expect("connect");
+    for k in 0..REQS {
+        let (interactions, feats) = request(k);
+        client.infer(&interactions, &feats).expect("infer");
+        client.flush().expect("flush");
+    }
+    let stats = client.stats().expect("stats");
+    let text = client.metrics().expect("metrics");
+
+    // every STATS field has a METRICS series, plus the stage histograms
+    for name in [
+        "apan_requests_total",
+        "apan_batches_total",
+        "apan_interactions_total",
+        "apan_snapshots_total",
+        "apan_snapshot_failures_total",
+        "apan_shed_total",
+        "apan_clamped_total",
+        "apan_queue_depth",
+        "apan_watermark",
+        "apan_batch_max",
+        "apan_prop_jobs_total",
+        "apan_prop_deliveries_total",
+        "apan_prop_decode_errors_total",
+        "apan_prop_pending",
+        "apan_prop_deliveries_per_sec",
+        "apan_trace_dropped_total",
+        "apan_batch_size",
+        "apan_service_seconds",
+        "apan_prop_lag_seconds",
+    ] {
+        assert!(
+            text.contains(&format!("# TYPE {name} ")),
+            "METRICS is missing {name}:\n{text}"
+        );
+    }
+    // lockstep requests (one per batch): every stage saw every request
+    for stage in ["admit", "batch_wait", "encode", "decode_score", "commit", "plan", "deliver"] {
+        let count = prom_sample(&text, &format!("apan_stage_{stage}_seconds_count"));
+        assert_eq!(count, Some(REQS as f64), "stage {stage}:\n{text}");
+    }
+    // the two surfaces read the same state
+    for (series, field) in [
+        ("apan_requests_total", "requests"),
+        ("apan_batches_total", "batches"),
+        ("apan_interactions_total", "interactions"),
+        ("apan_shed_total", "shed"),
+        ("apan_clamped_total", "clamped"),
+        ("apan_prop_jobs_total", "prop_jobs"),
+        ("apan_prop_deliveries_total", "prop_deliveries"),
+        ("apan_batch_max", "batch_max"),
+    ] {
+        assert_eq!(
+            prom_sample(&text, series),
+            json_u64_field(&stats, field).map(|v| v as f64),
+            "{series} disagrees with STATS {field}"
+        );
+    }
+    // one prop_lag sample per delivered mail
+    assert_eq!(
+        prom_sample(&text, "apan_prop_lag_seconds_count"),
+        json_u64_field(&stats, "prop_deliveries").map(|v| v as f64),
+        "{text}"
+    );
+    validate_histograms(&text);
+    handle.shutdown();
+}
+
+/// Extracts the `stage` string field from one TRACE JSON line.
+fn trace_stage(line: &str) -> &str {
+    let start = line.find("\"stage\":\"").expect("stage field") + 9;
+    let end = line[start..].find('"').expect("closing quote") + start;
+    &line[start..end]
+}
+
+#[test]
+fn trace_correlates_spans_per_request_in_stage_order() {
+    const REQS: u64 = 4;
+    let handle = apan_serve::start(model(33), ServeConfig::default()).expect("start");
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).expect("connect");
+    for k in 0..REQS {
+        let (interactions, feats) = request(k as usize);
+        let scores = client
+            .infer_traced(&interactions, &feats, Some(1000 + k))
+            .expect("infer");
+        assert_eq!(scores.len(), 2);
+        client.flush().expect("flush");
+    }
+    let dump = client.trace_dump().expect("trace");
+
+    let mut by_id: std::collections::HashMap<u64, Vec<(String, u64, u64)>> =
+        std::collections::HashMap::new();
+    for line in dump.lines() {
+        let id = json_u64_field(line, "trace_id").expect("trace_id");
+        let start = json_u64_field(line, "start_ns").expect("start_ns");
+        let end = json_u64_field(line, "end_ns").expect("end_ns");
+        by_id
+            .entry(id)
+            .or_default()
+            .push((trace_stage(line).to_string(), start, end));
+    }
+
+    const ORDER: [&str; 7] = [
+        "admit", "batch_wait", "encode", "decode_score", "commit", "plan", "deliver",
+    ];
+    for k in 0..REQS {
+        let spans = by_id
+            .get(&(1000 + k))
+            .unwrap_or_else(|| panic!("no spans for trace {}:\n{dump}", 1000 + k));
+        assert_eq!(spans.len(), 7, "trace {} spans:\n{dump}", 1000 + k);
+        // each request flows through every stage exactly once, and the
+        // spans nest causally: start times follow the stage order
+        let mut prev_start = 0u64;
+        for stage in ORDER {
+            let (_, start, end) = spans
+                .iter()
+                .find(|(s, _, _)| s == stage)
+                .unwrap_or_else(|| panic!("trace {} missing {stage}:\n{dump}", 1000 + k));
+            assert!(end >= start, "span ends before it starts");
+            assert!(
+                *start >= prev_start,
+                "stage {stage} started before its predecessor (trace {}):\n{dump}",
+                1000 + k
+            );
+            prev_start = *start;
+        }
+    }
+
+    // draining is destructive: a second drain is empty
+    let again = client.trace_dump().expect("trace again");
+    assert!(again.trim().is_empty(), "second drain must be empty: {again}");
+    handle.shutdown();
+}
+
+#[test]
+fn stats_json_shape_is_pinned() {
+    let handle = apan_serve::start(model(2), ServeConfig::default()).expect("start");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let (interactions, feats) = request(0);
+    client.infer(&interactions, &feats).expect("infer");
+    client.flush().expect("flush");
+    let stats = client.stats().expect("stats");
+
+    // External tooling scans this flat document: pin the top-level key
+    // set and order so the registry refactor can never silently move it.
+    let mut keys = Vec::new();
+    let mut depth = 0usize;
+    let bytes = stats.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' | b'[' => depth += 1,
+            b'}' | b']' => depth -= 1,
+            b'"' if depth == 1 => {
+                let end = stats[i + 1..].find('"').expect("closing quote") + i + 1;
+                keys.push(&stats[i + 1..end]);
+                i = end;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    assert_eq!(
+        keys,
+        vec![
+            "latency",
+            "queue_depth",
+            "shed",
+            "clamped",
+            "watermark",
+            "batches",
+            "requests",
+            "interactions",
+            "batch_hist",
+            "batch_max",
+            "snapshots",
+            "snapshot_failures",
+            "prop_pending",
+            "prop_jobs",
+            "prop_deliveries",
+            "prop_deliveries_per_sec",
+            "prop_decode_errors",
+        ],
+        "STATS document shape changed: {stats}"
+    );
+    // the batch histogram keeps its legacy 8-bucket shape
+    let hist_start = stats.find("\"batch_hist\":[").expect("batch_hist") + 14;
+    let hist_end = stats[hist_start..].find(']').expect("closing bracket") + hist_start;
+    let buckets: Vec<&str> = stats[hist_start..hist_end].split(',').collect();
+    assert_eq!(buckets.len(), 8, "batch_hist must keep 8 buckets: {stats}");
+    assert!(buckets.iter().all(|b| b.chars().all(|c| c.is_ascii_digit())));
+    handle.shutdown();
+}

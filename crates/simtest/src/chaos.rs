@@ -111,6 +111,45 @@ impl ChaosClient {
         Ok(scores.iter().map(|s| s.to_bits()).collect())
     }
 
+    /// Sends workload request `k` **without awaiting the reply** and
+    /// returns its request id. The virtual-time scenarios need this
+    /// split: with a frozen clock and a nonzero batch deadline, the
+    /// daemon cannot reply until the driver advances time — which the
+    /// driver can only do if `deliver`'s blocking read is not in the
+    /// way. Pair with [`ChaosClient::recv_scores`].
+    pub fn send_infer(&mut self, seed: u64, k: usize) -> Result<u64, ChaosError> {
+        let (interactions, feats) = request(seed, k);
+        let req_id = self.next_req;
+        self.next_req += 1;
+        self.stream.write_all(&raw_frame(
+            verb::INFER,
+            req_id,
+            &proto::encode_infer(&interactions, &feats),
+        ))?;
+        Ok(req_id)
+    }
+
+    /// Awaits the scores for a request previously sent with
+    /// [`ChaosClient::send_infer`].
+    pub fn recv_scores(&mut self, req_id: u64) -> Result<Vec<u32>, ChaosError> {
+        let frame = proto::read_frame(&mut self.reader)?
+            .ok_or_else(|| ChaosError::Unexpected("daemon closed connection".into()))?;
+        if frame.req_id != req_id {
+            return Err(ChaosError::Unexpected(format!(
+                "reply for request {} while awaiting {}",
+                frame.req_id, req_id
+            )));
+        }
+        if frame.verb != reply::SCORES {
+            return Err(ChaosError::Unexpected(format!(
+                "verb {:#04x} to INFER",
+                frame.verb
+            )));
+        }
+        let scores = proto::decode_scores(frame.payload)?;
+        Ok(scores.iter().map(|s| s.to_bits()).collect())
+    }
+
     /// Sends only the first `cut` bytes of request `k`'s frame, then
     /// kills the connection mid-frame and reconnects. The daemon must
     /// survive with no state change from the torn frame.
@@ -174,6 +213,19 @@ impl ChaosClient {
         }
         String::from_utf8(frame.payload.to_vec())
             .map_err(|_| ChaosError::Unexpected("non-UTF-8 STATS".into()))
+    }
+
+    /// The daemon's metric registry as Prometheus text exposition.
+    pub fn metrics(&mut self) -> Result<String, ChaosError> {
+        let frame = self.roundtrip(verb::METRICS, b"")?;
+        if frame.verb != reply::TEXT {
+            return Err(ChaosError::Unexpected(format!(
+                "verb {:#04x} to METRICS",
+                frame.verb
+            )));
+        }
+        String::from_utf8(frame.payload.to_vec())
+            .map_err(|_| ChaosError::Unexpected("non-UTF-8 METRICS".into()))
     }
 
     /// One named `u64` field of the STATS document.

@@ -524,3 +524,173 @@ fn same_seed_replays_an_identical_trace() {
     let (t3, _, _) = chaos_soup(5678);
     assert_ne!(t1.render(), t3.render());
 }
+
+#[test]
+fn virtual_time_stage_histograms_report_scheduled_durations_exactly() {
+    // Batch deadline and injected inference delay, in virtual
+    // nanoseconds. Both land inside the (2^22, 2^23] ns log2 bucket, so
+    // the assertion below can also pin the exact bucket they fill.
+    const D_NS: u64 = 5_000_000;
+    const I_NS: u64 = 3_000_000;
+    const N: usize = 4;
+
+    fn json_f64(doc: &str, field: &str) -> Option<f64> {
+        let needle = format!("\"{field}\":");
+        let start = doc.find(&needle)? + needle.len();
+        let rest = &doc[start..];
+        let end = rest
+            .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        rest[..end].parse().ok()
+    }
+
+    fn prom(text: &str, name: &str) -> Option<f64> {
+        text.lines().filter(|l| !l.starts_with('#')).find_map(|l| {
+            let (n, v) = l.split_once(' ')?;
+            if n == name {
+                v.trim().parse().ok()
+            } else {
+                None
+            }
+        })
+    }
+
+    // One fully-scripted run: every request is admitted at a frozen
+    // instant, waits out exactly D of simulated deadline, then exactly I
+    // of simulated inference delay; propagation lands before time moves
+    // again. Returns the final METRICS exposition.
+    fn run(seed: u64, trace: &mut Trace) -> String {
+        let clock = Clock::virtual_clock();
+        let vt = clock.virtual_handle().unwrap();
+        let cfg = ServeConfig {
+            clock: clock.clone(),
+            policy: apan_serve::batcher::BatchPolicy {
+                max_batch: 64,
+                batch_deadline: Duration::from_nanos(D_NS),
+            },
+            infer_delay: Duration::from_nanos(I_NS),
+            ..base_cfg()
+        };
+        let handle = start(WEIGHTS, cfg);
+        let mut client = ChaosClient::connect(handle.addr()).expect("connect");
+        let mut probe = ChaosClient::connect(handle.addr()).expect("probe");
+        for k in 0..N {
+            let req = client.send_infer(seed, k).expect("send");
+            trace.push(format!("send {k}"));
+            // Admission raises the watermark to the request's last event
+            // time and the batcher arming its deadline drains the queue;
+            // both live under one queue lock, so observing them together
+            // makes the advance below race-free.
+            assert!(
+                wait_until(Duration::from_secs(10), || {
+                    let stats = probe.stats().expect("stats");
+                    json_f64(&stats, "watermark").unwrap_or(-1.0) >= (2 * k + 2) as f64
+                        && json_f64(&stats, "queue_depth") == Some(0.0)
+                }),
+                "request {k} never reached the armed batcher"
+            );
+            vt.advance(Duration::from_nanos(D_NS));
+            trace.push(format!("advance deadline {k}"));
+            // the batcher parks in the injected inference delay — the
+            // only virtual sleeper in the daemon
+            assert!(
+                wait_until(Duration::from_secs(10), || vt.sleepers() == 1),
+                "batcher never parked in the injected inference delay"
+            );
+            vt.advance(Duration::from_nanos(I_NS));
+            trace.push(format!("advance infer_delay {k}"));
+            let scores = client.recv_scores(req).expect("scores");
+            assert_eq!(scores.len(), 2);
+            client.flush().expect("flush");
+        }
+        let text = probe.metrics().expect("metrics");
+        handle.shutdown();
+        text
+    }
+
+    let mut t1 = Trace::new();
+    let text = run(2026, &mut t1);
+
+    // batch_wait: each of the N single-request batches waited out
+    // exactly the virtual deadline — count, sum, and bucket all pinned
+    assert_eq!(
+        prom(&text, "apan_stage_batch_wait_seconds_count"),
+        Some(N as f64),
+        "{text}"
+    );
+    let bw_sum = format!(
+        "apan_stage_batch_wait_seconds_sum {}",
+        (N as u64 * D_NS) as f64 * 1e-9
+    );
+    assert!(text.contains(&bw_sum), "batch_wait sum must be exactly N*D:\n{text}");
+    assert!(
+        text.contains(&format!(
+            "apan_stage_batch_wait_seconds_bucket{{le=\"0.008388608\"}} {N}"
+        )),
+        "{text}"
+    );
+    assert!(
+        text.contains("apan_stage_batch_wait_seconds_bucket{le=\"0.004194304\"} 0"),
+        "no batch may close early:\n{text}"
+    );
+
+    // prop_lag: every delivered mail aged exactly D + I between its
+    // request's admission and its mailbox commit
+    let deliveries = prom(&text, "apan_prop_deliveries_total").expect("deliveries") as u64;
+    assert!(deliveries > 0, "{text}");
+    assert_eq!(
+        prom(&text, "apan_prop_lag_seconds_count"),
+        Some(deliveries as f64),
+        "{text}"
+    );
+    let lag_sum = format!(
+        "apan_prop_lag_seconds_sum {}",
+        (deliveries * (D_NS + I_NS)) as f64 * 1e-9
+    );
+    assert!(text.contains(&lag_sum), "prop_lag sum must be exactly deliveries*(D+I):\n{text}");
+
+    // every other stage ran at a frozen instant: zero virtual width
+    for stage in ["admit", "encode", "decode_score", "commit", "plan", "deliver"] {
+        assert_eq!(
+            prom(&text, &format!("apan_stage_{stage}_seconds_sum")),
+            Some(0.0),
+            "stage {stage} must have zero virtual width:\n{text}"
+        );
+    }
+
+    // replaying the same seed reproduces the entire exposition bitwise —
+    // timings, counters, rates, everything
+    let mut t2 = Trace::new();
+    let replay = run(2026, &mut t2);
+    assert_eq!(t1.render(), t2.render(), "same seed must replay the same trace");
+    assert_eq!(
+        text, replay,
+        "same seed must replay a bitwise-identical METRICS exposition"
+    );
+
+    // a different workload seed changes endpoints, scores, and mail
+    // fan-out — but the scheduled virtual durations are seed-invariant,
+    // so the batch_wait histogram is bitwise identical and prop_lag
+    // still reports exactly D + I per delivery
+    let other = run(4711, &mut Trace::new());
+    let bw_block = |t: &str| {
+        t.lines()
+            .filter(|l| l.contains("apan_stage_batch_wait_seconds"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        bw_block(&text),
+        bw_block(&other),
+        "batch_wait histogram must not depend on the workload seed"
+    );
+    let other_deliveries = prom(&other, "apan_prop_lag_seconds_count").expect("count") as u64;
+    assert!(other_deliveries > 0);
+    assert!(
+        other.contains(&format!(
+            "apan_prop_lag_seconds_sum {}",
+            (other_deliveries * (D_NS + I_NS)) as f64 * 1e-9
+        )),
+        "prop_lag per-delivery age must be exactly D+I for any seed:\n{other}"
+    );
+}

@@ -1,0 +1,132 @@
+#!/usr/bin/env bash
+# Observability smoke: the METRICS/TRACE tentpole, end to end.
+#
+# 1. Boots `apand`, drives it with `apan-loadgen --metrics-every-ms`,
+#    and asserts the final Prometheus exposition is present, covers
+#    every stage histogram plus `prop_lag`, and agrees exactly with the
+#    STATS JSON surface on the request count.
+# 2. Runs the `trace_overhead` bench twice — the default build and the
+#    `--features trace-off` baseline — and holds the *dormant*
+#    instrumented hot path (tracing compiled in, no sink installed) to
+#    within OBS_TOLERANCE_PCT (default 2%) of the compiled-out build.
+#
+# Usage: scripts/obs_smoke.sh [duration_s]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DURATION="${1:-2}"
+TOLERANCE="${OBS_TOLERANCE_PCT:-2}"
+LOG="$(mktemp /tmp/apand_obs.XXXXXX.log)"
+OUT_ON="$(mktemp -d /tmp/apan_obs_on.XXXXXX)"
+OUT_OFF="$(mktemp -d /tmp/apan_obs_off.XXXXXX)"
+APID=""
+
+cleanup() {
+  [ -n "$APID" ] && kill -TERM "$APID" 2>/dev/null && wait "$APID" 2>/dev/null
+  rm -rf "$LOG" "$OUT_ON" "$OUT_OFF"
+}
+trap cleanup EXIT
+
+cargo build --release --bin apand --bin apan-loadgen
+
+./target/release/apand --port 0 --dim 16 >"$LOG" 2>&1 &
+APID=$!
+for _ in $(seq 50); do
+  grep -q "listening on" "$LOG" 2>/dev/null && break
+  sleep 0.1
+done
+PORT="$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' "$LOG" | head -1)"
+if [ -z "$PORT" ]; then
+  echo "obs_smoke: apand did not come up" >&2
+  cat "$LOG" >&2
+  exit 1
+fi
+echo "obs_smoke: apand on port $PORT"
+
+OUT="$(./target/release/apan-loadgen --addr "127.0.0.1:$PORT" \
+  --conns 4 --duration-s "$DURATION" --batch 8 --metrics-every-ms 500)"
+echo "$OUT" | grep -v '^apan_\|^# '   # keep the log readable; metrics checked below
+
+METRICS="$(echo "$OUT" | sed -n '/final metrics begin/,/final metrics end/p')"
+if [ -z "$METRICS" ]; then
+  echo "obs_smoke: no final METRICS exposition in loadgen output" >&2
+  exit 1
+fi
+
+# Every stage of the request path must expose a latency histogram.
+for stage in admit batch_wait encode decode_score commit plan deliver; do
+  if ! echo "$METRICS" | grep -q "# TYPE apan_stage_${stage}_seconds histogram"; then
+    echo "obs_smoke: METRICS is missing the ${stage} stage histogram" >&2
+    exit 1
+  fi
+done
+for series in apan_prop_lag_seconds apan_batch_size apan_service_seconds; do
+  if ! echo "$METRICS" | grep -q "# TYPE ${series} histogram"; then
+    echo "obs_smoke: METRICS is missing ${series}" >&2
+    exit 1
+  fi
+done
+
+# The two surfaces must agree exactly: loadgen printed the STATS JSON
+# and the exposition back to back with no traffic in between.
+STATS="$(echo "$OUT" | sed -n 's/^apan-loadgen: daemon stats //p')"
+STATS_REQS="$(echo "$STATS" | sed -n 's/.*"requests":\([0-9]*\).*/\1/p')"
+PROM_REQS="$(echo "$METRICS" | awk '$1 == "apan_requests_total" {print $2; exit}')"
+if [ -z "$STATS_REQS" ] || [ "$STATS_REQS" = "0" ]; then
+  echo "obs_smoke: daemon served nothing: $STATS" >&2
+  exit 1
+fi
+if [ "$STATS_REQS" != "$PROM_REQS" ]; then
+  echo "obs_smoke: STATS says $STATS_REQS requests, METRICS says $PROM_REQS" >&2
+  exit 1
+fi
+DELIVERED="$(echo "$METRICS" | awk '$1 == "apan_prop_lag_seconds_count" {print $2; exit}')"
+if [ -z "$DELIVERED" ] || [ "$DELIVERED" = "0" ]; then
+  echo "obs_smoke: prop_lag histogram saw no deliveries" >&2
+  exit 1
+fi
+echo "obs_smoke: METRICS OK ($STATS_REQS requests, $DELIVERED prop_lag samples)"
+
+kill -TERM "$APID"
+wait "$APID" 2>/dev/null || true
+APID=""
+
+# ----------------------------------------------------------------------
+# Bench guard: dormant tracing vs the trace-off baseline.
+# ----------------------------------------------------------------------
+APAN_OUT="$OUT_ON" cargo test -q -p apan-bench --release --bench trace_overhead
+APAN_OUT="$OUT_OFF" cargo test -q -p apan-bench --release --bench trace_overhead \
+  --features trace-off
+
+field() { sed -n "s/.*\"$2\":\([0-9.eE+-]*\).*/\1/p" "$1"; }
+
+for f in "$OUT_ON/BENCH_trace.json" "$OUT_OFF/BENCH_trace.json"; do
+  if [ ! -s "$f" ]; then
+    echo "obs_smoke: $f was not written" >&2
+    exit 1
+  fi
+done
+if ! grep -q '"trace_compiled":true' "$OUT_ON/BENCH_trace.json" ||
+   ! grep -q '"trace_compiled":false' "$OUT_OFF/BENCH_trace.json"; then
+  echo "obs_smoke: trace_compiled flags are wrong way round" >&2
+  exit 1
+fi
+
+ON="$(field "$OUT_ON/BENCH_trace.json" ns_per_infer_no_sink)"
+OFF="$(field "$OUT_OFF/BENCH_trace.json" ns_per_infer_no_sink)"
+EVENT="$(field "$OUT_ON/BENCH_trace.json" ns_per_event_record)"
+if [ -z "$ON" ] || [ -z "$OFF" ]; then
+  echo "obs_smoke: could not parse BENCH_trace.json timings" >&2
+  exit 1
+fi
+awk -v on="$ON" -v off="$OFF" -v ev="$EVENT" -v tol="$TOLERANCE" 'BEGIN {
+  pct = (on - off) / off * 100;
+  printf "obs_smoke: dormant hot path %.0f ns vs %.0f ns trace-off (%+.2f%%, budget %s%%); %.0f ns/event live\n",
+         on, off, pct, tol, ev;
+  exit (pct > tol) ? 1 : 0
+}' || {
+  echo "obs_smoke: dormant tracing exceeds the ${TOLERANCE}% overhead budget" >&2
+  exit 1
+}
+
+echo "obs_smoke: OK"
