@@ -126,11 +126,17 @@ impl DynamicModel for DyRep {
 
         let dts_src: Vec<f32> = events
             .iter()
-            .map(|e| self.memory.normalize_dt(e.time - self.memory.last_update(e.src)))
+            .map(|e| {
+                self.memory
+                    .normalize_dt(e.time - self.memory.last_update(e.src))
+            })
             .collect();
         let dts_dst: Vec<f32> = events
             .iter()
-            .map(|e| self.memory.normalize_dt(e.time - self.memory.last_update(e.dst)))
+            .map(|e| {
+                self.memory
+                    .normalize_dt(e.time - self.memory.last_update(e.dst))
+            })
             .collect();
         let (phi_src, phi_dst) = {
             let mut fwd = Fwd::new(&self.params, false);

@@ -45,7 +45,7 @@ impl GatLayer {
         let s2 = fwd.g.matmul(wh, a2); // [N,1]
         let s2t = fwd.g.transpose(s2); // [1,N]
         let scores = fwd.g.add(s1, s2t); // broadcast → [N,N]
-        // LeakyReLU(0.2): relu(x) − 0.2·relu(−x)
+                                         // LeakyReLU(0.2): relu(x) − 0.2·relu(−x)
         let pos = fwd.g.relu(scores);
         let negated = fwd.g.neg(scores);
         let neg = fwd.g.relu(negated);

@@ -105,7 +105,11 @@ impl Gae {
 
 impl StaticEmbedder for Gae {
     fn name(&self) -> String {
-        if self.variational { "VGAE".into() } else { "GAE".into() }
+        if self.variational {
+            "VGAE".into()
+        } else {
+            "GAE".into()
+        }
     }
     fn params(&self) -> &ParamStore {
         &self.params

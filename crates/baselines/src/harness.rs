@@ -69,8 +69,7 @@ pub trait DynamicModel {
     fn score_links(&self, fwd: &mut Fwd<'_>, zi: Var, zj: Var, rng: &mut StdRng) -> Var;
     /// Node-classification logits from embeddings plus the triggering
     /// interaction's features (JODIE-style dynamic-state protocol).
-    fn classify_nodes(&self, fwd: &mut Fwd<'_>, z: Var, feats: &Tensor, rng: &mut StdRng)
-        -> Var;
+    fn classify_nodes(&self, fwd: &mut Fwd<'_>, z: Var, feats: &Tensor, rng: &mut StdRng) -> Var;
     /// Edge-classification logits from embeddings + edge features.
     fn classify_edges(
         &self,
@@ -155,12 +154,7 @@ impl ScoreLog {
         }
         let mut scores = Vec::new();
         let mut labels = Vec::new();
-        for ((&s, &l), &ind) in self
-            .scores
-            .iter()
-            .zip(&self.labels)
-            .zip(&self.inductive)
-        {
+        for ((&s, &l), &ind) in self.scores.iter().zip(&self.labels).zip(&self.inductive) {
             if ind == want_inductive {
                 scores.push(s);
                 labels.push(l);
@@ -272,12 +266,10 @@ fn link_batch<M: DynamicModel + ?Sized>(
         if let Some(known) = train_nodes {
             // positives: (src, dst); negatives: (src, neg)
             for (s, d) in src.iter().zip(&dst) {
-                log.inductive
-                    .push(!known.contains(s) || !known.contains(d));
+                log.inductive.push(!known.contains(s) || !known.contains(d));
             }
             for (s, n) in src.iter().zip(&neg) {
-                log.inductive
-                    .push(!known.contains(s) || !known.contains(n));
+                log.inductive.push(!known.contains(s) || !known.contains(n));
             }
         }
     }
@@ -505,7 +497,18 @@ pub fn measure_inference<M: DynamicModel + ?Sized>(
     // roll state through train+val without timing
     for r in [split.train.clone(), split.val.clone()] {
         run_range(
-            model, None, data, r, batch_size, &mut sampler, 0.0, rng, None, None, &mut cost, None,
+            model,
+            None,
+            data,
+            r,
+            batch_size,
+            &mut sampler,
+            0.0,
+            rng,
+            None,
+            None,
+            &mut cost,
+            None,
             &free,
         );
     }

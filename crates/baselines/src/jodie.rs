@@ -49,11 +49,17 @@ impl Jodie {
         // Φ(Δt) computed numerically at message-creation time.
         let dts_src: Vec<f32> = events
             .iter()
-            .map(|e| self.memory.normalize_dt(e.time - self.memory.last_update(e.src)))
+            .map(|e| {
+                self.memory
+                    .normalize_dt(e.time - self.memory.last_update(e.src))
+            })
             .collect();
         let dts_dst: Vec<f32> = events
             .iter()
-            .map(|e| self.memory.normalize_dt(e.time - self.memory.last_update(e.dst)))
+            .map(|e| {
+                self.memory
+                    .normalize_dt(e.time - self.memory.last_update(e.dst))
+            })
             .collect();
         let (phi_src, phi_dst) = {
             let mut fwd = Fwd::new(&self.params, false);
@@ -98,8 +104,7 @@ impl DynamicModel for Jodie {
     fn reset(&mut self, data: &apan_data::TemporalDataset) {
         let span = data.graph.max_time().max(1.0);
         let mean_gap = span / data.num_events().max(1) as f64;
-        self.memory
-            .reset(data.num_nodes(), mean_gap * 100.0);
+        self.memory.reset(data.num_nodes(), mean_gap * 100.0);
     }
 
     fn embed(
@@ -215,7 +220,14 @@ mod tests {
         // messages pending: embedding of a touched node now differs from untouched
         let mut fwd = Fwd::new(model.params(), false);
         let touched = events[0].src;
-        let out = model.embed(&mut fwd, &data, &[touched], events[9].time, &mut rng, &mut cost);
+        let out = model.embed(
+            &mut fwd,
+            &data,
+            &[touched],
+            events[9].time,
+            &mut rng,
+            &mut cost,
+        );
         assert!(fwd.g.value(out).data().iter().any(|&v| v != 0.0));
     }
 

@@ -87,8 +87,12 @@ pub fn train_static_link<M: StaticEmbedder + ?Sized>(
     rng: &mut StdRng,
 ) -> StaticOutcome {
     let sg = StaticGraph::build(data, &split.train);
-    let scale_id = model.params_mut().add("static.cal.scale", Tensor::scalar(1.0));
-    let bias_id = model.params_mut().add("static.cal.bias", Tensor::scalar(0.0));
+    let scale_id = model
+        .params_mut()
+        .add("static.cal.scale", Tensor::scalar(1.0));
+    let bias_id = model
+        .params_mut()
+        .add("static.cal.bias", Tensor::scalar(0.0));
     let mut opt = Adam::new(lr);
     let mut final_loss = 0.0;
 
@@ -105,16 +109,8 @@ pub fn train_static_link<M: StaticEmbedder + ?Sized>(
         let grads = {
             let mut fwd = Fwd::new(model.params(), true);
             let z = model.embed_all(&mut fwd, &sg, rng);
-            let idx_u: Vec<usize> = pos
-                .iter()
-                .chain(&neg)
-                .map(|&(u, _)| u as usize)
-                .collect();
-            let idx_v: Vec<usize> = pos
-                .iter()
-                .chain(&neg)
-                .map(|&(_, v)| v as usize)
-                .collect();
+            let idx_u: Vec<usize> = pos.iter().chain(&neg).map(|&(u, _)| u as usize).collect();
+            let idx_v: Vec<usize> = pos.iter().chain(&neg).map(|&(_, v)| v as usize).collect();
             let zu = fwd.g.gather_rows(z, &idx_u);
             let zv = fwd.g.gather_rows(z, &idx_v);
             let dots = fwd.g.rows_dot(zu, zv);

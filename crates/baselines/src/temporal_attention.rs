@@ -6,8 +6,8 @@
 //! *synchronous* aggregation pattern whose inference-time graph queries
 //! APAN eliminates — the sampling helper here tracks exactly that cost.
 
-use apan_nn::{Fwd, Linear, Mlp, ParamStore, TimeEncoding};
 use apan_nn::attention::length_mask;
+use apan_nn::{Fwd, Linear, Mlp, ParamStore, TimeEncoding};
 use apan_tensor::{Tensor, Var};
 use apan_tgraph::cost::QueryCost;
 use apan_tgraph::sampling::{sample_neighbors, Strategy};
@@ -98,7 +98,13 @@ impl TemporalAttentionLayer {
             wq: Linear::new(store, &format!("{name}.wq"), 2 * dim, dim, rng),
             wk: Linear::new(store, &format!("{name}.wk"), 2 * dim + feat_dim, dim, rng),
             wv: Linear::new(store, &format!("{name}.wv"), 2 * dim + feat_dim, dim, rng),
-            head: Mlp::new(store, &format!("{name}.ffn"), &[2 * dim, hidden, dim], 0.0, rng),
+            head: Mlp::new(
+                store,
+                &format!("{name}.ffn"),
+                &[2 * dim, hidden, dim],
+                0.0,
+                rng,
+            ),
             heads,
             dim,
             feat_dim,

@@ -264,7 +264,10 @@ mod tests {
         let z2 = m.embed(&mut fwd, &data, &[node], late, &mut rng, &mut cost);
         let a = fwd.g.value(z1).clone();
         let b = fwd.g.value(z2).clone();
-        assert!(!a.allclose(&b, 1e-7), "history growth should move the embedding");
+        assert!(
+            !a.allclose(&b, 1e-7),
+            "history growth should move the embedding"
+        );
     }
 
     #[test]

@@ -10,8 +10,8 @@
 use crate::harness::DynamicModel;
 use crate::heads::TaskHeads;
 use crate::memory::NodeMemory;
-use crate::tgat::Tgat;
 use crate::temporal_attention::{sample_level, SampledLevel, TemporalAttentionLayer};
+use crate::tgat::Tgat;
 use apan_nn::{Fwd, ParamStore};
 use apan_tensor::{Tensor, Var};
 use apan_tgraph::cost::QueryCost;
@@ -139,15 +139,8 @@ impl DynamicModel for Tgn {
             let level = &sampled_levels[l];
             let h_self = self.memory.current_memory(fwd, &node_levels[l]);
             let feats = Tgat::level_feats(data, level);
-            rep = self.layers[l].forward(
-                fwd,
-                h_self,
-                rep,
-                &feats,
-                level,
-                &self.memory.time_enc,
-                rng,
-            );
+            rep =
+                self.layers[l].forward(fwd, h_self, rep, &feats, level, &self.memory.time_enc, rng);
         }
         rep
     }
@@ -164,11 +157,17 @@ impl DynamicModel for Tgn {
         self.memory.persist(&self.params, unique);
         let dts_src: Vec<f32> = events
             .iter()
-            .map(|e| self.memory.normalize_dt(e.time - self.memory.last_update(e.src)))
+            .map(|e| {
+                self.memory
+                    .normalize_dt(e.time - self.memory.last_update(e.src))
+            })
             .collect();
         let dts_dst: Vec<f32> = events
             .iter()
-            .map(|e| self.memory.normalize_dt(e.time - self.memory.last_update(e.dst)))
+            .map(|e| {
+                self.memory
+                    .normalize_dt(e.time - self.memory.last_update(e.dst))
+            })
             .collect();
         let (phi_src, phi_dst) = {
             let mut fwd = Fwd::new(&self.params, false);

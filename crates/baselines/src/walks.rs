@@ -173,7 +173,10 @@ mod tests {
         assert!(!walks.is_empty());
         for w in &walks {
             for pair in w.windows(2) {
-                assert!(a[pair[0] as usize].contains(&pair[1]), "invalid step {pair:?}");
+                assert!(
+                    a[pair[0] as usize].contains(&pair[1]),
+                    "invalid step {pair:?}"
+                );
             }
         }
     }

@@ -55,7 +55,11 @@ fn bench_update_rules(c: &mut Criterion) {
 
 fn bench_slot_encodings(c: &mut Criterion) {
     let mut group = c.benchmark_group("encoder_slot_encoding_B200");
-    for &enc in &[SlotEncoding::Positional, SlotEncoding::Temporal, SlotEncoding::None] {
+    for &enc in &[
+        SlotEncoding::Positional,
+        SlotEncoding::Temporal,
+        SlotEncoding::None,
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{enc:?}")),
             &enc,
@@ -86,5 +90,10 @@ fn bench_slot_encodings(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_reduce_ops, bench_update_rules, bench_slot_encodings);
+criterion_group!(
+    benches,
+    bench_reduce_ops,
+    bench_update_rules,
+    bench_slot_encodings
+);
 criterion_main!(benches);

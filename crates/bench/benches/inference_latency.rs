@@ -62,24 +62,20 @@ fn bench_sync_path(c: &mut Criterion) {
                 zm.model.post_step(&data, chunk, &u, &m, &z, &mut cost);
             }
         }
-        group.bench_with_input(
-            BenchmarkId::from_parameter(&zm.name),
-            &(),
-            |bencher, _| {
-                let mut rng = StdRng::seed_from_u64(1);
-                bencher.iter(|| {
-                    let mut cost = QueryCost::new();
-                    let mut fwd = Fwd::new(zm.model.params(), false);
-                    let z = zm
-                        .model
-                        .embed(&mut fwd, &data, &unique, visible, &mut rng, &mut cost);
-                    let zi = fwd.g.gather_rows(z, &maps[0]);
-                    let zj = fwd.g.gather_rows(z, &maps[1]);
-                    let logits = zm.model.score_links(&mut fwd, zi, zj, &mut rng);
-                    black_box(fwd.g.value(logits).sum())
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(&zm.name), &(), |bencher, _| {
+            let mut rng = StdRng::seed_from_u64(1);
+            bencher.iter(|| {
+                let mut cost = QueryCost::new();
+                let mut fwd = Fwd::new(zm.model.params(), false);
+                let z = zm
+                    .model
+                    .embed(&mut fwd, &data, &unique, visible, &mut rng, &mut cost);
+                let zi = fwd.g.gather_rows(z, &maps[0]);
+                let zj = fwd.g.gather_rows(z, &maps[1]);
+                let logits = zm.model.score_links(&mut fwd, zi, zj, &mut rng);
+                black_box(fwd.g.value(logits).sum())
+            });
+        });
     }
     group.finish();
 }

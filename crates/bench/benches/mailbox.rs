@@ -51,5 +51,10 @@ fn bench_embedding_round_trip(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_deliver, bench_read_batch, bench_embedding_round_trip);
+criterion_group!(
+    benches,
+    bench_deliver,
+    bench_read_batch,
+    bench_embedding_round_trip
+);
 criterion_main!(benches);

@@ -138,7 +138,9 @@ fn fresh_store(w: &Workload) -> MailboxStore {
 }
 
 fn all_cores() -> usize {
-    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
 }
 
 fn bench_prop_link(c: &mut Criterion) {
@@ -155,16 +157,21 @@ fn bench_prop_link(c: &mut Criterion) {
                 ))
             });
         });
-        group.bench_with_input(BenchmarkId::new("planner_flat", hops), &hops, |bencher, _| {
-            set_num_threads(1);
-            let mut store = fresh_store(&w);
-            bencher.iter(|| {
-                let mut cost = QueryCost::new();
-                black_box(w.prop.propagate_batch(
-                    &w.graph, &mut store, &w.batch, &w.mails, &mut cost,
-                ))
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("planner_flat", hops),
+            &hops,
+            |bencher, _| {
+                set_num_threads(1);
+                let mut store = fresh_store(&w);
+                bencher.iter(|| {
+                    let mut cost = QueryCost::new();
+                    black_box(
+                        w.prop
+                            .propagate_batch(&w.graph, &mut store, &w.batch, &w.mails, &mut cost),
+                    )
+                });
+            },
+        );
         for threads in [1usize, all_cores()] {
             group.bench_with_input(
                 BenchmarkId::new(format!("planner_sharded_t{threads}"), hops),
@@ -177,7 +184,12 @@ fn bench_prop_link(c: &mut Criterion) {
                     bencher.iter(|| {
                         let mut cost = QueryCost::new();
                         w.prop.plan_batch(
-                            &w.graph, &w.batch, &w.mails, &mut cost, &mut scratch, &mut plan,
+                            &w.graph,
+                            &w.batch,
+                            &w.mails,
+                            &mut cost,
+                            &mut scratch,
+                            &mut plan,
                         );
                         black_box(plan.apply_sharded(&sharded))
                     });
@@ -236,7 +248,12 @@ fn write_report() {
         let mut ref_store = fresh_store(&w);
         let mut ref_cost = QueryCost::new();
         let ref_deliveries = seed_propagate(
-            &w.prop, &w.graph, &mut ref_store, &w.batch, &w.mails, &mut ref_cost,
+            &w.prop,
+            &w.graph,
+            &mut ref_store,
+            &w.batch,
+            &w.mails,
+            &mut ref_cost,
         );
         let ref_snap = snapshot_bytes(&ref_store);
 
@@ -259,9 +276,10 @@ fn write_report() {
         let flat_ns = time_ns(iters, || {
             let mut store = fresh_store(&w);
             let mut cost = QueryCost::new();
-            black_box(w.prop.propagate_batch(
-                &w.graph, &mut store, &w.batch, &w.mails, &mut cost,
-            ));
+            black_box(
+                w.prop
+                    .propagate_batch(&w.graph, &mut store, &w.batch, &w.mails, &mut cost),
+            );
         });
         timings.push(PropTiming {
             path: "planner_flat".into(),
@@ -280,7 +298,14 @@ fn write_report() {
             let mut scratch = PropScratch::default();
             let mut plan = DeliveryPlan::default();
             let mut cost = QueryCost::new();
-            w.prop.plan_batch(&w.graph, &w.batch, &w.mails, &mut cost, &mut scratch, &mut plan);
+            w.prop.plan_batch(
+                &w.graph,
+                &w.batch,
+                &w.mails,
+                &mut cost,
+                &mut scratch,
+                &mut plan,
+            );
             let deliveries = plan.apply_sharded(&sharded);
             assert_eq!(deliveries, ref_deliveries, "sharded path lost deliveries");
             assert_eq!(
@@ -295,7 +320,12 @@ fn write_report() {
                 let mut plan = DeliveryPlan::default();
                 let mut cost = QueryCost::new();
                 w.prop.plan_batch(
-                    &w.graph, &w.batch, &w.mails, &mut cost, &mut scratch, &mut plan,
+                    &w.graph,
+                    &w.batch,
+                    &w.mails,
+                    &mut cost,
+                    &mut scratch,
+                    &mut plan,
                 );
                 black_box(plan.apply_sharded(&sharded));
             });

@@ -45,7 +45,9 @@ fn bench_single_query(c: &mut Criterion) {
 fn bench_khop(c: &mut Criterion) {
     let data = wiki_like(&bench_env(), 0);
     let t = data.graph.max_time();
-    let seeds: Vec<u32> = (0..200).map(|i| (i * 29) % data.num_nodes() as u32).collect();
+    let seeds: Vec<u32> = (0..200)
+        .map(|i| (i * 29) % data.num_nodes() as u32)
+        .collect();
     let mut group = c.benchmark_group("khop_batch200_n10");
     for &hops in &[1usize, 2, 3] {
         group.bench_with_input(BenchmarkId::from_parameter(hops), &hops, |bencher, &h| {

@@ -18,6 +18,7 @@
 
 use apan_bench::{write_json, BenchEnv};
 use apan_tensor::backend::pool::set_num_threads;
+use apan_tensor::backend::{self, quant, SimdMode};
 use apan_tensor::{Graph, Tensor};
 use criterion::{BenchmarkId, Criterion};
 use rand::rngs::StdRng;
@@ -46,7 +47,9 @@ fn seed_matmul(a: &Tensor, b: &Tensor) -> Tensor {
 }
 
 fn all_cores() -> usize {
-    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
 }
 
 fn bench_matmul(c: &mut Criterion) {
@@ -141,7 +144,10 @@ fn bench_attention_kernels(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
     // Legacy shape (d=48) plus the encoder's per-head shape: d=100 over
     // heads=2 → d_h=50, B=200 queries, m=10 mailbox slots.
-    for (label, b, m, dh) in [("B200_m10_d48", 200usize, 10usize, 48usize), ("B200_m10_d50_head", 200, 10, 50)] {
+    for (label, b, m, dh) in [
+        ("B200_m10_d48", 200usize, 10usize, 48usize),
+        ("B200_m10_d50_head", 200, 10, 50),
+    ] {
         let q = Tensor::randn(b, dh, 1.0, &mut rng);
         let k = Tensor::randn(b * m, dh, 1.0, &mut rng);
         let v = Tensor::randn(b * m, dh, 1.0, &mut rng);
@@ -191,6 +197,13 @@ struct KernelTiming {
     threads: usize,
     ns_per_iter: f64,
     speedup_vs_seed: f64,
+    /// Ratio of this shape's single-thread *scalar-mode* backend GEMM
+    /// time to this row's time (1.0 for the scalar row itself).
+    speedup_vs_scalar: f64,
+    /// Whether this row ran the AVX2+FMA kernels.
+    simd_active: bool,
+    /// Whether this row ran the int8-quantized GEMM.
+    quant_active: bool,
 }
 
 #[derive(serde::Serialize)]
@@ -211,6 +224,9 @@ fn time_ns(iters: usize, mut f: impl FnMut()) -> f64 {
 }
 
 fn write_report() {
+    let simd_on = backend::active_simd() != SimdMode::Scalar;
+    // The widest vector tier this CPU supports (what serving runs).
+    let vector_mode = SimdMode::Avx512.sanitize();
     let mut rng = StdRng::seed_from_u64(7);
     let mut timings = Vec::new();
     for (shape, m, k, n, iters) in [
@@ -222,12 +238,30 @@ fn write_report() {
         let seed_ns = time_ns(iters, || {
             black_box(seed_matmul(&a, &b));
         });
+        let mut out = vec![0.0f32; m * n];
+        set_num_threads(1);
+        let scalar_ns = time_ns(iters, || {
+            backend::gemm_with(
+                SimdMode::Scalar,
+                a.data(),
+                b.data(),
+                None,
+                m,
+                k,
+                n,
+                &mut out,
+            );
+            black_box(&out);
+        });
         timings.push(KernelTiming {
             kernel: "seed_matmul".into(),
             shape: shape.into(),
             threads: 1,
             ns_per_iter: seed_ns,
             speedup_vs_seed: 1.0,
+            speedup_vs_scalar: scalar_ns / seed_ns,
+            simd_active: false,
+            quant_active: false,
         });
         for threads in [1usize, all_cores()] {
             set_num_threads(threads);
@@ -240,9 +274,89 @@ fn write_report() {
                 threads,
                 ns_per_iter: ns,
                 speedup_vs_seed: seed_ns / ns,
+                speedup_vs_scalar: scalar_ns / ns,
+                simd_active: simd_on,
+                quant_active: false,
             });
         }
         set_num_threads(1);
+    }
+
+    // SIMD-vs-scalar and int8-vs-f32 on the encoder's serving shapes, all
+    // single-thread so the rows isolate the kernel, not the pool.
+    for (shape, m, k, n, iters) in [
+        ("proj_200x100x100", 200usize, 100usize, 100usize, 40usize),
+        ("mlp_200x100x200", 200, 100, 200, 20),
+        ("mails_2000x100x100", 2000, 100, 100, 8),
+    ] {
+        let a = Tensor::randn(m, k, 1.0, &mut rng);
+        let b = Tensor::randn(k, n, 1.0, &mut rng);
+        let mut out = vec![0.0f32; m * n];
+        set_num_threads(1);
+        let scalar_ns = time_ns(iters, || {
+            backend::gemm_with(
+                SimdMode::Scalar,
+                a.data(),
+                b.data(),
+                None,
+                m,
+                k,
+                n,
+                &mut out,
+            );
+            black_box(&out);
+        });
+        timings.push(KernelTiming {
+            kernel: "gemm_scalar".into(),
+            shape: shape.into(),
+            threads: 1,
+            ns_per_iter: scalar_ns,
+            speedup_vs_seed: 0.0,
+            speedup_vs_scalar: 1.0,
+            simd_active: false,
+            quant_active: false,
+        });
+        if backend::simd_supported() {
+            let simd_ns = time_ns(iters, || {
+                backend::gemm_with(vector_mode, a.data(), b.data(), None, m, k, n, &mut out);
+                black_box(&out);
+            });
+            timings.push(KernelTiming {
+                kernel: "gemm_simd".into(),
+                shape: shape.into(),
+                threads: 1,
+                ns_per_iter: simd_ns,
+                speedup_vs_seed: 0.0,
+                speedup_vs_scalar: scalar_ns / simd_ns,
+                simd_active: true,
+                quant_active: false,
+            });
+        }
+        // Int8 serving path: weights (Wᵀ rows) are pre-quantized as in a
+        // deployed QuantSet; each iteration quantizes the activations and
+        // runs the exact-i32 GEMM, like one encoder forward.
+        let mut bt = vec![0.0f32; n * k];
+        for i in 0..k {
+            for j in 0..n {
+                bt[j * k + i] = b.data()[i * n + j];
+            }
+        }
+        let (qw, sw) = quant::quantize_rows_i8(&bt, n, k);
+        let int8_ns = time_ns(iters, || {
+            let (qa, sa) = quant::quantize_rows_i8(a.data(), m, k);
+            quant::gemm_i8(&qa, &sa, &qw, &sw, None, m, n, quant::padded(k), &mut out);
+            black_box(&out);
+        });
+        timings.push(KernelTiming {
+            kernel: "int8_gemm".into(),
+            shape: shape.into(),
+            threads: 1,
+            ns_per_iter: int8_ns,
+            speedup_vs_seed: 0.0,
+            speedup_vs_scalar: scalar_ns / int8_ns,
+            simd_active: simd_on,
+            quant_active: true,
+        });
     }
     let report = TensorReport {
         bench: "tensor_ops",

@@ -170,7 +170,11 @@ fn write_report() {
         black_box(dormant.stamp());
     });
     if !trace_compiled {
-        assert_eq!(dormant.stamp(), Duration::ZERO, "trace-off stamp must be a no-op");
+        assert_eq!(
+            dormant.stamp(),
+            Duration::ZERO,
+            "trace-off stamp must be a no-op"
+        );
     }
 
     // hot path: identical request streams, sink absent vs present

@@ -21,7 +21,10 @@ fn variants(env: &BenchEnv) -> Vec<(String, ApanConfig)> {
         c
     };
     let mut out = vec![("default (mean,fifo,pos,k=2,self)".to_string(), base.clone())];
-    for (name, reduce) in [("reduce=sum", MailReduce::Sum), ("reduce=last", MailReduce::Last)] {
+    for (name, reduce) in [
+        ("reduce=sum", MailReduce::Sum),
+        ("reduce=last", MailReduce::Last),
+    ] {
         let mut c = base.clone();
         c.mail_reduce = reduce;
         out.push((name.to_string(), c));

@@ -55,8 +55,14 @@ fn main() {
 
         // compute-only timing
         let free = LatencyModel::free();
-        let (_, rec_free, _) =
-            harness::measure_inference(zm.model.as_mut(), &data, &split, env.batch, &free, &mut rng);
+        let (_, rec_free, _) = harness::measure_inference(
+            zm.model.as_mut(),
+            &data,
+            &split,
+            env.batch,
+            &free,
+            &mut rng,
+        );
         // modelled graph-store latency added
         let (ap, rec_model, cost) = harness::measure_inference(
             zm.model.as_mut(),

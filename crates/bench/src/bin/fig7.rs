@@ -29,7 +29,11 @@ fn main() {
     let wanted = ["APAN", "TGN-2l", "TGAT-2l"];
     let cols: Vec<String> = batch_sizes.iter().map(|b| format!("bs={b}")).collect();
     let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
-    let mut table = Table::new("Figure 7: AP vs training batch size (%)", &col_refs, &wanted);
+    let mut table = Table::new(
+        "Figure 7: AP vs training batch size (%)",
+        &col_refs,
+        &wanted,
+    );
 
     for seed in 0..env.seeds {
         let data = wiki_like(&env, seed);
@@ -50,13 +54,8 @@ fn main() {
                     continue;
                 }
                 let mut rng = StdRng::seed_from_u64(seed * 613 + k as u64);
-                let out = harness::train_link_prediction(
-                    zm.model.as_mut(),
-                    &data,
-                    &split,
-                    &hc,
-                    &mut rng,
-                );
+                let out =
+                    harness::train_link_prediction(zm.model.as_mut(), &data, &split, &hc, &mut rng);
                 table.push(ri, ci, out.test_ap);
                 println!(
                     "[seed {seed}] {:>8} bs={bs}: AP {:.4}",

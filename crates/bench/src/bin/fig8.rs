@@ -49,8 +49,7 @@ fn main() {
                 cfg.dropout = 0.1;
                 let mut rng = StdRng::seed_from_u64(seed * 1009 + (ri * 4 + ci) as u64);
                 let mut model = ApanDyn::new(&cfg, &mut rng);
-                let out =
-                    harness::train_link_prediction(&mut model, &data, &split, &hc, &mut rng);
+                let out = harness::train_link_prediction(&mut model, &data, &split, &hc, &mut rng);
                 table.push(ri, ci, out.test_ap);
                 println!(
                     "[seed {seed}] neigh={neighbors} slots={slots}: AP {:.4}",

@@ -28,7 +28,10 @@ struct InductivePoint {
 fn main() {
     let env = BenchEnv::from_env();
     let filter = model_filter();
-    println!("Inductive evaluation (supplementary) — {}\n", env.describe());
+    println!(
+        "Inductive evaluation (supplementary) — {}\n",
+        env.describe()
+    );
 
     let data = wiki_like(&env, 0);
     let split = ChronoSplit::new(&data, SplitFractions::paper_default());

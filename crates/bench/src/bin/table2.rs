@@ -3,12 +3,16 @@
 //! DyRep, TGAT, TGN) plus static baselines (GAE, VGAE, DeepWalk, Node2Vec,
 //! GAT, SAGE, CTDNE), mean (std) over `APAN_SEEDS` seeds.
 
-use apan_baselines::deepwalk::{ctdne_embeddings, deepwalk_embeddings, node2vec_embeddings, WalkConfig};
+use apan_baselines::deepwalk::{
+    ctdne_embeddings, deepwalk_embeddings, node2vec_embeddings, WalkConfig,
+};
 use apan_baselines::gat::Gat;
 use apan_baselines::gcn::Gae;
 use apan_baselines::harness::{self, HarnessConfig};
 use apan_baselines::sage::Sage;
-use apan_baselines::static_harness::{evaluate_frozen_embeddings, train_static_link, StaticOutcome};
+use apan_baselines::static_harness::{
+    evaluate_frozen_embeddings, train_static_link, StaticOutcome,
+};
 use apan_bench::zoo::{model_enabled, model_filter};
 use apan_bench::{dynamic_zoo, reddit_like, wiki_like, write_json, BenchEnv, Table};
 use apan_data::{ChronoSplit, SplitFractions, TemporalDataset};
@@ -67,7 +71,9 @@ fn main() {
     let filter = model_filter();
     println!("Table 2 reproduction — {}\n", env.describe());
 
-    let static_names = ["GAE", "VGAE", "DeepWalk", "Node2Vec", "GAT", "SAGE", "CTDNE"];
+    let static_names = [
+        "GAE", "VGAE", "DeepWalk", "Node2Vec", "GAT", "SAGE", "CTDNE",
+    ];
     let dynamic_names: Vec<String> = dynamic_zoo(&env, 0, false)
         .into_iter()
         .map(|m| m.name)
@@ -114,13 +120,8 @@ fn main() {
                     continue;
                 }
                 let mut rng = StdRng::seed_from_u64(seed * 101 + k as u64);
-                let out = harness::train_link_prediction(
-                    zm.model.as_mut(),
-                    &data,
-                    &split,
-                    &hc,
-                    &mut rng,
-                );
+                let out =
+                    harness::train_link_prediction(zm.model.as_mut(), &data, &split, &hc, &mut rng);
                 let ri = static_names.len() + k;
                 table.push(ri, acc_col, out.test_acc);
                 table.push(ri, ap_col, out.test_ap);

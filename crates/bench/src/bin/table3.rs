@@ -3,9 +3,9 @@
 //! seeds. Protocol: link-prediction pre-training, then a task decoder on
 //! replayed embeddings (the TGAT/TGN protocol the paper follows).
 
+use apan_baselines::deepwalk::{ctdne_embeddings, WalkConfig};
 use apan_baselines::harness::{self, HarnessConfig};
 use apan_baselines::static_harness::static_classification_auc;
-use apan_baselines::deepwalk::{ctdne_embeddings, WalkConfig};
 use apan_bench::zoo::{model_enabled, model_filter};
 use apan_bench::{alipay_like, dynamic_zoo, reddit_like, wiki_like, write_json, BenchEnv, Table};
 use apan_data::{ChronoSplit, SplitFractions};
@@ -34,7 +34,11 @@ fn main() {
     let decoder_steps = 300;
     for seed in 0..env.seeds {
         let datasets = [
-            (wiki_like(&env, seed), SplitFractions::paper_default(), 0usize),
+            (
+                wiki_like(&env, seed),
+                SplitFractions::paper_default(),
+                0usize,
+            ),
             (reddit_like(&env, seed), SplitFractions::paper_default(), 1),
             (alipay_like(&env, seed), SplitFractions::alipay(), 2),
         ];

@@ -57,13 +57,7 @@ impl Table {
         let mut out = String::new();
         out.push_str(&format!("== {} ==\n", self.title));
         let w = 16usize;
-        let label_w = self
-            .rows
-            .iter()
-            .map(String::len)
-            .max()
-            .unwrap_or(8)
-            .max(8);
+        let label_w = self.rows.iter().map(String::len).max().unwrap_or(8).max(8);
         out.push_str(&format!("{:label_w$}", ""));
         for c in &self.columns {
             out.push_str(&format!(" {c:>w$}"));
@@ -81,8 +75,7 @@ impl Table {
         for (ri, r) in self.rows.iter().enumerate() {
             out.push_str(&format!("{r:label_w$}"));
             for (ci, cell) in self.cells[ri].iter().enumerate() {
-                let mark = if !cell.stat.is_empty() && (cell.stat.mean() - best[ci]).abs() < 1e-12
-                {
+                let mark = if !cell.stat.is_empty() && (cell.stat.mean() - best[ci]).abs() < 1e-12 {
                     "*"
                 } else {
                     " "

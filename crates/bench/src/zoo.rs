@@ -200,7 +200,11 @@ mod tests {
     #[test]
     fn datasets_build_and_validate() {
         let env = tiny_env();
-        for ds in [wiki_like(&env, 0), reddit_like(&env, 0), alipay_like(&env, 0)] {
+        for ds in [
+            wiki_like(&env, 0),
+            reddit_like(&env, 0),
+            alipay_like(&env, 0),
+        ] {
             ds.validate().unwrap();
             assert_eq!(ds.feature_dim(), 8);
         }
@@ -211,7 +215,9 @@ mod tests {
         let env = tiny_env();
         let zoo = dynamic_zoo(&env, 0, true);
         let names: Vec<String> = zoo.iter().map(|m| m.name.clone()).collect();
-        for expect in ["APAN", "JODIE", "DyRep", "TGAT-1l", "TGAT-2l", "TGN-1l", "TGN-2l"] {
+        for expect in [
+            "APAN", "JODIE", "DyRep", "TGAT-1l", "TGAT-2l", "TGN-1l", "TGN-2l",
+        ] {
             assert!(names.iter().any(|n| n == expect), "missing {expect}");
         }
         let zoo_small = dynamic_zoo(&env, 0, false);

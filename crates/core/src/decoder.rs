@@ -110,13 +110,7 @@ impl NodeClassifier {
 
     /// Scores node states: `z` is `[B × d]` embeddings, `edge_feats` the
     /// constant `[B × d]` features of the triggering interactions.
-    pub fn forward(
-        &self,
-        fwd: &mut Fwd<'_>,
-        z: Var,
-        edge_feats: &Tensor,
-        rng: &mut StdRng,
-    ) -> Var {
+    pub fn forward(&self, fwd: &mut Fwd<'_>, z: Var, edge_feats: &Tensor, rng: &mut StdRng) -> Var {
         debug_assert_eq!(fwd.g.value(z).cols(), self.dim);
         debug_assert_eq!(edge_feats.cols(), self.dim);
         let e = fwd.g.constant(edge_feats.clone());

@@ -60,7 +60,11 @@ pub fn explain_node(
             weight,
         })
         .collect();
-    attributions.sort_by(|a, b| b.weight.partial_cmp(&a.weight).unwrap_or(std::cmp::Ordering::Equal));
+    attributions.sort_by(|a, b| {
+        b.weight
+            .partial_cmp(&a.weight)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     attributions
 }
 

@@ -70,7 +70,12 @@ pub fn reduce_mails_into(mails: &Tensor, rows: &[usize], mode: MailReduce, out: 
 
 /// ρ into a zeroed `dim`-wide slice — the innermost reduction shared by
 /// the Vec paths above and the propagator's flat delivery-plan payload.
-pub(crate) fn reduce_mails_slice(mails: &Tensor, rows: &[usize], mode: MailReduce, out: &mut [f32]) {
+pub(crate) fn reduce_mails_slice(
+    mails: &Tensor,
+    rows: &[usize],
+    mode: MailReduce,
+    out: &mut [f32],
+) {
     assert!(!rows.is_empty(), "cannot reduce zero mails");
     debug_assert_eq!(out.len(), mails.cols());
     match mode {
@@ -116,9 +121,15 @@ mod tests {
     fn reduce_modes() {
         let mails = Tensor::from_rows(&[&[1.0, 1.0], &[3.0, 5.0], &[5.0, 0.0]]);
         let rows = vec![0, 1, 2];
-        assert_eq!(reduce_mails(&mails, &rows, MailReduce::Mean), vec![3.0, 2.0]);
+        assert_eq!(
+            reduce_mails(&mails, &rows, MailReduce::Mean),
+            vec![3.0, 2.0]
+        );
         assert_eq!(reduce_mails(&mails, &rows, MailReduce::Sum), vec![9.0, 6.0]);
-        assert_eq!(reduce_mails(&mails, &rows, MailReduce::Last), vec![5.0, 0.0]);
+        assert_eq!(
+            reduce_mails(&mails, &rows, MailReduce::Last),
+            vec![5.0, 0.0]
+        );
     }
 
     #[test]

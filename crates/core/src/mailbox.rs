@@ -55,7 +55,7 @@ pub struct MailboxStore {
     mail_times: Vec<Time>, // [nodes × slots]
     origins: Vec<MailOrigin>,
     lens: Vec<u8>,
-    heads: Vec<u8>, // ring index of the oldest slot
+    heads: Vec<u8>,       // ring index of the oldest slot
     embeddings: Vec<f32>, // [nodes × dim]
     last_update: Vec<Time>,
 }
@@ -101,7 +101,8 @@ impl MailboxStore {
         if self.lens.len() < need {
             self.mails.resize(need * self.slots * self.dim, 0.0);
             self.mail_times.resize(need * self.slots, 0.0);
-            self.origins.resize(need * self.slots, MailOrigin::default());
+            self.origins
+                .resize(need * self.slots, MailOrigin::default());
             self.lens.resize(need, 0);
             self.heads.resize(need, 0);
             self.embeddings.resize(need * self.dim, 0.0);
@@ -375,7 +376,9 @@ impl MailboxStore {
         };
         let version = read_u32(r)?;
         if version != 1 {
-            return Err(bad(format!("unsupported mailbox snapshot version {version}")));
+            return Err(bad(format!(
+                "unsupported mailbox snapshot version {version}"
+            )));
         }
         let mut byte = [0u8; 1];
         r.read_exact(&mut byte)?;
@@ -389,7 +392,9 @@ impl MailboxStore {
         let dim = read_u32(r)? as usize;
         let nodes = read_u32(r)? as usize;
         if slots == 0 || slots > u8::MAX as usize || dim == 0 {
-            return Err(bad(format!("implausible geometry: {slots} slots × {dim} dim")));
+            return Err(bad(format!(
+                "implausible geometry: {slots} slots × {dim} dim"
+            )));
         }
         // 1 GiB ceiling on the dominant payload: a corrupt header cannot
         // drive an unbounded allocation.
@@ -606,7 +611,16 @@ mod tests {
         s.deliver(0, &[0.0, 1.0, 0.0], 2.0, MailOrigin::default());
         s.deliver(0, &[0.0, 0.0, 1.0], 3.0, MailOrigin::default());
         // a fourth mail similar to slot 1 must evict slot 1, not slot 0
-        s.deliver(0, &[0.1, 2.0, 0.0], 4.0, MailOrigin { src: 9, dst: 9, eid: 9 });
+        s.deliver(
+            0,
+            &[0.1, 2.0, 0.0],
+            4.0,
+            MailOrigin {
+                src: 9,
+                dst: 9,
+                eid: 9,
+            },
+        );
         let mails = s.mails_of(0);
         assert_eq!(mails.len(), 3);
         assert_eq!(mails[0].0, &[1.0, 0.0, 0.0]);
@@ -670,7 +684,10 @@ mod tests {
         s.write_snapshot(&mut buf).unwrap();
         for cut in [0, 4, 12, buf.len() - 1] {
             let mut cursor = &buf[..cut];
-            assert!(MailboxStore::read_snapshot(&mut cursor).is_err(), "cut {cut}");
+            assert!(
+                MailboxStore::read_snapshot(&mut cursor).is_err(),
+                "cut {cut}"
+            );
         }
         let mut garbage = buf.clone();
         garbage[..8].copy_from_slice(b"NOTMAILS");

@@ -117,6 +117,16 @@ impl Apan {
             .propagate_batch(graph, store, batch, &mails, cost)
     }
 
+    /// Builds int8 views of the serving encoder's weights (attention
+    /// projections + MLP head). Attach the result to a forward pass via
+    /// `Fwd::quant` — or let [`crate::pipeline::ServingPipeline`] do it —
+    /// to serve the encoder in int8. The f32 masters are untouched.
+    pub fn quantize_encoder(&self) -> apan_nn::QuantSet {
+        let mut qs = apan_nn::QuantSet::new();
+        self.encoder.quantize_into(&self.params, &mut qs);
+        qs
+    }
+
     /// Total trainable scalars (for reporting).
     pub fn num_parameters(&self) -> usize {
         self.params.num_scalars()
@@ -235,7 +245,15 @@ mod tests {
         let feats = Tensor::ones(1, 8);
         let mut cost = QueryCost::new();
         let n = model.post_step(
-            &mut store, &graph, &batch, &nodes, &z, &[0], &[1], &feats, &mut cost,
+            &mut store,
+            &graph,
+            &batch,
+            &nodes,
+            &z,
+            &[0],
+            &[1],
+            &feats,
+            &mut cost,
         );
         assert!(n >= 2, "self-delivery at least");
         assert_eq!(store.embedding(0), z.row_slice(0));

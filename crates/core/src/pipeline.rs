@@ -20,14 +20,14 @@
 //! discusses (Black-Friday bursts), instead of letting the mailbox lag
 //! grow without bound.
 
-use crate::config::MailContent;
+use crate::config::{MailContent, Precision};
 use crate::mail::make_mails_with;
 use crate::mailbox::MailboxStore;
 use crate::model::{dedup_nodes, Apan};
 use crate::propagator::{DeliveryPlan, Interaction, PropScratch, Propagator};
 use crate::shard::{shards_from_env, ShardedMailboxStore};
 use apan_metrics::{Clock, LatencyRecorder, ObsHub, Stage};
-use apan_nn::Fwd;
+use apan_nn::{Fwd, QuantSet};
 use apan_tensor::Tensor;
 use apan_tgraph::cost::QueryCost;
 use apan_tgraph::{NodeId, TemporalGraph};
@@ -522,7 +522,14 @@ fn propagation_worker(
         let mut cost = QueryCost::new();
         {
             let g = graph.read();
-            propagator.plan_batch(&g, &job.interactions, &mails, &mut cost, &mut scratch, &mut plan);
+            propagator.plan_batch(
+                &g,
+                &job.interactions,
+                &mails,
+                &mut cost,
+                &mut scratch,
+                &mut plan,
+            );
         }
         let t_plan1 = obs.stamp();
         obs.stage_record(Stage::Plan, job.trace_id, t_commit1, t_plan1);
@@ -587,6 +594,11 @@ pub struct ServingPipeline {
     stats: Arc<Mutex<PropStats>>,
     next_seq: u64,
     rng: StdRng,
+    /// Active encoder precision; [`ServingPipeline::set_precision`].
+    precision: Precision,
+    /// Int8 views of the encoder weights, present iff `precision` is
+    /// [`Precision::Int8`]. Attached to every synchronous forward pass.
+    quant: Option<Arc<QuantSet>>,
     /// Observability hub shared with every propagation worker: the
     /// injectable clock behind `sync_time` stamps, the per-stage
     /// histograms, and the optional trace sink.
@@ -685,9 +697,34 @@ impl ServingPipeline {
             stats,
             next_seq: 0,
             rng: StdRng::seed_from_u64(0),
+            precision: Precision::F32,
+            quant: None,
             obs,
             sync_latency: LatencyRecorder::new(),
         }
+    }
+
+    /// Switches the synchronous encoder between f32 and int8 weights.
+    ///
+    /// Entering [`Precision::Int8`] quantizes the encoder's attention
+    /// projections and MLP head once (the f32 masters stay in place);
+    /// returning to [`Precision::F32`] drops the int8 views. Takes effect
+    /// from the next [`ServingPipeline::infer_batch`]; the asynchronous
+    /// link is unaffected either way.
+    pub fn set_precision(&mut self, precision: Precision) {
+        if precision == self.precision {
+            return;
+        }
+        self.quant = match precision {
+            Precision::F32 => None,
+            Precision::Int8 => Some(Arc::new(self.model.quantize_encoder())),
+        };
+        self.precision = precision;
+    }
+
+    /// The precision the synchronous encoder currently serves at.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// Replaces the time source behind `sync_time` stamps and every
@@ -727,7 +764,11 @@ impl ServingPipeline {
         trace_id: u64,
         admitted: Option<Duration>,
     ) -> InferResult {
-        assert_eq!(feats.rows(), interactions.len(), "one feature row per interaction");
+        assert_eq!(
+            feats.rows(),
+            interactions.len(),
+            "one feature row per interaction"
+        );
         let start = self.obs.now();
 
         let src: Vec<NodeId> = interactions.iter().map(|i| i.src).collect();
@@ -739,7 +780,10 @@ impl ServingPipeline {
         let t_encode0 = self.obs.stamp();
         let (z_val, scores, t_encode1) = {
             let mut fwd = Fwd::new(&self.model.params, false);
-            let enc = self.model.encode(&mut fwd, &view, &unique, now, &mut self.rng);
+            fwd.quant = self.quant.clone();
+            let enc = self
+                .model
+                .encode(&mut fwd, &view, &unique, now, &mut self.rng);
             let t_encode1 = self.obs.stamp();
             let zi = fwd.g.gather_rows(enc.z, &maps[0]);
             let zj = fwd.g.gather_rows(enc.z, &maps[1]);
@@ -757,7 +801,8 @@ impl ServingPipeline {
             (fwd.g.value(enc.z).clone(), scores, t_encode1)
         };
         let t_decode1 = self.obs.stamp();
-        self.obs.stage_record(Stage::Encode, trace_id, t_encode0, t_encode1);
+        self.obs
+            .stage_record(Stage::Encode, trace_id, t_encode0, t_encode1);
         self.obs
             .stage_record(Stage::DecodeScore, trace_id, t_encode1, t_decode1);
         view.set_embeddings(&unique, &z_val, now);
@@ -1030,8 +1075,13 @@ mod tests {
             p.flush();
         }
         // every stage histogram saw one record per batch
-        for stage in [Stage::Encode, Stage::DecodeScore, Stage::Commit, Stage::Plan, Stage::Deliver]
-        {
+        for stage in [
+            Stage::Encode,
+            Stage::DecodeScore,
+            Stage::Commit,
+            Stage::Plan,
+            Stage::Deliver,
+        ] {
             assert_eq!(obs.stage_snapshot(stage).count(), 3, "{}", stage.name());
         }
         assert!(obs.prop_lag_snapshot().count() >= 3 * 4, "one lag per mail");
@@ -1043,10 +1093,18 @@ mod tests {
                 .filter(|e| e.trace_id == 100 + k)
                 .map(|e| e.stage)
                 .collect();
-            for stage in
-                [Stage::Encode, Stage::DecodeScore, Stage::Commit, Stage::Plan, Stage::Deliver]
-            {
-                assert!(stages.contains(&stage), "batch {k} missing {}", stage.name());
+            for stage in [
+                Stage::Encode,
+                Stage::DecodeScore,
+                Stage::Commit,
+                Stage::Plan,
+                Stage::Deliver,
+            ] {
+                assert!(
+                    stages.contains(&stage),
+                    "batch {k} missing {}",
+                    stage.name()
+                );
             }
         }
         assert!(obs.drain_events().is_empty(), "drain empties the sink");
@@ -1130,7 +1188,13 @@ mod tests {
                     store
                         .mails_of(n)
                         .into_iter()
-                        .map(|(m, t, o)| (m.iter().map(|v| v.to_bits()).collect::<Vec<u32>>(), t.to_bits(), o))
+                        .map(|(m, t, o)| {
+                            (
+                                m.iter().map(|v| v.to_bits()).collect::<Vec<u32>>(),
+                                t.to_bits(),
+                                o,
+                            )
+                        })
                         .collect::<Vec<_>>()
                 })
                 .collect();
@@ -1139,7 +1203,11 @@ mod tests {
         };
         let base = run(1);
         for threads in [2, 8] {
-            assert_eq!(run(threads), base, "pool width {threads} changed mailbox bits");
+            assert_eq!(
+                run(threads),
+                base,
+                "pool width {threads} changed mailbox bits"
+            );
         }
     }
 }

@@ -168,7 +168,9 @@ impl Propagator {
                 scratch.rows.push(scratch.pairs[i].1 as usize);
                 i += 1;
             }
-            scratch.groups.push((start as u32, scratch.rows.len() as u32));
+            scratch
+                .groups
+                .push((start as u32, scratch.rows.len() as u32));
             plan.nodes.push(node);
             // the delivery time/origin of the *latest* batch row that
             // targeted this node — the old `meta` overwrite semantics
@@ -548,7 +550,12 @@ mod tests {
             let mut c = QueryCost::new();
             propagator().propagate_batch(&g, &mut s, &batch, &mails, &mut c);
             (0..4u32)
-                .map(|n| s.mails_of(n).iter().map(|(p, _, _)| p.to_vec()).collect::<Vec<_>>())
+                .map(|n| {
+                    s.mails_of(n)
+                        .iter()
+                        .map(|(p, _, _)| p.to_vec())
+                        .collect::<Vec<_>>()
+                })
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());

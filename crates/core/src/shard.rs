@@ -415,9 +415,12 @@ mod tests {
         for (node, t) in [(2u32, 1.0f64), (17, 2.0), (9, 3.0), (30, 4.0)] {
             let mail = [t as f32, 0.0];
             flat.deliver(node, &mail, t, MailOrigin::default());
-            sharded
-                .lock_shard(sharded.shard_of(node))
-                .deliver(node, &mail, t, MailOrigin::default());
+            sharded.lock_shard(sharded.shard_of(node)).deliver(
+                node,
+                &mail,
+                t,
+                MailOrigin::default(),
+            );
         }
         assert_eq!(snapshot_bytes(&sharded.to_flat()), snapshot_bytes(&flat));
         assert_eq!(sharded.read().num_nodes(), flat.num_nodes());

@@ -550,9 +550,7 @@ pub fn train_classification(
                     let ef = fwd.g.slice_cols(xv, d, d);
                     let zj = fwd.g.slice_cols(xv, 2 * d, d);
                     let ef_t = fwd.g.value(ef).clone();
-                    model
-                        .edge_classifier
-                        .forward(&mut fwd, zi, &ef_t, zj, rng)
+                    model.edge_classifier.forward(&mut fwd, zi, &ef_t, zj, rng)
                 } else {
                     let d = model.cfg.dim;
                     let zi = fwd.g.slice_cols(xv, 0, d);
@@ -589,7 +587,12 @@ pub fn train_classification(
             let ef_t = fwd.g.value(ef).clone();
             model.node_classifier.forward(&mut fwd, zi, &ef_t, rng)
         };
-        fwd.g.value(logits).data().iter().map(|&x| sigmoid(x)).collect()
+        fwd.g
+            .value(logits)
+            .data()
+            .iter()
+            .map(|&x| sigmoid(x))
+            .collect()
     };
 
     let val_scores = score(&val_idx);
@@ -603,10 +606,10 @@ pub fn train_classification(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use crate::config::ApanConfig;
     use apan_data::generators::GenConfig;
     use apan_data::{LabelKind, SplitFractions};
+    use rand::SeedableRng;
 
     /// A tiny, strongly structured dataset the model can learn quickly.
     fn tiny_dataset(seed: u64) -> TemporalDataset {

@@ -18,7 +18,13 @@ fn model(dim: usize) -> Apan {
     Apan::new(&cfg, &mut rng)
 }
 
-fn random_batch(rng: &mut StdRng, num_nodes: u32, t0: f64, len: usize, eid0: u32) -> (Vec<Interaction>, Tensor) {
+fn random_batch(
+    rng: &mut StdRng,
+    num_nodes: u32,
+    t0: f64,
+    len: usize,
+    eid0: u32,
+) -> (Vec<Interaction>, Tensor) {
     let mut interactions = Vec::with_capacity(len);
     for i in 0..len {
         let src = rng.gen_range(0..num_nodes);

@@ -81,7 +81,10 @@ pub struct GenConfig {
 impl GenConfig {
     fn validate(&self) {
         assert!(self.num_users > 1, "need at least 2 users");
-        assert!(!self.bipartite || self.num_items > 1, "need at least 2 items");
+        assert!(
+            !self.bipartite || self.num_items > 1,
+            "need at least 2 items"
+        );
         assert!(self.num_events > 0, "need at least 1 event");
         assert!(self.feature_dim > 0 && self.latent_dim > 0);
         assert!((0.0..=1.0).contains(&self.repeat_prob));
@@ -222,37 +225,36 @@ pub fn generate_seeded(cfg: &GenConfig, seed: u64) -> TemporalDataset {
         let src_idx = src as usize;
 
         // `dst` is the global node id; `dst_side_idx` indexes `dst_lat`.
-        let (dst, dst_side_idx): (u32, usize) = if !in_fraud_burst
-            && rng.gen::<f64>() < cfg.repeat_prob
-            && !recent[src_idx].is_empty()
-        {
-            let w = &recent[src_idx];
-            let partner = w[rng.gen_range(0..w.len())]; // already global
-            let side = if cfg.bipartite {
-                partner as usize - num_users
+        let (dst, dst_side_idx): (u32, usize) =
+            if !in_fraud_burst && rng.gen::<f64>() < cfg.repeat_prob && !recent[src_idx].is_empty()
+            {
+                let w = &recent[src_idx];
+                let partner = w[rng.gen_range(0..w.len())]; // already global
+                let side = if cfg.bipartite {
+                    partner as usize - num_users
+                } else {
+                    partner as usize
+                };
+                (partner, side)
             } else {
-                partner as usize
+                let mut cand = item_zipf.sample(&mut rng);
+                if !cfg.bipartite {
+                    // avoid self loops in the payment network
+                    let mut guard = 0;
+                    while cand == src && guard < 8 {
+                        cand = item_zipf.sample(&mut rng);
+                        guard += 1;
+                    }
+                    if cand == src {
+                        cand = (src + 1) % num_users as u32;
+                    }
+                }
+                if cfg.bipartite {
+                    (num_users as u32 + cand, cand as usize)
+                } else {
+                    (cand, cand as usize)
+                }
             };
-            (partner, side)
-        } else {
-            let mut cand = item_zipf.sample(&mut rng);
-            if !cfg.bipartite {
-                // avoid self loops in the payment network
-                let mut guard = 0;
-                while cand == src && guard < 8 {
-                    cand = item_zipf.sample(&mut rng);
-                    guard += 1;
-                }
-                if cand == src {
-                    cand = (src + 1) % num_users as u32;
-                }
-            }
-            if cfg.bipartite {
-                (num_users as u32 + cand, cand as usize)
-            } else {
-                (cand, cand as usize)
-            }
-        };
 
         // --- label / drift state machine ------------------------------
         // Adaptive trigger: aim the expected number of remaining triggers

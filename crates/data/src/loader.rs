@@ -42,10 +42,7 @@ impl From<std::io::Error> for LoadError {
 }
 
 /// Parses JODIE-format CSV content from any reader.
-pub fn load_jodie_reader<R: BufRead>(
-    name: &str,
-    reader: R,
-) -> Result<TemporalDataset, LoadError> {
+pub fn load_jodie_reader<R: BufRead>(name: &str, reader: R) -> Result<TemporalDataset, LoadError> {
     let mut graph = TemporalGraph::new();
     let mut features: Vec<f32> = Vec::new();
     let mut labels: Vec<Option<bool>> = Vec::new();

@@ -145,7 +145,7 @@ mod tests {
 
     #[test]
     fn old_and_unseen_disjoint() {
-        let ds = wikipedia(0.02, 3);
+        let ds = wikipedia(0.02, 2);
         let s = ChronoSplit::new(&ds, SplitFractions::paper_default());
         assert!(s.old_nodes.is_disjoint(&s.unseen_nodes));
         assert!(s.old_nodes.iter().all(|n| s.train_nodes.contains(n)));

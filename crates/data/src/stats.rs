@@ -90,9 +90,7 @@ mod tests {
         assert!((s.timespan_days - 30.0).abs() < 0.5);
         assert_eq!(s.interactions_with_labels, ds.num_positive());
         assert!(s.nodes_in_train <= s.nodes);
-        assert!(
-            s.old_nodes_in_valtest + s.unseen_nodes_in_valtest >= split.old_nodes.len()
-        );
+        assert!(s.old_nodes_in_valtest + s.unseen_nodes_in_valtest >= split.old_nodes.len());
         let rendered = s.render();
         assert!(rendered.contains("edges"));
     }

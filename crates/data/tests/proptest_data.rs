@@ -9,12 +9,12 @@ use rand::SeedableRng;
 
 fn any_config() -> impl Strategy<Value = GenConfig> {
     (
-        10usize..60,     // users
-        10usize..40,     // items
-        100usize..600,   // events
-        2usize..12,      // feature dim
-        0.0f64..0.95,    // repeat prob
-        any::<bool>(),   // bipartite
+        10usize..60,   // users
+        10usize..40,   // items
+        100usize..600, // events
+        2usize..12,    // feature dim
+        0.0f64..0.95,  // repeat prob
+        any::<bool>(), // bipartite
     )
         .prop_map(|(users, items, events, dim, repeat, bipartite)| GenConfig {
             name: "prop".into(),

@@ -157,7 +157,9 @@ pub struct VirtualClock {
 
 impl std::fmt::Debug for VirtualClock {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("VirtualClock").field("now", &self.now()).finish()
+        f.debug_struct("VirtualClock")
+            .field("now", &self.now())
+            .finish()
     }
 }
 

@@ -274,7 +274,10 @@ mod tests {
         r.record(Duration::from_millis(2));
         let json = r.summary().to_json();
         for key in ["count", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "max_ms"] {
-            assert!(json.contains(&format!("\"{key}\":")), "missing {key} in {json}");
+            assert!(
+                json.contains(&format!("\"{key}\":")),
+                "missing {key} in {json}"
+            );
         }
         assert!(json.starts_with('{') && json.ends_with('}'));
     }

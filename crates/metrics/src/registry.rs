@@ -131,7 +131,14 @@ impl Registry {
         scale: f64,
         f: impl Fn() -> HistogramSnapshot + Send + Sync + 'static,
     ) {
-        self.push(name, help, Kind::HistogramFn { snap: Box::new(f), scale });
+        self.push(
+            name,
+            help,
+            Kind::HistogramFn {
+                snap: Box::new(f),
+                scale,
+            },
+        );
     }
 
     /// Registers a histogram by shared handle.
@@ -178,13 +185,23 @@ fn fmt_f64(v: f64) -> String {
     if v.is_nan() {
         "NaN".to_string()
     } else if v.is_infinite() {
-        if v > 0.0 { "+Inf".to_string() } else { "-Inf".to_string() }
+        if v > 0.0 {
+            "+Inf".to_string()
+        } else {
+            "-Inf".to_string()
+        }
     } else {
         format!("{v}")
     }
 }
 
-fn render_histogram(out: &mut String, name: &str, help: &str, snap: &HistogramSnapshot, scale: f64) {
+fn render_histogram(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    snap: &HistogramSnapshot,
+    scale: f64,
+) {
     render_header(out, name, help, "histogram");
     let count = snap.count();
     // Trailing empty buckets carry no information; render up to the last
@@ -203,7 +220,10 @@ fn render_histogram(out: &mut String, name: &str, help: &str, snap: &HistogramSn
         out.push_str(&format!("{name}_bucket{{le=\"{}\"}} {cum}\n", fmt_f64(le)));
     }
     out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {count}\n"));
-    out.push_str(&format!("{name}_sum {}\n", fmt_f64(snap.sum as f64 * scale)));
+    out.push_str(&format!(
+        "{name}_sum {}\n",
+        fmt_f64(snap.sum as f64 * scale)
+    ));
     out.push_str(&format!("{name}_count {count}\n"));
 }
 

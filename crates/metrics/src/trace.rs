@@ -239,7 +239,10 @@ impl Stage {
     }
 
     fn order(self) -> usize {
-        STAGES.iter().position(|s| *s == self).expect("stage listed")
+        STAGES
+            .iter()
+            .position(|s| *s == self)
+            .expect("stage listed")
     }
 }
 
@@ -580,7 +583,9 @@ impl ObsHub {
     /// instant, so their ages are identical by construction).
     #[cfg(not(feature = "trace-off"))]
     pub fn prop_lag_record(&self, age: Duration, mails: usize) {
-        self.inner.prop_lag.record_n(age.as_nanos() as u64, mails as u64);
+        self.inner
+            .prop_lag
+            .record_n(age.as_nanos() as u64, mails as u64);
     }
 
     /// `trace-off`: lag records cost nothing.
@@ -604,7 +609,11 @@ mod tests {
         for i in 1..HIST_BUCKETS - 1 {
             let bound = 1u64 << i;
             assert_eq!(Histogram::bucket_index(bound), i, "at bound 2^{i}");
-            assert_eq!(Histogram::bucket_index(bound + 1), i + 1, "above bound 2^{i}");
+            assert_eq!(
+                Histogram::bucket_index(bound + 1),
+                i + 1,
+                "above bound 2^{i}"
+            );
         }
         assert_eq!(Histogram::bucket_index(u64::MAX), HIST_BUCKETS - 1);
     }
@@ -730,7 +739,15 @@ mod tests {
         let names: Vec<&str> = STAGES.iter().map(|s| s.name()).collect();
         assert_eq!(
             names,
-            ["admit", "batch_wait", "encode", "decode_score", "commit", "plan", "deliver"]
+            [
+                "admit",
+                "batch_wait",
+                "encode",
+                "decode_score",
+                "commit",
+                "plan",
+                "deliver"
+            ]
         );
     }
 }

@@ -11,7 +11,12 @@ use std::time::Duration;
 fn sample_stream() -> impl Strategy<Value = Vec<u64>> {
     // spread over many orders of magnitude so every bucket regime is hit
     proptest::collection::vec(
-        prop_oneof![0u64..16, 16u64..4096, 4096u64..1 << 20, (1u64 << 20)..1 << 44],
+        prop_oneof![
+            0u64..16,
+            16u64..4096,
+            4096u64..1 << 20,
+            (1u64 << 20)..1 << 44
+        ],
         1..200,
     )
 }

@@ -9,8 +9,21 @@
 
 use crate::init::xavier_uniform;
 use crate::param::{Fwd, ParamId, ParamStore};
+use crate::quant::QuantSet;
 use apan_tensor::{Tensor, Var};
 use rand::Rng;
+
+/// `y = x·W` through the int8 view of `w` when one is attached (eval
+/// only), the f32 tape otherwise. The attention projections are pure
+/// matmuls, so no bias enters the quantized path.
+fn proj(fwd: &mut Fwd<'_>, x: Var, w: ParamId) -> Var {
+    if let Some(mat) = fwd.quant_mat(w) {
+        let y = mat.forward(fwd.g.value(x), None);
+        return fwd.g.constant(y);
+    }
+    let wv = fwd.p(w);
+    fwd.g.matmul(x, wv)
+}
 
 /// Multi-head attention with per-head projections and an output projection
 /// (`W_Q, W_K, W_V ∈ R^{d×d_h}`, `W^O ∈ R^{d×d}` in the paper's notation).
@@ -51,10 +64,22 @@ impl MultiHeadAttention {
             0,
             "model_dim {model_dim} not divisible by heads {heads}"
         );
-        let wq = store.add(format!("{name}.wq"), xavier_uniform(model_dim, model_dim, rng));
-        let wk = store.add(format!("{name}.wk"), xavier_uniform(model_dim, model_dim, rng));
-        let wv = store.add(format!("{name}.wv"), xavier_uniform(model_dim, model_dim, rng));
-        let wo = store.add(format!("{name}.wo"), xavier_uniform(model_dim, model_dim, rng));
+        let wq = store.add(
+            format!("{name}.wq"),
+            xavier_uniform(model_dim, model_dim, rng),
+        );
+        let wk = store.add(
+            format!("{name}.wk"),
+            xavier_uniform(model_dim, model_dim, rng),
+        );
+        let wv = store.add(
+            format!("{name}.wv"),
+            xavier_uniform(model_dim, model_dim, rng),
+        );
+        let wo = store.add(
+            format!("{name}.wo"),
+            xavier_uniform(model_dim, model_dim, rng),
+        );
         Self {
             wq,
             wk,
@@ -82,13 +107,9 @@ impl MultiHeadAttention {
         debug_assert_eq!(fwd.g.value(query).cols(), self.model_dim);
         debug_assert_eq!(fwd.g.value(kv).shape(), (b * m, self.model_dim));
 
-        let wq = fwd.p(self.wq);
-        let wk = fwd.p(self.wk);
-        let wv = fwd.p(self.wv);
-        let wo = fwd.p(self.wo);
-        let q_all = fwd.g.matmul(query, wq); // [B, d]
-        let k_all = fwd.g.matmul(kv, wk); // [B*m, d]
-        let v_all = fwd.g.matmul(kv, wv); // [B*m, d]
+        let q_all = proj(fwd, query, self.wq); // [B, d]
+        let k_all = proj(fwd, kv, self.wk); // [B*m, d]
+        let v_all = proj(fwd, kv, self.wv); // [B*m, d]
 
         let mask_var = mask.map(|t| {
             debug_assert_eq!(t.shape(), (b, m), "attention mask must be [B x m]");
@@ -112,8 +133,15 @@ impl MultiHeadAttention {
             weights.push(attn);
         }
         let concat = fwd.g.concat_cols(&head_outputs); // [B, d]
-        let out = fwd.g.matmul(concat, wo);
+        let out = proj(fwd, concat, self.wo);
         AttentionOutput { out, weights }
+    }
+
+    /// Registers the four projection weights in `qs` as int8.
+    pub fn quantize_into(&self, store: &ParamStore, qs: &mut QuantSet) {
+        for id in [self.wq, self.wk, self.wv, self.wo] {
+            qs.quantize(store, id);
+        }
     }
 
     /// Number of attention heads.
@@ -212,11 +240,7 @@ mod tests {
         let out = mha.forward(&mut fwd, q, kv, 2, None);
         let loss = fwd.g.mean_all(out.out);
         let grads = fwd.finish(loss);
-        let touched: Vec<&str> = grads
-            .grads
-            .iter()
-            .map(|(id, _)| store.name(*id))
-            .collect();
+        let touched: Vec<&str> = grads.grads.iter().map(|(id, _)| store.name(*id)).collect();
         for suffix in ["wq", "wk", "wv", "wo"] {
             assert!(
                 touched.iter().any(|n| n.ends_with(suffix)),

@@ -40,7 +40,10 @@ impl GruCell {
         rng: &mut R,
     ) -> Self {
         let mut w = |n: &str, r_dim: usize| {
-            store.add(format!("{name}.{n}"), xavier_uniform(r_dim, hidden_dim, rng))
+            store.add(
+                format!("{name}.{n}"),
+                xavier_uniform(r_dim, hidden_dim, rng),
+            )
         };
         let wz = w("wz", in_dim);
         let uz = w("uz", hidden_dim);

@@ -41,6 +41,7 @@ pub mod mlp;
 pub mod norm;
 pub mod optim;
 pub mod param;
+pub mod quant;
 pub mod serialize;
 pub mod time_encoding;
 
@@ -52,6 +53,7 @@ pub use mlp::Mlp;
 pub use norm::LayerNorm;
 pub use optim::{Adam, Optimizer, Sgd};
 pub use param::{Fwd, GradSet, ParamId, ParamStore};
+pub use quant::{QuantMat, QuantSet};
 pub use serialize::{
     load_params, load_params_file, save_params, save_params_file, save_params_vec, CheckpointError,
 };

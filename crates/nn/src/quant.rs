@@ -1,0 +1,225 @@
+//! Int8 weight quantization for the serving-only forward path.
+//!
+//! A [`QuantSet`] holds int8 copies (per-output-channel scales, Wᵀ
+//! layout — see [`apan_tensor::backend::quant`]) of a *subset* of a
+//! model's weight matrices. Attaching one to a [`Fwd`](crate::Fwd)
+//! context (via its `quant` field) makes the layers that own those
+//! weights route their eval-mode matmuls through the exact-i32 int8
+//! GEMM, dequantizing at the boundary; every other parameter, and every
+//! training pass, stays f32. Biases are never quantized — they are added
+//! in f32 after dequantization, exactly as in the f32 path.
+//!
+//! The master f32 parameters in the [`ParamStore`] are untouched:
+//! quantization is a serving-time view, not a model transformation, so a
+//! checkpoint round-trips bit-identically whether or not a `QuantSet`
+//! was ever built from it.
+
+use crate::param::{ParamId, ParamStore};
+use apan_tensor::backend::quant::{gemm_i8, padded, quantize_rows_i8};
+use apan_tensor::Tensor;
+
+/// One int8-quantized weight matrix, stored transposed (`Wᵀ`: one
+/// quantized row per output channel) so both operands of every dot in
+/// the serving GEMM are contiguous.
+pub struct QuantMat {
+    codes: Vec<i8>,
+    scales: Vec<f32>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl QuantMat {
+    /// Quantizes a weight stored `[in × out]` (the [`crate::Linear`] /
+    /// attention-projection layout, where `y = x·W`).
+    pub fn from_weight(w: &Tensor) -> Self {
+        let (in_dim, out_dim) = w.shape();
+        let mut wt = vec![0.0f32; out_dim * in_dim];
+        for i in 0..in_dim {
+            for j in 0..out_dim {
+                wt[j * in_dim + i] = w.get(i, j);
+            }
+        }
+        let (codes, scales) = quantize_rows_i8(&wt, out_dim, in_dim);
+        Self {
+            codes,
+            scales,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// `y = x·W (+ bias)` with `x [B × in]` quantized per row on the
+    /// fly. Bitwise deterministic for any SIMD mode and thread count
+    /// (exact i32 accumulation; one dequantized f32 rounding per
+    /// element).
+    pub fn forward(&self, x: &Tensor, bias: Option<&Tensor>) -> Tensor {
+        let (b, in_dim) = x.shape();
+        assert_eq!(in_dim, self.in_dim, "quantized weight width mismatch");
+        if let Some(bias) = bias {
+            debug_assert_eq!(bias.shape(), (1, self.out_dim));
+        }
+        let (qx, sx) = quantize_rows_i8(x.data(), b, in_dim);
+        let mut out = Tensor::zeros(b, self.out_dim);
+        gemm_i8(
+            &qx,
+            &sx,
+            &self.codes,
+            &self.scales,
+            bias.map(|t| t.data()),
+            b,
+            self.out_dim,
+            padded(in_dim),
+            out.data_mut(),
+        );
+        out
+    }
+
+    /// Input width the matrix expects.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output width the matrix produces.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Bytes of int8 storage (codes + scales), for memory accounting.
+    pub fn bytes(&self) -> usize {
+        self.codes.len() + self.scales.len() * std::mem::size_of::<f32>()
+    }
+}
+
+/// Int8 views of selected weights, keyed by [`ParamId`].
+#[derive(Default)]
+pub struct QuantSet {
+    mats: Vec<Option<QuantMat>>,
+}
+
+impl QuantSet {
+    /// An empty set (everything stays f32).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Quantizes parameter `id` from `store` into the set.
+    pub fn quantize(&mut self, store: &ParamStore, id: ParamId) {
+        let idx = id.index();
+        if self.mats.len() <= idx {
+            self.mats.resize_with(idx + 1, || None);
+        }
+        self.mats[idx] = Some(QuantMat::from_weight(store.get(id)));
+    }
+
+    /// The int8 view of `id`, when one was built.
+    pub fn get(&self, id: ParamId) -> Option<&QuantMat> {
+        self.mats.get(id.index()).and_then(Option::as_ref)
+    }
+
+    /// Number of quantized matrices in the set.
+    pub fn len(&self) -> usize {
+        self.mats.iter().filter(|m| m.is_some()).count()
+    }
+
+    /// Whether no weight is quantized.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total int8 storage held by the set.
+    pub fn bytes(&self) -> usize {
+        self.mats.iter().flatten().map(QuantMat::bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::Linear;
+    use crate::param::Fwd;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    #[test]
+    fn quant_mat_tracks_f32_affine() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut store = ParamStore::new();
+        let layer = Linear::new(&mut store, "l", 40, 16, &mut rng);
+        let x = Tensor::randn(6, 40, 0.8, &mut rng);
+
+        let mut fwd = Fwd::new(&store, false);
+        let xv = fwd.g.constant(x.clone());
+        let y = layer.forward(&mut fwd, xv);
+        let want = fwd.g.value(y).clone();
+
+        let mat = QuantMat::from_weight(store.get(layer.weight()));
+        assert_eq!((mat.in_dim(), mat.out_dim()), (40, 16));
+        let got = mat.forward(&x, Some(store.get(layer.bias())));
+        // 8-bit symmetric quantization of both operands over k=40:
+        // comfortably inside 3% relative at these magnitudes.
+        for (w, g) in want.data().iter().zip(got.data()) {
+            assert!(
+                (w - g).abs() <= 0.03 * (1.0 + w.abs()),
+                "int8 {g} drifted from f32 {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn linear_uses_quant_set_only_in_eval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut store = ParamStore::new();
+        let layer = Linear::new(&mut store, "l", 12, 5, &mut rng);
+        let mut qs = QuantSet::new();
+        layer.quantize_into(&store, &mut qs);
+        assert_eq!(qs.len(), 1);
+        assert!(qs.get(layer.weight()).is_some());
+        assert!(qs.get(layer.bias()).is_none(), "bias must stay f32");
+        let qs = Arc::new(qs);
+        let x = Tensor::randn(3, 12, 1.0, &mut rng);
+
+        // Eval with the set attached: the int8 path, which differs from
+        // f32 in low bits but not materially.
+        let mut f32_fwd = Fwd::new(&store, false);
+        let xv = f32_fwd.g.constant(x.clone());
+        let y = layer.forward(&mut f32_fwd, xv);
+        let f32_out = f32_fwd.g.value(y).clone();
+
+        let mut q_fwd = Fwd::new(&store, false);
+        q_fwd.quant = Some(qs.clone());
+        let xv = q_fwd.g.constant(x.clone());
+        let y = layer.forward(&mut q_fwd, xv);
+        let q_out = q_fwd.g.value(y).clone();
+
+        assert!(f32_out.allclose(&q_out, 0.05), "int8 eval drifted too far");
+        assert!(
+            f32_out.data() != q_out.data(),
+            "quantized path appears unused"
+        );
+
+        // Training ignores the set entirely: gradients still flow to w.
+        let mut t_fwd = Fwd::new(&store, true);
+        t_fwd.quant = Some(qs);
+        let xv = t_fwd.g.constant(x);
+        let y = layer.forward(&mut t_fwd, xv);
+        let loss = t_fwd.g.mean_all(y);
+        let grads = t_fwd.finish(loss);
+        assert!(
+            grads.grads.iter().any(|(id, _)| *id == layer.weight()),
+            "training with a QuantSet attached must stay f32"
+        );
+    }
+
+    #[test]
+    fn quant_set_bytes_accounting() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let layer = Linear::new(&mut store, "l", 64, 32, &mut rng);
+        let mut qs = QuantSet::new();
+        assert!(qs.is_empty());
+        layer.quantize_into(&store, &mut qs);
+        // 32 rows padded to 64 columns of i8 + 32 f32 scales.
+        assert_eq!(qs.bytes(), 32 * 64 + 32 * 4);
+    }
+}

@@ -361,7 +361,14 @@ mod tests {
     use std::sync::mpsc;
     use std::sync::Arc;
 
-    fn item(time: f64) -> (Vec<Interaction>, Tensor, Responder, mpsc::Receiver<InferOutcome>) {
+    fn item(
+        time: f64,
+    ) -> (
+        Vec<Interaction>,
+        Tensor,
+        Responder,
+        mpsc::Receiver<InferOutcome>,
+    ) {
         let (tx, rx) = mpsc::channel();
         let respond: Responder = Box::new(move |o| {
             let _ = tx.send(o);
@@ -507,10 +514,10 @@ mod tests {
         let q2 = Arc::clone(&q);
         let t = std::thread::spawn(move || {
             let _ = submit(&q2, 2.0); // straggler, inside the frozen window
-            // Advance only after the drain has absorbed both requests
-            // (depth 0), so the deadline is armed at virtual t=0 before
-            // the window closes — otherwise this advance could land
-            // first and push the deadline past the only advance we make.
+                                      // Advance only after the drain has absorbed both requests
+                                      // (depth 0), so the deadline is armed at virtual t=0 before
+                                      // the window closes — otherwise this advance could land
+                                      // first and push the deadline past the only advance we make.
             while q2.stats().depth > 0 {
                 std::thread::yield_now();
             }

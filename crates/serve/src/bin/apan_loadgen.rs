@@ -43,7 +43,8 @@ impl Default for Args {
     }
 }
 
-const USAGE: &str = "usage: apan-loadgen [--addr HOST:PORT] [--conns N] [--duration-s N] [--batch N] [--universe N]
+const USAGE: &str =
+    "usage: apan-loadgen [--addr HOST:PORT] [--conns N] [--duration-s N] [--batch N] [--universe N]
                     [--metrics-every-ms N]   (poll METRICS while running; 0 = off)";
 
 fn parse_args() -> Result<Args, String> {

@@ -10,7 +10,7 @@
 //!       --snapshot-every-s 30 --max-batch 64 --deadline-us 500
 //! ```
 
-use apan_core::config::ApanConfig;
+use apan_core::config::{ApanConfig, Precision};
 use apan_core::model::Apan;
 use apan_serve::batcher::BatchPolicy;
 use apan_serve::server::ServeConfig;
@@ -61,6 +61,7 @@ struct Args {
     infer_delay_us: u64,
     prop_threads: usize,
     trace_buffer: usize,
+    precision: Precision,
 }
 
 impl Default for Args {
@@ -81,6 +82,7 @@ impl Default for Args {
             infer_delay_us: 0,
             prop_threads: 0,
             trace_buffer: 8192,
+            precision: Precision::F32,
         }
     }
 }
@@ -89,7 +91,8 @@ const USAGE: &str = "usage: apand [--port N] [--dim N] [--slots N] [--nodes N] [
              [--capacity N] [--max-batch N] [--deadline-us N] [--high-water N]
              [--snapshot PATH] [--snapshot-every-s N] [--seed N] [--infer-delay-us N]
              [--prop-threads N]   (0 = APAN_PROP_THREADS, default 1)
-             [--trace-buffer N]   (TRACE ring capacity in events; 0 disables spans)";
+             [--trace-buffer N]   (TRACE ring capacity in events; 0 disables spans)
+             [--precision f32|int8]   (encoder weight precision, default f32)";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
@@ -121,6 +124,7 @@ fn parse_args() -> Result<Args, String> {
             "--infer-delay-us" => args.infer_delay_us = num(&value)?,
             "--prop-threads" => args.prop_threads = num(&value)? as usize,
             "--trace-buffer" => args.trace_buffer = num(&value)? as usize,
+            "--precision" => args.precision = value.parse()?,
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
     }
@@ -157,6 +161,7 @@ fn main() {
         infer_delay: Duration::from_micros(args.infer_delay_us),
         prop_threads: args.prop_threads,
         trace_buffer: args.trace_buffer,
+        precision: args.precision,
         ..ServeConfig::default()
     };
 

@@ -209,7 +209,9 @@ pub fn decode_infer_traced(
 ) -> Result<(Vec<Interaction>, Tensor, Option<u64>), ProtoError> {
     let mut b = payload;
     if b.remaining() < 4 {
-        return Err(ProtoError::Malformed("infer payload shorter than count".into()));
+        return Err(ProtoError::Malformed(
+            "infer payload shorter than count".into(),
+        ));
     }
     let n = b.get_u32_le() as usize;
     if n > 1 << 20 {
@@ -228,7 +230,12 @@ pub fn decode_infer_traced(
         let dst = b.get_u32_le();
         let time = f64::from_bits(b.get_u64_le());
         let eid = b.get_u32_le();
-        interactions.push(Interaction { src, dst, time, eid });
+        interactions.push(Interaction {
+            src,
+            dst,
+            time,
+            eid,
+        });
     }
     let feats = wire::decode_tensor_from(&mut b)?;
     if feats.rows() != n {
@@ -256,7 +263,9 @@ pub fn encode_scores(scores: &[f32]) -> Vec<u8> {
 pub fn decode_scores(payload: Bytes) -> Result<Vec<f32>, ProtoError> {
     let mut b = payload;
     if b.remaining() < 4 {
-        return Err(ProtoError::Malformed("scores payload shorter than count".into()));
+        return Err(ProtoError::Malformed(
+            "scores payload shorter than count".into(),
+        ));
     }
     let n = b.get_u32_le() as usize;
     if b.remaining() < n * 4 {

@@ -28,6 +28,7 @@ use crate::batcher::{
 };
 use crate::proto::{self, reply, verb, Frame, ProtoError};
 use crate::snapshot;
+use apan_core::config::Precision;
 use apan_core::model::Apan;
 use apan_core::pipeline::{PropLink, ServingPipeline};
 use apan_metrics::{
@@ -99,6 +100,11 @@ pub struct ServeConfig {
     /// full). `0` installs no sink: stage histograms still fill, but no
     /// per-request spans are retained.
     pub trace_buffer: usize,
+    /// Numeric precision of the serving encoder's weight matmuls:
+    /// [`Precision::Int8`] quantizes the attention projections and MLP
+    /// head once at boot (training checkpoints are always f32). Exposed
+    /// as the `apan_precision_bits` gauge.
+    pub precision: Precision,
 }
 
 impl Default for ServeConfig {
@@ -117,6 +123,7 @@ impl Default for ServeConfig {
             clock: Clock::real(),
             snapshot_tear_after: None,
             trace_buffer: 8192,
+            precision: Precision::F32,
         }
     }
 }
@@ -198,7 +205,8 @@ impl ServeStats {
         self.batches.inc();
         self.requests.add(requests as u64);
         self.interactions.add(interactions as u64);
-        self.batch_max.fetch_max(interactions as u64, Ordering::Relaxed);
+        self.batch_max
+            .fetch_max(interactions as u64, Ordering::Relaxed);
         self.batch_hist.record(interactions as u64);
     }
 }
@@ -215,9 +223,11 @@ fn register_scrape_views(
     started: Duration,
 ) {
     let q = Arc::clone(queue);
-    reg.counter_fn("apan_shed_total", "Requests shed by admission control", move || {
-        q.stats().shed
-    });
+    reg.counter_fn(
+        "apan_shed_total",
+        "Requests shed by admission control",
+        move || q.stats().shed,
+    );
     let q = Arc::clone(queue);
     reg.counter_fn(
         "apan_clamped_total",
@@ -225,17 +235,23 @@ fn register_scrape_views(
         move || q.stats().clamped,
     );
     let q = Arc::clone(queue);
-    reg.gauge_fn("apan_queue_depth", "Inference requests currently queued", move || {
-        q.stats().depth as f64
-    });
+    reg.gauge_fn(
+        "apan_queue_depth",
+        "Inference requests currently queued",
+        move || q.stats().depth as f64,
+    );
     let q = Arc::clone(queue);
-    reg.gauge_fn("apan_watermark", "Current event-time watermark", move || {
-        q.stats().watermark
-    });
+    reg.gauge_fn(
+        "apan_watermark",
+        "Current event-time watermark",
+        move || q.stats().watermark,
+    );
     let p = prop.clone();
-    reg.counter_fn("apan_prop_jobs_total", "Propagation jobs executed", move || {
-        p.stats().jobs as u64
-    });
+    reg.counter_fn(
+        "apan_prop_jobs_total",
+        "Propagation jobs executed",
+        move || p.stats().jobs as u64,
+    );
     let p = prop.clone();
     reg.counter_fn(
         "apan_prop_deliveries_total",
@@ -359,7 +375,12 @@ impl Shared {
         let prop = self.prop.stats();
         // guard against a zero (or virtual, non-advancing) clock: the
         // rate must be a finite JSON number, never inf/NaN
-        let elapsed = self.cfg.clock.now().saturating_sub(self.started).as_secs_f64();
+        let elapsed = self
+            .cfg
+            .clock
+            .now()
+            .saturating_sub(self.started)
+            .as_secs_f64();
         let rate = if elapsed > 0.0 {
             prop.deliveries as f64 / elapsed
         } else {
@@ -490,6 +511,7 @@ pub fn start(mut model: Apan, cfg: ServeConfig) -> Result<ServerHandle, StartErr
     };
     // sync-path latency stamps and stage spans run on the daemon clock
     pipeline.set_clock(cfg.clock.clone());
+    pipeline.set_precision(cfg.precision);
     let obs = pipeline.obs();
     if cfg.trace_buffer > 0 {
         obs.install_sink(TraceSink::new(cfg.trace_buffer));
@@ -518,6 +540,14 @@ pub fn start(mut model: Apan, cfg: ServeConfig) -> Result<ServerHandle, StartErr
     let registry = Registry::new();
     let stats = ServeStats::new(&registry);
     register_scrape_views(&registry, &queue, &prop, &obs, cfg.clock.clone(), started);
+    {
+        let bits = pipeline.precision().bits();
+        registry.gauge_fn(
+            "apan_precision_bits",
+            "Bits per stored weight on the serving encoder path (32 = f32, 8 = int8)",
+            move || f64::from(bits),
+        );
+    }
     let shared = Arc::new(Shared {
         queue,
         stats,
@@ -639,9 +669,12 @@ fn batcher_loop(mut pipeline: ServingPipeline, shared: &Shared) {
                 // reports pure queueing time.
                 let t_closed = shared.obs.stamp();
                 for item in &batch {
-                    shared
-                        .obs
-                        .stage_record(Stage::BatchWait, item.trace_id, item.enqueued, t_closed);
+                    shared.obs.stage_record(
+                        Stage::BatchWait,
+                        item.trace_id,
+                        item.enqueued,
+                        t_closed,
+                    );
                 }
                 let (interactions, feats) = assemble(&batch);
                 if !shared.cfg.infer_delay.is_zero() {
@@ -822,11 +855,13 @@ fn tick_loop(every: Duration, shared: &Arc<Shared>) {
             while next <= now {
                 next += every;
             }
-            let _ = shared.queue.submit_control(Control::Snapshot(Box::new(|err| {
-                if let Some(msg) = err {
-                    eprintln!("apan-serve: periodic snapshot failed: {msg}");
-                }
-            })));
+            let _ = shared
+                .queue
+                .submit_control(Control::Snapshot(Box::new(|err| {
+                    if let Some(msg) = err {
+                        eprintln!("apan-serve: periodic snapshot failed: {msg}");
+                    }
+                })));
             continue;
         }
         let (g, _) = clock.wait_timeout(&shared.tick_cv, guard, next - now);
@@ -907,7 +942,10 @@ fn handle_frame(frame: Frame, conn: &Arc<Conn>, shared: &Arc<Shared>) {
                     respond_conn.send(reply::ERROR, req_id, msg.as_bytes());
                 }
             });
-            match shared.queue.submit_infer(interactions, feats, trace_id, responder) {
+            match shared
+                .queue
+                .submit_infer(interactions, feats, trace_id, responder)
+            {
                 Ok(()) => {
                     // decode + validation + admission, on the reader thread
                     let t_admitted = shared.obs.stamp();
@@ -970,15 +1008,18 @@ fn handle_frame(frame: Frame, conn: &Arc<Conn>, shared: &Arc<Shared>) {
             let ack = Box::new(move || {
                 respond_conn.send(reply::OK, req_id, b"");
             });
-            if let Err(Control::Shutdown(ack)) =
-                shared.queue.submit_control(Control::Shutdown(ack))
+            if let Err(Control::Shutdown(ack)) = shared.queue.submit_control(Control::Shutdown(ack))
             {
                 // already shutting down — still acknowledge
                 ack();
             }
         }
         v => {
-            conn.send(reply::ERROR, req_id, format!("unknown verb {v:#04x}").as_bytes());
+            conn.send(
+                reply::ERROR,
+                req_id,
+                format!("unknown verb {v:#04x}").as_bytes(),
+            );
         }
     }
 }
@@ -1007,5 +1048,4 @@ mod tests {
         }
         assert_eq!(hist.counts_clamped(BATCH_BUCKETS), legacy);
     }
-
 }

@@ -195,7 +195,9 @@ pub fn read_snapshot_from<R: Read>(
     hr.read_exact(&mut u64_buf)?;
     let mailbox_len = u64::from_le_bytes(u64_buf) as usize;
     if mailbox_len > 1 << 32 {
-        return Err(corrupt(format!("implausible mailbox section: {mailbox_len}")));
+        return Err(corrupt(format!(
+            "implausible mailbox section: {mailbox_len}"
+        )));
     }
     let mut mailbox = vec![0u8; mailbox_len];
     hr.read_exact(&mut mailbox)?;
@@ -411,7 +413,10 @@ mod tests {
         let m = model(0);
         let (store, graph) = state(&m);
         write_snapshot(&path, &m, &store, &graph).unwrap();
-        assert!(!path.with_extension("tmp").exists(), "temp file renamed away");
+        assert!(
+            !path.with_extension("tmp").exists(),
+            "temp file renamed away"
+        );
         let mut m2 = model(2);
         let (rstore, rgraph) = read_snapshot(&path, &mut m2).unwrap();
         assert_eq!(rstore.num_nodes(), store.num_nodes());

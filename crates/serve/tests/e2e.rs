@@ -60,10 +60,7 @@ fn request(k: usize) -> (Vec<Interaction>, Tensor) {
 /// Runs requests `range` against a fresh client, flushing after each so
 /// asynchronous propagation is serialized (determinism harness — plain
 /// serving never needs this).
-fn run_range(
-    addr: std::net::SocketAddr,
-    range: std::ops::Range<usize>,
-) -> Vec<u32> {
+fn run_range(addr: std::net::SocketAddr, range: std::ops::Range<usize>) -> Vec<u32> {
     let mut client = Client::connect(addr).expect("connect");
     let mut bits = Vec::new();
     for k in range {
@@ -141,7 +138,11 @@ fn kill_and_warm_restart_is_bitwise_identical() {
         bits
     };
 
-    assert_eq!(first, reference[..2 * CUT].to_vec(), "pre-kill scores diverged");
+    assert_eq!(
+        first,
+        reference[..2 * CUT].to_vec(),
+        "pre-kill scores diverged"
+    );
     assert_eq!(
         second,
         reference[2 * CUT..].to_vec(),
@@ -177,22 +178,41 @@ fn warm_restart_accepts_stale_and_unset_times() {
     let feats = Tensor::full(1, 8, 0.25);
 
     // unset time: must be assigned above the restored stream position
-    let unset = vec![Interaction { src: 1, dst: 2, time: -1.0, eid: 0 }];
-    client.infer(&unset, &feats).expect("unset time after restart");
+    let unset = vec![Interaction {
+        src: 1,
+        dst: 2,
+        time: -1.0,
+        eid: 0,
+    }];
+    client
+        .infer(&unset, &feats)
+        .expect("unset time after restart");
 
     // explicit time behind the snapshot: must clamp, not panic
-    let stale = vec![Interaction { src: 2, dst: 3, time: 1.0, eid: 0 }];
-    client.infer(&stale, &feats).expect("stale time after restart");
+    let stale = vec![Interaction {
+        src: 2,
+        dst: 3,
+        time: 1.0,
+        eid: 0,
+    }];
+    client
+        .infer(&stale, &feats)
+        .expect("stale time after restart");
     client.flush().expect("flush");
 
     let stats = client.stats().expect("stats");
     let wm = json_f64_field(&stats, "watermark").expect("watermark");
-    assert!(wm > 10.0, "watermark must resume above the snapshot: {stats}");
+    assert!(
+        wm > 10.0,
+        "watermark must resume above the snapshot: {stats}"
+    );
     assert_eq!(json_u64_field(&stats, "clamped"), Some(1), "{stats}");
 
     // the daemon must still be fully healthy after both
     let (interactions, feats) = request(50);
-    let scores = client.infer(&interactions, &feats).expect("daemon still serving");
+    let scores = client
+        .infer(&interactions, &feats)
+        .expect("daemon still serving");
     assert_eq!(scores.len(), 2);
     handle.shutdown();
     let _ = std::fs::remove_file(&snap);
@@ -286,7 +306,10 @@ fn burst_sheds_with_explicit_replies_and_accurate_stats() {
     // Every served request waited at least one infer_delay inside the
     // batcher, so an honest p99 cannot be below it.
     let p99 = json_f64_field(&stats, "p99_ms").expect("p99_ms in STATS");
-    assert!(p99 >= 10.0, "p99 {p99}ms is below the configured service floor");
+    assert!(
+        p99 >= 10.0,
+        "p99 {p99}ms is below the configured service floor"
+    );
 
     handle.shutdown();
 }
@@ -334,7 +357,10 @@ fn concurrent_clients_are_all_served() {
     assert_eq!(json_u64_field(&stats, "requests"), Some(served as u64));
     // interleaved negative-time requests exercise watermark assignment
     let wm = json_f64_field(&stats, "watermark").expect("watermark");
-    assert!(wm >= served as f64, "watermark must advance per interaction: {stats}");
+    assert!(
+        wm >= served as f64,
+        "watermark must advance per interaction: {stats}"
+    );
     handle.shutdown();
 }
 
@@ -355,8 +381,7 @@ fn stats_expose_propagation_link_health() {
     let stats = client.stats().expect("stats");
     let jobs = json_u64_field(&stats, "prop_jobs").expect("prop_jobs in STATS");
     assert_eq!(jobs, REQS as u64, "one propagation job per batch: {stats}");
-    let deliveries =
-        json_u64_field(&stats, "prop_deliveries").expect("prop_deliveries in STATS");
+    let deliveries = json_u64_field(&stats, "prop_deliveries").expect("prop_deliveries in STATS");
     assert!(deliveries > 0, "deliveries must accumulate: {stats}");
     assert_eq!(
         json_u64_field(&stats, "prop_pending"),
@@ -370,7 +395,10 @@ fn stats_expose_propagation_link_health() {
     );
     let rate = json_f64_field(&stats, "prop_deliveries_per_sec")
         .expect("prop_deliveries_per_sec in STATS");
-    assert!(rate.is_finite() && rate >= 0.0, "rate must be a finite gauge: {stats}");
+    assert!(
+        rate.is_finite() && rate >= 0.0,
+        "rate must be a finite gauge: {stats}"
+    );
     handle.shutdown();
 }
 
@@ -396,7 +424,9 @@ fn daemon_survives_malformed_and_oversized_frames() {
 
     // The daemon is still healthy for well-formed traffic.
     let (interactions, feats) = request(0);
-    let scores = client.infer(&interactions, &feats).expect("infer after abuse");
+    let scores = client
+        .infer(&interactions, &feats)
+        .expect("infer after abuse");
     assert_eq!(scores.len(), 2);
     handle.shutdown();
 }
@@ -433,7 +463,10 @@ fn validate_histograms(text: &str) {
             let rest = &line[prefix.len()..];
             let (le_str, rest) = rest.split_once("\"} ").expect("bucket line shape");
             let cum: u64 = rest.trim().parse().expect("bucket count");
-            assert!(cum >= last_cum, "{name}: cumulative count decreased:\n{text}");
+            assert!(
+                cum >= last_cum,
+                "{name}: cumulative count decreased:\n{text}"
+            );
             last_cum = cum;
             if le_str == "+Inf" {
                 inf_value = Some(cum);
@@ -494,7 +527,15 @@ fn metrics_exposition_is_valid_and_agrees_with_stats() {
         );
     }
     // lockstep requests (one per batch): every stage saw every request
-    for stage in ["admit", "batch_wait", "encode", "decode_score", "commit", "plan", "deliver"] {
+    for stage in [
+        "admit",
+        "batch_wait",
+        "encode",
+        "decode_score",
+        "commit",
+        "plan",
+        "deliver",
+    ] {
         let count = prom_sample(&text, &format!("apan_stage_{stage}_seconds_count"));
         assert_eq!(count, Some(REQS as f64), "stage {stage}:\n{text}");
     }
@@ -561,7 +602,13 @@ fn trace_correlates_spans_per_request_in_stage_order() {
     }
 
     const ORDER: [&str; 7] = [
-        "admit", "batch_wait", "encode", "decode_score", "commit", "plan", "deliver",
+        "admit",
+        "batch_wait",
+        "encode",
+        "decode_score",
+        "commit",
+        "plan",
+        "deliver",
     ];
     for k in 0..REQS {
         let spans = by_id
@@ -588,7 +635,10 @@ fn trace_correlates_spans_per_request_in_stage_order() {
 
     // draining is destructive: a second drain is empty
     let again = client.trace_dump().expect("trace again");
-    assert!(again.trim().is_empty(), "second drain must be empty: {again}");
+    assert!(
+        again.trim().is_empty(),
+        "second drain must be empty: {again}"
+    );
     handle.shutdown();
 }
 
@@ -648,6 +698,48 @@ fn stats_json_shape_is_pinned() {
     let hist_end = stats[hist_start..].find(']').expect("closing bracket") + hist_start;
     let buckets: Vec<&str> = stats[hist_start..hist_end].split(',').collect();
     assert_eq!(buckets.len(), 8, "batch_hist must keep 8 buckets: {stats}");
-    assert!(buckets.iter().all(|b| b.chars().all(|c| c.is_ascii_digit())));
+    assert!(buckets
+        .iter()
+        .all(|b| b.chars().all(|c| c.is_ascii_digit())));
     handle.shutdown();
+}
+
+#[test]
+fn int8_precision_serves_and_reports_its_gauge() {
+    use apan_core::config::Precision;
+
+    // Two daemons, identical weights and request stream; only precision
+    // differs.
+    let f32_handle = apan_serve::start(model(27), ServeConfig::default()).expect("start f32");
+    let i8_handle = apan_serve::start(
+        model(27),
+        ServeConfig {
+            precision: Precision::Int8,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("start int8");
+
+    let f32_bits = run_range(f32_handle.addr(), 0..8);
+    let i8_bits = run_range(i8_handle.addr(), 0..8);
+    assert_eq!(f32_bits.len(), i8_bits.len());
+
+    // The int8 encoder really ran (scores differ in low bits)…
+    assert_ne!(f32_bits, i8_bits, "int8 daemon served f32 bits");
+    // …and stayed within serving tolerance of the f32 scores.
+    for (&a, &b) in f32_bits.iter().zip(&i8_bits) {
+        let (a, b) = (f32::from_bits(a), f32::from_bits(b));
+        assert!((a - b).abs() < 0.05, "score drift {a} vs {b}");
+    }
+
+    // The active precision is visible to scrapes on both daemons.
+    let mut f32_client = Client::connect(f32_handle.addr()).expect("connect");
+    let mut i8_client = Client::connect(i8_handle.addr()).expect("connect");
+    let f32_text = f32_client.metrics().expect("metrics");
+    let i8_text = i8_client.metrics().expect("metrics");
+    assert_eq!(prom_sample(&f32_text, "apan_precision_bits"), Some(32.0));
+    assert_eq!(prom_sample(&i8_text, "apan_precision_bits"), Some(8.0));
+
+    f32_handle.shutdown();
+    i8_handle.shutdown();
 }

@@ -46,11 +46,7 @@ pub fn model(weight_seed: u64) -> Apan {
 /// This is the ground truth the chaos runs are compared against: one
 /// request per batch, flushed before the next, admission clamping via
 /// the daemon's own `admit_times`.
-pub fn reference_bits(
-    weight_seed: u64,
-    workload_seed: u64,
-    effective: &[usize],
-) -> Vec<Vec<u32>> {
+pub fn reference_bits(weight_seed: u64, workload_seed: u64, effective: &[usize]) -> Vec<Vec<u32>> {
     let mut pipeline = ServingPipeline::new(model(weight_seed), NODES_CAPACITY, 64);
     let mut watermark = 0.0f64;
     let mut out = Vec::with_capacity(effective.len());
@@ -97,6 +93,10 @@ mod tests {
         let eff = vec![0, 1, 2];
         let base = reference_bits(1, 1, &eff);
         assert_ne!(base, reference_bits(2, 1, &eff), "weight seed must matter");
-        assert_ne!(base, reference_bits(1, 9, &eff), "workload seed must matter");
+        assert_ne!(
+            base,
+            reference_bits(1, 9, &eff),
+            "workload seed must matter"
+        );
     }
 }

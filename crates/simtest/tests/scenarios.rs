@@ -9,12 +9,12 @@
 //! (`same_seed_replays_an_identical_trace` pins that property).
 
 use apan_metrics::Clock;
+use apan_serve::batcher::admit_times;
 use apan_serve::client::Client;
 use apan_serve::server::{ServeConfig, ServerHandle};
 use apan_simtest::chaos::{run_schedule, ChaosClient};
 use apan_simtest::oracle::{model, reference_bits};
 use apan_simtest::{build_schedule, effective_stream, request, Action, FaultProfile, Trace};
-use apan_serve::batcher::admit_times;
 use std::time::Duration;
 
 const WEIGHTS: u64 = 42;
@@ -151,7 +151,9 @@ fn truncated_frames_kill_only_their_connection() {
     let mut trace = Trace::new();
     let served = run_schedule(&mut client, seed, &schedule, &mut trace).expect("run");
 
-    bystander.ping().expect("bystander survived every torn frame");
+    bystander
+        .ping()
+        .expect("bystander survived every torn frame");
     client.ping().expect("daemon serving after tears");
     assert_eq!(client.stat_u64("requests").unwrap(), eff.len() as u64);
     handle.shutdown();
@@ -305,7 +307,12 @@ fn wide_propagation_pool_stays_on_the_oracle_across_crash_restart() {
     let mut replay_eff: Vec<usize> = (0..SNAP_AT).collect();
     replay_eff.extend(CRASH_AT..TOTAL);
     let expected_all = reference_bits(WEIGHTS, seed, &replay_eff);
-    assert_oracle(&post, &expected_all[SNAP_AT..], &trace, "wide-pool post-restart");
+    assert_oracle(
+        &post,
+        &expected_all[SNAP_AT..],
+        &trace,
+        "wide-pool post-restart",
+    );
     let _ = std::fs::remove_file(&snap);
 }
 
@@ -458,7 +465,12 @@ fn virtual_time_snapshot_tick_fires_without_wall_clock() {
     let mut replay_eff: Vec<usize> = (0..6).collect();
     replay_eff.extend(9..12);
     let expected_post = reference_bits(WEIGHTS, seed, &replay_eff);
-    assert_oracle(&post, &expected_post[6..], &trace, "virtual-tick post-restart");
+    assert_oracle(
+        &post,
+        &expected_post[6..],
+        &trace,
+        "virtual-tick post-restart",
+    );
     let _ = std::fs::remove_file(&snap);
 }
 
@@ -500,7 +512,12 @@ fn chaos_soup(seed: u64) -> (Trace, Vec<Vec<u32>>, Vec<Vec<u32>>) {
     let all_eff = effective_stream(&schedule);
     let expected = reference_bits(WEIGHTS, seed, &all_eff);
     assert_oracle(&pre, &expected[..pre_eff.len()], &trace, "soup pre-crash");
-    assert_oracle(&post, &expected[pre_eff.len()..], &trace, "soup post-restart");
+    assert_oracle(
+        &post,
+        &expected[pre_eff.len()..],
+        &trace,
+        "soup post-restart",
+    );
     (trace, pre, post)
 }
 
@@ -622,7 +639,10 @@ fn virtual_time_stage_histograms_report_scheduled_durations_exactly() {
         "apan_stage_batch_wait_seconds_sum {}",
         (N as u64 * D_NS) as f64 * 1e-9
     );
-    assert!(text.contains(&bw_sum), "batch_wait sum must be exactly N*D:\n{text}");
+    assert!(
+        text.contains(&bw_sum),
+        "batch_wait sum must be exactly N*D:\n{text}"
+    );
     assert!(
         text.contains(&format!(
             "apan_stage_batch_wait_seconds_bucket{{le=\"0.008388608\"}} {N}"
@@ -647,10 +667,20 @@ fn virtual_time_stage_histograms_report_scheduled_durations_exactly() {
         "apan_prop_lag_seconds_sum {}",
         (deliveries * (D_NS + I_NS)) as f64 * 1e-9
     );
-    assert!(text.contains(&lag_sum), "prop_lag sum must be exactly deliveries*(D+I):\n{text}");
+    assert!(
+        text.contains(&lag_sum),
+        "prop_lag sum must be exactly deliveries*(D+I):\n{text}"
+    );
 
     // every other stage ran at a frozen instant: zero virtual width
-    for stage in ["admit", "encode", "decode_score", "commit", "plan", "deliver"] {
+    for stage in [
+        "admit",
+        "encode",
+        "decode_score",
+        "commit",
+        "plan",
+        "deliver",
+    ] {
         assert_eq!(
             prom(&text, &format!("apan_stage_{stage}_seconds_sum")),
             Some(0.0),
@@ -662,7 +692,11 @@ fn virtual_time_stage_histograms_report_scheduled_durations_exactly() {
     // timings, counters, rates, everything
     let mut t2 = Trace::new();
     let replay = run(2026, &mut t2);
-    assert_eq!(t1.render(), t2.render(), "same seed must replay the same trace");
+    assert_eq!(
+        t1.render(),
+        t2.render(),
+        "same seed must replay the same trace"
+    );
     assert_eq!(
         text, replay,
         "same seed must replay a bitwise-identical METRICS exposition"

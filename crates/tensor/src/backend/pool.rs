@@ -14,7 +14,7 @@
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, Once, OnceLock};
 
 /// Hard cap on worker threads, a guard against absurd `APAN_THREADS`.
 const MAX_THREADS: usize = 64;
@@ -22,20 +22,56 @@ const MAX_THREADS: usize = 64;
 /// Requested degree of parallelism. 0 = not yet initialised.
 static THREADS: AtomicUsize = AtomicUsize::new(0);
 
+/// Parses `var` as a positive integer. Unset returns `None` silently; a
+/// set-but-invalid value (unparsable, or zero) also returns `None` but
+/// warns on stderr — once per `once` guard, so a hot path consulting the
+/// variable repeatedly produces a single line, not a flood.
+pub fn parse_positive(var: &str, once: &'static Once) -> Option<usize> {
+    let raw = std::env::var(var).ok()?;
+    match raw.trim().parse::<usize>() {
+        Ok(v) if v >= 1 => Some(v),
+        _ => {
+            once.call_once(|| {
+                eprintln!("apan: ignoring invalid {var}={raw:?} (want a positive integer); using the default");
+            });
+            None
+        }
+    }
+}
+
+/// Parses `var` as an on/off flag: `1`/`true`/`on`/`yes` are on,
+/// `0`/`false`/`off`/`no` are off (case-insensitive). Unset returns
+/// `default` silently; anything else returns `default` and warns once
+/// per `once` guard.
+pub fn parse_flag(var: &str, default: bool, once: &'static Once) -> bool {
+    let Ok(raw) = std::env::var(var) else {
+        return default;
+    };
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "1" | "true" | "on" | "yes" => true,
+        "0" | "false" | "off" | "no" => false,
+        _ => {
+            once.call_once(|| {
+                eprintln!("apan: ignoring invalid {var}={raw:?} (want 0/1, true/false, on/off, yes/no); using the default");
+            });
+            default
+        }
+    }
+}
+
 /// The number of threads kernels may use (including the calling thread).
 ///
 /// Initialised on first use from the `APAN_THREADS` environment variable,
-/// falling back to `std::thread::available_parallelism()`. Override at
-/// runtime with [`set_num_threads`].
+/// falling back to `std::thread::available_parallelism()`; an invalid
+/// value warns once and falls back the same way. Override at runtime
+/// with [`set_num_threads`].
 pub fn num_threads() -> usize {
+    static WARN: Once = Once::new();
     let n = THREADS.load(Ordering::Relaxed);
     if n != 0 {
         return n;
     }
-    let n = std::env::var("APAN_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&v| v >= 1)
+    let n = parse_positive("APAN_THREADS", &WARN)
         .unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(|p| p.get())
@@ -199,5 +235,39 @@ mod tests {
     #[test]
     fn zero_rows_is_a_no_op() {
         parallel_rows(0, 1, &|_, _| panic!("must not be called"));
+    }
+
+    #[test]
+    fn parse_positive_accepts_valid_rejects_invalid() {
+        static ONCE: Once = Once::new();
+        // Unique variable names: env mutation is process-global and tests
+        // in this binary may run concurrently.
+        std::env::set_var("APAN_TEST_POS_OK", "12");
+        assert_eq!(parse_positive("APAN_TEST_POS_OK", &ONCE), Some(12));
+        std::env::set_var("APAN_TEST_POS_PAD", " 3 ");
+        assert_eq!(parse_positive("APAN_TEST_POS_PAD", &ONCE), Some(3));
+        for bad in ["0", "-2", "many", "1.5", ""] {
+            std::env::set_var("APAN_TEST_POS_BAD", bad);
+            assert_eq!(parse_positive("APAN_TEST_POS_BAD", &ONCE), None, "{bad:?}");
+        }
+        assert_eq!(parse_positive("APAN_TEST_POS_UNSET", &ONCE), None);
+    }
+
+    #[test]
+    fn parse_flag_accepts_spellings_defaults_on_garbage() {
+        static ONCE: Once = Once::new();
+        for on in ["1", "true", "ON", "Yes"] {
+            std::env::set_var("APAN_TEST_FLAG", on);
+            assert!(parse_flag("APAN_TEST_FLAG", false, &ONCE), "{on:?}");
+        }
+        for off in ["0", "False", "off", "no"] {
+            std::env::set_var("APAN_TEST_FLAG", off);
+            assert!(!parse_flag("APAN_TEST_FLAG", true, &ONCE), "{off:?}");
+        }
+        std::env::set_var("APAN_TEST_FLAG", "maybe");
+        assert!(parse_flag("APAN_TEST_FLAG", true, &ONCE));
+        assert!(!parse_flag("APAN_TEST_FLAG", false, &ONCE));
+        assert!(parse_flag("APAN_TEST_FLAG_UNSET", true, &ONCE));
+        assert!(!parse_flag("APAN_TEST_FLAG_UNSET", false, &ONCE));
     }
 }

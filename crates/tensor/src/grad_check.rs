@@ -30,10 +30,7 @@ pub fn check_gradients_with(
 ) -> Result<(), String> {
     let eval = |tensors: &[Tensor]| -> (f32, Vec<Option<Tensor>>) {
         let mut g = Graph::new();
-        let vars: Vec<Var> = tensors
-            .iter()
-            .map(|t| g.leaf(t.clone(), true))
-            .collect();
+        let vars: Vec<Var> = tensors.iter().map(|t| g.leaf(t.clone(), true)).collect();
         let loss = f(&mut g, &vars);
         assert!(
             g.value(loss).shape2().is_scalar(),
@@ -73,10 +70,7 @@ pub fn check_gradients_with(
     Ok(())
 }
 
-fn eval_loss_only(
-    tensors: &[Tensor],
-    f: &impl Fn(&mut Graph, &[Var]) -> Var,
-) -> (f32, ()) {
+fn eval_loss_only(tensors: &[Tensor], f: &impl Fn(&mut Graph, &[Var]) -> Var) -> (f32, ()) {
     let mut g = Graph::new();
     // constants: no backward bookkeeping needed for the perturbed passes
     let vars: Vec<Var> = tensors.iter().map(|t| g.leaf(t.clone(), true)).collect();

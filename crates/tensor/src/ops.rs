@@ -29,10 +29,7 @@ impl Graph {
         let (sa, sb) = (self.value(a).shape2(), self.value(b).shape2());
         let backward = needs.then(|| {
             Box::new(move |grad: &Tensor| {
-                vec![
-                    (a, grad.reduce_to_shape(sa)),
-                    (b, grad.reduce_to_shape(sb)),
-                ]
+                vec![(a, grad.reduce_to_shape(sa)), (b, grad.reduce_to_shape(sb))]
             }) as _
         });
         self.push(out, needs, backward)
@@ -76,8 +73,7 @@ impl Graph {
     pub fn scale(&mut self, a: Var, s: f32) -> Var {
         let out = self.value(a).scale(s);
         let needs = self.needs_grad(a);
-        let backward =
-            needs.then(|| Box::new(move |grad: &Tensor| vec![(a, grad.scale(s))]) as _);
+        let backward = needs.then(|| Box::new(move |grad: &Tensor| vec![(a, grad.scale(s))]) as _);
         self.push(out, needs, backward)
     }
 
@@ -197,7 +193,12 @@ impl Graph {
         let (r, c) = av.shape();
         let mut out = Tensor::zeros(r, 1);
         for i in 0..r {
-            out.data_mut()[i] = av.row_slice(i).iter().zip(bv.row_slice(i)).map(|(x, y)| x * y).sum();
+            out.data_mut()[i] = av
+                .row_slice(i)
+                .iter()
+                .zip(bv.row_slice(i))
+                .map(|(x, y)| x * y)
+                .sum();
         }
         let needs = self.needs_grad(a) || self.needs_grad(b);
         let backward = needs.then(|| {
@@ -395,11 +396,7 @@ impl Graph {
                     let gr = grad.row_slice(i);
                     let xh = xhat.row_slice(i);
                     // dŷ = grad ⊙ gain
-                    let dy: Vec<f32> = gr
-                        .iter()
-                        .zip(gv.data())
-                        .map(|(&g, &gn)| g * gn)
-                        .collect();
+                    let dy: Vec<f32> = gr.iter().zip(gv.data()).map(|(&g, &gn)| g * gn).collect();
                     let mean_dy: f32 = dy.iter().sum::<f32>() / c as f32;
                     let mean_dy_xhat: f32 =
                         dy.iter().zip(xh).map(|(&d, &h)| d * h).sum::<f32>() / c as f32;
@@ -542,7 +539,8 @@ impl Graph {
             Box::new(move |grad: &Tensor| {
                 let mut dx = Tensor::zeros(shape.rows, shape.cols);
                 for i in 0..len {
-                    dx.row_slice_mut(start + i).copy_from_slice(grad.row_slice(i));
+                    dx.row_slice_mut(start + i)
+                        .copy_from_slice(grad.row_slice(i));
                 }
                 vec![(a, dx)]
             }) as _
@@ -557,7 +555,11 @@ impl Graph {
         let tv = self.value(table);
         let shape = tv.shape2();
         for &i in idx {
-            assert!(i < shape.rows, "gather index {i} out of {} rows", shape.rows);
+            assert!(
+                i < shape.rows,
+                "gather index {i} out of {} rows",
+                shape.rows
+            );
         }
         let out = tv.gather_rows(idx);
         let needs = self.needs_grad(table);
@@ -593,14 +595,19 @@ impl Graph {
         let shape = self.value(a).shape2();
         let keep = 1.0 - p;
         let mask: Vec<f32> = (0..shape.len())
-            .map(|_| if rng.gen::<f32>() < p { 0.0 } else { 1.0 / keep })
+            .map(|_| {
+                if rng.gen::<f32>() < p {
+                    0.0
+                } else {
+                    1.0 / keep
+                }
+            })
             .collect();
         let mask = Tensor::from_vec(shape.rows, shape.cols, mask);
         let out = self.value(a).mul(&mask);
         let needs = self.needs_grad(a);
-        let backward = needs.then(|| {
-            Box::new(move |grad: &Tensor| vec![(a, grad.mul(&mask))]) as _
-        });
+        let backward =
+            needs.then(|| Box::new(move |grad: &Tensor| vec![(a, grad.mul(&mask))]) as _);
         self.push(out, needs, backward)
     }
 
@@ -757,9 +764,7 @@ impl Graph {
         let out = self.value(a).reshape(rows, cols);
         let needs = self.needs_grad(a);
         let backward = needs.then(|| {
-            Box::new(move |grad: &Tensor| {
-                vec![(a, grad.reshape(shape.rows, shape.cols))]
-            }) as _
+            Box::new(move |grad: &Tensor| vec![(a, grad.reshape(shape.rows, shape.cols))]) as _
         });
         self.push(out, needs, backward)
     }

@@ -93,7 +93,13 @@ impl Tensor {
     }
 
     /// Samples a tensor with entries drawn i.i.d. from `U[lo, hi)`.
-    pub fn uniform<R: Rng + ?Sized>(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut R) -> Self {
+    pub fn uniform<R: Rng + ?Sized>(
+        rows: usize,
+        cols: usize,
+        lo: f32,
+        hi: f32,
+        rng: &mut R,
+    ) -> Self {
         let dist = rand::distributions::Uniform::new(lo, hi);
         let data = (0..rows * cols).map(|_| dist.sample(rng)).collect();
         Self::from_vec(rows, cols, data)
@@ -364,7 +370,15 @@ impl Tensor {
         );
         assert_eq!(bias.shape(), (1, n), "matmul_bias expects a 1x{n} bias");
         let mut out = Tensor::zeros(m, n);
-        crate::backend::gemm(&self.data, &other.data, Some(&bias.data), m, k, n, &mut out.data);
+        crate::backend::gemm(
+            &self.data,
+            &other.data,
+            Some(&bias.data),
+            m,
+            k,
+            n,
+            &mut out.data,
+        );
         out
     }
 
@@ -464,11 +478,7 @@ impl Tensor {
     /// Panics if lengths differ.
     pub fn dot(&self, other: &Tensor) -> f32 {
         assert_eq!(self.len(), other.len(), "dot length mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| a * b)
-            .sum()
+        self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum()
     }
 
     /// Frobenius (flat L2) norm.

@@ -167,7 +167,11 @@ pub fn sample_khop_targets(
             prev_end - prev_start
         };
         for f in 0..frontier_len {
-            let node = if hop == 0 { seeds[f] } else { out[prev_start + f] };
+            let node = if hop == 0 {
+                seeds[f]
+            } else {
+                out[prev_start + f]
+            };
             let end = graph.history_end(node, t);
             let probe = (end.max(1)).ilog2() as u64 + 1;
             let start = end.saturating_sub(n_per_hop);
@@ -247,7 +251,15 @@ mod tests {
         let g = chain_graph();
         let mut rng = StdRng::seed_from_u64(0);
         let mut cost = QueryCost::new();
-        let s = sample_neighbors(&g, 2, 10.0, 10, Strategy::Uniform, Some(&mut rng), &mut cost);
+        let s = sample_neighbors(
+            &g,
+            2,
+            10.0,
+            10,
+            Strategy::Uniform,
+            Some(&mut rng),
+            &mut cost,
+        );
         assert_eq!(s.len(), 2);
     }
 
@@ -271,8 +283,26 @@ mod tests {
         let g = chain_graph();
         let mut c1 = QueryCost::new();
         let mut c2 = QueryCost::new();
-        sample_khop(&g, &[0, 1, 2], 10.0, 2, 1, Strategy::MostRecent, None, &mut c1);
-        sample_khop(&g, &[0, 1, 2], 10.0, 2, 2, Strategy::MostRecent, None, &mut c2);
+        sample_khop(
+            &g,
+            &[0, 1, 2],
+            10.0,
+            2,
+            1,
+            Strategy::MostRecent,
+            None,
+            &mut c1,
+        );
+        sample_khop(
+            &g,
+            &[0, 1, 2],
+            10.0,
+            2,
+            2,
+            Strategy::MostRecent,
+            None,
+            &mut c2,
+        );
         assert!(c2.rows_touched > c1.rows_touched);
         assert!(c2.queries > c1.queries);
     }
@@ -288,7 +318,16 @@ mod tests {
             (vec![3], 1, 0),
         ] {
             let mut c_ref = QueryCost::new();
-            let layers = sample_khop(&g, &seeds, 10.0, n, hops, Strategy::MostRecent, None, &mut c_ref);
+            let layers = sample_khop(
+                &g,
+                &seeds,
+                10.0,
+                n,
+                hops,
+                Strategy::MostRecent,
+                None,
+                &mut c_ref,
+            );
             let flat: Vec<NodeId> = layers
                 .iter()
                 .flat_map(|l| l.iter().map(|e| e.entry.neighbor))

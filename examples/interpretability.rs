@@ -78,7 +78,15 @@ fn main() {
             .collect();
         let feats = data.feature_batch(&eids);
         model.post_step(
-            &mut store, &data.graph, &batch, &unique, &z, &maps[0], &maps[1], &feats, &mut cost,
+            &mut store,
+            &data.graph,
+            &batch,
+            &unique,
+            &z,
+            &maps[0],
+            &maps[1],
+            &feats,
+            &mut cost,
         );
     }
 

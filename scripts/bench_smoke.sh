@@ -7,6 +7,15 @@
 # crates/bench/Cargo.toml, so plain `cargo test` (tier-1) already smokes
 # the kernel benches; this script extends that to all bench targets.
 #
+# After the run, the freshly written BENCH_tensor.json is structurally
+# diffed against the committed baseline (benchmarks/
+# BENCH_tensor.baseline.json): the set of (kernel, shape, threads) rows
+# must match — a kernel or shape silently dropping out of the report is
+# a failure. Timings and speedups are printed for eyeballing but never
+# compared (they are machine- and thermal-dependent); the SIMD/quant
+# flags are only warned about, since the baseline was recorded on an
+# AVX-512 machine and the smoke run may not be.
+#
 # Usage: scripts/bench_smoke.sh [extra cargo-test args]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -16,4 +25,52 @@ export APAN_SCALE="${APAN_SCALE:-0.002}"
 export APAN_SEEDS="${APAN_SEEDS:-1}"
 export APAN_EPOCHS="${APAN_EPOCHS:-1}"
 
-exec cargo test -p apan-bench --benches --release "$@"
+cargo test -p apan-bench --benches --release "$@"
+
+fresh=crates/bench/bench-results/BENCH_tensor.json
+baseline=benchmarks/BENCH_tensor.baseline.json
+if ! command -v python3 >/dev/null 2>&1; then
+    echo "bench_smoke: python3 not found, skipping baseline diff"
+    exit 0
+fi
+if [[ ! -f "$fresh" ]]; then
+    echo "bench_smoke: FAIL: $fresh was not written by the run" >&2
+    exit 1
+fi
+python3 - "$baseline" "$fresh" <<'EOF'
+import json, sys
+
+base_path, fresh_path = sys.argv[1], sys.argv[2]
+base = json.load(open(base_path))["timings"]
+fresh = json.load(open(fresh_path))["timings"]
+
+def key(row):
+    return (row["kernel"], row["shape"], row["threads"])
+
+# Repeated (kernel, shape, threads) rows are legitimate (serial vs
+# parallel re-runs), so compare multisets via sorted lists.
+bk, fk = sorted(map(key, base)), sorted(map(key, fresh))
+if bk != fk:
+    missing = [k for k in bk if k not in fk]
+    extra = [k for k in fk if k not in bk]
+    print("bench_smoke: FAIL: report rows drifted from baseline", file=sys.stderr)
+    for k in missing:
+        print(f"  missing: {k}", file=sys.stderr)
+    for k in extra:
+        print(f"  extra:   {k}", file=sys.stderr)
+    sys.exit(1)
+
+base_by = {}
+for row in base:
+    base_by.setdefault(key(row), row)
+for row in fresh:
+    b = base_by[key(row)]
+    for flag in ("simd_active", "quant_active"):
+        if row[flag] != b[flag]:
+            print(f"bench_smoke: warn: {key(row)} {flag} = "
+                  f"{row[flag]} (baseline {b[flag]}; machine-dependent)")
+    ratio = row["ns_per_iter"] / b["ns_per_iter"] if b["ns_per_iter"] else 0.0
+    print(f"bench_smoke: {row['kernel']:>14} {row['shape']:>18} "
+          f"{row['ns_per_iter']:>12.0f} ns/iter ({ratio:.2f}x baseline)")
+print(f"bench_smoke: OK: {len(fresh)} rows match the baseline structure")
+EOF

@@ -192,8 +192,8 @@ fn fraud_review_queue_precision_beats_prevalence() {
         .clone()
         .map(|eid| data.labels[eid] == Some(true))
         .collect();
-    let prevalence = test_labels.iter().filter(|&&l| l).count() as f64
-        / test_labels.len().max(1) as f64;
+    let prevalence =
+        test_labels.iter().filter(|&&l| l).count() as f64 / test_labels.len().max(1) as f64;
     // degenerate guard: the generator must produce test-range fraud
     assert!(prevalence > 0.0, "no fraud in test window");
 
