@@ -1,0 +1,115 @@
+//! Cluster serving throughput: gateway-routed inference over N in-process
+//! shards versus a single daemon, same weights, same request stream.
+//!
+//! What this measures is the cost of the cluster discipline itself —
+//! one extra network hop (client → gateway → owner shard), the
+//! global-sequence turnstile, and background `DELIVER` replication to
+//! every peer. The replication is asynchronous, so the headline serving
+//! latency should stay near the single-daemon number while the cluster
+//! buys process-level fault isolation.
+
+use apan_cluster::{start_gateway, GatewayConfig, GatewayHandle};
+use apan_core::config::ApanConfig;
+use apan_core::model::Apan;
+use apan_core::propagator::Interaction;
+use apan_serve::{Client, ClusterMembership, ServeConfig, ServerHandle};
+use apan_tensor::Tensor;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const DIM: usize = 16;
+const NODES: u32 = 64;
+
+fn model(seed: u64) -> Apan {
+    let mut cfg = ApanConfig::new(DIM);
+    cfg.mailbox_slots = 4;
+    cfg.mlp_hidden = 32;
+    cfg.dropout = 0.0;
+    let mut rng = StdRng::seed_from_u64(seed);
+    Apan::new(&cfg, &mut rng)
+}
+
+fn shard_cfg(shard: Option<(usize, usize)>) -> ServeConfig {
+    ServeConfig {
+        num_nodes: NODES as usize + 8,
+        cluster: shard.map(|(id, n)| ClusterMembership::new(id, n)),
+        ..ServeConfig::default()
+    }
+}
+
+fn boot_cluster(n: usize) -> (Vec<ServerHandle>, GatewayHandle) {
+    let shards: Vec<ServerHandle> = (0..n)
+        .map(|i| apan_serve::start(model(7), shard_cfg(Some((i, n)))).expect("start shard"))
+        .collect();
+    let addrs: Vec<_> = shards.iter().map(|s| s.addr()).collect();
+    for (i, shard) in shards.iter().enumerate() {
+        let peers: Vec<_> = addrs
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, &a)| a)
+            .collect();
+        shard.set_cluster_peers(&peers);
+    }
+    let gateway = start_gateway(GatewayConfig {
+        addr: "127.0.0.1:0".into(),
+        shards: addrs,
+    })
+    .expect("start gateway");
+    (shards, gateway)
+}
+
+fn request(k: usize) -> (Vec<Interaction>, Tensor) {
+    let src = (k as u32 * 7) % NODES;
+    let dst = (k as u32 * 13 + 1) % NODES;
+    let interactions = vec![Interaction {
+        src,
+        dst,
+        time: -1.0, // arrival order assigns event time
+        eid: k as u32,
+    }];
+    let feats = Tensor::full(1, DIM, 0.25);
+    (interactions, feats)
+}
+
+fn bench_cluster_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_serving");
+
+    {
+        let handle = apan_serve::start(model(7), shard_cfg(None)).expect("start");
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        let mut k = 0usize;
+        group.bench_function("single_daemon_infer", |b| {
+            b.iter(|| {
+                let (interactions, feats) = request(k);
+                k += 1;
+                client.infer(&interactions, &feats).expect("infer")
+            })
+        });
+        handle.shutdown();
+    }
+
+    {
+        let (shards, gateway) = boot_cluster(3);
+        let mut client = Client::connect(gateway.addr()).expect("connect");
+        let mut k = 0usize;
+        group.bench_function("gateway_3shard_infer", |b| {
+            b.iter(|| {
+                let (interactions, feats) = request(k);
+                k += 1;
+                client.infer(&interactions, &feats).expect("infer")
+            })
+        });
+        drop(client);
+        gateway.shutdown();
+        for s in shards {
+            s.join();
+        }
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster_throughput);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! `apan-gateway` — the cluster routing front.
+//!
+//! Routes `INFER` to the shard owning each request's first source node
+//! under a cluster-global sequence number, fans out
+//! `FLUSH`/`STATS`/`METRICS`/`SNAPSHOT`/`SHUTDOWN`, and aggregates the
+//! replies. Speaks exactly the `apand` wire protocol on its front, so
+//! every existing client and the load generator work unchanged against
+//! a cluster.
+//!
+//! ```text
+//! apan-gateway --port 7900 --shards 127.0.0.1:7878,127.0.0.1:7879,127.0.0.1:7880
+//! ```
+
+use apan_cluster::{start_gateway, GatewayConfig};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Set from the signal handler; polled by the main thread.
+static STOP: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_signal(_signum: i32) {
+        STOP.store(true, Ordering::SeqCst);
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+const USAGE: &str = "usage: apan-gateway --shards host:port,host:port,... [--port N]";
+
+struct Args {
+    port: u16,
+    shards: Vec<SocketAddr>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut port = 7900u16;
+    let mut shards = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            println!("{USAGE}");
+            std::process::exit(0);
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))?;
+        match flag.as_str() {
+            "--port" => {
+                port = value
+                    .parse()
+                    .map_err(|_| format!("--port: bad number {value:?}"))?;
+            }
+            "--shards" => {
+                shards = value
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| {
+                        s.parse()
+                            .map_err(|_| format!("--shards: bad address {s:?}"))
+                    })
+                    .collect::<Result<_, String>>()?;
+            }
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    if shards.is_empty() {
+        return Err(format!("--shards is required\n{USAGE}"));
+    }
+    Ok(Args { port, shards })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("apan-gateway: {e}");
+            std::process::exit(2);
+        }
+    };
+    install_signal_handlers();
+    let handle = match start_gateway(GatewayConfig {
+        addr: format!("0.0.0.0:{}", args.port),
+        shards: args.shards,
+    }) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("apan-gateway: failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    // stdout line is the contract scripts wait on to learn the port
+    println!("apan-gateway listening on {}", handle.addr());
+
+    while handle.is_running() && !STOP.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    if STOP.load(Ordering::SeqCst) {
+        eprintln!("apan-gateway: signal received, shutting down cluster");
+        handle.shutdown();
+    } else {
+        handle.join();
+    }
+    println!("apan-gateway stopped");
+}

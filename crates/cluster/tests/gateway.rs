@@ -1,0 +1,312 @@
+//! Gateway integration: routing, fan-out aggregation, replica
+//! agreement, and connection-map hygiene under churn.
+
+use apan_cluster::{owner_shard, start_gateway, ChaosProfile, ChaosProxy, GatewayConfig};
+use apan_core::config::ApanConfig;
+use apan_core::model::Apan;
+use apan_core::propagator::Interaction;
+use apan_serve::client::json_u64_field;
+use apan_serve::proto::{self, reply, verb};
+use apan_serve::{Client, ClusterMembership, ServeConfig, ServerHandle};
+use apan_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+const DIM: usize = 8;
+const NODES: u32 = 24;
+
+fn model(seed: u64) -> Apan {
+    let mut cfg = ApanConfig::new(DIM);
+    cfg.mailbox_slots = 4;
+    cfg.mlp_hidden = 16;
+    cfg.dropout = 0.0;
+    let mut rng = StdRng::seed_from_u64(seed);
+    Apan::new(&cfg, &mut rng)
+}
+
+fn shard_cfg(shard: Option<(usize, usize)>) -> ServeConfig {
+    ServeConfig {
+        num_nodes: NODES as usize + 8,
+        cluster: shard.map(|(id, n)| ClusterMembership::new(id, n)),
+        ..ServeConfig::default()
+    }
+}
+
+/// Boots `n` shards with full-mesh peer links and a gateway in front.
+fn boot_cluster(n: usize, weight_seed: u64) -> (Vec<ServerHandle>, apan_cluster::GatewayHandle) {
+    let shards: Vec<ServerHandle> = (0..n)
+        .map(|i| apan_serve::start(model(weight_seed), shard_cfg(Some((i, n)))).expect("shard"))
+        .collect();
+    let addrs: Vec<SocketAddr> = shards.iter().map(|s| s.addr()).collect();
+    for (i, shard) in shards.iter().enumerate() {
+        let peers: Vec<SocketAddr> = addrs
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, &a)| a)
+            .collect();
+        shard.set_cluster_peers(&peers);
+    }
+    let gateway = start_gateway(GatewayConfig {
+        addr: "127.0.0.1:0".into(),
+        shards: addrs,
+    })
+    .expect("gateway");
+    (shards, gateway)
+}
+
+/// `k`-th request of the deterministic stream: explicit increasing
+/// times, sources sweeping every shard.
+fn request(k: usize) -> (Vec<Interaction>, Tensor) {
+    let src = (k as u32 * 5 + 1) % NODES;
+    let dst = (k as u32 * 11 + 3) % NODES;
+    let interactions = vec![Interaction {
+        src,
+        dst,
+        time: (k + 1) as f64,
+        eid: k as u32,
+    }];
+    let feats = Tensor::full(1, DIM, 0.5 + (k % 7) as f32 * 0.05);
+    (interactions, feats)
+}
+
+fn bits(scores: &[f32]) -> Vec<u32> {
+    scores.iter().map(|s| s.to_bits()).collect()
+}
+
+#[test]
+fn gateway_routing_matches_a_single_daemon_bitwise() {
+    const REQS: usize = 30;
+    let (shards, gateway) = boot_cluster(3, 77);
+    let single = apan_serve::start(model(77), shard_cfg(None)).expect("single");
+
+    let mut via_gateway = Client::connect(gateway.addr()).expect("connect gateway");
+    let mut via_single = Client::connect(single.addr()).expect("connect single");
+
+    for k in 0..REQS {
+        let (interactions, feats) = request(k);
+        let cluster_scores = via_gateway.infer(&interactions, &feats).expect("cluster");
+        via_gateway.flush().expect("cluster flush");
+        let single_scores = via_single.infer(&interactions, &feats).expect("single");
+        via_single.flush().expect("single flush");
+        assert_eq!(
+            bits(&cluster_scores),
+            bits(&single_scores),
+            "request {k} diverged between cluster and single daemon"
+        );
+    }
+
+    // the stream's sources really did land on more than one shard
+    let stats = via_gateway.stats().expect("stats");
+    assert!(
+        stats.contains("\"cluster_size\":3"),
+        "aggregate is missing cluster_size: {stats}"
+    );
+    let mut owners = [0usize; 3];
+    for k in 0..REQS {
+        owners[owner_shard(request(k).0[0].src, 3)] += 1;
+    }
+    assert!(
+        owners.iter().all(|&c| c > 0),
+        "stream must exercise every shard: {owners:?}"
+    );
+    // each shard's document appears in the aggregate with its identity
+    for id in 0..3 {
+        assert!(
+            stats.contains(&format!("\"shard_id\":{id}")),
+            "aggregate lost shard {id}: {stats}"
+        );
+    }
+
+    drop(via_gateway);
+    drop(via_single);
+    single.shutdown();
+    gateway.shutdown();
+    for s in shards {
+        s.join();
+    }
+}
+
+#[test]
+fn gateway_aggregates_metrics_and_relays_info() {
+    let (shards, gateway) = boot_cluster(3, 5);
+    let mut client = Client::connect(gateway.addr()).expect("connect");
+    for k in 0..6 {
+        let (interactions, feats) = request(k);
+        client.infer(&interactions, &feats).expect("infer");
+    }
+    client.flush().expect("flush");
+
+    let text = client.metrics().expect("metrics");
+    for id in 0..3 {
+        assert!(
+            text.contains(&format!("# apan-gateway: shard {id} ")),
+            "metrics missing shard {id} section:\n{text}"
+        );
+    }
+    assert!(text.contains("apan_shard_id"), "{text}");
+    assert!(text.contains("apan_cluster_size"), "{text}");
+
+    let info = client.info().expect("info");
+    assert_eq!(json_u64_field(&info, "dim"), Some(DIM as u64));
+
+    // requests spread across shards: total served == requests sent
+    let stats = client.stats().expect("stats");
+    let mut total = 0u64;
+    let mut rest = stats.as_str();
+    while let Some(pos) = rest.find("\"requests\":") {
+        rest = &rest[pos..];
+        total += json_u64_field(rest, "requests").unwrap_or(0);
+        rest = &rest[11..];
+    }
+    assert_eq!(total, 6, "served requests must sum across shards: {stats}");
+
+    client.ping().expect("ping");
+    drop(client);
+    gateway.shutdown();
+    for s in shards {
+        s.join();
+    }
+}
+
+/// Satellite regression: a flapping peer forwarder (or any short-lived
+/// shard-to-shard connection) must not grow the daemon's connection
+/// map — each reader prunes its entry on exit. This is the cluster
+/// twin of the client-side pruning test from the connection-hygiene
+/// work.
+#[test]
+fn short_lived_deliver_reconnects_are_pruned() {
+    let handle = apan_serve::start(
+        model(3),
+        shard_cfg(Some((0, 2))), // member of a 2-cluster, peer never installed
+    )
+    .expect("start");
+    let addr = handle.addr();
+
+    for g in 0..20u64 {
+        // one DELIVER per connection, like a forwarder that tears down
+        // its link on every ack timeout
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        let mut buf = Vec::new();
+        proto::write_frame(
+            &mut buf,
+            verb::DELIVER,
+            g + 1,
+            &proto::encode_deliver(g, &proto::empty_job_bytes()),
+        )
+        .expect("encode");
+        stream.write_all(&buf).expect("send");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let frame = proto::read_frame(&mut reader)
+            .expect("read")
+            .expect("reply");
+        assert_eq!(frame.verb, reply::OK, "delivery {g} not acked");
+        // dropping the stream closes the connection
+    }
+
+    // pruning is asynchronous (the reader thread exits after the peer
+    // closes): poll briefly instead of sleeping a fixed amount
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while handle.active_connections() > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(
+        handle.active_connections(),
+        0,
+        "20 short-lived DELIVER connections must all be pruned"
+    );
+    handle.shutdown();
+}
+
+/// The gateway prunes its own client map the same way.
+#[test]
+fn gateway_prunes_short_lived_clients() {
+    let (shards, gateway) = boot_cluster(2, 9);
+    for _ in 0..10 {
+        let mut c = Client::connect(gateway.addr()).expect("connect");
+        c.ping().expect("ping");
+    }
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while gateway.active_connections() > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(gateway.active_connections(), 0);
+    gateway.shutdown();
+    for s in shards {
+        s.join();
+    }
+}
+
+/// Deliveries across a lossy link (drops, duplicates, delays) still
+/// leave every replica bitwise identical to the serial daemon — the
+/// stop-and-wait retransmit plus sequence dedup absorb the chaos.
+#[test]
+fn chaos_on_the_deliver_link_cannot_diverge_replicas() {
+    const REQS: usize = 24;
+    let n = 3;
+    let shards: Vec<ServerHandle> = (0..n)
+        .map(|i| {
+            let mut m = ClusterMembership::new(i, n);
+            m.deliver_retry = Duration::from_millis(50); // fast retransmit through chaos
+            apan_serve::start(
+                model(41),
+                ServeConfig {
+                    num_nodes: NODES as usize + 8,
+                    cluster: Some(m),
+                    ..ServeConfig::default()
+                },
+            )
+            .expect("shard")
+        })
+        .collect();
+    let addrs: Vec<SocketAddr> = shards.iter().map(|s| s.addr()).collect();
+    // one chaos proxy in front of each shard's DELIVER ingress
+    let proxies: Vec<ChaosProxy> = addrs
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| {
+            ChaosProxy::start(a, 1000 + i as u64, ChaosProfile::default()).expect("proxy")
+        })
+        .collect();
+    for (i, shard) in shards.iter().enumerate() {
+        let peers: Vec<SocketAddr> = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| proxies[j].addr())
+            .collect();
+        shard.set_cluster_peers(&peers);
+    }
+    let gateway = start_gateway(GatewayConfig {
+        addr: "127.0.0.1:0".into(),
+        shards: addrs,
+    })
+    .expect("gateway");
+    let single = apan_serve::start(model(41), shard_cfg(None)).expect("single");
+
+    let mut via_gateway = Client::connect(gateway.addr()).expect("connect gateway");
+    let mut via_single = Client::connect(single.addr()).expect("connect single");
+    for k in 0..REQS {
+        let (interactions, feats) = request(k);
+        let cluster_scores = via_gateway.infer(&interactions, &feats).expect("cluster");
+        via_gateway.flush().expect("cluster flush");
+        let single_scores = via_single.infer(&interactions, &feats).expect("single");
+        via_single.flush().expect("single flush");
+        assert_eq!(
+            bits(&cluster_scores),
+            bits(&single_scores),
+            "request {k} diverged under chaos"
+        );
+    }
+
+    drop(via_gateway);
+    drop(via_single);
+    single.shutdown();
+    gateway.shutdown();
+    for s in shards {
+        s.join();
+    }
+    drop(proxies);
+}

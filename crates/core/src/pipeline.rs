@@ -45,12 +45,17 @@ use std::time::Duration;
 /// never a panic — network input must not be able to abort a daemon
 /// built on this module.
 pub mod wire {
+    use crate::propagator::Interaction;
     use apan_tensor::Tensor;
     use bytes::{Buf, BufMut, Bytes, BytesMut};
 
     /// Upper bound on decoded tensor elements (256 Mi f32 = 1 GiB); a
     /// corrupt or hostile header cannot make us allocate unboundedly.
     pub const MAX_ELEMS: usize = 1 << 28;
+
+    /// Upper bound on any list length inside a propagation job
+    /// (interactions, row maps); same role as [`MAX_ELEMS`] for tensors.
+    pub const MAX_JOB_ITEMS: usize = 1 << 20;
 
     /// Why a buffer failed to decode.
     #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -69,6 +74,11 @@ pub mod wire {
             /// Declared column count.
             cols: usize,
         },
+        /// A job header declares more than [`MAX_JOB_ITEMS`] list items.
+        TooManyItems {
+            /// Declared item count.
+            count: usize,
+        },
     }
 
     impl std::fmt::Display for WireError {
@@ -79,6 +89,9 @@ pub mod wire {
                 }
                 WireError::Oversized { rows, cols } => {
                     write!(f, "implausible tensor header: {rows}x{cols}")
+                }
+                WireError::TooManyItems { count } => {
+                    write!(f, "implausible job list length: {count}")
                 }
             }
         }
@@ -171,6 +184,145 @@ pub mod wire {
         Ok(Some(b.get_u64_le()))
     }
 
+    /// A propagation job as it crosses process boundaries: everything a
+    /// replica needs to apply one admitted batch's asynchronous effects
+    /// (graph inserts, k-hop mail propagation, and the sync path's
+    /// embedding write-back) without re-running the encoder.
+    ///
+    /// `z_wire`/`feats_wire` stay in their [`encode_tensor`] framing —
+    /// they are validated where they are consumed, exactly as in-process
+    /// jobs are, so a well-framed but inconsistent job is dropped by the
+    /// worker (counted as a decode error), never panics.
+    #[derive(Clone, Debug, PartialEq)]
+    pub struct WireJob {
+        /// The admitted batch, times already clamped by admission.
+        pub interactions: Vec<Interaction>,
+        /// Row of `z_wire` holding each interaction's source embedding.
+        pub src_rows: Vec<usize>,
+        /// Row of `z_wire` holding each interaction's destination embedding.
+        pub dst_rows: Vec<usize>,
+        /// Encoded embedding rows (empty when mails ignore embeddings).
+        pub z_wire: Bytes,
+        /// Encoded per-interaction edge features.
+        pub feats_wire: Bytes,
+    }
+
+    /// Serializes a job:
+    /// `n:u32 | n×(src:u32, dst:u32, time:f64 bits, eid:u32) |
+    ///  ns:u32 | ns×u32 | nd:u32 | nd×u32 |
+    ///  zlen:u32 | z bytes | flen:u32 | feats bytes` (all LE).
+    pub fn encode_job(job: &WireJob) -> Bytes {
+        let mut buf = BytesMut::with_capacity(
+            20 * job.interactions.len()
+                + 4 * (job.src_rows.len() + job.dst_rows.len())
+                + job.z_wire.len()
+                + job.feats_wire.len()
+                + 20,
+        );
+        buf.put_u32_le(job.interactions.len() as u32);
+        for i in &job.interactions {
+            buf.put_u32_le(i.src);
+            buf.put_u32_le(i.dst);
+            buf.put_f64_le(i.time);
+            buf.put_u32_le(i.eid);
+        }
+        for rows in [&job.src_rows, &job.dst_rows] {
+            buf.put_u32_le(rows.len() as u32);
+            for &r in rows.iter() {
+                buf.put_u32_le(r as u32);
+            }
+        }
+        for blob in [&job.z_wire, &job.feats_wire] {
+            buf.put_u32_le(blob.len() as u32);
+            buf.extend_from_slice(blob);
+        }
+        buf.freeze()
+    }
+
+    fn get_count(b: &mut Bytes) -> Result<usize, WireError> {
+        if b.remaining() < 4 {
+            return Err(WireError::Truncated {
+                needed: 4,
+                got: b.remaining(),
+            });
+        }
+        let n = b.get_u32_le() as usize;
+        if n > MAX_JOB_ITEMS {
+            return Err(WireError::TooManyItems { count: n });
+        }
+        Ok(n)
+    }
+
+    /// Deserializes a job encoded by [`encode_job`]. Total: any byte
+    /// string decodes to a job or an error, never a panic, and declared
+    /// counts are capped before allocation. Trailing bytes are rejected
+    /// as they would mean a framing bug upstream.
+    pub fn decode_job(mut b: Bytes) -> Result<WireJob, WireError> {
+        let n = get_count(&mut b)?;
+        if b.remaining() < n * 20 {
+            return Err(WireError::Truncated {
+                needed: n * 20,
+                got: b.remaining(),
+            });
+        }
+        let mut interactions = Vec::with_capacity(n);
+        for _ in 0..n {
+            interactions.push(Interaction {
+                src: b.get_u32_le(),
+                dst: b.get_u32_le(),
+                time: b.get_f64_le(),
+                eid: b.get_u32_le(),
+            });
+        }
+        let mut maps: [Vec<usize>; 2] = [Vec::new(), Vec::new()];
+        for map in &mut maps {
+            let k = get_count(&mut b)?;
+            if b.remaining() < k * 4 {
+                return Err(WireError::Truncated {
+                    needed: k * 4,
+                    got: b.remaining(),
+                });
+            }
+            map.reserve(k);
+            for _ in 0..k {
+                map.push(b.get_u32_le() as usize);
+            }
+        }
+        let [src_rows, dst_rows] = maps;
+        let mut blobs: [Bytes; 2] = [Bytes::new(), Bytes::new()];
+        for blob in &mut blobs {
+            if b.remaining() < 4 {
+                return Err(WireError::Truncated {
+                    needed: 4,
+                    got: b.remaining(),
+                });
+            }
+            let len = b.get_u32_le() as usize;
+            if b.remaining() < len {
+                return Err(WireError::Truncated {
+                    needed: len,
+                    got: b.remaining(),
+                });
+            }
+            *blob = b.slice(0..len);
+            b.advance(len);
+        }
+        let [z_wire, feats_wire] = blobs;
+        if b.remaining() != 0 {
+            return Err(WireError::Truncated {
+                needed: 0,
+                got: b.remaining(),
+            });
+        }
+        Ok(WireJob {
+            interactions,
+            src_rows,
+            dst_rows,
+            z_wire,
+            feats_wire,
+        })
+    }
+
     #[cfg(test)]
     mod tests {
         use super::*;
@@ -232,6 +384,72 @@ pub mod wire {
                     "cut at {cut}"
                 );
             }
+        }
+
+        fn sample_job() -> WireJob {
+            WireJob {
+                interactions: vec![
+                    Interaction {
+                        src: 1,
+                        dst: 2,
+                        time: 3.5,
+                        eid: 7,
+                    },
+                    Interaction {
+                        src: 2,
+                        dst: 9,
+                        time: 4.25,
+                        eid: 8,
+                    },
+                ],
+                src_rows: vec![0, 1],
+                dst_rows: vec![1, 2],
+                z_wire: encode_tensor(&Tensor::from_rows(&[
+                    &[1.0, -2.0],
+                    &[0.5, 0.0],
+                    &[3.0, 4.0],
+                ])),
+                feats_wire: encode_tensor(&Tensor::from_rows(&[&[9.0, 9.0], &[8.0, 8.0]])),
+            }
+        }
+
+        #[test]
+        fn job_round_trips_bitwise() {
+            let job = sample_job();
+            assert_eq!(decode_job(encode_job(&job)).unwrap(), job);
+            // empty z (FeatureOnly) round-trips too
+            let mut job = sample_job();
+            job.z_wire = Bytes::new();
+            assert_eq!(decode_job(encode_job(&job)).unwrap(), job);
+        }
+
+        #[test]
+        fn truncated_job_is_an_error_not_a_panic() {
+            let full = encode_job(&sample_job());
+            for cut in 0..full.len() {
+                assert!(decode_job(full.slice(0..cut)).is_err(), "cut at {cut}");
+            }
+        }
+
+        #[test]
+        fn trailing_job_bytes_are_rejected() {
+            let mut bytes = encode_job(&sample_job()).to_vec();
+            bytes.push(0);
+            assert!(decode_job(Bytes::from(bytes)).is_err());
+        }
+
+        #[test]
+        fn oversized_job_counts_rejected_without_allocating() {
+            let mut buf = BytesMut::new();
+            buf.put_u32_le(u32::MAX);
+            let err = decode_job(buf.freeze()).unwrap_err();
+            assert!(matches!(err, WireError::TooManyItems { .. }));
+            // an oversized row-map count behind a valid batch header
+            let mut buf = BytesMut::new();
+            buf.put_u32_le(0); // no interactions
+            buf.put_u32_le(u32::MAX); // absurd src_rows count
+            let err = decode_job(buf.freeze()).unwrap_err();
+            assert!(matches!(err, WireError::TooManyItems { .. }));
         }
 
         #[test]
@@ -764,6 +982,96 @@ impl ServingPipeline {
         trace_id: u64,
         admitted: Option<Duration>,
     ) -> InferResult {
+        let (result, job, admitted) = self.infer_batch_job(interactions, feats, trace_id, admitted);
+        self.submit_job(job, trace_id, admitted);
+        result
+    }
+
+    /// [`ServingPipeline::infer_batch_traced`] for a cluster replica:
+    /// besides running the local synchronous path and queueing the local
+    /// propagation job, returns the job's wire encoding for forwarding to
+    /// peer replicas ([`wire::encode_job`] framing). A peer that feeds
+    /// those bytes to [`ServingPipeline::submit_remote`] in the same
+    /// order replays this replica's state transitions bitwise.
+    ///
+    /// The forwarded bytes always carry the batch's embedding rows, even
+    /// under [`MailContent::FeatureOnly`] (where the local job omits
+    /// them): peers have no encoder output of their own to write back.
+    pub fn infer_batch_cluster(
+        &mut self,
+        interactions: &[Interaction],
+        feats: &Tensor,
+        trace_id: u64,
+        admitted: Option<Duration>,
+    ) -> (InferResult, bytes::Bytes) {
+        let (result, job, admitted) = self.infer_batch_job(interactions, feats, trace_id, admitted);
+        let encoded = if job.z_wire.is_empty() && !job.interactions.is_empty() {
+            let mut wide = job.clone();
+            wide.z_wire = wire::encode_tensor(&result.embeddings);
+            wire::encode_job(&wide)
+        } else {
+            wire::encode_job(&job)
+        };
+        self.submit_job(job, trace_id, admitted);
+        (result, encoded)
+    }
+
+    /// Applies a propagation job replicated from a peer: replays the
+    /// sync path's embedding write-back from the job's embedding rows,
+    /// then queues the job on the asynchronous link under the next local
+    /// sequence ticket. Feeding every replica the same job stream in the
+    /// same order keeps their serving state bitwise identical to one
+    /// process serving the merged stream.
+    ///
+    /// Empty jobs (cluster hole-fillers for a failed owner) are no-ops;
+    /// a job whose payloads fail validation downstream is dropped by the
+    /// worker and counted as a decode error, exactly like a local job.
+    pub fn submit_remote(&mut self, job: wire::WireJob, trace_id: u64) {
+        if job.interactions.is_empty() {
+            return;
+        }
+        if let Ok(z) = wire::decode_tensor(job.z_wire.clone()) {
+            let src: Vec<NodeId> = job.interactions.iter().map(|i| i.src).collect();
+            let dst: Vec<NodeId> = job.interactions.iter().map(|i| i.dst).collect();
+            let (unique, _) = dedup_nodes(&[&src, &dst]);
+            let now = job.interactions.last().map(|i| i.time).unwrap_or(0.0);
+            if z.rows() == unique.len() && z.cols() == self.store.dim() {
+                self.store.sync_view().set_embeddings(&unique, &z, now);
+            }
+        }
+        let admitted = self.obs.now();
+        self.submit_job(job, trace_id, admitted);
+    }
+
+    /// Queues a job on the asynchronous link under the next sequence
+    /// ticket.
+    fn submit_job(&mut self, job: wire::WireJob, trace_id: u64, admitted: Duration) {
+        self.pending.increment();
+        let job = PropagateJob {
+            seq: self.next_seq,
+            interactions: job.interactions,
+            src_rows: job.src_rows,
+            dst_rows: job.dst_rows,
+            z_wire: job.z_wire,
+            feats_wire: job.feats_wire,
+            trace_id,
+            admitted,
+        };
+        self.next_seq += 1;
+        self.tx
+            .send(Job::Propagate(Box::new(job)))
+            .expect("propagation worker alive");
+    }
+
+    /// The synchronous path plus construction (not submission) of the
+    /// batch's propagation job; returns the resolved admission stamp.
+    fn infer_batch_job(
+        &mut self,
+        interactions: &[Interaction],
+        feats: &Tensor,
+        trace_id: u64,
+        admitted: Option<Duration>,
+    ) -> (InferResult, wire::WireJob, Duration) {
         assert_eq!(
             feats.rows(),
             interactions.len(),
@@ -826,28 +1134,21 @@ impl ServingPipeline {
         } else {
             wire::encode_tensor(&z_val.gather_rows(&used))
         };
-        self.pending.increment();
-        let job = PropagateJob {
-            seq: self.next_seq,
+        let job = wire::WireJob {
             interactions: interactions.to_vec(),
             src_rows: maps[0].iter().map(|&r| inv[r]).collect(),
             dst_rows: maps[1].iter().map(|&r| inv[r]).collect(),
             z_wire,
             feats_wire: wire::encode_tensor(feats),
-            trace_id,
-            admitted: admitted.unwrap_or(start),
         };
-        self.next_seq += 1;
-        self.tx
-            .send(Job::Propagate(Box::new(job)))
-            .expect("propagation worker alive");
 
-        InferResult {
+        let result = InferResult {
             scores,
             embeddings: z_val,
             nodes: unique,
             sync_time,
-        }
+        };
+        (result, job, admitted.unwrap_or(start))
     }
 
     /// Jobs queued or in flight on the asynchronous link.
@@ -1123,6 +1424,58 @@ mod tests {
         // …but with no sink installed nothing is buffered anywhere
         assert!(obs.sink().is_none());
         assert!(obs.drain_events().is_empty());
+    }
+
+    #[test]
+    fn replicated_jobs_keep_replicas_bitwise_identical() {
+        // two replicas alternating ownership, each forwarding its jobs to
+        // the other, must both track a single reference pipeline exactly
+        let mut reference = ServingPipeline::new(model(), 8, 16);
+        let mut a = ServingPipeline::new(model(), 8, 16);
+        let mut b = ServingPipeline::new(model(), 8, 16);
+        for k in 0..6 {
+            let (ints, f) = batch(k);
+            let want = reference.infer_batch(&ints, &f);
+            reference.flush();
+            let (owner, peer) = if k % 2 == 0 {
+                (&mut a, &mut b)
+            } else {
+                (&mut b, &mut a)
+            };
+            let (got, bytes) = owner.infer_batch_cluster(&ints, &f, 0, None);
+            peer.submit_remote(wire::decode_job(bytes).unwrap(), 0);
+            owner.flush();
+            peer.flush();
+            let bits = |s: &[f32]| s.iter().map(|v| v.to_bits()).collect::<Vec<u32>>();
+            assert_eq!(bits(&got.scores), bits(&want.scores), "batch {k}");
+        }
+        let snap = |p: &ServingPipeline| {
+            let (store, graph) = p.export_state();
+            let mut buf = Vec::new();
+            store.write_snapshot(&mut buf).unwrap();
+            (buf, graph.num_events())
+        };
+        let want = snap(&reference);
+        assert_eq!(snap(&a), want, "replica a diverged");
+        assert_eq!(snap(&b), want, "replica b diverged");
+    }
+
+    #[test]
+    fn empty_remote_job_is_a_noop() {
+        let mut p = ServingPipeline::new(model(), 8, 16);
+        p.submit_remote(
+            wire::WireJob {
+                interactions: Vec::new(),
+                src_rows: Vec::new(),
+                dst_rows: Vec::new(),
+                z_wire: bytes::Bytes::new(),
+                feats_wire: bytes::Bytes::new(),
+            },
+            0,
+        );
+        p.flush();
+        assert_eq!(p.prop_link().stats().jobs, 0);
+        assert_eq!(p.pending_jobs(), 0);
     }
 
     #[test]

@@ -21,7 +21,7 @@ use apan_tgraph::sampling::{sample_khop, sample_khop_targets, Strategy};
 use apan_tgraph::{EventId, NodeId, TemporalGraph, Time};
 
 /// One interaction to propagate, with its already-computed mail row.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Interaction {
     /// Source node.
     pub src: NodeId,
@@ -130,6 +130,7 @@ impl Propagator {
             let cost_ptr = SendSlot(scratch.per_inter_cost.as_mut_ptr());
             let me = *self;
             parallel_rows(b, 1, &|start, end| {
+                #[allow(clippy::needless_range_loop)] // r indexes two slot arrays
                 for r in start..end {
                     // SAFETY: row ranges from parallel_rows are disjoint,
                     // so each slot index r is written by exactly one task.
@@ -194,6 +195,7 @@ impl Propagator {
             let rows_flat = &scratch.rows;
             let reduce = self.reduce;
             parallel_rows(plan.nodes.len(), 8, &|start, end| {
+                #[allow(clippy::needless_range_loop)] // gi also indexes payload
                 for gi in start..end {
                     let (gs, ge) = groups[gi];
                     let rows = &rows_flat[gs as usize..ge as usize];
@@ -349,7 +351,7 @@ unsafe impl<T> Sync for SendSlot<T> {}
 // manual (derive would demand `T: Copy`; the pointee is never copied)
 impl<T> Clone for SendSlot<T> {
     fn clone(&self) -> Self {
-        Self(self.0)
+        *self
     }
 }
 impl<T> Copy for SendSlot<T> {}

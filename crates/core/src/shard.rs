@@ -35,6 +35,17 @@ pub fn shards_from_env() -> usize {
         .unwrap_or(DEFAULT_SHARDS)
 }
 
+/// Ownership discipline shared by every sharded layer: node `node`
+/// belongs to member `node % n` of an `n`-way partition. The in-process
+/// [`ShardedMailboxStore`] uses it to pick a mailbox shard; the
+/// multi-daemon cluster uses the same function to pick the `apand`
+/// process that serves a request, so in-process and cross-process
+/// sharding never disagree about placement.
+#[inline]
+pub fn owner_shard(node: NodeId, n: usize) -> usize {
+    node as usize % n.max(1)
+}
+
 /// A mailbox store split into independently locked shards by
 /// `node_id % num_shards`; node `g` lives at local index `g / S` of
 /// shard `g % S`.
@@ -138,7 +149,7 @@ impl ShardedMailboxStore {
     /// The shard holding `node`.
     #[inline]
     pub fn shard_of(&self, node: NodeId) -> usize {
-        node as usize % self.shards.len()
+        owner_shard(node, self.shards.len())
     }
 
     /// Locks shard `s` for delivery. The guard translates global node

@@ -25,6 +25,9 @@ proptest! {
             Err(WireError::Oversized { rows, cols }) => {
                 prop_assert!(rows.checked_mul(cols).is_none_or(|n| n > MAX_ELEMS));
             }
+            Err(WireError::TooManyItems { .. }) => {
+                prop_assert!(false, "tensor decode never sees job counts");
+            }
         }
     }
 

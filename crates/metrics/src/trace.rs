@@ -159,7 +159,7 @@ impl Histogram {
     /// last — exactly the serving daemon's legacy fixed-width batch
     /// histogram (`n = 8`: `≤1, ≤2, ≤4, …, ≤64, >64`).
     pub fn counts_clamped(&self, n: usize) -> Vec<u64> {
-        assert!(n >= 1 && n <= HIST_BUCKETS);
+        assert!((1..=HIST_BUCKETS).contains(&n));
         let snap = self.snapshot();
         let mut out: Vec<u64> = snap.buckets[..n].to_vec();
         let overflow: u64 = snap.buckets[n..].iter().sum();

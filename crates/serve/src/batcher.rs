@@ -66,6 +66,28 @@ pub enum Control {
     Flush(Box<dyn FnOnce() + Send>),
     /// Snapshot (if configured) and stop the batcher.
     Shutdown(Box<dyn FnOnce() + Send>),
+    /// A gateway-routed inference this shard owns: score the batch,
+    /// forward its propagation job to peer shards under `gseq`, and
+    /// reply through the item's responder. Queued as control (not
+    /// [`Work::Infer`]) so it is never merged into a larger batch —
+    /// cluster batches must stay bitwise identical on every replica.
+    RoutedInfer {
+        /// Cluster-global sequence number assigned by the gateway.
+        gseq: u64,
+        /// The admitted request (times already clamped under its turn).
+        item: InferItem,
+    },
+    /// A propagation job replicated from a peer shard. Acknowledged
+    /// once the job is queued on the local asynchronous link: queue
+    /// FIFO plus the flush barrier make "queued" as strong as
+    /// "committed" for every observable read.
+    RemoteDeliver {
+        /// The decoded job (an empty job is a hole-filler: a no-op that
+        /// keeps the global sequence dense when an owner failed).
+        job: apan_core::pipeline::wire::WireJob,
+        /// Ack callback, run after the job is queued locally.
+        done: Box<dyn FnOnce() + Send>,
+    },
 }
 
 enum Work {
@@ -249,9 +271,45 @@ impl IngressQueue {
         Ok(())
     }
 
+    /// Admits a routed request's interaction times against the shared
+    /// watermark without queueing it. The cluster path admits on the
+    /// routing thread — inside that request's global-sequence turn, so
+    /// every replica's watermark advances identically — and then queues
+    /// via [`IngressQueue::submit_control`] to keep one FIFO. Routed
+    /// requests are never shed: they already hold a global sequence
+    /// number, and dropping one would leave a hole every replica would
+    /// wait on forever (overload is the gateway's problem).
+    pub fn admit_routed(&self, interactions: &mut [Interaction]) -> Result<u64, AdmitError> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err(AdmitError::Closed);
+        }
+        let clamped = admit_times(&mut inner.watermark, interactions);
+        inner.clamped += clamped;
+        Ok(clamped)
+    }
+
+    /// Advances the event-time watermark to at least `t` — the replica
+    /// half of cluster admission: a `DELIVER`ed job carries the owning
+    /// shard's post-admission times, and applying its max here (inside
+    /// the job's global-sequence turn) keeps every replica's watermark
+    /// equal to the one serial admission would have produced.
+    pub fn advance_watermark(&self, t: f64) {
+        if !t.is_finite() {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        if t > inner.watermark {
+            inner.watermark = t;
+        }
+    }
+
     /// Enqueues control work. Control bypasses admission (it must get
     /// through precisely when the queue is saturated) but keeps FIFO
-    /// order relative to inference requests.
+    /// order relative to inference requests. The rejected `Control` is
+    /// handed back whole so callers can recover the payload (e.g. fail
+    /// the `done` waiter of a routed infer).
+    #[allow(clippy::result_large_err)]
     pub fn submit_control(&self, c: Control) -> Result<(), Control> {
         let mut inner = self.inner.lock().unwrap();
         if inner.closed {
@@ -576,6 +634,39 @@ mod tests {
             Some(Drained::Batch(_))
         ));
         assert!(q.drain(BatchPolicy::default()).is_none());
+    }
+
+    #[test]
+    fn routed_admission_shares_the_watermark_and_never_sheds() {
+        let q = IngressQueue::new(1);
+        assert!(submit(&q, 5.0).is_ok()); // queue now at high water
+        let mut routed = vec![Interaction {
+            src: 0,
+            dst: 1,
+            time: 3.0, // behind the watermark: clamp
+            eid: 0,
+        }];
+        assert_eq!(q.admit_routed(&mut routed).unwrap(), 1);
+        assert!((routed[0].time - 5.0).abs() < 1e-12);
+        let stats = q.stats();
+        assert_eq!(stats.clamped, 1);
+        assert!((stats.watermark - 5.0).abs() < 1e-12);
+        q.close();
+        assert_eq!(q.admit_routed(&mut routed).unwrap_err(), AdmitError::Closed);
+    }
+
+    #[test]
+    fn advance_watermark_is_monotone_and_ignores_junk() {
+        let q = IngressQueue::new(4);
+        q.advance_watermark(7.5);
+        assert!((q.stats().watermark - 7.5).abs() < 1e-12);
+        q.advance_watermark(3.0); // backwards: ignored
+        q.advance_watermark(f64::NAN);
+        q.advance_watermark(f64::INFINITY);
+        assert!((q.stats().watermark - 7.5).abs() < 1e-12);
+        // a later submit admits against the advanced watermark
+        assert!(submit(&q, 2.0).is_ok());
+        assert_eq!(q.stats().clamped, 1);
     }
 
     #[test]

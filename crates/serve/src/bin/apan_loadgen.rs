@@ -1,14 +1,27 @@
-//! `apan-loadgen` — concurrent load generator for `apand`.
+//! `apan-loadgen` — concurrent load generator for `apand` and
+//! `apan-gateway`.
 //!
-//! Opens `--conns` connections, each issuing lockstep `INFER` requests
-//! with daemon-assigned event times for `--duration-s` seconds, then
-//! prints client-observed latency, per-outcome counts, and the daemon's
-//! own `STATS` document — so the daemon's claimed p99 can be checked
-//! against what clients actually saw.
+//! Opens `--conns` connections spread round-robin over one or more
+//! endpoints, each issuing lockstep `INFER` requests with
+//! daemon-assigned event times for `--duration-s` seconds, then prints
+//! client-observed latency (overall and per endpoint), per-outcome
+//! counts, and the daemon's own `STATS` document — so the daemon's
+//! claimed p99 can be checked against what clients actually saw.
 //!
 //! ```text
 //! apan-loadgen --addr 127.0.0.1:7878 --conns 4 --duration-s 2 --batch 8
+//! apan-loadgen --endpoints 127.0.0.1:7878,127.0.0.1:7879 --conns 4 --duration-s 2
 //! ```
+//!
+//! With `--requests N` the generator switches to a **deterministic
+//! lockstep** mode: one connection to the first endpoint, exactly `N`
+//! requests with explicit strictly-increasing event times, a `FLUSH`
+//! after every reply, and (with `--checksum`) an FNV-1a-64 digest over
+//! the raw score bits printed as `apan-loadgen: checksum <hex>`. Two
+//! runs of the same workload against bitwise-equal serving stacks —
+//! e.g. a single daemon and a 3-shard cluster behind a gateway — must
+//! print the same digest; `scripts/cluster_smoke.sh` asserts exactly
+//! that.
 
 use apan_core::propagator::Interaction;
 use apan_metrics::LatencyRecorder;
@@ -19,7 +32,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 struct Args {
-    addr: String,
+    endpoints: Vec<String>,
     conns: usize,
     duration_s: u64,
     batch: usize,
@@ -28,24 +41,32 @@ struct Args {
     /// the run is live, and dump the full final exposition at the end.
     /// `0` disables polling.
     metrics_every_ms: u64,
+    /// `> 0` switches to deterministic lockstep mode: exactly this many
+    /// requests on one connection, explicit event times, FLUSH each.
+    requests: u64,
+    /// Print an FNV-1a-64 digest of all score bits (lockstep mode).
+    checksum: bool,
 }
 
 impl Default for Args {
     fn default() -> Self {
         Self {
-            addr: "127.0.0.1:7878".into(),
+            endpoints: vec!["127.0.0.1:7878".into()],
             conns: 4,
             duration_s: 2,
             batch: 8,
             universe: 10_000,
             metrics_every_ms: 0,
+            requests: 0,
+            checksum: false,
         }
     }
 }
 
-const USAGE: &str =
-    "usage: apan-loadgen [--addr HOST:PORT] [--conns N] [--duration-s N] [--batch N] [--universe N]
-                    [--metrics-every-ms N]   (poll METRICS while running; 0 = off)";
+const USAGE: &str = "usage: apan-loadgen [--addr HOST:PORT | --endpoints HOST:PORT,HOST:PORT,...]
+                    [--conns N] [--duration-s N] [--batch N] [--universe N]
+                    [--metrics-every-ms N]   (poll METRICS while running; 0 = off)
+                    [--requests N] [--checksum]   (deterministic lockstep mode)";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
@@ -55,11 +76,25 @@ fn parse_args() -> Result<Args, String> {
             println!("{USAGE}");
             std::process::exit(0);
         }
+        if flag == "--checksum" {
+            args.checksum = true;
+            continue;
+        }
         let value = it
             .next()
             .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))?;
         match flag.as_str() {
-            "--addr" => args.addr = value,
+            "--addr" => args.endpoints = vec![value],
+            "--endpoints" => {
+                args.endpoints = value
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_owned)
+                    .collect();
+                if args.endpoints.is_empty() {
+                    return Err("--endpoints needs at least one HOST:PORT".into());
+                }
+            }
             "--conns" => args.conns = value.parse().map_err(|_| "bad --conns".to_string())?,
             "--duration-s" => {
                 args.duration_s = value.parse().map_err(|_| "bad --duration-s".to_string())?
@@ -73,6 +108,9 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "bad --metrics-every-ms".to_string())?
             }
+            "--requests" => {
+                args.requests = value.parse().map_err(|_| "bad --requests".to_string())?
+            }
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
     }
@@ -85,6 +123,15 @@ struct Totals {
     overloaded: AtomicU64,
     errors: AtomicU64,
     interactions: AtomicU64,
+}
+
+/// Client-side view of one endpoint: its own latency recorder and
+/// request count, reported separately at the end so a slow shard (or a
+/// slow gateway) cannot hide inside a cluster-wide aggregate.
+#[derive(Default)]
+struct EndpointStats {
+    ok: AtomicU64,
+    latency: Mutex<LatencyRecorder>,
 }
 
 /// Pulls one sample's value out of a Prometheus text exposition: the
@@ -112,18 +159,37 @@ impl Mix {
     }
 }
 
+/// FNV-1a-64 over a byte stream — the lockstep mode's score digest.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn worker(
     args: &Args,
+    addr: &str,
     dim: usize,
     seed: u64,
     stop: &AtomicBool,
     totals: &Totals,
-    latency: &Mutex<LatencyRecorder>,
+    overall: &Mutex<LatencyRecorder>,
+    endpoint: &EndpointStats,
 ) {
-    let mut client = match Client::connect(&args.addr) {
+    let mut client = match Client::connect(addr) {
         Ok(c) => c,
         Err(e) => {
-            eprintln!("apan-loadgen: connect failed: {e}");
+            eprintln!("apan-loadgen: connect {addr} failed: {e}");
             totals.errors.fetch_add(1, Ordering::Relaxed);
             return;
         }
@@ -146,10 +212,13 @@ fn worker(
         match client.infer(&interactions, &feats) {
             Ok(scores) => {
                 totals.ok.fetch_add(1, Ordering::Relaxed);
+                endpoint.ok.fetch_add(1, Ordering::Relaxed);
                 totals
                     .interactions
                     .fetch_add(scores.len() as u64, Ordering::Relaxed);
-                latency.lock().unwrap().record(start.elapsed());
+                let d = start.elapsed();
+                overall.lock().unwrap().record(d);
+                endpoint.latency.lock().unwrap().record(d);
             }
             Err(ClientError::Overloaded) => {
                 totals.overloaded.fetch_add(1, Ordering::Relaxed);
@@ -158,9 +227,78 @@ fn worker(
             }
             Err(e) => {
                 totals.errors.fetch_add(1, Ordering::Relaxed);
-                eprintln!("apan-loadgen: infer failed: {e}");
+                eprintln!("apan-loadgen: infer failed on {addr}: {e}");
                 return;
             }
+        }
+    }
+}
+
+/// Deterministic lockstep run: one connection to `addr`, `requests`
+/// batches with explicit strictly-increasing event times, `FLUSH` after
+/// every reply. The workload is a pure function of the flags, so two
+/// serving stacks that are bitwise replicas print the same checksum.
+fn run_lockstep(args: &Args, addr: &str, dim: usize) {
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("apan-loadgen: connect {addr} failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut mix = Mix(0x5eed);
+    let mut fnv = Fnv::new();
+    let mut latency = LatencyRecorder::new();
+    let mut t = 0u64; // explicit event clock, one tick per interaction
+    let started = Instant::now();
+    for k in 0..args.requests {
+        let interactions: Vec<Interaction> = (0..args.batch)
+            .map(|j| {
+                t += 1;
+                Interaction {
+                    src: (mix.next() % args.universe as u64) as u32,
+                    dst: (mix.next() % args.universe as u64) as u32,
+                    time: t as f64,
+                    eid: (k * args.batch as u64) as u32 + j as u32,
+                }
+            })
+            .collect();
+        let data: Vec<f32> = (0..args.batch * dim)
+            .map(|_| (mix.next() % 1000) as f32 / 1000.0 - 0.5)
+            .collect();
+        let feats = Tensor::from_vec(args.batch, dim, data);
+        let start = Instant::now();
+        let scores = client.infer(&interactions, &feats).unwrap_or_else(|e| {
+            eprintln!("apan-loadgen: lockstep infer {k} failed: {e}");
+            std::process::exit(1);
+        });
+        client.flush().unwrap_or_else(|e| {
+            eprintln!("apan-loadgen: lockstep flush {k} failed: {e}");
+            std::process::exit(1);
+        });
+        latency.record(start.elapsed());
+        for s in &scores {
+            fnv.update(&s.to_bits().to_le_bytes());
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    println!(
+        "apan-loadgen: lockstep {} requests x {} interactions in {:.2}s",
+        args.requests, args.batch, elapsed
+    );
+    println!(
+        "apan-loadgen: endpoint {addr} latency {} ({} requests ok)",
+        latency.summary().to_json(),
+        args.requests
+    );
+    if args.checksum {
+        println!("apan-loadgen: checksum {:016x}", fnv.0);
+    }
+    match client.stats() {
+        Ok(stats) => println!("apan-loadgen: daemon stats {stats}"),
+        Err(e) => {
+            eprintln!("apan-loadgen: STATS failed: {e}");
+            std::process::exit(1);
         }
     }
 }
@@ -175,10 +313,10 @@ fn main() {
     };
 
     // One probe connection learns the daemon geometry.
-    let mut probe = match Client::connect(&args.addr) {
+    let mut probe = match Client::connect(&args.endpoints[0]) {
         Ok(c) => c,
         Err(e) => {
-            eprintln!("apan-loadgen: cannot reach {}: {e}", args.addr);
+            eprintln!("apan-loadgen: cannot reach {}: {e}", args.endpoints[0]);
             std::process::exit(1);
         }
     };
@@ -198,22 +336,49 @@ fn main() {
     };
     println!("apan-loadgen: daemon info {info}");
 
+    if args.requests > 0 {
+        if args.conns != Args::default().conns && args.conns != 1 {
+            eprintln!("apan-loadgen: --requests mode is lockstep; ignoring --conns");
+        }
+        let addr = args.endpoints[0].clone();
+        run_lockstep(&args, &addr, dim);
+        return;
+    }
+
     let stop = Arc::new(AtomicBool::new(false));
     let totals = Arc::new(Totals::default());
-    let latency = Arc::new(Mutex::new(LatencyRecorder::new()));
+    let overall = Arc::new(Mutex::new(LatencyRecorder::new()));
+    let endpoints: Arc<Vec<EndpointStats>> = Arc::new(
+        (0..args.endpoints.len())
+            .map(|_| EndpointStats::default())
+            .collect(),
+    );
     let args = Arc::new(args);
 
     let started = Instant::now();
     let workers: Vec<_> = (0..args.conns)
         .map(|k| {
-            let (args, stop, totals, latency) = (
+            let (args, stop, totals, overall, endpoints) = (
                 Arc::clone(&args),
                 Arc::clone(&stop),
                 Arc::clone(&totals),
-                Arc::clone(&latency),
+                Arc::clone(&overall),
+                Arc::clone(&endpoints),
             );
             std::thread::spawn(move || {
-                worker(&args, dim, 0x5eed + k as u64, &stop, &totals, &latency)
+                // connections round-robin over the endpoint list
+                let e = k % args.endpoints.len();
+                let addr = args.endpoints[e].clone();
+                worker(
+                    &args,
+                    &addr,
+                    dim,
+                    0x5eed + k as u64,
+                    &stop,
+                    &totals,
+                    &overall,
+                    &endpoints[e],
+                )
             })
         })
         .collect();
@@ -221,7 +386,7 @@ fn main() {
     // Optional metrics poller: its own connection, so scrapes contend
     // with inference exactly the way a real Prometheus scraper would.
     let poller = (args.metrics_every_ms > 0).then(|| {
-        let addr = args.addr.clone();
+        let addr = args.endpoints[0].clone();
         let stop = Arc::clone(&stop);
         let every = Duration::from_millis(args.metrics_every_ms);
         std::thread::spawn(move || {
@@ -266,7 +431,6 @@ fn main() {
 
     let ok = totals.ok.load(Ordering::Relaxed);
     let interactions = totals.interactions.load(Ordering::Relaxed);
-    let summary = latency.lock().unwrap().summary();
     println!(
         "apan-loadgen: {} requests ok ({} overloaded, {} errors), {} interactions in {:.2}s ({:.0} inter/s)",
         ok,
@@ -276,7 +440,18 @@ fn main() {
         elapsed,
         interactions as f64 / elapsed,
     );
-    println!("apan-loadgen: client latency {}", summary.to_json());
+    // overall first, then the per-endpoint breakdown
+    println!(
+        "apan-loadgen: client latency {}",
+        overall.lock().unwrap().summary().to_json()
+    );
+    for (addr, e) in args.endpoints.iter().zip(endpoints.iter()) {
+        println!(
+            "apan-loadgen: endpoint {addr} latency {} ({} requests ok)",
+            e.latency.lock().unwrap().summary().to_json(),
+            e.ok.load(Ordering::Relaxed),
+        );
+    }
     match probe.stats() {
         Ok(stats) => println!("apan-loadgen: daemon stats {stats}"),
         Err(e) => {

@@ -14,8 +14,10 @@ use apan_core::config::{ApanConfig, Precision};
 use apan_core::model::Apan;
 use apan_serve::batcher::BatchPolicy;
 use apan_serve::server::ServeConfig;
+use apan_serve::ClusterMembership;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
@@ -62,6 +64,9 @@ struct Args {
     prop_threads: usize,
     trace_buffer: usize,
     precision: Precision,
+    shard_id: usize,
+    cluster_size: usize,
+    peers: Vec<SocketAddr>,
 }
 
 impl Default for Args {
@@ -83,6 +88,9 @@ impl Default for Args {
             prop_threads: 0,
             trace_buffer: 8192,
             precision: Precision::F32,
+            shard_id: 0,
+            cluster_size: 1,
+            peers: Vec::new(),
         }
     }
 }
@@ -92,7 +100,9 @@ const USAGE: &str = "usage: apand [--port N] [--dim N] [--slots N] [--nodes N] [
              [--snapshot PATH] [--snapshot-every-s N] [--seed N] [--infer-delay-us N]
              [--prop-threads N]   (0 = APAN_PROP_THREADS, default 1)
              [--trace-buffer N]   (TRACE ring capacity in events; 0 disables spans)
-             [--precision f32|int8]   (encoder weight precision, default f32)";
+             [--precision f32|int8]   (encoder weight precision, default f32)
+             [--shard-id N] [--cluster-size N]   (this daemon's place in a cluster)
+             [--peers host:port,host:port,...]   (peer shard addresses for DELIVER)";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
@@ -125,6 +135,15 @@ fn parse_args() -> Result<Args, String> {
             "--prop-threads" => args.prop_threads = num(&value)? as usize,
             "--trace-buffer" => args.trace_buffer = num(&value)? as usize,
             "--precision" => args.precision = value.parse()?,
+            "--shard-id" => args.shard_id = num(&value)? as usize,
+            "--cluster-size" => args.cluster_size = num(&value)? as usize,
+            "--peers" => {
+                args.peers = value
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.parse().map_err(|_| format!("--peers: bad address {s:?}")))
+                    .collect::<Result<_, _>>()?;
+            }
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
     }
@@ -162,6 +181,18 @@ fn main() {
         prop_threads: args.prop_threads,
         trace_buffer: args.trace_buffer,
         precision: args.precision,
+        cluster: (args.cluster_size > 1).then(|| {
+            if args.shard_id >= args.cluster_size {
+                eprintln!(
+                    "apand: --shard-id {} out of range for --cluster-size {}",
+                    args.shard_id, args.cluster_size
+                );
+                std::process::exit(2);
+            }
+            let mut m = ClusterMembership::new(args.shard_id, args.cluster_size);
+            m.peers = args.peers.clone();
+            m
+        }),
         ..ServeConfig::default()
     };
 

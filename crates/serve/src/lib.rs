@@ -34,9 +34,11 @@
 
 pub mod batcher;
 pub mod client;
+pub mod cluster_link;
 pub mod proto;
 pub mod server;
 pub mod snapshot;
 
 pub use client::{Client, ClientError};
+pub use cluster_link::ClusterMembership;
 pub use server::{start, ServeConfig, ServerHandle, StartError};

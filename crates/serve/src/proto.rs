@@ -48,6 +48,17 @@ pub mod verb {
     /// completed stage span per line). Draining is destructive: each
     /// span is reported exactly once across all `TRACE` calls.
     pub const TRACE: u8 = 0x09;
+    /// Cross-shard mail delivery (shard → shard): a propagation job
+    /// replicated under a cluster-global sequence number. Payload is
+    /// `gseq:u64 LE | job` ([`apan_core::pipeline::wire::encode_job`]).
+    /// Acked with `OK` once the job is admitted locally; retransmits of
+    /// an already-admitted `gseq` are acked and dropped.
+    pub const DELIVER: u8 = 0x0A;
+    /// Gateway-routed inference (gateway → owning shard): an `INFER`
+    /// payload carried verbatim under a cluster-global sequence number.
+    /// Payload is `gseq:u64 LE | infer payload`; the reply is exactly an
+    /// `INFER` reply (`SCORES` / `OVERLOADED` / `ERROR`).
+    pub const ROUTE: u8 = 0x0B;
 }
 
 /// Reply verbs (daemon → client).
@@ -249,6 +260,91 @@ pub fn decode_infer_traced(
     Ok((interactions, feats, trace_id))
 }
 
+/// Encodes a `DELIVER` payload: the cluster-global sequence number
+/// followed by the job's [`wire::encode_job`] bytes.
+pub fn encode_deliver(gseq: u64, job: &[u8]) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(8 + job.len());
+    buf.put_u64_le(gseq);
+    buf.extend_from_slice(job);
+    buf.freeze().to_vec()
+}
+
+/// Decodes a `DELIVER` payload. Total: the sequence header and the full
+/// job are validated ([`wire::decode_job`] caps every declared count),
+/// so arbitrary bytes yield an error, never a panic.
+pub fn decode_deliver(payload: Bytes) -> Result<(u64, wire::WireJob), ProtoError> {
+    let mut b = payload;
+    if b.remaining() < 8 {
+        return Err(ProtoError::Malformed(
+            "deliver payload shorter than sequence header".into(),
+        ));
+    }
+    let gseq = b.get_u64_le();
+    let job = wire::decode_job(b)?;
+    Ok((gseq, job))
+}
+
+/// Encodes a `ROUTE` payload: the cluster-global sequence number
+/// followed by an `INFER` payload carried verbatim — the gateway never
+/// re-encodes what the client sent, so routing cannot perturb bits.
+pub fn encode_route(gseq: u64, infer_payload: &[u8]) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(8 + infer_payload.len());
+    buf.put_u64_le(gseq);
+    buf.extend_from_slice(infer_payload);
+    buf.freeze().to_vec()
+}
+
+/// Decodes a `ROUTE` payload into the sequence number and the inner
+/// `INFER` payload bytes. The inner payload is *not* validated here —
+/// it goes through [`decode_infer_traced`] exactly as a direct `INFER`
+/// would, so both paths reject malformed batches identically.
+pub fn decode_route(payload: Bytes) -> Result<(u64, Bytes), ProtoError> {
+    let mut b = payload;
+    if b.remaining() < 8 {
+        return Err(ProtoError::Malformed(
+            "route payload shorter than sequence header".into(),
+        ));
+    }
+    let gseq = b.get_u64_le();
+    Ok((gseq, b))
+}
+
+/// Encodes a cluster `FLUSH` barrier payload: flush only once every
+/// delivery below `gseq` has been admitted locally. A legacy empty
+/// payload means "flush now" (single-process behaviour).
+pub fn encode_flush_barrier(gseq: u64) -> [u8; 8] {
+    gseq.to_le_bytes()
+}
+
+/// Decodes a `FLUSH` payload: `None` for the legacy empty payload,
+/// `Some(gseq)` for an 8-byte barrier; anything else is malformed.
+pub fn decode_flush_barrier(payload: &[u8]) -> Result<Option<u64>, ProtoError> {
+    match payload.len() {
+        0 => Ok(None),
+        8 => Ok(Some(u64::from_le_bytes(
+            payload.try_into().expect("8 bytes"),
+        ))),
+        n => Err(ProtoError::Malformed(format!("flush payload of {n} bytes"))),
+    }
+}
+
+/// The wire encoding of an **empty** propagation job — the hole-filler
+/// broadcast under a sequence number that produced no work (an owner
+/// shard unreachable after the gateway assigned the number, or a routed
+/// request rejected by validation). Replicas admit it as a no-op, which
+/// keeps the global sequence dense instead of wedging every shard on a
+/// number that will never arrive.
+pub fn empty_job_bytes() -> Vec<u8> {
+    wire::encode_job(&wire::WireJob {
+        interactions: Vec::new(),
+        src_rows: Vec::new(),
+        dst_rows: Vec::new(),
+        z_wire: Bytes::from(Vec::new()),
+        feats_wire: Bytes::from(Vec::new()),
+    })
+    .to_vec()
+}
+
 /// Encodes a `SCORES` reply payload.
 pub fn encode_scores(scores: &[f32]) -> Vec<u8> {
     let mut buf = BytesMut::with_capacity(4 + scores.len() * 4);
@@ -403,6 +499,56 @@ mod tests {
         }
         buf.extend_from_slice(&wire::encode_tensor(&feats));
         assert!(decode_infer(buf.freeze()).is_err());
+    }
+
+    fn sample_job_bytes() -> Vec<u8> {
+        let interactions: Vec<Interaction> = (0..2).map(inter).collect();
+        let job = wire::WireJob {
+            interactions,
+            src_rows: vec![0, 1],
+            dst_rows: vec![1, 2],
+            z_wire: wire::encode_tensor(&Tensor::full(3, 2, 0.5)),
+            feats_wire: wire::encode_tensor(&Tensor::full(2, 2, 0.25)),
+        };
+        wire::encode_job(&job).to_vec()
+    }
+
+    #[test]
+    fn deliver_round_trips_and_truncations_error() {
+        let job = sample_job_bytes();
+        let payload = encode_deliver(77, &job);
+        let (gseq, decoded) = decode_deliver(Bytes::from(payload.clone())).unwrap();
+        assert_eq!(gseq, 77);
+        assert_eq!(wire::encode_job(&decoded).to_vec(), job);
+        for cut in 0..payload.len() {
+            let b = Bytes::copy_from_slice(&payload[..cut]);
+            assert!(decode_deliver(b).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn route_carries_the_infer_payload_verbatim() {
+        let interactions: Vec<Interaction> = (0..3).map(inter).collect();
+        let inner = encode_infer(&interactions, &Tensor::full(3, 2, 0.5));
+        let payload = encode_route(9, &inner);
+        let (gseq, carried) = decode_route(Bytes::from(payload)).unwrap();
+        assert_eq!(gseq, 9);
+        assert_eq!(&carried[..], &inner[..], "byte passthrough");
+        // the inner payload decodes exactly as a direct INFER would
+        let (di, _) = decode_infer(carried).unwrap();
+        assert_eq!(di.len(), 3);
+        // short header is an error
+        assert!(decode_route(Bytes::copy_from_slice(&[0u8; 7])).is_err());
+    }
+
+    #[test]
+    fn flush_barrier_round_trips_and_junk_is_rejected() {
+        assert_eq!(decode_flush_barrier(&[]).unwrap(), None);
+        assert_eq!(
+            decode_flush_barrier(&encode_flush_barrier(123)).unwrap(),
+            Some(123)
+        );
+        assert!(decode_flush_barrier(&[1, 2, 3]).is_err());
     }
 
     #[test]

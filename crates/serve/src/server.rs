@@ -24,8 +24,9 @@
 //! threads than it has live peers.
 
 use crate::batcher::{
-    assemble, AdmitError, BatchPolicy, Control, Drained, InferOutcome, IngressQueue,
+    assemble, AdmitError, BatchPolicy, Control, Drained, InferItem, InferOutcome, IngressQueue,
 };
+use crate::cluster_link::{Begin, ClusterMembership, DeliveryOrder, PeerSet};
 use crate::proto::{self, reply, verb, Frame, ProtoError};
 use crate::snapshot;
 use apan_core::config::Precision;
@@ -56,6 +57,12 @@ pub const LATENCY_WINDOW: usize = 8192;
 /// Per-connection reply-queue depth. A peer that stops reading fills its
 /// own queue and is disconnected, never stalling the batcher.
 const REPLY_QUEUE: usize = 1024;
+
+/// How long a cluster `FLUSH` barrier waits for the shard to admit
+/// every sequence number below it. Generous: a chaos-injected link
+/// retransmits dropped deliveries on a sub-second timer, so hitting
+/// this means a peer is down, not slow.
+const BARRIER_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Daemon configuration.
 #[derive(Clone, Debug)]
@@ -105,6 +112,12 @@ pub struct ServeConfig {
     /// head once at boot (training checkpoints are always f32). Exposed
     /// as the `apan_precision_bits` gauge.
     pub precision: Precision,
+    /// Cluster membership when this daemon is one shard of a sharded
+    /// deployment; `None` (the default) serves single-process exactly
+    /// as before. Peer addresses may be installed after boot via
+    /// [`ServerHandle::set_cluster_peers`] (the ephemeral-port
+    /// bootstrap).
+    pub cluster: Option<ClusterMembership>,
 }
 
 impl Default for ServeConfig {
@@ -124,6 +137,7 @@ impl Default for ServeConfig {
             snapshot_tear_after: None,
             trace_buffer: 8192,
             precision: Precision::F32,
+            cluster: None,
         }
     }
 }
@@ -364,9 +378,24 @@ struct Shared {
     prop: PropLink,
     /// Daemon boot instant on the daemon clock (for deliveries/sec).
     started: Duration,
+    /// The global-sequence turnstile serializing cluster work (`ROUTE`
+    /// and `DELIVER`) onto the ingress FIFO in gateway admission order.
+    /// Idle in single-process mode.
+    order: Arc<DeliveryOrder>,
+    /// Forwarders replicating this shard's propagation jobs to its
+    /// peers. Empty (every forward a no-op) in single-process mode.
+    peers: Arc<PeerSet>,
 }
 
 impl Shared {
+    /// `(shard_id, cluster_size)` — `(0, 1)` when serving single-process.
+    fn shard_identity(&self) -> (usize, usize) {
+        self.cfg
+            .cluster
+            .as_ref()
+            .map_or((0, 1), |m| (m.shard_id, m.cluster_size))
+    }
+
     fn stats_json(&self) -> String {
         let q = self.queue.stats();
         let latency = self.stats.latency.lock().unwrap().summary();
@@ -386,12 +415,14 @@ impl Shared {
         } else {
             0.0
         };
+        let (shard_id, cluster_size) = self.shard_identity();
         format!(
             "{{\"latency\":{},\"queue_depth\":{},\"shed\":{},\"clamped\":{},\"watermark\":{:.6},\
              \"batches\":{},\"requests\":{},\"interactions\":{},\"batch_hist\":[{}],\
              \"batch_max\":{},\"snapshots\":{},\"snapshot_failures\":{},\
              \"prop_pending\":{},\"prop_jobs\":{},\"prop_deliveries\":{},\
-             \"prop_deliveries_per_sec\":{:.6},\"prop_decode_errors\":{}}}",
+             \"prop_deliveries_per_sec\":{:.6},\"prop_decode_errors\":{},\
+             \"shard_id\":{shard_id},\"cluster_size\":{cluster_size}}}",
             latency.to_json(),
             q.depth,
             q.shed,
@@ -445,6 +476,14 @@ impl ServerHandle {
     /// as their readers exit).
     pub fn active_connections(&self) -> usize {
         self.shared.conns.lock().unwrap().len()
+    }
+
+    /// Installs the peer shard addresses this daemon replicates its
+    /// propagation jobs to. Called once all shards in a cluster are
+    /// listening (their ephemeral ports are unknowable before boot);
+    /// a no-op concern for single-process daemons.
+    pub fn set_cluster_peers(&self, addrs: &[SocketAddr]) {
+        self.shared.peers.set_peers(addrs);
     }
 
     /// Initiates a graceful stop — equivalent to a client `SHUTDOWN`
@@ -548,6 +587,30 @@ pub fn start(mut model: Apan, cfg: ServeConfig) -> Result<ServerHandle, StartErr
             move || f64::from(bits),
         );
     }
+    let (shard_id, cluster_size) = cfg
+        .cluster
+        .as_ref()
+        .map_or((0, 1), |m| (m.shard_id, m.cluster_size));
+    registry.gauge_fn(
+        "apan_shard_id",
+        "This daemon's shard index in the serving cluster (0 when single-process)",
+        move || shard_id as f64,
+    );
+    registry.gauge_fn(
+        "apan_cluster_size",
+        "Number of shards in the serving cluster (1 when single-process)",
+        move || cluster_size as f64,
+    );
+    let peers = Arc::new(PeerSet::new(
+        cfg.cluster
+            .as_ref()
+            .map_or(Duration::from_millis(200), |m| m.deliver_retry),
+    ));
+    if let Some(m) = &cfg.cluster {
+        if !m.peers.is_empty() {
+            peers.set_peers(&m.peers);
+        }
+    }
     let shared = Arc::new(Shared {
         queue,
         stats,
@@ -564,6 +627,8 @@ pub fn start(mut model: Apan, cfg: ServeConfig) -> Result<ServerHandle, StartErr
         mailbox_slots: pipeline.model().cfg.mailbox_slots,
         prop,
         started,
+        order: Arc::new(DeliveryOrder::new()),
+        peers,
         cfg,
     });
 
@@ -713,6 +778,31 @@ fn batcher_loop(mut pipeline: ServingPipeline, shared: &Shared) {
                 pipeline.flush();
                 ack();
             }
+            Drained::Control(Control::RoutedInfer { gseq, item }) => {
+                // A gateway-routed request this shard owns: one request,
+                // one batch — cluster batches are never coalesced, so
+                // every replica applies the identical job stream.
+                if !shared.cfg.infer_delay.is_zero() {
+                    shared.cfg.clock.sleep(shared.cfg.infer_delay);
+                }
+                let (result, job) = pipeline.infer_batch_cluster(
+                    &item.interactions,
+                    &item.feats,
+                    item.trace_id,
+                    Some(item.enqueued),
+                );
+                shared.peers.forward(gseq, &job[..]);
+                shared.stats.record_batch(1, item.interactions.len());
+                let d = shared.cfg.clock.now().saturating_sub(item.enqueued);
+                (item.respond)(InferOutcome::Scores(result.scores));
+                let mut rec = shared.stats.latency.lock().unwrap();
+                rec.record(d);
+                shared.stats.service_hist.record(d.as_nanos() as u64);
+            }
+            Drained::Control(Control::RemoteDeliver { job, done }) => {
+                pipeline.submit_remote(job, 0);
+                done();
+            }
             Drained::Control(Control::Shutdown(ack)) => {
                 // a crash (hard kill) dies without the final snapshot:
                 // everything since the last snapshot on disk is lost
@@ -721,6 +811,9 @@ fn batcher_loop(mut pipeline: ServingPipeline, shared: &Shared) {
                 }
                 ack();
                 shared.running.store(false, Ordering::SeqCst);
+                // wake connection threads blocked on a global-sequence
+                // turn that will never come
+                shared.order.abort();
                 shared.queue.close();
                 shared.tick_cv.notify_all();
                 break;
@@ -742,10 +835,20 @@ fn batcher_loop(mut pipeline: ServingPipeline, shared: &Shared) {
                 done(Some("daemon shutting down".into()));
             }
             Drained::Control(Control::Flush(ack)) => ack(),
+            Drained::Control(Control::RoutedInfer { item, .. }) => {
+                (item.respond)(InferOutcome::Failed("daemon shutting down".into()));
+            }
+            // dropped WITHOUT the ack: a dying shard must not claim a
+            // delivery it will never apply (the peer's forwarder keeps
+            // retransmitting, which is moot — the whole cluster restarts
+            // together from per-shard snapshots)
+            Drained::Control(Control::RemoteDeliver { .. }) => {}
             Drained::Control(Control::Shutdown(ack)) => ack(),
         }
     }
     shared.running.store(false, Ordering::SeqCst);
+    shared.order.abort();
+    shared.peers.stop();
     let stats = pipeline.shutdown();
     eprintln!(
         "apan-serve: propagation pool retired ({} jobs, {} deliveries)",
@@ -983,12 +1086,167 @@ fn handle_frame(frame: Frame, conn: &Arc<Conn>, shared: &Arc<Shared>) {
             conn.send(reply::OK, req_id, b"");
         }
         verb::FLUSH => {
+            let barrier = match proto::decode_flush_barrier(&frame.payload) {
+                Ok(b) => b,
+                Err(e) => {
+                    conn.send(reply::ERROR, req_id, e.to_string().as_bytes());
+                    return;
+                }
+            };
+            if let Some(g) = barrier {
+                // Cluster barrier: every sequence number below `g` must
+                // be admitted locally first, or "flushed" would not mean
+                // the same state on every replica.
+                if !shared.order.wait_reached(g, BARRIER_TIMEOUT) {
+                    conn.send(reply::ERROR, req_id, b"flush barrier timed out");
+                    return;
+                }
+            }
             let respond_conn = Arc::clone(conn);
             let ack = Box::new(move || {
                 respond_conn.send(reply::OK, req_id, b"");
             });
             if let Err(Control::Flush(ack)) = shared.queue.submit_control(Control::Flush(ack)) {
                 ack();
+            }
+        }
+        verb::DELIVER => {
+            let (gseq, job) = match proto::decode_deliver(frame.payload) {
+                Ok(x) => x,
+                Err(e) => {
+                    conn.send(reply::ERROR, req_id, e.to_string().as_bytes());
+                    return;
+                }
+            };
+            match shared.order.begin(gseq) {
+                // already admitted — a retransmit; ack so the sender
+                // stops resending (this dedup is what makes dropped and
+                // reordered DELIVER frames safe)
+                Begin::Duplicate => conn.send(reply::OK, req_id, b""),
+                Begin::Aborted => conn.send(reply::ERROR, req_id, b"daemon shutting down"),
+                Begin::Turn => {
+                    // Replicate the owner's post-admission watermark
+                    // inside the turn, so every replica's admission
+                    // decisions match serial admission bit for bit.
+                    let max_time = job
+                        .interactions
+                        .iter()
+                        .map(|i| i.time)
+                        .fold(f64::NEG_INFINITY, f64::max);
+                    shared.queue.advance_watermark(max_time);
+                    let respond_conn = Arc::clone(conn);
+                    let done = Box::new(move || respond_conn.send(reply::OK, req_id, b""));
+                    match shared
+                        .queue
+                        .submit_control(Control::RemoteDeliver { job, done })
+                    {
+                        Ok(()) => shared.order.complete(),
+                        // closed mid-shutdown: not committed, so no ack
+                        // and no complete — the order aborts on the way
+                        // down and the cluster restarts together
+                        Err(_) => conn.send(reply::ERROR, req_id, b"daemon shutting down"),
+                    }
+                }
+            }
+        }
+        verb::ROUTE => {
+            let (gseq, inner) = match proto::decode_route(frame.payload) {
+                Ok(x) => x,
+                Err(e) => {
+                    conn.send(reply::ERROR, req_id, e.to_string().as_bytes());
+                    return;
+                }
+            };
+            let t_admit = shared.obs.stamp();
+            let decoded = proto::decode_infer_traced(inner);
+            match shared.order.begin(gseq) {
+                Begin::Duplicate => {
+                    conn.send(reply::ERROR, req_id, b"sequence number already admitted");
+                }
+                Begin::Aborted => {
+                    conn.send(reply::ERROR, req_id, b"daemon shutting down");
+                }
+                Begin::Turn => {
+                    // Once the turn is claimed, `gseq` MUST be consumed:
+                    // a rejection still broadcasts an empty hole-filler
+                    // job so no replica waits on this number forever.
+                    let reject = |msg: &str| {
+                        conn.send(reply::ERROR, req_id, msg.as_bytes());
+                        shared.peers.forward(gseq, &proto::empty_job_bytes());
+                        shared.order.complete();
+                    };
+                    let (mut interactions, feats, tag) = match decoded {
+                        Ok(x) => x,
+                        Err(e) => return reject(&e.to_string()),
+                    };
+                    if interactions.is_empty() {
+                        conn.send(reply::SCORES, req_id, &proto::encode_scores(&[]));
+                        shared.peers.forward(gseq, &proto::empty_job_bytes());
+                        shared.order.complete();
+                        return;
+                    }
+                    if feats.cols() != shared.dim {
+                        return reject(&format!(
+                            "feature width {} != model dim {}",
+                            feats.cols(),
+                            shared.dim
+                        ));
+                    }
+                    if let Some(i) = interactions
+                        .iter()
+                        .find(|i| i.src > shared.cfg.max_node || i.dst > shared.cfg.max_node)
+                    {
+                        return reject(&format!(
+                            "node id {} exceeds max_node {}",
+                            i.src.max(i.dst),
+                            shared.cfg.max_node
+                        ));
+                    }
+                    // Admission inside the turn: the shared watermark
+                    // advances in global-sequence order, exactly as a
+                    // single serial daemon would have admitted.
+                    if shared.queue.admit_routed(&mut interactions).is_err() {
+                        conn.send(reply::ERROR, req_id, b"daemon shutting down");
+                        return;
+                    }
+                    let trace_id = tag.unwrap_or((conn.id << 32) ^ req_id);
+                    let respond_conn = Arc::clone(conn);
+                    let responder = Box::new(move |outcome: InferOutcome| match outcome {
+                        InferOutcome::Scores(scores) => {
+                            respond_conn.send(
+                                reply::SCORES,
+                                req_id,
+                                &proto::encode_scores(&scores),
+                            );
+                        }
+                        InferOutcome::Failed(msg) => {
+                            respond_conn.send(reply::ERROR, req_id, msg.as_bytes());
+                        }
+                    });
+                    let item = InferItem {
+                        interactions,
+                        feats,
+                        enqueued: shared.queue.clock().now(),
+                        trace_id,
+                        respond: responder,
+                    };
+                    match shared
+                        .queue
+                        .submit_control(Control::RoutedInfer { gseq, item })
+                    {
+                        Ok(()) => {
+                            shared.order.complete();
+                            let t_admitted = shared.obs.stamp();
+                            shared
+                                .obs
+                                .stage_record(Stage::Admit, trace_id, t_admit, t_admitted);
+                        }
+                        Err(Control::RoutedInfer { item, .. }) => {
+                            (item.respond)(InferOutcome::Failed("daemon shutting down".into()));
+                        }
+                        Err(_) => unreachable!("submit_control returns what it was given"),
+                    }
+                }
             }
         }
         verb::SNAPSHOT => {

@@ -364,7 +364,7 @@ mod tests {
         for t in 1..=5u32 {
             store.deliver(
                 t % 3,
-                &vec![t as f32; 8],
+                &[t as f32; 8],
                 t as f64,
                 MailOrigin {
                     src: t,

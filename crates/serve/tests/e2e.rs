@@ -520,6 +520,8 @@ fn metrics_exposition_is_valid_and_agrees_with_stats() {
         "apan_batch_size",
         "apan_service_seconds",
         "apan_prop_lag_seconds",
+        "apan_shard_id",
+        "apan_cluster_size",
     ] {
         assert!(
             text.contains(&format!("# TYPE {name} ")),
@@ -562,6 +564,9 @@ fn metrics_exposition_is_valid_and_agrees_with_stats() {
         json_u64_field(&stats, "prop_deliveries").map(|v| v as f64),
         "{text}"
     );
+    // single-process cluster identity gauges: shard 0 of 1
+    assert_eq!(prom_sample(&text, "apan_shard_id"), Some(0.0));
+    assert_eq!(prom_sample(&text, "apan_cluster_size"), Some(1.0));
     validate_histograms(&text);
     handle.shutdown();
 }
@@ -690,8 +695,15 @@ fn stats_json_shape_is_pinned() {
             "prop_deliveries",
             "prop_deliveries_per_sec",
             "prop_decode_errors",
+            "shard_id",
+            "cluster_size",
         ],
         "STATS document shape changed: {stats}"
+    );
+    // a single-process daemon reports the degenerate cluster identity
+    assert!(
+        stats.contains("\"shard_id\":0") && stats.contains("\"cluster_size\":1"),
+        "single-process identity must be shard 0 of 1: {stats}"
     );
     // the batch histogram keeps its legacy 8-bucket shape
     let hist_start = stats.find("\"batch_hist\":[").expect("batch_hist") + 14;

@@ -93,7 +93,7 @@ proptest! {
             .collect();
         let data: Vec<f32> = rows
             .iter()
-            .flat_map(|&(_, _, _, _, f)| std::iter::repeat(f).take(dim))
+            .flat_map(|&(_, _, _, _, f)| std::iter::repeat_n(f, dim))
             .collect();
         let feats = Tensor::from_vec(interactions.len(), dim, data);
         let (got_i, got_f) = decode_infer(Bytes::from(encode_infer(&interactions, &feats)))
@@ -104,6 +104,112 @@ proptest! {
             prop_assert_eq!(a.time.to_bits(), b.time.to_bits());
         }
         prop_assert!(feats.allclose(&got_f, 0.0));
+    }
+
+    /// Arbitrary bytes into the DELIVER decoder (cluster cross-shard
+    /// deliveries): total, no panic.
+    #[test]
+    fn decode_deliver_total_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(0u8..=255u8, 0..256),
+    ) {
+        let _ = proto::decode_deliver(Bytes::from(bytes));
+    }
+
+    /// A DELIVER whose inner job header declares more list items than
+    /// the propagation-job ceiling is rejected before any allocation.
+    #[test]
+    fn decode_deliver_rejects_oversized_job_count(
+        gseq in 0u64..u64::MAX,
+        excess in 1u32..1 << 10,
+    ) {
+        let count = apan_core::pipeline::wire::MAX_JOB_ITEMS as u32 + excess;
+        let mut payload = gseq.to_le_bytes().to_vec();
+        payload.extend_from_slice(&count.to_le_bytes());
+        payload.extend_from_slice(&[0u8; 64]);
+        prop_assert!(proto::decode_deliver(Bytes::from(payload)).is_err());
+    }
+
+    /// DELIVER roundtrips: sequence number and the embedded propagation
+    /// job both survive encode → decode bitwise.
+    #[test]
+    fn deliver_roundtrips(
+        gseq in 0u64..u64::MAX,
+        rows in proptest::collection::vec(
+            (0u32..1000, 0u32..1000, 0.0f64..1e6, 0u32..u32::MAX),
+            0..8,
+        ),
+    ) {
+        use apan_core::pipeline::wire;
+        let job = wire::WireJob {
+            interactions: rows
+                .iter()
+                .map(|&(src, dst, time, eid)| Interaction { src, dst, time, eid })
+                .collect(),
+            src_rows: (0..rows.len()).collect(),
+            dst_rows: (0..rows.len()).rev().collect(),
+            z_wire: Bytes::from(Vec::new()),
+            feats_wire: Bytes::from(Vec::new()),
+        };
+        let bytes = wire::encode_job(&job);
+        let (got_g, got_job) =
+            proto::decode_deliver(Bytes::from(proto::encode_deliver(gseq, &bytes)))
+                .expect("roundtrip must decode");
+        prop_assert_eq!(got_g, gseq);
+        prop_assert_eq!(got_job.interactions.len(), job.interactions.len());
+        for (a, b) in job.interactions.iter().zip(&got_job.interactions) {
+            prop_assert_eq!((a.src, a.dst, a.eid), (b.src, b.dst, b.eid));
+            prop_assert_eq!(a.time.to_bits(), b.time.to_bits());
+        }
+        prop_assert_eq!(got_job.src_rows, job.src_rows);
+        prop_assert_eq!(got_job.dst_rows, job.dst_rows);
+    }
+
+    /// Arbitrary bytes into the ROUTE decoder (gateway-routed INFER):
+    /// total, no panic — and any successful decode carved its inner
+    /// payload out of the input, so the inner bytes can never exceed
+    /// what arrived.
+    #[test]
+    fn decode_route_total_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(0u8..=255u8, 0..256),
+    ) {
+        let n = bytes.len();
+        if let Ok((_, inner)) = proto::decode_route(Bytes::from(bytes)) {
+            prop_assert!(inner.len() + 8 == n);
+        }
+    }
+
+    /// ROUTE roundtrips: sequence number and inner INFER payload
+    /// survive verbatim.
+    #[test]
+    fn route_roundtrips(
+        gseq in 0u64..u64::MAX,
+        inner in proptest::collection::vec(0u8..=255u8, 0..128),
+    ) {
+        let (got_g, got_inner) =
+            proto::decode_route(Bytes::from(proto::encode_route(gseq, &inner)))
+                .expect("roundtrip must decode");
+        prop_assert_eq!(got_g, gseq);
+        prop_assert_eq!(&got_inner[..], &inner[..]);
+    }
+
+    /// Flush-barrier payloads: empty means legacy flush, exactly 8
+    /// bytes roundtrip the barrier sequence, anything else is rejected
+    /// — never a panic.
+    #[test]
+    fn flush_barrier_total_and_roundtrips(
+        gseq in 0u64..u64::MAX,
+        junk in proptest::collection::vec(0u8..=255u8, 0..32),
+    ) {
+        prop_assert_eq!(
+            proto::decode_flush_barrier(&proto::encode_flush_barrier(gseq)).unwrap(),
+            Some(gseq)
+        );
+        prop_assert_eq!(proto::decode_flush_barrier(b"").unwrap(), None);
+        match proto::decode_flush_barrier(&junk) {
+            Ok(None) => prop_assert!(junk.is_empty()),
+            Ok(Some(_)) => prop_assert_eq!(junk.len(), 8),
+            Err(_) => prop_assert!(!junk.is_empty() && junk.len() != 8),
+        }
     }
 
     /// Frames survive a write → read roundtrip, and the reader leaves

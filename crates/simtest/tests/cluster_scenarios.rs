@@ -1,0 +1,268 @@
+//! Seeded chaos scenarios for the **cluster** serving stack: an
+//! N-shard `apand` cluster behind `apan-gateway`, with chaos proxies
+//! tearing at the cross-shard `DELIVER` links, must serve the exact
+//! score bits of the single-process serial reference pipeline.
+//!
+//! The cluster runs full-state replication with compute partitioning:
+//! every shard holds a complete replica, the gateway routes each
+//! request to the shard owning its first source node under a dense
+//! cluster-global sequence, and the owner re-broadcasts the resulting
+//! propagation job to its peers over `DELIVER`. Stop-and-wait
+//! retransmission plus receiver-side sequence dedup mean that dropped,
+//! duplicated, and delayed `DELIVER` frames change *when* replicas
+//! converge, never *what* they converge to — which is exactly what
+//! lets one differential oracle cover the whole cluster.
+
+use apan_cluster::{owner_shard, start_gateway, ChaosProfile, ChaosProxy, GatewayConfig};
+use apan_serve::server::{ServeConfig, ServerHandle};
+use apan_serve::{Client, ClusterMembership};
+use apan_simtest::chaos::ChaosClient;
+use apan_simtest::oracle::{model, reference_bits};
+use apan_simtest::{request, Trace};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::time::Duration;
+
+const WEIGHTS: u64 = 42;
+const SHARDS: usize = 3;
+
+/// A booted cluster: shard daemons, the chaos proxies fronting their
+/// `DELIVER` ingress, and the gateway. Everything a scenario needs to
+/// deliver requests and to kill processes at scripted points.
+struct Cluster {
+    shards: Vec<ServerHandle>,
+    proxies: Vec<ChaosProxy>,
+    gateway: apan_cluster::GatewayHandle,
+}
+
+/// Boots `SHARDS` shard daemons (weights from `weight_seed`, per-shard
+/// snapshot paths from `snaps`), wires each shard's peer list through a
+/// fresh chaos proxy in front of every *other* shard, and starts a
+/// gateway over the real shard addresses. `chaos_seed` makes the fault
+/// pattern reproducible per boot.
+fn boot(weight_seed: u64, chaos_seed: u64, snaps: &[PathBuf]) -> Cluster {
+    let shards: Vec<ServerHandle> = (0..SHARDS)
+        .map(|i| {
+            let mut membership = ClusterMembership::new(i, SHARDS);
+            membership.deliver_retry = Duration::from_millis(50); // fast retransmit through chaos
+            let cfg = ServeConfig {
+                num_nodes: 32,
+                snapshot_path: Some(snaps[i].clone()),
+                cluster: Some(membership),
+                ..ServeConfig::default()
+            };
+            apan_serve::start(model(weight_seed), cfg).expect("start shard")
+        })
+        .collect();
+    let addrs: Vec<SocketAddr> = shards.iter().map(|s| s.addr()).collect();
+    let proxies: Vec<ChaosProxy> = addrs
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| {
+            ChaosProxy::start(a, chaos_seed ^ (i as u64) << 8, ChaosProfile::default())
+                .expect("start proxy")
+        })
+        .collect();
+    for (i, shard) in shards.iter().enumerate() {
+        // peers reach each other only through the lossy links
+        let peers: Vec<SocketAddr> = (0..SHARDS)
+            .filter(|&j| j != i)
+            .map(|j| proxies[j].addr())
+            .collect();
+        shard.set_cluster_peers(&peers);
+    }
+    let gateway = start_gateway(GatewayConfig {
+        addr: "127.0.0.1:0".into(),
+        shards: addrs,
+    })
+    .expect("start gateway");
+    Cluster {
+        shards,
+        proxies,
+        gateway,
+    }
+}
+
+fn temp_snaps(tag: &str) -> Vec<PathBuf> {
+    let dir = std::env::temp_dir().join("apan-simtest");
+    std::fs::create_dir_all(&dir).unwrap();
+    (0..SHARDS)
+        .map(|i| {
+            let path = dir.join(format!("cluster_{tag}_shard{i}.snap"));
+            let _ = std::fs::remove_file(&path);
+            path
+        })
+        .collect()
+}
+
+fn assert_oracle(served: &[Vec<u32>], expected: &[Vec<u32>], trace: &Trace, what: &str) {
+    assert_eq!(
+        served,
+        expected,
+        "{what}: cluster scores diverged from the serial reference\ntrace:\n{}",
+        trace.render()
+    );
+}
+
+/// Which shard owns workload request `k` (first interaction's source).
+fn owner_of(seed: u64, k: usize) -> usize {
+    owner_shard(request(seed, k).0[0].src, SHARDS)
+}
+
+/// The full request stream, delivered in lockstep through the gateway
+/// over chaos-injected `DELIVER` links, matches the single-process
+/// serial reference **bitwise** — the tentpole differential property.
+#[test]
+fn cluster_chaos_schedule_matches_serial_reference_bitwise() {
+    let seed = 7001;
+    const TOTAL: usize = 24;
+    let snaps = temp_snaps("chaos");
+    let cluster = boot(WEIGHTS, 0xC1A0, &snaps);
+
+    // the workload must actually exercise every shard, or the
+    // replication discipline under test is idle
+    let mut owners = [0usize; SHARDS];
+    for k in 0..TOTAL {
+        owners[owner_of(seed, k)] += 1;
+    }
+    assert!(
+        owners.iter().all(|&n| n > 0),
+        "workload must route to every shard: {owners:?}"
+    );
+
+    let mut client = ChaosClient::connect(cluster.gateway.addr()).expect("connect gateway");
+    let mut trace = Trace::new();
+    let mut served = Vec::with_capacity(TOTAL);
+    for k in 0..TOTAL {
+        let bits = client.deliver(seed, k).expect("deliver");
+        trace.push(format!("deliver {k} via shard {}", owner_of(seed, k)));
+        served.push(bits);
+    }
+
+    // each shard counted exactly the requests it owned
+    for (i, shard) in cluster.shards.iter().enumerate() {
+        let mut direct = Client::connect(shard.addr()).expect("connect shard");
+        let stats = direct.stats().expect("shard stats");
+        let requests = apan_serve::client::json_u64_field(&stats, "requests").unwrap();
+        assert_eq!(
+            requests, owners[i] as u64,
+            "shard {i} served a different set than it owns: {stats}"
+        );
+    }
+
+    let eff: Vec<usize> = (0..TOTAL).collect();
+    let expected = reference_bits(WEIGHTS, seed, &eff);
+    assert_oracle(&served, &expected, &trace, "cluster chaos");
+
+    cluster.gateway.shutdown();
+    for s in cluster.shards {
+        s.join();
+    }
+    drop(cluster.proxies);
+    for p in &snaps {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+/// Coordinated snapshot cut + one shard `kill -9` + whole-cluster warm
+/// restart, still on the oracle.
+///
+/// The gateway's `SNAPSHOT` verb first runs a flush **barrier** (every
+/// shard must retire the current global sequence) and only then fans
+/// out the per-shard snapshots — so the per-shard files are a
+/// consistent cluster-wide cut. After the victim dies, a request it
+/// owns gets an `ERROR` while the gateway **hole-fills** the assigned
+/// sequence number with an empty delivery, keeping the survivors'
+/// sequence dense. The cluster then restarts as a unit from the cut
+/// (crash semantics are whole-cluster: replicas must restart from the
+/// same consistent cut or they would not be replicas), with restart
+/// weights from a *different* seed to prove the snapshots win.
+#[test]
+fn cluster_snapshot_cut_shard_kill_and_warm_restart_stay_on_oracle() {
+    let seed = 7002;
+    const TOTAL: usize = 24;
+    const SNAP_AT: usize = 8;
+    const CRASH_AT: usize = 14;
+    let snaps = temp_snaps("restart");
+    let mut trace = Trace::new();
+
+    // ---- phase 1: deliver [0, CRASH_AT), coordinated cut after SNAP_AT
+    let cluster = boot(WEIGHTS, 0xBEEF, &snaps);
+    let mut client = ChaosClient::connect(cluster.gateway.addr()).expect("connect gateway");
+    let mut pre = Vec::new();
+    for k in 0..CRASH_AT {
+        pre.push(client.deliver(seed, k).expect("deliver"));
+        trace.push(format!("deliver {k}"));
+        if k + 1 == SNAP_AT {
+            assert!(
+                client.snapshot().expect("snapshot verb"),
+                "coordinated snapshot cut failed"
+            );
+            trace.push(format!("coordinated snapshot after {SNAP_AT}"));
+        }
+    }
+
+    // ---- kill -9 one shard: the owner of the next request
+    let victim = owner_of(seed, CRASH_AT);
+    let mut shards = cluster.shards;
+    shards.remove(victim).crash();
+    trace.push(format!("kill -9 shard {victim} after {CRASH_AT}"));
+
+    // a request owned by the dead shard must fail loudly — and the
+    // gateway hole-fills its sequence number so survivors stay dense
+    {
+        let (interactions, feats) = request(seed, CRASH_AT);
+        let mut probe = Client::connect(cluster.gateway.addr()).expect("connect probe");
+        let err = probe.infer(&interactions, &feats);
+        assert!(
+            err.is_err(),
+            "request {CRASH_AT} is owned by dead shard {victim}, must error: {err:?}"
+        );
+        trace.push(format!("deliver {CRASH_AT} -> ERROR (owner dead)"));
+    }
+
+    // ---- whole-cluster crash: survivors die too, gateway goes down
+    drop(client);
+    cluster.gateway.stop();
+    for s in shards {
+        s.crash();
+    }
+    drop(cluster.proxies);
+    trace.push("whole-cluster crash");
+
+    // ---- phase 2: warm restart every shard from its per-shard file
+    // (different weight seed: the snapshots must win), fresh proxies,
+    // fresh gateway, fresh global sequence
+    let cluster = boot(WEIGHTS + 1, 0xF00D, &snaps);
+    let mut client = ChaosClient::connect(cluster.gateway.addr()).expect("reconnect gateway");
+    let mut post = Vec::new();
+    for k in CRASH_AT..TOTAL {
+        post.push(client.deliver(seed, k).expect("deliver after restart"));
+        trace.push(format!("deliver {k} (after restart)"));
+    }
+    cluster.gateway.shutdown();
+    for s in cluster.shards {
+        s.join();
+    }
+    drop(cluster.proxies);
+
+    // ---- oracle: pre-crash is a plain prefix; post-restart continues
+    // from the coordinated cut, with [SNAP_AT, CRASH_AT) genuinely lost
+    // on every replica at once
+    let pre_eff: Vec<usize> = (0..CRASH_AT).collect();
+    let expected_pre = reference_bits(WEIGHTS, seed, &pre_eff);
+    assert_oracle(&pre, &expected_pre, &trace, "cluster pre-crash");
+
+    let mut replay_eff: Vec<usize> = (0..SNAP_AT).collect();
+    replay_eff.extend(CRASH_AT..TOTAL);
+    let expected_all = reference_bits(WEIGHTS, seed, &replay_eff);
+    assert_oracle(
+        &post,
+        &expected_all[SNAP_AT..],
+        &trace,
+        "cluster post-restart",
+    );
+    for p in &snaps {
+        let _ = std::fs::remove_file(p);
+    }
+}

@@ -376,6 +376,7 @@ pub fn gemm_with(
 /// The serial fallback: the original cache-friendly `i-k-j` loop, minus
 /// the zero-skip branch. Writes rows `[r0, r1)` of C into `out` (which
 /// holds exactly those rows) and must see them zero-initialised.
+#[allow(clippy::too_many_arguments)]
 fn gemm_naive(
     a: &[f32],
     b: &[f32],
@@ -406,6 +407,7 @@ fn gemm_naive(
 /// Blocked scalar kernel over rows `[r0, r1)`: MR-row blocks against
 /// NR-wide packed strips of B, accumulating each `MR×NR` tile in
 /// registers over the full contraction before touching memory.
+#[allow(clippy::too_many_arguments)]
 fn gemm_blocked(
     a: &[f32],
     packed: &[f32],
@@ -441,6 +443,7 @@ fn gemm_blocked(
 /// order, one rounded add per step — the same chain as the naive loop.
 /// Iterator zips (instead of indexing) keep bounds checks out of the
 /// inner loop so it vectorizes.
+#[allow(clippy::too_many_arguments)]
 #[inline(always)]
 fn micro_kernel(
     a: &[f32],
@@ -487,6 +490,7 @@ fn micro_kernel(
 }
 
 /// Ragged tail tile (fewer than MR rows). Same per-element chain.
+#[allow(clippy::too_many_arguments)]
 #[inline(never)]
 fn edge_kernel(
     a: &[f32],
@@ -908,6 +912,7 @@ pub fn attn_mix_fwd_with(
 /// Mix backward: `da[b_i, i] = ⟨grad[b_i], v_row⟩`,
 /// `dv[b_i·m+i] = attn[b_i, i]·grad[b_i]`. Same disjoint-row argument as
 /// [`attn_scores_bwd`]. Scalar-only (training path).
+#[allow(clippy::too_many_arguments)]
 pub fn attn_mix_bwd(
     grad: &[f32],
     attn: &[f32],

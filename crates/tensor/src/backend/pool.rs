@@ -210,8 +210,8 @@ mod tests {
         set_num_threads(4);
         let hits: Vec<AtomicU64> = (0..1037).map(|_| AtomicU64::new(0)).collect();
         parallel_rows(hits.len(), 1, &|start, end| {
-            for r in start..end {
-                hits[r].fetch_add(1, Ordering::Relaxed);
+            for h in &hits[start..end] {
+                h.fetch_add(1, Ordering::Relaxed);
             }
         });
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));

@@ -97,6 +97,7 @@ unsafe fn dot(x: &[f32], y: &[f32]) -> f32 {
 /// [`NR_V`]-wide zero-padded strips (see `pack_strips` in the parent).
 /// `out` holds exactly those rows. Full `MR_V`-row blocks run the 4×16
 /// register tile; leftover rows run a 1×16 kernel.
+#[allow(clippy::too_many_arguments)]
 #[target_feature(enable = "avx2", enable = "fma")]
 pub(super) unsafe fn gemm_packed(
     a: &[f32],
@@ -202,6 +203,7 @@ unsafe fn tile_1x16(
 /// Copies the first `nr` accumulator lanes of one tile row into C,
 /// adding the bias once after the full contraction (as the scalar
 /// kernels do). Padded lanes beyond `nr` are dropped.
+#[allow(clippy::too_many_arguments)]
 #[inline]
 #[target_feature(enable = "avx2", enable = "fma")]
 unsafe fn writeback(

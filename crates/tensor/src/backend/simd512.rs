@@ -46,6 +46,7 @@ const HALF: usize = 16;
 /// more than [`HALF`] live columns run the full `6×32` tile; narrower
 /// tail strips run a `6×16` tile over the strip's first half (the rest
 /// is padding). Leftover rows run the 1-row kernel.
+#[allow(clippy::too_many_arguments)]
 #[target_feature(enable = "avx512f")]
 pub(super) unsafe fn gemm_packed(
     a: &[f32],
@@ -263,6 +264,7 @@ pub(super) unsafe fn gemm_i8_rows(
 /// Copies the first `nr` accumulator lanes of one tile row into C,
 /// adding the bias once after the full contraction (as every other
 /// kernel does). Padded lanes beyond `nr` are dropped.
+#[allow(clippy::too_many_arguments)]
 #[inline]
 #[target_feature(enable = "avx512f")]
 unsafe fn writeback(

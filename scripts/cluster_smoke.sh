@@ -1,0 +1,131 @@
+#!/usr/bin/env bash
+# Smoke-tests cluster serving end to end: runs the same deterministic
+# lockstep workload against (A) a single `apand` and (B) a 3-shard
+# `apand` cluster behind `apan-gateway`, and asserts the two runs print
+# the **same FNV-1a-64 checksum over the raw score bits** — the
+# cluster's full-state replication must be invisible to clients down to
+# the last bit.
+#
+# Usage: scripts/cluster_smoke.sh [requests]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REQUESTS="${1:-40}"
+DIM=16
+LOGDIR="$(mktemp -d /tmp/apan_cluster_smoke.XXXXXX)"
+PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill -TERM "$pid" 2>/dev/null || true
+  done
+  for pid in "${PIDS[@]:-}"; do
+    wait "$pid" 2>/dev/null || true
+  done
+  rm -rf "$LOGDIR"
+}
+trap cleanup EXIT
+
+cargo build --release -p apan-serve -p apan-cluster --bins
+
+wait_listening() { # logfile name
+  for _ in $(seq 100); do
+    grep -q "listening on" "$1" 2>/dev/null && return 0
+    sleep 0.1
+  done
+  echo "cluster_smoke: $2 did not come up" >&2
+  cat "$1" >&2
+  exit 1
+}
+
+port_of() { # logfile
+  sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' "$1" | head -1
+}
+
+checksum_of() { # loadgen output
+  echo "$1" | sed -n 's/^apan-loadgen: checksum //p'
+}
+
+# ---- phase A: single daemon, deterministic lockstep workload
+./target/release/apand --port 0 --dim "$DIM" >"$LOGDIR/single.log" 2>&1 &
+SINGLE_PID=$!
+PIDS+=("$SINGLE_PID")
+wait_listening "$LOGDIR/single.log" "single apand"
+SINGLE_PORT="$(port_of "$LOGDIR/single.log")"
+echo "cluster_smoke: single apand on port $SINGLE_PORT"
+
+OUT_A="$(./target/release/apan-loadgen --addr "127.0.0.1:$SINGLE_PORT" \
+  --requests "$REQUESTS" --batch 4 --checksum)"
+echo "$OUT_A"
+SUM_A="$(checksum_of "$OUT_A")"
+if [ -z "$SUM_A" ]; then
+  echo "cluster_smoke: no checksum from single-daemon run" >&2
+  exit 1
+fi
+kill -TERM "$SINGLE_PID" && wait "$SINGLE_PID" 2>/dev/null || true
+PIDS=()
+
+# ---- phase B: 3 shards + gateway, same workload
+# peers must be known at shard boot, so pick a random port block
+BASE=$((20000 + RANDOM % 20000))
+P0=$BASE P1=$((BASE + 1)) P2=$((BASE + 2))
+SHARD_PIDS=()
+for i in 0 1 2; do
+  PEERS=""
+  for j in 0 1 2; do
+    [ "$j" = "$i" ] && continue
+    PORTVAR="P$j"
+    PEERS="${PEERS:+$PEERS,}127.0.0.1:${!PORTVAR}"
+  done
+  PORTVAR="P$i"
+  ./target/release/apand --port "${!PORTVAR}" --dim "$DIM" \
+    --shard-id "$i" --cluster-size 3 --peers "$PEERS" \
+    >"$LOGDIR/shard$i.log" 2>&1 &
+  SHARD_PIDS+=("$!")
+  PIDS+=("$!")
+done
+for i in 0 1 2; do
+  wait_listening "$LOGDIR/shard$i.log" "shard $i"
+done
+echo "cluster_smoke: shards on ports $P0,$P1,$P2"
+
+./target/release/apan-gateway --port 0 --shards "127.0.0.1:$P0,127.0.0.1:$P1,127.0.0.1:$P2" \
+  >"$LOGDIR/gateway.log" 2>&1 &
+GATEWAY_PID=$!
+PIDS+=("$GATEWAY_PID")
+wait_listening "$LOGDIR/gateway.log" "gateway"
+GPORT="$(port_of "$LOGDIR/gateway.log")"
+echo "cluster_smoke: gateway on port $GPORT"
+
+OUT_B="$(./target/release/apan-loadgen --addr "127.0.0.1:$GPORT" \
+  --requests "$REQUESTS" --batch 4 --checksum)"
+echo "$OUT_B"
+SUM_B="$(checksum_of "$OUT_B")"
+if [ -z "$SUM_B" ]; then
+  echo "cluster_smoke: no checksum from cluster run" >&2
+  exit 1
+fi
+
+# the cluster aggregate must report all three shards
+STATS_B="$(echo "$OUT_B" | sed -n 's/^apan-loadgen: daemon stats //p')"
+if ! echo "$STATS_B" | grep -q '"cluster_size":3'; then
+  echo "cluster_smoke: gateway STATS is not a 3-shard aggregate: $STATS_B" >&2
+  exit 1
+fi
+
+# ---- the contract under test: bitwise-equal serving
+if [ "$SUM_A" != "$SUM_B" ]; then
+  echo "cluster_smoke: checksum mismatch: single=$SUM_A cluster=$SUM_B" >&2
+  exit 1
+fi
+
+# SIGTERM to the gateway fans SHUTDOWN to every shard; all four
+# processes must exit cleanly on their own
+kill -TERM "$GATEWAY_PID"
+wait "$GATEWAY_PID" 2>/dev/null || true
+for pid in "${SHARD_PIDS[@]}"; do
+  wait "$pid" 2>/dev/null || true
+done
+PIDS=()
+
+echo "cluster_smoke: OK ($REQUESTS requests, checksum $SUM_A, single == 3-shard cluster)"

@@ -19,7 +19,7 @@ cleanup() {
 }
 trap cleanup EXIT
 
-cargo build --release --bin apand --bin apan-loadgen
+cargo build --release -p apan-serve --bins
 
 # --port 0: the kernel picks a free port; apand prints the bound address.
 ./target/release/apand --port 0 --dim 16 --snapshot "$SNAP" \
