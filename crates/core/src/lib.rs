@@ -58,3 +58,4 @@ pub mod train;
 pub use config::ApanConfig;
 pub use mailbox::MailboxStore;
 pub use model::Apan;
+pub use pipeline::AdmitKind;

@@ -165,6 +165,75 @@ impl MailboxStore {
         self.origins[n * self.slots + slot] = origin;
     }
 
+    /// Splices one *late* mail (a timestamp at or before mails already
+    /// delivered) into `node`'s mailbox so the resulting state — physical
+    /// slot layout and ring head included — is bitwise identical to
+    /// having delivered the node's whole mail stream in time-sorted
+    /// order. Timestamp ties land *after* stored equal-time mails
+    /// (stored mails arrived earlier; time-sorted replay breaks ties by
+    /// arrival).
+    ///
+    /// Mode semantics:
+    /// - `Fifo`: the merged time-sorted list keeps its newest `slots`
+    ///   entries; when the splice overflows the ring the head advances
+    ///   exactly as one more in-order delivery would have — even when the
+    ///   late mail itself is the entry evicted (the content is unchanged
+    ///   but the head still rotates, matching the sorted replay).
+    /// - `Overwrite`: last-writer-wins in time order; the late mail is
+    ///   stored only if its time is at or past the stored mail's.
+    /// - `ContentAddressed` below capacity: time-sorted splice (the full
+    ///   replay would have appended in sorted order). At capacity the
+    ///   most-similar eviction is order-dependent and cannot be patched
+    ///   exactly; the mail is delivered best-effort (see DESIGN.md).
+    ///
+    /// # Panics
+    /// Panics if `mail.len() != dim`.
+    pub fn patch_late(&mut self, node: NodeId, mail: &[f32], t: Time, origin: MailOrigin) {
+        assert_eq!(mail.len(), self.dim, "mail width mismatch");
+        self.ensure_node(node);
+        let n = node as usize;
+        if self.update == MailboxUpdate::Overwrite {
+            if self.lens[n] == 0 || self.mail_times[n * self.slots] <= t {
+                self.deliver(node, mail, t, origin);
+            }
+            return;
+        }
+        if self.update == MailboxUpdate::ContentAddressed && self.lens[n] as usize >= self.slots {
+            // full CA ring: eviction is similarity- and order-dependent;
+            // exact patching is impossible, deliver best-effort instead
+            self.deliver(node, mail, t, origin);
+            return;
+        }
+        // materialize the logical (oldest-first) list, splice, rewrite
+        let mut list: Vec<(Vec<f32>, Time, MailOrigin)> = self
+            .mails_of(node)
+            .into_iter()
+            .map(|(m, mt, o)| (m.to_vec(), mt, o))
+            .collect();
+        let pos = list.iter().take_while(|(_, mt, _)| *mt <= t).count();
+        list.insert(pos, (mail.to_vec(), t, origin));
+        let head = self.heads[n] as usize;
+        let (new_head, start) = if list.len() > self.slots {
+            // one more delivery than the ring holds: drop the merged
+            // list's oldest entry and advance the head, exactly as the
+            // sorted replay's eviction would have (Fifo only — CA full
+            // was handled above, and CA keeps head 0 below capacity)
+            ((head + 1) % self.slots, 1)
+        } else {
+            (head, 0)
+        };
+        self.heads[n] = new_head as u8;
+        let kept = &list[start..];
+        self.lens[n] = kept.len() as u8;
+        for (i, (m, mt, o)) in kept.iter().enumerate() {
+            let slot = (new_head + i) % self.slots;
+            let base = (n * self.slots + slot) * self.dim;
+            self.mails[base..base + self.dim].copy_from_slice(m);
+            self.mail_times[n * self.slots + slot] = *mt;
+            self.origins[n * self.slots + slot] = *o;
+        }
+    }
+
     /// The ring slot of node `n` whose payload has the highest cosine
     /// similarity to `mail` (ties and degenerate norms resolve to the
     /// lowest slot index).
@@ -693,6 +762,118 @@ mod tests {
         garbage[..8].copy_from_slice(b"NOTMAILS");
         let mut cursor = garbage.as_slice();
         assert!(MailboxStore::read_snapshot(&mut cursor).is_err());
+    }
+
+    /// Bitwise physical state comparison (slot layout, ring heads,
+    /// timestamps, origins, embeddings) via the snapshot codec.
+    fn snap(s: &MailboxStore) -> Vec<u8> {
+        let mut buf = Vec::new();
+        s.write_snapshot(&mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn patch_late_fifo_matches_sorted_replay_below_capacity() {
+        let mut delta = store(4);
+        for t in [1.0, 2.0, 4.0] {
+            delta.deliver(0, &mail(t as f32), t, MailOrigin::default());
+        }
+        delta.patch_late(0, &mail(3.0), 3.0, MailOrigin::default());
+        let mut reference = store(4);
+        for t in [1.0, 2.0, 3.0, 4.0] {
+            reference.deliver(0, &mail(t as f32), t, MailOrigin::default());
+        }
+        assert_eq!(snap(&delta), snap(&reference));
+    }
+
+    #[test]
+    fn patch_late_fifo_overflow_rotates_head_like_replay() {
+        let mut delta = store(3);
+        for t in [1.0, 2.0, 4.0, 5.0] {
+            delta.deliver(0, &mail(t as f32), t, MailOrigin::default());
+        }
+        delta.patch_late(0, &mail(3.0), 3.0, MailOrigin::default());
+        let mut reference = store(3);
+        for t in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            reference.deliver(0, &mail(t as f32), t, MailOrigin::default());
+        }
+        assert_eq!(snap(&delta), snap(&reference));
+        // the spliced t=3 mail evicted t=2 and survives
+        let times: Vec<f64> = delta.mails_of(0).iter().map(|m| m.1).collect();
+        assert_eq!(times, vec![3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn patch_late_fifo_evicted_mail_still_rotates_head() {
+        // the late mail is older than everything the full ring holds: the
+        // sorted replay would have delivered-then-evicted it, leaving the
+        // same mails but a rotated head — the patch must reproduce that
+        let mut delta = store(2);
+        for t in [1.0, 2.0, 3.0, 4.0] {
+            delta.deliver(0, &mail(t as f32), t, MailOrigin::default());
+        }
+        delta.patch_late(0, &mail(0.5), 0.5, MailOrigin::default());
+        let mut reference = store(2);
+        for t in [0.5, 1.0, 2.0, 3.0, 4.0] {
+            reference.deliver(0, &mail(t as f32), t, MailOrigin::default());
+        }
+        assert_eq!(snap(&delta), snap(&reference));
+    }
+
+    #[test]
+    fn patch_late_tie_lands_after_stored_equal_time_mail() {
+        let mut delta = store(4);
+        delta.deliver(0, &mail(1.0), 1.0, MailOrigin::default());
+        delta.deliver(0, &mail(9.0), 2.0, MailOrigin::default());
+        delta.patch_late(0, &mail(5.0), 1.0, MailOrigin::default());
+        let order: Vec<f32> = delta.mails_of(0).iter().map(|m| m.0[0]).collect();
+        assert_eq!(order, vec![1.0, 5.0, 9.0]);
+    }
+
+    #[test]
+    fn patch_late_overwrite_is_last_writer_in_time_order() {
+        let mut s = MailboxStore::new(2, 4, 3, MailboxUpdate::Overwrite);
+        s.deliver(0, &mail(2.0), 2.0, MailOrigin::default());
+        // an older late mail loses: the stored mail is newer in time order
+        s.patch_late(0, &mail(1.0), 1.0, MailOrigin::default());
+        assert_eq!(s.mails_of(0)[0].0, &[2.0, 2.0, 2.0]);
+        // a tied late mail wins: it arrived later, replay breaks ties by arrival
+        s.patch_late(0, &mail(7.0), 2.0, MailOrigin::default());
+        assert_eq!(s.mails_of(0)[0].0, &[7.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn patch_late_content_addressed_splices_below_capacity() {
+        let mut delta = MailboxStore::new(1, 4, 3, MailboxUpdate::ContentAddressed);
+        delta.deliver(0, &mail(1.0), 1.0, MailOrigin::default());
+        delta.deliver(0, &mail(3.0), 3.0, MailOrigin::default());
+        delta.patch_late(0, &mail(2.0), 2.0, MailOrigin::default());
+        let mut reference = MailboxStore::new(1, 4, 3, MailboxUpdate::ContentAddressed);
+        for t in [1.0, 2.0, 3.0] {
+            reference.deliver(0, &mail(t as f32), t, MailOrigin::default());
+        }
+        assert_eq!(snap(&delta), snap(&reference));
+    }
+
+    #[test]
+    fn patch_late_with_in_order_time_matches_deliver() {
+        // a "late" mail that is actually newest degenerates to a plain
+        // delivery in every mode
+        for update in [
+            MailboxUpdate::Fifo,
+            MailboxUpdate::Overwrite,
+            MailboxUpdate::ContentAddressed,
+        ] {
+            let mut patched = MailboxStore::new(2, 2, 3, update);
+            let mut delivered = MailboxStore::new(2, 2, 3, update);
+            for t in [1.0, 2.0, 3.0] {
+                patched.deliver(0, &mail(t as f32), t, MailOrigin::default());
+                delivered.deliver(0, &mail(t as f32), t, MailOrigin::default());
+            }
+            patched.patch_late(0, &mail(4.0), 4.0, MailOrigin::default());
+            delivered.deliver(0, &mail(4.0), 4.0, MailOrigin::default());
+            assert_eq!(snap(&patched), snap(&delivered), "{update:?}");
+        }
     }
 
     #[test]

@@ -201,6 +201,13 @@ pub mod wire {
         pub src_rows: Vec<usize>,
         /// Row of `z_wire` holding each interaction's destination embedding.
         pub dst_rows: Vec<usize>,
+        /// Indices (into `interactions`, strictly increasing) of events
+        /// admitted *late* — behind the watermark but inside the
+        /// bounded-lateness window. The worker splices them into the
+        /// temporal graph at arrival and parks their mailbox effects in
+        /// the reorder buffer until the watermark passes their release
+        /// point. Empty everywhere lateness admission is off.
+        pub late: Vec<u32>,
         /// Encoded embedding rows (empty when mails ignore embeddings).
         pub z_wire: Bytes,
         /// Encoded per-interaction edge features.
@@ -209,15 +216,15 @@ pub mod wire {
 
     /// Serializes a job:
     /// `n:u32 | n×(src:u32, dst:u32, time:f64 bits, eid:u32) |
-    ///  ns:u32 | ns×u32 | nd:u32 | nd×u32 |
+    ///  ns:u32 | ns×u32 | nd:u32 | nd×u32 | nl:u32 | nl×u32 |
     ///  zlen:u32 | z bytes | flen:u32 | feats bytes` (all LE).
     pub fn encode_job(job: &WireJob) -> Bytes {
         let mut buf = BytesMut::with_capacity(
             20 * job.interactions.len()
-                + 4 * (job.src_rows.len() + job.dst_rows.len())
+                + 4 * (job.src_rows.len() + job.dst_rows.len() + job.late.len())
                 + job.z_wire.len()
                 + job.feats_wire.len()
-                + 20,
+                + 24,
         );
         buf.put_u32_le(job.interactions.len() as u32);
         for i in &job.interactions {
@@ -231,6 +238,10 @@ pub mod wire {
             for &r in rows.iter() {
                 buf.put_u32_le(r as u32);
             }
+        }
+        buf.put_u32_le(job.late.len() as u32);
+        for &l in &job.late {
+            buf.put_u32_le(l);
         }
         for blob in [&job.z_wire, &job.feats_wire] {
             buf.put_u32_le(blob.len() as u32);
@@ -289,6 +300,17 @@ pub mod wire {
             }
         }
         let [src_rows, dst_rows] = maps;
+        let nl = get_count(&mut b)?;
+        if b.remaining() < nl * 4 {
+            return Err(WireError::Truncated {
+                needed: nl * 4,
+                got: b.remaining(),
+            });
+        }
+        let mut late = Vec::with_capacity(nl);
+        for _ in 0..nl {
+            late.push(b.get_u32_le());
+        }
         let mut blobs: [Bytes; 2] = [Bytes::new(), Bytes::new()];
         for blob in &mut blobs {
             if b.remaining() < 4 {
@@ -318,6 +340,7 @@ pub mod wire {
             interactions,
             src_rows,
             dst_rows,
+            late,
             z_wire,
             feats_wire,
         })
@@ -404,6 +427,7 @@ pub mod wire {
                 ],
                 src_rows: vec![0, 1],
                 dst_rows: vec![1, 2],
+                late: Vec::new(),
                 z_wire: encode_tensor(&Tensor::from_rows(&[
                     &[1.0, -2.0],
                     &[0.5, 0.0],
@@ -421,6 +445,20 @@ pub mod wire {
             let mut job = sample_job();
             job.z_wire = Bytes::new();
             assert_eq!(decode_job(encode_job(&job)).unwrap(), job);
+            // late-event indices ride the job
+            let mut job = sample_job();
+            job.late = vec![1];
+            assert_eq!(decode_job(encode_job(&job)).unwrap(), job);
+        }
+
+        #[test]
+        fn truncated_late_job_is_an_error_not_a_panic() {
+            let mut job = sample_job();
+            job.late = vec![0, 1];
+            let full = encode_job(&job);
+            for cut in 0..full.len() {
+                assert!(decode_job(full.slice(0..cut)).is_err(), "cut at {cut}");
+            }
         }
 
         #[test]
@@ -469,6 +507,70 @@ pub mod wire {
     }
 }
 
+/// How bounded-lateness admission classified one interaction of a batch.
+///
+/// Admission keeps a watermark `W` (the max event time admitted in
+/// order) and a lateness bound `L`. An arriving event at time `t` is
+/// `InOrder` when `t >= W` (and advances `W`), `Late` when
+/// `W - L <= t < W` (kept at its original time, reorder-buffered), and
+/// `Dropped` when it is older than the window (`t < W - L`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmitKind {
+    /// At or past the watermark: advances it and propagates normally.
+    InOrder,
+    /// Behind the watermark but inside the lateness window: spliced
+    /// into the temporal graph at arrival, mailbox effects parked in
+    /// the reorder buffer until the watermark passes `t + L`.
+    Late,
+    /// Older than the lateness window: scored read-only, excluded from
+    /// the embedding write-back and the asynchronous link entirely.
+    Dropped,
+}
+
+/// One reorder-buffered late event: already spliced into the temporal
+/// graph, waiting for the watermark to pass its release point before
+/// its mailbox effects are planned and patch-applied.
+struct LateEntry {
+    inter: Interaction,
+    /// The event's mail row (φ already applied), kept so release does
+    /// not need the job's wire payload again.
+    mail: Vec<f32>,
+    /// Arrival order among buffered entries; ties in event time release
+    /// in arrival order, matching the serial replay's tie rule.
+    arrival: u64,
+}
+
+/// The reorder buffer shared by the pipeline and its workers. All
+/// mutation happens under a commit ticket (or with the link drained),
+/// so the buffer evolves in one deterministic global order no matter
+/// the pool width.
+struct LateState {
+    /// Lateness bound `L` in event-time units. Must match the admission
+    /// window: an entry is released once `watermark - lateness` passes
+    /// its event time, the earliest instant no not-yet-arrived admissible
+    /// event can still precede it.
+    lateness: f64,
+    /// Max in-order event time committed by the pool so far.
+    watermark: f64,
+    /// Buffered entries, sorted by `(time, arrival)`.
+    buf: Vec<LateEntry>,
+    next_arrival: u64,
+    /// Total late events released (planned + patch-applied) so far.
+    released: u64,
+}
+
+impl LateState {
+    fn new(watermark: f64) -> Self {
+        Self {
+            lateness: 0.0,
+            watermark,
+            buf: Vec::new(),
+            next_arrival: 0,
+            released: 0,
+        }
+    }
+}
+
 struct PropagateJob {
     /// Commit ticket: deliveries land in `seq` order no matter which
     /// worker runs the job, so N-threaded serving is bitwise identical
@@ -478,6 +580,8 @@ struct PropagateJob {
     /// Row of `z_wire` holding each interaction's source embedding.
     src_rows: Vec<usize>,
     dst_rows: Vec<usize>,
+    /// Indices of late-admitted interactions (see [`wire::WireJob::late`]).
+    late: Vec<u32>,
     /// Only the embedding rows the mails actually reference (the batch's
     /// endpoint rows, deduplicated) — empty when the mail content ignores
     /// embeddings entirely.
@@ -645,6 +749,7 @@ impl SeqGates {
 pub struct PropLink {
     stats: Arc<Mutex<PropStats>>,
     pending: Arc<PendingJobs>,
+    late: Arc<Mutex<LateState>>,
 }
 
 impl PropLink {
@@ -656,6 +761,16 @@ impl PropLink {
     /// Jobs queued or in flight right now.
     pub fn pending(&self) -> usize {
         self.pending.current()
+    }
+
+    /// Late events currently parked in the reorder buffer.
+    pub fn reorder_buffered(&self) -> usize {
+        self.late.lock().buf.len()
+    }
+
+    /// Total late events released from the reorder buffer so far.
+    pub fn late_released(&self) -> u64 {
+        self.late.lock().released
     }
 }
 
@@ -693,6 +808,7 @@ fn propagation_worker(
     pending: Arc<PendingJobs>,
     stats: Arc<Mutex<PropStats>>,
     gates: Arc<SeqGates>,
+    late: Arc<Mutex<LateState>>,
     propagator: Propagator,
     mail_content: MailContent,
     obs: ObsHub,
@@ -717,6 +833,7 @@ fn propagation_worker(
                 continue;
             }
         };
+        let is_late = |idx: usize| job.late.binary_search(&(idx as u32)).is_ok();
         let (min_t, max_t) = job
             .interactions
             .iter()
@@ -724,30 +841,49 @@ fn propagation_worker(
                 (lo.min(i.time), hi.max(i.time))
             });
         // `commit` span: the ordered temporal-graph event commit,
-        // including any wait for the insert ticket.
+        // including any wait for the insert ticket. Late events splice
+        // into the time-sorted log here, at arrival: a job carrying one
+        // has `min_t` below the gate watermark, so `wait_insert` holds
+        // it on the slow path until every earlier job has fully
+        // committed — no concurrent sampler can observe the splice
+        // mid-flight, and every later sampler deterministically does.
         let t_commit0 = obs.stamp();
         gates.wait_insert(seq, min_t);
         {
             let mut g = graph.write();
-            for i in &job.interactions {
-                g.insert(i.src, i.dst, i.time);
+            for (idx, i) in job.interactions.iter().enumerate() {
+                if is_late(idx) {
+                    g.insert_late(i.src, i.dst, i.time);
+                } else {
+                    g.insert(i.src, i.dst, i.time);
+                }
             }
         }
         gates.insert_done(seq, max_t);
         let t_commit1 = obs.stamp();
         obs.stage_record(Stage::Commit, job.trace_id, t_commit0, t_commit1);
-        // Sampling — the expensive part — runs outside both gates.
+        // Sampling — the expensive part — runs outside both gates. Only
+        // the in-order subset is planned now; late events wait in the
+        // reorder buffer until no earlier-timed event can still arrive.
+        let inorder: Option<(Vec<Interaction>, Tensor)> = (!job.late.is_empty()).then(|| {
+            let keep: Vec<usize> = (0..job.interactions.len())
+                .filter(|&i| !is_late(i))
+                .collect();
+            let ints: Vec<Interaction> = keep.iter().map(|&i| job.interactions[i]).collect();
+            (ints, mails.gather_rows(&keep))
+        });
+        let (batch, batch_mails): (&[Interaction], &Tensor) = match &inorder {
+            Some((ints, m)) => (ints, m),
+            None => (&job.interactions, &mails),
+        };
+        let inorder_max = batch
+            .iter()
+            .map(|i| i.time)
+            .fold(None, |hi: Option<f64>, t| Some(hi.map_or(t, |h| h.max(t))));
         let mut cost = QueryCost::new();
         {
             let g = graph.read();
-            propagator.plan_batch(
-                &g,
-                &job.interactions,
-                &mails,
-                &mut cost,
-                &mut scratch,
-                &mut plan,
-            );
+            propagator.plan_batch(&g, batch, batch_mails, &mut cost, &mut scratch, &mut plan);
         }
         let t_plan1 = obs.stamp();
         obs.stage_record(Stage::Plan, job.trace_id, t_commit1, t_plan1);
@@ -755,7 +891,56 @@ fn propagation_worker(
         // `deliver` span: applying the plan to the sharded mailbox (the
         // commit-ticket wait before it is queueing, not delivery work).
         let t_deliver0 = obs.stamp();
-        let deliveries = plan.apply_sharded(&store);
+        let mut deliveries = plan.apply_sharded(&store);
+        // Reorder-buffer maintenance runs inside the commit turn, so
+        // entries enqueue and release in one deterministic global order.
+        {
+            let mut ls = late.lock();
+            let dim = mails.cols();
+            for &li in &job.late {
+                let li = li as usize;
+                let arrival = ls.next_arrival;
+                ls.next_arrival += 1;
+                let entry = LateEntry {
+                    inter: job.interactions[li],
+                    mail: mails.data()[li * dim..(li + 1) * dim].to_vec(),
+                    arrival,
+                };
+                let pos = ls.buf.partition_point(|e| {
+                    (e.inter.time, e.arrival) <= (entry.inter.time, entry.arrival)
+                });
+                ls.buf.insert(pos, entry);
+            }
+            if let Some(m) = inorder_max {
+                if m > ls.watermark {
+                    ls.watermark = m;
+                }
+            }
+            // Release every entry whose lateness window has closed: no
+            // admissible event earlier than it can still arrive, so its
+            // k-hop plan is final. Sampling is strictly-before-t, which
+            // makes any event inserted after it (all at later times)
+            // invisible — the plan equals the time-sorted serial replay's.
+            let threshold = ls.watermark - ls.lateness;
+            while ls.buf.first().is_some_and(|e| e.inter.time <= threshold) {
+                let entry = ls.buf.remove(0);
+                let width = entry.mail.len();
+                let mail_row = Tensor::from_vec(1, width, entry.mail);
+                {
+                    let g = graph.read();
+                    propagator.plan_batch(
+                        &g,
+                        std::slice::from_ref(&entry.inter),
+                        &mail_row,
+                        &mut cost,
+                        &mut scratch,
+                        &mut plan,
+                    );
+                }
+                deliveries += plan.apply_sharded_late(&store);
+                ls.released += 1;
+            }
+        }
         let t_deliver1 = obs.stamp();
         gates.commit_done(seq);
         obs.stage_record(Stage::Deliver, job.trace_id, t_deliver0, t_deliver1);
@@ -779,6 +964,17 @@ fn decode_job_mails(job: &PropagateJob, mail_content: MailContent) -> Option<Ten
     let feats = wire::decode_tensor(job.feats_wire.clone()).ok()?;
     let b = job.interactions.len();
     if feats.rows() != b || job.src_rows.len() != b || job.dst_rows.len() != b {
+        return None;
+    }
+    // Late indices must be strictly increasing, in range, and carry
+    // finite event times — anything else is a malformed job.
+    if job.late.iter().any(|&l| l as usize >= b)
+        || job.late.windows(2).any(|w| w[0] >= w[1])
+        || job
+            .late
+            .iter()
+            .any(|&l| !job.interactions[l as usize].time.is_finite())
+    {
         return None;
     }
     if matches!(mail_content, MailContent::FeatureOnly) {
@@ -810,6 +1006,7 @@ pub struct ServingPipeline {
     workers: Vec<JoinHandle<()>>,
     pending: Arc<PendingJobs>,
     stats: Arc<Mutex<PropStats>>,
+    late: Arc<Mutex<LateState>>,
     next_seq: u64,
     rng: StdRng,
     /// Active encoder precision; [`ServingPipeline::set_precision`].
@@ -872,6 +1069,15 @@ impl ServingPipeline {
         };
         let store = Arc::new(ShardedMailboxStore::from_flat(&store, shards_from_env()));
         let gates = Arc::new(SeqGates::new(graph.max_time()));
+        let late = Arc::new(Mutex::new(LateState::new(graph.max_time())));
+        let mut graph = graph;
+        if model.cfg.forward_recent {
+            // Forward-recent sampling: per-node recency rings sized with
+            // headroom over the per-hop fan-out. Restored snapshots come
+            // back without rings, so (re-)enabling here covers both the
+            // cold and the warm-restart path.
+            graph.enable_recent_cache(2 * model.cfg.sampled_neighbors.max(1));
+        }
         let graph = Arc::new(RwLock::new(graph));
         let (tx, rx) = bounded::<Job>(capacity.max(1));
         let pending = Arc::new(PendingJobs::new());
@@ -888,6 +1094,7 @@ impl ServingPipeline {
                 let pending = Arc::clone(&pending);
                 let stats = Arc::clone(&stats);
                 let gates = Arc::clone(&gates);
+                let late = Arc::clone(&late);
                 let obs = obs.clone();
                 std::thread::spawn(move || {
                     propagation_worker(
@@ -897,6 +1104,7 @@ impl ServingPipeline {
                         pending,
                         stats,
                         gates,
+                        late,
                         propagator,
                         mail_content,
                         obs,
@@ -913,6 +1121,7 @@ impl ServingPipeline {
             workers,
             pending,
             stats,
+            late,
             next_seq: 0,
             rng: StdRng::seed_from_u64(0),
             precision: Precision::F32,
@@ -982,7 +1191,29 @@ impl ServingPipeline {
         trace_id: u64,
         admitted: Option<Duration>,
     ) -> InferResult {
-        let (result, job, admitted) = self.infer_batch_job(interactions, feats, trace_id, admitted);
+        let (result, job, admitted, _) =
+            self.infer_batch_job(interactions, feats, None, trace_id, admitted);
+        self.submit_job(job, trace_id, admitted);
+        result
+    }
+
+    /// [`ServingPipeline::infer_batch_traced`] for a batch that went
+    /// through bounded-lateness admission, with one [`AdmitKind`] per
+    /// interaction. Every interaction is scored (a dropped event still
+    /// gets a read-only prediction), but dropped events are excluded
+    /// from the embedding write-back, from the batch's reference time,
+    /// and from the propagation job; late events ride the job flagged
+    /// for the reorder buffer.
+    pub fn infer_batch_admitted(
+        &mut self,
+        interactions: &[Interaction],
+        feats: &Tensor,
+        kinds: &[AdmitKind],
+        trace_id: u64,
+        admitted: Option<Duration>,
+    ) -> InferResult {
+        let (result, job, admitted, _) =
+            self.infer_batch_job(interactions, feats, Some(kinds), trace_id, admitted);
         self.submit_job(job, trace_id, admitted);
         result
     }
@@ -1004,10 +1235,37 @@ impl ServingPipeline {
         trace_id: u64,
         admitted: Option<Duration>,
     ) -> (InferResult, bytes::Bytes) {
-        let (result, job, admitted) = self.infer_batch_job(interactions, feats, trace_id, admitted);
+        self.infer_batch_cluster_kinds(interactions, feats, None, trace_id, admitted)
+    }
+
+    /// [`ServingPipeline::infer_batch_cluster`] for an admission-
+    /// classified batch ([`ServingPipeline::infer_batch_admitted`]);
+    /// the forwarded job carries only admitted interactions plus their
+    /// late flags, so peers replay the same effective stream.
+    pub fn infer_batch_cluster_admitted(
+        &mut self,
+        interactions: &[Interaction],
+        feats: &Tensor,
+        kinds: &[AdmitKind],
+        trace_id: u64,
+        admitted: Option<Duration>,
+    ) -> (InferResult, bytes::Bytes) {
+        self.infer_batch_cluster_kinds(interactions, feats, Some(kinds), trace_id, admitted)
+    }
+
+    fn infer_batch_cluster_kinds(
+        &mut self,
+        interactions: &[Interaction],
+        feats: &Tensor,
+        kinds: Option<&[AdmitKind]>,
+        trace_id: u64,
+        admitted: Option<Duration>,
+    ) -> (InferResult, bytes::Bytes) {
+        let (result, job, admitted, wide_rows) =
+            self.infer_batch_job(interactions, feats, kinds, trace_id, admitted);
         let encoded = if job.z_wire.is_empty() && !job.interactions.is_empty() {
             let mut wide = job.clone();
-            wide.z_wire = wire::encode_tensor(&result.embeddings);
+            wide.z_wire = wire::encode_tensor(&result.embeddings.gather_rows(&wide_rows));
             wire::encode_job(&wide)
         } else {
             wire::encode_job(&job)
@@ -1034,7 +1292,15 @@ impl ServingPipeline {
             let src: Vec<NodeId> = job.interactions.iter().map(|i| i.src).collect();
             let dst: Vec<NodeId> = job.interactions.iter().map(|i| i.dst).collect();
             let (unique, _) = dedup_nodes(&[&src, &dst]);
-            let now = job.interactions.last().map(|i| i.time).unwrap_or(0.0);
+            // Reference time = the batch's max event time: with late
+            // events aboard the last interaction is not necessarily the
+            // newest one, and the write-back stamp must match the
+            // owner's.
+            let now = job
+                .interactions
+                .iter()
+                .map(|i| i.time)
+                .fold(f64::NEG_INFINITY, f64::max);
             if z.rows() == unique.len() && z.cols() == self.store.dim() {
                 self.store.sync_view().set_embeddings(&unique, &z, now);
             }
@@ -1052,6 +1318,7 @@ impl ServingPipeline {
             interactions: job.interactions,
             src_rows: job.src_rows,
             dst_rows: job.dst_rows,
+            late: job.late,
             z_wire: job.z_wire,
             feats_wire: job.feats_wire,
             trace_id,
@@ -1064,24 +1331,57 @@ impl ServingPipeline {
     }
 
     /// The synchronous path plus construction (not submission) of the
-    /// batch's propagation job; returns the resolved admission stamp.
+    /// batch's propagation job; returns the resolved admission stamp
+    /// and the rows of the result embeddings backing the job's z rows
+    /// (what a cluster owner re-encodes for FeatureOnly peers).
     fn infer_batch_job(
         &mut self,
         interactions: &[Interaction],
         feats: &Tensor,
+        kinds: Option<&[AdmitKind]>,
         trace_id: u64,
         admitted: Option<Duration>,
-    ) -> (InferResult, wire::WireJob, Duration) {
+    ) -> (InferResult, wire::WireJob, Duration, Vec<usize>) {
         assert_eq!(
             feats.rows(),
             interactions.len(),
             "one feature row per interaction"
         );
+        if let Some(ks) = kinds {
+            assert_eq!(
+                ks.len(),
+                interactions.len(),
+                "one admission kind per interaction"
+            );
+        }
         let start = self.obs.now();
 
         let src: Vec<NodeId> = interactions.iter().map(|i| i.src).collect();
         let dst: Vec<NodeId> = interactions.iter().map(|i| i.dst).collect();
-        let now = interactions.last().map(|i| i.time).unwrap_or(0.0);
+        // The batch's reference instant (mail ages read by the encoder,
+        // embedding write-back stamp). With admission kinds, dropped
+        // events must not move time, and a late event is never the
+        // newest — so the max over admitted times is used; without
+        // kinds this is the legacy "last interaction" rule (admitted
+        // streams are time-sorted, so they agree bitwise).
+        let now = match kinds {
+            None => interactions.last().map(|i| i.time).unwrap_or(0.0),
+            Some(ks) => {
+                let m = interactions
+                    .iter()
+                    .zip(ks)
+                    .filter(|(_, k)| !matches!(k, AdmitKind::Dropped))
+                    .map(|(i, _)| i.time)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                if m.is_finite() {
+                    m
+                } else {
+                    // every event dropped: score read-only at the last
+                    // request's time, moving nothing
+                    interactions.last().map(|i| i.time).unwrap_or(0.0)
+                }
+            }
+        };
         let (unique, maps) = dedup_nodes(&[&src, &dst]);
 
         let view = self.store.sync_view();
@@ -1113,33 +1413,81 @@ impl ServingPipeline {
             .stage_record(Stage::Encode, trace_id, t_encode0, t_encode1);
         self.obs
             .stage_record(Stage::DecodeScore, trace_id, t_encode1, t_decode1);
-        view.set_embeddings(&unique, &z_val, now);
+        // Admission-aware views: dropped events were scored above but
+        // are excluded from the write-back and the propagation job.
+        let admitted_idx: Vec<usize> = match kinds {
+            None => (0..interactions.len()).collect(),
+            Some(ks) => ks
+                .iter()
+                .enumerate()
+                .filter(|(_, k)| !matches!(k, AdmitKind::Dropped))
+                .map(|(i, _)| i)
+                .collect(),
+        };
+        let all_admitted = admitted_idx.len() == interactions.len();
+        // `a_rows[r]` = row of `z_val` holding admitted-unique node r.
+        let (a_unique, a_maps, a_rows) = if all_admitted {
+            (unique.clone(), maps.clone(), (0..unique.len()).collect())
+        } else {
+            let a_src: Vec<NodeId> = admitted_idx.iter().map(|&i| interactions[i].src).collect();
+            let a_dst: Vec<NodeId> = admitted_idx.iter().map(|&i| interactions[i].dst).collect();
+            let (au, am) = dedup_nodes(&[&a_src, &a_dst]);
+            let pos: std::collections::HashMap<NodeId, usize> =
+                unique.iter().enumerate().map(|(r, &n)| (n, r)).collect();
+            let rows: Vec<usize> = au.iter().map(|n| pos[n]).collect();
+            (au, am, rows)
+        };
+        if all_admitted {
+            view.set_embeddings(&unique, &z_val, now);
+        } else if !a_unique.is_empty() {
+            view.set_embeddings(&a_unique, &z_val.gather_rows(&a_rows), now);
+        }
         drop(view);
         let sync_time = self.obs.now().saturating_sub(start);
         self.sync_latency.record(sync_time);
 
         // Asynchronous hand-off (not timed: the user already has scores).
-        // Only the embedding rows the mails reference cross the wire — the
-        // batch's endpoint rows, deduplicated and remapped — and none at
-        // all when the mail content ignores embeddings.
-        let mut used: Vec<usize> = maps[0].iter().chain(maps[1].iter()).copied().collect();
+        // Only the embedding rows the mails reference cross the wire —
+        // the admitted endpoint rows, deduplicated and remapped — and
+        // none at all when the mail content ignores embeddings.
+        let mut used: Vec<usize> = a_maps[0].iter().chain(a_maps[1].iter()).copied().collect();
         used.sort_unstable();
         used.dedup();
-        let mut inv = vec![0usize; z_val.rows()];
+        let mut inv = vec![0usize; a_unique.len()];
         for (i, &r) in used.iter().enumerate() {
             inv[r] = i;
         }
+        // job z-row space → result-embedding rows (for cluster re-encode)
+        let wide_rows: Vec<usize> = used.iter().map(|&r| a_rows[r]).collect();
         let z_wire = if matches!(self.model.cfg.mail_content, MailContent::FeatureOnly) {
             bytes::Bytes::new()
         } else {
-            wire::encode_tensor(&z_val.gather_rows(&used))
+            wire::encode_tensor(&z_val.gather_rows(&wide_rows))
+        };
+        let late: Vec<u32> = match kinds {
+            None => Vec::new(),
+            Some(ks) => admitted_idx
+                .iter()
+                .enumerate()
+                .filter(|&(_, &gi)| matches!(ks[gi], AdmitKind::Late))
+                .map(|(ai, _)| ai as u32)
+                .collect(),
         };
         let job = wire::WireJob {
-            interactions: interactions.to_vec(),
-            src_rows: maps[0].iter().map(|&r| inv[r]).collect(),
-            dst_rows: maps[1].iter().map(|&r| inv[r]).collect(),
+            interactions: if all_admitted {
+                interactions.to_vec()
+            } else {
+                admitted_idx.iter().map(|&i| interactions[i]).collect()
+            },
+            src_rows: a_maps[0].iter().map(|&r| inv[r]).collect(),
+            dst_rows: a_maps[1].iter().map(|&r| inv[r]).collect(),
+            late,
             z_wire,
-            feats_wire: wire::encode_tensor(feats),
+            feats_wire: if all_admitted {
+                wire::encode_tensor(feats)
+            } else {
+                wire::encode_tensor(&feats.gather_rows(&admitted_idx))
+            },
         };
 
         let result = InferResult {
@@ -1148,7 +1496,7 @@ impl ServingPipeline {
             nodes: unique,
             sync_time,
         };
-        (result, job, admitted.unwrap_or(start))
+        (result, job, admitted.unwrap_or(start), wide_rows)
     }
 
     /// Jobs queued or in flight on the asynchronous link.
@@ -1169,14 +1517,74 @@ impl ServingPipeline {
         &self.model
     }
 
+    /// Sets the bounded-lateness window the reorder buffer releases
+    /// against. Must equal the admission window: releasing earlier than
+    /// admission can still admit would let a not-yet-arrived event
+    /// precede an already-released one. `None` (and the default)
+    /// behaves as a zero window; with no late-flagged jobs the value is
+    /// never consulted.
+    pub fn set_lateness(&mut self, lateness: Option<f64>) {
+        self.late.lock().lateness = lateness.unwrap_or(0.0).max(0.0);
+    }
+
+    /// Late events currently parked in the reorder buffer.
+    pub fn reorder_buffered(&self) -> usize {
+        self.late.lock().buf.len()
+    }
+
+    /// Drains the asynchronous link, then forces every still-buffered
+    /// late event through planning and patch-apply in `(time, arrival)`
+    /// order — the snapshot-cut flush. Without it, a snapshot taken
+    /// inside the lateness window would silently lose buffered events
+    /// across a warm restart. Returns the number of entries released.
+    pub fn release_reorder_buffer(&self) -> usize {
+        self.flush();
+        let mut ls = self.late.lock();
+        if ls.buf.is_empty() {
+            return 0;
+        }
+        let mut scratch = PropScratch::default();
+        let mut plan = DeliveryPlan::default();
+        let propagator = self.model.propagator;
+        let mut cost = QueryCost::new();
+        let mut deliveries = 0usize;
+        let entries = std::mem::take(&mut ls.buf);
+        let released = entries.len();
+        {
+            let g = self.graph.read();
+            for entry in entries {
+                let width = entry.mail.len();
+                let mail_row = Tensor::from_vec(1, width, entry.mail);
+                propagator.plan_batch(
+                    &g,
+                    std::slice::from_ref(&entry.inter),
+                    &mail_row,
+                    &mut cost,
+                    &mut scratch,
+                    &mut plan,
+                );
+                deliveries += plan.apply_sharded_late(&self.store);
+            }
+        }
+        ls.released += released as u64;
+        drop(ls);
+        let mut st = self.stats.lock();
+        st.deliveries += deliveries;
+        st.cost += cost;
+        released
+    }
+
     /// Flushes the asynchronous link and hands back consistent flat
     /// copies of the serving state — the export half of
     /// snapshot/warm-restart. The single flush is what makes the pair
     /// consistent: no mail is in flight between the store and the graph
-    /// when they are read. The flat store's snapshot bytes are identical
-    /// for every shard count.
+    /// when they are read. The reorder buffer is force-released first
+    /// ([`ServingPipeline::release_reorder_buffer`]), so a snapshot cut
+    /// inside the lateness window carries the buffered events' mailbox
+    /// effects instead of dropping them. The flat store's snapshot
+    /// bytes are identical for every shard count.
     pub fn export_state(&self) -> (MailboxStore, TemporalGraph) {
-        self.flush();
+        self.release_reorder_buffer();
         let store = self.store.to_flat();
         let graph = self.graph.read().clone();
         (store, graph)
@@ -1198,6 +1606,7 @@ impl ServingPipeline {
         PropLink {
             stats: Arc::clone(&self.stats),
             pending: Arc::clone(&self.pending),
+            late: Arc::clone(&self.late),
         }
     }
 
@@ -1468,6 +1877,7 @@ mod tests {
                 interactions: Vec::new(),
                 src_rows: Vec::new(),
                 dst_rows: Vec::new(),
+                late: Vec::new(),
                 z_wire: bytes::Bytes::new(),
                 feats_wire: bytes::Bytes::new(),
             },
@@ -1561,6 +1971,236 @@ mod tests {
                 base,
                 "pool width {threads} changed mailbox bits"
             );
+        }
+    }
+
+    fn fmodel() -> Apan {
+        let mut cfg = ApanConfig::new(8);
+        cfg.mailbox_slots = 4;
+        cfg.mlp_hidden = 16;
+        cfg.dropout = 0.0;
+        cfg.mail_content = MailContent::FeatureOnly;
+        let mut rng = StdRng::seed_from_u64(0);
+        Apan::new(&cfg, &mut rng)
+    }
+
+    fn one(src: NodeId, dst: NodeId, time: f64, eid: u32) -> (Vec<Interaction>, Tensor) {
+        (
+            vec![Interaction {
+                src,
+                dst,
+                time,
+                eid,
+            }],
+            Tensor::full(1, 8, time as f32),
+        )
+    }
+
+    type MailBits = Vec<Vec<(Vec<u32>, u64, crate::mailbox::MailOrigin)>>;
+    type AdjBits = Vec<Vec<(NodeId, u64)>>;
+
+    /// Propagation-visible state: mailbox contents (bitwise) and the
+    /// graph's time-sorted adjacency, eids and sync embeddings excluded
+    /// (the former are arrival-ordered internals, the latter are
+    /// served-at-arrival by design).
+    fn prop_state(p: &ServingPipeline) -> (MailBits, AdjBits) {
+        let (store, graph) = p.export_state();
+        let mails = (0..store.num_nodes() as NodeId)
+            .map(|n| {
+                store
+                    .mails_of(n)
+                    .into_iter()
+                    .map(|(m, t, o)| {
+                        (
+                            m.iter().map(|v| v.to_bits()).collect::<Vec<u32>>(),
+                            t.to_bits(),
+                            o,
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let adj = (0..graph.num_nodes() as NodeId)
+            .map(|n| {
+                graph
+                    .neighbors(n)
+                    .iter()
+                    .map(|e| (e.neighbor, e.time.to_bits()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        (mails, adj)
+    }
+
+    #[test]
+    fn late_events_release_bitwise_like_the_sorted_replay() {
+        // messy pipeline: in-order 1, 2, then {3 + late 1.5}, then 6
+        // (which pushes the watermark past 1.5 + L and releases it)
+        let mut p = ServingPipeline::new(fmodel(), 8, 16);
+        p.set_lateness(Some(2.0));
+        let feed = |p: &mut ServingPipeline, b: &(Vec<Interaction>, Tensor)| {
+            p.infer_batch(&b.0, &b.1);
+            p.flush();
+        };
+        feed(&mut p, &one(0, 1, 1.0, 0));
+        feed(&mut p, &one(2, 3, 2.0, 2));
+        {
+            let ints = vec![
+                Interaction {
+                    src: 0,
+                    dst: 2,
+                    time: 3.0,
+                    eid: 3,
+                },
+                Interaction {
+                    src: 4,
+                    dst: 5,
+                    time: 1.5,
+                    eid: 1,
+                },
+            ];
+            let feats = Tensor::from_rows(&[&[3.0f32; 8], &[1.5f32; 8]]);
+            let kinds = [AdmitKind::InOrder, AdmitKind::Late];
+            p.infer_batch_admitted(&ints, &feats, &kinds, 0, None);
+            p.flush();
+        }
+        assert_eq!(p.reorder_buffered(), 1, "1.5 is inside the window");
+        feed(&mut p, &one(1, 3, 6.0, 4));
+        assert_eq!(p.reorder_buffered(), 0, "watermark 6 released 1.5");
+        assert_eq!(p.prop_link().late_released(), 1);
+
+        // reference: the same events fed strictly time-sorted
+        let mut r = ServingPipeline::new(fmodel(), 8, 16);
+        for b in [
+            one(0, 1, 1.0, 0),
+            one(4, 5, 1.5, 1),
+            one(2, 3, 2.0, 2),
+            one(0, 2, 3.0, 3),
+            one(1, 3, 6.0, 4),
+        ] {
+            feed(&mut r, &b);
+        }
+        assert_eq!(prop_state(&p), prop_state(&r));
+    }
+
+    #[test]
+    fn snapshot_cut_inside_the_window_flushes_the_reorder_buffer() {
+        let mut p = ServingPipeline::new(fmodel(), 8, 16);
+        p.set_lateness(Some(10.0));
+        let feed = |p: &mut ServingPipeline, b: &(Vec<Interaction>, Tensor)| {
+            p.infer_batch(&b.0, &b.1);
+            p.flush();
+        };
+        feed(&mut p, &one(0, 1, 1.0, 0));
+        feed(&mut p, &one(2, 3, 2.0, 1));
+        {
+            let ints = vec![
+                Interaction {
+                    src: 0,
+                    dst: 3,
+                    time: 3.0,
+                    eid: 3,
+                },
+                Interaction {
+                    src: 4,
+                    dst: 5,
+                    time: 2.5,
+                    eid: 2,
+                },
+            ];
+            let feats = Tensor::from_rows(&[&[3.0f32; 8], &[2.5f32; 8]]);
+            let kinds = [AdmitKind::InOrder, AdmitKind::Late];
+            p.infer_batch_admitted(&ints, &feats, &kinds, 0, None);
+            p.flush();
+        }
+        // the window is wide open: nothing released the late event yet
+        assert_eq!(p.reorder_buffered(), 1);
+        // export_state (the snapshot cut) must not lose it
+        let (mails, adj) = prop_state(&p);
+        assert_eq!(p.reorder_buffered(), 0, "cut force-released the buffer");
+        assert_eq!(p.prop_link().late_released(), 1);
+
+        let mut r = ServingPipeline::new(fmodel(), 8, 16);
+        for b in [
+            one(0, 1, 1.0, 0),
+            one(2, 3, 2.0, 1),
+            one(4, 5, 2.5, 2),
+            one(0, 3, 3.0, 3),
+        ] {
+            feed(&mut r, &b);
+        }
+        assert_eq!((mails, adj), prop_state(&r));
+    }
+
+    #[test]
+    fn dropped_events_are_scored_but_never_admitted() {
+        let mut p = ServingPipeline::new(fmodel(), 8, 16);
+        p.set_lateness(Some(1.0));
+        let (b, f) = one(0, 1, 5.0, 0);
+        p.infer_batch(&b, &f);
+        p.flush();
+        let ints = vec![
+            Interaction {
+                src: 2,
+                dst: 3,
+                time: 0.5,
+                eid: 1,
+            },
+            Interaction {
+                src: 0,
+                dst: 2,
+                time: 6.0,
+                eid: 2,
+            },
+        ];
+        let feats = Tensor::from_rows(&[&[0.5f32; 8], &[6.0f32; 8]]);
+        let kinds = [AdmitKind::Dropped, AdmitKind::InOrder];
+        let r = p.infer_batch_admitted(&ints, &feats, &kinds, 0, None);
+        assert_eq!(r.scores.len(), 2, "dropped events still get scores");
+        p.flush();
+        let (store, graph) = p.export_state();
+        assert_eq!(graph.num_events(), 2, "the dropped event never landed");
+        assert!(store.is_empty(3), "no mail reached the dropped endpoints");
+        assert!(graph.neighbors(3).is_empty());
+    }
+
+    #[test]
+    fn late_jobs_are_deterministic_across_pool_widths() {
+        // no flushes: jobs (some carrying late events) pile into the
+        // pool freely; any width must produce identical mailbox bits.
+        // FeatureOnly keeps mails independent of the timing-sensitive
+        // sync embeddings, as in the in-order pipelining test above.
+        let run = |threads: usize| {
+            let m = fmodel();
+            let store = m.new_store(16);
+            let graph = TemporalGraph::with_capacity(16, 1024);
+            let mut p = ServingPipeline::with_options(m, store, graph, 4, threads);
+            p.set_lateness(Some(5.0));
+            for k in 0..30u64 {
+                let t = k as f64 + 10.0;
+                let ints = vec![
+                    Interaction {
+                        src: (k % 8) as NodeId,
+                        dst: (k % 8 + 1) as NodeId,
+                        time: t,
+                        eid: (2 * k) as u32,
+                    },
+                    Interaction {
+                        src: (k % 4 + 8) as NodeId,
+                        dst: (k % 4 + 12) as NodeId,
+                        time: t - 4.0,
+                        eid: (2 * k + 1) as u32,
+                    },
+                ];
+                let feats = Tensor::from_rows(&[&[t as f32; 8], &[(t - 4.0) as f32; 8]]);
+                let kinds = [AdmitKind::InOrder, AdmitKind::Late];
+                p.infer_batch_admitted(&ints, &feats, &kinds, 0, None);
+            }
+            prop_state(&p)
+        };
+        let base = run(1);
+        for threads in [2, 8] {
+            assert_eq!(run(threads), base, "pool width {threads} changed bits");
         }
     }
 }

@@ -17,7 +17,7 @@ use crate::shard::ShardedMailboxStore;
 use apan_tensor::backend::pool::parallel_rows;
 use apan_tensor::Tensor;
 use apan_tgraph::cost::QueryCost;
-use apan_tgraph::sampling::{sample_khop, sample_khop_targets, Strategy};
+use apan_tgraph::sampling::{sample_khop, sample_khop_targets_with, Strategy};
 use apan_tgraph::{EventId, NodeId, TemporalGraph, Time};
 
 /// One interaction to propagate, with its already-computed mail row.
@@ -49,14 +49,21 @@ pub struct Propagator {
 }
 
 impl Propagator {
-    /// Builds a propagator from an [`ApanConfig`].
+    /// Builds a propagator from an [`ApanConfig`]. The sampling strategy
+    /// follows `cfg.forward_recent`: the forward-recent ring cache when
+    /// set (bitwise-identical samples, cheaper index probes), APAN's
+    /// backward most-recent scan otherwise.
     pub fn from_config(cfg: &ApanConfig) -> Self {
         Self {
             sampled_neighbors: cfg.sampled_neighbors,
             hops: cfg.hops,
             deliver_to_self: cfg.deliver_to_self,
             reduce: cfg.mail_reduce,
-            strategy: Strategy::MostRecent,
+            strategy: if cfg.forward_recent {
+                Strategy::ForwardRecent
+            } else {
+                Strategy::MostRecent
+            },
         }
     }
 
@@ -223,12 +230,13 @@ impl Propagator {
         }
         let seeds = [inter.src, inter.dst];
         match self.strategy {
-            Strategy::MostRecent => sample_khop_targets(
+            Strategy::MostRecent | Strategy::ForwardRecent => sample_khop_targets_with(
                 graph,
                 &seeds,
                 inter.time,
                 self.sampled_neighbors,
                 self.hops,
+                self.strategy,
                 cost,
                 out,
             ),
@@ -329,6 +337,52 @@ impl DeliveryPlan {
                 let mut guard = store.lock_shard(shard);
                 for &i in bucket {
                     guard.deliver(
+                        self.nodes[i],
+                        &self.payload[i * self.dim..(i + 1) * self.dim],
+                        self.times[i],
+                        self.origins[i],
+                    );
+                }
+            }
+        });
+        self.nodes.len()
+    }
+
+    /// Applies the plan to a flat store via
+    /// [`MailboxStore::patch_late`] — the delta-apply path for a released
+    /// late event: each mail is spliced into its destination's already-
+    /// committed mailbox at its time-sorted position instead of being
+    /// enqueued as newest.
+    pub fn apply_late(&self, store: &mut MailboxStore) -> usize {
+        for i in 0..self.nodes.len() {
+            store.patch_late(
+                self.nodes[i],
+                &self.payload[i * self.dim..(i + 1) * self.dim],
+                self.times[i],
+                self.origins[i],
+            );
+        }
+        self.nodes.len()
+    }
+
+    /// [`DeliveryPlan::apply_late`] against the sharded serving store,
+    /// under the same exclusive commit gate as
+    /// [`DeliveryPlan::apply_sharded`].
+    pub fn apply_sharded_late(&self, store: &ShardedMailboxStore) -> usize {
+        let _gate = store.commit_gate();
+        let s = store.num_shards();
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); s];
+        for (i, &node) in self.nodes.iter().enumerate() {
+            buckets[store.shard_of(node)].push(i);
+        }
+        parallel_rows(s, 1, &|start, end| {
+            for (shard, bucket) in buckets.iter().enumerate().take(end).skip(start) {
+                if bucket.is_empty() {
+                    continue;
+                }
+                let mut guard = store.lock_shard(shard);
+                for &i in bucket {
+                    guard.patch_late(
                         self.nodes[i],
                         &self.payload[i * self.dim..(i + 1) * self.dim],
                         self.times[i],

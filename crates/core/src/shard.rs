@@ -308,6 +308,14 @@ impl ShardGuard<'_> {
         self.guard
             .deliver(node / self.num_shards as NodeId, mail, t, origin);
     }
+
+    /// Splices one *late* mail into `node`'s already-committed mailbox —
+    /// same semantics as [`MailboxStore::patch_late`].
+    pub fn patch_late(&mut self, node: NodeId, mail: &[f32], t: Time, origin: MailOrigin) {
+        debug_assert_eq!(node as usize % self.num_shards, self.shard);
+        self.guard
+            .patch_late(node / self.num_shards as NodeId, mail, t, origin);
+    }
 }
 
 /// All shards locked for a consistent read, addressed by global ids.

@@ -21,6 +21,7 @@
 //! running with lagging client clocks.
 
 use apan_core::propagator::Interaction;
+use apan_core::AdmitKind;
 use apan_metrics::Clock;
 use apan_tensor::Tensor;
 use std::collections::VecDeque;
@@ -42,6 +43,9 @@ pub type Responder = Box<dyn FnOnce(InferOutcome) + Send>;
 pub struct InferItem {
     /// Interactions to score (times already admitted/clamped).
     pub interactions: Vec<Interaction>,
+    /// How admission classified each interaction (all `InOrder` when
+    /// the queue runs in clamping mode).
+    pub kinds: Vec<AdmitKind>,
     /// One feature row per interaction.
     pub feats: Tensor,
     /// Queue-clock time at admission (service latency starts here).
@@ -137,8 +141,12 @@ struct Inner {
     queue: VecDeque<Work>,
     infer_depth: usize,
     watermark: f64,
+    /// Bounded-lateness window; `None` = legacy clamping admission.
+    lateness: Option<f64>,
     shed: u64,
     clamped: u64,
+    late_admitted: u64,
+    late_dropped: u64,
     closed: bool,
 }
 
@@ -152,6 +160,12 @@ pub struct QueueStats {
     /// Interaction timestamps clamped forward to keep the stream
     /// monotone.
     pub clamped: u64,
+    /// Events admitted behind the watermark but inside the lateness
+    /// window (kept at their original time, reorder-buffered).
+    pub late_admitted: u64,
+    /// Events older than the lateness window, scored read-only and
+    /// dropped from the serving stream.
+    pub late_dropped: u64,
     /// Current event-time watermark.
     pub watermark: f64,
 }
@@ -164,6 +178,20 @@ pub struct IngressQueue {
     clock: Clock,
 }
 
+/// What admission did to one request's interactions.
+#[derive(Clone, Debug, Default)]
+pub struct Admission {
+    /// Per-interaction classification, parallel to the request's
+    /// interaction list.
+    pub kinds: Vec<AdmitKind>,
+    /// Timestamps clamped forward (clamping mode only).
+    pub clamped: u64,
+    /// Events admitted late, inside the lateness window.
+    pub late_admitted: u64,
+    /// Events older than the window, dropped from the stream.
+    pub late_dropped: u64,
+}
+
 /// Clamps `interactions` to the monotone event-time watermark, advancing
 /// the watermark past them; returns how many explicit times had to be
 /// clamped forward. Negative or non-finite times are treated as unset
@@ -173,20 +201,60 @@ pub struct IngressQueue {
 /// factored out so the deterministic simulation oracle can replay it
 /// bit-for-bit against a reference pipeline.
 pub fn admit_times(watermark: &mut f64, interactions: &mut [Interaction]) -> u64 {
-    let mut clamped = 0u64;
+    admit_times_lateness(watermark, None, interactions).clamped
+}
+
+/// Full admission semantics, lateness-aware. With `lateness: None` this
+/// is exactly [`admit_times`]: stale timestamps are clamped forward to
+/// the watermark and everything is admitted `InOrder`. With a window
+/// `L`, a stale event *keeps its original timestamp*: it is admitted
+/// [`AdmitKind::Late`] when it lies within `L` of the watermark (the
+/// pipeline reorder-buffers it and patch-applies its mailbox effects in
+/// event-time order), and [`AdmitKind::Dropped`] when it is older than
+/// the window (scored read-only, excluded from the stream). The
+/// watermark only ever advances on in-order events, so one late event
+/// never widens the window for the next.
+///
+/// Unset (negative) or non-finite times are assigned from arrival order
+/// in both modes — a client that never timestamps sees no difference.
+pub fn admit_times_lateness(
+    watermark: &mut f64,
+    lateness: Option<f64>,
+    interactions: &mut [Interaction],
+) -> Admission {
+    let mut adm = Admission {
+        kinds: Vec::with_capacity(interactions.len()),
+        ..Admission::default()
+    };
     for i in interactions {
         if !i.time.is_finite() || i.time < 0.0 {
             // unset (negative) or nonsense (NaN/±inf): arrival order
             // assigns time. Admitting +inf would poison the watermark
             // permanently and write a snapshot that can never restore.
             i.time = *watermark + 1.0;
-        } else if i.time < *watermark {
-            i.time = *watermark;
-            clamped += 1;
         }
-        *watermark = i.time;
+        let kind = match lateness {
+            _ if i.time >= *watermark => AdmitKind::InOrder,
+            None => {
+                i.time = *watermark;
+                adm.clamped += 1;
+                AdmitKind::InOrder
+            }
+            Some(l) if i.time >= *watermark - l => {
+                adm.late_admitted += 1;
+                AdmitKind::Late
+            }
+            Some(_) => {
+                adm.late_dropped += 1;
+                AdmitKind::Dropped
+            }
+        };
+        if matches!(kind, AdmitKind::InOrder) {
+            *watermark = i.time;
+        }
+        adm.kinds.push(kind);
     }
-    clamped
+    adm
 }
 
 impl IngressQueue {
@@ -236,6 +304,20 @@ impl IngressQueue {
         &self.clock
     }
 
+    /// Switches admission between clamping (`None`, the default) and
+    /// bounded-lateness mode with window `L`
+    /// ([`admit_times_lateness`]). Non-finite or negative windows are
+    /// rejected.
+    pub fn set_lateness(&self, lateness: Option<f64>) {
+        if let Some(l) = lateness {
+            assert!(
+                l.is_finite() && l >= 0.0,
+                "lateness window must be finite and non-negative"
+            );
+        }
+        self.inner.lock().unwrap().lateness = lateness;
+    }
+
     /// Admits one inference request, clamping its interaction times to
     /// the monotone event-time watermark (negative or non-finite times
     /// are assigned from arrival order). Sheds with [`AdmitError::Overloaded`]
@@ -256,11 +338,15 @@ impl IngressQueue {
             inner.shed += 1;
             return Err((AdmitError::Overloaded, respond));
         }
-        let clamped = admit_times(&mut inner.watermark, &mut interactions);
-        inner.clamped += clamped;
+        let lateness = inner.lateness;
+        let adm = admit_times_lateness(&mut inner.watermark, lateness, &mut interactions);
+        inner.clamped += adm.clamped;
+        inner.late_admitted += adm.late_admitted;
+        inner.late_dropped += adm.late_dropped;
         inner.infer_depth += 1;
         inner.queue.push_back(Work::Infer(InferItem {
             interactions,
+            kinds: adm.kinds,
             feats,
             enqueued: self.clock.now(),
             trace_id,
@@ -279,14 +365,17 @@ impl IngressQueue {
     /// requests are never shed: they already hold a global sequence
     /// number, and dropping one would leave a hole every replica would
     /// wait on forever (overload is the gateway's problem).
-    pub fn admit_routed(&self, interactions: &mut [Interaction]) -> Result<u64, AdmitError> {
+    pub fn admit_routed(&self, interactions: &mut [Interaction]) -> Result<Admission, AdmitError> {
         let mut inner = self.inner.lock().unwrap();
         if inner.closed {
             return Err(AdmitError::Closed);
         }
-        let clamped = admit_times(&mut inner.watermark, interactions);
-        inner.clamped += clamped;
-        Ok(clamped)
+        let lateness = inner.lateness;
+        let adm = admit_times_lateness(&mut inner.watermark, lateness, interactions);
+        inner.clamped += adm.clamped;
+        inner.late_admitted += adm.late_admitted;
+        inner.late_dropped += adm.late_dropped;
+        Ok(adm)
     }
 
     /// Advances the event-time watermark to at least `t` — the replica
@@ -335,6 +424,8 @@ impl IngressQueue {
             depth: inner.infer_depth,
             shed: inner.shed,
             clamped: inner.clamped,
+            late_admitted: inner.late_admitted,
+            late_dropped: inner.late_dropped,
             watermark: inner.watermark,
         }
     }
@@ -402,15 +493,21 @@ impl IngressQueue {
 }
 
 /// Concatenates a drained batch into one inference call's inputs. The
-/// queue admitted requests in watermark order, so the concatenation is
-/// time-ordered by construction.
-pub fn assemble(batch: &[InferItem]) -> (Vec<Interaction>, Tensor) {
+/// queue admitted in-order requests in watermark order, so the
+/// concatenation is time-ordered by construction up to late-admitted
+/// events, which keep their original (earlier) timestamps and carry a
+/// non-`InOrder` kind.
+pub fn assemble(batch: &[InferItem]) -> (Vec<Interaction>, Tensor, Vec<AdmitKind>) {
     let interactions: Vec<Interaction> = batch
         .iter()
         .flat_map(|item| item.interactions.iter().copied())
         .collect();
+    let kinds: Vec<AdmitKind> = batch
+        .iter()
+        .flat_map(|item| item.kinds.iter().copied())
+        .collect();
     let feat_refs: Vec<&Tensor> = batch.iter().map(|item| &item.feats).collect();
-    (interactions, Tensor::vcat(&feat_refs))
+    (interactions, Tensor::vcat(&feat_refs), kinds)
 }
 
 #[cfg(test)]
@@ -482,7 +579,8 @@ mod tests {
         assert!((stats.watermark - 6.0).abs() < 1e-9);
         match q.drain(BatchPolicy::default()) {
             Some(Drained::Batch(b)) => {
-                let (inter, feats) = assemble(&b);
+                let (inter, feats, kinds) = assemble(&b);
+                assert!(kinds.iter().all(|k| matches!(k, AdmitKind::InOrder)));
                 assert_eq!(feats.rows(), 3);
                 let times: Vec<f64> = inter.iter().map(|i| i.time).collect();
                 assert_eq!(times, vec![5.0, 5.0, 6.0]);
@@ -504,7 +602,7 @@ mod tests {
         assert!((stats.watermark - 5.0).abs() < 1e-9);
         match q.drain(BatchPolicy::default()) {
             Some(Drained::Batch(b)) => {
-                let (inter, _) = assemble(&b);
+                let (inter, _, _) = assemble(&b);
                 assert!(inter.iter().all(|i| i.time.is_finite()));
                 let times: Vec<f64> = inter.iter().map(|i| i.time).collect();
                 assert_eq!(times, vec![2.0, 3.0, 4.0, 5.0]);
@@ -526,7 +624,7 @@ mod tests {
         assert_eq!(stats.clamped, 1);
         match q.drain(BatchPolicy::default()) {
             Some(Drained::Batch(b)) => {
-                let (inter, _) = assemble(&b);
+                let (inter, _, _) = assemble(&b);
                 let times: Vec<f64> = inter.iter().map(|i| i.time).collect();
                 assert_eq!(times, vec![34.0, 35.0]);
             }
@@ -646,7 +744,9 @@ mod tests {
             time: 3.0, // behind the watermark: clamp
             eid: 0,
         }];
-        assert_eq!(q.admit_routed(&mut routed).unwrap(), 1);
+        let adm = q.admit_routed(&mut routed).unwrap();
+        assert_eq!(adm.clamped, 1);
+        assert_eq!(adm.kinds, vec![AdmitKind::InOrder]);
         assert!((routed[0].time - 5.0).abs() < 1e-12);
         let stats = q.stats();
         assert_eq!(stats.clamped, 1);
@@ -686,5 +786,123 @@ mod tests {
             InferOutcome::Scores(s) => assert_eq!(s, vec![0.5]),
             InferOutcome::Failed(m) => panic!("failed: {m}"),
         }
+    }
+
+    #[test]
+    fn lateness_window_classifies_in_order_late_and_dropped() {
+        let q = IngressQueue::new(8);
+        q.set_lateness(Some(3.0));
+        assert!(submit(&q, 10.0).is_ok()); // in order: watermark -> 10
+        assert!(submit(&q, 8.0).is_ok()); // inside [7, 10): late, kept
+        assert!(submit(&q, 2.0).is_ok()); // older than 7: dropped
+        assert!(submit(&q, 11.0).is_ok()); // in order: watermark -> 11
+        let stats = q.stats();
+        assert_eq!(stats.clamped, 0);
+        assert_eq!(stats.late_admitted, 1);
+        assert_eq!(stats.late_dropped, 1);
+        // the watermark advances only on in-order admissions
+        assert!((stats.watermark - 11.0).abs() < 1e-12);
+        match q.drain(BatchPolicy::default()) {
+            Some(Drained::Batch(b)) => {
+                let (inter, _, kinds) = assemble(&b);
+                // late and dropped events keep their original timestamps
+                let times: Vec<f64> = inter.iter().map(|i| i.time).collect();
+                assert_eq!(times, vec![10.0, 8.0, 2.0, 11.0]);
+                assert_eq!(
+                    kinds,
+                    vec![
+                        AdmitKind::InOrder,
+                        AdmitKind::Late,
+                        AdmitKind::Dropped,
+                        AdmitKind::InOrder,
+                    ]
+                );
+            }
+            _ => panic!("expected batch"),
+        }
+    }
+
+    #[test]
+    fn lateness_boundary_is_inclusive_and_unset_times_stay_assigned() {
+        let q = IngressQueue::new(8);
+        q.set_lateness(Some(3.0));
+        assert!(submit(&q, 10.0).is_ok());
+        assert!(submit(&q, 7.0).is_ok()); // exactly watermark - l: admitted
+        assert!(submit(&q, -1.0).is_ok()); // unset: assigned, never late
+        assert!(submit(&q, f64::NAN).is_ok()); // junk: assigned, never late
+        let stats = q.stats();
+        assert_eq!(stats.late_admitted, 1);
+        assert_eq!(stats.late_dropped, 0);
+        assert_eq!(stats.clamped, 0);
+        match q.drain(BatchPolicy::default()) {
+            Some(Drained::Batch(b)) => {
+                let (inter, _, kinds) = assemble(&b);
+                let times: Vec<f64> = inter.iter().map(|i| i.time).collect();
+                assert_eq!(times, vec![10.0, 7.0, 11.0, 12.0]);
+                assert_eq!(
+                    kinds,
+                    vec![
+                        AdmitKind::InOrder,
+                        AdmitKind::Late,
+                        AdmitKind::InOrder,
+                        AdmitKind::InOrder,
+                    ]
+                );
+            }
+            _ => panic!("expected batch"),
+        }
+    }
+
+    #[test]
+    fn clearing_the_lateness_window_restores_clamping() {
+        let q = IngressQueue::new(8);
+        q.set_lateness(Some(5.0));
+        assert!(submit(&q, 10.0).is_ok());
+        assert!(submit(&q, 6.0).is_ok()); // late under the window
+        q.set_lateness(None);
+        assert!(submit(&q, 6.0).is_ok()); // same time now clamps forward
+        let stats = q.stats();
+        assert_eq!(stats.late_admitted, 1);
+        assert_eq!(stats.clamped, 1);
+    }
+
+    #[test]
+    fn routed_admission_classifies_against_the_lateness_window() {
+        let q = IngressQueue::new(8);
+        q.set_lateness(Some(2.0));
+        q.advance_watermark(20.0);
+        let mk = |time| Interaction {
+            src: 0,
+            dst: 1,
+            time,
+            eid: 0,
+        };
+        let mut routed = vec![mk(19.0), mk(3.0), mk(21.0)];
+        let adm = q.admit_routed(&mut routed).unwrap();
+        assert_eq!(
+            adm.kinds,
+            vec![AdmitKind::Late, AdmitKind::Dropped, AdmitKind::InOrder]
+        );
+        assert_eq!(adm.late_admitted, 1);
+        assert_eq!(adm.late_dropped, 1);
+        let stats = q.stats();
+        assert_eq!(stats.late_admitted, 1);
+        assert_eq!(stats.late_dropped, 1);
+        assert!((stats.watermark - 21.0).abs() < 1e-12);
+        // late/dropped events keep their original times for the pipeline
+        assert!((routed[0].time - 19.0).abs() < 1e-12);
+        assert!((routed[1].time - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn set_lateness_rejects_nonfinite_windows() {
+        IngressQueue::new(4).set_lateness(Some(f64::NAN));
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn set_lateness_rejects_negative_windows() {
+        IngressQueue::new(4).set_lateness(Some(-1.0));
     }
 }

@@ -46,6 +46,15 @@ struct Args {
     requests: u64,
     /// Print an FNV-1a-64 digest of all score bits (lockstep mode).
     checksum: bool,
+    /// Lockstep mode: shift each request's event times back by a seeded
+    /// 0..=skew_ms units — a lagging source clock. Against a daemon
+    /// running `--lateness`, shifts inside the window admit late and
+    /// reorder-buffer; beyond it they are scored read-only and dropped.
+    skew_ms: u64,
+    /// Lockstep mode: % of requests the source emits twice back to
+    /// back (the second copy lands behind the watermark the first one
+    /// advanced).
+    dup_rate: u32,
 }
 
 impl Default for Args {
@@ -59,6 +68,8 @@ impl Default for Args {
             metrics_every_ms: 0,
             requests: 0,
             checksum: false,
+            skew_ms: 0,
+            dup_rate: 0,
         }
     }
 }
@@ -66,7 +77,9 @@ impl Default for Args {
 const USAGE: &str = "usage: apan-loadgen [--addr HOST:PORT | --endpoints HOST:PORT,HOST:PORT,...]
                     [--conns N] [--duration-s N] [--batch N] [--universe N]
                     [--metrics-every-ms N]   (poll METRICS while running; 0 = off)
-                    [--requests N] [--checksum]   (deterministic lockstep mode)";
+                    [--requests N] [--checksum]   (deterministic lockstep mode)
+                    [--skew-ms N]    (lockstep: seeded backward event-time skew, 0..=N per request)
+                    [--dup-rate N]   (lockstep: % of requests emitted twice back to back)";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
@@ -110,6 +123,13 @@ fn parse_args() -> Result<Args, String> {
             }
             "--requests" => {
                 args.requests = value.parse().map_err(|_| "bad --requests".to_string())?
+            }
+            "--skew-ms" => args.skew_ms = value.parse().map_err(|_| "bad --skew-ms".to_string())?,
+            "--dup-rate" => {
+                args.dup_rate = value.parse().map_err(|_| "bad --dup-rate".to_string())?;
+                if args.dup_rate > 100 {
+                    return Err("--dup-rate is a percentage (0-100)".into());
+                }
             }
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
@@ -249,6 +269,7 @@ fn run_lockstep(args: &Args, addr: &str, dim: usize) {
     let mut mix = Mix(0x5eed);
     let mut fnv = Fnv::new();
     let mut latency = LatencyRecorder::new();
+    let (mut skewed, mut duplicated) = (0u64, 0u64);
     let mut t = 0u64; // explicit event clock, one tick per interaction
     let started = Instant::now();
     for k in 0..args.requests {
@@ -267,18 +288,39 @@ fn run_lockstep(args: &Args, addr: &str, dim: usize) {
             .map(|_| (mix.next() % 1000) as f32 / 1000.0 - 0.5)
             .collect();
         let feats = Tensor::from_vec(args.batch, dim, data);
-        let start = Instant::now();
-        let scores = client.infer(&interactions, &feats).unwrap_or_else(|e| {
-            eprintln!("apan-loadgen: lockstep infer {k} failed: {e}");
-            std::process::exit(1);
-        });
-        client.flush().unwrap_or_else(|e| {
-            eprintln!("apan-loadgen: lockstep flush {k} failed: {e}");
-            std::process::exit(1);
-        });
-        latency.record(start.elapsed());
-        for s in &scores {
-            fnv.update(&s.to_bits().to_le_bytes());
+        // messy-source axes, both pure functions of the flag values:
+        // a lagging clock shifts the whole batch's event times back,
+        // and a duplicating source emits the batch twice back to back
+        let mut interactions = interactions;
+        if args.skew_ms > 0 {
+            let back = (mix.next() % (args.skew_ms + 1)) as f64;
+            if back > 0.0 {
+                skewed += 1;
+                for i in &mut interactions {
+                    i.time -= back;
+                }
+            }
+        }
+        let copies = if args.dup_rate > 0 && mix.next() % 100 < u64::from(args.dup_rate) {
+            duplicated += 1;
+            2
+        } else {
+            1
+        };
+        for _ in 0..copies {
+            let start = Instant::now();
+            let scores = client.infer(&interactions, &feats).unwrap_or_else(|e| {
+                eprintln!("apan-loadgen: lockstep infer {k} failed: {e}");
+                std::process::exit(1);
+            });
+            client.flush().unwrap_or_else(|e| {
+                eprintln!("apan-loadgen: lockstep flush {k} failed: {e}");
+                std::process::exit(1);
+            });
+            latency.record(start.elapsed());
+            for s in &scores {
+                fnv.update(&s.to_bits().to_le_bytes());
+            }
         }
     }
     let elapsed = started.elapsed().as_secs_f64();
@@ -286,6 +328,9 @@ fn run_lockstep(args: &Args, addr: &str, dim: usize) {
         "apan-loadgen: lockstep {} requests x {} interactions in {:.2}s",
         args.requests, args.batch, elapsed
     );
+    if args.skew_ms > 0 || args.dup_rate > 0 {
+        println!("apan-loadgen: messy source skewed={skewed} duplicated={duplicated}");
+    }
     println!(
         "apan-loadgen: endpoint {addr} latency {} ({} requests ok)",
         latency.summary().to_json(),

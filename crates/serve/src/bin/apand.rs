@@ -67,6 +67,7 @@ struct Args {
     shard_id: usize,
     cluster_size: usize,
     peers: Vec<SocketAddr>,
+    lateness: Option<f64>,
 }
 
 impl Default for Args {
@@ -91,6 +92,7 @@ impl Default for Args {
             shard_id: 0,
             cluster_size: 1,
             peers: Vec::new(),
+            lateness: None,
         }
     }
 }
@@ -102,7 +104,10 @@ const USAGE: &str = "usage: apand [--port N] [--dim N] [--slots N] [--nodes N] [
              [--trace-buffer N]   (TRACE ring capacity in events; 0 disables spans)
              [--precision f32|int8]   (encoder weight precision, default f32)
              [--shard-id N] [--cluster-size N]   (this daemon's place in a cluster)
-             [--peers host:port,host:port,...]   (peer shard addresses for DELIVER)";
+             [--peers host:port,host:port,...]   (peer shard addresses for DELIVER)
+             [--lateness T]   (bounded-lateness window in event-time units; events up to
+                              T behind the watermark reorder-buffer instead of clamping,
+                              older ones are scored read-only and dropped; off by default)";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
@@ -136,6 +141,13 @@ fn parse_args() -> Result<Args, String> {
             "--trace-buffer" => args.trace_buffer = num(&value)? as usize,
             "--precision" => args.precision = value.parse()?,
             "--shard-id" => args.shard_id = num(&value)? as usize,
+            "--lateness" => {
+                let l: f64 = value.parse().map_err(|_| "bad --lateness".to_string())?;
+                if !l.is_finite() || l < 0.0 {
+                    return Err("--lateness must be finite and non-negative".into());
+                }
+                args.lateness = Some(l);
+            }
             "--cluster-size" => args.cluster_size = num(&value)? as usize,
             "--peers" => {
                 args.peers = value
@@ -181,6 +193,7 @@ fn main() {
         prop_threads: args.prop_threads,
         trace_buffer: args.trace_buffer,
         precision: args.precision,
+        lateness: args.lateness,
         cluster: (args.cluster_size > 1).then(|| {
             if args.shard_id >= args.cluster_size {
                 eprintln!(

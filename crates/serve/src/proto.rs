@@ -339,6 +339,7 @@ pub fn empty_job_bytes() -> Vec<u8> {
         interactions: Vec::new(),
         src_rows: Vec::new(),
         dst_rows: Vec::new(),
+        late: Vec::new(),
         z_wire: Bytes::from(Vec::new()),
         feats_wire: Bytes::from(Vec::new()),
     })
@@ -507,6 +508,7 @@ mod tests {
             interactions,
             src_rows: vec![0, 1],
             dst_rows: vec![1, 2],
+            late: Vec::new(),
             z_wire: wire::encode_tensor(&Tensor::full(3, 2, 0.5)),
             feats_wire: wire::encode_tensor(&Tensor::full(2, 2, 0.25)),
         };

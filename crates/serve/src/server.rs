@@ -84,6 +84,16 @@ pub struct ServeConfig {
     pub policy: BatchPolicy,
     /// Admission-control high-water mark (pending inference requests).
     pub high_water: usize,
+    /// Bounded-lateness window, in event-time units. `None` (the
+    /// default) keeps the legacy clamp-forward admission: any timestamp
+    /// behind the watermark is rewritten to it. `Some(l)` instead
+    /// admits an out-of-order timestamp `t` unchanged when
+    /// `t >= watermark - l` (it is buffered in the pipeline's reorder
+    /// buffer and spliced into the graph in event-time order) and
+    /// **drops** it from serving state when it is older than the window
+    /// (the request is still scored read-only). Must be finite and
+    /// non-negative.
+    pub lateness: Option<f64>,
     /// Where snapshots go; `None` disables the snapshot subsystem.
     pub snapshot_path: Option<PathBuf>,
     /// Periodic snapshot interval; `None` means only explicit `SNAPSHOT`
@@ -130,6 +140,7 @@ impl Default for ServeConfig {
             prop_threads: 0,
             policy: BatchPolicy::default(),
             high_water: 1024,
+            lateness: None,
             snapshot_path: None,
             snapshot_every: None,
             infer_delay: Duration::ZERO,
@@ -249,6 +260,18 @@ fn register_scrape_views(
         move || q.stats().clamped,
     );
     let q = Arc::clone(queue);
+    reg.counter_fn(
+        "apan_late_admitted_total",
+        "Out-of-order interactions admitted inside the lateness window",
+        move || q.stats().late_admitted,
+    );
+    let q = Arc::clone(queue);
+    reg.counter_fn(
+        "apan_late_dropped_total",
+        "Out-of-order interactions older than the lateness window (scored read-only, not admitted)",
+        move || q.stats().late_dropped,
+    );
+    let q = Arc::clone(queue);
     reg.gauge_fn(
         "apan_queue_depth",
         "Inference requests currently queued",
@@ -283,6 +306,18 @@ fn register_scrape_views(
         "apan_prop_pending",
         "Propagation jobs queued or in flight",
         move || p.pending() as f64,
+    );
+    let p = prop.clone();
+    reg.gauge_fn(
+        "apan_reorder_buffered",
+        "Late-admitted interactions buffered awaiting event-time release",
+        move || p.reorder_buffered() as f64,
+    );
+    let p = prop.clone();
+    reg.counter_fn(
+        "apan_late_released_total",
+        "Buffered late interactions released into committed mailbox state",
+        move || p.late_released(),
     );
     let p = prop.clone();
     reg.gauge_fn(
@@ -417,7 +452,9 @@ impl Shared {
         };
         let (shard_id, cluster_size) = self.shard_identity();
         format!(
-            "{{\"latency\":{},\"queue_depth\":{},\"shed\":{},\"clamped\":{},\"watermark\":{:.6},\
+            "{{\"latency\":{},\"queue_depth\":{},\"shed\":{},\"clamped\":{},\
+             \"late_admitted\":{},\"late_dropped\":{},\"reorder_buffered\":{},\
+             \"watermark\":{:.6},\
              \"batches\":{},\"requests\":{},\"interactions\":{},\"batch_hist\":[{}],\
              \"batch_max\":{},\"snapshots\":{},\"snapshot_failures\":{},\
              \"prop_pending\":{},\"prop_jobs\":{},\"prop_deliveries\":{},\
@@ -427,6 +464,9 @@ impl Shared {
             q.depth,
             q.shed,
             q.clamped,
+            q.late_admitted,
+            q.late_dropped,
+            self.prop.reorder_buffered(),
             q.watermark,
             self.stats.batches.get(),
             self.stats.requests.get(),
@@ -551,6 +591,10 @@ pub fn start(mut model: Apan, cfg: ServeConfig) -> Result<ServerHandle, StartErr
     // sync-path latency stamps and stage spans run on the daemon clock
     pipeline.set_clock(cfg.clock.clone());
     pipeline.set_precision(cfg.precision);
+    // The pipeline's release threshold must equal the admission window:
+    // a smaller pipeline window could release a buffered event while a
+    // later-admitted (but older) in-window event is still to come.
+    pipeline.set_lateness(cfg.lateness);
     let obs = pipeline.obs();
     if cfg.trace_buffer > 0 {
         obs.install_sink(TraceSink::new(cfg.trace_buffer));
@@ -576,6 +620,7 @@ pub fn start(mut model: Apan, cfg: ServeConfig) -> Result<ServerHandle, StartErr
         watermark,
         cfg.clock.clone(),
     ));
+    queue.set_lateness(cfg.lateness);
     let registry = Registry::new();
     let stats = ServeStats::new(&registry);
     register_scrape_views(&registry, &queue, &prop, &obs, cfg.clock.clone(), started);
@@ -741,16 +786,17 @@ fn batcher_loop(mut pipeline: ServingPipeline, shared: &Shared) {
                         t_closed,
                     );
                 }
-                let (interactions, feats) = assemble(&batch);
+                let (interactions, feats, kinds) = assemble(&batch);
                 if !shared.cfg.infer_delay.is_zero() {
                     shared.cfg.clock.sleep(shared.cfg.infer_delay);
                 }
                 // The encode/decode spans and downstream propagation
                 // spans carry the batch's lead trace id; prop_lag ages
                 // mails from the oldest (first-admitted) request.
-                let result = pipeline.infer_batch_traced(
+                let result = pipeline.infer_batch_admitted(
                     &interactions,
                     &feats,
+                    &kinds,
                     batch[0].trace_id,
                     Some(batch[0].enqueued),
                 );
@@ -785,9 +831,10 @@ fn batcher_loop(mut pipeline: ServingPipeline, shared: &Shared) {
                 if !shared.cfg.infer_delay.is_zero() {
                     shared.cfg.clock.sleep(shared.cfg.infer_delay);
                 }
-                let (result, job) = pipeline.infer_batch_cluster(
+                let (result, job) = pipeline.infer_batch_cluster_admitted(
                     &item.interactions,
                     &item.feats,
+                    &item.kinds,
                     item.trace_id,
                     Some(item.enqueued),
                 );
@@ -1205,10 +1252,13 @@ fn handle_frame(frame: Frame, conn: &Arc<Conn>, shared: &Arc<Shared>) {
                     // Admission inside the turn: the shared watermark
                     // advances in global-sequence order, exactly as a
                     // single serial daemon would have admitted.
-                    if shared.queue.admit_routed(&mut interactions).is_err() {
-                        conn.send(reply::ERROR, req_id, b"daemon shutting down");
-                        return;
-                    }
+                    let adm = match shared.queue.admit_routed(&mut interactions) {
+                        Ok(adm) => adm,
+                        Err(_) => {
+                            conn.send(reply::ERROR, req_id, b"daemon shutting down");
+                            return;
+                        }
+                    };
                     let trace_id = tag.unwrap_or((conn.id << 32) ^ req_id);
                     let respond_conn = Arc::clone(conn);
                     let responder = Box::new(move |outcome: InferOutcome| match outcome {
@@ -1226,6 +1276,7 @@ fn handle_frame(frame: Frame, conn: &Arc<Conn>, shared: &Arc<Shared>) {
                     let item = InferItem {
                         interactions,
                         feats,
+                        kinds: adm.kinds,
                         enqueued: shared.queue.clock().now(),
                         trace_id,
                         respond: responder,

@@ -508,6 +508,10 @@ fn metrics_exposition_is_valid_and_agrees_with_stats() {
         "apan_snapshot_failures_total",
         "apan_shed_total",
         "apan_clamped_total",
+        "apan_late_admitted_total",
+        "apan_late_dropped_total",
+        "apan_reorder_buffered",
+        "apan_late_released_total",
         "apan_queue_depth",
         "apan_watermark",
         "apan_batch_max",
@@ -548,6 +552,9 @@ fn metrics_exposition_is_valid_and_agrees_with_stats() {
         ("apan_interactions_total", "interactions"),
         ("apan_shed_total", "shed"),
         ("apan_clamped_total", "clamped"),
+        ("apan_late_admitted_total", "late_admitted"),
+        ("apan_late_dropped_total", "late_dropped"),
+        ("apan_reorder_buffered", "reorder_buffered"),
         ("apan_prop_jobs_total", "prop_jobs"),
         ("apan_prop_deliveries_total", "prop_deliveries"),
         ("apan_batch_max", "batch_max"),
@@ -682,6 +689,9 @@ fn stats_json_shape_is_pinned() {
             "queue_depth",
             "shed",
             "clamped",
+            "late_admitted",
+            "late_dropped",
+            "reorder_buffered",
             "watermark",
             "batches",
             "requests",
@@ -713,6 +723,77 @@ fn stats_json_shape_is_pinned() {
     assert!(buckets
         .iter()
         .all(|b| b.chars().all(|c| c.is_ascii_digit())));
+    handle.shutdown();
+}
+
+#[test]
+fn skewed_stream_reports_lateness_counters_on_both_surfaces() {
+    let cfg = ServeConfig {
+        lateness: Some(4.0),
+        ..ServeConfig::default()
+    };
+    let handle = apan_serve::start(model(13), cfg).expect("start");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let feats = Tensor::full(1, 8, 0.25);
+    let send = |client: &mut Client, time: f64| {
+        let interactions = vec![Interaction {
+            src: 1,
+            dst: 2,
+            time,
+            eid: 0,
+        }];
+        // every event is scored, including the one admission drops
+        let scores = client.infer(&interactions, &feats).expect("infer");
+        assert_eq!(scores.len(), 1);
+        assert!(scores[0].is_finite());
+        client.flush().expect("flush");
+    };
+    send(&mut client, 10.0); // in order: watermark -> 10
+    send(&mut client, 20.0); // in order: watermark -> 20
+    send(&mut client, 17.0); // inside [16, 20): late, reorder-buffered
+    send(&mut client, 1.0); // older than the window: dropped
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(json_u64_field(&stats, "late_admitted"), Some(1), "{stats}");
+    assert_eq!(json_u64_field(&stats, "late_dropped"), Some(1), "{stats}");
+    // the late event cannot release until the watermark clears 17 + 4
+    assert_eq!(
+        json_u64_field(&stats, "reorder_buffered"),
+        Some(1),
+        "{stats}"
+    );
+    let wm = json_f64_field(&stats, "watermark").expect("watermark");
+    assert!(
+        (wm - 20.0).abs() < 1e-9,
+        "late/dropped events must not move the watermark: {stats}"
+    );
+
+    send(&mut client, 30.0); // watermark -> 30: the buffered event releases
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        json_u64_field(&stats, "reorder_buffered"),
+        Some(0),
+        "{stats}"
+    );
+
+    // both surfaces read the same shared handles
+    let text = client.metrics().expect("metrics");
+    for (series, field) in [
+        ("apan_late_admitted_total", "late_admitted"),
+        ("apan_late_dropped_total", "late_dropped"),
+        ("apan_reorder_buffered", "reorder_buffered"),
+    ] {
+        assert_eq!(
+            prom_sample(&text, series),
+            json_u64_field(&stats, field).map(|v| v as f64),
+            "{series} disagrees with STATS {field}:\n{text}"
+        );
+    }
+    assert_eq!(
+        prom_sample(&text, "apan_late_released_total"),
+        Some(1.0),
+        "the buffered event must count as released:\n{text}"
+    );
     handle.shutdown();
 }
 

@@ -147,6 +147,7 @@ proptest! {
                 .collect(),
             src_rows: (0..rows.len()).collect(),
             dst_rows: (0..rows.len()).rev().collect(),
+            late: Vec::new(),
             z_wire: Bytes::from(Vec::new()),
             feats_wire: Bytes::from(Vec::new()),
         };

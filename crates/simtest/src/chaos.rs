@@ -10,9 +10,14 @@
 //! (Plain serving never runs lockstep; this is a harness discipline,
 //! the same one the e2e restart-identity test already uses.)
 
-use crate::{effective_stream, request, Action, Trace};
+use crate::{
+    effective_stream, messy_effective_stream, messy_request, request, source_copies, Action,
+    SourceProfile, Trace,
+};
+use apan_core::propagator::Interaction;
 use apan_serve::client::json_u64_field;
 use apan_serve::proto::{self, reply, verb, Frame, ProtoError};
+use apan_tensor::Tensor;
 use std::io::{BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
 
@@ -99,10 +104,22 @@ impl ChaosClient {
     /// a `FLUSH` has landed the propagation. Lockstep building block.
     pub fn deliver(&mut self, seed: u64, k: usize) -> Result<Vec<u32>, ChaosError> {
         let (interactions, feats) = request(seed, k);
-        let frame = self.roundtrip(verb::INFER, &proto::encode_infer(&interactions, &feats))?;
+        self.deliver_raw(&interactions, &feats)
+    }
+
+    /// Delivers one explicit request — interactions and features as
+    /// given — and returns its score bits after a `FLUSH`. The messy-
+    /// source building block: callers derive skewed timestamps with
+    /// [`crate::messy_request`] and send exactly those.
+    pub fn deliver_raw(
+        &mut self,
+        interactions: &[Interaction],
+        feats: &Tensor,
+    ) -> Result<Vec<u32>, ChaosError> {
+        let frame = self.roundtrip(verb::INFER, &proto::encode_infer(interactions, feats))?;
         if frame.verb != reply::SCORES {
             return Err(ChaosError::Unexpected(format!(
-                "verb {:#04x} to INFER {k}",
+                "verb {:#04x} to INFER",
                 frame.verb
             )));
         }
@@ -155,7 +172,18 @@ impl ChaosClient {
     /// survive with no state change from the torn frame.
     pub fn truncate(&mut self, seed: u64, k: usize, cut: usize) -> Result<(), ChaosError> {
         let (interactions, feats) = request(seed, k);
-        let bytes = raw_frame(verb::INFER, 0, &proto::encode_infer(&interactions, &feats));
+        self.truncate_raw(&interactions, &feats, cut)
+    }
+
+    /// [`ChaosClient::truncate`] for an explicit request: tears the
+    /// frame that *would* have carried these interactions mid-frame.
+    pub fn truncate_raw(
+        &mut self,
+        interactions: &[Interaction],
+        feats: &Tensor,
+        cut: usize,
+    ) -> Result<(), ChaosError> {
+        let bytes = raw_frame(verb::INFER, 0, &proto::encode_infer(interactions, feats));
         let cut = cut.min(bytes.len().saturating_sub(1)).max(1);
         self.stream.write_all(&bytes[..cut])?;
         let _ = self.stream.shutdown(Shutdown::Both);
@@ -266,6 +294,58 @@ pub fn run_schedule(
             }
             Action::Truncate(k, cut) => {
                 client.truncate(seed, k, cut)?;
+                trace.push(format!("truncate {k} at byte {cut}"));
+            }
+        }
+    }
+    Ok(bits)
+}
+
+/// [`run_schedule`] for a **messy source**: every emission carries the
+/// timestamps [`crate::messy_request`] derives for `(seed, k, profile)`
+/// — possibly skewed behind the daemon's watermark — and plain
+/// deliveries the profile's dup axis selects are emitted twice back to
+/// back. Returned bits are index-aligned with
+/// [`messy_effective_stream`] of the same `(seed, schedule, profile)`.
+pub fn run_messy_schedule(
+    client: &mut ChaosClient,
+    seed: u64,
+    schedule: &[Action],
+    profile: SourceProfile,
+    trace: &mut Trace,
+) -> Result<Vec<Vec<u32>>, ChaosError> {
+    let mut bits = Vec::with_capacity(messy_effective_stream(seed, schedule, profile).len());
+    for action in schedule {
+        match *action {
+            Action::Deliver(k) => {
+                let (interactions, feats) = messy_request(seed, k, profile);
+                let copies = source_copies(seed, k, profile);
+                for copy in 0..copies {
+                    let b = client.deliver_raw(&interactions, &feats)?;
+                    trace.push(format!(
+                        "deliver {k} t={:.1} copy {copy}/{copies} -> {b:08x?}",
+                        interactions[0].time
+                    ));
+                    bits.push(b);
+                }
+            }
+            Action::Drop(k) => {
+                trace.push(format!("drop {k}"));
+            }
+            Action::Duplicate(k) => {
+                let (interactions, feats) = messy_request(seed, k, profile);
+                let b1 = client.deliver_raw(&interactions, &feats)?;
+                let b2 = client.deliver_raw(&interactions, &feats)?;
+                trace.push(format!(
+                    "duplicate {k} t={:.1} -> {b1:08x?} / {b2:08x?}",
+                    interactions[0].time
+                ));
+                bits.push(b1);
+                bits.push(b2);
+            }
+            Action::Truncate(k, cut) => {
+                let (interactions, feats) = messy_request(seed, k, profile);
+                client.truncate_raw(&interactions, &feats, cut)?;
                 trace.push(format!("truncate {k} at byte {cut}"));
             }
         }

@@ -83,6 +83,92 @@ pub fn request(seed: u64, k: usize) -> (Vec<Interaction>, Tensor) {
     (interactions, Tensor::from_vec(2, DIM, data))
 }
 
+/// Source-stream messiness: a second fault axis, independent of the
+/// frame-level [`FaultProfile`], that perturbs **event timestamps** at
+/// the source instead of frames on the wire. A skewed request carries
+/// times behind where the stream has advanced (a lagging source clock),
+/// so a daemon running a bounded-lateness window must reorder-buffer it
+/// (inside the window) or drop it (beyond the window) — and a
+/// source-duplicated request re-emits the same timestamps behind the
+/// watermark. Weights are per-request probabilities out of 100, and the
+/// perturbation is a pure function of `(seed, k, profile)`, so the
+/// oracle derives the identical messy stream from the seed alone.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SourceProfile {
+    /// % of requests whose source clock lags: both event times shifted
+    /// back by `1..=max_skew` time units.
+    pub skew: u32,
+    /// % of plain deliveries the source emits twice back to back
+    /// (identical timestamps — the second copy always lands behind the
+    /// watermark the first one advanced).
+    pub dup: u32,
+    /// Largest backward shift a skewed request can carry, in event-time
+    /// units. Pick it against the daemon's lateness window `L`: shifts
+    /// of at most `L` admit late, larger ones cross into drop territory.
+    pub max_skew: u32,
+}
+
+/// Workload request `k` as a **messy source** emits it: same endpoints,
+/// features, and eids as [`request`], but with event times skewed
+/// backward when the profile's seeded roll selects this request. Pure
+/// in `(seed, k, profile)` — the differential oracle calls exactly this
+/// function to rebuild what the daemon was fed.
+pub fn messy_request(seed: u64, k: usize, profile: SourceProfile) -> (Vec<Interaction>, Tensor) {
+    let (mut interactions, feats) = request(seed, k);
+    if profile.skew > 0 && profile.max_skew > 0 {
+        let roll = mix(seed ^ mix(0x6d65_7373_7953 ^ ((k as u64) << 7)));
+        if roll % 100 < profile.skew as u64 {
+            let back = (1 + mix(roll ^ 0xb0) % profile.max_skew as u64) as f64;
+            for i in &mut interactions {
+                i.time -= back;
+            }
+        }
+    }
+    (interactions, feats)
+}
+
+/// How many times the source emits plain delivery `k`: 1, or 2 when
+/// the profile's `dup` axis selects it. Shared by the schedule runner
+/// and [`messy_effective_stream`] so both sides expand identically.
+pub(crate) fn source_copies(seed: u64, k: usize, profile: SourceProfile) -> usize {
+    if profile.dup > 0 {
+        let roll = mix(seed ^ mix(0xd0b1_e5ed ^ ((k as u64) << 9)));
+        if roll % 100 < profile.dup as u64 {
+            return 2;
+        }
+    }
+    1
+}
+
+/// The effective arrival stream of a schedule run under a messy source
+/// — [`effective_stream`] with the source-duplication axis expanded.
+/// Source dup applies to plain deliveries only: frame-level
+/// [`Action::Duplicate`] keeps its own (network) duplication, and a
+/// dropped or truncated frame loses the emission regardless of how
+/// many times the source produced it.
+pub fn messy_effective_stream(
+    seed: u64,
+    schedule: &[Action],
+    profile: SourceProfile,
+) -> Vec<usize> {
+    let mut eff = Vec::new();
+    for a in schedule {
+        match *a {
+            Action::Deliver(k) => {
+                for _ in 0..source_copies(seed, k, profile) {
+                    eff.push(k);
+                }
+            }
+            Action::Duplicate(k) => {
+                eff.push(k);
+                eff.push(k);
+            }
+            Action::Drop(_) | Action::Truncate(_, _) => {}
+        }
+    }
+    eff
+}
+
 /// One step of a chaos schedule, acting on workload request `k`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Action {
@@ -286,6 +372,68 @@ mod tests {
             }
             assert!(seen.iter().all(|&n| n == 1), "seed {seed}: {seen:?}");
         }
+    }
+
+    #[test]
+    fn messy_requests_are_pure_and_only_times_move() {
+        let profile = SourceProfile {
+            skew: 100,
+            dup: 0,
+            max_skew: 6,
+        };
+        for k in 0..12 {
+            let (clean, clean_f) = request(11, k);
+            let (messy, messy_f) = messy_request(11, k, profile);
+            let (again, _) = messy_request(11, k, profile);
+            for (m, a) in messy.iter().zip(&again) {
+                assert_eq!(m.time.to_bits(), a.time.to_bits(), "must be pure");
+            }
+            assert!(messy_f.allclose(&clean_f, 0.0), "features must not move");
+            for (c, m) in clean.iter().zip(&messy) {
+                assert_eq!((c.src, c.dst, c.eid), (m.src, m.dst, m.eid));
+                let back = c.time - m.time;
+                assert!(
+                    back >= 1.0 && back <= profile.max_skew as f64,
+                    "skew {back} outside 1..={}",
+                    profile.max_skew
+                );
+            }
+            // both interactions shift together: one lagging source clock
+            assert_eq!(
+                (clean[0].time - messy[0].time).to_bits(),
+                (clean[1].time - messy[1].time).to_bits()
+            );
+        }
+        // a zero-weight profile is the identity
+        let (plain, _) = messy_request(11, 3, SourceProfile::default());
+        let (base, _) = request(11, 3);
+        assert_eq!(plain[0].time.to_bits(), base[0].time.to_bits());
+    }
+
+    #[test]
+    fn messy_effective_stream_expands_source_duplicates() {
+        let profile = SourceProfile {
+            skew: 0,
+            dup: 100,
+            max_skew: 0,
+        };
+        let schedule = vec![
+            Action::Deliver(0),
+            Action::Drop(1),
+            Action::Duplicate(2),
+            Action::Truncate(3, 5),
+            Action::Deliver(4),
+        ];
+        // dup=100%: every plain delivery emits twice; frame dup stays 2x
+        assert_eq!(
+            messy_effective_stream(9, &schedule, profile),
+            vec![0, 0, 2, 2, 4, 4]
+        );
+        // dup=0%: collapses to the frame-level effective stream
+        assert_eq!(
+            messy_effective_stream(9, &schedule, SourceProfile::default()),
+            effective_stream(&schedule)
+        );
     }
 
     #[test]

@@ -20,11 +20,11 @@
 //! entries. Scenarios express that with [`reference_bits`] over
 //! `effective[..s] ++ post_restart_effective`.
 
-use crate::{request, DIM};
+use crate::{messy_request, request, SourceProfile, DIM};
 use apan_core::config::ApanConfig;
 use apan_core::model::Apan;
 use apan_core::pipeline::ServingPipeline;
-use apan_serve::batcher::admit_times;
+use apan_serve::batcher::{admit_times, admit_times_lateness};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -60,6 +60,49 @@ pub fn reference_bits(weight_seed: u64, workload_seed: u64, effective: &[usize])
     out
 }
 
+/// [`reference_bits`] for a **messy source** under a bounded-lateness
+/// window: replays `effective` with the timestamps
+/// [`crate::messy_request`] derives for each occurrence, admits through
+/// the daemon's own [`admit_times_lateness`], and scores with the
+/// kind-aware [`ServingPipeline::infer_batch_admitted`] — so late
+/// events park in the reference pipeline's reorder buffer and release
+/// in event-time order exactly as the daemon's do, and dropped events
+/// are scored read-only.
+///
+/// `release_after` lists prefix lengths at which the daemon took a
+/// snapshot: a snapshot cut force-releases the reorder buffer
+/// ([`ServingPipeline::release_reorder_buffer`]), which fixes *when*
+/// still-buffered late events get planned against the graph, so the
+/// reference must release at the same points. Crash + warm restart
+/// stays the usual concatenation — `effective[..s] ++ post_restart`
+/// with `release_after = [s]` — because restart restores exactly the
+/// post-release snapshot state and reseeds both watermarks from the
+/// restored graph's newest event time.
+pub fn reference_bits_messy(
+    weight_seed: u64,
+    workload_seed: u64,
+    lateness: f64,
+    profile: SourceProfile,
+    effective: &[usize],
+    release_after: &[usize],
+) -> Vec<Vec<u32>> {
+    let mut pipeline = ServingPipeline::new(model(weight_seed), NODES_CAPACITY, 64);
+    pipeline.set_lateness(Some(lateness));
+    let mut watermark = 0.0f64;
+    let mut out = Vec::with_capacity(effective.len());
+    for (pos, &k) in effective.iter().enumerate() {
+        let (mut interactions, feats) = messy_request(workload_seed, k, profile);
+        let adm = admit_times_lateness(&mut watermark, Some(lateness), &mut interactions);
+        let result = pipeline.infer_batch_admitted(&interactions, &feats, &adm.kinds, 0, None);
+        pipeline.flush();
+        out.push(result.scores.iter().map(|s| s.to_bits()).collect());
+        if release_after.contains(&(pos + 1)) {
+            pipeline.release_reorder_buffer();
+        }
+    }
+    out
+}
+
 /// Initial mailbox-store sizing for the reference pipeline (grows on
 /// demand; must only be ≥ 1).
 const NODES_CAPACITY: usize = 32;
@@ -86,6 +129,37 @@ mod tests {
         let full = reference_bits(1, 2, &eff);
         let prefix = reference_bits(1, 2, &eff[..5]);
         assert_eq!(&full[..5], &prefix[..]);
+    }
+
+    #[test]
+    fn messy_reference_with_a_clean_source_matches_the_plain_reference() {
+        // no skew, no dup: every event is in-order, so the lateness
+        // window never engages and the kind-aware replay must equal the
+        // clamping replay bitwise — and a forced release of an empty
+        // reorder buffer must change nothing
+        let eff: Vec<usize> = (0..8).collect();
+        let clean = SourceProfile::default();
+        let plain = reference_bits(5, 6, &eff);
+        assert_eq!(plain, reference_bits_messy(5, 6, 4.0, clean, &eff, &[]));
+        assert_eq!(plain, reference_bits_messy(5, 6, 4.0, clean, &eff, &[3, 6]));
+    }
+
+    #[test]
+    fn messy_reference_is_deterministic_and_skew_matters() {
+        let eff: Vec<usize> = (0..10).collect();
+        let profile = SourceProfile {
+            skew: 50,
+            dup: 0,
+            max_skew: 6,
+        };
+        let a = reference_bits_messy(5, 6, 4.0, profile, &eff, &[4]);
+        let b = reference_bits_messy(5, 6, 4.0, profile, &eff, &[4]);
+        assert_eq!(a, b);
+        assert_ne!(
+            a,
+            reference_bits_messy(5, 6, 4.0, SourceProfile::default(), &eff, &[4]),
+            "a 50% skew axis must perturb at least one score in 10 requests"
+        );
     }
 
     #[test]

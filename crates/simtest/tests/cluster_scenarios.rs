@@ -14,11 +14,15 @@
 //! lets one differential oracle cover the whole cluster.
 
 use apan_cluster::{owner_shard, start_gateway, ChaosProfile, ChaosProxy, GatewayConfig};
+use apan_serve::batcher::admit_times_lateness;
 use apan_serve::server::{ServeConfig, ServerHandle};
 use apan_serve::{Client, ClusterMembership};
-use apan_simtest::chaos::ChaosClient;
-use apan_simtest::oracle::{model, reference_bits};
-use apan_simtest::{request, Trace};
+use apan_simtest::chaos::{run_messy_schedule, ChaosClient};
+use apan_simtest::oracle::{model, reference_bits, reference_bits_messy};
+use apan_simtest::{
+    build_schedule, messy_effective_stream, messy_request, request, FaultProfile, SourceProfile,
+    Trace,
+};
 use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::time::Duration;
@@ -40,7 +44,7 @@ struct Cluster {
 /// fresh chaos proxy in front of every *other* shard, and starts a
 /// gateway over the real shard addresses. `chaos_seed` makes the fault
 /// pattern reproducible per boot.
-fn boot(weight_seed: u64, chaos_seed: u64, snaps: &[PathBuf]) -> Cluster {
+fn boot(weight_seed: u64, chaos_seed: u64, snaps: &[PathBuf], lateness: Option<f64>) -> Cluster {
     let shards: Vec<ServerHandle> = (0..SHARDS)
         .map(|i| {
             let mut membership = ClusterMembership::new(i, SHARDS);
@@ -49,6 +53,7 @@ fn boot(weight_seed: u64, chaos_seed: u64, snaps: &[PathBuf]) -> Cluster {
                 num_nodes: 32,
                 snapshot_path: Some(snaps[i].clone()),
                 cluster: Some(membership),
+                lateness,
                 ..ServeConfig::default()
             };
             apan_serve::start(model(weight_seed), cfg).expect("start shard")
@@ -117,7 +122,7 @@ fn cluster_chaos_schedule_matches_serial_reference_bitwise() {
     let seed = 7001;
     const TOTAL: usize = 24;
     let snaps = temp_snaps("chaos");
-    let cluster = boot(WEIGHTS, 0xC1A0, &snaps);
+    let cluster = boot(WEIGHTS, 0xC1A0, &snaps, None);
 
     // the workload must actually exercise every shard, or the
     // replication discipline under test is idle
@@ -187,7 +192,7 @@ fn cluster_snapshot_cut_shard_kill_and_warm_restart_stay_on_oracle() {
     let mut trace = Trace::new();
 
     // ---- phase 1: deliver [0, CRASH_AT), coordinated cut after SNAP_AT
-    let cluster = boot(WEIGHTS, 0xBEEF, &snaps);
+    let cluster = boot(WEIGHTS, 0xBEEF, &snaps, None);
     let mut client = ChaosClient::connect(cluster.gateway.addr()).expect("connect gateway");
     let mut pre = Vec::new();
     for k in 0..CRASH_AT {
@@ -233,7 +238,7 @@ fn cluster_snapshot_cut_shard_kill_and_warm_restart_stay_on_oracle() {
     // ---- phase 2: warm restart every shard from its per-shard file
     // (different weight seed: the snapshots must win), fresh proxies,
     // fresh gateway, fresh global sequence
-    let cluster = boot(WEIGHTS + 1, 0xF00D, &snaps);
+    let cluster = boot(WEIGHTS + 1, 0xF00D, &snaps, None);
     let mut client = ChaosClient::connect(cluster.gateway.addr()).expect("reconnect gateway");
     let mut post = Vec::new();
     for k in CRASH_AT..TOTAL {
@@ -262,6 +267,89 @@ fn cluster_snapshot_cut_shard_kill_and_warm_restart_stay_on_oracle() {
         &trace,
         "cluster post-restart",
     );
+    for p in &snaps {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+/// A **messy source** through the whole cluster: skewed timestamps and
+/// source duplicates, routed by the gateway, admitted at the owning
+/// shard under a bounded-lateness window, late flags riding the
+/// replicated jobs — and every served score bitwise on the
+/// lateness-aware serial oracle. The gateway assigns its global
+/// sequence at routing time, so admission order (and therefore the
+/// watermark every shard converges on) is exactly arrival order.
+#[test]
+fn cluster_with_skewed_sources_stays_on_the_lateness_oracle() {
+    let seed = 7003;
+    const TOTAL: usize = 24;
+    const WINDOW: f64 = 4.0;
+    let profile = SourceProfile {
+        skew: 40,
+        dup: 20,
+        max_skew: 7,
+    };
+    let schedule = build_schedule(seed, TOTAL, FaultProfile::default());
+    let eff = messy_effective_stream(seed, &schedule, profile);
+    assert!(
+        eff.len() > TOTAL,
+        "seed must produce at least one source duplicate"
+    );
+
+    // expected admission split, replayed through the shared admission
+    // function over the same messy stream — the per-shard counters must
+    // sum to exactly this
+    let mut wm = 0.0f64;
+    let (mut late_adm, mut late_drop) = (0u64, 0u64);
+    for &k in &eff {
+        let (mut interactions, _) = messy_request(seed, k, profile);
+        let adm = admit_times_lateness(&mut wm, Some(WINDOW), &mut interactions);
+        late_adm += adm.late_admitted;
+        late_drop += adm.late_dropped;
+    }
+    assert!(
+        late_adm > 0 && late_drop > 0,
+        "profile must exercise both late admission and drops: {late_adm}/{late_drop}"
+    );
+
+    // the workload must exercise every shard
+    let mut owners = [0usize; SHARDS];
+    for k in 0..TOTAL {
+        owners[owner_of(seed, k)] += 1;
+    }
+    assert!(
+        owners.iter().all(|&n| n > 0),
+        "workload must route to every shard: {owners:?}"
+    );
+
+    let snaps = temp_snaps("messy");
+    let cluster = boot(WEIGHTS, 0x5EED, &snaps, Some(WINDOW));
+    let mut client = ChaosClient::connect(cluster.gateway.addr()).expect("connect gateway");
+    let mut trace = Trace::new();
+    let served =
+        run_messy_schedule(&mut client, seed, &schedule, profile, &mut trace).expect("run");
+
+    let (mut got_adm, mut got_drop) = (0u64, 0u64);
+    for shard in &cluster.shards {
+        let mut direct = Client::connect(shard.addr()).expect("connect shard");
+        let stats = direct.stats().expect("shard stats");
+        got_adm += apan_serve::client::json_u64_field(&stats, "late_admitted").unwrap();
+        got_drop += apan_serve::client::json_u64_field(&stats, "late_dropped").unwrap();
+    }
+    assert_eq!(
+        (got_adm, got_drop),
+        (late_adm, late_drop),
+        "cluster-wide lateness counters diverged from the shared admission replay"
+    );
+
+    let expected = reference_bits_messy(WEIGHTS, seed, WINDOW, profile, &eff, &[]);
+    assert_oracle(&served, &expected, &trace, "cluster messy source");
+
+    cluster.gateway.shutdown();
+    for s in cluster.shards {
+        s.join();
+    }
+    drop(cluster.proxies);
     for p in &snaps {
         let _ = std::fs::remove_file(p);
     }

@@ -9,12 +9,15 @@
 //! (`same_seed_replays_an_identical_trace` pins that property).
 
 use apan_metrics::Clock;
-use apan_serve::batcher::admit_times;
+use apan_serve::batcher::{admit_times, admit_times_lateness};
 use apan_serve::client::Client;
 use apan_serve::server::{ServeConfig, ServerHandle};
-use apan_simtest::chaos::{run_schedule, ChaosClient};
-use apan_simtest::oracle::{model, reference_bits};
-use apan_simtest::{build_schedule, effective_stream, request, Action, FaultProfile, Trace};
+use apan_simtest::chaos::{run_messy_schedule, run_schedule, ChaosClient};
+use apan_simtest::oracle::{model, reference_bits, reference_bits_messy};
+use apan_simtest::{
+    build_schedule, effective_stream, messy_effective_stream, messy_request, request, Action,
+    FaultProfile, SourceProfile, Trace,
+};
 use std::time::Duration;
 
 const WEIGHTS: u64 = 42;
@@ -727,4 +730,273 @@ fn virtual_time_stage_histograms_report_scheduled_durations_exactly() {
         )),
         "prop_lag per-delivery age must be exactly D+I for any seed:\n{other}"
     );
+}
+
+// ---------------------------------------------------------------------
+// Messy-source scenarios: the second fault axis. The schedules above
+// perturb *frames*; these perturb *event timestamps* at the source —
+// lagging clocks, source-level duplicates — against a daemon running a
+// bounded-lateness window, and compare bitwise against the
+// lateness-aware oracle ([`reference_bits_messy`]).
+// ---------------------------------------------------------------------
+
+/// The lateness window every messy scenario runs under (event-time
+/// units; workload times advance by 2 per request).
+const LATENESS: f64 = 4.0;
+
+fn messy_cfg() -> ServeConfig {
+    ServeConfig {
+        lateness: Some(LATENESS),
+        ..base_cfg()
+    }
+}
+
+/// The expected admission split of a messy effective stream, computed
+/// through the daemon's own [`admit_times_lateness`] — shared code, so
+/// the daemon's STATS counters must land on exactly these numbers.
+fn expected_admission(
+    seed: u64,
+    eff: &[usize],
+    profile: SourceProfile,
+    lateness: f64,
+) -> (u64, u64) {
+    let mut wm = 0.0f64;
+    let (mut admitted, mut dropped) = (0u64, 0u64);
+    for &k in eff {
+        let (mut interactions, _) = messy_request(seed, k, profile);
+        let adm = admit_times_lateness(&mut wm, Some(lateness), &mut interactions);
+        admitted += adm.late_admitted;
+        dropped += adm.late_dropped;
+    }
+    (admitted, dropped)
+}
+
+/// A fault-free frame schedule from a messy source: skewed timestamps
+/// park in the reorder buffer (or drop beyond the window), source
+/// duplicates re-emit behind the watermark — and every served score
+/// stays bitwise on the lateness-aware oracle. The daemon's lateness
+/// counters must equal a replay of the shared admission function.
+#[test]
+fn messy_source_fault_free_schedule_stays_on_the_oracle() {
+    let seed = 7501;
+    const TOTAL: usize = 28;
+    let profile = SourceProfile {
+        skew: 40,
+        dup: 20,
+        max_skew: 7,
+    };
+    let schedule = build_schedule(seed, TOTAL, FaultProfile::default());
+    let eff = messy_effective_stream(seed, &schedule, profile);
+    assert!(
+        eff.len() > TOTAL,
+        "seed must produce at least one source duplicate"
+    );
+    let (late_adm, late_drop) = expected_admission(seed, &eff, profile, LATENESS);
+    assert!(
+        late_adm > 0 && late_drop > 0,
+        "profile must exercise both late admission and drops: {late_adm}/{late_drop}"
+    );
+
+    let handle = start(WEIGHTS, messy_cfg());
+    let mut client = ChaosClient::connect(handle.addr()).expect("connect");
+    let mut trace = Trace::new();
+    let served =
+        run_messy_schedule(&mut client, seed, &schedule, profile, &mut trace).expect("run");
+    assert_eq!(
+        client.stat_u64("late_admitted").unwrap(),
+        late_adm,
+        "daemon late admissions diverged from the shared admission replay"
+    );
+    assert_eq!(
+        client.stat_u64("late_dropped").unwrap(),
+        late_drop,
+        "daemon late drops diverged from the shared admission replay"
+    );
+    handle.shutdown();
+
+    let expected = reference_bits_messy(WEIGHTS, seed, LATENESS, profile, &eff, &[]);
+    assert_oracle(&served, &expected, &trace, "messy fault-free");
+}
+
+/// Both fault axes at once: frames dropped, duplicated, torn mid-frame
+/// and delayed *and* source timestamps skewed/duplicated. The daemon
+/// must still serve the exact bits of the lateness-aware oracle over
+/// the messy effective stream.
+#[test]
+fn messy_source_survives_frame_level_chaos() {
+    let seed = 7502;
+    const TOTAL: usize = 32;
+    let frame = FaultProfile {
+        drop: 10,
+        duplicate: 10,
+        truncate: 10,
+        delay: 15,
+    };
+    let profile = SourceProfile {
+        skew: 35,
+        dup: 15,
+        max_skew: 6,
+    };
+    let schedule = build_schedule(seed, TOTAL, frame);
+    let eff = messy_effective_stream(seed, &schedule, profile);
+    assert!(eff.len() < TOTAL * 2, "sanity: stream is finite");
+
+    let handle = start(WEIGHTS, messy_cfg());
+    let mut client = ChaosClient::connect(handle.addr()).expect("connect");
+    let mut trace = Trace::new();
+    let served =
+        run_messy_schedule(&mut client, seed, &schedule, profile, &mut trace).expect("run");
+    assert_eq!(client.stat_u64("requests").unwrap(), eff.len() as u64);
+    handle.shutdown();
+
+    let expected = reference_bits_messy(WEIGHTS, seed, LATENESS, profile, &eff, &[]);
+    assert_oracle(&served, &expected, &trace, "messy x frame chaos");
+}
+
+/// The satellite regression: crash + warm restart with the snapshot cut
+/// landing **inside the lateness window** — late events still parked in
+/// the reorder buffer at the cut. The cut force-releases the buffer
+/// (`export_state` flushes it), so nothing buffered is lost across the
+/// restart, and the oracle models the cut as a forced release at the
+/// same position. A wider window (10.0) and heavier skew keep events
+/// parked long enough that at least one kill point catches the buffer
+/// non-empty.
+#[test]
+fn messy_crash_and_warm_restart_inside_the_lateness_window() {
+    let seed = 7503;
+    const TOTAL: usize = 24;
+    const WINDOW: f64 = 10.0;
+    let profile = SourceProfile {
+        skew: 45,
+        dup: 0,
+        max_skew: 14,
+    };
+    let eff: Vec<usize> = (0..TOTAL).collect();
+    let (late_adm, late_drop) = expected_admission(seed, &eff, profile, WINDOW);
+    assert!(
+        late_adm > 0 && late_drop > 0,
+        "profile must exercise both late admission and drops: {late_adm}/{late_drop}"
+    );
+
+    let mut parked_at_cut = Vec::new();
+    for (snap_at, crash_at) in [(6usize, 9usize), (10, 10), (4, 15)] {
+        let snap = temp_snap(&format!("messy_kill_{snap_at}_{crash_at}.snap"));
+        let cfg = ServeConfig {
+            lateness: Some(WINDOW),
+            snapshot_path: Some(snap.clone()),
+            ..base_cfg()
+        };
+        let mut trace = Trace::new();
+
+        // phase 1: deliver [0, crash_at), snapshotting after snap_at
+        let handle = start(WEIGHTS, cfg.clone());
+        let mut client = ChaosClient::connect(handle.addr()).expect("connect");
+        let mut pre = Vec::new();
+        for k in 0..crash_at {
+            let (interactions, feats) = messy_request(seed, k, profile);
+            pre.push(client.deliver_raw(&interactions, &feats).expect("deliver"));
+            trace.push(format!("deliver {k} t={:.1}", interactions[0].time));
+            if k + 1 == snap_at {
+                let parked = client.stat_u64("reorder_buffered").unwrap();
+                parked_at_cut.push(parked);
+                assert!(client.snapshot().expect("snapshot verb"), "snapshot failed");
+                trace.push(format!("snapshot after {snap_at} ({parked} parked)"));
+                assert_eq!(
+                    client.stat_u64("reorder_buffered").unwrap(),
+                    0,
+                    "the snapshot cut must flush the reorder buffer"
+                );
+            }
+        }
+        handle.crash();
+        trace.push(format!("crash after {crash_at}"));
+
+        // phase 2: warm restart (different weight seed: the snapshot
+        // must win), deliver the rest of the messy stream
+        let handle = start(WEIGHTS + 1, cfg);
+        let mut client = ChaosClient::connect(handle.addr()).expect("reconnect");
+        let mut post = Vec::new();
+        for k in crash_at..TOTAL {
+            let (interactions, feats) = messy_request(seed, k, profile);
+            post.push(
+                client
+                    .deliver_raw(&interactions, &feats)
+                    .expect("deliver after restart"),
+            );
+            trace.push(format!(
+                "deliver {k} t={:.1} (after restart)",
+                interactions[0].time
+            ));
+        }
+        handle.shutdown();
+
+        // oracle: the pre-crash run saw a forced release at the cut;
+        // post-restart continues from the cut with [snap_at, crash_at)
+        // genuinely lost
+        let expected_pre =
+            reference_bits_messy(WEIGHTS, seed, WINDOW, profile, &eff[..crash_at], &[snap_at]);
+        assert_oracle(
+            &pre,
+            &expected_pre,
+            &trace,
+            &format!("messy pre-crash (snap {snap_at}, crash {crash_at})"),
+        );
+
+        let mut replay: Vec<usize> = (0..snap_at).collect();
+        replay.extend(crash_at..TOTAL);
+        let expected_all =
+            reference_bits_messy(WEIGHTS, seed, WINDOW, profile, &replay, &[snap_at]);
+        assert_oracle(
+            &post,
+            &expected_all[snap_at..],
+            &trace,
+            &format!("messy post-restart (snap {snap_at}, crash {crash_at})"),
+        );
+        let _ = std::fs::remove_file(&snap);
+    }
+    assert!(
+        parked_at_cut.iter().any(|&n| n > 0),
+        "at least one snapshot cut must land inside the window with \
+         events still parked: {parked_at_cut:?}"
+    );
+}
+
+/// One seeded messy chaos soup, run twice: byte-identical traces,
+/// identical score bits, both on the oracle — the replayability pin for
+/// the messy axis.
+#[test]
+fn same_messy_seed_replays_an_identical_trace() {
+    fn soup(seed: u64) -> (Trace, Vec<Vec<u32>>, Vec<Vec<u32>>) {
+        let frame = FaultProfile {
+            drop: 8,
+            duplicate: 8,
+            truncate: 8,
+            delay: 12,
+        };
+        let profile = SourceProfile {
+            skew: 30,
+            dup: 12,
+            max_skew: 6,
+        };
+        let schedule = build_schedule(seed, 30, frame);
+        let handle = start(WEIGHTS, messy_cfg());
+        let mut client = ChaosClient::connect(handle.addr()).expect("connect");
+        let mut trace = Trace::new();
+        let served =
+            run_messy_schedule(&mut client, seed, &schedule, profile, &mut trace).expect("run");
+        handle.shutdown();
+        let eff = messy_effective_stream(seed, &schedule, profile);
+        let expected = reference_bits_messy(WEIGHTS, seed, LATENESS, profile, &eff, &[]);
+        (trace, served, expected)
+    }
+    let (t1, s1, e1) = soup(888);
+    let (t2, s2, e2) = soup(888);
+    assert_eq!(
+        t1.render(),
+        t2.render(),
+        "messy soup must replay byte-identically"
+    );
+    assert_eq!(s1, s2);
+    assert_eq!(e1, e2);
+    assert_oracle(&s1, &e1, &t1, "messy soup");
 }

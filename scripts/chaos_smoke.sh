@@ -3,15 +3,70 @@
 # (drops, duplicates, mid-frame truncations, reordering delays, a hard
 # crash, a warm restart) with the differential oracle checking that
 # served scores are bitwise identical to the single-threaded reference
-# pipeline, and that the same seed replays the same trace.
+# pipeline, and that the same seed replays the same trace — then the
+# messy-source variant (skewed timestamps + source duplicates against a
+# bounded-lateness window), and finally a live late-event smoke: apand
+# booted with --lateness, driven by apan-loadgen with a skewed and
+# duplicating source, must report late admissions on its STATS surface.
 #
 # Usage: scripts/chaos_smoke.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SCENARIO="same_seed_replays_an_identical_trace"
+MESSY_SCENARIO="same_messy_seed_replays_an_identical_trace"
 
 echo "chaos_smoke: running scenario $SCENARIO"
 cargo test --release -p apan-simtest --test scenarios "$SCENARIO" -- --exact
+
+echo "chaos_smoke: running scenario $MESSY_SCENARIO"
+cargo test --release -p apan-simtest --test scenarios "$MESSY_SCENARIO" -- --exact
+
+# ---- live late-event smoke: skewed source against a lateness window
+LOG="$(mktemp /tmp/apand_chaos.XXXXXX.log)"
+APID=""
+cleanup() {
+  [ -n "$APID" ] && kill -TERM "$APID" 2>/dev/null && wait "$APID" 2>/dev/null
+  rm -f "$LOG"
+}
+trap cleanup EXIT
+
+cargo build --release -p apan-serve --bins
+
+echo "chaos_smoke: booting apand with a bounded-lateness window"
+./target/release/apand --port 0 --dim 16 --lateness 8 >"$LOG" 2>&1 &
+APID=$!
+for _ in $(seq 50); do
+  grep -q "listening on" "$LOG" 2>/dev/null && break
+  sleep 0.1
+done
+PORT="$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' "$LOG" | head -1)"
+if [ -z "$PORT" ]; then
+  echo "chaos_smoke: apand did not come up" >&2
+  cat "$LOG" >&2
+  exit 1
+fi
+
+echo "chaos_smoke: skewed + duplicating lockstep source against :$PORT"
+OUT="$(./target/release/apan-loadgen --addr "127.0.0.1:$PORT" \
+  --requests 64 --batch 4 --skew-ms 16 --dup-rate 25 --checksum)"
+echo "$OUT" | grep "apan-loadgen: messy source"
+echo "$OUT" | grep "apan-loadgen: checksum"
+
+# the daemon must have admitted late work and dropped beyond-window work
+STATS_LINE="$(echo "$OUT" | grep "apan-loadgen: daemon stats")"
+late_admitted="$(echo "$STATS_LINE" | sed -n 's/.*"late_admitted":\([0-9]*\).*/\1/p')"
+late_dropped="$(echo "$STATS_LINE" | sed -n 's/.*"late_dropped":\([0-9]*\).*/\1/p')"
+if [ -z "$late_admitted" ] || [ "$late_admitted" -eq 0 ]; then
+  echo "chaos_smoke: expected late admissions, got '$late_admitted'" >&2
+  echo "$STATS_LINE" >&2
+  exit 1
+fi
+if [ -z "$late_dropped" ] || [ "$late_dropped" -eq 0 ]; then
+  echo "chaos_smoke: expected beyond-window drops, got '$late_dropped'" >&2
+  echo "$STATS_LINE" >&2
+  exit 1
+fi
+echo "chaos_smoke: late_admitted=$late_admitted late_dropped=$late_dropped"
 
 echo "chaos_smoke: OK"
