@@ -146,6 +146,20 @@ pub struct ApanConfig {
     /// identical to the backward scan; only the per-query index probe
     /// cost shrinks. Default off (the paper's backward k-hop scan).
     pub forward_recent: bool,
+    /// Resident-memory budget for serving mailbox state, in bytes.
+    /// `None` (the default) keeps every mailbox in RAM; `Some(bytes)`
+    /// bounds the hot pools to roughly that much mailbox state (at
+    /// least one mailbox per shard) and spills the least-recently
+    /// touched mailboxes to a log-structured on-disk cold tier, so the
+    /// graph can exceed RAM. Tiering never changes served bits — only
+    /// where mailbox bytes live.
+    pub mailbox_budget: Option<u64>,
+    /// Directory for the cold tier's segment files when a budget is
+    /// set. `None` auto-creates a per-process directory in the system
+    /// temp dir (removed on clean shutdown); an explicit path is kept
+    /// across runs so a restart can verify and truncate a crashed
+    /// process's torn segment tail.
+    pub mailbox_spill: Option<std::path::PathBuf>,
 }
 
 impl ApanConfig {
@@ -166,6 +180,8 @@ impl ApanConfig {
             slot_encoding: SlotEncoding::Positional,
             bound_embeddings: true,
             forward_recent: false,
+            mailbox_budget: None,
+            mailbox_spill: None,
         }
     }
 

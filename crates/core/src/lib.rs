@@ -53,6 +53,7 @@ pub mod model;
 pub mod pipeline;
 pub mod propagator;
 pub mod shard;
+pub mod tier;
 pub mod train;
 
 pub use config::ApanConfig;

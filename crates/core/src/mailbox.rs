@@ -10,6 +10,35 @@ use apan_tensor::Tensor;
 use apan_tgraph::{EventId, NodeId, Time};
 use std::io::{self, Read, Write};
 
+/// Fixed-width numeric copies for the tier record codec. Each pairs one
+/// value with one same-size byte chunk, which LLVM lowers to a straight
+/// `memcpy` on little-endian targets — the eviction/promotion paths run
+/// these over multi-KB payloads, where per-element pushes would cost
+/// microseconds.
+fn put_f32s(dst: &mut [u8], vals: &[f32]) {
+    for (c, v) in dst.chunks_exact_mut(4).zip(vals) {
+        c.copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn put_f64s(dst: &mut [u8], vals: &[f64]) {
+    for (c, v) in dst.chunks_exact_mut(8).zip(vals) {
+        c.copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn get_f32s(dst: &mut [f32], src: &[u8]) {
+    for (v, c) in dst.iter_mut().zip(src.chunks_exact(4)) {
+        *v = f32::from_le_bytes(c.try_into().unwrap());
+    }
+}
+
+fn get_f64s(dst: &mut [f64], src: &[u8]) {
+    for (v, c) in dst.iter_mut().zip(src.chunks_exact(8)) {
+        *v = f64::from_le_bytes(c.try_into().unwrap());
+    }
+}
+
 /// Which interaction generated a mail — kept for interpretability (§3.6).
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct MailOrigin {
@@ -381,6 +410,120 @@ impl MailboxStore {
     /// When `node` last received a new embedding.
     pub fn last_update(&self, node: NodeId) -> Time {
         self.last_update[node as usize]
+    }
+
+    /// Bytes one node's complete state occupies in the tier codec for a
+    /// given geometry — the sizing unit `mailbox_budget` is divided by
+    /// when computing hot-pool capacities (public so benches and
+    /// capacity planning can express budgets in working-set fractions).
+    pub fn node_payload_bytes(slots: usize, dim: usize) -> usize {
+        // mails + mail_times + origins + len + head + embedding + last_update
+        slots * dim * 4 + slots * 8 + slots * 12 + 2 + dim * 4 + 8
+    }
+
+    /// Appends `node`'s complete state (mails, times, origins, ring
+    /// indices, embedding, last-update) to `out` in a fixed-size
+    /// little-endian layout — the record payload of the cold mailbox
+    /// tier. [`Self::import_node_bytes`] is the exact inverse.
+    ///
+    /// Runs on every eviction, so the numeric sections move through
+    /// fixed-width chunk copies (which lower to `memcpy` on
+    /// little-endian targets) rather than per-element pushes.
+    pub(crate) fn export_node_bytes(&self, node: usize, out: &mut Vec<u8>) {
+        debug_assert!(node < self.lens.len());
+        let (d, s) = (self.dim, self.slots);
+        let start = out.len();
+        out.resize(start + Self::node_payload_bytes(s, d), 0);
+        let buf = &mut out[start..];
+        let (mails_b, rest) = buf.split_at_mut(s * d * 4);
+        let (times_b, rest) = rest.split_at_mut(s * 8);
+        let (orig_b, rest) = rest.split_at_mut(s * 12);
+        let (len_b, rest) = rest.split_at_mut(2);
+        let (emb_b, last_b) = rest.split_at_mut(d * 4);
+        put_f32s(mails_b, &self.mails[node * s * d..(node + 1) * s * d]);
+        put_f64s(times_b, &self.mail_times[node * s..(node + 1) * s]);
+        for (c, o) in orig_b
+            .chunks_exact_mut(12)
+            .zip(&self.origins[node * s..(node + 1) * s])
+        {
+            c[..4].copy_from_slice(&o.src.to_le_bytes());
+            c[4..8].copy_from_slice(&o.dst.to_le_bytes());
+            c[8..].copy_from_slice(&o.eid.to_le_bytes());
+        }
+        len_b[0] = self.lens[node];
+        len_b[1] = self.heads[node];
+        put_f32s(emb_b, &self.embeddings[node * d..(node + 1) * d]);
+        last_b.copy_from_slice(&self.last_update[node].to_le_bytes());
+    }
+
+    /// Overwrites `node`'s state from a payload written by
+    /// [`Self::export_node_bytes`] on a store of the same geometry.
+    ///
+    /// # Panics
+    /// Panics if the payload length does not match the geometry.
+    pub(crate) fn import_node_bytes(&mut self, node: usize, payload: &[u8]) {
+        let (d, s) = (self.dim, self.slots);
+        assert_eq!(
+            payload.len(),
+            Self::node_payload_bytes(s, d),
+            "cold record payload does not match store geometry"
+        );
+        debug_assert!(node < self.lens.len());
+        let (mails_b, rest) = payload.split_at(s * d * 4);
+        let (times_b, rest) = rest.split_at(s * 8);
+        let (orig_b, rest) = rest.split_at(s * 12);
+        let (len_b, rest) = rest.split_at(2);
+        let (emb_b, last_b) = rest.split_at(d * 4);
+        get_f32s(&mut self.mails[node * s * d..(node + 1) * s * d], mails_b);
+        get_f64s(&mut self.mail_times[node * s..(node + 1) * s], times_b);
+        for (o, c) in self.origins[node * s..(node + 1) * s]
+            .iter_mut()
+            .zip(orig_b.chunks_exact(12))
+        {
+            o.src = u32::from_le_bytes(c[..4].try_into().unwrap());
+            o.dst = u32::from_le_bytes(c[4..8].try_into().unwrap());
+            o.eid = u32::from_le_bytes(c[8..].try_into().unwrap());
+        }
+        self.lens[node] = len_b[0];
+        self.heads[node] = len_b[1];
+        get_f32s(&mut self.embeddings[node * d..(node + 1) * d], emb_b);
+        self.last_update[node] = f64::from_le_bytes(last_b.try_into().unwrap());
+    }
+
+    /// Resets one node's state to the all-zero (never-touched) state —
+    /// used by the tier to recycle a hot pool slot after eviction.
+    pub(crate) fn clear_node(&mut self, node: usize) {
+        debug_assert!(node < self.lens.len());
+        let (d, s) = (self.dim, self.slots);
+        self.mails[node * s * d..(node + 1) * s * d].fill(0.0);
+        self.mail_times[node * s..(node + 1) * s].fill(0.0);
+        self.origins[node * s..(node + 1) * s].fill(MailOrigin::default());
+        self.lens[node] = 0;
+        self.heads[node] = 0;
+        self.embeddings[node * d..(node + 1) * d].fill(0.0);
+        self.last_update[node] = 0.0;
+    }
+
+    /// Whether `node`'s complete state is bitwise the never-touched
+    /// state (what a fresh `ensure_node` produces). Lets the tier skip
+    /// spilling untouched nodes when scattering a flat store.
+    pub(crate) fn node_is_zero(&self, node: usize) -> bool {
+        let (d, s) = (self.dim, self.slots);
+        self.lens[node] == 0
+            && self.heads[node] == 0
+            && self.last_update[node] == 0.0
+            && self.embeddings[node * d..(node + 1) * d]
+                .iter()
+                .all(|v| v.to_bits() == 0)
+            && self.mail_times[node * s..(node + 1) * s]
+                .iter()
+                .all(|t| t.to_bits() == 0)
+            && self.mails[node * s * d..(node + 1) * s * d]
+                .iter()
+                .all(|v| v.to_bits() == 0)
+            && self.origins[node * s..(node + 1) * s]
+                .iter()
+                .all(|o| *o == MailOrigin::default())
     }
 
     /// Writes the complete store state in a versioned little-endian
@@ -874,6 +1017,85 @@ mod tests {
             delivered.deliver(0, &mail(4.0), 4.0, MailOrigin::default());
             assert_eq!(snap(&patched), snap(&delivered), "{update:?}");
         }
+    }
+
+    #[test]
+    fn node_byte_codec_round_trips_exactly() {
+        let mut src = store(3);
+        for t in 1..=5 {
+            src.deliver(
+                1,
+                &mail(t as f32),
+                t as f64,
+                MailOrigin {
+                    src: t,
+                    dst: t + 1,
+                    eid: t + 2,
+                },
+            );
+        }
+        let z = Tensor::from_rows(&[&[0.5, -1.5, 2.5]]);
+        src.set_embeddings(&[1], &z, 7.0);
+
+        let mut payload = Vec::new();
+        src.export_node_bytes(1, &mut payload);
+        assert_eq!(payload.len(), MailboxStore::node_payload_bytes(3, 3));
+
+        let mut dst = store(3);
+        dst.import_node_bytes(2, &payload);
+        assert_eq!(snap_node(&dst, 2), snap_node(&src, 1));
+        assert!(!dst.node_is_zero(2));
+
+        dst.clear_node(2);
+        assert!(dst.node_is_zero(2));
+        assert_eq!(snap_node(&dst, 2), snap_node(&store(3), 0));
+    }
+
+    /// Per-node physical state via the codec itself (self-inverse pair,
+    /// exercised against `copy_node_from` elsewhere).
+    fn snap_node(s: &MailboxStore, node: usize) -> Vec<u8> {
+        let mut buf = Vec::new();
+        s.export_node_bytes(node, &mut buf);
+        buf
+    }
+
+    /// Pins the documented PR 8 caveat: `patch_late` on an exactly-full
+    /// `ContentAddressed` ring cannot splice (the similarity eviction is
+    /// order-dependent), so it must fall back to a plain best-effort
+    /// `deliver` — the patched store is bitwise the delivered store, not
+    /// the time-sorted replay.
+    #[test]
+    fn patch_late_content_addressed_at_full_capacity_is_best_effort_deliver() {
+        let seed = |s: &mut MailboxStore| {
+            // three near-orthogonal mails fill the ring exactly
+            s.deliver(0, &[1.0, 0.0, 0.0], 1.0, MailOrigin::default());
+            s.deliver(0, &[0.0, 1.0, 0.0], 3.0, MailOrigin::default());
+            s.deliver(0, &[0.0, 0.0, 1.0], 4.0, MailOrigin::default());
+        };
+        let late = [0.9, 0.1, 0.0]; // most similar to slot 0, timestamp t=2 is late
+        let origin = MailOrigin {
+            src: 5,
+            dst: 6,
+            eid: 7,
+        };
+
+        let mut patched = MailboxStore::new(1, 3, 3, MailboxUpdate::ContentAddressed);
+        seed(&mut patched);
+        assert_eq!(patched.len(0), 3, "ring must be exactly full");
+        patched.patch_late(0, &late, 2.0, origin);
+
+        let mut delivered = MailboxStore::new(1, 3, 3, MailboxUpdate::ContentAddressed);
+        seed(&mut delivered);
+        delivered.deliver(0, &late, 2.0, origin);
+
+        assert_eq!(snap(&patched), snap(&delivered));
+        // and the fallback really is similarity eviction, not a splice:
+        // the late mail replaced slot 0 in place, out of time order
+        let mails = patched.mails_of(0);
+        assert_eq!(mails[0].0, &late);
+        assert_eq!(mails[0].1, 2.0);
+        assert_eq!(mails[0].2, origin);
+        assert_eq!(mails[1].1, 3.0);
     }
 
     #[test]

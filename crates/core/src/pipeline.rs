@@ -787,12 +787,12 @@ pub struct InferResult {
 }
 
 /// Resolves the propagation pool width: `APAN_PROP_THREADS`, default 1
-/// (the pre-pool single-worker behaviour).
+/// (the pre-pool single-worker behaviour). A set-but-malformed value
+/// warns once on stderr (the hardened `APAN_THREADS`/`APAN_SIMD`
+/// parsing) instead of being silently ignored.
 fn prop_threads_from_env() -> usize {
-    std::env::var("APAN_PROP_THREADS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n >= 1)
+    static WARN: std::sync::Once = std::sync::Once::new();
+    apan_tensor::backend::pool::parse_positive("APAN_PROP_THREADS", &WARN)
         .unwrap_or(1)
         .min(64)
 }
@@ -1067,7 +1067,18 @@ impl ServingPipeline {
             0 => prop_threads_from_env(),
             n => n.min(64),
         };
-        let store = Arc::new(ShardedMailboxStore::from_flat(&store, shards_from_env()));
+        // A configured mailbox budget turns on tiered residency: hot
+        // pools bounded to the budget, the rest spilled to the cold
+        // tier. Served bits are identical either way.
+        let store = Arc::new(
+            ShardedMailboxStore::from_flat_tiered(
+                &store,
+                shards_from_env(),
+                model.cfg.mailbox_budget,
+                model.cfg.mailbox_spill.as_deref(),
+            )
+            .expect("failed to open the mailbox cold tier spill directory"),
+        );
         let gates = Arc::new(SeqGates::new(graph.max_time()));
         let late = Arc::new(Mutex::new(LateState::new(graph.max_time())));
         let mut graph = graph;
@@ -1593,6 +1604,12 @@ impl ServingPipeline {
     /// Shared handle to the sharded serving state (for inspection/tests).
     pub fn store(&self) -> Arc<ShardedMailboxStore> {
         Arc::clone(&self.store)
+    }
+
+    /// Live mailbox-tier counters (residency, evictions, promotions,
+    /// cold bytes) — all zeros when no `mailbox_budget` is configured.
+    pub fn tier_stats(&self) -> Arc<crate::tier::TierStats> {
+        self.store.tier_stats()
     }
 
     /// Shared handle to the growing temporal graph.

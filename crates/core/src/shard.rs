@@ -1,38 +1,49 @@
 //! Sharded mailbox store for the parallel propagation link.
 //!
 //! [`ShardedMailboxStore`] splits node state across `S` independently
-//! locked [`MailboxStore`] shards by `node_id % S`, so concurrent
-//! deliveries to different shards never contend and the synchronous
-//! encoder read path only touches the shards its batch actually hits.
+//! locked shards by `node_id % S`, so concurrent deliveries to
+//! different shards never contend and the synchronous encoder read path
+//! only touches the shards its batch actually hits. Each shard is a
+//! [`TierShard`]: a plain flat [`MailboxStore`] when no residency
+//! budget is configured, or a bounded hot pool spilling its LRU tail to
+//! a shared log-structured cold tier when one is (see [`crate::tier`]).
 //!
-//! The sharding is a pure layout transform: `to_flat` reconstructs a
-//! flat store byte-identical (snapshot format v2 included) to what the
-//! serial path would have produced, because per-node state is
-//! independent and shard-local growth mirrors `ensure_node` exactly —
-//! the reconstructed node count is `max(initial_n, max_touched_id + 1)`
-//! in both layouts.
+//! The sharding *and* the tiering are pure layout transforms:
+//! `to_flat` reconstructs a flat store byte-identical (snapshot format
+//! v2 included) to what the serial all-resident path would have
+//! produced, because per-node state is independent, shard-local growth
+//! mirrors `ensure_node` exactly — the reconstructed node count is
+//! `max(initial_n, max_touched_id + 1)` in both layouts — and a
+//! mailbox's bytes round-trip losslessly through the cold tier.
 //!
 //! Lock discipline: multi-shard operations acquire shard mutexes in
-//! ascending shard order only, which rules out lock-order inversions
-//! between concurrent readers, the sync path's embedding writes, and
-//! the propagation pool's shard-parallel deliveries.
+//! ascending shard order only, and the cold tier's mutex is only ever
+//! taken *while holding a shard mutex* (shards before cold) — which
+//! rules out lock-order inversions between concurrent readers, the
+//! sync path's embedding writes, and the propagation pool's
+//! shard-parallel deliveries.
 
 use crate::mailbox::{MailOrigin, MailboxRead, MailboxStore, MailboxView};
+use crate::tier::{ColdTier, TierShard, TierStats};
+use apan_tensor::backend::pool::parse_positive;
 use apan_tensor::Tensor;
 use apan_tgraph::{NodeId, Time};
 use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Once};
 
 /// Default shard count when `APAN_MAILBOX_SHARDS` is unset.
 pub const DEFAULT_SHARDS: usize = 16;
 
-/// Resolves the shard count: `APAN_MAILBOX_SHARDS` if set (clamped to
-/// ≥ 1), else [`DEFAULT_SHARDS`].
+/// Resolves the shard count: `APAN_MAILBOX_SHARDS` if set to a positive
+/// integer, else [`DEFAULT_SHARDS`]. A set-but-malformed value warns
+/// once on stderr (same hardened parsing as `APAN_THREADS`/`APAN_SIMD`)
+/// instead of being silently ignored.
 pub fn shards_from_env() -> usize {
-    std::env::var("APAN_MAILBOX_SHARDS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&s| s >= 1)
-        .unwrap_or(DEFAULT_SHARDS)
+    static WARN: Once = Once::new();
+    parse_positive("APAN_MAILBOX_SHARDS", &WARN).unwrap_or(DEFAULT_SHARDS)
 }
 
 /// Ownership discipline shared by every sharded layer: node `node`
@@ -59,35 +70,94 @@ pub fn owner_shard(node: NodeId, n: usize) -> usize {
 /// encodes against each other.
 pub struct ShardedMailboxStore {
     sync_gate: RwLock<()>,
-    shards: Vec<Mutex<MailboxStore>>,
+    shards: Vec<Mutex<TierShard>>,
     dim: usize,
     slots: usize,
+    stats: Arc<TierStats>,
 }
 
 impl ShardedMailboxStore {
-    /// Scatters a flat store into `num_shards` shards. The flat store's
-    /// state is preserved exactly ([`Self::to_flat`] round-trips it).
+    /// Scatters a flat store into `num_shards` all-resident shards. The
+    /// flat store's state is preserved exactly ([`Self::to_flat`]
+    /// round-trips it).
     pub fn from_flat(flat: &MailboxStore, num_shards: usize) -> Self {
+        Self::from_flat_tiered(flat, num_shards, None, None)
+            .expect("untiered construction cannot fail")
+    }
+
+    /// Scatters a flat store into `num_shards` shards with an optional
+    /// resident-memory budget. `budget = None` keeps every mailbox in
+    /// RAM (identical to [`Self::from_flat`]); `Some(bytes)` bounds the
+    /// hot pools to roughly `bytes` of mailbox state total (at least
+    /// one mailbox per shard) and spills the rest to a log-structured
+    /// cold tier under `spill_dir` — auto-created in the system temp
+    /// dir (and removed on drop) when `None`. Untouched (all-zero)
+    /// nodes are never spilled, so a freshly sized boot store costs no
+    /// cold I/O.
+    ///
+    /// Tiering only moves bytes between tiers: the resulting store is
+    /// bitwise-indistinguishable from the all-resident one through
+    /// every read, write, and export surface.
+    pub fn from_flat_tiered(
+        flat: &MailboxStore,
+        num_shards: usize,
+        budget: Option<u64>,
+        spill_dir: Option<&Path>,
+    ) -> io::Result<Self> {
         assert!(num_shards >= 1, "need at least one shard");
         let (slots, dim, update) = (flat.slots(), flat.dim(), flat.update_mode());
         let n = flat.num_nodes();
+        let stats = Arc::new(TierStats::default());
+        let tier = match budget {
+            None => None,
+            Some(bytes) => {
+                let per_node = MailboxStore::node_payload_bytes(slots, dim) as u64;
+                let cap = ((bytes / per_node) as usize / num_shards).max(1);
+                let (dir, own_dir) = match spill_dir {
+                    Some(d) => (d.to_path_buf(), false),
+                    None => (default_spill_dir(), true),
+                };
+                let cold = ColdTier::open(&dir, slots, dim, own_dir, Arc::clone(&stats))?;
+                Some((cap, Arc::new(Mutex::new(cold))))
+            }
+        };
         let shards = (0..num_shards)
             .map(|s| {
                 // nodes g with g % S == s and g < n
                 let local_n = (n + num_shards - 1 - s) / num_shards;
-                let mut sub = MailboxStore::new(local_n, slots, dim, update);
+                let mut shard = match &tier {
+                    None => TierShard::flat(MailboxStore::new(local_n, slots, dim, update)),
+                    Some((cap, cold)) => TierShard::tiered(
+                        *cap,
+                        slots,
+                        dim,
+                        update,
+                        s,
+                        num_shards,
+                        local_n,
+                        Arc::clone(cold),
+                        Arc::clone(&stats),
+                    ),
+                };
                 for local in 0..local_n {
-                    sub.copy_node_from(local, flat, local * num_shards + s);
+                    shard.import_node(local as NodeId, flat, local * num_shards + s);
                 }
-                Mutex::new(sub)
+                Mutex::new(shard)
             })
             .collect();
-        Self {
+        Ok(Self {
             sync_gate: RwLock::new(()),
             shards,
             dim,
             slots,
-        }
+            stats,
+        })
+    }
+
+    /// Live tier counters (residency, evictions, promotions, cold
+    /// bytes) — all zeros when no budget is configured.
+    pub fn tier_stats(&self) -> Arc<TierStats> {
+        Arc::clone(&self.stats)
     }
 
     /// Opens a consistent view for one synchronous inference: holds the
@@ -106,8 +176,12 @@ impl ShardedMailboxStore {
     }
 
     /// Gathers the shards back into one flat store, byte-identical to
-    /// what the serial (unsharded) path would hold: the node count is
-    /// the maximum id any shard grew to cover, plus the initial sizing.
+    /// what the serial (unsharded, all-resident) path would hold: the
+    /// node count is the maximum id any shard grew to cover, plus the
+    /// initial sizing. Cold mailboxes are decoded straight from their
+    /// checksummed records without promoting them — this *is* the cold
+    /// tier's force-flush into one consistent checkpoint, and it leaves
+    /// residency untouched.
     pub fn to_flat(&self) -> MailboxStore {
         let _gate = self.sync_gate.read();
         let guards = self.lock_all();
@@ -115,7 +189,7 @@ impl ShardedMailboxStore {
         let n = guards
             .iter()
             .enumerate()
-            .map(|(i, g)| match g.num_nodes() {
+            .map(|(i, g)| match g.covered() {
                 0 => 0,
                 l => (l - 1) * s + i + 1,
             })
@@ -124,10 +198,13 @@ impl ShardedMailboxStore {
         let update = guards[0].update_mode();
         let mut flat = MailboxStore::new(n, self.slots, self.dim, update);
         for (i, g) in guards.iter().enumerate() {
-            for local in 0..g.num_nodes() {
-                flat.copy_node_from(local * s + i, g, local);
+            for local in 0..g.covered() {
+                g.export_into_flat(&mut flat, local as NodeId, local * s + i);
             }
         }
+        // force-flush the (shared) cold tier's RAM tail so the
+        // checkpoint leaves physically complete segment files behind
+        guards[0].flush_cold();
         flat
     }
 
@@ -162,14 +239,15 @@ impl ShardedMailboxStore {
         }
     }
 
-    fn lock_all(&self) -> Vec<MutexGuard<'_, MailboxStore>> {
+    fn lock_all(&self) -> Vec<MutexGuard<'_, TierShard>> {
         // ascending shard order — the global lock discipline
         self.shards.iter().map(|m| m.lock()).collect()
     }
 
     /// Locks every shard (ascending) for a consistent multi-node read —
     /// the inspection/debug path, not the hot path. Also holds the
-    /// outer gate shared so no commit is mid-flight.
+    /// outer gate shared so no commit is mid-flight. Inspection never
+    /// promotes: cold mailboxes are decoded in place.
     pub fn read(&self) -> StoreReadGuard<'_> {
         StoreReadGuard {
             _gate: self.sync_gate.read(),
@@ -180,7 +258,8 @@ impl ShardedMailboxStore {
     /// Builds the batched attention view for `nodes` as of `now`,
     /// acquiring only the shards the batch touches, in ascending shard
     /// order, one at a time. Bitwise identical to the flat
-    /// [`MailboxStore::read_batch`] on equal logical state.
+    /// [`MailboxStore::read_batch`] on equal logical state. Reading a
+    /// spilled mailbox promotes it (it just proved itself hot).
     pub fn read_batch(&self, nodes: &[NodeId], now: Time) -> MailboxView {
         let b = nodes.len();
         let s = self.shards.len();
@@ -192,7 +271,7 @@ impl ShardedMailboxStore {
             todo[node as usize % s] = true;
         }
         for (shard, _) in todo.iter().enumerate().filter(|(_, &t)| t) {
-            let sub = self.shards[shard].lock();
+            let mut sub = self.shards[shard].lock();
             for (bi, &node) in nodes.iter().enumerate() {
                 if node as usize % s == shard {
                     let local = node / s as NodeId;
@@ -213,13 +292,11 @@ impl ShardedMailboxStore {
             todo[node as usize % s] = true;
         }
         for (shard, _) in todo.iter().enumerate().filter(|(_, &t)| t) {
-            let sub = self.shards[shard].lock();
+            let mut sub = self.shards[shard].lock();
             for (bi, &node) in nodes.iter().enumerate() {
                 if node as usize % s == shard {
                     let local = (node as usize / s) as NodeId;
-                    if (local as usize) < sub.num_nodes() {
-                        out.row_slice_mut(bi).copy_from_slice(sub.embedding(local));
-                    }
+                    sub.copy_embedding_into(local, out.row_slice_mut(bi));
                 }
             }
         }
@@ -245,6 +322,16 @@ impl ShardedMailboxStore {
             }
         }
     }
+}
+
+/// A fresh per-process spill directory in the system temp dir.
+fn default_spill_dir() -> PathBuf {
+    static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "apan-spill-{}-{}",
+        std::process::id(),
+        SPILL_SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
 }
 
 impl MailboxRead for ShardedMailboxStore {
@@ -295,7 +382,7 @@ impl MailboxRead for SyncGuard<'_> {
 
 /// One locked shard, addressed by global node id.
 pub struct ShardGuard<'a> {
-    guard: MutexGuard<'a, MailboxStore>,
+    guard: MutexGuard<'a, TierShard>,
     shard: usize,
     num_shards: usize,
 }
@@ -319,9 +406,11 @@ impl ShardGuard<'_> {
 }
 
 /// All shards locked for a consistent read, addressed by global ids.
+/// A pure inspection surface: cold mailboxes are decoded from their
+/// records without promoting them, so looking never changes residency.
 pub struct StoreReadGuard<'a> {
     _gate: RwLockReadGuard<'a, ()>,
-    guards: Vec<MutexGuard<'a, MailboxStore>>,
+    guards: Vec<MutexGuard<'a, TierShard>>,
 }
 
 impl StoreReadGuard<'_> {
@@ -333,12 +422,7 @@ impl StoreReadGuard<'_> {
     /// Number of valid mails in `node`'s mailbox (0 if never grown).
     pub fn len(&self, node: NodeId) -> usize {
         let (shard, local) = self.locate(node);
-        let g = &self.guards[shard];
-        if (local as usize) < g.num_nodes() {
-            g.len(local)
-        } else {
-            0
-        }
+        self.guards[shard].peek_len(local)
     }
 
     /// Whether `node`'s mailbox holds no mail.
@@ -346,15 +430,12 @@ impl StoreReadGuard<'_> {
         self.len(node) == 0
     }
 
-    /// The mails of `node`, oldest first.
-    pub fn mails_of(&self, node: NodeId) -> Vec<(&[f32], Time, MailOrigin)> {
+    /// The mails of `node`, oldest first, as owned
+    /// `(payload, time, origin)` triples (a cold mailbox has no
+    /// in-memory slots to borrow from).
+    pub fn mails_of(&self, node: NodeId) -> Vec<(Vec<f32>, Time, MailOrigin)> {
         let (shard, local) = self.locate(node);
-        let g = &self.guards[shard];
-        if (local as usize) < g.num_nodes() {
-            g.mails_of(local)
-        } else {
-            Vec::new()
-        }
+        self.guards[shard].peek_mails_of(local)
     }
 
     /// Node count the equivalent flat store would report.
@@ -363,7 +444,7 @@ impl StoreReadGuard<'_> {
         self.guards
             .iter()
             .enumerate()
-            .map(|(i, g)| match g.num_nodes() {
+            .map(|(i, g)| match g.covered() {
                 0 => 0,
                 l => (l - 1) * s + i + 1,
             })
@@ -374,12 +455,7 @@ impl StoreReadGuard<'_> {
     /// When `node` last received a new embedding (0 if never grown).
     pub fn last_update(&self, node: NodeId) -> Time {
         let (shard, local) = self.locate(node);
-        let g = &self.guards[shard];
-        if (local as usize) < g.num_nodes() {
-            g.last_update(local)
-        } else {
-            0.0
-        }
+        self.guards[shard].peek_last_update(local)
     }
 }
 
@@ -426,11 +502,118 @@ mod tests {
     }
 
     #[test]
+    fn tiered_round_trip_is_bitwise_for_every_budget() {
+        let flat = seeded_flat(8);
+        let want = snapshot_bytes(&flat);
+        // 0 → one resident mailbox per shard; huge → everything resident
+        for budget in [Some(0), Some(1 << 10), Some(1 << 30), None] {
+            for shards in [1, 3, 16] {
+                let sharded =
+                    ShardedMailboxStore::from_flat_tiered(&flat, shards, budget, None).unwrap();
+                assert_eq!(
+                    snapshot_bytes(&sharded.to_flat()),
+                    want,
+                    "budget={budget:?} shards={shards}"
+                );
+                // export must not disturb residency: a second export is
+                // identical too
+                assert_eq!(snapshot_bytes(&sharded.to_flat()), want);
+            }
+        }
+    }
+
+    #[test]
+    fn tiered_deliveries_and_reads_match_flat_bitwise() {
+        let mut flat = seeded_flat(8);
+        let sharded = ShardedMailboxStore::from_flat_tiered(&flat, 4, Some(0), None).unwrap();
+        // interleave deliveries with promoting reads and embedding writes
+        for t in 40..140u32 {
+            let node = (t * 13 + 5) % 29;
+            let mail = [t as f32, 1.0, -0.25 * t as f32, 0.5];
+            flat.deliver(node, &mail, t as f64, MailOrigin::default());
+            sharded.lock_shard(sharded.shard_of(node)).deliver(
+                node,
+                &mail,
+                t as f64,
+                MailOrigin::default(),
+            );
+            if t % 3 == 0 {
+                let probe = [node, (node + 11) % 29, 200];
+                let a = flat.read_batch(&probe, t as f64 + 1.0);
+                let b = ShardedMailboxStore::read_batch(&sharded, &probe, t as f64 + 1.0);
+                assert_eq!(a.lens, b.lens);
+                assert_eq!(a.mails.data(), b.mails.data());
+                assert_eq!(a.ages, b.ages);
+                let za = flat.embedding_batch(&probe);
+                let zb = ShardedMailboxStore::embedding_batch(&sharded, &probe);
+                assert_eq!(za.data(), zb.data());
+            }
+            if t % 7 == 0 {
+                let z = Tensor::from_rows(&[&[t as f32, 0.0, 1.0, 2.0]]);
+                flat.set_embeddings(&[node], &z, t as f64);
+                sharded.set_embeddings(&[node], &z, t as f64);
+            }
+        }
+        assert_eq!(snapshot_bytes(&sharded.to_flat()), snapshot_bytes(&flat));
+        let stats = sharded.tier_stats();
+        assert!(stats.evictions.load(std::sync::atomic::Ordering::Relaxed) > 0);
+        assert!(stats.promotions.load(std::sync::atomic::Ordering::Relaxed) > 0);
+        assert!(stats.cold_bytes.load(std::sync::atomic::Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn tiered_inspection_does_not_promote() {
+        let flat = seeded_flat(8);
+        let sharded = ShardedMailboxStore::from_flat_tiered(&flat, 2, Some(0), None).unwrap();
+        let stats = sharded.tier_stats();
+        let before = stats.promotions.load(std::sync::atomic::Ordering::Relaxed);
+        {
+            let guard = sharded.read();
+            for n in 0..flat.num_nodes() as NodeId {
+                assert_eq!(guard.len(n), flat.read_batch(&[n], 0.0).lens[0], "node {n}");
+                assert_eq!(guard.last_update(n), flat.last_update(n));
+                let got = guard.mails_of(n);
+                let want = flat.mails_of(n);
+                assert_eq!(got.len(), want.len());
+                for ((gp, gt, go), (wp, wt, wo)) in got.iter().zip(want.iter()) {
+                    assert_eq!(gp.as_slice(), *wp);
+                    assert_eq!(gt, wt);
+                    assert_eq!(go, wo);
+                }
+            }
+            assert_eq!(guard.num_nodes(), flat.num_nodes());
+        }
+        assert_eq!(
+            stats.promotions.load(std::sync::atomic::Ordering::Relaxed),
+            before,
+            "inspection must not change residency"
+        );
+    }
+
+    #[test]
     fn sharded_growth_matches_flat_growth() {
         // deliveries through shards must reconstruct the same node count
         // the flat store would have grown to
         let mut flat = MailboxStore::new(4, 2, 2, MailboxUpdate::Fifo);
         let sharded = ShardedMailboxStore::from_flat(&flat, 5);
+        for (node, t) in [(2u32, 1.0f64), (17, 2.0), (9, 3.0), (30, 4.0)] {
+            let mail = [t as f32, 0.0];
+            flat.deliver(node, &mail, t, MailOrigin::default());
+            sharded.lock_shard(sharded.shard_of(node)).deliver(
+                node,
+                &mail,
+                t,
+                MailOrigin::default(),
+            );
+        }
+        assert_eq!(snapshot_bytes(&sharded.to_flat()), snapshot_bytes(&flat));
+        assert_eq!(sharded.read().num_nodes(), flat.num_nodes());
+    }
+
+    #[test]
+    fn tiered_growth_matches_flat_growth() {
+        let mut flat = MailboxStore::new(4, 2, 2, MailboxUpdate::Fifo);
+        let sharded = ShardedMailboxStore::from_flat_tiered(&flat, 5, Some(0), None).unwrap();
         for (node, t) in [(2u32, 1.0f64), (17, 2.0), (9, 3.0), (30, 4.0)] {
             let mail = [t as f32, 0.0];
             flat.deliver(node, &mail, t, MailOrigin::default());

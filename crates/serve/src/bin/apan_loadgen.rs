@@ -55,6 +55,12 @@ struct Args {
     /// back (the second copy lands behind the watermark the first one
     /// advanced).
     dup_rate: u32,
+    /// Restrict traffic to the first N node ids (tiering benches: the
+    /// "working set"). `None` keeps the full `--universe` range.
+    working_set: Option<u32>,
+    /// Zipf skew exponent over the working set (rank 0 hottest);
+    /// `0.0` keeps the legacy uniform draw and its checksums.
+    zipf: f64,
 }
 
 impl Default for Args {
@@ -70,6 +76,8 @@ impl Default for Args {
             checksum: false,
             skew_ms: 0,
             dup_rate: 0,
+            working_set: None,
+            zipf: 0.0,
         }
     }
 }
@@ -79,7 +87,9 @@ const USAGE: &str = "usage: apan-loadgen [--addr HOST:PORT | --endpoints HOST:PO
                     [--metrics-every-ms N]   (poll METRICS while running; 0 = off)
                     [--requests N] [--checksum]   (deterministic lockstep mode)
                     [--skew-ms N]    (lockstep: seeded backward event-time skew, 0..=N per request)
-                    [--dup-rate N]   (lockstep: % of requests emitted twice back to back)";
+                    [--dup-rate N]   (lockstep: % of requests emitted twice back to back)
+                    [--working-set N]   (restrict traffic to node ids 0..N; default full universe)
+                    [--zipf S]       (Zipf(S)-skewed node draw over the working set; 0 = uniform)";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
@@ -131,6 +141,19 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--dup-rate is a percentage (0-100)".into());
                 }
             }
+            "--working-set" => {
+                let w: u32 = value.parse().map_err(|_| "bad --working-set".to_string())?;
+                if w == 0 {
+                    return Err("--working-set needs at least one node".into());
+                }
+                args.working_set = Some(w);
+            }
+            "--zipf" => {
+                args.zipf = value.parse().map_err(|_| "bad --zipf".to_string())?;
+                if !args.zipf.is_finite() || args.zipf < 0.0 {
+                    return Err("--zipf must be finite and non-negative".into());
+                }
+            }
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
     }
@@ -179,6 +202,56 @@ impl Mix {
     }
 }
 
+/// Node-id selection for one traffic stream. With neither `--working-set`
+/// nor `--zipf` set this is exactly the legacy draw — one `Mix` step
+/// reduced modulo the universe — so default-flag checksums are unchanged.
+/// `--working-set N` shrinks the id range to `0..N`; `--zipf S` draws
+/// ranks Zipf(S)-distributed over that range (rank 0 hottest) by binary
+/// search on a precomputed cumulative weight table.
+struct NodePicker {
+    range: u64,
+    /// Normalized cumulative Zipf weights; empty means uniform.
+    cdf: Vec<f64>,
+}
+
+impl NodePicker {
+    fn new(args: &Args) -> Self {
+        let range = u64::from(
+            args.working_set
+                .map_or(args.universe, |w| w.min(args.universe))
+                .max(1),
+        );
+        let cdf = if args.zipf > 0.0 {
+            let mut acc = 0.0f64;
+            let mut cdf: Vec<f64> = (0..range)
+                .map(|rank| {
+                    acc += 1.0 / ((rank + 1) as f64).powf(args.zipf);
+                    acc
+                })
+                .collect();
+            for c in &mut cdf {
+                *c /= acc;
+            }
+            cdf
+        } else {
+            Vec::new()
+        };
+        Self { range, cdf }
+    }
+
+    fn pick(&self, mix: &mut Mix) -> u32 {
+        let raw = mix.next();
+        if self.cdf.is_empty() {
+            (raw % self.range) as u32
+        } else {
+            // 53 uniform bits → u ∈ [0, 1); invert the CDF by binary search
+            let u = (raw >> 11) as f64 / (1u64 << 53) as f64;
+            let rank = self.cdf.partition_point(|&c| c <= u);
+            rank.min(self.cdf.len() - 1) as u32
+        }
+    }
+}
+
 /// FNV-1a-64 over a byte stream — the lockstep mode's score digest.
 struct Fnv(u64);
 
@@ -215,11 +288,12 @@ fn worker(
         }
     };
     let mut mix = Mix(seed);
+    let picker = NodePicker::new(args);
     while !stop.load(Ordering::Relaxed) {
         let interactions: Vec<Interaction> = (0..args.batch)
             .map(|_| Interaction {
-                src: (mix.next() % args.universe as u64) as u32,
-                dst: (mix.next() % args.universe as u64) as u32,
+                src: picker.pick(&mut mix),
+                dst: picker.pick(&mut mix),
                 time: -1.0, // daemon assigns event time from arrival order
                 eid: 0,
             })
@@ -267,6 +341,7 @@ fn run_lockstep(args: &Args, addr: &str, dim: usize) {
         }
     };
     let mut mix = Mix(0x5eed);
+    let picker = NodePicker::new(args);
     let mut fnv = Fnv::new();
     let mut latency = LatencyRecorder::new();
     let (mut skewed, mut duplicated) = (0u64, 0u64);
@@ -277,8 +352,8 @@ fn run_lockstep(args: &Args, addr: &str, dim: usize) {
             .map(|j| {
                 t += 1;
                 Interaction {
-                    src: (mix.next() % args.universe as u64) as u32,
-                    dst: (mix.next() % args.universe as u64) as u32,
+                    src: picker.pick(&mut mix),
+                    dst: picker.pick(&mut mix),
                     time: t as f64,
                     eid: (k * args.batch as u64) as u32 + j as u32,
                 }

@@ -68,6 +68,8 @@ struct Args {
     cluster_size: usize,
     peers: Vec<SocketAddr>,
     lateness: Option<f64>,
+    mailbox_budget: Option<u64>,
+    mailbox_spill: Option<PathBuf>,
 }
 
 impl Default for Args {
@@ -93,6 +95,8 @@ impl Default for Args {
             cluster_size: 1,
             peers: Vec::new(),
             lateness: None,
+            mailbox_budget: None,
+            mailbox_spill: None,
         }
     }
 }
@@ -107,7 +111,12 @@ const USAGE: &str = "usage: apand [--port N] [--dim N] [--slots N] [--nodes N] [
              [--peers host:port,host:port,...]   (peer shard addresses for DELIVER)
              [--lateness T]   (bounded-lateness window in event-time units; events up to
                               T behind the watermark reorder-buffer instead of clamping,
-                              older ones are scored read-only and dropped; off by default)";
+                              older ones are scored read-only and dropped; off by default)
+             [--mailbox-budget BYTES]   (bound resident mailbox state to ~BYTES, spilling
+                              the least-recently-touched mailboxes to an on-disk cold
+                              tier; off by default — everything stays in RAM)
+             [--mailbox-spill DIR]   (cold-tier segment directory; default is a fresh
+                              per-process directory under the system temp dir)";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
@@ -149,6 +158,8 @@ fn parse_args() -> Result<Args, String> {
                 args.lateness = Some(l);
             }
             "--cluster-size" => args.cluster_size = num(&value)? as usize,
+            "--mailbox-budget" => args.mailbox_budget = Some(num(&value)?),
+            "--mailbox-spill" => args.mailbox_spill = Some(PathBuf::from(value)),
             "--peers" => {
                 args.peers = value
                     .split(',')
@@ -174,6 +185,8 @@ fn main() {
     let mut cfg = ApanConfig::new(args.dim);
     cfg.mailbox_slots = args.slots;
     cfg.dropout = 0.0; // serving is eval-mode only
+    cfg.mailbox_budget = args.mailbox_budget;
+    cfg.mailbox_spill = args.mailbox_spill.clone();
     let mut rng = StdRng::seed_from_u64(args.seed);
     let model = Apan::new(&cfg, &mut rng);
 

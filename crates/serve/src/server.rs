@@ -32,6 +32,7 @@ use crate::snapshot;
 use apan_core::config::Precision;
 use apan_core::model::Apan;
 use apan_core::pipeline::{PropLink, ServingPipeline};
+use apan_core::tier::TierStats;
 use apan_metrics::{
     Clock, Counter, Histogram, LatencyRecorder, ObsHub, Registry, Stage, TraceSink, STAGES,
 };
@@ -411,6 +412,9 @@ struct Shared {
     /// Live counters of the propagation pool, valid after the pipeline
     /// moves into the batcher thread.
     prop: PropLink,
+    /// Mailbox tier counters (residency, evictions, promotions, cold
+    /// bytes). All zeros when no `mailbox_budget` is configured.
+    tier: Arc<TierStats>,
     /// Daemon boot instant on the daemon clock (for deliveries/sec).
     started: Duration,
     /// The global-sequence turnstile serializing cluster work (`ROUTE`
@@ -459,6 +463,8 @@ impl Shared {
              \"batch_max\":{},\"snapshots\":{},\"snapshot_failures\":{},\
              \"prop_pending\":{},\"prop_jobs\":{},\"prop_deliveries\":{},\
              \"prop_deliveries_per_sec\":{:.6},\"prop_decode_errors\":{},\
+             \"tier_resident\":{},\"tier_evictions\":{},\"tier_promotions\":{},\
+             \"tier_cold_bytes\":{},\
              \"shard_id\":{shard_id},\"cluster_size\":{cluster_size}}}",
             latency.to_json(),
             q.depth,
@@ -480,6 +486,10 @@ impl Shared {
             prop.deliveries,
             rate,
             prop.decode_errors,
+            self.tier.resident.load(Ordering::Relaxed),
+            self.tier.evictions.load(Ordering::Relaxed),
+            self.tier.promotions.load(Ordering::Relaxed),
+            self.tier.cold_bytes.load(Ordering::Relaxed),
         )
     }
 
@@ -632,6 +642,33 @@ pub fn start(mut model: Apan, cfg: ServeConfig) -> Result<ServerHandle, StartErr
             move || f64::from(bits),
         );
     }
+    let tier = pipeline.tier_stats();
+    {
+        let t = Arc::clone(&tier);
+        registry.gauge_fn(
+            "apan_tier_resident",
+            "Node mailboxes currently resident in the hot in-RAM tier (0 when tiering is off)",
+            move || t.resident.load(Ordering::Relaxed) as f64,
+        );
+        let t = Arc::clone(&tier);
+        registry.counter_fn(
+            "apan_tier_evictions_total",
+            "Mailboxes evicted from the hot tier to the on-disk cold tier",
+            move || t.evictions.load(Ordering::Relaxed),
+        );
+        let t = Arc::clone(&tier);
+        registry.counter_fn(
+            "apan_tier_promotions_total",
+            "Mailboxes promoted from the cold tier back into RAM on touch",
+            move || t.promotions.load(Ordering::Relaxed),
+        );
+        let t = Arc::clone(&tier);
+        registry.gauge_fn(
+            "apan_tier_cold_bytes",
+            "Live (non-superseded) record bytes in the cold tier's segment files",
+            move || t.cold_bytes.load(Ordering::Relaxed) as f64,
+        );
+    }
     let (shard_id, cluster_size) = cfg
         .cluster
         .as_ref()
@@ -671,6 +708,7 @@ pub fn start(mut model: Apan, cfg: ServeConfig) -> Result<ServerHandle, StartErr
         dim: pipeline.model().cfg.dim,
         mailbox_slots: pipeline.model().cfg.mailbox_slots,
         prop,
+        tier,
         started,
         order: Arc::new(DeliveryOrder::new()),
         peers,

@@ -520,6 +520,10 @@ fn metrics_exposition_is_valid_and_agrees_with_stats() {
         "apan_prop_decode_errors_total",
         "apan_prop_pending",
         "apan_prop_deliveries_per_sec",
+        "apan_tier_resident",
+        "apan_tier_evictions_total",
+        "apan_tier_promotions_total",
+        "apan_tier_cold_bytes",
         "apan_trace_dropped_total",
         "apan_batch_size",
         "apan_service_seconds",
@@ -558,6 +562,10 @@ fn metrics_exposition_is_valid_and_agrees_with_stats() {
         ("apan_prop_jobs_total", "prop_jobs"),
         ("apan_prop_deliveries_total", "prop_deliveries"),
         ("apan_batch_max", "batch_max"),
+        ("apan_tier_resident", "tier_resident"),
+        ("apan_tier_evictions_total", "tier_evictions"),
+        ("apan_tier_promotions_total", "tier_promotions"),
+        ("apan_tier_cold_bytes", "tier_cold_bytes"),
     ] {
         assert_eq!(
             prom_sample(&text, series),
@@ -705,6 +713,10 @@ fn stats_json_shape_is_pinned() {
             "prop_deliveries",
             "prop_deliveries_per_sec",
             "prop_decode_errors",
+            "tier_resident",
+            "tier_evictions",
+            "tier_promotions",
+            "tier_cold_bytes",
             "shard_id",
             "cluster_size",
         ],

@@ -1000,3 +1000,143 @@ fn same_messy_seed_replays_an_identical_trace() {
     assert_eq!(e1, e2);
     assert_oracle(&s1, &e1, &t1, "messy soup");
 }
+
+// ---------------------------------------------------------------------
+// Tiered-mailbox scenarios: the daemon serves with a hot-RAM budget of
+// zero — every mailbox churns through the on-disk cold tier — and must
+// stay bitwise on the all-resident single-threaded oracle. Tiering is a
+// residency transform, never a semantic one.
+// ---------------------------------------------------------------------
+
+/// A daemon model with the harshest tier geometry: one hot mailbox per
+/// shard, everything else spilled to `spill` (or an auto temp dir).
+fn tiered_model(weight_seed: u64, spill: Option<std::path::PathBuf>) -> apan_core::model::Apan {
+    let mut m = model(weight_seed);
+    m.cfg.mailbox_budget = Some(0);
+    m.cfg.mailbox_spill = spill;
+    m
+}
+
+fn temp_spill(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir()
+        .join("apan-simtest")
+        .join(format!("{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn tiered_serving_stays_on_the_all_resident_oracle() {
+    let seed = 9101;
+    let schedule = build_schedule(seed, 25, FaultProfile::default());
+
+    let handle =
+        apan_serve::start(tiered_model(WEIGHTS, None), base_cfg()).expect("start tiered daemon");
+    let mut client = ChaosClient::connect(handle.addr()).expect("connect");
+    let mut trace = Trace::new();
+    let served = run_schedule(&mut client, seed, &schedule, &mut trace).expect("run");
+
+    // the budget was genuinely binding: mailboxes spilled and came back
+    let evictions = client.stat_u64("tier_evictions").unwrap();
+    let promotions = client.stat_u64("tier_promotions").unwrap();
+    assert!(
+        evictions > 0 && promotions > 0,
+        "budget 0 must churn the cold tier: evictions={evictions} promotions={promotions}"
+    );
+    handle.shutdown();
+
+    let eff = effective_stream(&schedule);
+    let expected = reference_bits(WEIGHTS, seed, &eff);
+    assert_oracle(&served, &expected, &trace, "tiered fault-free");
+}
+
+#[test]
+fn tiered_crash_and_warm_restart_with_a_torn_cold_segment_tail() {
+    // Crash the tiered daemon with a populated cold tier, then chop the
+    // newest segment file mid-record — a torn tail from the hard kill.
+    // The warm restart must digest-scan the spill directory, truncate
+    // the torn tail, rebuild serving state from the *snapshot* (the only
+    // durable truth), and continue bitwise on the oracle.
+    let seed = 9102;
+    const TOTAL: usize = 24;
+    const SNAP_AT: usize = 8;
+    const CRASH_AT: usize = 13;
+    let snap = temp_snap("tiered_kill.snap");
+    let spill = temp_spill("tiered-kill-spill");
+    let cfg = ServeConfig {
+        snapshot_path: Some(snap.clone()),
+        ..base_cfg()
+    };
+    let mut trace = Trace::new();
+
+    // phase 1: deliver [0, CRASH_AT), snapshotting after SNAP_AT
+    let handle = apan_serve::start(tiered_model(WEIGHTS, Some(spill.clone())), cfg.clone())
+        .expect("start tiered daemon");
+    let mut client = ChaosClient::connect(handle.addr()).expect("connect");
+    let mut pre = Vec::new();
+    for k in 0..CRASH_AT {
+        pre.push(client.deliver(seed, k).expect("deliver"));
+        trace.push(format!("deliver {k}"));
+        if k + 1 == SNAP_AT {
+            assert!(client.snapshot().expect("snapshot verb"), "snapshot failed");
+            trace.push(format!("snapshot after {SNAP_AT}"));
+        }
+    }
+    assert!(
+        client.stat_u64("tier_evictions").unwrap() > 0,
+        "budget 0 must have spilled mailboxes before the crash"
+    );
+    handle.crash();
+    trace.push(format!("crash after {CRASH_AT}"));
+
+    // the hard kill left the explicit spill directory behind; tear the
+    // newest segment mid-record, as an interrupted append would
+    let mut segs: Vec<std::path::PathBuf> = std::fs::read_dir(&spill)
+        .expect("spill dir survives a crash")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "log"))
+        .collect();
+    segs.sort();
+    let newest = segs.last().expect("cold tier must hold segments");
+    let len = std::fs::metadata(newest).unwrap().len();
+    assert!(len > 20, "segment must hold at least one record: {len}");
+    let f = std::fs::OpenOptions::new()
+        .write(true)
+        .open(newest)
+        .unwrap();
+    f.set_len(len - 5).unwrap(); // mid-record chop
+    drop(f);
+    trace.push(format!(
+        "tore cold segment tail ({} -> {} bytes)",
+        len,
+        len - 5
+    ));
+
+    // phase 2: warm restart over the same spill dir (different weight
+    // seed proves the snapshot wins), deliver the rest
+    let handle = apan_serve::start(tiered_model(WEIGHTS + 1, Some(spill.clone())), cfg)
+        .expect("restart tiered daemon");
+    let mut client = ChaosClient::connect(handle.addr()).expect("reconnect");
+    let mut post = Vec::new();
+    for k in CRASH_AT..TOTAL {
+        post.push(client.deliver(seed, k).expect("deliver after restart"));
+        trace.push(format!("deliver {k} (after restart)"));
+    }
+    handle.shutdown();
+
+    let pre_eff: Vec<usize> = (0..CRASH_AT).collect();
+    let expected_pre = reference_bits(WEIGHTS, seed, &pre_eff);
+    assert_oracle(&pre, &expected_pre, &trace, "tiered pre-crash");
+
+    let mut replay_eff: Vec<usize> = (0..SNAP_AT).collect();
+    replay_eff.extend(CRASH_AT..TOTAL);
+    let expected_all = reference_bits(WEIGHTS, seed, &replay_eff);
+    assert_oracle(
+        &post,
+        &expected_all[SNAP_AT..],
+        &trace,
+        "tiered post-restart over a torn cold tail",
+    );
+    let _ = std::fs::remove_file(&snap);
+    let _ = std::fs::remove_dir_all(&spill);
+}

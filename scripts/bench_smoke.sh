@@ -74,3 +74,46 @@ for row in fresh:
           f"{row['ns_per_iter']:>12.0f} ns/iter ({ratio:.2f}x baseline)")
 print(f"bench_smoke: OK: {len(fresh)} rows match the baseline structure")
 EOF
+
+# Same structural discipline for the tiering report: the phase axis and
+# its correctness-relevant fields must match the committed baseline.
+# Throughput ratios are printed, not compared — but a budgeted phase
+# that stopped evicting (or stopped staying within its capacity) is a
+# failure even in smoke mode.
+fresh_tier=crates/bench/bench-results/BENCH_tier.json
+baseline_tier=benchmarks/BENCH_tier.baseline.json
+if [[ ! -f "$fresh_tier" ]]; then
+    echo "bench_smoke: FAIL: $fresh_tier was not written by the run" >&2
+    exit 1
+fi
+python3 - "$baseline_tier" "$fresh_tier" <<'EOF'
+import json, sys
+
+base_path, fresh_path = sys.argv[1], sys.argv[2]
+base = json.load(open(base_path))
+fresh = json.load(open(fresh_path))
+
+def shape(report):
+    return [(p["phase"], sorted(p)) for p in report["phases"]]
+
+if sorted(base) != sorted(fresh) or shape(base) != shape(fresh):
+    print("bench_smoke: FAIL: BENCH_tier structure drifted from baseline",
+          file=sys.stderr)
+    print(f"  baseline: {shape(base)}", file=sys.stderr)
+    print(f"  fresh:    {shape(fresh)}", file=sys.stderr)
+    sys.exit(1)
+
+for p in fresh["phases"]:
+    budgeted = p["budget_bytes"] is not None
+    if budgeted and p["evictions"] == 0:
+        print(f"bench_smoke: FAIL: {p['phase']} never evicted", file=sys.stderr)
+        sys.exit(1)
+    if budgeted and p["resident_bytes"] > p["budget_bytes"]:
+        print(f"bench_smoke: FAIL: {p['phase']} resident_bytes "
+              f"{p['resident_bytes']} > budget {p['budget_bytes']}", file=sys.stderr)
+        sys.exit(1)
+    print(f"bench_smoke: {p['phase']:>14} {p['ops_per_sec']:>14.0f} ops/s "
+          f"({p['throughput_vs_resident']:.2f}x resident, "
+          f"ev={p['evictions']} pr={p['promotions']})")
+print(f"bench_smoke: OK: BENCH_tier matches the baseline structure")
+EOF
