@@ -71,19 +71,29 @@ fn time_ns(iters: usize, mut f: impl FnMut()) -> f64 {
 }
 
 /// Drives `iters` inference requests through a fresh pipeline, flushing
-/// propagation every iteration, and returns ns per request.
-fn infer_ns(iters: usize, sink: Option<usize>) -> f64 {
+/// propagation every iteration, and returns ns per request. The figure
+/// is the **minimum** over `repeats` back-to-back timings: scheduler
+/// and cache interference only ever add time, so the min is the stable
+/// estimator a percent-level comparison between two separate processes
+/// needs (a single 300-iteration shot swings tens of percent on a
+/// shared runner, drowning the 2% dormant-overhead budget in noise).
+fn infer_ns(iters: usize, repeats: usize, sink: Option<usize>) -> f64 {
     let mut p = pipeline();
     if let Some(cap) = sink {
         p.obs().install_sink(TraceSink::new(cap));
     }
     let mut k = 0u64;
-    time_ns(iters, || {
-        let (interactions, feats) = request(k);
-        k += 1;
-        black_box(p.infer_batch_traced(&interactions, &feats, k, None));
-        p.flush();
-    })
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let ns = time_ns(iters, || {
+            let (interactions, feats) = request(k);
+            k += 1;
+            black_box(p.infer_batch_traced(&interactions, &feats, k, None));
+            p.flush();
+        });
+        best = best.min(ns);
+    }
+    best
 }
 
 fn bench_trace(c: &mut Criterion) {
@@ -178,9 +188,9 @@ fn write_report() {
     }
 
     // hot path: identical request streams, sink absent vs present
-    let iters = 300;
-    let ns_no_sink = infer_ns(iters, None);
-    let ns_with_sink = infer_ns(iters, Some(1 << 14));
+    let (iters, repeats) = (200, 30);
+    let ns_no_sink = infer_ns(iters, repeats, None);
+    let ns_with_sink = infer_ns(iters, repeats, Some(1 << 14));
 
     let report = TraceReport {
         bench: "trace_overhead",

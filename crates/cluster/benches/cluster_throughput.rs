@@ -10,6 +10,7 @@
 
 use apan_cluster::{start_gateway, GatewayConfig, GatewayHandle};
 use apan_core::config::ApanConfig;
+use apan_metrics::Clock;
 use apan_core::model::Apan;
 use apan_core::propagator::Interaction;
 use apan_serve::{Client, ClusterMembership, ServeConfig, ServerHandle};
@@ -55,6 +56,8 @@ fn boot_cluster(n: usize) -> (Vec<ServerHandle>, GatewayHandle) {
     let gateway = start_gateway(GatewayConfig {
         addr: "127.0.0.1:0".into(),
         shards: addrs,
+        clock: Clock::real(),
+        trace_buffer: 8192,
     })
     .expect("start gateway");
     (shards, gateway)

@@ -94,6 +94,8 @@ fn main() {
     let handle = match start_gateway(GatewayConfig {
         addr: format!("0.0.0.0:{}", args.port),
         shards: args.shards,
+        clock: apan_metrics::Clock::real(),
+        trace_buffer: 8192,
     }) {
         Ok(h) => h,
         Err(e) => {

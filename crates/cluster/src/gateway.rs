@@ -22,7 +22,10 @@
 //! replica waits forever on a number that died with its owner. The
 //! client sees an explicit `ERROR` for that request.
 
+use crate::timeline;
 use apan_core::shard::owner_shard;
+use apan_metrics::{Clock, ObsHub, Stage, TraceSink};
+use apan_serve::client::json_u64_field;
 use apan_serve::proto::{self, reply, verb, Frame, ProtoError};
 use apan_serve::Client;
 use std::collections::HashMap;
@@ -47,10 +50,22 @@ pub struct GatewayConfig {
     /// must match each daemon's `--shard-id` and be identical on every
     /// shard's view of the cluster.
     pub shards: Vec<SocketAddr>,
+    /// The time source the gateway's route spans are stamped on.
+    /// [`Clock::real`] in production; the deterministic simulation
+    /// harness injects the scenario's virtual clock so gateway spans
+    /// replay bit-for-bit.
+    pub clock: Clock,
+    /// Capacity of the gateway's own trace ring (route spans), drained
+    /// and merged with the shards' by the `TRACE` verb. `0` installs no
+    /// sink: routing is untraced but shard drains still merge.
+    pub trace_buffer: usize,
 }
 
 struct Shared {
     cfg: GatewayConfig,
+    /// Route spans (client edge → owner reply) and the trace ring the
+    /// gateway's own `TRACE` contribution drains from.
+    obs: ObsHub,
     /// The cluster-global sequence counter: one dense number per
     /// routed inference, cluster-wide.
     gseq: AtomicU64,
@@ -134,8 +149,13 @@ pub fn start_gateway(cfg: GatewayConfig) -> io::Result<GatewayHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
+    let obs = ObsHub::with_clock(cfg.clock.clone());
+    if cfg.trace_buffer > 0 {
+        obs.install_sink(TraceSink::new(cfg.trace_buffer));
+    }
     let shared = Arc::new(Shared {
         cfg,
+        obs,
         gseq: AtomicU64::new(0),
         running: AtomicBool::new(true),
         conns: Mutex::new(HashMap::new()),
@@ -174,7 +194,7 @@ fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
                 let worker = std::thread::Builder::new()
                     .name("apan-gateway-conn".into())
                     .spawn(move || {
-                        conn_loop(stream, &shared2);
+                        conn_loop(stream, id, &shared2);
                         // Peer gone: free the slot — a gateway serving
                         // many short-lived clients must not accumulate
                         // dead sockets.
@@ -304,7 +324,7 @@ fn send(w: &mut BufWriter<TcpStream>, verb: u8, req_id: u64, payload: &[u8]) -> 
     w.flush()
 }
 
-fn conn_loop(stream: TcpStream, shared: &Arc<Shared>) {
+fn conn_loop(stream: TcpStream, conn_id: u64, shared: &Arc<Shared>) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -325,7 +345,7 @@ fn conn_loop(stream: TcpStream, shared: &Arc<Shared>) {
                 break;
             }
         };
-        if handle_frame(frame, &mut links, &mut writer, shared).is_err() {
+        if handle_frame(frame, conn_id, &mut links, &mut writer, shared).is_err() {
             break;
         }
         if !shared.running.load(Ordering::SeqCst) {
@@ -337,6 +357,7 @@ fn conn_loop(stream: TcpStream, shared: &Arc<Shared>) {
 /// Dispatches one client frame. `Err` means the client socket died.
 fn handle_frame(
     frame: Frame,
+    conn_id: u64,
     links: &mut [ShardLink],
     w: &mut BufWriter<TcpStream>,
     shared: &Arc<Shared>,
@@ -344,14 +365,30 @@ fn handle_frame(
     let req_id = frame.req_id;
     match frame.verb {
         verb::INFER => {
+            // The route span opens at the gateway's edge and covers the
+            // whole shard roundtrip. One trace id follows the request
+            // everywhere: the client's tag when present, otherwise an
+            // id derived here and *appended to the routed payload* so
+            // the owner shard (and every span downstream of it) stamps
+            // the same id the gateway does.
+            let t_route0 = shared.obs.stamp();
+            let client_tag = proto::peek_infer_trace_tag(&frame.payload);
+            let trace_id = client_tag.unwrap_or((conn_id << 32) ^ req_id);
             // The sequence number is assigned *before* anything can
             // fail, and is consumed on every path below — by the owner
             // under its turn, or by the hole-filler broadcast.
             let g = shared.gseq.fetch_add(1, Ordering::SeqCst);
             let owner = owner_shard(first_src(&frame.payload), links.len());
-            let route = proto::encode_route(g, &frame.payload);
+            let route =
+                proto::encode_route_traced(g, &frame.payload, client_tag.is_none().then_some(trace_id));
             match links[owner].call(verb::ROUTE, &route) {
-                Ok(f) => send(w, f.verb, req_id, &f.payload),
+                Ok(f) => {
+                    let t_route1 = shared.obs.stamp();
+                    shared
+                        .obs
+                        .stage_record(Stage::Route, trace_id, t_route0, t_route1);
+                    send(w, f.verb, req_id, &f.payload)
+                }
                 Err(e) => {
                     // Owner unreachable: keep the stream dense so no
                     // replica waits forever on `g`, then tell the
@@ -360,6 +397,10 @@ fn handle_frame(
                     for link in links.iter_mut() {
                         let _ = link.call(verb::DELIVER, &filler);
                     }
+                    let t_route1 = shared.obs.stamp();
+                    shared
+                        .obs
+                        .stage_record(Stage::Route, trace_id, t_route0, t_route1);
                     send(
                         w,
                         reply::ERROR,
@@ -423,15 +464,26 @@ fn handle_frame(
                     }
                 }
             }
+            // Sum the per-shard trace-drop counters into one top-level
+            // number: "did any ring overflow before a drain" is a
+            // cluster-level question, and hunting it through N nested
+            // shard documents invites missing a shard.
+            let trace_dropped: u64 = docs
+                .iter()
+                .map(|d| {
+                    json_u64_field(d, "trace_dropped").unwrap_or(0)
+                })
+                .sum();
             let doc = format!(
-                "{{\"cluster_size\":{},\"gseq\":{},\"shards\":[{}]}}",
+                "{{\"cluster_size\":{},\"gseq\":{},\"trace_dropped\":{},\"shards\":[{}]}}",
                 links.len(),
                 shared.gseq.load(Ordering::SeqCst),
+                trace_dropped,
                 docs.join(",")
             );
             send(w, reply::JSON, req_id, doc.as_bytes())
         }
-        verb::METRICS | verb::TRACE => {
+        verb::METRICS => {
             let mut out = String::new();
             for (i, link) in links.iter_mut().enumerate() {
                 match link.call(frame.verb, b"") {
@@ -448,6 +500,31 @@ fn handle_frame(
                 }
             }
             send(w, reply::TEXT, req_id, out.as_bytes())
+        }
+        verb::TRACE => {
+            // Merge every process's drain — the gateway's own route
+            // spans plus each shard's — into one causal timeline per
+            // trace id. Draining stays destructive on every ring, so
+            // each span appears in exactly one merged document.
+            let mut drains = Vec::with_capacity(links.len() + 1);
+            let mut own = String::new();
+            for ev in shared.obs.drain_events() {
+                own.push_str(&ev.to_json_line());
+                own.push('\n');
+            }
+            drains.push(("gateway".to_string(), own));
+            for (i, link) in links.iter_mut().enumerate() {
+                match link.call(verb::TRACE, b"") {
+                    Ok(f) if f.verb == reply::TEXT => {
+                        drains
+                            .push((format!("shard{i}"), String::from_utf8_lossy(&f.payload).into_owned()));
+                    }
+                    // an unreachable shard's spans are simply absent
+                    // from this merge; they surface on a later drain
+                    Ok(_) | Err(_) => {}
+                }
+            }
+            send(w, reply::TEXT, req_id, timeline::merge_timeline(&drains).as_bytes())
         }
         verb::INFO => match links[0].call(verb::INFO, b"") {
             Ok(f) => send(w, f.verb, req_id, &f.payload),

@@ -21,10 +21,13 @@
 //!
 //! * [`gateway`] — the routing/fan-out front ([`start_gateway`]);
 //! * [`proxy`] — a seeded chaos TCP proxy that drops, duplicates, and
-//!   delays `DELIVER` frames for the fault-injection harness.
+//!   delays `DELIVER` frames for the fault-injection harness;
+//! * [`timeline`] — merges per-process `TRACE` drains into one causal
+//!   timeline per request with a critical-path breakdown.
 
 pub mod gateway;
 pub mod proxy;
+pub mod timeline;
 
 pub use apan_core::shard::owner_shard;
 pub use gateway::{start_gateway, GatewayConfig, GatewayHandle};

@@ -1,0 +1,333 @@
+//! Merging per-shard `TRACE` drains into one causal timeline.
+//!
+//! Every process in the cluster — the gateway and each shard — drains
+//! its own trace ring as JSON lines (`{"trace_id":…,"stage":"…",
+//! "start_ns":…,"end_ns":…}`). This module merges those drains by
+//! trace id into a single human-readable timeline per request, ordered
+//! causally, with a critical-path breakdown computed per trace.
+//!
+//! Two constraints shape the format:
+//!
+//! * **Clocks are per-process.** Each daemon's real clock starts at its
+//!   own boot instant, so `start_ns`/`end_ns` from different sources
+//!   are *not* comparable. Cross-source ordering therefore comes from
+//!   the span kinds' causal rank (a routed request is always gateway
+//!   route → shard admit → … → replica apply), never from comparing
+//!   absolute stamps across sources; the critical-path arithmetic uses
+//!   durations only.
+//! * **Determinism.** The same set of drained spans must merge to the
+//!   same bytes regardless of drain interleaving — the deterministic
+//!   simulation harness replays a cluster scenario twice and compares
+//!   the merged timelines byte-for-byte. Sorting is total: trace id,
+//!   then causal rank, then (source, start, end, stage).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One parsed span from some process's `TRACE` drain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRec {
+    /// Stable label of the process that recorded the span (`gateway`,
+    /// `shard0`, …). Stable across reconnects, unlike addresses.
+    pub source: String,
+    /// Correlation id shared by every hop of one request.
+    pub trace_id: u64,
+    /// Span kind name as drained (`route`, `admit`, `forward`, …).
+    pub stage: String,
+    /// Span entry on the *recording process's* clock.
+    pub start_ns: u64,
+    /// Span exit on the recording process's clock.
+    pub end_ns: u64,
+}
+
+impl SpanRec {
+    /// Span duration — the only quantity comparable across sources.
+    pub fn dur_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// Causal rank of a span kind within one routed request: the order hops
+/// *must* happen in, independent of which process's clock stamped them.
+/// Storage-side spans (reorder/tier) trail the request path; unknown
+/// kinds sort last so a newer daemon's spans never scramble old ones.
+pub fn causal_rank(stage: &str) -> usize {
+    const ORDER: [&str; 15] = [
+        "route",
+        "admit",
+        "batch_wait",
+        "encode",
+        "decode_score",
+        "forward",
+        "replica_apply",
+        "commit",
+        "plan",
+        "deliver",
+        "reorder_park",
+        "reorder_release",
+        "tier_evict",
+        "tier_promote",
+        "cold_read",
+    ];
+    ORDER
+        .iter()
+        .position(|&s| s == stage)
+        .unwrap_or(ORDER.len())
+}
+
+/// Extracts the value after `"key":` in a single flat JSON line.
+/// Returns the raw value slice (up to the next `,` or `}`), unquoted.
+fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        stripped.split('"').next()
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim())
+    }
+}
+
+/// Parses one drained `TRACE` document (JSON lines) into spans labelled
+/// with `source`. Lines that do not parse are skipped — a drain is
+/// best-effort telemetry, and a half-written line must not poison the
+/// merge.
+pub fn parse_drain(source: &str, text: &str) -> Vec<SpanRec> {
+    text.lines()
+        .filter_map(|line| {
+            let trace_id = json_field(line, "trace_id")?.parse().ok()?;
+            let stage = json_field(line, "stage")?.to_string();
+            let start_ns = json_field(line, "start_ns")?.parse().ok()?;
+            let end_ns = json_field(line, "end_ns")?.parse().ok()?;
+            Some(SpanRec {
+                source: source.to_string(),
+                trace_id,
+                stage,
+                start_ns,
+                end_ns,
+            })
+        })
+        .collect()
+}
+
+/// Per-trace critical-path breakdown, all in nanoseconds of *duration*
+/// (absolute stamps never cross sources). `total` is the gateway route
+/// span — the whole request as the client's edge saw it; the sync
+/// stages are the owner shard's work inside it; `transport` is the
+/// residual (route minus sync work): wire time, queueing at the shard's
+/// socket, and the sequence turnstile. Zero when no route span was
+/// drained (a single-process trace).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CriticalPath {
+    /// Gateway route span duration (0 if the trace never crossed a
+    /// gateway).
+    pub total_ns: u64,
+    /// Owner-shard admission (decode + validate + watermark).
+    pub admit_ns: u64,
+    /// Time the request waited for its batch to close.
+    pub batch_wait_ns: u64,
+    /// Encoder forward pass.
+    pub encode_ns: u64,
+    /// Decoder scoring.
+    pub decode_score_ns: u64,
+    /// Residual: `total` minus the sync stages, clamped at zero.
+    pub transport_ns: u64,
+}
+
+/// Computes the critical path of one trace's spans (durations only).
+pub fn critical_path(spans: &[SpanRec]) -> CriticalPath {
+    let sum = |stage: &str| -> u64 {
+        spans
+            .iter()
+            .filter(|s| s.stage == stage)
+            .map(SpanRec::dur_ns)
+            .sum()
+    };
+    let mut cp = CriticalPath {
+        total_ns: sum("route"),
+        admit_ns: sum("admit"),
+        batch_wait_ns: sum("batch_wait"),
+        encode_ns: sum("encode"),
+        decode_score_ns: sum("decode_score"),
+        transport_ns: 0,
+    };
+    let sync = cp.admit_ns + cp.batch_wait_ns + cp.encode_ns + cp.decode_score_ns;
+    cp.transport_ns = cp.total_ns.saturating_sub(sync);
+    cp
+}
+
+/// Merges any number of `(source_label, drained_text)` pairs into one
+/// causal timeline document:
+///
+/// ```text
+/// # trace 4294967299
+/// gateway route start=102000 end=4180000 dur=4078000
+/// shard1 admit start=88000 end=91000 dur=3000
+/// …
+/// # critical-path total=4078000 admit=3000 batch_wait=0 encode=810000 decode_score=120000 transport=3145000
+/// ```
+///
+/// Traces are ordered by id; spans within a trace by causal rank, then
+/// `(source, start, end, stage)` — a total order, so the output is a
+/// pure function of the span *set*. Untraced spans (id 0) are grouped
+/// under `# trace 0` like any other id.
+pub fn merge_timeline(drains: &[(String, String)]) -> String {
+    let mut by_trace: BTreeMap<u64, Vec<SpanRec>> = BTreeMap::new();
+    for (source, text) in drains {
+        for span in parse_drain(source, text) {
+            by_trace.entry(span.trace_id).or_default().push(span);
+        }
+    }
+    let mut out = String::new();
+    for (trace_id, spans) in by_trace.iter_mut() {
+        spans.sort_by(|a, b| {
+            causal_rank(&a.stage)
+                .cmp(&causal_rank(&b.stage))
+                .then_with(|| a.source.cmp(&b.source))
+                .then_with(|| a.start_ns.cmp(&b.start_ns))
+                .then_with(|| a.end_ns.cmp(&b.end_ns))
+                .then_with(|| a.stage.cmp(&b.stage))
+        });
+        let _ = writeln!(out, "# trace {trace_id}");
+        for s in spans.iter() {
+            let _ = writeln!(
+                out,
+                "{} {} start={} end={} dur={}",
+                s.source,
+                s.stage,
+                s.start_ns,
+                s.end_ns,
+                s.dur_ns()
+            );
+        }
+        let cp = critical_path(spans);
+        let _ = writeln!(
+            out,
+            "# critical-path total={} admit={} batch_wait={} encode={} decode_score={} transport={}",
+            cp.total_ns, cp.admit_ns, cp.batch_wait_ns, cp.encode_ns, cp.decode_score_ns,
+            cp.transport_ns
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(trace_id: u64, stage: &str, start: u64, end: u64) -> String {
+        format!(
+            "{{\"trace_id\":{trace_id},\"stage\":\"{stage}\",\"start_ns\":{start},\"end_ns\":{end}}}"
+        )
+    }
+
+    #[test]
+    fn parse_skips_junk_and_reads_well_formed_lines() {
+        let text = format!(
+            "{}\nnot json at all\n{{\"trace_id\":9}}\n{}\n",
+            line(7, "admit", 10, 25),
+            line(7, "encode", 30, 90),
+        );
+        let spans = parse_drain("shard0", &text);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].stage, "admit");
+        assert_eq!(spans[0].dur_ns(), 15);
+        assert_eq!(spans[1].source, "shard0");
+    }
+
+    #[test]
+    fn causal_rank_orders_the_request_path_and_dumps_unknowns_last() {
+        assert!(causal_rank("route") < causal_rank("admit"));
+        assert!(causal_rank("decode_score") < causal_rank("forward"));
+        assert!(causal_rank("forward") < causal_rank("replica_apply"));
+        assert!(causal_rank("deliver") < causal_rank("reorder_park"));
+        assert!(causal_rank("cold_read") < causal_rank("some_future_stage"));
+    }
+
+    #[test]
+    fn merge_is_deterministic_under_drain_interleaving() {
+        // the same span set split across drains differently (and in a
+        // different order) must merge to identical bytes
+        let a = vec![
+            (
+                "gateway".to_string(),
+                format!("{}\n", line(5, "route", 100, 900)),
+            ),
+            (
+                "shard0".to_string(),
+                format!("{}\n{}\n", line(5, "admit", 7, 9), line(5, "encode", 10, 60)),
+            ),
+        ];
+        let b = vec![
+            (
+                "shard0".to_string(),
+                format!("{}\n", line(5, "encode", 10, 60)),
+            ),
+            (
+                "gateway".to_string(),
+                format!("{}\n", line(5, "route", 100, 900)),
+            ),
+            (
+                "shard0".to_string(),
+                format!("{}\n", line(5, "admit", 7, 9)),
+            ),
+        ];
+        let merged = merge_timeline(&a);
+        assert_eq!(merged, merge_timeline(&b));
+        // causal order, not stamp order: route leads despite its later
+        // (other-clock) start stamp
+        let lines: Vec<&str> = merged.lines().collect();
+        assert_eq!(lines[0], "# trace 5");
+        assert!(lines[1].starts_with("gateway route "));
+        assert!(lines[2].starts_with("shard0 admit "));
+        assert!(lines[3].starts_with("shard0 encode "));
+    }
+
+    #[test]
+    fn critical_path_uses_durations_only_and_clamps_the_residual() {
+        let spans = parse_drain(
+            "x",
+            &format!(
+                "{}\n{}\n{}\n{}\n{}\n",
+                line(1, "route", 1_000_000, 1_010_000),
+                line(1, "admit", 5, 1_005), // a different clock's stamps
+                line(1, "batch_wait", 1_005, 2_005),
+                line(1, "encode", 2_005, 5_005),
+                line(1, "decode_score", 5_005, 6_005),
+            ),
+        );
+        let cp = critical_path(&spans);
+        assert_eq!(cp.total_ns, 10_000);
+        assert_eq!(cp.admit_ns, 1_000);
+        assert_eq!(cp.transport_ns, 10_000 - 6_000);
+        // sync work exceeding the route span (clock skew) clamps to 0
+        let skewed = parse_drain(
+            "x",
+            &format!(
+                "{}\n{}\n",
+                line(2, "route", 0, 10),
+                line(2, "encode", 0, 500),
+            ),
+        );
+        assert_eq!(critical_path(&skewed).transport_ns, 0);
+    }
+
+    #[test]
+    fn traces_group_by_id_and_each_gets_a_critical_path_line() {
+        let drains = vec![(
+            "shard0".to_string(),
+            format!("{}\n{}\n", line(2, "admit", 0, 5), line(1, "admit", 0, 3)),
+        )];
+        let merged = merge_timeline(&drains);
+        let lines: Vec<&str> = merged.lines().collect();
+        assert_eq!(lines[0], "# trace 1");
+        assert!(lines[2].starts_with("# critical-path "));
+        assert_eq!(lines[3], "# trace 2");
+        assert_eq!(
+            merged.matches("# critical-path ").count(),
+            2,
+            "one breakdown per trace"
+        );
+    }
+}

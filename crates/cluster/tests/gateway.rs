@@ -3,6 +3,7 @@
 
 use apan_cluster::{owner_shard, start_gateway, ChaosProfile, ChaosProxy, GatewayConfig};
 use apan_core::config::ApanConfig;
+use apan_metrics::Clock;
 use apan_core::model::Apan;
 use apan_core::propagator::Interaction;
 use apan_serve::client::json_u64_field;
@@ -11,6 +12,7 @@ use apan_serve::{Client, ClusterMembership, ServeConfig, ServerHandle};
 use apan_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
@@ -53,6 +55,8 @@ fn boot_cluster(n: usize, weight_seed: u64) -> (Vec<ServerHandle>, apan_cluster:
     let gateway = start_gateway(GatewayConfig {
         addr: "127.0.0.1:0".into(),
         shards: addrs,
+        clock: Clock::real(),
+        trace_buffer: 8192,
     })
     .expect("gateway");
     (shards, gateway)
@@ -241,6 +245,202 @@ fn gateway_prunes_short_lived_clients() {
     }
 }
 
+/// Folds one gateway `TRACE` reply (the merged timeline document) into
+/// an accumulator of `(source, stage)` pairs per trace id. Drains are
+/// destructive, so the test accumulates across polls.
+fn collect_merged(doc: &str, into: &mut BTreeMap<u64, BTreeSet<(String, String)>>) {
+    let mut current: Option<u64> = None;
+    for line in doc.lines() {
+        if let Some(rest) = line.strip_prefix("# trace ") {
+            current = rest.trim().parse().ok();
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // the critical-path summary line
+        }
+        if let (Some(id), Some((source, rest))) = (current, line.split_once(' ')) {
+            if let Some((stage, _)) = rest.split_once(' ') {
+                into.entry(id)
+                    .or_default()
+                    .insert((source.to_string(), stage.to_string()));
+            }
+        }
+    }
+}
+
+/// Tentpole e2e: traced `INFER`s through a chaos-proxied 3-shard
+/// cluster — with tiering and a lateness window active on every shard —
+/// merge into one causal timeline per request. The timeline must cover
+/// the gateway, the owner, and both replicas of a single request, the
+/// union of spans must cross ten distinct kinds (including route,
+/// deliver, tier, and reorder spans), and each shard's tail-latency
+/// exemplar must resolve back to one of the ids the client sent.
+#[test]
+fn traced_cluster_request_yields_one_causal_timeline() {
+    const N: usize = 3;
+    const REQS: usize = 18;
+    const BASE_ID: u64 = 0x7ace_0000;
+    let shards: Vec<ServerHandle> = (0..N)
+        .map(|i| {
+            let mut m = model(63);
+            // hot budget 0: every delivery churns the cold tier
+            m.cfg.mailbox_budget = Some(0);
+            let mut membership = ClusterMembership::new(i, N);
+            membership.deliver_retry = Duration::from_millis(50);
+            apan_serve::start(
+                m,
+                ServeConfig {
+                    num_nodes: NODES as usize + 8,
+                    cluster: Some(membership),
+                    lateness: Some(4.0),
+                    ..ServeConfig::default()
+                },
+            )
+            .expect("shard")
+        })
+        .collect();
+    let addrs: Vec<SocketAddr> = shards.iter().map(|s| s.addr()).collect();
+    let proxies: Vec<ChaosProxy> = addrs
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| {
+            ChaosProxy::start(a, 2000 + i as u64, ChaosProfile::default()).expect("proxy")
+        })
+        .collect();
+    for (i, shard) in shards.iter().enumerate() {
+        let peers: Vec<SocketAddr> = (0..N)
+            .filter(|&j| j != i)
+            .map(|j| proxies[j].addr())
+            .collect();
+        shard.set_cluster_peers(&peers);
+    }
+    let gateway = start_gateway(GatewayConfig {
+        addr: "127.0.0.1:0".into(),
+        shards: addrs,
+        clock: Clock::real(),
+        trace_buffer: 8192,
+    })
+    .expect("gateway");
+
+    let mut client = Client::connect(gateway.addr()).expect("connect");
+    let mut ids = BTreeSet::new();
+    for k in 0..REQS {
+        let (mut interactions, feats) = request(k);
+        if k == 6 {
+            // one in-window late event: parks in the reorder buffer and
+            // releases once the watermark passes time + lateness
+            interactions[0].time = 3.5;
+        }
+        let id = BASE_ID + k as u64;
+        ids.insert(id);
+        client
+            .infer_traced(&interactions, &feats, Some(id))
+            .expect("infer");
+        client.flush().expect("flush");
+    }
+
+    // Forward spans close on the peer's ack and tier spans ride the
+    // async commit turn, so poll the (destructive) TRACE drain until
+    // the accumulated timeline satisfies the acceptance shape.
+    let mut spans: BTreeMap<u64, BTreeSet<(String, String)>> = BTreeMap::new();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let doc = client.trace_dump().expect("trace");
+        collect_merged(&doc, &mut spans);
+
+        let kinds: BTreeSet<&str> = ids
+            .iter()
+            .filter_map(|id| spans.get(id))
+            .flatten()
+            .map(|(_, stage)| stage.as_str())
+            .collect();
+        let ten_kinds = kinds.len() >= 10
+            && kinds.contains("route")
+            && kinds.contains("deliver")
+            && ["tier_evict", "tier_promote", "cold_read"]
+                .iter()
+                .any(|k| kinds.contains(k))
+            && ["reorder_park", "reorder_release"]
+                .iter()
+                .any(|k| kinds.contains(k));
+        // one request whose timeline covers gateway + owner + replicas
+        let full_coverage = ids.iter().any(|id| {
+            let Some(group) = spans.get(id) else {
+                return false;
+            };
+            let owner = group
+                .iter()
+                .find(|(_, stage)| stage == "forward")
+                .map(|(src, _)| src.clone());
+            let Some(owner) = owner else { return false };
+            let replicas: BTreeSet<&String> = group
+                .iter()
+                .filter(|(src, stage)| stage == "replica_apply" && *src != owner)
+                .map(|(src, _)| src)
+                .collect();
+            group.contains(&("gateway".to_string(), "route".to_string()))
+                && group.contains(&(owner.clone(), "encode".to_string()))
+                && replicas.len() == N - 1
+        });
+        if ten_kinds && full_coverage {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timeline never converged; kinds={kinds:?} spans={spans:#?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // Exemplars: every shard's service histogram saw only traced
+    // requests, so each non-zero slow_exemplar must be an id the client
+    // sent — and it must resolve to a timeline the merge produced.
+    let stats = client.stats().expect("stats");
+    assert!(
+        stats.starts_with("{\"cluster_size\":") && stats.contains("\"trace_dropped\":"),
+        "aggregate must sum shard trace-drop counters: {stats}"
+    );
+    let mut exemplars = Vec::new();
+    let mut rest = stats.as_str();
+    while let Some(pos) = rest.find("\"slow_exemplar\":") {
+        rest = &rest[pos..];
+        exemplars.push(json_u64_field(rest, "slow_exemplar").expect("exemplar value"));
+        rest = &rest[16..];
+    }
+    assert_eq!(exemplars.len(), N, "one exemplar per shard: {stats}");
+    let hot: Vec<u64> = exemplars.iter().copied().filter(|&e| e != 0).collect();
+    assert!(!hot.is_empty(), "no shard retained an exemplar: {stats}");
+    for e in &hot {
+        assert!(ids.contains(e), "exemplar {e} is not a client trace id");
+        assert!(
+            spans.contains_key(e),
+            "exemplar {e} did not resolve to a merged timeline"
+        );
+    }
+
+    // Satellite surfaces: per-shard trace-drop counters and the raw-ns
+    // tier/reorder histograms ride the aggregated exposition.
+    let metrics = client.metrics().expect("metrics");
+    assert_eq!(
+        metrics.matches("# TYPE apan_trace_dropped_total").count(),
+        N,
+        "each shard section must expose its trace-drop counter"
+    );
+    for name in ["apan_tier_cold_read_ns", "apan_reorder_park_ns"] {
+        assert!(
+            metrics.contains(&format!("{name}_count")),
+            "missing {name} histogram in:\n{metrics}"
+        );
+    }
+
+    drop(client);
+    gateway.shutdown();
+    for s in shards {
+        s.join();
+    }
+    drop(proxies);
+}
+
 /// Deliveries across a lossy link (drops, duplicates, delays) still
 /// leave every replica bitwise identical to the serial daemon — the
 /// stop-and-wait retransmit plus sequence dedup absorb the chaos.
@@ -282,6 +482,8 @@ fn chaos_on_the_deliver_link_cannot_diverge_replicas() {
     let gateway = start_gateway(GatewayConfig {
         addr: "127.0.0.1:0".into(),
         shards: addrs,
+        clock: Clock::real(),
+        trace_buffer: 8192,
     })
     .expect("gateway");
     let single = apan_serve::start(model(41), shard_cfg(None)).expect("single");

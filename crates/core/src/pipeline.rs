@@ -269,7 +269,22 @@ pub mod wire {
     /// counts are capped before allocation. Trailing bytes are rejected
     /// as they would mean a framing bug upstream.
     pub fn decode_job(mut b: Bytes) -> Result<WireJob, WireError> {
-        let n = get_count(&mut b)?;
+        let job = decode_job_from(&mut b)?;
+        if b.remaining() != 0 {
+            return Err(WireError::Truncated {
+                needed: 0,
+                got: b.remaining(),
+            });
+        }
+        Ok(job)
+    }
+
+    /// Decodes exactly one job from the front of `b`, advancing past the
+    /// consumed bytes. The job encoding is self-delimiting, so callers
+    /// with a legitimate trailer (the `DELIVER` verb's optional trace
+    /// tag) use this and then interpret what remains.
+    pub fn decode_job_from(b: &mut Bytes) -> Result<WireJob, WireError> {
+        let n = get_count(b)?;
         if b.remaining() < n * 20 {
             return Err(WireError::Truncated {
                 needed: n * 20,
@@ -287,7 +302,7 @@ pub mod wire {
         }
         let mut maps: [Vec<usize>; 2] = [Vec::new(), Vec::new()];
         for map in &mut maps {
-            let k = get_count(&mut b)?;
+            let k = get_count(b)?;
             if b.remaining() < k * 4 {
                 return Err(WireError::Truncated {
                     needed: k * 4,
@@ -300,7 +315,7 @@ pub mod wire {
             }
         }
         let [src_rows, dst_rows] = maps;
-        let nl = get_count(&mut b)?;
+        let nl = get_count(b)?;
         if b.remaining() < nl * 4 {
             return Err(WireError::Truncated {
                 needed: nl * 4,
@@ -330,12 +345,6 @@ pub mod wire {
             b.advance(len);
         }
         let [z_wire, feats_wire] = blobs;
-        if b.remaining() != 0 {
-            return Err(WireError::Truncated {
-                needed: 0,
-                got: b.remaining(),
-            });
-        }
         Ok(WireJob {
             interactions,
             src_rows,
@@ -477,6 +486,17 @@ pub mod wire {
         }
 
         #[test]
+        fn streaming_job_decode_leaves_the_trailer() {
+            let job = sample_job();
+            let mut bytes = encode_job(&job).to_vec();
+            bytes.extend_from_slice(&encode_trace_tag(99));
+            let mut b = Bytes::from(bytes);
+            assert_eq!(decode_job_from(&mut b).unwrap(), job);
+            assert_eq!(decode_trace_tag(&mut b).unwrap(), Some(99));
+            assert_eq!(b.remaining(), 0);
+        }
+
+        #[test]
         fn oversized_job_counts_rejected_without_allocating() {
             let mut buf = BytesMut::new();
             buf.put_u32_le(u32::MAX);
@@ -538,6 +558,12 @@ struct LateEntry {
     /// Arrival order among buffered entries; ties in event time release
     /// in arrival order, matching the serial replay's tie rule.
     arrival: u64,
+    /// Trace id of the request that admitted the event, so the release
+    /// span lands on the same timeline.
+    trace_id: u64,
+    /// Hub-clock stamp at park. The `reorder_release` span runs from
+    /// here to release, making its histogram the park-time distribution.
+    parked_at: Duration,
 }
 
 /// The reorder buffer shared by the pipeline and its workers. All
@@ -890,6 +916,10 @@ fn propagation_worker(
         gates.wait_commit(seq);
         // `deliver` span: applying the plan to the sharded mailbox (the
         // commit-ticket wait before it is queueing, not delivery work).
+        // Tier traffic triggered by the deliveries is attributed to this
+        // job's trace (the commit turn serializes deliveries, so the
+        // attribution is exact on this path).
+        store.tier_stats().set_trace(job.trace_id);
         let t_deliver0 = obs.stamp();
         let mut deliveries = plan.apply_sharded(&store);
         // Reorder-buffer maintenance runs inside the commit turn, so
@@ -901,15 +931,20 @@ fn propagation_worker(
                 let li = li as usize;
                 let arrival = ls.next_arrival;
                 ls.next_arrival += 1;
+                let t_park0 = obs.stamp();
                 let entry = LateEntry {
                     inter: job.interactions[li],
                     mail: mails.data()[li * dim..(li + 1) * dim].to_vec(),
                     arrival,
+                    trace_id: job.trace_id,
+                    parked_at: t_park0,
                 };
                 let pos = ls.buf.partition_point(|e| {
                     (e.inter.time, e.arrival) <= (entry.inter.time, entry.arrival)
                 });
                 ls.buf.insert(pos, entry);
+                let t_park1 = obs.stamp();
+                obs.stage_record(Stage::ReorderPark, job.trace_id, t_park0, t_park1);
             }
             if let Some(m) = inorder_max {
                 if m > ls.watermark {
@@ -924,6 +959,7 @@ fn propagation_worker(
             let threshold = ls.watermark - ls.lateness;
             while ls.buf.first().is_some_and(|e| e.inter.time <= threshold) {
                 let entry = ls.buf.remove(0);
+                store.tier_stats().set_trace(entry.trace_id);
                 let width = entry.mail.len();
                 let mail_row = Tensor::from_vec(1, width, entry.mail);
                 {
@@ -939,6 +975,11 @@ fn propagation_worker(
                 }
                 deliveries += plan.apply_sharded_late(&store);
                 ls.released += 1;
+                // The release span covers the entry's full park
+                // residency, so its histogram is the park-time
+                // distribution (`apan_reorder_park_ns`).
+                let t_rel = obs.stamp();
+                obs.stage_record(Stage::ReorderRelease, entry.trace_id, entry.parked_at, t_rel);
             }
         }
         let t_deliver1 = obs.stamp();
@@ -1097,6 +1138,9 @@ impl ServingPipeline {
         let propagator: Propagator = model.propagator;
         let mail_content = model.cfg.mail_content;
         let obs = ObsHub::new();
+        // Tier events (evict / promote / cold read) span through the
+        // same hub; a store with no tier never fires them.
+        store.tier_stats().install_obs(obs.clone());
         let workers = (0..threads)
             .map(|_| {
                 let rx = rx.clone();
@@ -1299,6 +1343,7 @@ impl ServingPipeline {
         if job.interactions.is_empty() {
             return;
         }
+        self.store.tier_stats().set_trace(trace_id);
         if let Ok(z) = wire::decode_tensor(job.z_wire.clone()) {
             let src: Vec<NodeId> = job.interactions.iter().map(|i| i.src).collect();
             let dst: Vec<NodeId> = job.interactions.iter().map(|i| i.dst).collect();
@@ -1366,6 +1411,9 @@ impl ServingPipeline {
             );
         }
         let start = self.obs.now();
+        // Sync-path mailbox reads can promote spilled nodes; attribute
+        // that tier traffic to this request.
+        self.store.tier_stats().set_trace(trace_id);
 
         let src: Vec<NodeId> = interactions.iter().map(|i| i.src).collect();
         let dst: Vec<NodeId> = interactions.iter().map(|i| i.dst).collect();
@@ -1565,6 +1613,7 @@ impl ServingPipeline {
             let g = self.graph.read();
             for entry in entries {
                 let width = entry.mail.len();
+                let (trace_id, parked_at) = (entry.trace_id, entry.parked_at);
                 let mail_row = Tensor::from_vec(1, width, entry.mail);
                 propagator.plan_batch(
                     &g,
@@ -1575,6 +1624,9 @@ impl ServingPipeline {
                     &mut plan,
                 );
                 deliveries += plan.apply_sharded_late(&self.store);
+                let t_rel = self.obs.stamp();
+                self.obs
+                    .stage_record(Stage::ReorderRelease, trace_id, parked_at, t_rel);
             }
         }
         ls.released += released as u64;

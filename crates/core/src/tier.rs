@@ -45,6 +45,7 @@
 //! multi-KB mailbox records.
 
 use crate::mailbox::{MailOrigin, MailboxStore};
+use apan_metrics::{ObsHub, Stage};
 use apan_tgraph::{NodeId, Time};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -52,8 +53,9 @@ use std::fs::{self, File, OpenOptions};
 use std::io;
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Live counters of the tiered store, shared by every shard and scraped
 /// by the serving daemon's `METRICS`/`STATS` surfaces. All zeros when
@@ -68,6 +70,51 @@ pub struct TierStats {
     pub promotions: AtomicU64,
     /// Bytes across all cold segment files (headers + live + dead).
     pub cold_bytes: AtomicU64,
+    /// Observability hook installed by the serving pipeline; tier
+    /// events (evict / promote / cold read) record spans through it.
+    obs: Mutex<Option<ObsHub>>,
+    /// Fast dormancy flag mirroring `obs`: span helpers bail on one
+    /// relaxed load when no hub is installed.
+    obs_installed: AtomicBool,
+    /// Trace id of the request currently driving tier traffic (set by
+    /// the pipeline under its ordering tickets). Best-effort
+    /// attribution: concurrent sync reads and deliveries share the cell.
+    trace: AtomicU64,
+}
+
+impl TierStats {
+    /// Installs the hub tier spans are recorded through (the serving
+    /// pipeline calls this once at boot, sharing its own hub).
+    pub fn install_obs(&self, obs: ObsHub) {
+        *self.obs.lock() = Some(obs);
+        self.obs_installed.store(true, Ordering::Release);
+    }
+
+    /// Tags subsequent tier spans with `trace_id` (0 = untraced).
+    pub fn set_trace(&self, trace_id: u64) {
+        if self.obs_installed.load(Ordering::Relaxed) {
+            self.trace.store(trace_id, Ordering::Relaxed);
+        }
+    }
+
+    /// Opens a tier span: `None` (one relaxed load, no clock read) when
+    /// no hub is installed.
+    fn span_start(&self) -> Option<(ObsHub, Duration)> {
+        if !self.obs_installed.load(Ordering::Relaxed) {
+            return None;
+        }
+        let obs = self.obs.lock().clone()?;
+        let t0 = obs.stamp();
+        Some((obs, t0))
+    }
+
+    /// Closes a tier span opened by [`TierStats::span_start`].
+    fn span_end(&self, started: Option<(ObsHub, Duration)>, stage: Stage) {
+        if let Some((obs, t0)) = started {
+            let t1 = obs.stamp();
+            obs.stage_record(stage, self.trace.load(Ordering::Relaxed), t0, t1);
+        }
+    }
 }
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -867,9 +914,11 @@ impl TierState {
         let slot = self.lru_tail;
         debug_assert_ne!(slot, NONE, "cap ≥ 1 and free list empty ⇒ LRU nonempty");
         let victim = self.slot_node[slot as usize];
+        let span = self.stats.span_start();
         self.scratch.clear();
         hot.export_node_bytes(slot as usize, &mut self.scratch);
         self.cold.lock().append(self.global(victim), &self.scratch);
+        self.stats.span_end(span, Stage::TierEvict);
         self.unlink(slot);
         self.map[victim as usize] = None;
         self.slot_node[slot as usize] = NONE;
@@ -972,13 +1021,17 @@ impl TierShard {
         }
         let slot = t.acquire_slot(&mut self.hot);
         let global = t.global(local);
+        let read_span = t.stats.span_start();
         let promoted = t.cold.lock().take_record_into(global, &mut t.promote);
         if promoted {
+            t.stats.span_end(read_span, Stage::ColdRead);
+            let promote_span = t.stats.span_start();
             let body = t.promote.len() - 8;
             self.hot
                 .import_node_bytes(slot as usize, &t.promote[4..body]);
             t.stats.promotions.fetch_add(1, Ordering::Relaxed);
             t.bind_probation(local, slot);
+            t.stats.span_end(promote_span, Stage::TierPromote);
         } else {
             self.hot.clear_node(slot as usize);
             t.bind(local, slot);
@@ -998,9 +1051,12 @@ impl TierShard {
             return Some(slot);
         }
         let global = t.global(local);
+        let read_span = t.stats.span_start();
         if !t.cold.lock().take_record_into(global, &mut t.promote) {
             return None;
         }
+        t.stats.span_end(read_span, Stage::ColdRead);
+        let promote_span = t.stats.span_start();
         let slot = t.acquire_slot(&mut self.hot);
         let body = t.promote.len() - 8;
         self.hot
@@ -1010,6 +1066,7 @@ impl TierShard {
             t.map.resize(local as usize + 1, None);
         }
         t.bind_probation(local, slot);
+        t.stats.span_end(promote_span, Stage::TierPromote);
         Some(slot)
     }
 

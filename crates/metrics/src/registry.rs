@@ -225,6 +225,30 @@ fn render_histogram(
         fmt_f64(snap.sum as f64 * scale)
     ));
     out.push_str(&format!("{name}_count {count}\n"));
+    // Tail-latency exemplars ride along as a separate `_exemplar`
+    // series (one sample per bucket holding a trace id) rather than as
+    // inline OpenMetrics annotations, so plain-Prometheus parsers of
+    // the `_bucket` lines are untouched.
+    if snap.exemplars.iter().any(|&id| id != 0) {
+        let ename = format!("{name}_exemplar");
+        render_header(
+            out,
+            &ename,
+            "Trace id of the most recent tagged sample per bucket",
+            "gauge",
+        );
+        for (i, &id) in snap.exemplars.iter().enumerate() {
+            if id == 0 {
+                continue;
+            }
+            let le = if i >= HIST_BUCKETS - 1 {
+                "+Inf".to_string()
+            } else {
+                fmt_f64((1u64 << i) as f64 * scale)
+            };
+            out.push_str(&format!("{ename}{{le=\"{le}\"}} {id}\n"));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -275,6 +299,25 @@ mod tests {
         assert!(text.contains("apan_empty_seconds_bucket{le=\"+Inf\"} 0\n"));
         assert!(text.contains("apan_empty_seconds_sum 0\n"));
         assert!(text.contains("apan_empty_seconds_count 0\n"));
+    }
+
+    #[test]
+    fn exemplars_render_as_a_separate_series() {
+        let reg = Registry::new();
+        let h = Arc::new(Histogram::new());
+        reg.histogram("apan_service_seconds", "Service time", 1e-9, Arc::clone(&h));
+        h.record(1); // untagged: no exemplar series at all
+        assert!(!reg.render().contains("apan_service_seconds_exemplar"));
+        h.record_tagged(5, 42); // bucket 3, le=8ns → 8e-9 s
+        let text = reg.render();
+        assert!(text.contains("# TYPE apan_service_seconds_exemplar gauge\n"));
+        assert!(text.contains("apan_service_seconds_exemplar{le=\"0.000000008\"} 42\n"));
+        // bucket lines stay bare — no inline annotations
+        assert!(text.contains("apan_service_seconds_bucket{le=\"0.000000008\"} 2\n"));
+        h.record_tagged(u64::MAX, 7);
+        assert!(reg
+            .render()
+            .contains("apan_service_seconds_exemplar{le=\"+Inf\"} 7\n"));
     }
 
     #[test]

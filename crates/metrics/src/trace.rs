@@ -43,6 +43,11 @@ pub struct Histogram {
     buckets: [AtomicU64; HIST_BUCKETS],
     /// Sum of all recorded values (for `_sum` in exposition).
     sum: AtomicU64,
+    /// Tail-latency exemplars: per bucket, the trace id of the most
+    /// recent *tagged* sample that landed there (0 = none). Written
+    /// only by [`Histogram::record_tagged`]; plain [`Histogram::record`]
+    /// never touches this array, so untagged hot paths pay nothing.
+    exemplars: [AtomicU64; HIST_BUCKETS],
 }
 
 impl Default for Histogram {
@@ -57,6 +62,7 @@ impl Histogram {
         Self {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             sum: AtomicU64::new(0),
+            exemplars: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
@@ -99,6 +105,37 @@ impl Histogram {
         self.sum.fetch_add(v.saturating_mul(n), Ordering::Relaxed);
     }
 
+    /// Records one value and, if `trace_id` is non-zero (0 means
+    /// "untraced" throughout the stack), retains it as the bucket's
+    /// exemplar. Last writer wins: the exemplar is always the *most
+    /// recent* tagged sample to land in that bucket, so a p99 bucket
+    /// points at a still-warm trace id.
+    #[inline]
+    pub fn record_tagged(&self, v: u64, trace_id: u64) {
+        self.record(v);
+        if trace_id != 0 {
+            self.exemplars[Self::bucket_index(v)].store(trace_id, Ordering::Relaxed);
+        }
+    }
+
+    /// The exemplar trace id stored for bucket `i` (0 = none).
+    pub fn exemplar(&self, i: usize) -> u64 {
+        self.exemplars[i].load(Ordering::Relaxed)
+    }
+
+    /// The exemplar of the highest occupied bucket — the trace id of
+    /// the most recent sample seen near the tail (0 if no tagged sample
+    /// has landed in the top occupied bucket).
+    pub fn slowest_exemplar(&self) -> u64 {
+        let snap = self.snapshot();
+        for i in (0..HIST_BUCKETS).rev() {
+            if snap.buckets[i] > 0 {
+                return snap.exemplars[i];
+            }
+        }
+        0
+    }
+
     /// Total number of recorded values.
     pub fn count(&self) -> u64 {
         self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
@@ -121,6 +158,14 @@ impl Histogram {
         let s = other.sum.load(Ordering::Relaxed);
         if s > 0 {
             self.sum.fetch_add(s, Ordering::Relaxed);
+        }
+        // Exemplars are "most recent tagged sample"; on merge the other
+        // side's exemplar (if any) is taken as newer.
+        for (mine, theirs) in self.exemplars.iter().zip(&other.exemplars) {
+            let id = theirs.load(Ordering::Relaxed);
+            if id != 0 {
+                mine.store(id, Ordering::Relaxed);
+            }
         }
     }
 
@@ -147,11 +192,12 @@ impl Histogram {
         Self::bucket_bound(HIST_BUCKETS - 1)
     }
 
-    /// A point-in-time copy of the buckets and sum.
+    /// A point-in-time copy of the buckets, sum and exemplars.
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
             buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
             sum: self.sum.load(Ordering::Relaxed),
+            exemplars: std::array::from_fn(|i| self.exemplars[i].load(Ordering::Relaxed)),
         }
     }
 
@@ -175,6 +221,8 @@ pub struct HistogramSnapshot {
     pub buckets: [u64; HIST_BUCKETS],
     /// Sum of all recorded values.
     pub sum: u64,
+    /// Per-bucket exemplar trace ids (0 = none).
+    pub exemplars: [u64; HIST_BUCKETS],
 }
 
 impl HistogramSnapshot {
@@ -188,11 +236,16 @@ impl HistogramSnapshot {
 // Stages and trace events
 // ----------------------------------------------------------------------
 
-/// The pipeline stages a request flows through, in causal order: the
-/// synchronous link (`Admit → BatchWait → Encode → DecodeScore`) then
-/// the asynchronous propagation link (`Commit → Plan → Deliver`, where
-/// `Commit` is the ordered graph-event commit and `Deliver` the
-/// sharded mailbox delivery).
+/// The span kinds a request can accumulate, across every hop of the
+/// cluster. The single-daemon pipeline stages come first, in causal
+/// order: the synchronous link (`Admit → BatchWait → Encode →
+/// DecodeScore`) then the asynchronous propagation link (`Commit →
+/// Plan → Deliver`, where `Commit` is the ordered graph-event commit
+/// and `Deliver` the sharded mailbox delivery). The cluster and
+/// subsystem kinds (gateway routing, peer forwarding, replica apply,
+/// reorder-buffer park/release, tier traffic) only fire when their
+/// subsystem is active, so a lone default daemon still records exactly
+/// the original seven kinds per request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Stage {
     /// Frame decode + admission control on the serving thread.
@@ -209,11 +262,33 @@ pub enum Stage {
     Deliver,
     /// Ordered temporal-graph event commit (propagation worker).
     Commit,
+    /// Gateway: owner-shard call, from ROUTE dispatch to reply.
+    Route,
+    /// Peer forwarder: DELIVER send until the replica's ack.
+    Forward,
+    /// Replica: decoding + replaying a remote job into the local store.
+    ReplicaApply,
+    /// Reorder buffer: inserting a late event (bounded-lateness mode).
+    ReorderPark,
+    /// Reorder buffer: releasing a parked event; the span covers the
+    /// full park residency, so its histogram is the park-time
+    /// distribution (`apan_reorder_park_ns`).
+    ReorderRelease,
+    /// Tier store: exporting a cold record to the log-structured tier.
+    TierEvict,
+    /// Tier store: re-importing a cold record into the hot tier.
+    TierPromote,
+    /// Tier store: one cold-segment record read
+    /// (`apan_tier_cold_read_ns`).
+    ColdRead,
 }
 
-/// Every stage, in the order spans are expected to appear for one
-/// request (`Commit` precedes `Plan` in wall time: the worker commits
-/// graph events before sampling against them).
+/// The original seven single-daemon stages, in the order spans are
+/// expected to appear for one request (`Commit` precedes `Plan` in
+/// wall time: the worker commits graph events before sampling against
+/// them). Metric names and the per-request e2e span contract are
+/// pinned to this list; cluster/subsystem kinds live in
+/// [`SPAN_KINDS`].
 pub const STAGES: [Stage; 7] = [
     Stage::Admit,
     Stage::BatchWait,
@@ -222,6 +297,27 @@ pub const STAGES: [Stage; 7] = [
     Stage::Commit,
     Stage::Plan,
     Stage::Deliver,
+];
+
+/// Every span kind, legacy stages first (their positions — and hence
+/// drain sort order — are unchanged from when `STAGES` was the whole
+/// list), cluster/subsystem kinds after.
+pub const SPAN_KINDS: [Stage; 15] = [
+    Stage::Admit,
+    Stage::BatchWait,
+    Stage::Encode,
+    Stage::DecodeScore,
+    Stage::Commit,
+    Stage::Plan,
+    Stage::Deliver,
+    Stage::Route,
+    Stage::Forward,
+    Stage::ReplicaApply,
+    Stage::ReorderPark,
+    Stage::ReorderRelease,
+    Stage::TierEvict,
+    Stage::TierPromote,
+    Stage::ColdRead,
 ];
 
 impl Stage {
@@ -235,14 +331,27 @@ impl Stage {
             Stage::Plan => "plan",
             Stage::Deliver => "deliver",
             Stage::Commit => "commit",
+            Stage::Route => "route",
+            Stage::Forward => "forward",
+            Stage::ReplicaApply => "replica_apply",
+            Stage::ReorderPark => "reorder_park",
+            Stage::ReorderRelease => "reorder_release",
+            Stage::TierEvict => "tier_evict",
+            Stage::TierPromote => "tier_promote",
+            Stage::ColdRead => "cold_read",
         }
     }
 
+    /// Parses a stable name back into a stage (the TRACE merge path).
+    pub fn from_name(name: &str) -> Option<Stage> {
+        SPAN_KINDS.iter().copied().find(|s| s.name() == name)
+    }
+
     fn order(self) -> usize {
-        STAGES
+        SPAN_KINDS
             .iter()
             .position(|s| *s == self)
-            .expect("stage listed")
+            .expect("span kind listed")
     }
 }
 
@@ -417,7 +526,7 @@ impl TraceSink {
 
 struct ObsInner {
     clock: RwLock<Clock>,
-    stages: [Histogram; STAGES.len()],
+    stages: [Histogram; SPAN_KINDS.len()],
     prop_lag: Histogram,
     sink: RwLock<Option<Arc<TraceSink>>>,
 }
@@ -547,7 +656,7 @@ impl ObsHub {
     #[cfg(not(feature = "trace-off"))]
     pub fn stage_record(&self, stage: Stage, trace_id: u64, start: Duration, end: Duration) {
         let ns = end.saturating_sub(start).as_nanos() as u64;
-        self.stage_hist(stage).record(ns);
+        self.stage_hist(stage).record_tagged(ns, trace_id);
         if let Some(sink) = self.inner.sink.read().unwrap().as_ref() {
             sink.emit(TraceEvent {
                 trace_id,
@@ -732,6 +841,59 @@ mod tests {
             events[0].to_json_line(),
             "{\"trace_id\":43,\"stage\":\"plan\",\"start_ns\":3000000,\"end_ns\":4000000}"
         );
+    }
+
+    #[test]
+    fn exemplars_track_the_most_recent_tagged_sample_per_bucket() {
+        let h = Histogram::new();
+        h.record(100); // untagged: bucket fills, no exemplar
+        assert_eq!(h.exemplar(Histogram::bucket_index(100)), 0);
+        h.record_tagged(100, 7);
+        h.record_tagged(100, 9); // same bucket: last writer wins
+        assert_eq!(h.exemplar(Histogram::bucket_index(100)), 9);
+        h.record_tagged(100_000, 11);
+        assert_eq!(h.slowest_exemplar(), 11); // highest occupied bucket
+        h.record_tagged(1 << 40, 0); // tag 0 = untraced: never retained
+        assert_eq!(h.slowest_exemplar(), 0);
+        let snap = h.snapshot();
+        assert_eq!(snap.exemplars[Histogram::bucket_index(100)], 9);
+
+        // merge carries exemplars across (other side wins where set)
+        let m = Histogram::new();
+        m.merge(&h);
+        assert_eq!(m.exemplar(Histogram::bucket_index(100_000)), 11);
+    }
+
+    #[test]
+    fn span_kind_names_are_stable_and_roundtrip() {
+        let names: Vec<&str> = SPAN_KINDS.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "admit",
+                "batch_wait",
+                "encode",
+                "decode_score",
+                "commit",
+                "plan",
+                "deliver",
+                "route",
+                "forward",
+                "replica_apply",
+                "reorder_park",
+                "reorder_release",
+                "tier_evict",
+                "tier_promote",
+                "cold_read"
+            ]
+        );
+        // SPAN_KINDS keeps the legacy stages first, in STAGES order, so
+        // drain sort keys for old traffic are bit-for-bit unchanged.
+        assert_eq!(&SPAN_KINDS[..STAGES.len()], &STAGES[..]);
+        for kind in SPAN_KINDS {
+            assert_eq!(Stage::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(Stage::from_name("no_such_stage"), None);
     }
 
     #[test]

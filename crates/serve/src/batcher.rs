@@ -89,6 +89,9 @@ pub enum Control {
         /// The decoded job (an empty job is a hole-filler: a no-op that
         /// keeps the global sequence dense when an owner failed).
         job: apan_core::pipeline::wire::WireJob,
+        /// Trace id carried on the `DELIVER` frame's trailer (0 =
+        /// untraced); stamps this replica's apply span.
+        trace_id: u64,
         /// Ack callback, run after the job is queued locally.
         done: Box<dyn FnOnce() + Send>,
     },

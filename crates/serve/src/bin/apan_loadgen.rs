@@ -61,6 +61,11 @@ struct Args {
     /// Zipf skew exponent over the working set (rank 0 hottest);
     /// `0.0` keeps the legacy uniform draw and its checksums.
     zipf: f64,
+    /// `> 0` tags every request with a client-chosen trace id, tracks
+    /// the N slowest client-observed requests, and resolves their ids
+    /// against one `TRACE` drain at the end — the tail-latency exemplar
+    /// report. `0` keeps requests untagged (legacy wire bytes).
+    slowest: usize,
 }
 
 impl Default for Args {
@@ -78,6 +83,7 @@ impl Default for Args {
             dup_rate: 0,
             working_set: None,
             zipf: 0.0,
+            slowest: 0,
         }
     }
 }
@@ -89,7 +95,8 @@ const USAGE: &str = "usage: apan-loadgen [--addr HOST:PORT | --endpoints HOST:PO
                     [--skew-ms N]    (lockstep: seeded backward event-time skew, 0..=N per request)
                     [--dup-rate N]   (lockstep: % of requests emitted twice back to back)
                     [--working-set N]   (restrict traffic to node ids 0..N; default full universe)
-                    [--zipf S]       (Zipf(S)-skewed node draw over the working set; 0 = uniform)";
+                    [--zipf S]       (Zipf(S)-skewed node draw over the working set; 0 = uniform)
+                    [--slowest N]    (trace every request; report the N slowest with their timelines)";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
@@ -153,6 +160,9 @@ fn parse_args() -> Result<Args, String> {
                 if !args.zipf.is_finite() || args.zipf < 0.0 {
                     return Err("--zipf must be finite and non-negative".into());
                 }
+            }
+            "--slowest" => {
+                args.slowest = value.parse().map_err(|_| "bad --slowest".to_string())?
             }
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
@@ -252,6 +262,100 @@ impl NodePicker {
     }
 }
 
+/// Shared top-N tracker of the slowest client-observed requests.
+/// Workers offer every (latency, trace id) pair; the tracker keeps the
+/// N largest, so the final report can resolve exactly the requests that
+/// define the latency tail against a `TRACE` drain.
+struct Slowest {
+    cap: usize,
+    /// Sorted descending by latency; never longer than `cap`.
+    entries: Mutex<Vec<(Duration, u64)>>,
+}
+
+impl Slowest {
+    fn new(cap: usize) -> Self {
+        Self {
+            cap,
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn offer(&self, d: Duration, trace_id: u64) {
+        if self.cap == 0 {
+            return;
+        }
+        let mut e = self.entries.lock().unwrap();
+        if e.len() == self.cap && d <= e.last().expect("non-empty at cap").0 {
+            return;
+        }
+        e.push((d, trace_id));
+        e.sort_by(|a, b| b.0.cmp(&a.0));
+        e.truncate(self.cap);
+    }
+
+    fn take(&self) -> Vec<(Duration, u64)> {
+        std::mem::take(&mut *self.entries.lock().unwrap())
+    }
+}
+
+/// Pulls one trace's lines out of a `TRACE` drain, handling both
+/// surfaces: a single daemon drains raw JSON span lines, while the
+/// gateway replies with a merged `# trace N` timeline document.
+fn trace_lines(drain: &str, trace_id: u64) -> Vec<String> {
+    let header = format!("# trace {trace_id}");
+    let json_tag = format!("\"trace_id\":{trace_id},");
+    let mut out = Vec::new();
+    let mut in_block = false;
+    for line in drain.lines() {
+        if line.starts_with("# trace ") {
+            in_block = line == header;
+            continue;
+        }
+        if in_block || line.contains(&json_tag) {
+            out.push(line.to_string());
+        }
+    }
+    out
+}
+
+/// Prints the slowest-request report: each entry's client-observed
+/// latency and trace id, then the spans that id resolves to in one
+/// (destructive) `TRACE` drain. Spans for a request's async tail may
+/// still be in flight when the drain runs — resolution is best-effort
+/// telemetry, and unresolved ids are reported as such.
+fn report_slowest(entries: &[(Duration, u64)], client: &mut Client) {
+    if entries.is_empty() {
+        println!("apan-loadgen: slowest: no successful requests to report");
+        return;
+    }
+    println!(
+        "apan-loadgen: slowest {} requests (client-observed)",
+        entries.len()
+    );
+    let drain = match client.trace_dump() {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("apan-loadgen: TRACE drain failed: {e}");
+            String::new()
+        }
+    };
+    for (rank, (d, trace_id)) in entries.iter().enumerate() {
+        println!(
+            "apan-loadgen:   #{} {:.3}ms trace_id={}",
+            rank + 1,
+            d.as_secs_f64() * 1e3,
+            trace_id
+        );
+        let spans = trace_lines(&drain, *trace_id);
+        if spans.is_empty() {
+            println!("apan-loadgen:     (no spans drained for this id)");
+        }
+        for s in spans {
+            println!("apan-loadgen:     {s}");
+        }
+    }
+}
+
 /// FNV-1a-64 over a byte stream — the lockstep mode's score digest.
 struct Fnv(u64);
 
@@ -278,6 +382,7 @@ fn worker(
     totals: &Totals,
     overall: &Mutex<LatencyRecorder>,
     endpoint: &EndpointStats,
+    slowest: &Slowest,
 ) {
     let mut client = match Client::connect(addr) {
         Ok(c) => c,
@@ -289,6 +394,9 @@ fn worker(
     };
     let mut mix = Mix(seed);
     let picker = NodePicker::new(args);
+    // per-worker request counter; the seed (< 2^32, unique per worker)
+    // in the high half makes every tagged trace id cluster-unique
+    let mut seq = 0u64;
     while !stop.load(Ordering::Relaxed) {
         let interactions: Vec<Interaction> = (0..args.batch)
             .map(|_| Interaction {
@@ -302,8 +410,10 @@ fn worker(
             .map(|_| (mix.next() % 1000) as f32 / 1000.0 - 0.5)
             .collect();
         let feats = Tensor::from_vec(args.batch, dim, data);
+        seq += 1;
+        let trace_id = (args.slowest > 0).then(|| (seed << 32) | seq);
         let start = Instant::now();
-        match client.infer(&interactions, &feats) {
+        match client.infer_traced(&interactions, &feats, trace_id) {
             Ok(scores) => {
                 totals.ok.fetch_add(1, Ordering::Relaxed);
                 endpoint.ok.fetch_add(1, Ordering::Relaxed);
@@ -313,6 +423,9 @@ fn worker(
                 let d = start.elapsed();
                 overall.lock().unwrap().record(d);
                 endpoint.latency.lock().unwrap().record(d);
+                if let Some(id) = trace_id {
+                    slowest.offer(d, id);
+                }
             }
             Err(ClientError::Overloaded) => {
                 totals.overloaded.fetch_add(1, Ordering::Relaxed);
@@ -344,6 +457,7 @@ fn run_lockstep(args: &Args, addr: &str, dim: usize) {
     let picker = NodePicker::new(args);
     let mut fnv = Fnv::new();
     let mut latency = LatencyRecorder::new();
+    let slowest = Slowest::new(args.slowest);
     let (mut skewed, mut duplicated) = (0u64, 0u64);
     let mut t = 0u64; // explicit event clock, one tick per interaction
     let started = Instant::now();
@@ -383,16 +497,25 @@ fn run_lockstep(args: &Args, addr: &str, dim: usize) {
             1
         };
         for _ in 0..copies {
+            // requests are tagged only under --slowest, so default-flag
+            // wire bytes (and the checksum contract) are unchanged
+            let trace_id = (args.slowest > 0).then_some(k + 1);
             let start = Instant::now();
-            let scores = client.infer(&interactions, &feats).unwrap_or_else(|e| {
-                eprintln!("apan-loadgen: lockstep infer {k} failed: {e}");
-                std::process::exit(1);
-            });
+            let scores = client
+                .infer_traced(&interactions, &feats, trace_id)
+                .unwrap_or_else(|e| {
+                    eprintln!("apan-loadgen: lockstep infer {k} failed: {e}");
+                    std::process::exit(1);
+                });
             client.flush().unwrap_or_else(|e| {
                 eprintln!("apan-loadgen: lockstep flush {k} failed: {e}");
                 std::process::exit(1);
             });
-            latency.record(start.elapsed());
+            let d = start.elapsed();
+            latency.record(d);
+            if let Some(id) = trace_id {
+                slowest.offer(d, id);
+            }
             for s in &scores {
                 fnv.update(&s.to_bits().to_le_bytes());
             }
@@ -420,6 +543,9 @@ fn run_lockstep(args: &Args, addr: &str, dim: usize) {
             eprintln!("apan-loadgen: STATS failed: {e}");
             std::process::exit(1);
         }
+    }
+    if args.slowest > 0 {
+        report_slowest(&slowest.take(), &mut client);
     }
 }
 
@@ -468,6 +594,7 @@ fn main() {
     let stop = Arc::new(AtomicBool::new(false));
     let totals = Arc::new(Totals::default());
     let overall = Arc::new(Mutex::new(LatencyRecorder::new()));
+    let slowest = Arc::new(Slowest::new(args.slowest));
     let endpoints: Arc<Vec<EndpointStats>> = Arc::new(
         (0..args.endpoints.len())
             .map(|_| EndpointStats::default())
@@ -478,12 +605,13 @@ fn main() {
     let started = Instant::now();
     let workers: Vec<_> = (0..args.conns)
         .map(|k| {
-            let (args, stop, totals, overall, endpoints) = (
+            let (args, stop, totals, overall, endpoints, slowest) = (
                 Arc::clone(&args),
                 Arc::clone(&stop),
                 Arc::clone(&totals),
                 Arc::clone(&overall),
                 Arc::clone(&endpoints),
+                Arc::clone(&slowest),
             );
             std::thread::spawn(move || {
                 // connections round-robin over the endpoint list
@@ -498,6 +626,7 @@ fn main() {
                     &totals,
                     &overall,
                     &endpoints[e],
+                    &slowest,
                 )
             })
         })
@@ -591,5 +720,8 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+    if args.slowest > 0 {
+        report_slowest(&slowest.take(), &mut probe);
     }
 }

@@ -28,6 +28,7 @@
 //!   so "flushed" means the same state on every replica.
 
 use crate::proto::{self, reply, verb, Frame};
+use apan_metrics::{ObsHub, Stage};
 use std::collections::VecDeque;
 use std::io::BufReader;
 use std::io::Write;
@@ -181,8 +182,13 @@ impl DeliveryOrder {
 }
 
 /// One queued cross-shard delivery: the already-encoded `DELIVER`
-/// payload, shared across all peer queues.
-type Outgoing = Arc<Vec<u8>>;
+/// payload (shared across all peer queues) plus the trace id stamped on
+/// its forward span (0 = untraced).
+#[derive(Clone)]
+struct Outgoing {
+    payload: Arc<Vec<u8>>,
+    trace_id: u64,
+}
 
 struct PeerQueue {
     queue: Mutex<VecDeque<Outgoing>>,
@@ -208,16 +214,19 @@ pub struct PeerSet {
     peers: Mutex<Vec<PeerLink>>,
     stop: Arc<AtomicBool>,
     retry: Duration,
+    obs: ObsHub,
 }
 
 impl PeerSet {
     /// An empty set: [`PeerSet::forward`] is a no-op until peers are
-    /// installed.
-    pub fn new(retry: Duration) -> Self {
+    /// installed. Each acked delivery records a `forward` span
+    /// (first-send → ack, so retransmits are inside the span) on `obs`.
+    pub fn new(retry: Duration, obs: ObsHub) -> Self {
         Self {
             peers: Mutex::new(Vec::new()),
             stop: Arc::new(AtomicBool::new(false)),
             retry: retry.max(Duration::from_millis(1)),
+            obs,
         }
     }
 
@@ -237,10 +246,11 @@ impl PeerSet {
                     let queue = Arc::clone(&queue);
                     let stop = Arc::clone(&self.stop);
                     let retry = self.retry;
+                    let obs = self.obs.clone();
                     Some(
                         std::thread::Builder::new()
                             .name(format!("apan-peer-{addr}"))
-                            .spawn(move || forwarder(addr, queue, stop, retry))
+                            .spawn(move || forwarder(addr, queue, stop, retry, obs))
                             .expect("spawn peer forwarder"),
                     )
                 };
@@ -265,15 +275,21 @@ impl PeerSet {
     }
 
     /// Queues one delivery (sequence `gseq`, encoded job bytes) to every
-    /// peer. Returns immediately; the forwarders own retransmission.
-    pub fn forward(&self, gseq: u64, job: &[u8]) {
-        let payload: Outgoing = Arc::new(proto::encode_deliver(gseq, job));
+    /// peer. Returns immediately; the forwarders own retransmission. A
+    /// non-zero `trace_id` rides the frame as a trace-tag trailer and
+    /// stamps each peer's forward span; zero encodes byte-identically to
+    /// the pre-tracing wire format.
+    pub fn forward(&self, gseq: u64, job: &[u8], trace_id: u64) {
+        let out = Outgoing {
+            payload: Arc::new(proto::encode_deliver_traced(
+                gseq,
+                job,
+                (trace_id != 0).then_some(trace_id),
+            )),
+            trace_id,
+        };
         for link in self.peers.lock().unwrap().iter() {
-            link.queue
-                .queue
-                .lock()
-                .unwrap()
-                .push_back(Arc::clone(&payload));
+            link.queue.queue.lock().unwrap().push_back(out.clone());
             link.queue.nonempty.notify_one();
         }
     }
@@ -305,20 +321,26 @@ impl Drop for PeerSet {
 /// The per-peer forwarder loop: pop the oldest unacked delivery, send
 /// it, await the ack within the retry window, and on any failure drop
 /// the connection and retransmit on a fresh one. Exits when stopped.
-fn forwarder(addr: SocketAddr, queue: Arc<PeerQueue>, stop: Arc<AtomicBool>, retry: Duration) {
+fn forwarder(
+    addr: SocketAddr,
+    queue: Arc<PeerQueue>,
+    stop: Arc<AtomicBool>,
+    retry: Duration,
+    obs: ObsHub,
+) {
     let mut conn: Option<(TcpStream, BufReader<TcpStream>)> = None;
     let mut req_id: u64 = 1;
     loop {
         // wait for the oldest unacked delivery (keep it queued: it is
         // only popped once acked)
-        let payload = {
+        let out = {
             let mut q = queue.queue.lock().unwrap();
             loop {
                 if stop.load(Ordering::SeqCst) {
                     return;
                 }
                 if let Some(front) = q.front() {
-                    break Arc::clone(front);
+                    break front.clone();
                 }
                 let (guard, _) = queue
                     .nonempty
@@ -327,6 +349,8 @@ fn forwarder(addr: SocketAddr, queue: Arc<PeerQueue>, stop: Arc<AtomicBool>, ret
                 q = guard;
             }
         };
+        let payload = Arc::clone(&out.payload);
+        let t_fwd0 = obs.stamp();
         loop {
             if stop.load(Ordering::SeqCst) {
                 return;
@@ -375,6 +399,8 @@ fn forwarder(addr: SocketAddr, queue: Arc<PeerQueue>, stop: Arc<AtomicBool>, ret
             };
             if acked {
                 queue.queue.lock().unwrap().pop_front();
+                let t_fwd1 = obs.stamp();
+                obs.stage_record(Stage::Forward, out.trace_id, t_fwd0, t_fwd1);
                 conn = Some((stream, reader));
                 break;
             }
@@ -470,8 +496,8 @@ mod tests {
 
     #[test]
     fn empty_peer_set_forwarding_is_a_noop() {
-        let peers = PeerSet::new(Duration::from_millis(50));
-        peers.forward(0, b"job");
+        let peers = PeerSet::new(Duration::from_millis(50), ObsHub::new());
+        peers.forward(0, b"job", 0);
         peers.stop();
     }
 }

@@ -273,6 +273,30 @@ pub fn encode_deliver(gseq: u64, job: &[u8]) -> Vec<u8> {
 /// job are validated ([`wire::decode_job`] caps every declared count),
 /// so arbitrary bytes yield an error, never a panic.
 pub fn decode_deliver(payload: Bytes) -> Result<(u64, wire::WireJob), ProtoError> {
+    decode_deliver_traced(payload).map(|(g, j, _)| (g, j))
+}
+
+/// [`encode_deliver`] with an optional trace id appended as a
+/// [`wire::encode_trace_tag`] trailer — the same discipline as the
+/// `INFER` tag: `None` produces bytes identical to the untagged
+/// encoding, so pre-tracing peers interoperate unchanged.
+pub fn encode_deliver_traced(gseq: u64, job: &[u8], trace_id: Option<u64>) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(8 + job.len() + 9);
+    buf.put_u64_le(gseq);
+    buf.extend_from_slice(job);
+    if let Some(id) = trace_id {
+        buf.extend_from_slice(&wire::encode_trace_tag(id));
+    }
+    buf.freeze().to_vec()
+}
+
+/// Decodes a `DELIVER` payload plus its optional trace-tag trailer.
+/// The job encoding is self-delimiting, so an untagged payload yields
+/// `None`; a trailer that is neither absent nor a complete tag is an
+/// error (a torn tag must not pass silently).
+pub fn decode_deliver_traced(
+    payload: Bytes,
+) -> Result<(u64, wire::WireJob, Option<u64>), ProtoError> {
     let mut b = payload;
     if b.remaining() < 8 {
         return Err(ProtoError::Malformed(
@@ -280,8 +304,15 @@ pub fn decode_deliver(payload: Bytes) -> Result<(u64, wire::WireJob), ProtoError
         ));
     }
     let gseq = b.get_u64_le();
-    let job = wire::decode_job(b)?;
-    Ok((gseq, job))
+    let job = wire::decode_job_from(&mut b)?;
+    let trace_id = wire::decode_trace_tag(&mut b)?;
+    if b.remaining() != 0 {
+        return Err(ProtoError::Malformed(format!(
+            "{} bytes after the deliver trailer",
+            b.remaining()
+        )));
+    }
+    Ok((gseq, job, trace_id))
 }
 
 /// Encodes a `ROUTE` payload: the cluster-global sequence number
@@ -307,6 +338,52 @@ pub fn decode_route(payload: Bytes) -> Result<(u64, Bytes), ProtoError> {
     }
     let gseq = b.get_u64_le();
     Ok((gseq, b))
+}
+
+/// [`encode_route`] with an optional gateway-derived trace id appended
+/// as a trace-tag trailer *after* the inner `INFER` payload. Because
+/// the inner payload is self-delimiting and [`decode_infer_traced`]
+/// reads the first tag after the tensor, the shard sees this tag
+/// exactly as if the client had sent it — the gateway only appends one
+/// when the client did not tag the request itself. `None` produces
+/// bytes identical to [`encode_route`].
+pub fn encode_route_traced(gseq: u64, infer_payload: &[u8], trace_id: Option<u64>) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(8 + infer_payload.len() + 9);
+    buf.put_u64_le(gseq);
+    buf.extend_from_slice(infer_payload);
+    if let Some(id) = trace_id {
+        buf.extend_from_slice(&wire::encode_trace_tag(id));
+    }
+    buf.freeze().to_vec()
+}
+
+/// Structurally skims an `INFER` payload for its trace-tag trailer
+/// without validating the batch: skips `n` interactions and the tensor
+/// by their declared sizes, then reads the tag. `None` for untagged or
+/// malformed payloads — the gateway uses this to decide whether to
+/// derive a trace id of its own, and malformed payloads are rejected
+/// downstream by the shard's full decode either way.
+pub fn peek_infer_trace_tag(payload: &[u8]) -> Option<u64> {
+    let mut b = Bytes::copy_from_slice(payload);
+    if b.remaining() < 4 {
+        return None;
+    }
+    let n = b.get_u32_le() as usize;
+    if n > 1 << 20 || b.remaining() < n * 20 {
+        return None;
+    }
+    b.advance(n * 20);
+    if b.remaining() < 8 {
+        return None;
+    }
+    let rows = b.get_u32_le() as usize;
+    let cols = b.get_u32_le() as usize;
+    let elems = rows.checked_mul(cols)?.checked_mul(4)?;
+    if b.remaining() < elems {
+        return None;
+    }
+    b.advance(elems);
+    wire::decode_trace_tag(&mut b).ok().flatten()
 }
 
 /// Encodes a cluster `FLUSH` barrier payload: flush only once every
@@ -525,6 +602,63 @@ mod tests {
         for cut in 0..payload.len() {
             let b = Bytes::copy_from_slice(&payload[..cut]);
             assert!(decode_deliver(b).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn traced_deliver_round_trips_and_untagged_is_byte_identical() {
+        let job = sample_job_bytes();
+        // None → byte-identical to the legacy encoding (old peers
+        // interoperate unchanged)
+        assert_eq!(
+            encode_deliver_traced(77, &job, None),
+            encode_deliver(77, &job)
+        );
+        let tagged = encode_deliver_traced(77, &job, Some(0xAB));
+        let (gseq, decoded, id) = decode_deliver_traced(Bytes::from(tagged.clone())).unwrap();
+        assert_eq!(gseq, 77);
+        assert_eq!(wire::encode_job(&decoded).to_vec(), job);
+        assert_eq!(id, Some(0xAB));
+        // the untraced decoder tolerates the tag (it delegates)
+        let (gseq, _) = decode_deliver(Bytes::from(tagged.clone())).unwrap();
+        assert_eq!(gseq, 77);
+        // totality under truncation: everything between the untagged
+        // boundary and the full tag is a torn trailer and must error
+        let untagged_len = tagged.len() - 9;
+        for cut in 0..tagged.len() {
+            if cut == untagged_len {
+                let b = Bytes::copy_from_slice(&tagged[..cut]);
+                assert_eq!(decode_deliver_traced(b).unwrap().2, None, "cut {cut}");
+            } else {
+                let b = Bytes::copy_from_slice(&tagged[..cut]);
+                assert!(decode_deliver_traced(b).is_err(), "cut {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn traced_route_tag_is_peekable_and_reaches_the_shard_decoder() {
+        let interactions: Vec<Interaction> = (0..3).map(inter).collect();
+        let inner = encode_infer(&interactions, &Tensor::full(3, 2, 0.5));
+        // untagged inner payload: nothing to peek
+        assert_eq!(peek_infer_trace_tag(&inner), None);
+        // client-tagged inner payload: the peek sees the client's id
+        let client_tagged = encode_infer_traced(&interactions, &Tensor::full(3, 2, 0.5), Some(11));
+        assert_eq!(peek_infer_trace_tag(&client_tagged), Some(11));
+        // gateway-tagged ROUTE: None is byte-identical to encode_route,
+        // Some appends a tag the shard-side INFER decoder picks up with
+        // no ROUTE-specific decode changes
+        assert_eq!(encode_route_traced(9, &inner, None), encode_route(9, &inner));
+        let routed = encode_route_traced(9, &inner, Some(0xC0FFEE));
+        let (gseq, carried) = decode_route(Bytes::from(routed)).unwrap();
+        assert_eq!(gseq, 9);
+        let (di, _, id) = decode_infer_traced(carried).unwrap();
+        assert_eq!(di.len(), 3);
+        assert_eq!(id, Some(0xC0FFEE));
+        // the peek is total over arbitrary truncation — never panics,
+        // never invents an id
+        for cut in 0..client_tagged.len() {
+            assert_eq!(peek_infer_trace_tag(&client_tagged[..cut]), None, "cut {cut}");
         }
     }
 

@@ -348,6 +348,53 @@ fn register_scrape_views(
             move || o.stage_snapshot(stage),
         );
     }
+    // Cluster-hop spans (zero outside a cluster), same seconds rendering
+    // as the legacy sync/async stages.
+    for (stage, help) in [
+        (
+            Stage::Forward,
+            "Peer DELIVER forwarding, first send to ack (retransmits included)",
+        ),
+        (
+            Stage::ReplicaApply,
+            "Applying a peer-forwarded propagation job on this replica",
+        ),
+    ] {
+        let o = obs.clone();
+        reg.histogram_fn(
+            &format!("apan_stage_{}_seconds", stage.name()),
+            help,
+            1e-9,
+            move || o.stage_snapshot(stage),
+        );
+    }
+    // Raw-nanosecond views over the storage-side spans (these are short
+    // enough that seconds-scaled log₂ buckets would collapse them).
+    for (name, stage, help) in [
+        (
+            "apan_reorder_park_ns",
+            Stage::ReorderRelease,
+            "Reorder-buffer residency of late-admitted events, park to event-time release",
+        ),
+        (
+            "apan_tier_cold_read_ns",
+            Stage::ColdRead,
+            "Cold-tier segment reads on mailbox access",
+        ),
+        (
+            "apan_tier_evict_ns",
+            Stage::TierEvict,
+            "Hot-tier mailbox evictions to the cold tier",
+        ),
+        (
+            "apan_tier_promote_ns",
+            Stage::TierPromote,
+            "Mailbox promotions from the cold tier back into RAM",
+        ),
+    ] {
+        let o = obs.clone();
+        reg.histogram_fn(name, help, 1.0, move || o.stage_snapshot(stage));
+    }
     let o = obs.clone();
     reg.histogram_fn(
         "apan_prop_lag_seconds",
@@ -465,6 +512,7 @@ impl Shared {
              \"prop_deliveries_per_sec\":{:.6},\"prop_decode_errors\":{},\
              \"tier_resident\":{},\"tier_evictions\":{},\"tier_promotions\":{},\
              \"tier_cold_bytes\":{},\
+             \"trace_dropped\":{},\"slow_exemplar\":{},\
              \"shard_id\":{shard_id},\"cluster_size\":{cluster_size}}}",
             latency.to_json(),
             q.depth,
@@ -490,6 +538,8 @@ impl Shared {
             self.tier.evictions.load(Ordering::Relaxed),
             self.tier.promotions.load(Ordering::Relaxed),
             self.tier.cold_bytes.load(Ordering::Relaxed),
+            self.obs.dropped_events(),
+            self.stats.service_hist.slowest_exemplar(),
         )
     }
 
@@ -687,6 +737,7 @@ pub fn start(mut model: Apan, cfg: ServeConfig) -> Result<ServerHandle, StartErr
         cfg.cluster
             .as_ref()
             .map_or(Duration::from_millis(200), |m| m.deliver_retry),
+        obs.clone(),
     ));
     if let Some(m) = &cfg.cluster {
         if !m.peers.is_empty() {
@@ -846,13 +897,16 @@ fn batcher_loop(mut pipeline: ServingPipeline, shared: &Shared) {
                     let n = item.interactions.len();
                     let scores = result.scores[offset..offset + n].to_vec();
                     offset += n;
-                    latency.push(now.saturating_sub(item.enqueued));
+                    latency.push((now.saturating_sub(item.enqueued), item.trace_id));
                     (item.respond)(InferOutcome::Scores(scores));
                 }
                 let mut rec = shared.stats.latency.lock().unwrap();
-                for d in latency {
+                for (d, trace_id) in latency {
                     rec.record(d);
-                    shared.stats.service_hist.record(d.as_nanos() as u64);
+                    shared
+                        .stats
+                        .service_hist
+                        .record_tagged(d.as_nanos() as u64, trace_id);
                 }
             }
             Drained::Control(Control::Snapshot(done)) => {
@@ -876,16 +930,28 @@ fn batcher_loop(mut pipeline: ServingPipeline, shared: &Shared) {
                     item.trace_id,
                     Some(item.enqueued),
                 );
-                shared.peers.forward(gseq, &job[..]);
+                shared.peers.forward(gseq, &job[..], item.trace_id);
                 shared.stats.record_batch(1, item.interactions.len());
                 let d = shared.cfg.clock.now().saturating_sub(item.enqueued);
                 (item.respond)(InferOutcome::Scores(result.scores));
                 let mut rec = shared.stats.latency.lock().unwrap();
                 rec.record(d);
-                shared.stats.service_hist.record(d.as_nanos() as u64);
+                shared
+                    .stats
+                    .service_hist
+                    .record_tagged(d.as_nanos() as u64, item.trace_id);
             }
-            Drained::Control(Control::RemoteDeliver { job, done }) => {
-                pipeline.submit_remote(job, 0);
+            Drained::Control(Control::RemoteDeliver {
+                job,
+                trace_id,
+                done,
+            }) => {
+                let t_apply0 = shared.obs.stamp();
+                pipeline.submit_remote(job, trace_id);
+                let t_apply1 = shared.obs.stamp();
+                shared
+                    .obs
+                    .stage_record(Stage::ReplicaApply, trace_id, t_apply0, t_apply1);
                 done();
             }
             Drained::Control(Control::Shutdown(ack)) => {
@@ -1196,7 +1262,7 @@ fn handle_frame(frame: Frame, conn: &Arc<Conn>, shared: &Arc<Shared>) {
             }
         }
         verb::DELIVER => {
-            let (gseq, job) = match proto::decode_deliver(frame.payload) {
+            let (gseq, job, tag) = match proto::decode_deliver_traced(frame.payload) {
                 Ok(x) => x,
                 Err(e) => {
                     conn.send(reply::ERROR, req_id, e.to_string().as_bytes());
@@ -1221,10 +1287,11 @@ fn handle_frame(frame: Frame, conn: &Arc<Conn>, shared: &Arc<Shared>) {
                     shared.queue.advance_watermark(max_time);
                     let respond_conn = Arc::clone(conn);
                     let done = Box::new(move || respond_conn.send(reply::OK, req_id, b""));
-                    match shared
-                        .queue
-                        .submit_control(Control::RemoteDeliver { job, done })
-                    {
+                    match shared.queue.submit_control(Control::RemoteDeliver {
+                        job,
+                        trace_id: tag.unwrap_or(0),
+                        done,
+                    }) {
                         Ok(()) => shared.order.complete(),
                         // closed mid-shutdown: not committed, so no ack
                         // and no complete — the order aborts on the way
@@ -1257,7 +1324,9 @@ fn handle_frame(frame: Frame, conn: &Arc<Conn>, shared: &Arc<Shared>) {
                     // job so no replica waits on this number forever.
                     let reject = |msg: &str| {
                         conn.send(reply::ERROR, req_id, msg.as_bytes());
-                        shared.peers.forward(gseq, &proto::empty_job_bytes());
+                        // a rejection has no request to attribute: the
+                        // hole-filler goes out untraced
+                        shared.peers.forward(gseq, &proto::empty_job_bytes(), 0);
                         shared.order.complete();
                     };
                     let (mut interactions, feats, tag) = match decoded {
@@ -1266,7 +1335,7 @@ fn handle_frame(frame: Frame, conn: &Arc<Conn>, shared: &Arc<Shared>) {
                     };
                     if interactions.is_empty() {
                         conn.send(reply::SCORES, req_id, &proto::encode_scores(&[]));
-                        shared.peers.forward(gseq, &proto::empty_job_bytes());
+                        shared.peers.forward(gseq, &proto::empty_job_bytes(), 0);
                         shared.order.complete();
                         return;
                     }

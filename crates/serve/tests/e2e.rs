@@ -717,6 +717,8 @@ fn stats_json_shape_is_pinned() {
             "tier_evictions",
             "tier_promotions",
             "tier_cold_bytes",
+            "trace_dropped",
+            "slow_exemplar",
             "shard_id",
             "cluster_size",
         ],

@@ -14,6 +14,7 @@
 //! lets one differential oracle cover the whole cluster.
 
 use apan_cluster::{owner_shard, start_gateway, ChaosProfile, ChaosProxy, GatewayConfig};
+use apan_metrics::Clock;
 use apan_serve::batcher::admit_times_lateness;
 use apan_serve::server::{ServeConfig, ServerHandle};
 use apan_serve::{Client, ClusterMembership};
@@ -79,6 +80,8 @@ fn boot(weight_seed: u64, chaos_seed: u64, snaps: &[PathBuf], lateness: Option<f
     let gateway = start_gateway(GatewayConfig {
         addr: "127.0.0.1:0".into(),
         shards: addrs,
+        clock: Clock::real(),
+        trace_buffer: 8192,
     })
     .expect("start gateway");
     Cluster {
@@ -270,6 +273,118 @@ fn cluster_snapshot_cut_shard_kill_and_warm_restart_stay_on_oracle() {
     for p in &snaps {
         let _ = std::fs::remove_file(p);
     }
+}
+
+/// One full replay of a traced cluster workload on **virtual clocks**,
+/// returning the gateway's merged `TRACE` timeline. Every process — the
+/// three shards and the gateway — runs on a never-advancing virtual
+/// clock, so every span stamp is exactly zero and the merged document
+/// is a pure function of the span *set*. Peer links are direct (no
+/// chaos proxies): a duplicated `DELIVER` frame would legitimately
+/// record an extra replica-apply span, which is telemetry, not state —
+/// this scenario pins the determinism of the spans the protocol itself
+/// produces.
+fn traced_replay_merged_timeline(seed: u64) -> String {
+    const TOTAL: usize = 18;
+    const WINDOW: f64 = 4.0;
+    let shards: Vec<ServerHandle> = (0..SHARDS)
+        .map(|i| {
+            let cfg = ServeConfig {
+                num_nodes: 32,
+                cluster: Some(ClusterMembership::new(i, SHARDS)),
+                lateness: Some(WINDOW),
+                clock: Clock::virtual_clock(),
+                ..ServeConfig::default()
+            };
+            apan_serve::start(model(WEIGHTS), cfg).expect("start shard")
+        })
+        .collect();
+    let addrs: Vec<SocketAddr> = shards.iter().map(|s| s.addr()).collect();
+    for (i, shard) in shards.iter().enumerate() {
+        let peers: Vec<SocketAddr> = (0..SHARDS)
+            .filter(|&j| j != i)
+            .map(|j| addrs[j])
+            .collect();
+        shard.set_cluster_peers(&peers);
+    }
+    let gateway = start_gateway(GatewayConfig {
+        addr: "127.0.0.1:0".into(),
+        shards: addrs,
+        clock: Clock::virtual_clock(),
+        trace_buffer: 8192,
+    })
+    .expect("start gateway");
+
+    let mut client = Client::connect(gateway.addr()).expect("connect gateway");
+    for k in 0..TOTAL {
+        let (mut interactions, feats) = request(seed, k);
+        if k == 5 {
+            // one in-window late event: parks in every replica's reorder
+            // buffer and releases the same commit turn, so the replay
+            // also covers the reorder span kinds
+            interactions[0].time -= 3.0;
+        }
+        client
+            .infer_traced(&interactions, &feats, Some(0x51e9_0000 + k as u64))
+            .expect("traced infer");
+        client.flush().expect("flush");
+    }
+
+    // The flush barrier covers admission and the commit turn, but a
+    // forward span closes only when the *owner* reads its peer's ack —
+    // poll the (non-destructive) aggregated exposition until every
+    // replication leg has closed, then drain the timeline once.
+    let expect_forwards = (TOTAL * (SHARDS - 1)) as u64;
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let metrics = client.metrics().expect("metrics");
+        let forwards: u64 = metrics
+            .lines()
+            .filter_map(|l| l.split_once(' '))
+            .filter(|(n, _)| *n == "apan_stage_forward_seconds_count")
+            .filter_map(|(_, v)| v.trim().parse::<f64>().ok())
+            .sum::<f64>() as u64;
+        if forwards >= expect_forwards {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "forward spans never closed: {forwards}/{expect_forwards}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let timeline = client.trace_dump().expect("trace drain");
+    gateway.shutdown();
+    for s in shards {
+        s.join();
+    }
+    timeline
+}
+
+/// Same seed, two full cluster replays, one merged timeline each: the
+/// bytes must be identical. Span stamps are all zero under the virtual
+/// clocks, so this pins (a) that tracing adds no hidden nondeterminism
+/// to the serving path and (b) that the gateway's merge is a pure
+/// function of the span set, independent of drain interleaving and
+/// shard reply order.
+#[test]
+fn traced_cluster_replay_merges_to_byte_identical_timelines() {
+    let a = traced_replay_merged_timeline(7004);
+    let b = traced_replay_merged_timeline(7004);
+    assert!(
+        a.contains("# trace ") && a.contains(" forward ") && a.contains(" replica_apply "),
+        "timeline must cover the replication legs:\n{a}"
+    );
+    assert!(
+        a.contains(" reorder_park ") && a.contains(" reorder_release "),
+        "timeline must cover the reorder spans:\n{a}"
+    );
+    assert!(
+        a.contains("# critical-path total="),
+        "every trace gets a critical-path line:\n{a}"
+    );
+    assert_eq!(a, b, "same-seed replays must merge to identical bytes");
 }
 
 /// A **messy source** through the whole cluster: skewed timestamps and

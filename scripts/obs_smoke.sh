@@ -5,7 +5,13 @@
 #    and asserts the final Prometheus exposition is present, covers
 #    every stage histogram plus `prop_lag`, and agrees exactly with the
 #    STATS JSON surface on the request count.
-# 2. Runs the `trace_overhead` bench twice — the default build and the
+# 2. Boots a 3-shard cluster behind `apan-gateway`, drives it with
+#    `apan-loadgen --slowest` (every request traced), and asserts the
+#    gateway's aggregated exposition carries each shard's trace-drop
+#    counter, the raw-ns reorder/tier histograms, and — under traced
+#    load — at least one tail-latency exemplar series, plus that the
+#    slowest-requests report printed with resolvable trace ids.
+# 3. Runs the `trace_overhead` bench twice — the default build and the
 #    `--features trace-off` baseline — and holds the *dormant*
 #    instrumented hot path (tracing compiled in, no sink installed) to
 #    within OBS_TOLERANCE_PCT (default 2%) of the compiled-out build.
@@ -17,17 +23,25 @@ cd "$(dirname "$0")/.."
 DURATION="${1:-2}"
 TOLERANCE="${OBS_TOLERANCE_PCT:-2}"
 LOG="$(mktemp /tmp/apand_obs.XXXXXX.log)"
+LOGDIR="$(mktemp -d /tmp/apan_obs_cluster.XXXXXX)"
 OUT_ON="$(mktemp -d /tmp/apan_obs_on.XXXXXX)"
 OUT_OFF="$(mktemp -d /tmp/apan_obs_off.XXXXXX)"
 APID=""
+PIDS=()
 
 cleanup() {
   [ -n "$APID" ] && kill -TERM "$APID" 2>/dev/null && wait "$APID" 2>/dev/null
-  rm -rf "$LOG" "$OUT_ON" "$OUT_OFF"
+  for pid in "${PIDS[@]:-}"; do
+    kill -TERM "$pid" 2>/dev/null || true
+  done
+  for pid in "${PIDS[@]:-}"; do
+    wait "$pid" 2>/dev/null || true
+  done
+  rm -rf "$LOG" "$LOGDIR" "$OUT_ON" "$OUT_OFF"
 }
 trap cleanup EXIT
 
-cargo build --release -p apan-serve --bins
+cargo build --release -p apan-serve -p apan-cluster --bins
 
 ./target/release/apand --port 0 --dim 16 >"$LOG" 2>&1 &
 APID=$!
@@ -96,15 +110,110 @@ wait "$APID" 2>/dev/null || true
 APID=""
 
 # ----------------------------------------------------------------------
+# Cluster phase: scrape the gateway under traced load.
+# ----------------------------------------------------------------------
+wait_listening() { # logfile name
+  for _ in $(seq 100); do
+    grep -q "listening on" "$1" 2>/dev/null && return 0
+    sleep 0.1
+  done
+  echo "obs_smoke: $2 did not come up" >&2
+  cat "$1" >&2
+  exit 1
+}
+port_of() { sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' "$1" | head -1; }
+
+# peers must be known at shard boot, so pick a random port block
+BASE=$((22000 + RANDOM % 20000))
+P0=$BASE P1=$((BASE + 1)) P2=$((BASE + 2))
+for i in 0 1 2; do
+  PEERS=""
+  for j in 0 1 2; do
+    [ "$j" = "$i" ] && continue
+    PORTVAR="P$j"
+    PEERS="${PEERS:+$PEERS,}127.0.0.1:${!PORTVAR}"
+  done
+  PORTVAR="P$i"
+  ./target/release/apand --port "${!PORTVAR}" --dim 16 \
+    --shard-id "$i" --cluster-size 3 --peers "$PEERS" \
+    >"$LOGDIR/shard$i.log" 2>&1 &
+  PIDS+=("$!")
+done
+for i in 0 1 2; do
+  wait_listening "$LOGDIR/shard$i.log" "shard $i"
+done
+./target/release/apan-gateway --port 0 \
+  --shards "127.0.0.1:$P0,127.0.0.1:$P1,127.0.0.1:$P2" \
+  >"$LOGDIR/gateway.log" 2>&1 &
+GATEWAY_PID=$!
+PIDS+=("$GATEWAY_PID")
+wait_listening "$LOGDIR/gateway.log" "gateway"
+GPORT="$(port_of "$LOGDIR/gateway.log")"
+echo "obs_smoke: 3-shard cluster behind gateway on port $GPORT"
+
+CLUSTER_OUT="$(./target/release/apan-loadgen --addr "127.0.0.1:$GPORT" \
+  --conns 4 --duration-s "$DURATION" --batch 8 \
+  --metrics-every-ms 500 --slowest 3)"
+echo "$CLUSTER_OUT" | grep -v '^apan_\|^# '
+
+GMETRICS="$(echo "$CLUSTER_OUT" | sed -n '/final metrics begin/,/final metrics end/p')"
+if [ -z "$GMETRICS" ]; then
+  echo "obs_smoke: no aggregated METRICS exposition from the gateway" >&2
+  exit 1
+fi
+# every shard section arrives labelled, each with its trace-drop counter
+for want in "# apan-gateway: shard" "apan_trace_dropped_total"; do
+  GOT="$(echo "$GMETRICS" | grep -c "^${want}" || true)"
+  if [ "$GOT" -lt 3 ]; then
+    echo "obs_smoke: aggregated exposition has $GOT '${want}' lines, want 3" >&2
+    exit 1
+  fi
+done
+# the raw-ns storage histograms ride every shard's section
+for series in apan_reorder_park_ns apan_tier_cold_read_ns; do
+  if ! echo "$GMETRICS" | grep -q "# TYPE ${series} histogram"; then
+    echo "obs_smoke: aggregated exposition is missing ${series}" >&2
+    echo "obs_smoke: captured exposition follows" >&2
+    echo "$GMETRICS" >&2
+    exit 1
+  fi
+done
+# traced load must leave tail-latency exemplars in the buckets
+if ! echo "$GMETRICS" | grep -q '_exemplar{le='; then
+  echo "obs_smoke: no exemplar series under traced load" >&2
+  echo "$GMETRICS" >&2
+  exit 1
+fi
+# the slowest-requests report printed with trace ids attached
+if ! echo "$CLUSTER_OUT" | grep -q '^apan-loadgen: slowest 3 requests'; then
+  echo "obs_smoke: loadgen --slowest report missing" >&2
+  exit 1
+fi
+if ! echo "$CLUSTER_OUT" | grep -q 'trace_id='; then
+  echo "obs_smoke: slowest report carries no trace ids" >&2
+  exit 1
+fi
+echo "obs_smoke: gateway scrape OK (exemplars present, slowest report resolved)"
+
+kill -TERM "$GATEWAY_PID" 2>/dev/null || true
+for pid in "${PIDS[@]}"; do
+  wait "$pid" 2>/dev/null || true
+done
+PIDS=()
+
+# ----------------------------------------------------------------------
 # Bench guard: dormant tracing vs the trace-off baseline. The two
-# timings come from separate processes, so a loaded or thermally
-# throttled runner can skew either side by far more than the budget;
-# a genuine regression fails every attempt, noise does not.
+# timings come from separate processes, so a loaded runner can skew
+# either side by far more than the budget. Interference only ever adds
+# time, so each side keeps its *minimum* across attempts and the guard
+# compares those: a genuine regression inflates every instrumented run
+# and still fails, while one quiet window per side is enough to pass.
 # ----------------------------------------------------------------------
 field() { sed -n "s/.*\"$2\": *\([0-9.eE+-]*\).*/\1/p" "$1"; }
 
-ATTEMPTS="${OBS_ATTEMPTS:-3}"
+ATTEMPTS="${OBS_ATTEMPTS:-6}"
 GUARD_OK=""
+BEST_ON="" BEST_OFF=""
 for attempt in $(seq "$ATTEMPTS"); do
   APAN_OUT="$OUT_ON" cargo test -q -p apan-bench --release --bench trace_overhead
   APAN_OUT="$OUT_OFF" cargo test -q -p apan-bench --release --bench trace_overhead \
@@ -129,9 +238,11 @@ for attempt in $(seq "$ATTEMPTS"); do
     echo "obs_smoke: could not parse BENCH_trace.json timings" >&2
     exit 1
   fi
-  if awk -v on="$ON" -v off="$OFF" -v ev="$EVENT" -v tol="$TOLERANCE" -v try="$attempt" 'BEGIN {
+  BEST_ON="$(awk -v a="$ON" -v b="${BEST_ON:-$ON}" 'BEGIN {print (a < b) ? a : b}')"
+  BEST_OFF="$(awk -v a="$OFF" -v b="${BEST_OFF:-$OFF}" 'BEGIN {print (a < b) ? a : b}')"
+  if awk -v on="$BEST_ON" -v off="$BEST_OFF" -v ev="$EVENT" -v tol="$TOLERANCE" -v try="$attempt" 'BEGIN {
     pct = (on - off) / off * 100;
-    printf "obs_smoke: dormant hot path %.0f ns vs %.0f ns trace-off (%+.2f%%, budget %s%%, attempt %s); %.0f ns/event live\n",
+    printf "obs_smoke: dormant hot path %.0f ns vs %.0f ns trace-off (%+.2f%%, budget %s%%, best of %s attempts); %.0f ns/event live\n",
            on, off, pct, tol, try, ev;
     exit (pct > tol) ? 1 : 0
   }'; then
